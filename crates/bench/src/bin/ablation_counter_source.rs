@@ -1,0 +1,19 @@
+//! Ablation: software counter vs hardware timestamp counter (the paper's
+//! §II-B claim that the architecture-independent software counter is
+//! "fine and accurate enough" for method-level relative profiling).
+//!
+//! ```text
+//! cargo run --release -p bench --bin ablation_counter_source
+//! ```
+
+use bench::ablations::{render_counter_source, run_counter_source};
+use bench::util::write_artifact;
+
+fn main() {
+    eprintln!("profiling matrix_mult with both counter sources...");
+    let result = run_counter_source();
+    let text = render_counter_source(&result);
+    let path = write_artifact("ablation_counter_source.txt", &text);
+    print!("{text}");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,18 @@
+//! Ablation: the EPC secure-paging cliff — the mechanism behind §I's
+//! "EPC paging … can slow down application performance up to 2000×".
+//!
+//! ```text
+//! cargo run --release -p bench --bin ablation_epc_paging
+//! ```
+
+use bench::ablations::{render_epc, run_epc_paging};
+use bench::util::write_artifact;
+
+fn main() {
+    eprintln!("sweeping working-set sizes across the EPC capacity...");
+    let points = run_epc_paging(2_048);
+    let text = render_epc(&points);
+    let path = write_artifact("ablation_epc_paging.txt", &text);
+    print!("{text}");
+    eprintln!("wrote {}", path.display());
+}

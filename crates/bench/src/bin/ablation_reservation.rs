@@ -1,0 +1,19 @@
+//! Ablation: log-reservation designs — the paper's lock-free
+//! fetch-and-add tail vs. the atomic-free per-thread-partition alternative
+//! it sketches for ISAs without atomic RMW instructions (§II-B).
+//!
+//! ```text
+//! cargo run --release -p bench --bin ablation_reservation
+//! ```
+
+use bench::ablations::{render_reservation, run_reservation_modes};
+use bench::util::write_artifact;
+
+fn main() {
+    eprintln!("profiling string_match with both reservation designs...");
+    let result = run_reservation_modes();
+    let text = render_reservation(&result);
+    let path = write_artifact("ablation_reservation.txt", &text);
+    print!("{text}");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,19 @@
+//! Ablation: sampling-frequency bias (the accuracy argument of §I —
+//! "TEE-Perf does not suffer from sampling frequency bias, which can occur
+//! with threads scheduled to align to the sampling frequency").
+//!
+//! ```text
+//! cargo run --release -p bench --bin ablation_sampling_bias
+//! ```
+
+use bench::ablations::{render_bias, run_sampling_bias};
+use bench::util::write_artifact;
+
+fn main() {
+    eprintln!("running two-phase alignment experiment...");
+    let result = run_sampling_bias(400);
+    let text = render_bias(&result);
+    let path = write_artifact("ablation_sampling_bias.txt", &text);
+    print!("{text}");
+    eprintln!("wrote {}", path.display());
+}

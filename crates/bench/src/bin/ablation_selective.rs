@@ -1,0 +1,18 @@
+//! Ablation: selective code profiling (§II-C) — log-size and overhead
+//! reduction when only the functions under investigation are instrumented.
+//!
+//! ```text
+//! cargo run --release -p bench --bin ablation_selective
+//! ```
+
+use bench::ablations::{render_selective, run_selective};
+use bench::util::write_artifact;
+
+fn main() {
+    eprintln!("running string_match with full and selective instrumentation...");
+    let result = run_selective();
+    let text = render_selective(&result);
+    let path = write_artifact("ablation_selective.txt", &text);
+    print!("{text}");
+    eprintln!("wrote {}", path.display());
+}

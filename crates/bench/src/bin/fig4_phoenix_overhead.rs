@@ -1,0 +1,24 @@
+//! Regenerate Figure 4: TEE-Perf overhead relative to `perf` for the
+//! Phoenix suite inside the simulated SGX TEE.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig4_phoenix_overhead
+//! ```
+//!
+//! Writes `results/fig4_phoenix_overhead.txt` and prints it.
+
+use bench::fig4::{render_fig4, run_fig4, Fig4Options};
+use bench::util::write_artifact;
+
+fn main() {
+    let options = Fig4Options::default();
+    eprintln!(
+        "running Phoenix suite ({} benchmarks x 3 configurations x {} seeds)...",
+        7, options.runs
+    );
+    let rows = run_fig4(&options);
+    let text = render_fig4(&rows, &options);
+    let path = write_artifact("fig4_phoenix_overhead.txt", &text);
+    print!("{text}");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,35 @@
+//! Regenerate Figure 5: the RocksDB `db_bench` flame graph under TEE-Perf.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig5_rocksdb_flamegraph
+//! ```
+//!
+//! Writes `results/fig5_rocksdb.svg`, `results/fig5_rocksdb.folded` and
+//! `results/fig5_report.txt`.
+
+use bench::fig5::{render_svg, run_fig5, Fig5Options};
+use bench::util::write_artifact;
+
+fn main() {
+    let options = Fig5Options::default();
+    eprintln!(
+        "profiling db_bench readrandomwriterandom ({} ops, 80% reads) on {}...",
+        options.ops, options.cost.kind
+    );
+    let result = run_fig5(&options);
+    let svg_path = write_artifact("fig5_rocksdb.svg", &render_svg(&result, &options));
+    write_artifact("fig5_rocksdb.folded", &result.graph.to_folded());
+    write_artifact("fig5_report.txt", &result.report);
+
+    println!("{}", result.report);
+    println!("flame graph (terminal view):");
+    println!("{}", result.graph.to_ascii(70));
+    println!(
+        "hotspots: rocksdb::Stats::Now {:.1}%, rocksdb::RandomGenerator {:.1}% \
+         (paper: these two dominate the enclave profile)",
+        result.stats_now_fraction * 100.0,
+        result.random_generator_fraction * 100.0
+    );
+    println!("throughput: {:.0} ops/s (virtual)", result.ops_per_sec);
+    eprintln!("wrote {}", svg_path.display());
+}

@@ -1,0 +1,33 @@
+//! Regenerate Figure 6 and the §IV-C IOPS table: the SPDK case study.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig6_spdk_casestudy
+//! ```
+//!
+//! Writes `results/fig6_table.txt`, `results/fig6_naive.svg` and
+//! `results/fig6_optimized.svg`.
+
+use bench::fig6::{render_diff_svg, render_fig6, render_svgs, run_fig6, Fig6Options};
+use bench::util::write_artifact;
+
+fn main() {
+    let options = Fig6Options::default();
+    eprintln!(
+        "running spdk perf (native / naive SGX / optimized SGX, {} ops each)...",
+        options.throughput_ops
+    );
+    let result = run_fig6(&options);
+    let text = render_fig6(&result);
+    write_artifact("fig6_table.txt", &text);
+    let (top, bottom) = render_svgs(&result);
+    let top_path = write_artifact("fig6_naive.svg", &top);
+    let bottom_path = write_artifact("fig6_optimized.svg", &bottom);
+    write_artifact("fig6_diff.svg", &render_diff_svg(&result));
+
+    print!("{text}");
+    println!("\nnaive port flame graph (terminal view):");
+    println!("{}", result.naive_graph.to_ascii(70));
+    println!("optimized port flame graph (terminal view):");
+    println!("{}", result.optimized_graph.to_ascii(70));
+    eprintln!("wrote {} and {}", top_path.display(), bottom_path.display());
+}

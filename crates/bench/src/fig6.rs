@@ -1,0 +1,288 @@
+//! Figure 6 + the §IV-C numbers: the SPDK case study.
+//!
+//! Three measured configurations of the `spdk perf` benchmark (random
+//! read/write, 80 % reads, 4 KiB blocks):
+//!
+//! | config | paper IOPS | paper MiB/s |
+//! |---|---|---|
+//! | native (host) | 223,808 | 874 |
+//! | naive SGX port | 15,821 | 61.8 |
+//! | optimized SGX port | 232,736 | 909 |
+//!
+//! plus the two flame graphs: the naive port ~72 % `getpid` / ~20 %
+//! `rdtsc`; the optimized port with both gone.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use spdk_sim::{run_perf_tool, PerfToolOptions, SpdkEnv};
+use tee_sim::{CostModel, Machine};
+use teeperf_analyzer::Analyzer;
+use teeperf_core::{Profiler, Recorder, RecorderConfig};
+use teeperf_flamegraph::{FlameGraph, SvgOptions};
+
+use crate::util::render_table;
+
+/// Harness options.
+#[derive(Debug, Clone)]
+pub struct Fig6Options {
+    /// I/Os for the throughput (unprofiled) measurements.
+    pub throughput_ops: u64,
+    /// I/Os for the flame-graph (profiled) runs.
+    pub profile_ops: u64,
+    /// Refresh interval of the optimized timestamp cache.
+    pub refresh_interval: u64,
+}
+
+impl Default for Fig6Options {
+    fn default() -> Self {
+        Fig6Options {
+            throughput_ops: 8_000,
+            profile_ops: 2_000,
+            refresh_interval: 128,
+        }
+    }
+}
+
+/// One measured configuration.
+#[derive(Debug, Clone)]
+pub struct Fig6Config {
+    /// Configuration label.
+    pub name: &'static str,
+    /// Measured IOPS.
+    pub iops: f64,
+    /// Measured throughput in MiB/s.
+    pub throughput_mib_s: f64,
+}
+
+/// The whole case study.
+#[derive(Debug, Clone)]
+pub struct Fig6Result {
+    /// native / naive / optimized rows.
+    pub configs: Vec<Fig6Config>,
+    /// Optimized-over-naive improvement factor (paper: 14.7×).
+    pub improvement: f64,
+    /// Flame graph of the naive port.
+    pub naive_graph: FlameGraph,
+    /// Flame graph of the optimized port.
+    pub optimized_graph: FlameGraph,
+    /// `getpid` share in the naive graph (paper ≈ 0.72).
+    pub naive_getpid_fraction: f64,
+    /// `rdtsc` share in the naive graph (paper ≈ 0.20).
+    pub naive_rdtsc_fraction: f64,
+}
+
+fn throughput(cost: CostModel, env: &mut SpdkEnv, ops: u64) -> (f64, f64) {
+    let in_tee = cost.kind != tee_sim::TeeKind::Native;
+    let mut machine = Machine::new(cost);
+    if in_tee {
+        machine.ecall();
+    }
+    let r = run_perf_tool(
+        &mut machine,
+        &PerfToolOptions {
+            ops,
+            ..PerfToolOptions::default()
+        },
+        env,
+        None,
+    );
+    (r.iops, r.throughput_mib_s)
+}
+
+fn profiled_graph(cost: CostModel, env: &mut SpdkEnv, ops: u64) -> FlameGraph {
+    let recorder = Recorder::new(&RecorderConfig {
+        max_entries: 1 << 23,
+        ..RecorderConfig::default()
+    });
+    let mut machine = Machine::new(cost);
+    recorder.attach(&mut machine);
+    machine.ecall();
+    let profiler = Rc::new(RefCell::new(Profiler::new(
+        recorder.sim_hooks(machine.clock().clone()),
+    )));
+    run_perf_tool(
+        &mut machine,
+        &PerfToolOptions {
+            ops,
+            ..PerfToolOptions::default()
+        },
+        env,
+        Some(Rc::clone(&profiler)),
+    );
+    let log = recorder.finish();
+    assert_eq!(log.header.dropped_entries(), 0, "fig6 log overflowed");
+    let debug = profiler.borrow().debug_info();
+    let analyzer = Analyzer::new(log, debug).expect("fresh log validates");
+    FlameGraph::from_folded(&analyzer.profile().folded)
+}
+
+/// Run the full case study.
+pub fn run_fig6(options: &Fig6Options) -> Fig6Result {
+    let (native_iops, native_tp) =
+        throughput(CostModel::native(), &mut SpdkEnv::naive(), options.throughput_ops);
+    let (naive_iops, naive_tp) =
+        throughput(CostModel::sgx_v1(), &mut SpdkEnv::naive(), options.throughput_ops);
+    let (opt_iops, opt_tp) = throughput(
+        CostModel::sgx_v1(),
+        &mut SpdkEnv::optimized(options.refresh_interval),
+        options.throughput_ops,
+    );
+
+    let naive_graph = profiled_graph(
+        CostModel::sgx_v1(),
+        &mut SpdkEnv::naive(),
+        options.profile_ops,
+    );
+    let optimized_graph = profiled_graph(
+        CostModel::sgx_v1(),
+        &mut SpdkEnv::optimized(options.refresh_interval),
+        options.profile_ops,
+    );
+
+    Fig6Result {
+        configs: vec![
+            Fig6Config {
+                name: "native (host)",
+                iops: native_iops,
+                throughput_mib_s: native_tp,
+            },
+            Fig6Config {
+                name: "naive SGX port",
+                iops: naive_iops,
+                throughput_mib_s: naive_tp,
+            },
+            Fig6Config {
+                name: "optimized SGX port",
+                iops: opt_iops,
+                throughput_mib_s: opt_tp,
+            },
+        ],
+        improvement: opt_iops / naive_iops,
+        naive_getpid_fraction: naive_graph.fraction("getpid"),
+        naive_rdtsc_fraction: naive_graph.fraction("rdtsc"),
+        naive_graph,
+        optimized_graph,
+    }
+}
+
+/// Render the §IV-C table plus the headline comparisons.
+pub fn render_fig6(result: &Fig6Result) -> String {
+    let paper = [
+        ("native (host)", 223_808.0, 874.0),
+        ("naive SGX port", 15_821.0, 61.8),
+        ("optimized SGX port", 232_736.0, 909.0),
+    ];
+    let rows: Vec<Vec<String>> = result
+        .configs
+        .iter()
+        .zip(paper)
+        .map(|(c, (_, p_iops, p_tp))| {
+            vec![
+                c.name.to_string(),
+                format!("{:.0}", c.iops),
+                format!("{:.1}", c.throughput_mib_s),
+                format!("{p_iops:.0}"),
+                format!("{p_tp:.1}"),
+            ]
+        })
+        .collect();
+    let mut out = String::from("§IV-C — SPDK perf, random R/W 80% reads, 4 KiB blocks\n\n");
+    out.push_str(&render_table(
+        &["configuration", "IOPS", "MiB/s", "paper IOPS", "paper MiB/s"],
+        &rows,
+    ));
+    out.push_str(&format!(
+        "\noptimized / naive improvement: {:.1}x (paper: 14.7x)\n",
+        result.improvement
+    ));
+    out.push_str(&format!(
+        "naive flame graph: getpid {:.1}% (paper ~72%), rdtsc {:.1}% (paper ~20%)\n",
+        result.naive_getpid_fraction * 100.0,
+        result.naive_rdtsc_fraction * 100.0
+    ));
+    out.push_str(&format!(
+        "optimized flame graph: getpid {:.2}%, rdtsc {:.2}% (paper: reduced to ~0)\n",
+        result.optimized_graph.fraction("getpid") * 100.0,
+        result.optimized_graph.fraction("rdtsc") * 100.0
+    ));
+    out
+}
+
+/// A red/blue differential flame graph of the optimization: the optimized
+/// port's profile colored by change from the naive one (blue = shrank —
+/// expect deep blue on the vanished `getpid`/`rdtsc` towers).
+pub fn render_diff_svg(result: &Fig6Result) -> String {
+    result.optimized_graph.to_diff_svg(
+        &result.naive_graph,
+        &SvgOptions::default()
+            .with_title("Figure 6 differential — optimized vs naive SPDK port")
+            .with_subtitle("red = share grew, blue = share shrank"),
+    )
+}
+
+/// The two SVGs of Figure 6.
+pub fn render_svgs(result: &Fig6Result) -> (String, String) {
+    let top = result.naive_graph.to_svg(
+        &SvgOptions::default()
+            .with_title("Figure 6 (top) — naive SPDK port inside SGX")
+            .with_subtitle(format!(
+                "getpid {:.1}%, rdtsc {:.1}%",
+                result.naive_getpid_fraction * 100.0,
+                result.naive_rdtsc_fraction * 100.0
+            )),
+    );
+    let bottom = result.optimized_graph.to_svg(
+        &SvgOptions::default()
+            .with_title("Figure 6 (bottom) — optimized SPDK port inside SGX")
+            .with_subtitle("pid cached, timestamps cached with periodic correction"),
+    );
+    (top, bottom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_reproduces_the_case_study_shape() {
+        let r = run_fig6(&Fig6Options {
+            throughput_ops: 800,
+            profile_ops: 400,
+            refresh_interval: 128,
+        });
+        let native = r.configs[0].iops;
+        let naive = r.configs[1].iops;
+        let optimized = r.configs[2].iops;
+
+        // Ordering and magnitudes.
+        assert!(native > naive * 8.0, "native {native:.0} vs naive {naive:.0}");
+        assert!(optimized >= native * 0.95, "optimized must recover to native");
+        assert!(
+            (8.0..25.0).contains(&r.improvement),
+            "improvement {:.1}",
+            r.improvement
+        );
+        assert!((150_000.0..320_000.0).contains(&native));
+        assert!(naive < 35_000.0);
+
+        // Flame graphs.
+        assert!((0.55..0.85).contains(&r.naive_getpid_fraction));
+        assert!((0.10..0.32).contains(&r.naive_rdtsc_fraction));
+        assert!(r.optimized_graph.fraction("getpid") < 0.10);
+
+        let text = render_fig6(&r);
+        assert!(text.contains("14.7x"));
+        assert!(text.contains("optimized"));
+        let (top, bottom) = render_svgs(&r);
+        assert!(top.contains("naive"));
+        assert!(bottom.contains("optimized"));
+        let diff = render_diff_svg(&r);
+        assert!(diff.contains("differential"));
+        assert!(diff.contains("share vs before"));
+        // The paper's frame chain is visible in the naive graph.
+        let folded = r.naive_graph.to_folded();
+        assert!(folded.contains("submit_single_io"), "{folded}");
+        assert!(folded.contains("allocate_request;getpid"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Bloom filters for SSTables.
+
+/// A fixed-size Bloom filter with double hashing (Kirsch–Mitzenmacher).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    n_bits: u64,
+    k: u32,
+}
+
+fn hash64(data: &[u8], seed: u64) -> u64 {
+    // FNV-1a with a seed fold — fast and adequate for a filter.
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for b in data {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl BloomFilter {
+    /// Build a filter sized for `n` keys at `bits_per_key` (RocksDB uses 10).
+    pub fn with_capacity(n: usize, bits_per_key: u32) -> BloomFilter {
+        let n_bits = ((n.max(1) as u64) * u64::from(bits_per_key)).max(64);
+        let k = ((bits_per_key as f64 * 0.69) as u32).clamp(1, 12);
+        BloomFilter {
+            bits: vec![0; n_bits.div_ceil(64) as usize],
+            n_bits,
+            k,
+        }
+    }
+
+    /// Insert a key.
+    pub fn insert(&mut self, key: &[u8]) {
+        let h1 = hash64(key, 0);
+        let h2 = hash64(key, 1) | 1;
+        for i in 0..u64::from(self.k) {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) % self.n_bits;
+            self.bits[(bit / 64) as usize] |= 1 << (bit % 64);
+        }
+    }
+
+    /// Whether the key may be present (no false negatives).
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        let h1 = hash64(key, 0);
+        let h2 = hash64(key, 1) | 1;
+        (0..u64::from(self.k)).all(|i| {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) % self.n_bits;
+            self.bits[(bit / 64) as usize] & (1 << (bit % 64)) != 0
+        })
+    }
+
+    /// Cycles one membership test costs on the simulated machine.
+    pub fn probe_cycles(&self) -> u64 {
+        u64::from(self.k) * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let keys: Vec<Vec<u8>> = (0..500).map(|i| format!("key{i}").into_bytes()).collect();
+        let mut f = BloomFilter::with_capacity(keys.len(), 10);
+        for k in &keys {
+            f.insert(k);
+        }
+        for k in &keys {
+            assert!(f.may_contain(k));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let mut f = BloomFilter::with_capacity(1_000, 10);
+        for i in 0..1_000 {
+            f.insert(format!("present{i}").as_bytes());
+        }
+        let fp = (0..10_000)
+            .filter(|i| f.may_contain(format!("absent{i}").as_bytes()))
+            .count();
+        assert!(fp < 300, "false positive rate too high: {fp}/10000");
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything_mostly() {
+        let f = BloomFilter::with_capacity(10, 10);
+        assert!(!f.may_contain(b"anything"));
+        assert!(f.probe_cycles() > 0);
+    }
+}

@@ -1,0 +1,268 @@
+//! The `db_bench` tool: RocksDB's benchmark driver, reduced to the
+//! workload the paper profiles — `readrandomwriterandom` with 80 % reads,
+//! several logical worker threads, per-op latency statistics via
+//! [`Stats::now`] and values from [`RandomGenerator`].
+//!
+//! The function names probed here deliberately mirror the RocksDB frames
+//! visible in the paper's Figure 5 flame graph
+//! (`rocksdb::Benchmark::ReadRandomWriteRandom`, `rocksdb::Stats::Now`,
+//! `rocksdb::RandomGenerator::RandomGenerator`, `rocksdb::DBImpl::Get`, …).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use tee_sim::Machine;
+use teeperf_core::Profiler;
+
+use crate::db::{Db, DbOptions};
+use crate::probe::Probe;
+use crate::random::RandomGenerator;
+use crate::stats::Stats;
+
+/// Benchmark parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchOptions {
+    /// Total operations across all workers.
+    pub ops: u64,
+    /// Percentage of reads (the paper uses 80).
+    pub read_pct: u32,
+    /// Distinct keys in the working set.
+    pub key_space: u64,
+    /// Value size in bytes.
+    pub value_bytes: usize,
+    /// Logical worker threads (round-robin interleaved).
+    pub threads: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Store tuning.
+    pub db: DbOptions,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions {
+            ops: 20_000,
+            read_pct: 80,
+            key_space: 4_000,
+            value_bytes: 100,
+            threads: 4,
+            seed: 42,
+            db: DbOptions::default(),
+        }
+    }
+}
+
+/// Benchmark outcome.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Operations executed.
+    pub ops: u64,
+    /// Reads among them.
+    pub reads: u64,
+    /// Reads that found a value.
+    pub read_hits: u64,
+    /// Virtual cycles for the measured phase.
+    pub cycles: u64,
+    /// Operations per virtual second.
+    pub ops_per_sec: f64,
+    /// Mean per-op latency in ns (from the in-benchmark [`Stats`]).
+    pub mean_latency_ns: f64,
+    /// Store counters after the run.
+    pub db_stats: crate::db::DbStats,
+}
+
+struct Worker {
+    stats: Stats,
+    rng: RandomGenerator,
+    probe: Probe,
+}
+
+/// Run `readrandomwriterandom`. When `profiler` is `Some`, every relevant
+/// method is probed through it (the Figure-5 configuration).
+pub fn run_db_bench(
+    machine: &mut Machine,
+    options: &BenchOptions,
+    profiler: Option<Rc<RefCell<Profiler>>>,
+) -> BenchResult {
+    let base_probe = match &profiler {
+        Some(p) => Probe::new(Rc::clone(p), 0),
+        None => Probe::disabled(),
+    };
+    let mut db = Db::open(options.db.clone());
+
+    // Pre-fill half the key space so reads hit. The fill phase runs with
+    // probes disabled, like starting the recorder only for the measured
+    // phase of db_bench.
+    db.set_probe(Probe::disabled());
+    let mut fill_rng = RandomGenerator::new(options.seed ^ 0xf111);
+    for i in 0..options.key_space / 2 {
+        let key = RandomGenerator::key_for(machine, i * 2);
+        let value = fill_rng.compressible_value(machine, options.value_bytes);
+        db.put(machine, &key, &value);
+    }
+    db.set_probe(base_probe.clone());
+
+    let mut workers: Vec<Worker> = (0..options.threads)
+        .map(|t| Worker {
+            stats: Stats::new(),
+            rng: RandomGenerator::new(options.seed.wrapping_add(t * 7919)),
+            probe: base_probe.for_thread(t),
+        })
+        .collect();
+
+    let t_start = machine.clock().now();
+    for w in &mut workers {
+        w.probe
+            .scope(machine, "rocksdb::Benchmark::ThreadBody", |machine| {
+                w.stats.start(machine);
+            });
+    }
+
+    let mut reads = 0u64;
+    let mut read_hits = 0u64;
+    for op in 0..options.ops {
+        let w = &mut workers[(op % options.threads) as usize];
+        // Per-worker probes keep thread attribution in the profile.
+        let probe = w.probe.clone();
+        db.set_probe(probe.clone());
+        probe.scope(
+            machine,
+            "rocksdb::Benchmark::ReadRandomWriteRandom",
+            |machine| {
+                let is_read = w.rng.next_below(100) < u64::from(options.read_pct);
+                let key_idx = w.rng.next_below(options.key_space);
+                let key = RandomGenerator::key_for(machine, key_idx);
+                if is_read {
+                    reads += 1;
+                    if db.get(machine, &key).is_some() {
+                        read_hits += 1;
+                    }
+                } else {
+                    let value = probe.scope(
+                        machine,
+                        "rocksdb::RandomGenerator::RandomGenerator",
+                        |machine| w.rng.compressible_value(machine, options.value_bytes),
+                    );
+                    db.put(machine, &key, &value);
+                }
+                probe.scope(machine, "rocksdb::Stats::Now", |machine| {
+                    w.stats.finished_op(machine);
+                });
+            },
+        );
+    }
+    let cycles = machine.clock().now() - t_start;
+    let now_ns = Stats::now(machine);
+
+    let total_mean = workers
+        .iter()
+        .map(|w| w.stats.mean_latency_ns())
+        .sum::<f64>()
+        / workers.len() as f64;
+
+    let secs = machine.cost().cycles_to_secs(cycles);
+    BenchResult {
+        ops: options.ops,
+        reads,
+        read_hits,
+        cycles,
+        ops_per_sec: if secs > 0.0 {
+            options.ops as f64 / secs
+        } else {
+            workers[0].stats.ops_per_sec(now_ns)
+        },
+        mean_latency_ns: total_mean,
+        db_stats: *db.stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tee_sim::CostModel;
+    use teeperf_core::{Recorder, RecorderConfig};
+
+    fn small_options() -> BenchOptions {
+        BenchOptions {
+            ops: 2_000,
+            key_space: 500,
+            value_bytes: 64,
+            db: DbOptions {
+                memtable_bytes: 8 << 10,
+                ..DbOptions::default()
+            },
+            ..BenchOptions::default()
+        }
+    }
+
+    #[test]
+    fn bench_runs_with_sensible_ratios() {
+        let mut m = Machine::new(CostModel::native());
+        let r = run_db_bench(&mut m, &small_options(), None);
+        assert_eq!(r.ops, 2_000);
+        let read_frac = r.reads as f64 / r.ops as f64;
+        assert!((0.75..0.85).contains(&read_frac), "read fraction {read_frac}");
+        assert!(r.read_hits > r.reads / 4, "too few hits: {}/{}", r.read_hits, r.reads);
+        assert!(r.ops_per_sec > 0.0);
+        assert!(r.mean_latency_ns > 0.0);
+        assert!(r.db_stats.flushes > 0);
+    }
+
+    #[test]
+    fn bench_is_deterministic() {
+        let run = || {
+            let mut m = Machine::new(CostModel::sgx_v1());
+            m.ecall();
+            run_db_bench(&mut m, &small_options(), None).cycles
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn profiled_run_emits_rocksdb_shaped_events() {
+        let recorder = Recorder::new(&RecorderConfig {
+            max_entries: 1 << 22,
+            ..RecorderConfig::default()
+        });
+        let mut m = Machine::new(CostModel::sgx_v1());
+        recorder.attach(&mut m);
+        m.ecall();
+        let profiler = Rc::new(RefCell::new(Profiler::new(
+            recorder.sim_hooks(m.clock().clone()),
+        )));
+        let r = run_db_bench(&mut m, &small_options(), Some(Rc::clone(&profiler)));
+        assert!(r.ops_per_sec > 0.0);
+        let log = recorder.finish();
+        assert!(log.entries.len() > 1_000);
+        assert_eq!(log.header.dropped_entries(), 0);
+        let debug = profiler.borrow().debug_info();
+        let names: Vec<&str> = debug.functions().iter().map(|f| f.name.as_str()).collect();
+        for expected in [
+            "rocksdb::Benchmark::ReadRandomWriteRandom",
+            "rocksdb::Stats::Now",
+            "lsm::DBImpl::Get",
+            "lsm::MemTable::Add",
+        ] {
+            assert!(names.contains(&expected), "missing probe {expected}");
+        }
+        // Multiple logical threads appear in the log.
+        let tids: std::collections::HashSet<u64> =
+            log.entries.iter().map(|e| e.tid).collect();
+        assert!(tids.len() >= 4);
+    }
+
+    #[test]
+    fn sgx_throughput_is_lower_than_native() {
+        let run = |cost: CostModel| {
+            let mut m = Machine::new(cost);
+            m.ecall();
+            run_db_bench(&mut m, &small_options(), None).ops_per_sec
+        };
+        let native = run(CostModel::native());
+        let sgx = run(CostModel::sgx_v1());
+        assert!(
+            native > sgx * 2.0,
+            "native {native:.0} ops/s should dwarf sgx {sgx:.0}"
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! # lsm-store — an LSM-tree key–value store (the RocksDB of Figure 5)
+//!
+//! The paper profiles RocksDB's `db_bench readrandomwriterandom` (80 %
+//! reads) inside SGX and finds the flame graph dominated by
+//! `rocksdb::Stats::Now` (timestamps — an ocall inside a TEE) and
+//! `rocksdb::RandomGenerator` (value generation). To reproduce that
+//! experiment honestly, this crate is a real, if compact, LSM storage
+//! engine rather than a mock:
+//!
+//! * a write-ahead [`wal`] and a sorted [`memtable`] with flush thresholds,
+//! * immutable [`sst`] tables with block indexes and [`bloom`] filters,
+//! * leveled [`compaction`](db) (L0 overlap + size-tiered L1+),
+//! * last-write-wins semantics via sequence numbers, tombstone deletes,
+//!   and merged range [`scan`](db::Db::scan)s,
+//! * a [`db_bench`] tool mirroring RocksDB's, with the same hot functions
+//!   (`Stats::Now`, `RandomGenerator`) instrumented through
+//!   `teeperf-core`'s native profiling API.
+//!
+//! Every operation charges the simulated [`tee_sim::Machine`], so running
+//! the same benchmark under `CostModel::native()` vs `CostModel::sgx_v1()`
+//! reproduces the TEE distortions the paper profiles.
+
+pub mod bloom;
+pub mod db;
+pub mod db_bench;
+pub mod memtable;
+pub mod probe;
+pub mod random;
+pub mod sst;
+pub mod stats;
+pub mod wal;
+
+pub use db::{Db, DbOptions, DbStats};
+pub use db_bench::{run_db_bench, BenchOptions, BenchResult};
+pub use probe::Probe;
+pub use random::RandomGenerator;
+pub use stats::Stats;

@@ -1,0 +1,131 @@
+//! The in-memory write buffer: a sorted map with tombstones and sequence
+//! numbers.
+
+use std::collections::BTreeMap;
+
+use tee_sim::Machine;
+
+/// Cycles per key comparison on the search path.
+const CMP_CYCLES: u64 = 6;
+
+/// One buffered write: sequence number and value (`None` = tombstone).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Monotonic write sequence number.
+    pub seq: u64,
+    /// The value, or `None` for a delete.
+    pub value: Option<Vec<u8>>,
+}
+
+/// The mutable memtable.
+#[derive(Debug, Clone, Default)]
+pub struct MemTable {
+    map: BTreeMap<Vec<u8>, Entry>,
+    approx_bytes: usize,
+}
+
+impl MemTable {
+    /// An empty memtable.
+    pub fn new() -> MemTable {
+        MemTable::default()
+    }
+
+    fn charge_search(&self, machine: &mut Machine) {
+        let levels = (self.map.len().max(1) as f64).log2().ceil() as u64 + 1;
+        machine.compute(levels * CMP_CYCLES);
+    }
+
+    /// Insert or overwrite (charges a tree descent).
+    pub fn put(&mut self, machine: &mut Machine, key: Vec<u8>, entry: Entry) {
+        self.charge_search(machine);
+        self.approx_bytes += key.len() + entry.value.as_ref().map_or(0, Vec::len) + 24;
+        self.map.insert(key, entry);
+    }
+
+    /// Look up (charges a tree descent). Returns the buffered entry —
+    /// including tombstones, which the caller must interpret.
+    pub fn get(&self, machine: &mut Machine, key: &[u8]) -> Option<&Entry> {
+        self.charge_search(machine);
+        self.map.get(key)
+    }
+
+    /// Number of buffered keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the memtable is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Approximate heap footprint in bytes (the flush trigger).
+    pub fn approximate_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    /// Iterate entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vec<u8>, &Entry)> {
+        self.map.iter()
+    }
+
+    /// Drain into a sorted vector for SST building.
+    pub fn into_sorted(self) -> Vec<(Vec<u8>, Entry)> {
+        self.map.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tee_sim::CostModel;
+
+    fn m() -> Machine {
+        Machine::new(CostModel::native())
+    }
+
+    #[test]
+    fn put_get_overwrite() {
+        let mut mt = MemTable::new();
+        let mut machine = m();
+        mt.put(&mut machine, b"a".to_vec(), Entry { seq: 1, value: Some(b"1".to_vec()) });
+        mt.put(&mut machine, b"a".to_vec(), Entry { seq: 2, value: Some(b"2".to_vec()) });
+        let e = mt.get(&mut machine, b"a").unwrap();
+        assert_eq!(e.seq, 2);
+        assert_eq!(e.value.as_deref(), Some(b"2".as_slice()));
+        assert_eq!(mt.len(), 1);
+    }
+
+    #[test]
+    fn tombstones_are_visible() {
+        let mut mt = MemTable::new();
+        let mut machine = m();
+        mt.put(&mut machine, b"k".to_vec(), Entry { seq: 5, value: None });
+        assert_eq!(mt.get(&mut machine, b"k").unwrap().value, None);
+    }
+
+    #[test]
+    fn sorted_drain_and_size_tracking() {
+        let mut mt = MemTable::new();
+        let mut machine = m();
+        for k in ["c", "a", "b"] {
+            mt.put(
+                &mut machine,
+                k.as_bytes().to_vec(),
+                Entry { seq: 1, value: Some(vec![0; 10]) },
+            );
+        }
+        assert!(mt.approximate_bytes() >= 3 * (1 + 10));
+        let sorted = mt.into_sorted();
+        let keys: Vec<&[u8]> = sorted.iter().map(|(k, _)| k.as_slice()).collect();
+        assert_eq!(keys, vec![b"a".as_slice(), b"b", b"c"]);
+    }
+
+    #[test]
+    fn operations_charge_cycles() {
+        let mut mt = MemTable::new();
+        let mut machine = m();
+        mt.put(&mut machine, b"x".to_vec(), Entry { seq: 1, value: None });
+        assert!(machine.clock().now() > 0);
+    }
+}

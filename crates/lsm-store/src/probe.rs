@@ -1,0 +1,45 @@
+//! Method-level probes: the native-Rust stand-in for compiling the store
+//! with `-finstrument-functions`. The implementation lives in
+//! [`teeperf_core::api`] and is shared with the SPDK substrate.
+
+pub use teeperf_core::Probe;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use tee_sim::{CostModel, Machine};
+    use teeperf_core::{Profiler, Recorder, RecorderConfig};
+
+    #[test]
+    fn disabled_probe_is_free_and_safe() {
+        let probe = Probe::disabled();
+        let mut m = Machine::new(CostModel::native());
+        let before = m.clock().now();
+        let v = probe.scope(&mut m, "anything", |_| 41) + 1;
+        assert_eq!(v, 42);
+        assert_eq!(m.clock().now(), before);
+        assert!(!probe.enabled());
+    }
+
+    #[test]
+    fn enabled_probe_records_balanced_events() {
+        let recorder = Recorder::new(&RecorderConfig::default());
+        let mut m = Machine::new(CostModel::sgx_v1());
+        recorder.attach(&mut m);
+        let profiler = Rc::new(RefCell::new(Profiler::new(
+            recorder.sim_hooks(m.clock().clone()),
+        )));
+        let probe = Probe::new(Rc::clone(&profiler), 3);
+        probe.scope(&mut m, "outer", |m| {
+            probe.scope(m, "inner", |m| m.compute(100));
+        });
+        let log = recorder.finish();
+        assert_eq!(log.entries.len(), 4);
+        assert!(log.entries.iter().all(|e| e.tid == 3));
+        // Different-thread view keeps the same profiler.
+        let p2 = probe.for_thread(9);
+        assert!(p2.profiler().is_some());
+    }
+}

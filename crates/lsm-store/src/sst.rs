@@ -1,0 +1,235 @@
+//! Immutable sorted string tables: block-structured key ranges with a
+//! sparse index and a Bloom filter, like RocksDB's SST files.
+
+use std::sync::Arc;
+
+use tee_sim::Machine;
+
+use crate::bloom::BloomFilter;
+use crate::memtable::Entry;
+
+/// Entries per data block (RocksDB restarts every 16 keys).
+pub const BLOCK_ENTRIES: usize = 16;
+/// Cycles per key comparison.
+const CMP_CYCLES: u64 = 6;
+/// Cycles per 64 bytes of block data scanned (copy/decode).
+const CYCLES_PER_LINE: u64 = 10;
+
+/// One immutable table.
+#[derive(Debug, Clone)]
+pub struct SsTable {
+    /// Sorted `(key, entry)` rows.
+    rows: Arc<Vec<(Vec<u8>, Entry)>>,
+    /// First key of each block.
+    index: Vec<Vec<u8>>,
+    bloom: BloomFilter,
+    bytes: usize,
+    /// Unique table id (for debugging and ordering assertions).
+    pub id: u64,
+}
+
+impl SsTable {
+    /// Build a table from sorted rows (charges build cost).
+    ///
+    /// # Panics
+    /// Panics if `rows` is empty or unsorted (flush/compaction guarantee
+    /// sortedness).
+    pub fn build(machine: &mut Machine, id: u64, rows: Vec<(Vec<u8>, Entry)>) -> SsTable {
+        assert!(!rows.is_empty(), "SSTs are never empty");
+        debug_assert!(rows.windows(2).all(|w| w[0].0 < w[1].0), "rows must be strictly sorted");
+        let mut bloom = BloomFilter::with_capacity(rows.len(), 10);
+        let mut bytes = 0;
+        let mut index = Vec::with_capacity(rows.len() / BLOCK_ENTRIES + 1);
+        for (i, (k, e)) in rows.iter().enumerate() {
+            if i % BLOCK_ENTRIES == 0 {
+                index.push(k.clone());
+            }
+            bloom.insert(k);
+            bytes += k.len() + e.value.as_ref().map_or(0, Vec::len) + 16;
+        }
+        machine.compute(rows.len() as u64 * 20 + (bytes as u64).div_ceil(64) * CYCLES_PER_LINE);
+        SsTable {
+            rows: Arc::new(rows),
+            index,
+            bloom,
+            bytes,
+            id,
+        }
+    }
+
+    /// Smallest key.
+    pub fn min_key(&self) -> &[u8] {
+        &self.rows.first().expect("non-empty").0
+    }
+
+    /// Largest key.
+    pub fn max_key(&self) -> &[u8] {
+        &self.rows.last().expect("non-empty").0
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// SSTs are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Approximate on-disk size in bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Whether `key` falls inside this table's key range.
+    pub fn covers(&self, key: &[u8]) -> bool {
+        self.min_key() <= key && key <= self.max_key()
+    }
+
+    /// Whether this table's range overlaps `[lo, hi]`.
+    pub fn overlaps(&self, lo: &[u8], hi: &[u8]) -> bool {
+        self.min_key() <= hi && lo <= self.max_key()
+    }
+
+    /// Point lookup. Returns the stored entry (possibly a tombstone).
+    /// Charges the Bloom probe, the index search and the block scan;
+    /// records whether the Bloom filter saved the block read.
+    pub fn get(&self, machine: &mut Machine, key: &[u8]) -> SstLookup {
+        machine.compute(self.bloom.probe_cycles());
+        if !self.bloom.may_contain(key) {
+            return SstLookup::BloomSkip;
+        }
+        // Binary search the sparse index for the candidate block.
+        machine.compute((self.index.len().max(1) as f64).log2().ceil() as u64 * CMP_CYCLES);
+        let block = match self.index.binary_search_by(|first| first.as_slice().cmp(key)) {
+            Ok(b) => b,
+            Err(0) => return SstLookup::Miss, // before the first key
+            Err(b) => b - 1,
+        };
+        let start = block * BLOCK_ENTRIES;
+        let end = (start + BLOCK_ENTRIES).min(self.rows.len());
+        // Scan the block (decode cost proportional to block bytes).
+        let block_bytes: usize = self.rows[start..end]
+            .iter()
+            .map(|(k, e)| k.len() + e.value.as_ref().map_or(0, Vec::len) + 16)
+            .sum();
+        machine.compute((block_bytes as u64).div_ceil(64) * CYCLES_PER_LINE);
+        for (k, e) in &self.rows[start..end] {
+            machine.compute(CMP_CYCLES);
+            if k.as_slice() == key {
+                return SstLookup::Found(e.clone());
+            }
+        }
+        SstLookup::Miss
+    }
+
+    /// Iterate all rows in key order (used by compaction and scans).
+    pub fn iter(&self) -> impl Iterator<Item = &(Vec<u8>, Entry)> {
+        self.rows.iter()
+    }
+}
+
+/// Outcome of a point lookup in one table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SstLookup {
+    /// The Bloom filter proved absence without touching a block.
+    BloomSkip,
+    /// A block was scanned but the key is absent.
+    Miss,
+    /// The key was found (value may be a tombstone).
+    Found(Entry),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tee_sim::CostModel;
+
+    fn entry(v: &[u8]) -> Entry {
+        Entry {
+            seq: 1,
+            value: Some(v.to_vec()),
+        }
+    }
+
+    fn build_table(n: usize) -> (SsTable, Machine) {
+        let mut m = Machine::new(CostModel::native());
+        let rows: Vec<(Vec<u8>, Entry)> = (0..n)
+            .map(|i| (format!("key{i:05}").into_bytes(), entry(format!("v{i}").as_bytes())))
+            .collect();
+        let t = SsTable::build(&mut m, 1, rows);
+        (t, m)
+    }
+
+    #[test]
+    fn finds_every_key() {
+        let (t, mut m) = build_table(100);
+        for i in 0..100 {
+            let k = format!("key{i:05}").into_bytes();
+            match t.get(&mut m, &k) {
+                SstLookup::Found(e) => assert_eq!(e.value.unwrap(), format!("v{i}").into_bytes()),
+                other => panic!("key{i}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn misses_are_cheap_or_correct() {
+        let (t, mut m) = build_table(100);
+        for i in 0..100 {
+            let k = format!("nope{i:05}").into_bytes();
+            match t.get(&mut m, &k) {
+                SstLookup::BloomSkip | SstLookup::Miss => {}
+                SstLookup::Found(_) => panic!("found a key that was never inserted"),
+            }
+        }
+        // A key before the table's range must miss.
+        assert_ne!(
+            t.get(&mut m, b"aaa"),
+            SstLookup::Found(entry(b"x"))
+        );
+    }
+
+    #[test]
+    fn range_metadata() {
+        let (t, _m) = build_table(50);
+        assert_eq!(t.min_key(), b"key00000");
+        assert_eq!(t.max_key(), b"key00049");
+        assert!(t.covers(b"key00025"));
+        assert!(!t.covers(b"zzz"));
+        assert!(t.overlaps(b"key00040", b"zzz"));
+        assert!(!t.overlaps(b"a", b"b"));
+        assert_eq!(t.len(), 50);
+        assert!(t.bytes() > 0);
+    }
+
+    #[test]
+    fn bloom_skip_costs_less_than_block_scan() {
+        let (t, _) = build_table(200);
+        let mut m1 = Machine::new(CostModel::native());
+        // Find a key the bloom filter rejects.
+        let mut skip_cost = None;
+        for i in 0..1000 {
+            let k = format!("absent{i}").into_bytes();
+            let t0 = m1.clock().now();
+            if t.get(&mut m1, &k) == SstLookup::BloomSkip {
+                skip_cost = Some(m1.clock().now() - t0);
+                break;
+            }
+        }
+        let skip_cost = skip_cost.expect("bloom must reject something");
+        let mut m2 = Machine::new(CostModel::native());
+        let t0 = m2.clock().now();
+        let _ = t.get(&mut m2, b"key00100");
+        let hit_cost = m2.clock().now() - t0;
+        assert!(hit_cost > skip_cost * 2, "hit {hit_cost} vs skip {skip_cost}");
+    }
+
+    #[test]
+    #[should_panic(expected = "never empty")]
+    fn empty_build_panics() {
+        let mut m = Machine::new(CostModel::native());
+        let _ = SsTable::build(&mut m, 1, Vec::new());
+    }
+}

@@ -1,0 +1,118 @@
+//! `rocksdb::Stats` equivalent: per-operation latency bookkeeping built on
+//! timestamps — the other hot function of Figure 5. Inside a TEE each
+//! timestamp is a `clock_gettime` through the ocall layer, which is
+//! exactly why it dominates the enclave profile.
+
+use tee_sim::{Machine, Syscalls};
+
+/// Benchmark statistics accumulator.
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    ops: u64,
+    started_at_ns: Option<u64>,
+    last_op_ns: u64,
+    total_latency_ns: u64,
+    max_latency_ns: u64,
+}
+
+impl Stats {
+    /// A fresh accumulator.
+    pub fn new() -> Stats {
+        Stats::default()
+    }
+
+    /// `rocksdb::Stats::Now`: read the wall clock in nanoseconds. This is a
+    /// syscall — and therefore an ocall inside a TEE.
+    pub fn now(machine: &mut Machine) -> u64 {
+        machine.syscall(Syscalls::ClockGettime)
+    }
+
+    /// Mark the start of the measured interval.
+    pub fn start(&mut self, machine: &mut Machine) {
+        let t = Stats::now(machine);
+        self.started_at_ns = Some(t);
+        self.last_op_ns = t;
+    }
+
+    /// Mark one finished operation (reads the clock again).
+    pub fn finished_op(&mut self, machine: &mut Machine) {
+        let t = Stats::now(machine);
+        let lat = t.saturating_sub(self.last_op_ns);
+        self.last_op_ns = t;
+        self.ops += 1;
+        self.total_latency_ns += lat;
+        self.max_latency_ns = self.max_latency_ns.max(lat);
+    }
+
+    /// Operations recorded.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Mean latency in nanoseconds.
+    pub fn mean_latency_ns(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.total_latency_ns as f64 / self.ops as f64
+        }
+    }
+
+    /// Worst single-op latency in nanoseconds.
+    pub fn max_latency_ns(&self) -> u64 {
+        self.max_latency_ns
+    }
+
+    /// Elapsed nanoseconds since [`Stats::start`], as of `now_ns`.
+    pub fn elapsed_ns(&self, now_ns: u64) -> u64 {
+        now_ns.saturating_sub(self.started_at_ns.unwrap_or(now_ns))
+    }
+
+    /// Operations per (virtual) second given the elapsed interval.
+    pub fn ops_per_sec(&self, now_ns: u64) -> f64 {
+        let e = self.elapsed_ns(now_ns);
+        if e == 0 {
+            0.0
+        } else {
+            self.ops as f64 * 1e9 / e as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tee_sim::CostModel;
+
+    #[test]
+    fn now_is_monotone_and_costs_more_in_enclave() {
+        let mut native = Machine::new(CostModel::native());
+        let t0 = native.clock().now();
+        Stats::now(&mut native);
+        let native_cost = native.clock().now() - t0;
+
+        let mut sgx = Machine::new(CostModel::sgx_v1());
+        sgx.ecall();
+        let t0 = sgx.clock().now();
+        Stats::now(&mut sgx);
+        let sgx_cost = sgx.clock().now() - t0;
+        assert!(sgx_cost > native_cost * 10, "{sgx_cost} vs {native_cost}");
+    }
+
+    #[test]
+    fn latency_accounting() {
+        let mut m = Machine::new(CostModel::native());
+        let mut s = Stats::new();
+        s.start(&mut m);
+        m.compute(3_600); // 1 µs at 3.6 GHz
+        s.finished_op(&mut m);
+        m.compute(7_200);
+        s.finished_op(&mut m);
+        assert_eq!(s.ops(), 2);
+        assert!(s.mean_latency_ns() >= 1_000.0);
+        assert!(s.max_latency_ns() >= 2_000);
+        let now = Stats::now(&mut m);
+        assert!(s.ops_per_sec(now) > 0.0);
+        assert!(s.elapsed_ns(now) >= 3_000);
+    }
+}

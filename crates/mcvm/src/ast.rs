@@ -1,0 +1,314 @@
+//! Untyped abstract syntax tree produced by the parser.
+
+/// A Mini-C type expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// Heap array of the element type, written `[T]`.
+    Array(Box<Type>),
+    /// Only valid as a function return type.
+    Void,
+}
+
+impl std::fmt::Display for Type {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Type::Int => f.write_str("int"),
+            Type::Float => f.write_str("float"),
+            Type::Array(t) => write!(f, "[{t}]"),
+            Type::Void => f.write_str("void"),
+        }
+    }
+}
+
+/// A whole source file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Global variable declarations, in source order.
+    pub globals: Vec<GlobalDecl>,
+    /// Function declarations, in source order.
+    pub functions: Vec<FnDecl>,
+}
+
+/// `global name: T;` or `global name: T = <literal>;`
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDecl {
+    /// Variable name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// Optional constant initializer.
+    pub init: Option<Expr>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A function declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnDecl {
+    /// Function name.
+    pub name: String,
+    /// Parameter names and types.
+    pub params: Vec<(String, Type)>,
+    /// Return type (may be [`Type::Void`]).
+    pub ret: Type,
+    /// Attributes such as `no_instrument`.
+    pub attrs: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source line of the `fn` keyword.
+    pub line: u32,
+}
+
+impl FnDecl {
+    /// Whether the function carries the given attribute.
+    pub fn has_attr(&self, name: &str) -> bool {
+        self.attrs.iter().any(|a| a == name)
+    }
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `let name: T = expr;`
+    Let {
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: Type,
+        /// Initializer expression.
+        init: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `lvalue = expr;`
+    Assign {
+        /// Assignment target.
+        target: LValue,
+        /// Right-hand side.
+        expr: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `if (cond) {..} else {..}`
+    If {
+        /// Condition (int-typed; nonzero is true).
+        cond: Expr,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Else branch (empty if absent).
+        else_body: Vec<Stmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// `while (cond) {..}`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// `for (init; cond; step) {..}`. Kept as a distinct variant (not
+    /// desugared to `while`) so that `continue` correctly executes `step`.
+    For {
+        /// Loop-scoped initializer (`let` or assignment), if any.
+        init: Option<Box<Stmt>>,
+        /// Loop condition; absent means infinite.
+        cond: Option<Expr>,
+        /// Step statement run after each iteration and on `continue`.
+        step: Option<Box<Stmt>>,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// `return;` or `return expr;`
+    Return {
+        /// Returned value; `None` for void functions.
+        expr: Option<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `break;`
+    Break {
+        /// Source line.
+        line: u32,
+    },
+    /// `continue;`
+    Continue {
+        /// Source line.
+        line: u32,
+    },
+    /// An expression evaluated for effect, e.g. a call.
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// A nested block with its own scope.
+    Block {
+        /// Statements in the block.
+        body: Vec<Stmt>,
+        /// Source line.
+        line: u32,
+    },
+}
+
+/// Assignable places.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A named local or global variable.
+    Var(String),
+    /// `array[index]`
+    Index(Box<Expr>, Box<Expr>),
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    And,
+    /// `||` (short-circuit)
+    Or,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>` (arithmetic)
+    Shr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (int → int).
+    Not,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (type `[int]`, interned at load time).
+    Str(String),
+    /// Variable reference.
+    Var(String, u32),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        operand: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Function or builtin call.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `array[index]`
+    Index {
+        /// The array expression.
+        array: Box<Expr>,
+        /// The index expression.
+        index: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+}
+
+impl Expr {
+    /// The source line of this expression (0 for literals, which never fail).
+    pub fn line(&self) -> u32 {
+        match self {
+            Expr::Int(_) | Expr::Float(_) | Expr::Str(_) => 0,
+            Expr::Var(_, line) => *line,
+            Expr::Binary { line, .. }
+            | Expr::Unary { line, .. }
+            | Expr::Call { line, .. }
+            | Expr::Index { line, .. } => *line,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_display() {
+        assert_eq!(Type::Int.to_string(), "int");
+        assert_eq!(Type::Array(Box::new(Type::Float)).to_string(), "[float]");
+        assert_eq!(
+            Type::Array(Box::new(Type::Array(Box::new(Type::Int)))).to_string(),
+            "[[int]]"
+        );
+    }
+
+    #[test]
+    fn fn_attr_lookup() {
+        let f = FnDecl {
+            name: "f".into(),
+            params: vec![],
+            ret: Type::Void,
+            attrs: vec!["no_instrument".into()],
+            body: vec![],
+            line: 1,
+        };
+        assert!(f.has_attr("no_instrument"));
+        assert!(!f.has_attr("inline"));
+    }
+}

@@ -1,0 +1,154 @@
+//! Builtin functions callable from Mini-C.
+//!
+//! Builtins cover what a libc + pthreads + syscall layer gives a C program:
+//! memory allocation, math, printing, threads, atomics and the syscalls the
+//! TEE-Perf evaluation workloads exercise (`getpid`, timestamps).
+
+use crate::ast::Type;
+
+/// The builtin functions of the Mini-C runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Builtin {
+    /// `alloc(n: int) -> [T]` — allocate a zeroed array; `T` comes from the
+    /// surrounding type context (checker special case).
+    Alloc,
+    /// `len(a: [T]) -> int` — array length (checker special case).
+    Len,
+    /// `itof(i: int) -> float`
+    Itof,
+    /// `ftoi(f: float) -> int` — truncating conversion.
+    Ftoi,
+    /// `sqrt(f: float) -> float`
+    Sqrt,
+    /// `fabs(f: float) -> float`
+    Fabs,
+    /// `floor(f: float) -> float`
+    Floor,
+    /// `print_int(i: int)`
+    PrintInt,
+    /// `print_float(f: float)`
+    PrintFloat,
+    /// `print_str(s: [int])`
+    PrintStr,
+    /// `spawn(f, arg: int) -> int` — start a VM thread running `f(arg)`
+    /// where `f: fn(int) -> int`; returns a thread id (checker special case).
+    Spawn,
+    /// `join(tid: int) -> int` — wait for a thread, returning its result.
+    Join,
+    /// `atomic_add(a: [int], idx: int, delta: int) -> int` — atomic
+    /// fetch-and-add on an array cell, returning the previous value.
+    AtomicAdd,
+    /// `getpid() -> int` — via the (ocall-mediated) syscall layer.
+    Getpid,
+    /// `now() -> int` — timestamp-counter read via the syscall layer.
+    Now,
+    /// `assert(cond: int)` — trap if `cond` is zero.
+    Assert,
+}
+
+impl Builtin {
+    /// Look up a builtin by its Mini-C surface name.
+    pub fn by_name(name: &str) -> Option<Builtin> {
+        Some(match name {
+            "alloc" => Builtin::Alloc,
+            "len" => Builtin::Len,
+            "itof" => Builtin::Itof,
+            "ftoi" => Builtin::Ftoi,
+            "sqrt" => Builtin::Sqrt,
+            "fabs" => Builtin::Fabs,
+            "floor" => Builtin::Floor,
+            "print_int" => Builtin::PrintInt,
+            "print_float" => Builtin::PrintFloat,
+            "print_str" => Builtin::PrintStr,
+            "spawn" => Builtin::Spawn,
+            "join" => Builtin::Join,
+            "atomic_add" => Builtin::AtomicAdd,
+            "getpid" => Builtin::Getpid,
+            "now" => Builtin::Now,
+            "assert" => Builtin::Assert,
+            _ => return None,
+        })
+    }
+
+    /// The surface name of the builtin.
+    pub fn name(self) -> &'static str {
+        match self {
+            Builtin::Alloc => "alloc",
+            Builtin::Len => "len",
+            Builtin::Itof => "itof",
+            Builtin::Ftoi => "ftoi",
+            Builtin::Sqrt => "sqrt",
+            Builtin::Fabs => "fabs",
+            Builtin::Floor => "floor",
+            Builtin::PrintInt => "print_int",
+            Builtin::PrintFloat => "print_float",
+            Builtin::PrintStr => "print_str",
+            Builtin::Spawn => "spawn",
+            Builtin::Join => "join",
+            Builtin::AtomicAdd => "atomic_add",
+            Builtin::Getpid => "getpid",
+            Builtin::Now => "now",
+            Builtin::Assert => "assert",
+        }
+    }
+
+    /// Fixed (parameter types, return type) for builtins with monomorphic
+    /// signatures; `None` for the checker special cases (`alloc`, `len`,
+    /// `spawn`).
+    pub fn signature(self) -> Option<(&'static [Type], Type)> {
+        const INT: Type = Type::Int;
+        const FLOAT: Type = Type::Float;
+        Some(match self {
+            Builtin::Alloc | Builtin::Len | Builtin::Spawn => return None,
+            Builtin::Itof => (&[INT], FLOAT),
+            Builtin::Ftoi => (&[FLOAT], INT),
+            Builtin::Sqrt | Builtin::Fabs | Builtin::Floor => (&[FLOAT], FLOAT),
+            Builtin::PrintInt => (&[INT], Type::Void),
+            Builtin::PrintFloat => (&[FLOAT], Type::Void),
+            Builtin::Join => (&[INT], INT),
+            Builtin::Getpid | Builtin::Now => (&[], INT),
+            Builtin::Assert => (&[INT], Type::Void),
+            Builtin::PrintStr | Builtin::AtomicAdd => return None, // array params
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Builtin; 16] = [
+        Builtin::Alloc,
+        Builtin::Len,
+        Builtin::Itof,
+        Builtin::Ftoi,
+        Builtin::Sqrt,
+        Builtin::Fabs,
+        Builtin::Floor,
+        Builtin::PrintInt,
+        Builtin::PrintFloat,
+        Builtin::PrintStr,
+        Builtin::Spawn,
+        Builtin::Join,
+        Builtin::AtomicAdd,
+        Builtin::Getpid,
+        Builtin::Now,
+        Builtin::Assert,
+    ];
+
+    #[test]
+    fn names_round_trip() {
+        for b in ALL {
+            assert_eq!(Builtin::by_name(b.name()), Some(b));
+        }
+        assert_eq!(Builtin::by_name("malloc"), None);
+    }
+
+    #[test]
+    fn special_cases_have_no_fixed_signature() {
+        assert!(Builtin::Alloc.signature().is_none());
+        assert!(Builtin::Len.signature().is_none());
+        assert!(Builtin::Spawn.signature().is_none());
+        assert!(Builtin::Sqrt.signature().is_some());
+    }
+}

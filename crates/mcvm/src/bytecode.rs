@@ -1,0 +1,246 @@
+//! The Mini-C stack bytecode.
+//!
+//! Instructions carry only small scalar payloads so [`Instr`] is `Copy`;
+//! per-function constant data (strings) lives in the program's pools. Each
+//! function also carries a parallel `lines` table (one source line per
+//! instruction) — the moral equivalent of DWARF line info, consumed by the
+//! analyzer via [`crate::debuginfo`].
+
+use crate::builtins::Builtin;
+use crate::debuginfo::DebugInfo;
+use crate::value::Value;
+
+/// Comparison operators shared by `ICmp`/`FCmp`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// One bytecode instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Instr {
+    /// Push an integer constant.
+    PushInt(i64),
+    /// Push a float constant.
+    PushFloat(f64),
+    /// Push the interned string array with the given pool index.
+    PushStr(u32),
+    /// Push the null reference (the value of `void` expressions).
+    PushNull,
+    /// Push local slot.
+    LoadLocal(u16),
+    /// Pop into local slot.
+    StoreLocal(u16),
+    /// Push global.
+    LoadGlobal(u16),
+    /// Pop into global.
+    StoreGlobal(u16),
+    /// Pop index, pop array ref, push element.
+    LoadIndex,
+    /// Pop value, pop index, pop array ref, store element.
+    StoreIndex,
+    /// Integer add.
+    IAdd,
+    /// Integer subtract.
+    ISub,
+    /// Integer multiply.
+    IMul,
+    /// Integer divide (traps on zero / overflow).
+    IDiv,
+    /// Integer remainder (traps on zero).
+    IRem,
+    /// Integer negate.
+    INeg,
+    /// Float add.
+    FAdd,
+    /// Float subtract.
+    FSub,
+    /// Float multiply.
+    FMul,
+    /// Float divide.
+    FDiv,
+    /// Float negate.
+    FNeg,
+    /// Bitwise and.
+    BitAnd,
+    /// Bitwise or.
+    BitOr,
+    /// Bitwise xor.
+    BitXor,
+    /// Shift left (modulo 64).
+    Shl,
+    /// Arithmetic shift right (modulo 64).
+    Shr,
+    /// Integer comparison; pushes 0/1.
+    ICmp(CmpOp),
+    /// Float comparison; pushes 0/1.
+    FCmp(CmpOp),
+    /// Logical not: 0 → 1, nonzero → 0.
+    Not,
+    /// int → float conversion.
+    Itof,
+    /// float → int truncating conversion.
+    Ftoi,
+    /// Unconditional jump to instruction index.
+    Jump(u32),
+    /// Pop; jump if zero.
+    JumpIfFalse(u32),
+    /// Pop; jump if nonzero.
+    JumpIfTrue(u32),
+    /// Call user function by index (argument count from the function table).
+    Call(u16),
+    /// Call a builtin.
+    CallBuiltin(Builtin),
+    /// Return the top of stack to the caller.
+    Ret,
+    /// Discard the top of stack.
+    Pop,
+    /// Profiling hook injected by the instrumentation pass at function entry
+    /// (TEE-Perf's `__cyg_profile_func_enter`).
+    ProfEnter(u16),
+    /// Profiling hook injected before every return
+    /// (TEE-Perf's `__cyg_profile_func_exit`).
+    ProfExit(u16),
+}
+
+impl Instr {
+    /// Whether this instruction is a profiling hook injected by the
+    /// instrumentation pass.
+    pub fn is_hook(self) -> bool {
+        matches!(self, Instr::ProfEnter(_) | Instr::ProfExit(_))
+    }
+
+    /// The jump target, if this is a branch instruction.
+    pub fn jump_target(self) -> Option<u32> {
+        match self {
+            Instr::Jump(t) | Instr::JumpIfFalse(t) | Instr::JumpIfTrue(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Returns a copy with the jump target replaced (panics if not a branch).
+    ///
+    /// # Panics
+    /// Panics when called on a non-branch instruction.
+    pub fn with_jump_target(self, target: u32) -> Instr {
+        match self {
+            Instr::Jump(_) => Instr::Jump(target),
+            Instr::JumpIfFalse(_) => Instr::JumpIfFalse(target),
+            Instr::JumpIfTrue(_) => Instr::JumpIfTrue(target),
+            other => panic!("with_jump_target on non-branch {other:?}"),
+        }
+    }
+}
+
+/// Compiled code and metadata for one function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnCode {
+    /// Source-level name.
+    pub name: String,
+    /// Number of parameters (occupying locals `0..n_params`).
+    pub n_params: u16,
+    /// Total local slots.
+    pub n_locals: u16,
+    /// Whether the function was declared `@no_instrument`.
+    pub no_instrument: bool,
+    /// The instruction stream.
+    pub code: Vec<Instr>,
+    /// Source line of each instruction (parallel to `code`).
+    pub lines: Vec<u32>,
+    /// Source line of the declaration.
+    pub decl_line: u32,
+}
+
+/// An initial value for one global variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalSlot {
+    /// Source-level name (used by the host-side input injection API).
+    pub name: String,
+    /// Initial value (a zero of the declared type unless initialized).
+    pub init: Value,
+}
+
+/// A fully compiled (and possibly instrumented) Mini-C program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledProgram {
+    /// Functions; index = function id used by `Call`.
+    pub functions: Vec<FnCode>,
+    /// Global variables; index = id used by `LoadGlobal`/`StoreGlobal`.
+    pub globals: Vec<GlobalSlot>,
+    /// Interned string constants (byte values).
+    pub strings: Vec<Vec<i64>>,
+    /// Index of `main`, if present.
+    pub main: Option<u16>,
+    /// Virtual text addresses and symbol table.
+    pub debug: DebugInfo,
+}
+
+impl CompiledProgram {
+    /// Look up a function id by name.
+    pub fn function_index(&self, name: &str) -> Option<u16> {
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| i as u16)
+    }
+
+    /// Look up a global id by name.
+    pub fn global_index(&self, name: &str) -> Option<u16> {
+        self.globals
+            .iter()
+            .position(|g| g.name == name)
+            .map(|i| i as u16)
+    }
+
+    /// Total instruction count across all functions.
+    pub fn instruction_count(&self) -> usize {
+        self.functions.iter().map(|f| f.code.len()).sum()
+    }
+
+    /// Rebuild [`DebugInfo`] from the current code — must be called after
+    /// any pass that changes code lengths (e.g. instrumentation).
+    pub fn rebuild_debug_info(&mut self) {
+        self.debug = DebugInfo::from_functions(
+            self.functions
+                .iter()
+                .map(|f| (f.name.as_str(), f.code.len() as u64, f.decl_line)),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hook_detection() {
+        assert!(Instr::ProfEnter(0).is_hook());
+        assert!(Instr::ProfExit(3).is_hook());
+        assert!(!Instr::Ret.is_hook());
+    }
+
+    #[test]
+    fn jump_target_accessors() {
+        assert_eq!(Instr::Jump(7).jump_target(), Some(7));
+        assert_eq!(Instr::JumpIfFalse(2).jump_target(), Some(2));
+        assert_eq!(Instr::IAdd.jump_target(), None);
+        assert_eq!(Instr::Jump(1).with_jump_target(9), Instr::Jump(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-branch")]
+    fn with_jump_target_panics_on_non_branch() {
+        let _ = Instr::Pop.with_jump_target(0);
+    }
+}

@@ -1,0 +1,1114 @@
+//! Type checker and name resolver: AST → typed AST.
+//!
+//! The typed AST resolves every name to a slot (locals), index (globals,
+//! functions, string pool) and annotates every expression with its type, so
+//! lowering is a mechanical walk.
+
+use std::collections::HashMap;
+
+use crate::ast::{BinOp, Expr, FnDecl, LValue, Program, Stmt, Type, UnOp};
+use crate::builtins::Builtin;
+use crate::error::McError;
+
+/// A constant initializer for a global.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConstInit {
+    /// Integer constant.
+    Int(i64),
+    /// Float constant.
+    Float(f64),
+}
+
+/// A checked global variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TGlobal {
+    /// Source name.
+    pub name: String,
+    /// Resolved type.
+    pub ty: Type,
+    /// Constant initializer, if declared with one.
+    pub init: Option<ConstInit>,
+}
+
+/// A checked function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TFunction {
+    /// Source name.
+    pub name: String,
+    /// Parameter types (names are gone; parameters occupy locals `0..n`).
+    pub params: Vec<Type>,
+    /// Return type.
+    pub ret: Type,
+    /// Attributes (`no_instrument`, …) verbatim from source.
+    pub attrs: Vec<String>,
+    /// Checked body.
+    pub body: Vec<TStmt>,
+    /// Total number of local slots, parameters included.
+    pub n_locals: u16,
+    /// Source line of the declaration.
+    pub line: u32,
+}
+
+impl TFunction {
+    /// Whether the function carries the given attribute.
+    pub fn has_attr(&self, name: &str) -> bool {
+        self.attrs.iter().any(|a| a == name)
+    }
+}
+
+/// A checked program, ready for lowering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypedProgram {
+    /// Globals in declaration order; index = global id.
+    pub globals: Vec<TGlobal>,
+    /// Functions in declaration order; index = function id.
+    pub functions: Vec<TFunction>,
+    /// Interned string literals as byte values.
+    pub strings: Vec<Vec<i64>>,
+    /// Index of `main`, if present.
+    pub main: Option<u16>,
+}
+
+/// Checked statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TStmt {
+    /// Initialize local `slot`.
+    Let {
+        /// Destination local slot.
+        slot: u16,
+        /// Initializer.
+        init: TExpr,
+    },
+    /// `local = expr`
+    AssignLocal {
+        /// Destination local slot.
+        slot: u16,
+        /// Right-hand side.
+        expr: TExpr,
+    },
+    /// `global = expr`
+    AssignGlobal {
+        /// Destination global index.
+        idx: u16,
+        /// Right-hand side.
+        expr: TExpr,
+    },
+    /// `array[index] = value`
+    AssignIndex {
+        /// The array expression.
+        array: TExpr,
+        /// The index expression.
+        index: TExpr,
+        /// The stored value.
+        value: TExpr,
+    },
+    /// Two-way branch.
+    If {
+        /// Condition (int).
+        cond: TExpr,
+        /// Then branch.
+        then_body: Vec<TStmt>,
+        /// Else branch.
+        else_body: Vec<TStmt>,
+    },
+    /// While loop.
+    While {
+        /// Condition (int).
+        cond: TExpr,
+        /// Body.
+        body: Vec<TStmt>,
+    },
+    /// For loop (kept structured so `continue` runs `step`).
+    For {
+        /// Optional initializer.
+        init: Option<Box<TStmt>>,
+        /// Optional condition.
+        cond: Option<TExpr>,
+        /// Optional step.
+        step: Option<Box<TStmt>>,
+        /// Body.
+        body: Vec<TStmt>,
+    },
+    /// Return from the function.
+    Return(Option<TExpr>),
+    /// Break out of the innermost loop.
+    Break,
+    /// Continue the innermost loop.
+    Continue,
+    /// Expression statement (value discarded).
+    Expr(TExpr),
+    /// Nested scope.
+    Block(Vec<TStmt>),
+}
+
+/// A typed expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TExpr {
+    /// Static type.
+    pub ty: Type,
+    /// Node payload.
+    pub kind: TExprKind,
+    /// Source line.
+    pub line: u32,
+}
+
+/// Typed expression payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TExprKind {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String-pool reference.
+    Str(u32),
+    /// Local slot read.
+    Local(u16),
+    /// Global read.
+    Global(u16),
+    /// Binary operation (operand types equal `lhs.ty`).
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<TExpr>,
+        /// Right operand.
+        rhs: Box<TExpr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        operand: Box<TExpr>,
+    },
+    /// Call to a user function.
+    CallFn {
+        /// Function index.
+        idx: u16,
+        /// Arguments.
+        args: Vec<TExpr>,
+    },
+    /// Call to a builtin with a fixed signature.
+    CallBuiltin {
+        /// Which builtin.
+        builtin: Builtin,
+        /// Arguments.
+        args: Vec<TExpr>,
+    },
+    /// `spawn(f, arg)` with the target resolved.
+    Spawn {
+        /// Thread entry function index.
+        fn_idx: u16,
+        /// Argument passed to the entry function.
+        arg: Box<TExpr>,
+    },
+    /// `alloc(count)` with the element type resolved from context
+    /// (`self.ty` is the array type).
+    Alloc {
+        /// Number of elements.
+        count: Box<TExpr>,
+    },
+    /// `array[index]` read.
+    Index {
+        /// The array.
+        array: Box<TExpr>,
+        /// The index.
+        index: Box<TExpr>,
+    },
+}
+
+struct FnSig {
+    idx: u16,
+    params: Vec<Type>,
+    ret: Type,
+}
+
+struct Checker<'a> {
+    fns: HashMap<String, FnSig>,
+    globals: HashMap<String, (u16, Type)>,
+    strings: Vec<Vec<i64>>,
+    string_ids: HashMap<String, u32>,
+    // per-function state
+    scopes: Vec<HashMap<String, (u16, Type)>>,
+    n_locals: u16,
+    current_ret: Type,
+    loop_depth: u32,
+    program: &'a Program,
+}
+
+fn terr(line: u32, msg: impl Into<String>) -> McError {
+    McError::Type {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// Type-check and resolve a parsed program.
+///
+/// # Errors
+/// Returns [`McError::Type`] on any type or name error.
+///
+/// ```
+/// use mcvm::{token::lex, parser::parse, check::check};
+/// let ast = parse(lex("fn main() -> int { return 1 + 2; }").unwrap()).unwrap();
+/// let typed = check(&ast).unwrap();
+/// assert_eq!(typed.main, Some(0));
+/// ```
+pub fn check(program: &Program) -> Result<TypedProgram, McError> {
+    let mut fns = HashMap::new();
+    for (i, f) in program.functions.iter().enumerate() {
+        if Builtin::by_name(&f.name).is_some() {
+            return Err(terr(f.line, format!("`{}` shadows a builtin", f.name)));
+        }
+        if fns
+            .insert(
+                f.name.clone(),
+                FnSig {
+                    idx: i as u16,
+                    params: f.params.iter().map(|(_, t)| t.clone()).collect(),
+                    ret: f.ret.clone(),
+                },
+            )
+            .is_some()
+        {
+            return Err(terr(f.line, format!("duplicate function `{}`", f.name)));
+        }
+    }
+    let mut globals = HashMap::new();
+    let mut tglobals = Vec::new();
+    for (i, g) in program.globals.iter().enumerate() {
+        if g.ty == Type::Void {
+            return Err(terr(g.line, "globals cannot have type `void`"));
+        }
+        if globals
+            .insert(g.name.clone(), (i as u16, g.ty.clone()))
+            .is_some()
+        {
+            return Err(terr(g.line, format!("duplicate global `{}`", g.name)));
+        }
+        let init = match &g.init {
+            None => None,
+            Some(Expr::Int(v)) if g.ty == Type::Int => Some(ConstInit::Int(*v)),
+            Some(Expr::Float(v)) if g.ty == Type::Float => Some(ConstInit::Float(*v)),
+            Some(Expr::Unary {
+                op: UnOp::Neg,
+                operand,
+                ..
+            }) => match (&**operand, &g.ty) {
+                (Expr::Int(v), Type::Int) => Some(ConstInit::Int(-v)),
+                (Expr::Float(v), Type::Float) => Some(ConstInit::Float(-v)),
+                _ => {
+                    return Err(terr(
+                        g.line,
+                        "global initializers must be literals of the declared type",
+                    ))
+                }
+            },
+            Some(_) => {
+                return Err(terr(
+                    g.line,
+                    "global initializers must be literals of the declared type",
+                ))
+            }
+        };
+        tglobals.push(TGlobal {
+            name: g.name.clone(),
+            ty: g.ty.clone(),
+            init,
+        });
+    }
+
+    let mut checker = Checker {
+        fns,
+        globals,
+        strings: Vec::new(),
+        string_ids: HashMap::new(),
+        scopes: Vec::new(),
+        n_locals: 0,
+        current_ret: Type::Void,
+        loop_depth: 0,
+        program,
+    };
+
+    let mut tfunctions = Vec::new();
+    for f in &program.functions {
+        tfunctions.push(checker.check_fn(f)?);
+    }
+
+    let main = checker.fns.get("main").map(|s| s.idx);
+    if let Some(idx) = main {
+        let f = &tfunctions[idx as usize];
+        if !f.params.is_empty() || f.ret != Type::Int {
+            return Err(terr(f.line, "`main` must have signature `fn main() -> int`"));
+        }
+    }
+
+    Ok(TypedProgram {
+        globals: tglobals,
+        functions: tfunctions,
+        strings: checker.strings,
+        main,
+    })
+}
+
+impl<'a> Checker<'a> {
+    fn check_fn(&mut self, f: &FnDecl) -> Result<TFunction, McError> {
+        self.scopes.clear();
+        self.scopes.push(HashMap::new());
+        self.n_locals = 0;
+        self.current_ret = f.ret.clone();
+        self.loop_depth = 0;
+        for (name, ty) in &f.params {
+            if *ty == Type::Void {
+                return Err(terr(f.line, "parameters cannot have type `void`"));
+            }
+            let slot = self.n_locals;
+            self.n_locals += 1;
+            if self
+                .scopes
+                .last_mut()
+                .expect("scope stack non-empty")
+                .insert(name.clone(), (slot, ty.clone()))
+                .is_some()
+            {
+                return Err(terr(f.line, format!("duplicate parameter `{name}`")));
+            }
+        }
+        let body = self.check_block(&f.body)?;
+        if f.ret != Type::Void && !Self::returns_always(&body) {
+            return Err(terr(
+                f.line,
+                format!("function `{}` may finish without returning a value", f.name),
+            ));
+        }
+        Ok(TFunction {
+            name: f.name.clone(),
+            params: f.params.iter().map(|(_, t)| t.clone()).collect(),
+            ret: f.ret.clone(),
+            attrs: f.attrs.clone(),
+            body,
+            n_locals: self.n_locals,
+            line: f.line,
+        })
+    }
+
+    fn returns_always(body: &[TStmt]) -> bool {
+        body.iter().any(|s| match s {
+            TStmt::Return(_) => true,
+            TStmt::If {
+                then_body,
+                else_body,
+                ..
+            } => Self::returns_always(then_body) && Self::returns_always(else_body),
+            TStmt::Block(b) => Self::returns_always(b),
+            // An infinite loop that never breaks also "returns" for our
+            // purposes only if it cannot fall through; we stay conservative.
+            _ => false,
+        })
+    }
+
+    fn lookup_var(&self, name: &str) -> Option<(bool, u16, Type)> {
+        for scope in self.scopes.iter().rev() {
+            if let Some((slot, ty)) = scope.get(name) {
+                return Some((true, *slot, ty.clone()));
+            }
+        }
+        self.globals
+            .get(name)
+            .map(|(idx, ty)| (false, *idx, ty.clone()))
+    }
+
+    fn declare_local(&mut self, name: &str, ty: Type, line: u32) -> Result<u16, McError> {
+        if ty == Type::Void {
+            return Err(terr(line, "variables cannot have type `void`"));
+        }
+        let slot = self.n_locals;
+        self.n_locals = self
+            .n_locals
+            .checked_add(1)
+            .ok_or_else(|| terr(line, "too many locals"))?;
+        let scope = self.scopes.last_mut().expect("scope stack non-empty");
+        if scope.insert(name.to_string(), (slot, ty)).is_some() {
+            return Err(terr(line, format!("`{name}` already declared in this scope")));
+        }
+        Ok(slot)
+    }
+
+    fn check_block(&mut self, body: &[Stmt]) -> Result<Vec<TStmt>, McError> {
+        self.scopes.push(HashMap::new());
+        let result = body.iter().map(|s| self.check_stmt(s)).collect();
+        self.scopes.pop();
+        result
+    }
+
+    fn check_stmt(&mut self, stmt: &Stmt) -> Result<TStmt, McError> {
+        match stmt {
+            Stmt::Let {
+                name,
+                ty,
+                init,
+                line,
+            } => {
+                let init = self.check_expr(init, Some(ty))?;
+                if init.ty != *ty {
+                    return Err(terr(
+                        *line,
+                        format!("`{name}` declared `{ty}` but initialized with `{}`", init.ty),
+                    ));
+                }
+                let slot = self.declare_local(name, ty.clone(), *line)?;
+                Ok(TStmt::Let { slot, init })
+            }
+            Stmt::Assign { target, expr, line } => match target {
+                LValue::Var(name) => {
+                    let (is_local, idx, ty) = self.lookup_var(name).ok_or_else(|| {
+                        terr(*line, format!("assignment to undeclared variable `{name}`"))
+                    })?;
+                    let expr = self.check_expr(expr, Some(&ty))?;
+                    if expr.ty != ty {
+                        return Err(terr(
+                            *line,
+                            format!("cannot assign `{}` to `{name}: {ty}`", expr.ty),
+                        ));
+                    }
+                    Ok(if is_local {
+                        TStmt::AssignLocal { slot: idx, expr }
+                    } else {
+                        TStmt::AssignGlobal { idx, expr }
+                    })
+                }
+                LValue::Index(array, index) => {
+                    let array = self.check_expr(array, None)?;
+                    let Type::Array(elem) = array.ty.clone() else {
+                        return Err(terr(*line, format!("cannot index `{}`", array.ty)));
+                    };
+                    let index = self.check_expr(index, Some(&Type::Int))?;
+                    if index.ty != Type::Int {
+                        return Err(terr(*line, "array index must be `int`"));
+                    }
+                    let value = self.check_expr(expr, Some(&elem))?;
+                    if value.ty != *elem {
+                        return Err(terr(
+                            *line,
+                            format!("cannot store `{}` into `[{elem}]`", value.ty),
+                        ));
+                    }
+                    Ok(TStmt::AssignIndex {
+                        array,
+                        index,
+                        value,
+                    })
+                }
+            },
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                line,
+            } => {
+                let cond = self.check_expr(cond, Some(&Type::Int))?;
+                if cond.ty != Type::Int {
+                    return Err(terr(*line, "condition must be `int`"));
+                }
+                Ok(TStmt::If {
+                    cond,
+                    then_body: self.check_block(then_body)?,
+                    else_body: self.check_block(else_body)?,
+                })
+            }
+            Stmt::While { cond, body, line } => {
+                let cond = self.check_expr(cond, Some(&Type::Int))?;
+                if cond.ty != Type::Int {
+                    return Err(terr(*line, "condition must be `int`"));
+                }
+                self.loop_depth += 1;
+                let body = self.check_block(body);
+                self.loop_depth -= 1;
+                Ok(TStmt::While { cond, body: body? })
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                line,
+            } => {
+                // The header's `let` scopes over cond/step/body.
+                self.scopes.push(HashMap::new());
+                let result = (|| {
+                    let init = init
+                        .as_ref()
+                        .map(|s| self.check_stmt(s).map(Box::new))
+                        .transpose()?;
+                    let cond = cond
+                        .as_ref()
+                        .map(|c| {
+                            let c = self.check_expr(c, Some(&Type::Int))?;
+                            if c.ty != Type::Int {
+                                return Err(terr(*line, "for-condition must be `int`"));
+                            }
+                            Ok(c)
+                        })
+                        .transpose()?;
+                    let step = step
+                        .as_ref()
+                        .map(|s| self.check_stmt(s).map(Box::new))
+                        .transpose()?;
+                    self.loop_depth += 1;
+                    let body = self.check_block(body);
+                    self.loop_depth -= 1;
+                    Ok(TStmt::For {
+                        init,
+                        cond,
+                        step,
+                        body: body?,
+                    })
+                })();
+                self.scopes.pop();
+                result
+            }
+            Stmt::Return { expr, line } => {
+                match (expr, self.current_ret.clone()) {
+                    (None, Type::Void) => Ok(TStmt::Return(None)),
+                    (None, ret) => Err(terr(*line, format!("must return a value of type `{ret}`"))),
+                    (Some(_), Type::Void) => {
+                        Err(terr(*line, "void function cannot return a value"))
+                    }
+                    (Some(e), ret) => {
+                        let e = self.check_expr(e, Some(&ret))?;
+                        if e.ty != ret {
+                            return Err(terr(
+                                *line,
+                                format!("returning `{}` from a function returning `{ret}`", e.ty),
+                            ));
+                        }
+                        Ok(TStmt::Return(Some(e)))
+                    }
+                }
+            }
+            Stmt::Break { line } => {
+                if self.loop_depth == 0 {
+                    return Err(terr(*line, "`break` outside a loop"));
+                }
+                Ok(TStmt::Break)
+            }
+            Stmt::Continue { line } => {
+                if self.loop_depth == 0 {
+                    return Err(terr(*line, "`continue` outside a loop"));
+                }
+                Ok(TStmt::Continue)
+            }
+            Stmt::Expr { expr, .. } => Ok(TStmt::Expr(self.check_expr(expr, None)?)),
+            Stmt::Block { body, .. } => Ok(TStmt::Block(self.check_block(body)?)),
+        }
+    }
+
+    fn intern_string(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.string_ids.get(s) {
+            return id;
+        }
+        let id = self.strings.len() as u32;
+        self.strings.push(s.bytes().map(i64::from).collect());
+        self.string_ids.insert(s.to_string(), id);
+        id
+    }
+
+    fn check_expr(&mut self, expr: &Expr, expected: Option<&Type>) -> Result<TExpr, McError> {
+        let line = expr.line();
+        match expr {
+            Expr::Int(v) => Ok(TExpr {
+                ty: Type::Int,
+                kind: TExprKind::Int(*v),
+                line,
+            }),
+            Expr::Float(v) => Ok(TExpr {
+                ty: Type::Float,
+                kind: TExprKind::Float(*v),
+                line,
+            }),
+            Expr::Str(s) => {
+                let id = self.intern_string(s);
+                Ok(TExpr {
+                    ty: Type::Array(Box::new(Type::Int)),
+                    kind: TExprKind::Str(id),
+                    line,
+                })
+            }
+            Expr::Var(name, line) => {
+                let (is_local, idx, ty) = self
+                    .lookup_var(name)
+                    .ok_or_else(|| terr(*line, format!("undeclared variable `{name}`")))?;
+                Ok(TExpr {
+                    ty,
+                    kind: if is_local {
+                        TExprKind::Local(idx)
+                    } else {
+                        TExprKind::Global(idx)
+                    },
+                    line: *line,
+                })
+            }
+            Expr::Unary { op, operand, line } => {
+                let operand = self.check_expr(operand, expected)?;
+                let ty = match (op, &operand.ty) {
+                    (UnOp::Neg, Type::Int) => Type::Int,
+                    (UnOp::Neg, Type::Float) => Type::Float,
+                    (UnOp::Not, Type::Int) => Type::Int,
+                    (op, ty) => {
+                        return Err(terr(*line, format!("cannot apply {op:?} to `{ty}`")))
+                    }
+                };
+                Ok(TExpr {
+                    ty,
+                    kind: TExprKind::Unary {
+                        op: *op,
+                        operand: Box::new(operand),
+                    },
+                    line: *line,
+                })
+            }
+            Expr::Binary { op, lhs, rhs, line } => {
+                let lhs = self.check_expr(lhs, None)?;
+                let rhs = self.check_expr(rhs, None)?;
+                if lhs.ty != rhs.ty {
+                    return Err(terr(
+                        *line,
+                        format!("operands of {op:?} differ: `{}` vs `{}`", lhs.ty, rhs.ty),
+                    ));
+                }
+                let ty = match op {
+                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => match lhs.ty {
+                        Type::Int => Type::Int,
+                        Type::Float => Type::Float,
+                        ref t => return Err(terr(*line, format!("cannot apply {op:?} to `{t}`"))),
+                    },
+                    BinOp::Rem
+                    | BinOp::BitAnd
+                    | BinOp::BitOr
+                    | BinOp::BitXor
+                    | BinOp::Shl
+                    | BinOp::Shr
+                    | BinOp::And
+                    | BinOp::Or => {
+                        if lhs.ty != Type::Int {
+                            return Err(terr(
+                                *line,
+                                format!("{op:?} requires `int` operands, found `{}`", lhs.ty),
+                            ));
+                        }
+                        Type::Int
+                    }
+                    BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                        if !matches!(lhs.ty, Type::Int | Type::Float) {
+                            return Err(terr(
+                                *line,
+                                format!("cannot compare values of type `{}`", lhs.ty),
+                            ));
+                        }
+                        Type::Int
+                    }
+                };
+                Ok(TExpr {
+                    ty,
+                    kind: TExprKind::Binary {
+                        op: *op,
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                    },
+                    line: *line,
+                })
+            }
+            Expr::Index { array, index, line } => {
+                let array = self.check_expr(array, None)?;
+                let Type::Array(elem) = array.ty.clone() else {
+                    return Err(terr(*line, format!("cannot index `{}`", array.ty)));
+                };
+                let index = self.check_expr(index, Some(&Type::Int))?;
+                if index.ty != Type::Int {
+                    return Err(terr(*line, "array index must be `int`"));
+                }
+                Ok(TExpr {
+                    ty: *elem,
+                    kind: TExprKind::Index {
+                        array: Box::new(array),
+                        index: Box::new(index),
+                    },
+                    line: *line,
+                })
+            }
+            Expr::Call { name, args, line } => self.check_call(name, args, expected, *line),
+        }
+    }
+
+    fn check_call(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        expected: Option<&Type>,
+        line: u32,
+    ) -> Result<TExpr, McError> {
+        if let Some(b) = Builtin::by_name(name) {
+            return self.check_builtin(b, args, expected, line);
+        }
+        let Some(sig) = self.fns.get(name) else {
+            return Err(terr(line, format!("call to undefined function `{name}`")));
+        };
+        let (idx, params, ret) = (sig.idx, sig.params.clone(), sig.ret.clone());
+        if args.len() != params.len() {
+            return Err(terr(
+                line,
+                format!(
+                    "`{name}` expects {} argument(s), got {}",
+                    params.len(),
+                    args.len()
+                ),
+            ));
+        }
+        let mut targs = Vec::with_capacity(args.len());
+        for (a, p) in args.iter().zip(&params) {
+            let ta = self.check_expr(a, Some(p))?;
+            if ta.ty != *p {
+                return Err(terr(
+                    line,
+                    format!("argument to `{name}` has type `{}`, expected `{p}`", ta.ty),
+                ));
+            }
+            targs.push(ta);
+        }
+        Ok(TExpr {
+            ty: ret,
+            kind: TExprKind::CallFn { idx, args: targs },
+            line,
+        })
+    }
+
+    fn check_builtin(
+        &mut self,
+        b: Builtin,
+        args: &[Expr],
+        expected: Option<&Type>,
+        line: u32,
+    ) -> Result<TExpr, McError> {
+        match b {
+            Builtin::Alloc => {
+                let Some(Type::Array(_)) = expected else {
+                    return Err(terr(
+                        line,
+                        "`alloc` needs an array type from context (e.g. `let a: [int] = alloc(n);`)",
+                    ));
+                };
+                let expected = expected.expect("checked above").clone();
+                if args.len() != 1 {
+                    return Err(terr(line, "`alloc` takes exactly one argument"));
+                }
+                let count = self.check_expr(&args[0], Some(&Type::Int))?;
+                if count.ty != Type::Int {
+                    return Err(terr(line, "`alloc` count must be `int`"));
+                }
+                Ok(TExpr {
+                    ty: expected,
+                    kind: TExprKind::Alloc {
+                        count: Box::new(count),
+                    },
+                    line,
+                })
+            }
+            Builtin::Len => {
+                if args.len() != 1 {
+                    return Err(terr(line, "`len` takes exactly one argument"));
+                }
+                let a = self.check_expr(&args[0], None)?;
+                if !matches!(a.ty, Type::Array(_)) {
+                    return Err(terr(line, format!("`len` requires an array, got `{}`", a.ty)));
+                }
+                Ok(TExpr {
+                    ty: Type::Int,
+                    kind: TExprKind::CallBuiltin {
+                        builtin: b,
+                        args: vec![a],
+                    },
+                    line,
+                })
+            }
+            Builtin::Spawn => {
+                if args.len() != 2 {
+                    return Err(terr(line, "`spawn` takes a function name and an `int` argument"));
+                }
+                let Expr::Var(fname, _) = &args[0] else {
+                    return Err(terr(line, "first argument to `spawn` must be a function name"));
+                };
+                let Some(sig) = self.fns.get(fname) else {
+                    return Err(terr(line, format!("`spawn` of undefined function `{fname}`")));
+                };
+                if sig.params != [Type::Int] || sig.ret != Type::Int {
+                    return Err(terr(
+                        line,
+                        format!("`{fname}` must have signature `fn(int) -> int` to be spawned"),
+                    ));
+                }
+                let fn_idx = sig.idx;
+                let arg = self.check_expr(&args[1], Some(&Type::Int))?;
+                if arg.ty != Type::Int {
+                    return Err(terr(line, "`spawn` argument must be `int`"));
+                }
+                Ok(TExpr {
+                    ty: Type::Int,
+                    kind: TExprKind::Spawn {
+                        fn_idx,
+                        arg: Box::new(arg),
+                    },
+                    line,
+                })
+            }
+            Builtin::PrintStr => {
+                if args.len() != 1 {
+                    return Err(terr(line, "`print_str` takes exactly one argument"));
+                }
+                let a = self.check_expr(&args[0], None)?;
+                if a.ty != Type::Array(Box::new(Type::Int)) {
+                    return Err(terr(line, "`print_str` requires a `[int]` byte array"));
+                }
+                Ok(TExpr {
+                    ty: Type::Void,
+                    kind: TExprKind::CallBuiltin {
+                        builtin: b,
+                        args: vec![a],
+                    },
+                    line,
+                })
+            }
+            Builtin::AtomicAdd => {
+                if args.len() != 3 {
+                    return Err(terr(line, "`atomic_add` takes (array, index, delta)"));
+                }
+                let a = self.check_expr(&args[0], None)?;
+                if a.ty != Type::Array(Box::new(Type::Int)) {
+                    return Err(terr(line, "`atomic_add` requires a `[int]` array"));
+                }
+                let idx = self.check_expr(&args[1], Some(&Type::Int))?;
+                let delta = self.check_expr(&args[2], Some(&Type::Int))?;
+                if idx.ty != Type::Int || delta.ty != Type::Int {
+                    return Err(terr(line, "`atomic_add` index and delta must be `int`"));
+                }
+                Ok(TExpr {
+                    ty: Type::Int,
+                    kind: TExprKind::CallBuiltin {
+                        builtin: b,
+                        args: vec![a, idx, delta],
+                    },
+                    line,
+                })
+            }
+            _ => {
+                let (params, ret) = b.signature().expect("remaining builtins are monomorphic");
+                if args.len() != params.len() {
+                    return Err(terr(
+                        line,
+                        format!(
+                            "`{}` expects {} argument(s), got {}",
+                            b.name(),
+                            params.len(),
+                            args.len()
+                        ),
+                    ));
+                }
+                let mut targs = Vec::with_capacity(args.len());
+                for (a, p) in args.iter().zip(params) {
+                    let ta = self.check_expr(a, Some(p))?;
+                    if ta.ty != *p {
+                        return Err(terr(
+                            line,
+                            format!(
+                                "argument to `{}` has type `{}`, expected `{p}`",
+                                b.name(),
+                                ta.ty
+                            ),
+                        ));
+                    }
+                    targs.push(ta);
+                }
+                Ok(TExpr {
+                    ty: ret,
+                    kind: TExprKind::CallBuiltin {
+                        builtin: b,
+                        args: targs,
+                    },
+                    line,
+                })
+            }
+        }
+    }
+}
+
+// Silence an "unused field" lint: `program` is kept for future diagnostics
+// (e.g. source snippets in errors) and used in tests.
+impl<'a> Checker<'a> {
+    #[allow(dead_code)]
+    fn source_functions(&self) -> usize {
+        self.program.functions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::token::lex;
+
+    fn check_src(src: &str) -> Result<TypedProgram, McError> {
+        check(&parse(lex(src).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn minimal_main() {
+        let p = check_src("fn main() -> int { return 0; }").unwrap();
+        assert_eq!(p.main, Some(0));
+        assert_eq!(p.functions[0].n_locals, 0);
+    }
+
+    #[test]
+    fn locals_get_distinct_slots() {
+        let p = check_src("fn f(a: int) -> int { let b: int = 1; let c: int = 2; return a + b + c; }")
+            .unwrap();
+        assert_eq!(p.functions[0].n_locals, 3);
+    }
+
+    #[test]
+    fn shadowing_in_nested_scope_is_allowed() {
+        let p = check_src("fn f() -> int { let x: int = 1; { let x: int = 2; x = 3; } return x; }")
+            .unwrap();
+        assert_eq!(p.functions[0].n_locals, 2);
+    }
+
+    #[test]
+    fn duplicate_in_same_scope_rejected() {
+        assert!(check_src("fn f() { let x: int = 1; let x: int = 2; }").is_err());
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        assert!(check_src("fn f() { let x: int = 1.5; }").is_err());
+        assert!(check_src("fn f() { let x: float = 1; }").is_err());
+        assert!(check_src("fn f() -> int { return 1.0; }").is_err());
+        assert!(check_src("fn f() { let x: int = 1 + 2.0; }").is_err());
+    }
+
+    #[test]
+    fn float_modulo_rejected() {
+        assert!(check_src("fn f() -> float { return 1.0 % 2.0; }").is_err());
+    }
+
+    #[test]
+    fn alloc_infers_from_let_type() {
+        let p = check_src("fn f() { let a: [float] = alloc(4); a[0] = 1.5; }").unwrap();
+        let TStmt::Let { init, .. } = &p.functions[0].body[0] else {
+            panic!()
+        };
+        assert_eq!(init.ty, Type::Array(Box::new(Type::Float)));
+    }
+
+    #[test]
+    fn alloc_without_context_rejected() {
+        assert!(check_src("fn f() { alloc(4); }").is_err());
+        assert!(check_src("fn f() { let n: int = alloc(4); }").is_err());
+    }
+
+    #[test]
+    fn nested_array_alloc() {
+        check_src(
+            "fn f() { let m: [[int]] = alloc(2); m[0] = alloc(3); m[0][1] = 7; }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn string_literals_are_int_arrays_and_interned() {
+        let p = check_src(r#"fn f() -> int { let s: [int] = "ab"; let t: [int] = "ab"; return s[0] + t[1]; }"#)
+            .unwrap();
+        assert_eq!(p.strings.len(), 1);
+        assert_eq!(p.strings[0], vec![97, 98]);
+    }
+
+    #[test]
+    fn spawn_requires_worker_signature() {
+        assert!(check_src(
+            "fn w(x: int) -> int { return x; } fn f() -> int { return join(spawn(w, 3)); }"
+        )
+        .is_ok());
+        assert!(check_src(
+            "fn w(x: float) -> int { return 0; } fn f() -> int { return spawn(w, 3); }"
+        )
+        .is_err());
+        assert!(check_src("fn f() -> int { return spawn(nope, 3); }").is_err());
+    }
+
+    #[test]
+    fn missing_return_detected() {
+        assert!(check_src("fn f(x: int) -> int { if (x > 0) { return 1; } }").is_err());
+        assert!(check_src(
+            "fn f(x: int) -> int { if (x > 0) { return 1; } else { return 2; } }"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn break_outside_loop_rejected() {
+        assert!(check_src("fn f() { break; }").is_err());
+        assert!(check_src("fn f() { while (1) { break; } }").is_ok());
+    }
+
+    #[test]
+    fn main_signature_enforced() {
+        assert!(check_src("fn main(x: int) -> int { return x; }").is_err());
+        assert!(check_src("fn main() { }").is_err());
+    }
+
+    #[test]
+    fn builtin_shadowing_rejected() {
+        assert!(check_src("fn len(a: int) -> int { return a; }").is_err());
+    }
+
+    #[test]
+    fn global_initializers_must_be_literals() {
+        assert!(check_src("global x: int = 5; fn f() { }").is_ok());
+        assert!(check_src("global x: int = -5; fn f() { }").is_ok());
+        assert!(check_src("global x: int = 1 + 2; fn f() { }").is_err());
+        assert!(check_src("global x: float = 5; fn f() { }").is_err());
+    }
+
+    #[test]
+    fn undeclared_variable_rejected() {
+        assert!(check_src("fn f() -> int { return y; }").is_err());
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        assert!(check_src("fn g(a: int) -> int { return a; } fn f() -> int { return g(); }").is_err());
+        assert!(check_src("fn f() -> int { return len(); }").is_err());
+    }
+
+    #[test]
+    fn indexing_non_array_rejected() {
+        assert!(check_src("fn f() -> int { let x: int = 1; return x[0]; }").is_err());
+    }
+
+    #[test]
+    fn atomic_add_checks_types() {
+        assert!(check_src(
+            "global c: [int]; fn f() -> int { return atomic_add(c, 0, 1); }"
+        )
+        .is_ok());
+        assert!(check_src(
+            "global c: [float]; fn f() -> int { return atomic_add(c, 0, 1); }"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn for_header_let_scopes_over_body_only() {
+        assert!(check_src(
+            "fn f() -> int { for (let i: int = 0; i < 3; i = i + 1) { } return i; }"
+        )
+        .is_err());
+    }
+}

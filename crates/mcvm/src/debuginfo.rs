@@ -1,0 +1,244 @@
+//! DWARF-like debug information: virtual text addresses and a symbol table.
+//!
+//! The paper's analyzer correlates the instruction pointers recorded in the
+//! log with functions by reading the binary's symbol and DWARF information
+//! (via `addr2line`/`readelf`/`c++filt`). Our bytecode plays the role of the
+//! binary: each function is assigned a base address in a virtual text
+//! segment starting at [`tee_sim::ENCLAVE_TEXT_BASE`], every instruction
+//! occupies four bytes, and the symbol table can be serialized to a small
+//! text format (the "DWARF file") that travels with the recorded log.
+//!
+//! Names are stored *mangled* (`_MC<len><name>v`), so the analyzer gets to
+//! exercise a real demangling step like `c++filt` does.
+
+use tee_sim::ENCLAVE_TEXT_BASE;
+
+/// Bytes of virtual text occupied by one bytecode instruction.
+pub const INSTR_BYTES: u64 = 4;
+/// Alignment of function base addresses.
+const FN_ALIGN: u64 = 64;
+
+/// Symbol-table entry for one function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionInfo {
+    /// Demangled (source) name.
+    pub name: String,
+    /// Mangled name as stored in the "binary".
+    pub mangled: String,
+    /// Base virtual address of the function's first instruction.
+    pub base_addr: u64,
+    /// Size of the function in bytes of virtual text.
+    pub size: u64,
+    /// Source line of the declaration.
+    pub decl_line: u32,
+}
+
+impl FunctionInfo {
+    /// Whether `addr` falls inside this function.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.base_addr && addr < self.base_addr + self.size
+    }
+}
+
+/// Mangle a Mini-C function name (`main` → `_MC4mainv`).
+pub fn mangle(name: &str) -> String {
+    format!("_MC{}{}v", name.len(), name)
+}
+
+/// Demangle a name produced by [`mangle`]; returns `None` if the input is
+/// not a valid mangled Mini-C symbol.
+pub fn demangle(mangled: &str) -> Option<String> {
+    let rest = mangled.strip_prefix("_MC")?;
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    let len: usize = digits.parse().ok()?;
+    let rest = &rest[digits.len()..];
+    let name = rest.get(..len)?;
+    if &rest[len..] != "v" {
+        return None;
+    }
+    Some(name.to_string())
+}
+
+/// The symbol table plus address map for one compiled program.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DebugInfo {
+    functions: Vec<FunctionInfo>, // sorted by base_addr (construction order)
+}
+
+impl DebugInfo {
+    /// Assign addresses to functions given `(name, instruction_count,
+    /// decl_line)` triples in function-id order.
+    pub fn from_functions<'a, I>(fns: I) -> DebugInfo
+    where
+        I: IntoIterator<Item = (&'a str, u64, u32)>,
+    {
+        let mut base = ENCLAVE_TEXT_BASE;
+        let mut functions = Vec::new();
+        for (name, n_instrs, decl_line) in fns {
+            let size = (n_instrs.max(1)) * INSTR_BYTES;
+            functions.push(FunctionInfo {
+                name: name.to_string(),
+                mangled: mangle(name),
+                base_addr: base,
+                size,
+                decl_line,
+            });
+            base = (base + size).div_ceil(FN_ALIGN) * FN_ALIGN;
+        }
+        DebugInfo { functions }
+    }
+
+    /// All functions, ordered by function id (== ascending base address).
+    pub fn functions(&self) -> &[FunctionInfo] {
+        &self.functions
+    }
+
+    /// Entry (base) address of the function with the given id.
+    ///
+    /// # Panics
+    /// Panics if `fn_idx` is out of range.
+    pub fn entry_addr(&self, fn_idx: u16) -> u64 {
+        self.functions[fn_idx as usize].base_addr
+    }
+
+    /// Virtual address of instruction `ip` inside function `fn_idx`.
+    ///
+    /// # Panics
+    /// Panics if `fn_idx` is out of range.
+    pub fn instr_addr(&self, fn_idx: u16, ip: u32) -> u64 {
+        self.functions[fn_idx as usize].base_addr + u64::from(ip) * INSTR_BYTES
+    }
+
+    /// The function containing `addr`, if any (binary search — this is the
+    /// `addr2line` of the reproduction).
+    pub fn function_at(&self, addr: u64) -> Option<&FunctionInfo> {
+        let idx = self
+            .functions
+            .partition_point(|f| f.base_addr <= addr)
+            .checked_sub(1)?;
+        let f = &self.functions[idx];
+        f.contains(addr).then_some(f)
+    }
+
+    /// Serialize the symbol table to the text "DWARF file" format:
+    /// one `mangled base size line` row per function.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# teeperf symbols v1\n");
+        for f in &self.functions {
+            out.push_str(&format!(
+                "{} {:#x} {} {}\n",
+                f.mangled, f.base_addr, f.size, f.decl_line
+            ));
+        }
+        out
+    }
+
+    /// Parse the format produced by [`DebugInfo::to_text`]. Returns `None` on any
+    /// malformed row or header.
+    pub fn from_text(text: &str) -> Option<DebugInfo> {
+        let mut lines = text.lines();
+        if lines.next()? != "# teeperf symbols v1" {
+            return None;
+        }
+        let mut functions = Vec::new();
+        for row in lines {
+            if row.trim().is_empty() {
+                continue;
+            }
+            let mut parts = row.split_whitespace();
+            let mangled = parts.next()?.to_string();
+            let base_addr = parts.next()?.strip_prefix("0x").and_then(|h| {
+                u64::from_str_radix(h, 16).ok()
+            })?;
+            let size: u64 = parts.next()?.parse().ok()?;
+            let decl_line: u32 = parts.next()?.parse().ok()?;
+            if parts.next().is_some() {
+                return None;
+            }
+            let name = demangle(&mangled)?;
+            functions.push(FunctionInfo {
+                name,
+                mangled,
+                base_addr,
+                size,
+                decl_line,
+            });
+        }
+        functions.sort_by_key(|f| f.base_addr);
+        Some(DebugInfo { functions })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mangle_round_trip() {
+        for name in ["main", "f", "do_work_2", "a_very_long_function_name"] {
+            assert_eq!(demangle(&mangle(name)).as_deref(), Some(name));
+        }
+        assert_eq!(demangle("_MC3mainv"), None); // wrong length
+        assert_eq!(demangle("_ZN4mainE"), None); // wrong scheme
+        assert_eq!(demangle("_MC4main"), None); // missing suffix
+    }
+
+    fn sample() -> DebugInfo {
+        DebugInfo::from_functions([("main", 10, 1), ("helper", 3, 8), ("worker", 100, 20)])
+    }
+
+    #[test]
+    fn addresses_are_aligned_and_disjoint() {
+        let d = sample();
+        let fns = d.functions();
+        assert_eq!(fns[0].base_addr, ENCLAVE_TEXT_BASE);
+        for w in fns.windows(2) {
+            assert!(w[0].base_addr + w[0].size <= w[1].base_addr);
+            assert_eq!(w[1].base_addr % FN_ALIGN, 0);
+        }
+    }
+
+    #[test]
+    fn function_at_finds_containing_function() {
+        let d = sample();
+        let worker = &d.functions()[2];
+        assert_eq!(d.function_at(worker.base_addr).unwrap().name, "worker");
+        assert_eq!(
+            d.function_at(worker.base_addr + worker.size - 1).unwrap().name,
+            "worker"
+        );
+        assert_eq!(d.function_at(ENCLAVE_TEXT_BASE).unwrap().name, "main");
+        assert!(d.function_at(ENCLAVE_TEXT_BASE - 4).is_none());
+        assert!(d.function_at(worker.base_addr + worker.size).is_none());
+    }
+
+    #[test]
+    fn instr_addr_is_entry_plus_offset() {
+        let d = sample();
+        assert_eq!(d.instr_addr(1, 0), d.entry_addr(1));
+        assert_eq!(d.instr_addr(1, 2), d.entry_addr(1) + 8);
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let d = sample();
+        let text = d.to_text();
+        let parsed = DebugInfo::from_text(&text).unwrap();
+        assert_eq!(parsed, d);
+    }
+
+    #[test]
+    fn from_text_rejects_garbage() {
+        assert!(DebugInfo::from_text("nonsense").is_none());
+        assert!(DebugInfo::from_text("# teeperf symbols v1\nbad row here\n").is_none());
+        assert!(DebugInfo::from_text("# teeperf symbols v1\n_MC4mainv 0x400000 40 1 extra\n")
+            .is_none());
+    }
+
+    #[test]
+    fn empty_function_still_occupies_space() {
+        let d = DebugInfo::from_functions([("empty", 0, 1), ("next", 1, 2)]);
+        assert!(d.functions()[0].size >= INSTR_BYTES);
+        assert!(d.functions()[1].base_addr > d.functions()[0].base_addr);
+    }
+}

@@ -1,0 +1,88 @@
+//! Unified error type for the Mini-C pipeline and VM.
+
+use std::error::Error;
+use std::fmt;
+
+/// Any failure while lexing, parsing, type-checking or executing Mini-C.
+#[derive(Debug, Clone, PartialEq)]
+pub enum McError {
+    /// A lexical error (bad character, malformed literal).
+    Lex {
+        /// 1-based source line.
+        line: u32,
+        /// Description of the problem.
+        msg: String,
+    },
+    /// A syntax error.
+    Parse {
+        /// 1-based source line.
+        line: u32,
+        /// Description of the problem.
+        msg: String,
+    },
+    /// A type or name-resolution error.
+    Type {
+        /// 1-based source line.
+        line: u32,
+        /// Description of the problem.
+        msg: String,
+    },
+    /// A runtime trap inside the VM.
+    Runtime {
+        /// Description of the trap (division by zero, null reference, …).
+        msg: String,
+    },
+    /// The configured instruction budget was exhausted — the usual sign of
+    /// an accidental infinite loop in a workload.
+    InstructionBudget {
+        /// The budget that was exceeded.
+        budget: u64,
+    },
+}
+
+impl McError {
+    /// Convenience constructor for runtime traps.
+    pub fn runtime(msg: impl Into<String>) -> McError {
+        McError::Runtime { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for McError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            McError::Lex { line, msg } => write!(f, "lex error at line {line}: {msg}"),
+            McError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            McError::Type { line, msg } => write!(f, "type error at line {line}: {msg}"),
+            McError::Runtime { msg } => write!(f, "runtime error: {msg}"),
+            McError::InstructionBudget { budget } => {
+                write!(f, "instruction budget of {budget} exhausted")
+            }
+        }
+    }
+}
+
+impl Error for McError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = McError::Parse {
+            line: 12,
+            msg: "expected `)`".into(),
+        };
+        assert!(e.to_string().contains("line 12"));
+    }
+
+    #[test]
+    fn runtime_constructor() {
+        assert_eq!(
+            McError::runtime("null reference"),
+            McError::Runtime {
+                msg: "null reference".into()
+            }
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! # mcvm — the Mini-C language and virtual machine
+//!
+//! TEE-Perf's first stage is a *compiler pass* that recompiles an unmodified
+//! application with profiling hooks injected at every function call and
+//! return (`-finstrument-functions` in gcc/clang). To reproduce that stage
+//! faithfully — rather than mocking it — this crate provides a small but
+//! real compilation pipeline and execution substrate:
+//!
+//! * **Mini-C**, a C-like language with functions, `int`/`float`/array
+//!   types, loops, threads (`spawn`/`join`), atomics and syscalls;
+//! * a classic front end: lexer → parser → type checker;
+//! * a stack **bytecode** with per-function virtual text addresses and
+//!   DWARF-like [`debuginfo`];
+//! * a deterministic, multithreaded **interpreter** ([`vm::Vm`]) that
+//!   executes inside a [`tee_sim::Machine`], charging every instruction,
+//!   memory access and syscall to the simulated TEE.
+//!
+//! The instrumentation pass itself lives in the `teeperf-compiler` crate; it
+//! rewrites the bytecode produced here, exactly as the paper's pass rewrites
+//! the application during recompilation. The Phoenix benchmark suite
+//! (`phoenix` crate) is written in Mini-C.
+//!
+//! ```
+//! use mcvm::{compile, Vm};
+//! use tee_sim::{CostModel, Machine};
+//!
+//! let src = r#"
+//!     fn square(x: int) -> int { return x * x; }
+//!     fn main() -> int { return square(7); }
+//! "#;
+//! let program = compile(src)?;
+//! let mut vm = Vm::new(program, Machine::new(CostModel::native()));
+//! let exit = vm.run()?;
+//! assert_eq!(exit, 49);
+//! # Ok::<(), mcvm::McError>(())
+//! ```
+
+pub mod ast;
+pub mod builtins;
+pub mod bytecode;
+pub mod check;
+pub mod debuginfo;
+pub mod error;
+pub mod lower;
+pub mod objfile;
+pub mod parser;
+pub mod token;
+pub mod value;
+pub mod vm;
+
+pub use bytecode::{CompiledProgram, Instr};
+pub use check::TypedProgram;
+pub use debuginfo::{DebugInfo, FunctionInfo};
+pub use error::McError;
+pub use value::Value;
+pub use vm::{InstrObserver, ProfilerHooks, RunConfig, SampleCtx, Vm};
+
+/// Compile Mini-C source to executable bytecode (no instrumentation).
+///
+/// This is the plain `gcc -O3` path; the profiled path goes through
+/// `teeperf_compiler::compile_instrumented`.
+///
+/// # Errors
+/// Returns [`McError`] on lexical, syntax or type errors.
+pub fn compile(source: &str) -> Result<CompiledProgram, McError> {
+    let tokens = token::lex(source)?;
+    let program = parser::parse(tokens)?;
+    let typed = check::check(&program)?;
+    Ok(lower::lower(&typed))
+}

@@ -1,0 +1,527 @@
+//! Lowering: typed AST → stack bytecode.
+
+use crate::ast::{BinOp, Type, UnOp};
+use crate::builtins::Builtin;
+use crate::bytecode::{CmpOp, CompiledProgram, FnCode, GlobalSlot, Instr};
+use crate::check::{ConstInit, TExpr, TExprKind, TFunction, TStmt, TypedProgram};
+use crate::debuginfo::DebugInfo;
+use crate::value::Value;
+
+/// Element-kind codes pushed before `CallBuiltin(Alloc)` so the runtime
+/// knows what zero value to fill with.
+pub mod elem_code {
+    /// Fill with `Value::Int(0)`.
+    pub const INT: i64 = 0;
+    /// Fill with `Value::Float(0.0)`.
+    pub const FLOAT: i64 = 1;
+    /// Fill with `Value::Null` (array-of-array cells).
+    pub const REF: i64 = 2;
+}
+
+struct FnLowerer {
+    code: Vec<Instr>,
+    lines: Vec<u32>,
+    /// Stack of loops: (pending breaks, pending continues).
+    loops: Vec<(Vec<usize>, Vec<usize>)>,
+}
+
+/// Lower a checked program to bytecode (uninstrumented).
+pub fn lower(program: &TypedProgram) -> CompiledProgram {
+    let functions: Vec<FnCode> = program.functions.iter().map(lower_fn).collect();
+    let globals = program
+        .globals
+        .iter()
+        .map(|g| GlobalSlot {
+            name: g.name.clone(),
+            init: match (&g.init, &g.ty) {
+                (Some(ConstInit::Int(v)), _) => Value::Int(*v),
+                (Some(ConstInit::Float(v)), _) => Value::Float(*v),
+                (None, Type::Int) => Value::Int(0),
+                (None, Type::Float) => Value::Float(0.0),
+                (None, _) => Value::Null,
+            },
+        })
+        .collect();
+    let debug = DebugInfo::from_functions(
+        functions
+            .iter()
+            .map(|f| (f.name.as_str(), f.code.len() as u64, f.decl_line)),
+    );
+    CompiledProgram {
+        functions,
+        globals,
+        strings: program.strings.clone(),
+        main: program.main,
+        debug,
+    }
+}
+
+fn lower_fn(f: &TFunction) -> FnCode {
+    let mut l = FnLowerer {
+        code: Vec::new(),
+        lines: Vec::new(),
+        loops: Vec::new(),
+    };
+    for stmt in &f.body {
+        l.stmt(stmt);
+    }
+    // Fall-through epilogue. For non-void functions the checker proved this
+    // unreachable; for void functions it is the implicit `return;`.
+    l.emit(Instr::PushNull, f.line);
+    l.emit(Instr::Ret, f.line);
+    debug_assert!(l.loops.is_empty());
+    FnCode {
+        name: f.name.clone(),
+        n_params: f.params.len() as u16,
+        n_locals: f.n_locals,
+        no_instrument: f.has_attr("no_instrument"),
+        code: l.code,
+        lines: l.lines,
+        decl_line: f.line,
+    }
+}
+
+fn cmp_of(op: BinOp) -> CmpOp {
+    match op {
+        BinOp::Eq => CmpOp::Eq,
+        BinOp::Ne => CmpOp::Ne,
+        BinOp::Lt => CmpOp::Lt,
+        BinOp::Le => CmpOp::Le,
+        BinOp::Gt => CmpOp::Gt,
+        BinOp::Ge => CmpOp::Ge,
+        _ => unreachable!("not a comparison"),
+    }
+}
+
+impl FnLowerer {
+    fn emit(&mut self, i: Instr, line: u32) -> usize {
+        self.code.push(i);
+        self.lines.push(line);
+        self.code.len() - 1
+    }
+
+    fn here(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    fn patch(&mut self, at: usize, target: u32) {
+        self.code[at] = self.code[at].with_jump_target(target);
+    }
+
+    fn stmt(&mut self, s: &TStmt) {
+        match s {
+            TStmt::Let { slot, init } | TStmt::AssignLocal { slot, expr: init } => {
+                let line = init.line;
+                self.expr(init);
+                self.emit(Instr::StoreLocal(*slot), line);
+            }
+            TStmt::AssignGlobal { idx, expr } => {
+                let line = expr.line;
+                self.expr(expr);
+                self.emit(Instr::StoreGlobal(*idx), line);
+            }
+            TStmt::AssignIndex {
+                array,
+                index,
+                value,
+            } => {
+                let line = value.line;
+                self.expr(array);
+                self.expr(index);
+                self.expr(value);
+                self.emit(Instr::StoreIndex, line);
+            }
+            TStmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let line = cond.line;
+                self.expr(cond);
+                let jf = self.emit(Instr::JumpIfFalse(0), line);
+                for s in then_body {
+                    self.stmt(s);
+                }
+                if else_body.is_empty() {
+                    let end = self.here();
+                    self.patch(jf, end);
+                } else {
+                    let skip_else = self.emit(Instr::Jump(0), line);
+                    let else_start = self.here();
+                    self.patch(jf, else_start);
+                    for s in else_body {
+                        self.stmt(s);
+                    }
+                    let end = self.here();
+                    self.patch(skip_else, end);
+                }
+            }
+            TStmt::While { cond, body } => {
+                let line = cond.line;
+                let cond_at = self.here();
+                self.expr(cond);
+                let jf = self.emit(Instr::JumpIfFalse(0), line);
+                self.loops.push((Vec::new(), Vec::new()));
+                for s in body {
+                    self.stmt(s);
+                }
+                self.emit(Instr::Jump(cond_at), line);
+                let end = self.here();
+                self.patch(jf, end);
+                let (breaks, continues) = self.loops.pop().expect("loop stack");
+                for b in breaks {
+                    self.patch(b, end);
+                }
+                for c in continues {
+                    self.patch(c, cond_at);
+                }
+            }
+            TStmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Some(init) = init {
+                    self.stmt(init);
+                }
+                let cond_at = self.here();
+                let jf = cond.as_ref().map(|c| {
+                    let line = c.line;
+                    self.expr(c);
+                    self.emit(Instr::JumpIfFalse(0), line)
+                });
+                self.loops.push((Vec::new(), Vec::new()));
+                for s in body {
+                    self.stmt(s);
+                }
+                let step_at = self.here();
+                if let Some(step) = step {
+                    self.stmt(step);
+                }
+                self.emit(Instr::Jump(cond_at), 0);
+                let end = self.here();
+                if let Some(jf) = jf {
+                    self.patch(jf, end);
+                }
+                let (breaks, continues) = self.loops.pop().expect("loop stack");
+                for b in breaks {
+                    self.patch(b, end);
+                }
+                for c in continues {
+                    self.patch(c, step_at);
+                }
+            }
+            TStmt::Return(expr) => {
+                let line = expr.as_ref().map_or(0, |e| e.line);
+                match expr {
+                    Some(e) => self.expr(e),
+                    None => {
+                        self.emit(Instr::PushNull, line);
+                    }
+                }
+                self.emit(Instr::Ret, line);
+            }
+            TStmt::Break => {
+                let at = self.emit(Instr::Jump(0), 0);
+                self.loops
+                    .last_mut()
+                    .expect("checker rejected break outside loop")
+                    .0
+                    .push(at);
+            }
+            TStmt::Continue => {
+                let at = self.emit(Instr::Jump(0), 0);
+                self.loops
+                    .last_mut()
+                    .expect("checker rejected continue outside loop")
+                    .1
+                    .push(at);
+            }
+            TStmt::Expr(e) => {
+                self.expr(e);
+                self.emit(Instr::Pop, e.line);
+            }
+            TStmt::Block(body) => {
+                for s in body {
+                    self.stmt(s);
+                }
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &TExpr) {
+        let line = e.line;
+        match &e.kind {
+            TExprKind::Int(v) => {
+                self.emit(Instr::PushInt(*v), line);
+            }
+            TExprKind::Float(v) => {
+                self.emit(Instr::PushFloat(*v), line);
+            }
+            TExprKind::Str(id) => {
+                self.emit(Instr::PushStr(*id), line);
+            }
+            TExprKind::Local(slot) => {
+                self.emit(Instr::LoadLocal(*slot), line);
+            }
+            TExprKind::Global(idx) => {
+                self.emit(Instr::LoadGlobal(*idx), line);
+            }
+            TExprKind::Index { array, index } => {
+                self.expr(array);
+                self.expr(index);
+                self.emit(Instr::LoadIndex, line);
+            }
+            TExprKind::Unary { op, operand } => {
+                self.expr(operand);
+                let i = match (op, &operand.ty) {
+                    (UnOp::Neg, Type::Int) => Instr::INeg,
+                    (UnOp::Neg, Type::Float) => Instr::FNeg,
+                    (UnOp::Not, _) => Instr::Not,
+                    _ => unreachable!("checker admitted bad unary"),
+                };
+                self.emit(i, line);
+            }
+            TExprKind::Binary { op, lhs, rhs } => self.binary(*op, lhs, rhs, line),
+            TExprKind::CallFn { idx, args } => {
+                for a in args {
+                    self.expr(a);
+                }
+                self.emit(Instr::Call(*idx), line);
+            }
+            TExprKind::CallBuiltin { builtin, args } => {
+                for a in args {
+                    self.expr(a);
+                }
+                self.emit(Instr::CallBuiltin(*builtin), line);
+            }
+            TExprKind::Spawn { fn_idx, arg } => {
+                self.emit(Instr::PushInt(i64::from(*fn_idx)), line);
+                self.expr(arg);
+                self.emit(Instr::CallBuiltin(Builtin::Spawn), line);
+            }
+            TExprKind::Alloc { count } => {
+                let code = match &e.ty {
+                    Type::Array(elem) => match **elem {
+                        Type::Int => elem_code::INT,
+                        Type::Float => elem_code::FLOAT,
+                        Type::Array(_) => elem_code::REF,
+                        Type::Void => unreachable!("no void arrays"),
+                    },
+                    _ => unreachable!("alloc type is an array"),
+                };
+                self.emit(Instr::PushInt(code), line);
+                self.expr(count);
+                self.emit(Instr::CallBuiltin(Builtin::Alloc), line);
+            }
+        }
+    }
+
+    fn binary(&mut self, op: BinOp, lhs: &TExpr, rhs: &TExpr, line: u32) {
+        match op {
+            BinOp::And => {
+                // lhs && rhs  ==>  lhs ? (rhs != 0) : 0
+                self.expr(lhs);
+                let jf = self.emit(Instr::JumpIfFalse(0), line);
+                self.expr(rhs);
+                self.emit(Instr::PushInt(0), line);
+                self.emit(Instr::ICmp(CmpOp::Ne), line);
+                let jend = self.emit(Instr::Jump(0), line);
+                let false_at = self.here();
+                self.patch(jf, false_at);
+                self.emit(Instr::PushInt(0), line);
+                let end = self.here();
+                self.patch(jend, end);
+            }
+            BinOp::Or => {
+                // lhs || rhs  ==>  lhs ? 1 : (rhs != 0)
+                self.expr(lhs);
+                let jt = self.emit(Instr::JumpIfTrue(0), line);
+                self.expr(rhs);
+                self.emit(Instr::PushInt(0), line);
+                self.emit(Instr::ICmp(CmpOp::Ne), line);
+                let jend = self.emit(Instr::Jump(0), line);
+                let true_at = self.here();
+                self.patch(jt, true_at);
+                self.emit(Instr::PushInt(1), line);
+                let end = self.here();
+                self.patch(jend, end);
+            }
+            _ => {
+                self.expr(lhs);
+                self.expr(rhs);
+                let is_float = lhs.ty == Type::Float;
+                let i = match op {
+                    BinOp::Add => {
+                        if is_float {
+                            Instr::FAdd
+                        } else {
+                            Instr::IAdd
+                        }
+                    }
+                    BinOp::Sub => {
+                        if is_float {
+                            Instr::FSub
+                        } else {
+                            Instr::ISub
+                        }
+                    }
+                    BinOp::Mul => {
+                        if is_float {
+                            Instr::FMul
+                        } else {
+                            Instr::IMul
+                        }
+                    }
+                    BinOp::Div => {
+                        if is_float {
+                            Instr::FDiv
+                        } else {
+                            Instr::IDiv
+                        }
+                    }
+                    BinOp::Rem => Instr::IRem,
+                    BinOp::BitAnd => Instr::BitAnd,
+                    BinOp::BitOr => Instr::BitOr,
+                    BinOp::BitXor => Instr::BitXor,
+                    BinOp::Shl => Instr::Shl,
+                    BinOp::Shr => Instr::Shr,
+                    BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                        if is_float {
+                            Instr::FCmp(cmp_of(op))
+                        } else {
+                            Instr::ICmp(cmp_of(op))
+                        }
+                    }
+                    BinOp::And | BinOp::Or => unreachable!("handled above"),
+                };
+                self.emit(i, line);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check;
+    use crate::parser::parse;
+    use crate::token::lex;
+
+    fn compile_src(src: &str) -> CompiledProgram {
+        lower(&check(&parse(lex(src).unwrap()).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn lowers_minimal_main() {
+        let p = compile_src("fn main() -> int { return 0; }");
+        let main = &p.functions[0];
+        assert_eq!(main.code[0], Instr::PushInt(0));
+        assert_eq!(main.code[1], Instr::Ret);
+        assert_eq!(main.lines.len(), main.code.len());
+    }
+
+    #[test]
+    fn jump_targets_are_in_bounds() {
+        let p = compile_src(
+            "fn main() -> int {
+                let s: int = 0;
+                for (let i: int = 0; i < 10; i = i + 1) {
+                    if (i % 2 == 0) { continue; }
+                    if (i > 7) { break; }
+                    s = s + i;
+                }
+                while (s > 100) { s = s - 1; }
+                return s;
+            }",
+        );
+        for f in &p.functions {
+            for instr in &f.code {
+                if let Some(t) = instr.jump_target() {
+                    assert!((t as usize) <= f.code.len(), "target {t} out of bounds");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_unpatched_placeholder_jumps_to_zero_from_later_code() {
+        // A Jump(0) after instruction 0 would jump backwards to the function
+        // start — our lowering never produces that except via explicit loops
+        // to offset 0, which the first test's loops cover. Check the simple
+        // if/else shape precisely instead.
+        let p = compile_src(
+            "fn f(x: int) -> int { if (x) { return 1; } else { return 2; } }
+             fn main() -> int { return f(1); }",
+        );
+        let f = &p.functions[0];
+        let Instr::JumpIfFalse(else_at) = f.code[1] else {
+            panic!("expected JumpIfFalse, got {:?}", f.code[1]);
+        };
+        // Else branch starts after then-branch + skip jump.
+        assert_eq!(f.code[else_at as usize], Instr::PushInt(2));
+    }
+
+    #[test]
+    fn void_function_gets_implicit_return() {
+        let p = compile_src("fn f() { } fn main() -> int { f(); return 0; }");
+        let f = &p.functions[0];
+        assert_eq!(f.code, vec![Instr::PushNull, Instr::Ret]);
+    }
+
+    #[test]
+    fn expression_statement_pops() {
+        let p = compile_src("fn g() -> int { return 1; } fn main() -> int { g(); return 0; }");
+        let main = &p.functions[1];
+        assert!(main.code.windows(2).any(|w| matches!(w, [Instr::Call(0), Instr::Pop])));
+    }
+
+    #[test]
+    fn alloc_pushes_elem_code() {
+        let p = compile_src("fn main() -> int { let a: [float] = alloc(3); return len(a); }");
+        let main = &p.functions[0];
+        assert!(main
+            .code
+            .windows(3)
+            .any(|w| matches!(
+                w,
+                [Instr::PushInt(c), Instr::PushInt(3), Instr::CallBuiltin(Builtin::Alloc)]
+                if *c == elem_code::FLOAT
+            )));
+    }
+
+    #[test]
+    fn float_ops_selected_by_type() {
+        let p = compile_src("fn main() -> int { let x: float = 1.0 + 2.0; return ftoi(x * 3.0); }");
+        let code = &p.functions[0].code;
+        assert!(code.contains(&Instr::FAdd));
+        assert!(code.contains(&Instr::FMul));
+        assert!(!code.contains(&Instr::IAdd));
+    }
+
+    #[test]
+    fn globals_get_default_and_literal_inits() {
+        let p = compile_src(
+            "global a: int; global b: float = 2.5; global c: [int]; fn main() -> int { return a; }",
+        );
+        assert_eq!(p.globals[0].init, Value::Int(0));
+        assert_eq!(p.globals[1].init, Value::Float(2.5));
+        assert_eq!(p.globals[2].init, Value::Null);
+    }
+
+    #[test]
+    fn debug_info_covers_all_functions() {
+        let p = compile_src("fn a() { } fn b() { } fn main() -> int { return 0; }");
+        assert_eq!(p.debug.functions().len(), 3);
+        assert_eq!(p.debug.functions()[2].name, "main");
+    }
+
+    #[test]
+    fn no_hooks_in_plain_compilation() {
+        let p = compile_src("fn f() -> int { return 1; } fn main() -> int { return f(); }");
+        for f in &p.functions {
+            assert!(f.code.iter().all(|i| !i.is_hook()));
+        }
+    }
+}

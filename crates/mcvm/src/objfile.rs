@@ -1,0 +1,593 @@
+//! Object-file serialization for compiled Mini-C programs.
+//!
+//! The paper's compiler stage produces a *binary* that is later run under
+//! the recorder and symbolized offline; this module gives our bytecode the
+//! same property. A `.tpo` ("TEE-Perf object") file carries the complete
+//! [`CompiledProgram`] — instructions, globals, string pool and debug
+//! info — in a versioned little-endian format, so `teeperf compile` and
+//! `teeperf record` can be separate steps on separate machines, exactly
+//! like `gcc` and the recorder wrapper are in the paper.
+
+use crate::builtins::Builtin;
+use crate::bytecode::{CmpOp, CompiledProgram, FnCode, GlobalSlot, Instr};
+use crate::debuginfo::DebugInfo;
+use crate::value::Value;
+
+/// Magic bytes opening every object file.
+pub const MAGIC: &[u8; 8] = b"TPOBJ\x00\x01\x00";
+
+/// Errors decoding an object file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObjError {
+    /// Wrong magic or version.
+    BadMagic,
+    /// The byte stream ended prematurely or a field is malformed.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ObjError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObjError::BadMagic => f.write_str("not a TEE-Perf object file"),
+            ObjError::Malformed(m) => write!(f, "malformed object file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ObjError {}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ObjError> {
+        let out = self
+            .buf
+            .get(self.pos..self.pos + n)
+            .ok_or_else(|| ObjError::Malformed("unexpected end of file".into()))?;
+        self.pos += n;
+        Ok(out)
+    }
+    fn u8(&mut self) -> Result<u8, ObjError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, ObjError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+    fn u32(&mut self) -> Result<u32, ObjError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    fn i64(&mut self) -> Result<i64, ObjError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    fn f64(&mut self) -> Result<f64, ObjError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    fn str(&mut self) -> Result<String, ObjError> {
+        let n = self.u32()? as usize;
+        if n > 1 << 20 {
+            return Err(ObjError::Malformed(format!("implausible string length {n}")));
+        }
+        String::from_utf8(self.take(n)?.to_vec())
+            .map_err(|_| ObjError::Malformed("non-utf8 string".into()))
+    }
+}
+
+fn cmp_code(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Eq => 0,
+        CmpOp::Ne => 1,
+        CmpOp::Lt => 2,
+        CmpOp::Le => 3,
+        CmpOp::Gt => 4,
+        CmpOp::Ge => 5,
+    }
+}
+
+fn cmp_from(code: u8) -> Result<CmpOp, ObjError> {
+    Ok(match code {
+        0 => CmpOp::Eq,
+        1 => CmpOp::Ne,
+        2 => CmpOp::Lt,
+        3 => CmpOp::Le,
+        4 => CmpOp::Gt,
+        5 => CmpOp::Ge,
+        other => return Err(ObjError::Malformed(format!("bad cmp op {other}"))),
+    })
+}
+
+fn builtin_code(b: Builtin) -> u8 {
+    match b {
+        Builtin::Alloc => 0,
+        Builtin::Len => 1,
+        Builtin::Itof => 2,
+        Builtin::Ftoi => 3,
+        Builtin::Sqrt => 4,
+        Builtin::Fabs => 5,
+        Builtin::Floor => 6,
+        Builtin::PrintInt => 7,
+        Builtin::PrintFloat => 8,
+        Builtin::PrintStr => 9,
+        Builtin::Spawn => 10,
+        Builtin::Join => 11,
+        Builtin::AtomicAdd => 12,
+        Builtin::Getpid => 13,
+        Builtin::Now => 14,
+        Builtin::Assert => 15,
+    }
+}
+
+fn builtin_from(code: u8) -> Result<Builtin, ObjError> {
+    Ok(match code {
+        0 => Builtin::Alloc,
+        1 => Builtin::Len,
+        2 => Builtin::Itof,
+        3 => Builtin::Ftoi,
+        4 => Builtin::Sqrt,
+        5 => Builtin::Fabs,
+        6 => Builtin::Floor,
+        7 => Builtin::PrintInt,
+        8 => Builtin::PrintFloat,
+        9 => Builtin::PrintStr,
+        10 => Builtin::Spawn,
+        11 => Builtin::Join,
+        12 => Builtin::AtomicAdd,
+        13 => Builtin::Getpid,
+        14 => Builtin::Now,
+        15 => Builtin::Assert,
+        other => return Err(ObjError::Malformed(format!("bad builtin {other}"))),
+    })
+}
+
+fn write_instr(w: &mut Writer, i: Instr) {
+    match i {
+        Instr::PushInt(v) => {
+            w.u8(0);
+            w.i64(v);
+        }
+        Instr::PushFloat(v) => {
+            w.u8(1);
+            w.f64(v);
+        }
+        Instr::PushStr(id) => {
+            w.u8(2);
+            w.u32(id);
+        }
+        Instr::PushNull => w.u8(3),
+        Instr::LoadLocal(s) => {
+            w.u8(4);
+            w.u16(s);
+        }
+        Instr::StoreLocal(s) => {
+            w.u8(5);
+            w.u16(s);
+        }
+        Instr::LoadGlobal(s) => {
+            w.u8(6);
+            w.u16(s);
+        }
+        Instr::StoreGlobal(s) => {
+            w.u8(7);
+            w.u16(s);
+        }
+        Instr::LoadIndex => w.u8(8),
+        Instr::StoreIndex => w.u8(9),
+        Instr::IAdd => w.u8(10),
+        Instr::ISub => w.u8(11),
+        Instr::IMul => w.u8(12),
+        Instr::IDiv => w.u8(13),
+        Instr::IRem => w.u8(14),
+        Instr::INeg => w.u8(15),
+        Instr::FAdd => w.u8(16),
+        Instr::FSub => w.u8(17),
+        Instr::FMul => w.u8(18),
+        Instr::FDiv => w.u8(19),
+        Instr::FNeg => w.u8(20),
+        Instr::BitAnd => w.u8(21),
+        Instr::BitOr => w.u8(22),
+        Instr::BitXor => w.u8(23),
+        Instr::Shl => w.u8(24),
+        Instr::Shr => w.u8(25),
+        Instr::ICmp(op) => {
+            w.u8(26);
+            w.u8(cmp_code(op));
+        }
+        Instr::FCmp(op) => {
+            w.u8(27);
+            w.u8(cmp_code(op));
+        }
+        Instr::Not => w.u8(28),
+        Instr::Itof => w.u8(29),
+        Instr::Ftoi => w.u8(30),
+        Instr::Jump(t) => {
+            w.u8(31);
+            w.u32(t);
+        }
+        Instr::JumpIfFalse(t) => {
+            w.u8(32);
+            w.u32(t);
+        }
+        Instr::JumpIfTrue(t) => {
+            w.u8(33);
+            w.u32(t);
+        }
+        Instr::Call(f) => {
+            w.u8(34);
+            w.u16(f);
+        }
+        Instr::CallBuiltin(b) => {
+            w.u8(35);
+            w.u8(builtin_code(b));
+        }
+        Instr::Ret => w.u8(36),
+        Instr::Pop => w.u8(37),
+        Instr::ProfEnter(f) => {
+            w.u8(38);
+            w.u16(f);
+        }
+        Instr::ProfExit(f) => {
+            w.u8(39);
+            w.u16(f);
+        }
+    }
+}
+
+fn read_instr(r: &mut Reader<'_>) -> Result<Instr, ObjError> {
+    Ok(match r.u8()? {
+        0 => Instr::PushInt(r.i64()?),
+        1 => Instr::PushFloat(r.f64()?),
+        2 => Instr::PushStr(r.u32()?),
+        3 => Instr::PushNull,
+        4 => Instr::LoadLocal(r.u16()?),
+        5 => Instr::StoreLocal(r.u16()?),
+        6 => Instr::LoadGlobal(r.u16()?),
+        7 => Instr::StoreGlobal(r.u16()?),
+        8 => Instr::LoadIndex,
+        9 => Instr::StoreIndex,
+        10 => Instr::IAdd,
+        11 => Instr::ISub,
+        12 => Instr::IMul,
+        13 => Instr::IDiv,
+        14 => Instr::IRem,
+        15 => Instr::INeg,
+        16 => Instr::FAdd,
+        17 => Instr::FSub,
+        18 => Instr::FMul,
+        19 => Instr::FDiv,
+        20 => Instr::FNeg,
+        21 => Instr::BitAnd,
+        22 => Instr::BitOr,
+        23 => Instr::BitXor,
+        24 => Instr::Shl,
+        25 => Instr::Shr,
+        26 => Instr::ICmp(cmp_from(r.u8()?)?),
+        27 => Instr::FCmp(cmp_from(r.u8()?)?),
+        28 => Instr::Not,
+        29 => Instr::Itof,
+        30 => Instr::Ftoi,
+        31 => Instr::Jump(r.u32()?),
+        32 => Instr::JumpIfFalse(r.u32()?),
+        33 => Instr::JumpIfTrue(r.u32()?),
+        34 => Instr::Call(r.u16()?),
+        35 => Instr::CallBuiltin(builtin_from(r.u8()?)?),
+        36 => Instr::Ret,
+        37 => Instr::Pop,
+        38 => Instr::ProfEnter(r.u16()?),
+        39 => Instr::ProfExit(r.u16()?),
+        other => return Err(ObjError::Malformed(format!("bad opcode {other}"))),
+    })
+}
+
+/// Serialize a compiled program to object-file bytes.
+pub fn to_bytes(program: &CompiledProgram) -> Vec<u8> {
+    let mut w = Writer { buf: Vec::new() };
+    w.buf.extend_from_slice(MAGIC);
+
+    w.u32(program.functions.len() as u32);
+    for f in &program.functions {
+        w.str(&f.name);
+        w.u16(f.n_params);
+        w.u16(f.n_locals);
+        w.u8(u8::from(f.no_instrument));
+        w.u32(f.decl_line);
+        w.u32(f.code.len() as u32);
+        for (i, instr) in f.code.iter().enumerate() {
+            write_instr(&mut w, *instr);
+            w.u32(f.lines[i]);
+        }
+    }
+
+    w.u32(program.globals.len() as u32);
+    for g in &program.globals {
+        w.str(&g.name);
+        match g.init {
+            Value::Int(v) => {
+                w.u8(0);
+                w.i64(v);
+            }
+            Value::Float(v) => {
+                w.u8(1);
+                w.f64(v);
+            }
+            Value::Null => w.u8(2),
+            Value::Ref(_) => unreachable!("globals never start as references"),
+        }
+    }
+
+    w.u32(program.strings.len() as u32);
+    for s in &program.strings {
+        w.u32(s.len() as u32);
+        for b in s {
+            w.i64(*b);
+        }
+    }
+
+    match program.main {
+        Some(m) => {
+            w.u8(1);
+            w.u16(m);
+        }
+        None => w.u8(0),
+    }
+    w.buf
+}
+
+/// Deserialize an object file.
+///
+/// # Errors
+/// Returns [`ObjError`] on bad magic or any malformed field.
+pub fn from_bytes(bytes: &[u8]) -> Result<CompiledProgram, ObjError> {
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        return Err(ObjError::BadMagic);
+    }
+    let mut r = Reader {
+        buf: bytes,
+        pos: MAGIC.len(),
+    };
+
+    let n_fns = r.u32()? as usize;
+    if n_fns > 1 << 16 {
+        return Err(ObjError::Malformed("implausible function count".into()));
+    }
+    let mut functions = Vec::with_capacity(n_fns);
+    for _ in 0..n_fns {
+        let name = r.str()?;
+        let n_params = r.u16()?;
+        let n_locals = r.u16()?;
+        let no_instrument = r.u8()? != 0;
+        let decl_line = r.u32()?;
+        let n_code = r.u32()? as usize;
+        if n_code > 1 << 24 {
+            return Err(ObjError::Malformed("implausible code length".into()));
+        }
+        let mut code = Vec::with_capacity(n_code);
+        let mut lines = Vec::with_capacity(n_code);
+        for _ in 0..n_code {
+            code.push(read_instr(&mut r)?);
+            lines.push(r.u32()?);
+        }
+        functions.push(FnCode {
+            name,
+            n_params,
+            n_locals,
+            no_instrument,
+            code,
+            lines,
+            decl_line,
+        });
+    }
+
+    let n_globals = r.u32()? as usize;
+    if n_globals > 1 << 16 {
+        return Err(ObjError::Malformed("implausible global count".into()));
+    }
+    let mut globals = Vec::with_capacity(n_globals);
+    for _ in 0..n_globals {
+        let name = r.str()?;
+        let init = match r.u8()? {
+            0 => Value::Int(r.i64()?),
+            1 => Value::Float(r.f64()?),
+            2 => Value::Null,
+            other => return Err(ObjError::Malformed(format!("bad global tag {other}"))),
+        };
+        globals.push(GlobalSlot { name, init });
+    }
+
+    let n_strings = r.u32()? as usize;
+    if n_strings > 1 << 20 {
+        return Err(ObjError::Malformed("implausible string count".into()));
+    }
+    let mut strings = Vec::with_capacity(n_strings);
+    for _ in 0..n_strings {
+        let n = r.u32()? as usize;
+        if n > 1 << 24 {
+            return Err(ObjError::Malformed("implausible string length".into()));
+        }
+        let mut s = Vec::with_capacity(n);
+        for _ in 0..n {
+            s.push(r.i64()?);
+        }
+        strings.push(s);
+    }
+
+    let main = if r.u8()? != 0 { Some(r.u16()?) } else { None };
+    if r.pos != bytes.len() {
+        return Err(ObjError::Malformed("trailing bytes".into()));
+    }
+    if let Some(m) = main {
+        if m as usize >= functions.len() {
+            return Err(ObjError::Malformed("main index out of range".into()));
+        }
+    }
+
+    // Debug info is derived data: rebuild instead of trusting the file.
+    let debug = DebugInfo::from_functions(
+        functions
+            .iter()
+            .map(|f| (f.name.as_str(), f.code.len() as u64, f.decl_line)),
+    );
+    Ok(CompiledProgram {
+        functions,
+        globals,
+        strings,
+        main,
+        debug,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    const SRC: &str = r#"
+        global counter: [int];
+        global scale: float = 2.5;
+        @no_instrument
+        fn helper(x: int) -> int { return x << 1; }
+        fn work(n: int) -> float {
+            let s: float = 0.0;
+            for (let i: int = 0; i < n; i = i + 1) {
+                if (i % 3 == 0) { continue; }
+                s = s + itof(helper(i)) * scale;
+            }
+            return s;
+        }
+        fn main() -> int {
+            counter = alloc(1);
+            atomic_add(counter, 0, 1);
+            print_str("hi");
+            return ftoi(work(50)) & 0xff;
+        }
+    "#;
+
+    #[test]
+    fn round_trip_preserves_program_exactly() {
+        let p = compile(SRC).unwrap();
+        let bytes = to_bytes(&p);
+        let q = from_bytes(&bytes).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn round_trip_preserves_instrumented_program() {
+        let mut p = compile(SRC).unwrap();
+        // Hand-inject a hook so hook opcodes hit the wire format too.
+        p.functions[1].code.insert(0, crate::Instr::ProfEnter(1));
+        p.functions[1].lines.insert(0, 0);
+        p.rebuild_debug_info();
+        let q = from_bytes(&to_bytes(&p)).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn loaded_program_runs_identically() {
+        use tee_sim::{CostModel, Machine};
+        let p = compile(SRC).unwrap();
+        let q = from_bytes(&to_bytes(&p)).unwrap();
+        let mut vm1 = crate::Vm::new(p, Machine::new(CostModel::native()));
+        let mut vm2 = crate::Vm::new(q, Machine::new(CostModel::native()));
+        assert_eq!(vm1.run().unwrap(), vm2.run().unwrap());
+        assert_eq!(vm1.machine().clock().now(), vm2.machine().clock().now());
+        assert_eq!(vm1.output(), vm2.output());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(from_bytes(b"not an object"), Err(ObjError::BadMagic));
+        let p = compile(SRC).unwrap();
+        let bytes = to_bytes(&p);
+        // Truncations at every prefix must error, never panic.
+        for cut in [8, 9, 20, bytes.len() / 2, bytes.len() - 1] {
+            assert!(from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // Trailing garbage detected.
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert!(from_bytes(&longer).is_err());
+    }
+
+    #[test]
+    fn every_opcode_survives_the_wire() {
+        use crate::bytecode::Instr::*;
+        let all = vec![
+            PushInt(-5),
+            PushFloat(2.5),
+            PushStr(3),
+            PushNull,
+            LoadLocal(1),
+            StoreLocal(2),
+            LoadGlobal(3),
+            StoreGlobal(4),
+            LoadIndex,
+            StoreIndex,
+            IAdd,
+            ISub,
+            IMul,
+            IDiv,
+            IRem,
+            INeg,
+            FAdd,
+            FSub,
+            FMul,
+            FDiv,
+            FNeg,
+            BitAnd,
+            BitOr,
+            BitXor,
+            Shl,
+            Shr,
+            ICmp(CmpOp::Le),
+            FCmp(CmpOp::Gt),
+            Not,
+            Itof,
+            Ftoi,
+            Jump(7),
+            JumpIfFalse(8),
+            JumpIfTrue(9),
+            Call(2),
+            CallBuiltin(Builtin::Sqrt),
+            Ret,
+            Pop,
+            ProfEnter(0),
+            ProfExit(0),
+        ];
+        let mut w = Writer { buf: Vec::new() };
+        for i in &all {
+            write_instr(&mut w, *i);
+        }
+        let mut r = Reader { buf: &w.buf, pos: 0 };
+        for expected in &all {
+            assert_eq!(read_instr(&mut r).unwrap(), *expected);
+        }
+        assert_eq!(r.pos, w.buf.len());
+    }
+}

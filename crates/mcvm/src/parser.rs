@@ -1,0 +1,704 @@
+//! Recursive-descent parser for Mini-C.
+//!
+//! Grammar (precedence low → high):
+//!
+//! ```text
+//! program   := (global | fn)*
+//! global    := "global" ident ":" type ("=" expr)? ";"
+//! fn        := attr* "fn" ident "(" params? ")" ("->" type)? block
+//! stmt      := let | assign-or-expr | if | while | for | return
+//!            | break | continue | block
+//! expr      := or
+//! or        := and ("||" and)*
+//! and       := bitor ("&&" bitor)*
+//! bitor     := bitxor ("|" bitxor)*
+//! bitxor    := bitand ("^" bitand)*
+//! bitand    := cmp ("&" cmp)*
+//! cmp       := shift (("=="|"!="|"<"|"<="|">"|">=") shift)?
+//! shift     := add (("<<"|">>") add)*
+//! add       := mul (("+"|"-") mul)*
+//! mul       := unary (("*"|"/"|"%") unary)*
+//! unary     := ("-"|"!") unary | postfix
+//! postfix   := primary ("[" expr "]")*
+//! primary   := literal | ident | call | "(" expr ")"
+//! ```
+
+use crate::ast::*;
+use crate::error::McError;
+use crate::token::{Tok, Token};
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+/// Parse a token stream into an AST.
+///
+/// # Errors
+/// Returns [`McError::Parse`] on syntax errors.
+///
+/// ```
+/// use mcvm::{token::lex, parser::parse};
+/// let ast = parse(lex("fn main() -> int { return 0; }").unwrap()).unwrap();
+/// assert_eq!(ast.functions.len(), 1);
+/// ```
+pub fn parse(tokens: Vec<Token>) -> Result<Program, McError> {
+    let mut p = Parser { tokens, pos: 0 };
+    let mut globals = Vec::new();
+    let mut functions = Vec::new();
+    loop {
+        match p.peek() {
+            Tok::Eof => break,
+            Tok::Global => globals.push(p.global()?),
+            Tok::Attr(_) | Tok::Fn => functions.push(p.function()?),
+            _ => {
+                return Err(p.err("expected `global`, `fn` or an attribute at top level"));
+            }
+        }
+    }
+    Ok(Program { globals, functions })
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> McError {
+        McError::Parse {
+            line: self.line(),
+            msg: msg.into(),
+        }
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<(), McError> {
+        if *self.peek() == tok {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, McError> {
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn ty(&mut self) -> Result<Type, McError> {
+        match self.bump() {
+            Tok::TyInt => Ok(Type::Int),
+            Tok::TyFloat => Ok(Type::Float),
+            Tok::TyVoid => Ok(Type::Void),
+            Tok::LBracket => {
+                let elem = self.ty()?;
+                self.expect(Tok::RBracket, "`]` after array element type")?;
+                Ok(Type::Array(Box::new(elem)))
+            }
+            other => Err(self.err(format!("expected a type, found {other:?}"))),
+        }
+    }
+
+    fn global(&mut self) -> Result<GlobalDecl, McError> {
+        let line = self.line();
+        self.expect(Tok::Global, "`global`")?;
+        let name = self.ident("global variable name")?;
+        self.expect(Tok::Colon, "`:` after global name")?;
+        let ty = self.ty()?;
+        let init = if *self.peek() == Tok::Assign {
+            self.bump();
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect(Tok::Semi, "`;` after global declaration")?;
+        Ok(GlobalDecl {
+            name,
+            ty,
+            init,
+            line,
+        })
+    }
+
+    fn function(&mut self) -> Result<FnDecl, McError> {
+        let mut attrs = Vec::new();
+        while let Tok::Attr(name) = self.peek().clone() {
+            attrs.push(name);
+            self.bump();
+        }
+        let line = self.line();
+        self.expect(Tok::Fn, "`fn`")?;
+        let name = self.ident("function name")?;
+        self.expect(Tok::LParen, "`(` after function name")?;
+        let mut params = Vec::new();
+        if *self.peek() != Tok::RParen {
+            loop {
+                let pname = self.ident("parameter name")?;
+                self.expect(Tok::Colon, "`:` after parameter name")?;
+                let pty = self.ty()?;
+                params.push((pname, pty));
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen, "`)` after parameters")?;
+        let ret = if *self.peek() == Tok::Arrow {
+            self.bump();
+            self.ty()?
+        } else {
+            Type::Void
+        };
+        let body = self.block()?;
+        Ok(FnDecl {
+            name,
+            params,
+            ret,
+            attrs,
+            body,
+            line,
+        })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, McError> {
+        self.expect(Tok::LBrace, "`{`")?;
+        let mut body = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            if *self.peek() == Tok::Eof {
+                return Err(self.err("unterminated block"));
+            }
+            body.push(self.stmt()?);
+        }
+        self.bump(); // `}`
+        Ok(body)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, McError> {
+        let line = self.line();
+        match self.peek() {
+            Tok::Let => self.let_stmt(),
+            Tok::If => self.if_stmt(),
+            Tok::While => {
+                self.bump();
+                self.expect(Tok::LParen, "`(` after `while`")?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen, "`)` after loop condition")?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body, line })
+            }
+            Tok::For => self.for_stmt(),
+            Tok::Return => {
+                self.bump();
+                let expr = if *self.peek() == Tok::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(Tok::Semi, "`;` after `return`")?;
+                Ok(Stmt::Return { expr, line })
+            }
+            Tok::Break => {
+                self.bump();
+                self.expect(Tok::Semi, "`;` after `break`")?;
+                Ok(Stmt::Break { line })
+            }
+            Tok::Continue => {
+                self.bump();
+                self.expect(Tok::Semi, "`;` after `continue`")?;
+                Ok(Stmt::Continue { line })
+            }
+            Tok::LBrace => {
+                let body = self.block()?;
+                Ok(Stmt::Block { body, line })
+            }
+            _ => {
+                let s = self.assign_or_expr()?;
+                self.expect(Tok::Semi, "`;` after statement")?;
+                Ok(s)
+            }
+        }
+    }
+
+    fn let_stmt(&mut self) -> Result<Stmt, McError> {
+        let line = self.line();
+        self.expect(Tok::Let, "`let`")?;
+        let name = self.ident("variable name")?;
+        self.expect(Tok::Colon, "`:` after variable name (types are mandatory)")?;
+        let ty = self.ty()?;
+        self.expect(Tok::Assign, "`=` (let bindings must be initialized)")?;
+        let init = self.expr()?;
+        self.expect(Tok::Semi, "`;` after let binding")?;
+        Ok(Stmt::Let {
+            name,
+            ty,
+            init,
+            line,
+        })
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, McError> {
+        let line = self.line();
+        self.expect(Tok::If, "`if`")?;
+        self.expect(Tok::LParen, "`(` after `if`")?;
+        let cond = self.expr()?;
+        self.expect(Tok::RParen, "`)` after condition")?;
+        let then_body = self.block()?;
+        let else_body = if *self.peek() == Tok::Else {
+            self.bump();
+            if *self.peek() == Tok::If {
+                vec![self.if_stmt()?]
+            } else {
+                self.block()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            line,
+        })
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, McError> {
+        let line = self.line();
+        self.expect(Tok::For, "`for`")?;
+        self.expect(Tok::LParen, "`(` after `for`")?;
+        let init = if *self.peek() == Tok::Semi {
+            self.bump();
+            None
+        } else {
+            let s = if *self.peek() == Tok::Let {
+                // `let` inside the header carries its own semicolon.
+                let save = self.pos;
+                match self.let_stmt() {
+                    Ok(s) => s,
+                    Err(e) => {
+                        self.pos = save;
+                        return Err(e);
+                    }
+                }
+            } else {
+                let s = self.assign_or_expr()?;
+                self.expect(Tok::Semi, "`;` after for-initializer")?;
+                s
+            };
+            Some(Box::new(s))
+        };
+        let cond = if *self.peek() == Tok::Semi {
+            None
+        } else {
+            Some(self.expr()?)
+        };
+        self.expect(Tok::Semi, "`;` after for-condition")?;
+        let step = if *self.peek() == Tok::RParen {
+            None
+        } else {
+            Some(Box::new(self.assign_or_expr()?))
+        };
+        self.expect(Tok::RParen, "`)` after for-step")?;
+        let body = self.block()?;
+        Ok(Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            line,
+        })
+    }
+
+    /// Parse either an assignment (`lvalue = expr`) or a bare expression
+    /// statement. Does not consume the trailing `;`.
+    fn assign_or_expr(&mut self) -> Result<Stmt, McError> {
+        let line = self.line();
+        // Fast path: `ident = ...`
+        if let (Tok::Ident(name), Tok::Assign) = (self.peek().clone(), self.peek2().clone()) {
+            self.bump();
+            self.bump();
+            let expr = self.expr()?;
+            return Ok(Stmt::Assign {
+                target: LValue::Var(name),
+                expr,
+                line,
+            });
+        }
+        let e = self.expr()?;
+        if *self.peek() == Tok::Assign {
+            self.bump();
+            let target = match e {
+                Expr::Index { array, index, .. } => LValue::Index(array, index),
+                Expr::Var(name, _) => LValue::Var(name),
+                _ => return Err(self.err("invalid assignment target")),
+            };
+            let expr = self.expr()?;
+            return Ok(Stmt::Assign { target, expr, line });
+        }
+        Ok(Stmt::Expr { expr: e, line })
+    }
+
+    fn expr(&mut self) -> Result<Expr, McError> {
+        self.or_expr()
+    }
+
+    fn binary_level<F>(
+        &mut self,
+        next: F,
+        ops: &[(Tok, BinOp)],
+    ) -> Result<Expr, McError>
+    where
+        F: Fn(&mut Parser) -> Result<Expr, McError>,
+    {
+        let mut lhs = next(self)?;
+        loop {
+            let line = self.line();
+            let Some((_, op)) = ops.iter().find(|(t, _)| t == self.peek()) else {
+                return Ok(lhs);
+            };
+            let op = *op;
+            self.bump();
+            let rhs = next(self)?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                line,
+            };
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, McError> {
+        self.binary_level(Parser::and_expr, &[(Tok::OrOr, BinOp::Or)])
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, McError> {
+        self.binary_level(Parser::bitor_expr, &[(Tok::AndAnd, BinOp::And)])
+    }
+
+    fn bitor_expr(&mut self) -> Result<Expr, McError> {
+        self.binary_level(Parser::bitxor_expr, &[(Tok::Pipe, BinOp::BitOr)])
+    }
+
+    fn bitxor_expr(&mut self) -> Result<Expr, McError> {
+        self.binary_level(Parser::bitand_expr, &[(Tok::Caret, BinOp::BitXor)])
+    }
+
+    fn bitand_expr(&mut self) -> Result<Expr, McError> {
+        self.binary_level(Parser::cmp_expr, &[(Tok::Amp, BinOp::BitAnd)])
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, McError> {
+        // Non-associative: `a < b < c` is rejected.
+        let lhs = self.shift_expr()?;
+        let ops = [
+            (Tok::EqEq, BinOp::Eq),
+            (Tok::NotEq, BinOp::Ne),
+            (Tok::Lt, BinOp::Lt),
+            (Tok::Le, BinOp::Le),
+            (Tok::Gt, BinOp::Gt),
+            (Tok::Ge, BinOp::Ge),
+        ];
+        let line = self.line();
+        if let Some((_, op)) = ops.iter().find(|(t, _)| t == self.peek()) {
+            let op = *op;
+            self.bump();
+            let rhs = self.shift_expr()?;
+            if ops.iter().any(|(t, _)| t == self.peek()) {
+                return Err(self.err("comparison operators cannot be chained"));
+            }
+            return Ok(Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                line,
+            });
+        }
+        Ok(lhs)
+    }
+
+    fn shift_expr(&mut self) -> Result<Expr, McError> {
+        self.binary_level(
+            Parser::add_expr,
+            &[(Tok::Shl, BinOp::Shl), (Tok::Shr, BinOp::Shr)],
+        )
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, McError> {
+        self.binary_level(
+            Parser::mul_expr,
+            &[(Tok::Plus, BinOp::Add), (Tok::Minus, BinOp::Sub)],
+        )
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, McError> {
+        self.binary_level(
+            Parser::unary_expr,
+            &[
+                (Tok::Star, BinOp::Mul),
+                (Tok::Slash, BinOp::Div),
+                (Tok::Percent, BinOp::Rem),
+            ],
+        )
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, McError> {
+        let line = self.line();
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                let operand = self.unary_expr()?;
+                Ok(Expr::Unary {
+                    op: UnOp::Neg,
+                    operand: Box::new(operand),
+                    line,
+                })
+            }
+            Tok::Bang => {
+                self.bump();
+                let operand = self.unary_expr()?;
+                Ok(Expr::Unary {
+                    op: UnOp::Not,
+                    operand: Box::new(operand),
+                    line,
+                })
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, McError> {
+        let mut e = self.primary_expr()?;
+        while *self.peek() == Tok::LBracket {
+            let line = self.line();
+            self.bump();
+            let index = self.expr()?;
+            self.expect(Tok::RBracket, "`]` after index")?;
+            e = Expr::Index {
+                array: Box::new(e),
+                index: Box::new(index),
+                line,
+            };
+        }
+        Ok(e)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, McError> {
+        let line = self.line();
+        match self.bump() {
+            Tok::Int(v) => Ok(Expr::Int(v)),
+            Tok::Float(v) => Ok(Expr::Float(v)),
+            Tok::Str(s) => Ok(Expr::Str(s)),
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                if *self.peek() == Tok::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if *self.peek() != Tok::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if *self.peek() == Tok::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(Tok::RParen, "`)` after arguments")?;
+                    Ok(Expr::Call { name, args, line })
+                } else {
+                    Ok(Expr::Var(name, line))
+                }
+            }
+            other => Err(McError::Parse {
+                line,
+                msg: format!("expected an expression, found {other:?}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::lex;
+
+    fn parse_src(src: &str) -> Result<Program, McError> {
+        parse(lex(src).unwrap())
+    }
+
+    #[test]
+    fn parses_minimal_function() {
+        let p = parse_src("fn main() -> int { return 0; }").unwrap();
+        assert_eq!(p.functions.len(), 1);
+        assert_eq!(p.functions[0].name, "main");
+        assert_eq!(p.functions[0].ret, Type::Int);
+    }
+
+    #[test]
+    fn parses_params_and_void_default() {
+        let p = parse_src("fn f(a: int, b: [float]) { }").unwrap();
+        let f = &p.functions[0];
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[1].1, Type::Array(Box::new(Type::Float)));
+        assert_eq!(f.ret, Type::Void);
+    }
+
+    #[test]
+    fn parses_globals() {
+        let p = parse_src("global n: int = 5; global data: [int];").unwrap();
+        assert_eq!(p.globals.len(), 2);
+        assert!(p.globals[0].init.is_some());
+        assert!(p.globals[1].init.is_none());
+    }
+
+    #[test]
+    fn parses_attributes() {
+        let p = parse_src("@no_instrument fn f() { }").unwrap();
+        assert!(p.functions[0].has_attr("no_instrument"));
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse_src("fn f() -> int { return 1 + 2 * 3; }").unwrap();
+        let Stmt::Return { expr: Some(e), .. } = &p.functions[0].body[0] else {
+            panic!("expected return");
+        };
+        let Expr::Binary { op: BinOp::Add, rhs, .. } = e else {
+            panic!("expected add at the top: {e:?}");
+        };
+        assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn precedence_cmp_over_and() {
+        let p = parse_src("fn f() -> int { return 1 < 2 && 3 < 4; }").unwrap();
+        let Stmt::Return { expr: Some(e), .. } = &p.functions[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(e, Expr::Binary { op: BinOp::And, .. }));
+    }
+
+    #[test]
+    fn rejects_chained_comparisons() {
+        assert!(parse_src("fn f() -> int { return 1 < 2 < 3; }").is_err());
+    }
+
+    #[test]
+    fn parses_if_else_chain() {
+        let p = parse_src(
+            "fn f(x: int) -> int { if (x > 0) { return 1; } else if (x < 0) { return 2; } else { return 3; } }",
+        )
+        .unwrap();
+        let Stmt::If { else_body, .. } = &p.functions[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(else_body[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn parses_for_loop_full_header() {
+        let p = parse_src(
+            "fn f() -> int { let s: int = 0; for (let i: int = 0; i < 10; i = i + 1) { s = s + i; } return s; }",
+        )
+        .unwrap();
+        let Stmt::For {
+            init, cond, step, ..
+        } = &p.functions[0].body[1]
+        else {
+            panic!()
+        };
+        assert!(init.is_some());
+        assert!(cond.is_some());
+        assert!(step.is_some());
+    }
+
+    #[test]
+    fn parses_for_loop_empty_header() {
+        let p = parse_src("fn f() { for (;;) { break; } }").unwrap();
+        let Stmt::For {
+            init, cond, step, ..
+        } = &p.functions[0].body[0]
+        else {
+            panic!()
+        };
+        assert!(init.is_none() && cond.is_none() && step.is_none());
+    }
+
+    #[test]
+    fn parses_index_assignment() {
+        let p = parse_src("fn f(a: [int]) { a[0] = 1; a[1][2] = 3; }").unwrap();
+        assert!(matches!(
+            p.functions[0].body[0],
+            Stmt::Assign {
+                target: LValue::Index(..),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_calls_and_nested_index() {
+        let p = parse_src("fn f() -> int { return g(1, h(2))[3]; }").unwrap();
+        let Stmt::Return { expr: Some(e), .. } = &p.functions[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(e, Expr::Index { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_assignment_target() {
+        assert!(parse_src("fn f() { 1 + 2 = 3; }").is_err());
+    }
+
+    #[test]
+    fn rejects_let_without_type_or_init() {
+        assert!(parse_src("fn f() { let x = 1; }").is_err());
+        assert!(parse_src("fn f() { let x: int; }").is_err());
+    }
+
+    #[test]
+    fn rejects_top_level_statement() {
+        assert!(parse_src("let x: int = 1;").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_block() {
+        assert!(parse_src("fn f() { ").is_err());
+    }
+
+    #[test]
+    fn unary_binds_tighter_than_mul() {
+        let p = parse_src("fn f() -> int { return -1 * 2; }").unwrap();
+        let Stmt::Return { expr: Some(e), .. } = &p.functions[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(e, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+}

@@ -1,0 +1,536 @@
+//! Lexer for Mini-C.
+
+use crate::error::McError;
+
+/// A lexical token with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: Tok,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// An integer literal (decimal or `0x` hex).
+    Int(i64),
+    /// A floating-point literal.
+    Float(f64),
+    /// A string literal, already unescaped.
+    Str(String),
+    /// An identifier or keyword candidate.
+    Ident(String),
+    /// `fn`
+    Fn,
+    /// `let`
+    Let,
+    /// `global`
+    Global,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `for`
+    For,
+    /// `return`
+    Return,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+    /// `int`
+    TyInt,
+    /// `float`
+    TyFloat,
+    /// `void`
+    TyVoid,
+    /// `@attribute_name`
+    Attr(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `->`
+    Arrow,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// End of input.
+    Eof,
+}
+
+fn keyword(ident: &str) -> Option<Tok> {
+    Some(match ident {
+        "fn" => Tok::Fn,
+        "let" => Tok::Let,
+        "global" => Tok::Global,
+        "if" => Tok::If,
+        "else" => Tok::Else,
+        "while" => Tok::While,
+        "for" => Tok::For,
+        "return" => Tok::Return,
+        "break" => Tok::Break,
+        "continue" => Tok::Continue,
+        "int" => Tok::TyInt,
+        "float" => Tok::TyFloat,
+        "void" => Tok::TyVoid,
+        _ => return None,
+    })
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> McError {
+        McError::Lex {
+            line: self.line,
+            msg: msg.into(),
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), McError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.line;
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(McError::Lex {
+                                    line: start,
+                                    msg: "unterminated block comment".into(),
+                                })
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<Tok, McError> {
+        let start = self.pos;
+        if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x') | Some(b'X')) {
+            self.bump();
+            self.bump();
+            let hstart = self.pos;
+            while matches!(self.peek(), Some(c) if c.is_ascii_hexdigit()) {
+                self.bump();
+            }
+            if self.pos == hstart {
+                return Err(self.err("empty hex literal"));
+            }
+            let text = std::str::from_utf8(&self.src[hstart..self.pos]).expect("ascii");
+            let v = i64::from_str_radix(text, 16)
+                .map_err(|_| self.err("hex literal out of range"))?;
+            return Ok(Tok::Int(v));
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') && matches!(self.peek2(), Some(c) if c.is_ascii_digit()) {
+            is_float = true;
+            self.bump();
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            let save = self.pos;
+            self.bump();
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.bump();
+            }
+            if matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                is_float = true;
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.bump();
+                }
+            } else {
+                self.pos = save; // `e` belonged to a following identifier
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+        if is_float {
+            text.parse::<f64>()
+                .map(Tok::Float)
+                .map_err(|_| self.err("malformed float literal"))
+        } else {
+            text.parse::<i64>()
+                .map(Tok::Int)
+                .map_err(|_| self.err("integer literal out of range"))
+        }
+    }
+
+    fn lex_string(&mut self) -> Result<Tok, McError> {
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None | Some(b'\n') => return Err(self.err("unterminated string literal")),
+                Some(b'"') => return Ok(Tok::Str(out)),
+                Some(b'\\') => match self.bump() {
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'"') => out.push('"'),
+                    Some(b'0') => out.push('\0'),
+                    _ => return Err(self.err("unknown escape in string literal")),
+                },
+                Some(c) => out.push(c as char),
+            }
+        }
+    }
+
+    fn lex_char(&mut self) -> Result<Tok, McError> {
+        self.bump(); // opening quote
+        let c = match self.bump() {
+            Some(b'\\') => match self.bump() {
+                Some(b'n') => b'\n',
+                Some(b't') => b'\t',
+                Some(b'\\') => b'\\',
+                Some(b'\'') => b'\'',
+                Some(b'0') => b'\0',
+                _ => return Err(self.err("unknown escape in char literal")),
+            },
+            Some(c) => c,
+            None => return Err(self.err("unterminated char literal")),
+        };
+        if self.bump() != Some(b'\'') {
+            return Err(self.err("char literal must contain exactly one character"));
+        }
+        Ok(Tok::Int(c as i64))
+    }
+}
+
+/// Tokenize Mini-C source.
+///
+/// # Errors
+/// Returns [`McError::Lex`] on malformed input.
+///
+/// ```
+/// use mcvm::token::{lex, Tok};
+/// let toks = lex("let x: int = 0x10;").unwrap();
+/// assert!(toks.iter().any(|t| t.kind == Tok::Int(16)));
+/// ```
+pub fn lex(source: &str) -> Result<Vec<Token>, McError> {
+    let mut lx = Lexer {
+        src: source.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut tokens = Vec::new();
+    loop {
+        lx.skip_trivia()?;
+        let line = lx.line;
+        let Some(c) = lx.peek() else {
+            tokens.push(Token {
+                kind: Tok::Eof,
+                line,
+            });
+            return Ok(tokens);
+        };
+        let kind = match c {
+            b'0'..=b'9' => lx.lex_number()?,
+            b'"' => lx.lex_string()?,
+            b'\'' => lx.lex_char()?,
+            b'@' => {
+                lx.bump();
+                let start = lx.pos;
+                while matches!(lx.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+                    lx.bump();
+                }
+                if lx.pos == start {
+                    return Err(lx.err("expected attribute name after `@`"));
+                }
+                let name = std::str::from_utf8(&lx.src[start..lx.pos]).expect("ascii");
+                Tok::Attr(name.to_string())
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = lx.pos;
+                while matches!(lx.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+                    lx.bump();
+                }
+                let text = std::str::from_utf8(&lx.src[start..lx.pos]).expect("ascii");
+                keyword(text).unwrap_or_else(|| Tok::Ident(text.to_string()))
+            }
+            _ => {
+                lx.bump();
+                match c {
+                    b'(' => Tok::LParen,
+                    b')' => Tok::RParen,
+                    b'{' => Tok::LBrace,
+                    b'}' => Tok::RBrace,
+                    b'[' => Tok::LBracket,
+                    b']' => Tok::RBracket,
+                    b',' => Tok::Comma,
+                    b';' => Tok::Semi,
+                    b':' => Tok::Colon,
+                    b'+' => Tok::Plus,
+                    b'-' => {
+                        if lx.peek() == Some(b'>') {
+                            lx.bump();
+                            Tok::Arrow
+                        } else {
+                            Tok::Minus
+                        }
+                    }
+                    b'*' => Tok::Star,
+                    b'/' => Tok::Slash,
+                    b'%' => Tok::Percent,
+                    b'^' => Tok::Caret,
+                    b'=' => {
+                        if lx.peek() == Some(b'=') {
+                            lx.bump();
+                            Tok::EqEq
+                        } else {
+                            Tok::Assign
+                        }
+                    }
+                    b'!' => {
+                        if lx.peek() == Some(b'=') {
+                            lx.bump();
+                            Tok::NotEq
+                        } else {
+                            Tok::Bang
+                        }
+                    }
+                    b'<' => match lx.peek() {
+                        Some(b'=') => {
+                            lx.bump();
+                            Tok::Le
+                        }
+                        Some(b'<') => {
+                            lx.bump();
+                            Tok::Shl
+                        }
+                        _ => Tok::Lt,
+                    },
+                    b'>' => match lx.peek() {
+                        Some(b'=') => {
+                            lx.bump();
+                            Tok::Ge
+                        }
+                        Some(b'>') => {
+                            lx.bump();
+                            Tok::Shr
+                        }
+                        _ => Tok::Gt,
+                    },
+                    b'&' => {
+                        if lx.peek() == Some(b'&') {
+                            lx.bump();
+                            Tok::AndAnd
+                        } else {
+                            Tok::Amp
+                        }
+                    }
+                    b'|' => {
+                        if lx.peek() == Some(b'|') {
+                            lx.bump();
+                            Tok::OrOr
+                        } else {
+                            Tok::Pipe
+                        }
+                    }
+                    other => {
+                        return Err(McError::Lex {
+                            line,
+                            msg: format!("unexpected character {:?}", other as char),
+                        })
+                    }
+                }
+            }
+        };
+        tokens.push(Token { kind, line });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            kinds("fn foo"),
+            vec![Tok::Fn, Tok::Ident("foo".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(kinds("42"), vec![Tok::Int(42), Tok::Eof]);
+        assert_eq!(kinds("0xff"), vec![Tok::Int(255), Tok::Eof]);
+        assert_eq!(kinds("3.5"), vec![Tok::Float(3.5), Tok::Eof]);
+        assert_eq!(kinds("1e3"), vec![Tok::Float(1000.0), Tok::Eof]);
+        assert_eq!(kinds("2.5e-1"), vec![Tok::Float(0.25), Tok::Eof]);
+    }
+
+    #[test]
+    fn dot_without_digits_is_not_float() {
+        // `1.foo` is not valid Mini-C, but the lexer must not consume the dot.
+        assert!(lex("1.foo").is_err() || kinds("1 . 2").len() > 1);
+    }
+
+    #[test]
+    fn lexes_strings_and_chars() {
+        assert_eq!(
+            kinds(r#""hi\n""#),
+            vec![Tok::Str("hi\n".into()), Tok::Eof]
+        );
+        assert_eq!(kinds("'a'"), vec![Tok::Int(97), Tok::Eof]);
+        assert_eq!(kinds(r"'\n'"), vec![Tok::Int(10), Tok::Eof]);
+    }
+
+    #[test]
+    fn lexes_operators_maximal_munch() {
+        assert_eq!(
+            kinds("<= << < == = -> - >= >> !="),
+            vec![
+                Tok::Le,
+                Tok::Shl,
+                Tok::Lt,
+                Tok::EqEq,
+                Tok::Assign,
+                Tok::Arrow,
+                Tok::Minus,
+                Tok::Ge,
+                Tok::Shr,
+                Tok::NotEq,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_tracks_lines() {
+        let toks = lex("// line one\n/* multi\nline */ fn").unwrap();
+        assert_eq!(toks[0].kind, Tok::Fn);
+        assert_eq!(toks[0].line, 3);
+    }
+
+    #[test]
+    fn lexes_attributes() {
+        assert_eq!(
+            kinds("@no_instrument fn"),
+            vec![Tok::Attr("no_instrument".into()), Tok::Fn, Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(lex("let $x").is_err());
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("/* open").is_err());
+        assert!(lex("0x").is_err());
+    }
+
+    #[test]
+    fn eof_token_always_present() {
+        assert_eq!(kinds(""), vec![Tok::Eof]);
+    }
+}

@@ -1,0 +1,202 @@
+//! Runtime values and the VM heap.
+
+use crate::error::McError;
+use tee_sim::{ENCLAVE_HEAP_BASE, PAGE_SIZE};
+
+/// A Mini-C runtime value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Reference to a heap array.
+    Ref(u32),
+    /// The absent value: result of `void` calls and the initial content of
+    /// array-of-array cells.
+    Null,
+}
+
+impl Value {
+    /// Extract an integer.
+    ///
+    /// # Errors
+    /// Returns a runtime error if the value is not an `Int` (a checker bug
+    /// or heap-cell misuse).
+    pub fn as_int(self) -> Result<i64, McError> {
+        match self {
+            Value::Int(v) => Ok(v),
+            other => Err(McError::runtime(format!("expected int, found {other:?}"))),
+        }
+    }
+
+    /// Extract a float.
+    ///
+    /// # Errors
+    /// Returns a runtime error if the value is not a `Float`.
+    pub fn as_float(self) -> Result<f64, McError> {
+        match self {
+            Value::Float(v) => Ok(v),
+            other => Err(McError::runtime(format!("expected float, found {other:?}"))),
+        }
+    }
+
+    /// Extract an array reference.
+    ///
+    /// # Errors
+    /// Returns a runtime error for `Null` (uninitialized array cell) or any
+    /// non-reference value.
+    pub fn as_ref(self) -> Result<u32, McError> {
+        match self {
+            Value::Ref(r) => Ok(r),
+            Value::Null => Err(McError::runtime("null array reference")),
+            other => Err(McError::runtime(format!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+/// One heap-allocated array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayObj {
+    /// Base virtual address in the enclave heap (for the cost model).
+    pub addr: u64,
+    /// Element storage.
+    pub data: Vec<Value>,
+}
+
+/// The VM heap: a bump allocator over the simulated enclave heap range.
+///
+/// Arrays are never freed — the evaluation workloads are run-to-completion
+/// batch programs, matching the paper's benchmarks.
+#[derive(Debug, Clone, Default)]
+pub struct Heap {
+    arrays: Vec<ArrayObj>,
+    next_offset: u64,
+}
+
+impl Heap {
+    /// An empty heap starting at the enclave heap base (first page is
+    /// reserved for globals).
+    pub fn new() -> Heap {
+        Heap {
+            arrays: Vec::new(),
+            next_offset: PAGE_SIZE,
+        }
+    }
+
+    /// Allocate an array of `len` copies of `fill`; returns its reference.
+    pub fn alloc(&mut self, len: u64, fill: Value) -> u32 {
+        let addr = ENCLAVE_HEAP_BASE + self.next_offset;
+        self.next_offset += (len.max(1) * 8).div_ceil(8) * 8;
+        let r = self.arrays.len() as u32;
+        self.arrays.push(ArrayObj {
+            addr,
+            data: vec![fill; len as usize],
+        });
+        r
+    }
+
+    /// Borrow an array.
+    ///
+    /// # Errors
+    /// Returns a runtime error on a dangling reference (cannot happen for
+    /// references produced by [`Heap::alloc`]).
+    pub fn get(&self, r: u32) -> Result<&ArrayObj, McError> {
+        self.arrays
+            .get(r as usize)
+            .ok_or_else(|| McError::runtime(format!("dangling heap reference {r}")))
+    }
+
+    /// Mutably borrow an array.
+    ///
+    /// # Errors
+    /// Returns a runtime error on a dangling reference.
+    pub fn get_mut(&mut self, r: u32) -> Result<&mut ArrayObj, McError> {
+        self.arrays
+            .get_mut(r as usize)
+            .ok_or_else(|| McError::runtime(format!("dangling heap reference {r}")))
+    }
+
+    /// Virtual address of `array[index]` for the memory cost model.
+    ///
+    /// # Errors
+    /// Returns a runtime error on a dangling reference or an out-of-bounds
+    /// index.
+    pub fn elem_addr(&self, r: u32, index: i64) -> Result<u64, McError> {
+        let a = self.get(r)?;
+        if index < 0 || index as usize >= a.data.len() {
+            return Err(McError::runtime(format!(
+                "index {index} out of bounds for array of length {}",
+                a.data.len()
+            )));
+        }
+        Ok(a.addr + (index as u64) * 8)
+    }
+
+    /// Number of live arrays.
+    pub fn array_count(&self) -> usize {
+        self.arrays.len()
+    }
+
+    /// Total bytes of simulated heap handed out.
+    pub fn bytes_allocated(&self) -> u64 {
+        self.next_offset - PAGE_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_extractors() {
+        assert_eq!(Value::Int(3).as_int().unwrap(), 3);
+        assert_eq!(Value::Float(2.5).as_float().unwrap(), 2.5);
+        assert_eq!(Value::Ref(1).as_ref().unwrap(), 1);
+        assert!(Value::Null.as_ref().is_err());
+        assert!(Value::Int(1).as_float().is_err());
+        assert!(Value::Float(1.0).as_int().is_err());
+    }
+
+    #[test]
+    fn alloc_assigns_disjoint_addresses() {
+        let mut h = Heap::new();
+        let a = h.alloc(10, Value::Int(0));
+        let b = h.alloc(5, Value::Float(0.0));
+        let aa = h.get(a).unwrap().addr;
+        let ba = h.get(b).unwrap().addr;
+        assert!(ba >= aa + 80, "arrays overlap: {aa:#x} {ba:#x}");
+        assert_eq!(h.get(a).unwrap().data.len(), 10);
+        assert_eq!(h.get(b).unwrap().data[0], Value::Float(0.0));
+        assert_eq!(h.array_count(), 2);
+    }
+
+    #[test]
+    fn zero_length_alloc_is_valid() {
+        let mut h = Heap::new();
+        let a = h.alloc(0, Value::Int(0));
+        let b = h.alloc(1, Value::Int(0));
+        assert!(h.get(b).unwrap().addr > h.get(a).unwrap().addr);
+        assert!(h.elem_addr(a, 0).is_err());
+    }
+
+    #[test]
+    fn elem_addr_bounds_checked() {
+        let mut h = Heap::new();
+        let a = h.alloc(4, Value::Int(0));
+        let base = h.get(a).unwrap().addr;
+        assert_eq!(h.elem_addr(a, 0).unwrap(), base);
+        assert_eq!(h.elem_addr(a, 3).unwrap(), base + 24);
+        assert!(h.elem_addr(a, 4).is_err());
+        assert!(h.elem_addr(a, -1).is_err());
+        assert!(h.elem_addr(99, 0).is_err());
+    }
+
+    #[test]
+    fn bytes_allocated_tracks_growth() {
+        let mut h = Heap::new();
+        assert_eq!(h.bytes_allocated(), 0);
+        h.alloc(100, Value::Int(0));
+        assert_eq!(h.bytes_allocated(), 800);
+    }
+}

@@ -1,0 +1,441 @@
+//! # perf-sim — the sampling-profiler baseline (Linux `perf` analogue)
+//!
+//! Figure 4 of the paper compares TEE-Perf's full-tracing overhead against
+//! Linux `perf`, which samples the instruction pointer at a fixed frequency
+//! from the kernel. Inside an enclave every sample is worse than a plain
+//! interrupt: it forces an **asynchronous enclave exit** (AEX) — save and
+//! scrub the enclave state, flush the TLB, resume — which is exactly how
+//! this simulation charges it.
+//!
+//! The baseline also reproduces `perf`'s structural weaknesses that
+//! motivate TEE-Perf (§I):
+//!
+//! * it only *samples*, so it cannot produce exact per-call timings, and
+//! * threads whose phase behaviour aligns with the sampling frequency are
+//!   systematically mis-attributed (**sampling-frequency bias**) — the
+//!   `ablation_sampling_bias` experiment quantifies this against TEE-Perf's
+//!   exact trace.
+//!
+//! [`Sampler`] plugs into the VM as an [`mcvm::InstrObserver`];
+//! [`PerfReport`] renders `perf report`-style flat profiles and folded
+//! stacks for flame graphs.
+
+use std::sync::Arc;
+
+use mcvm::{InstrObserver, SampleCtx};
+use parking_lot::Mutex;
+use tee_sim::Machine;
+use teeperf_analyzer::query::frame::Frame;
+use teeperf_analyzer::Symbolizer;
+
+/// Default sampling period in cycles: 4 kHz at 3.6 GHz, `perf record`'s
+/// default frequency on the paper's testbed.
+pub const DEFAULT_PERIOD_CYCLES: u64 = 900_000;
+
+/// Sampler configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PerfConfig {
+    /// Cycles between samples.
+    pub period_cycles: u64,
+    /// Capture the user-space call stack with each sample (`perf record -g`).
+    pub capture_stacks: bool,
+}
+
+impl Default for PerfConfig {
+    fn default() -> Self {
+        PerfConfig {
+            period_cycles: DEFAULT_PERIOD_CYCLES,
+            capture_stacks: true,
+        }
+    }
+}
+
+/// One recorded sample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sample {
+    /// Virtual cycle at which the sample fired.
+    pub at_cycle: u64,
+    /// Sampled thread.
+    pub tid: u64,
+    /// Sampled instruction pointer.
+    pub ip: u64,
+    /// Call stack (entry addresses, outermost first); empty without `-g`.
+    pub stack: Vec<u64>,
+}
+
+/// Shared handle to the samples a [`Sampler`] collects (the VM owns the
+/// sampler itself once installed).
+#[derive(Debug, Clone, Default)]
+pub struct SampleStore {
+    samples: Arc<Mutex<Vec<Sample>>>,
+}
+
+impl SampleStore {
+    /// Snapshot the samples collected so far.
+    pub fn samples(&self) -> Vec<Sample> {
+        self.samples.lock().clone()
+    }
+
+    /// Number of samples collected so far.
+    pub fn len(&self) -> usize {
+        self.samples.lock().len()
+    }
+
+    /// Whether no samples were collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The sampling profiler: fires every `period_cycles` of virtual time and
+/// charges one AEX per sample to the profiled machine.
+#[derive(Debug)]
+pub struct Sampler {
+    config: PerfConfig,
+    next_deadline: u64,
+    store: SampleStore,
+}
+
+impl Sampler {
+    /// Create a sampler and the store through which its samples can be read
+    /// after the run.
+    pub fn new(config: PerfConfig) -> (Sampler, SampleStore) {
+        assert!(config.period_cycles > 0, "sampling period must be nonzero");
+        let store = SampleStore::default();
+        (
+            Sampler {
+                next_deadline: config.period_cycles,
+                config,
+                store: store.clone(),
+            },
+            store,
+        )
+    }
+}
+
+impl InstrObserver for Sampler {
+    fn observe(&mut self, machine: &mut Machine, ctx: &SampleCtx<'_>) {
+        let now = machine.clock().now();
+        if now < self.next_deadline {
+            return;
+        }
+        // The interrupt fires: asynchronous enclave exit + kernel sampling
+        // work + resume.
+        machine.aex();
+        self.store.samples.lock().push(Sample {
+            at_cycle: now,
+            tid: ctx.tid,
+            ip: ctx.ip,
+            stack: if self.config.capture_stacks {
+                ctx.stack.to_vec()
+            } else {
+                Vec::new()
+            },
+        });
+        // The PMU timer ticks on a fixed wall-clock raster (this is what
+        // makes frequency alignment — and its bias — possible). If one
+        // instruction overshot several periods, the missed ticks coalesce
+        // into this single sample.
+        self.next_deadline += self.config.period_cycles;
+        if self.next_deadline <= now {
+            self.next_deadline = now + self.config.period_cycles;
+        }
+    }
+}
+
+/// One row of the flat report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfRow {
+    /// Function name (leaf attribution, like `perf report`).
+    pub name: String,
+    /// Samples whose IP fell in this function.
+    pub samples: u64,
+    /// Share of all samples.
+    pub pct: f64,
+}
+
+/// An offline `perf report` over recorded samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfReport {
+    /// Total number of samples.
+    pub total_samples: u64,
+    /// Flat rows sorted by sample count descending.
+    pub rows: Vec<PerfRow>,
+    /// Folded stacks (one tick per sample) for flame graphs; empty when
+    /// stacks were not captured.
+    pub folded: Vec<(Vec<String>, u64)>,
+}
+
+impl PerfReport {
+    /// Aggregate samples into a report, symbolizing addresses.
+    pub fn build(samples: &[Sample], symbolizer: &Symbolizer) -> PerfReport {
+        use std::collections::HashMap;
+        let mut flat: HashMap<String, u64> = HashMap::new();
+        let mut folded: HashMap<Vec<String>, u64> = HashMap::new();
+        for s in samples {
+            let leaf = symbolizer.name_of(s.ip);
+            *flat.entry(leaf).or_default() += 1;
+            if !s.stack.is_empty() {
+                let path: Vec<String> =
+                    s.stack.iter().map(|a| symbolizer.name_of(*a)).collect();
+                *folded.entry(path).or_default() += 1;
+            }
+        }
+        let total = samples.len() as u64;
+        let mut rows: Vec<PerfRow> = flat
+            .into_iter()
+            .map(|(name, n)| PerfRow {
+                pct: if total == 0 {
+                    0.0
+                } else {
+                    100.0 * n as f64 / total as f64
+                },
+                name,
+                samples: n,
+            })
+            .collect();
+        rows.sort_by(|a, b| b.samples.cmp(&a.samples).then(a.name.cmp(&b.name)));
+        let mut folded: Vec<(Vec<String>, u64)> = folded.into_iter().collect();
+        folded.sort();
+        PerfReport {
+            total_samples: total,
+            rows,
+            folded,
+        }
+    }
+
+    /// Share of samples attributed to `name` (leaf attribution).
+    pub fn fraction(&self, name: &str) -> f64 {
+        self.rows
+            .iter()
+            .find(|r| r.name == name)
+            .map_or(0.0, |r| r.pct / 100.0)
+    }
+
+    /// The report as a queryable dataframe (`method, samples, pct`).
+    pub fn frame(&self) -> Frame {
+        let mut f = Frame::new();
+        f.push_str_column("method", self.rows.iter().map(|r| r.name.clone()).collect());
+        f.push_int_column(
+            "samples",
+            self.rows.iter().map(|r| r.samples as i64).collect(),
+        );
+        f.push_float_column("pct", self.rows.iter().map(|r| r.pct).collect());
+        f
+    }
+
+    /// `perf report`-style text rendering.
+    pub fn to_text(&self) -> String {
+        let mut out = format!("# Samples: {}\n", self.total_samples);
+        out.push_str("# Overhead  Symbol\n");
+        for r in &self.rows {
+            out.push_str(&format!("{:8.2}%  {}\n", r.pct, r.name));
+        }
+        out
+    }
+}
+
+/// What the related-work tool *sgx-perf* (Weichbrodt et al., Middleware'18)
+/// reports: enclave transition counts and their cost — and nothing at
+/// method granularity. Provided as a comparator so the evaluation can show
+/// concretely what TEE-Perf adds (the paper's §V: "SGX-Perf does not
+/// provide method-level profiling").
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransitionReport {
+    /// Synchronous enclave entries.
+    pub ecalls: u64,
+    /// Synchronous exits + re-entries (ocalls).
+    pub ocalls: u64,
+    /// Asynchronous exits.
+    pub aexes: u64,
+    /// Cycles attributable to transitions alone.
+    pub transition_cycles: u64,
+    /// Share of total runtime spent transitioning.
+    pub transition_fraction: f64,
+}
+
+impl TransitionReport {
+    /// Build the report from a machine's hardware counters.
+    pub fn from_stats(
+        stats: &tee_sim::MachineStats,
+        cost: &tee_sim::CostModel,
+        total_cycles: u64,
+    ) -> TransitionReport {
+        let transition_cycles = stats.ecalls * cost.ecall_cycles
+            + stats.ocalls * cost.ocall_cycles
+            + stats.aexes * cost.aex_cycles;
+        TransitionReport {
+            ecalls: stats.ecalls,
+            ocalls: stats.ocalls,
+            aexes: stats.aexes,
+            transition_cycles,
+            transition_fraction: if total_cycles == 0 {
+                0.0
+            } else {
+                transition_cycles as f64 / total_cycles as f64
+            },
+        }
+    }
+
+    /// sgx-perf-style text rendering.
+    pub fn to_text(&self) -> String {
+        format!(
+            "# enclave transitions\necalls: {}\nocalls: {}\naexes:  {}\ntransition time: {} cycles ({:.1}% of run)\n",
+            self.ecalls,
+            self.ocalls,
+            self.aexes,
+            self.transition_cycles,
+            self.transition_fraction * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcvm::Vm;
+    use tee_sim::CostModel;
+    use teeperf_analyzer::Symbolizer;
+
+    const SRC: &str = "
+        fn spin(n: int) -> int {
+            let s: int = 0;
+            for (let i: int = 0; i < n; i = i + 1) { s = s + i; }
+            return s;
+        }
+        fn main() -> int { return spin(20000); }
+    ";
+
+    fn run_sampled(period: u64) -> (Vm, SampleStore) {
+        let program = mcvm::compile(SRC).unwrap();
+        let mut vm = Vm::new(program, tee_sim::Machine::new(CostModel::sgx_v1()));
+        let (sampler, store) = Sampler::new(PerfConfig {
+            period_cycles: period,
+            capture_stacks: true,
+        });
+        vm.set_observer(Box::new(sampler));
+        vm.run().unwrap();
+        (vm, store)
+    }
+
+    #[test]
+    fn samples_fire_at_roughly_the_configured_rate() {
+        let (vm, store) = run_sampled(10_000);
+        let cycles = vm.machine().clock().now();
+        let expected = cycles / 10_000;
+        let got = store.len() as u64;
+        assert!(
+            got >= expected / 2 && got <= expected + 1,
+            "expected ≈{expected} samples, got {got}"
+        );
+        // Sample timestamps are increasing and spaced roughly one period
+        // apart (raster firing minus instruction-granularity overshoot).
+        let samples = store.samples();
+        for w in samples.windows(2) {
+            assert!(w[1].at_cycle >= w[0].at_cycle + 9_000);
+        }
+    }
+
+    #[test]
+    fn sampling_charges_aex_overhead() {
+        let plain = {
+            let program = mcvm::compile(SRC).unwrap();
+            let mut vm = Vm::new(program, tee_sim::Machine::new(CostModel::sgx_v1()));
+            vm.run().unwrap();
+            vm.machine().clock().now()
+        };
+        let (vm, store) = run_sampled(10_000);
+        let sampled = vm.machine().clock().now();
+        assert!(sampled > plain);
+        assert_eq!(vm.machine().stats().aexes as usize, store.len());
+    }
+
+    #[test]
+    fn hot_function_dominates_report() {
+        let (vm, store) = run_sampled(5_000);
+        let sym = Symbolizer::without_relocation(vm.program().debug.clone());
+        let report = PerfReport::build(&store.samples(), &sym);
+        assert!(report.total_samples > 10);
+        assert_eq!(report.rows[0].name, "spin");
+        assert!(report.fraction("spin") > 0.9);
+        // Folded stacks attribute spin under main.
+        assert!(report
+            .folded
+            .iter()
+            .any(|(path, _)| path == &vec!["main".to_string(), "spin".into()]));
+        let text = report.to_text();
+        assert!(text.contains("spin"));
+        assert!(text.contains('%'));
+    }
+
+    #[test]
+    fn stackless_mode_keeps_flat_profile_only() {
+        let program = mcvm::compile(SRC).unwrap();
+        let mut vm = Vm::new(program, tee_sim::Machine::new(CostModel::sgx_v1()));
+        let (sampler, store) = Sampler::new(PerfConfig {
+            period_cycles: 5_000,
+            capture_stacks: false,
+        });
+        vm.set_observer(Box::new(sampler));
+        vm.run().unwrap();
+        let sym = Symbolizer::without_relocation(vm.program().debug.clone());
+        let report = PerfReport::build(&store.samples(), &sym);
+        assert!(report.total_samples > 0);
+        assert!(report.folded.is_empty());
+        assert!(!report.rows.is_empty());
+    }
+
+    #[test]
+    fn report_frame_is_queryable() {
+        let (vm, store) = run_sampled(5_000);
+        let sym = Symbolizer::without_relocation(vm.program().debug.clone());
+        let report = PerfReport::build(&store.samples(), &sym);
+        let out =
+            teeperf_analyzer::run_query(&report.frame(), "select method where pct > 50").unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn empty_samples_build_empty_report() {
+        let sym = Symbolizer::without_relocation(mcvm::DebugInfo::default());
+        let report = PerfReport::build(&[], &sym);
+        assert_eq!(report.total_samples, 0);
+        assert!(report.rows.is_empty());
+        assert_eq!(report.fraction("x"), 0.0);
+    }
+
+    #[test]
+    fn transition_report_counts_but_cannot_name_methods() {
+        // An ocall-heavy program: sgx-perf sees the transitions clearly…
+        let src = "fn main() -> int {
+            let s: int = 0;
+            for (let i: int = 0; i < 50; i = i + 1) { s = s + getpid(); }
+            return s & 1;
+        }";
+        let program = mcvm::compile(src).unwrap();
+        let mut vm = Vm::new(program, tee_sim::Machine::new(CostModel::sgx_v1()));
+        vm.run().unwrap();
+        let report = TransitionReport::from_stats(
+            vm.machine().stats(),
+            vm.machine().cost(),
+            vm.machine().clock().now(),
+        );
+        assert_eq!(report.ocalls, 50);
+        assert_eq!(report.ecalls, 1);
+        assert!(report.transition_fraction > 0.5, "{report:?}");
+        let text = report.to_text();
+        assert!(text.contains("ocalls: 50"));
+        // …and that is all it sees: no method names anywhere (the paper's
+        // critique — TEE-Perf's method-level log is the difference).
+        assert!(!text.contains("main"));
+    }
+
+    #[test]
+    #[should_panic(expected = "period")]
+    fn zero_period_rejected() {
+        let _ = Sampler::new(PerfConfig {
+            period_cycles: 0,
+            capture_stacks: false,
+        });
+    }
+}

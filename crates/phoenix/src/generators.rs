@@ -1,0 +1,99 @@
+//! Seeded input generators shared by the workloads.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic RNG for workload generation.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Uniform integers in `[0, bound)`.
+pub fn ints(seed: u64, n: usize, bound: i64) -> Vec<i64> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen_range(0..bound)).collect()
+}
+
+/// Uniform floats in `[lo, hi)`.
+pub fn floats(seed: u64, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen_range(lo..hi)).collect()
+}
+
+/// A corpus of lowercase words with the given count and length range,
+/// returned as (concatenated bytes, offsets with a final sentinel).
+///
+/// A fraction of the words is drawn from a small repeated vocabulary so
+/// hash tables see realistic collision/duplication behaviour.
+pub fn words(seed: u64, count: usize, min_len: usize, max_len: usize) -> (Vec<i64>, Vec<i64>) {
+    let mut r = rng(seed);
+    let vocab: Vec<Vec<u8>> = (0..32)
+        .map(|_| random_word(&mut r, min_len, max_len))
+        .collect();
+    let mut bytes = Vec::new();
+    let mut offs = Vec::with_capacity(count + 1);
+    for _ in 0..count {
+        offs.push(bytes.len() as i64);
+        if r.gen_bool(0.5) {
+            let w = &vocab[r.gen_range(0..vocab.len())];
+            bytes.extend(w.iter().map(|b| i64::from(*b)));
+        } else {
+            let w = random_word(&mut r, min_len, max_len);
+            bytes.extend(w.iter().map(|b| i64::from(*b)));
+        }
+    }
+    offs.push(bytes.len() as i64);
+    (bytes, offs)
+}
+
+fn random_word(r: &mut StdRng, min_len: usize, max_len: usize) -> Vec<u8> {
+    let len = r.gen_range(min_len..=max_len);
+    (0..len).map(|_| r.gen_range(b'a'..=b'z')).collect()
+}
+
+/// Slice word `i` out of a `(bytes, offs)` corpus.
+pub fn word_at(bytes: &[i64], offs: &[i64], i: usize) -> Vec<i64> {
+    bytes[offs[i] as usize..offs[i + 1] as usize].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        assert_eq!(ints(5, 10, 100), ints(5, 10, 100));
+        assert_ne!(ints(5, 10, 100), ints(6, 10, 100));
+        assert_eq!(floats(5, 4, 0.0, 1.0), floats(5, 4, 0.0, 1.0));
+    }
+
+    #[test]
+    fn ints_respect_bound() {
+        assert!(ints(1, 1000, 256).iter().all(|v| (0..256).contains(v)));
+    }
+
+    #[test]
+    fn words_have_consistent_offsets() {
+        let (bytes, offs) = words(3, 100, 2, 8);
+        assert_eq!(offs.len(), 101);
+        assert_eq!(*offs.last().unwrap(), bytes.len() as i64);
+        for i in 0..100 {
+            let w = word_at(&bytes, &offs, i);
+            assert!((2..=8).contains(&w.len()));
+            assert!(w.iter().all(|b| (97..=122).contains(b)));
+        }
+    }
+
+    #[test]
+    fn vocabulary_produces_duplicates() {
+        let (bytes, offs) = words(3, 500, 2, 8);
+        let mut seen = std::collections::HashSet::new();
+        let mut dups = 0;
+        for i in 0..500 {
+            if !seen.insert(word_at(&bytes, &offs, i)) {
+                dups += 1;
+            }
+        }
+        assert!(dups > 50, "expected many duplicate words, got {dups}");
+    }
+}

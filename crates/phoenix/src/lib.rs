@@ -1,0 +1,167 @@
+//! # phoenix — the Phoenix 2.0 multithreaded benchmark suite in Mini-C
+//!
+//! The paper's overhead evaluation (Figure 4) runs the Phoenix 2.0 suite
+//! (Ranger et al., HPCA'07) inside an SGX enclave. This crate ports the
+//! seven workloads to Mini-C so they can pass through TEE-Perf's
+//! instrumentation pass unmodified, exactly as the C originals pass through
+//! `gcc -finstrument-functions`:
+//!
+//! | benchmark | kernel | call density |
+//! |---|---|---|
+//! | `histogram` | per-pixel RGB binning with atomic merges | medium |
+//! | `linear_regression` | one fused accumulation loop | lowest (the paper's best case: TEE-Perf beats `perf`) |
+//! | `string_match` | per-word key comparison via tiny functions | highest (the paper's 5.7× worst case) |
+//! | `word_count` | open-addressing hash table of words | high |
+//! | `matrix_mult` | blocked row×column products | medium |
+//! | `kmeans` | distance function per point×cluster×iteration | high |
+//! | `pca` | mean + covariance dot products | medium |
+//!
+//! Every workload is multithreaded (`spawn`/`join` with atomic work
+//! distribution), generated from a seeded RNG, and *verified* against a
+//! straightforward Rust reference implementation, so the profiling
+//! experiments measure correct computations.
+
+pub mod generators;
+pub mod workloads;
+
+use mcvm::{McError, Vm};
+
+/// Workload sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny inputs for unit tests (≈100 k VM instructions).
+    Small,
+    /// The figure-generation size (≈1–3 M VM instructions per run).
+    Full,
+}
+
+/// One Phoenix benchmark: Mini-C source + input injection + verification.
+pub trait Benchmark {
+    /// Benchmark name as it appears in Figure 4.
+    fn name(&self) -> &'static str;
+
+    /// The Mini-C program.
+    fn source(&self) -> &'static str;
+
+    /// Inject the generated inputs into the VM's globals.
+    ///
+    /// # Errors
+    /// Fails only if the program's globals don't match the workload (a bug).
+    fn setup(&self, vm: &mut Vm) -> Result<(), McError>;
+
+    /// Check the outputs left in the VM against the Rust reference.
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the first mismatch.
+    fn verify(&self, vm: &Vm) -> Result<(), String>;
+}
+
+/// Number of worker threads used by every workload (the paper's testbed
+/// has 4 cores).
+pub const NTHREADS: i64 = 4;
+
+/// Instantiate the full suite in Figure-4 order.
+pub fn suite(scale: Scale, seed: u64) -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(workloads::histogram::Histogram::new(scale, seed)),
+        Box::new(workloads::kmeans::KMeans::new(scale, seed)),
+        Box::new(workloads::linear_regression::LinearRegression::new(scale, seed)),
+        Box::new(workloads::matrix_mult::MatrixMult::new(scale, seed)),
+        Box::new(workloads::pca::Pca::new(scale, seed)),
+        Box::new(workloads::string_match::StringMatch::new(scale, seed)),
+        Box::new(workloads::word_count::WordCount::new(scale, seed)),
+    ]
+}
+
+/// Compile and run one benchmark uninstrumented on the given cost model;
+/// returns the VM after a verified run.
+///
+/// # Errors
+/// Returns the VM error or the verification failure as a string.
+pub fn run_and_verify(
+    bench: &dyn Benchmark,
+    cost: tee_sim::CostModel,
+) -> Result<Vm, String> {
+    let program = mcvm::compile(bench.source())
+        .map_err(|e| format!("{}: compile error: {e}", bench.name()))?;
+    let mut vm = Vm::new(program, tee_sim::Machine::new(cost));
+    bench
+        .setup(&mut vm)
+        .map_err(|e| format!("{}: setup error: {e}", bench.name()))?;
+    vm.run()
+        .map_err(|e| format!("{}: runtime error: {e}", bench.name()))?;
+    bench.verify(&vm).map_err(|e| format!("{}: {e}", bench.name()))?;
+    Ok(vm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tee_sim::CostModel;
+
+    #[test]
+    fn suite_has_seven_benchmarks_in_order() {
+        let s = suite(Scale::Small, 1);
+        let names: Vec<&str> = s.iter().map(|b| b.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "histogram",
+                "kmeans",
+                "linear_regression",
+                "matrix_mult",
+                "pca",
+                "string_match",
+                "word_count"
+            ]
+        );
+    }
+
+    #[test]
+    fn all_benchmarks_run_and_verify_native_small() {
+        for b in suite(Scale::Small, 42) {
+            run_and_verify(b.as_ref(), CostModel::native()).unwrap();
+        }
+    }
+
+    #[test]
+    fn all_benchmarks_verify_under_instrumentation() {
+        // The instrumented binary must compute the same results, and the
+        // recorded log must balance.
+        for b in suite(Scale::Small, 7) {
+            let program = teeperf_compiler::compile_instrumented(
+                b.source(),
+                &teeperf_compiler::InstrumentOptions::default(),
+            )
+            .unwrap();
+            let run = teeperf_compiler::profile_program(
+                program,
+                CostModel::sgx_v1(),
+                mcvm::RunConfig::default(),
+                &teeperf_core::RecorderConfig::default(),
+                |vm| b.setup(vm),
+            )
+            .unwrap();
+            assert_eq!(run.exit_code, 0, "{} nonzero exit", b.name());
+            let calls = run
+                .log
+                .entries
+                .iter()
+                .filter(|e| e.kind.is_call())
+                .count();
+            let rets = run.log.entries.len() - calls;
+            assert_eq!(calls, rets, "{} unbalanced log", b.name());
+            // linear_regression is deliberately call-sparse (main + workers
+            // only); everything else records far more.
+            assert!(calls >= 5, "{} suspiciously few calls", b.name());
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_inputs_same_correctness() {
+        for seed in [1, 99] {
+            let b = workloads::histogram::Histogram::new(Scale::Small, seed);
+            run_and_verify(&b, CostModel::native()).unwrap();
+        }
+    }
+}

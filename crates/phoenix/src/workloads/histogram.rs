@@ -1,0 +1,145 @@
+//! Phoenix `histogram`: bin the R, G and B channels of an image into
+//! 3 × 256 buckets. Workers claim pixel chunks with an atomic cursor and
+//! merge into the shared bins with atomic adds.
+
+use crate::generators;
+use crate::{Benchmark, Scale, NTHREADS};
+use mcvm::{McError, Vm};
+
+const SOURCE: &str = "
+// Phoenix histogram, Mini-C port.
+global data: [int];      // 3*n interleaved r,g,b values in 0..255
+global n: int;           // number of pixels
+global nthreads: int;
+global bins: [int];      // 768 buckets: r 0..255, g 256..511, b 512..767
+global cursor: [int];    // shared work cursor
+
+fn bin_pixel(i: int) -> int {
+    let off: int = i * 3;
+    atomic_add(bins, data[off], 1);
+    atomic_add(bins, 256 + data[off + 1], 1);
+    atomic_add(bins, 512 + data[off + 2], 1);
+    return 3;
+}
+
+fn process_chunk(start: int, end: int) -> int {
+    let done: int = 0;
+    for (let i: int = start; i < end; i = i + 1) {
+        done = done + bin_pixel(i);
+    }
+    return done;
+}
+
+fn worker(id: int) -> int {
+    let chunk: int = 64;
+    let done: int = 0;
+    while (1) {
+        let start: int = atomic_add(cursor, 0, chunk);
+        if (start >= n) { break; }
+        let end: int = start + chunk;
+        if (end > n) { end = n; }
+        done = done + process_chunk(start, end);
+    }
+    return done;
+}
+
+fn main() -> int {
+    bins = alloc(768);
+    cursor = alloc(1);
+    let tids: [int] = alloc(nthreads);
+    for (let t: int = 0; t < nthreads; t = t + 1) { tids[t] = spawn(worker, t); }
+    let total: int = 0;
+    for (let t: int = 0; t < nthreads; t = t + 1) { total = total + join(tids[t]); }
+    assert(total == n * 3);
+    return 0;
+}
+";
+
+/// The histogram benchmark instance.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    data: Vec<i64>,
+    n: i64,
+}
+
+impl Histogram {
+    /// Generate inputs for the given scale and seed.
+    pub fn new(scale: Scale, seed: u64) -> Histogram {
+        let n = match scale {
+            Scale::Small => 1_500,
+            Scale::Full => 30_000,
+        };
+        Histogram {
+            data: generators::ints(seed, n * 3, 256),
+            n: n as i64,
+        }
+    }
+
+    fn expected_bins(&self) -> Vec<i64> {
+        let mut bins = vec![0i64; 768];
+        for p in 0..self.n as usize {
+            bins[self.data[p * 3] as usize] += 1;
+            bins[256 + self.data[p * 3 + 1] as usize] += 1;
+            bins[512 + self.data[p * 3 + 2] as usize] += 1;
+        }
+        bins
+    }
+}
+
+impl Benchmark for Histogram {
+    fn name(&self) -> &'static str {
+        "histogram"
+    }
+
+    fn source(&self) -> &'static str {
+        SOURCE
+    }
+
+    fn setup(&self, vm: &mut Vm) -> Result<(), McError> {
+        vm.set_global_int_array("data", &self.data)?;
+        vm.set_global_int("n", self.n)?;
+        vm.set_global_int("nthreads", NTHREADS)
+    }
+
+    fn verify(&self, vm: &Vm) -> Result<(), String> {
+        let bins = vm
+            .read_global_int_array("bins")
+            .map_err(|e| e.to_string())?;
+        let expected = self.expected_bins();
+        if bins != expected {
+            let bad = bins
+                .iter()
+                .zip(&expected)
+                .position(|(a, b)| a != b)
+                .expect("some bin differs");
+            return Err(format!(
+                "bin {bad}: got {}, expected {}",
+                bins[bad], expected[bad]
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_and_verify;
+    use tee_sim::CostModel;
+
+    #[test]
+    fn histogram_verifies_on_native_and_sgx() {
+        let b = Histogram::new(Scale::Small, 11);
+        run_and_verify(&b, CostModel::native()).unwrap();
+        run_and_verify(&b, CostModel::sgx_v1()).unwrap();
+    }
+
+    #[test]
+    fn bins_sum_to_pixel_count() {
+        let b = Histogram::new(Scale::Small, 3);
+        let vm = run_and_verify(&b, CostModel::native()).unwrap();
+        let bins = vm.read_global_int_array("bins").unwrap();
+        assert_eq!(bins.iter().sum::<i64>(), b.n * 3);
+        assert_eq!(bins[..256].iter().sum::<i64>(), b.n);
+    }
+}

@@ -1,0 +1,273 @@
+//! Phoenix `kmeans`: iterative k-means clustering. Each iteration spawns
+//! workers for the assignment phase (distance function per point×cluster —
+//! call-dense), then the main thread reduces the per-thread partial sums
+//! into new centroids, exactly like the original's map-reduce rounds.
+
+use crate::generators;
+use crate::{Benchmark, Scale, NTHREADS};
+use mcvm::{McError, Vm};
+
+const SOURCE: &str = "
+// Phoenix kmeans, Mini-C port.
+global px: [float];        // n*d point coordinates
+global n: int;
+global d: int;
+global k: int;
+global iters: int;
+global nthreads: int;
+global centroids: [float]; // k*d
+global assign: [int];      // n
+global psums: [[float]];   // per-thread k*d partial sums
+global pcounts: [[int]];   // per-thread k counts
+
+fn dist2(p: int, c: int) -> float {
+    let s: float = 0.0;
+    let po: int = p * d;
+    let co: int = c * d;
+    for (let i: int = 0; i < d; i = i + 1) {
+        let diff: float = px[po + i] - centroids[co + i];
+        s = s + diff * diff;
+    }
+    return s;
+}
+
+fn best_cluster(p: int) -> int {
+    let best: int = 0;
+    let bestd: float = dist2(p, 0);
+    for (let c: int = 1; c < k; c = c + 1) {
+        let dd: float = dist2(p, c);
+        if (dd < bestd) { bestd = dd; best = c; }
+    }
+    return best;
+}
+
+fn assign_worker(id: int) -> int {
+    let per: int = (n + nthreads - 1) / nthreads;
+    let start: int = id * per;
+    let end: int = start + per;
+    if (end > n) { end = n; }
+    let sums: [float] = psums[id];
+    let counts: [int] = pcounts[id];
+    let moved: int = 0;
+    for (let p: int = start; p < end; p = p + 1) {
+        let c: int = best_cluster(p);
+        if (c != assign[p]) { moved = moved + 1; }
+        assign[p] = c;
+        counts[c] = counts[c] + 1;
+        for (let i: int = 0; i < d; i = i + 1) {
+            sums[c * d + i] = sums[c * d + i] + px[p * d + i];
+        }
+    }
+    return moved;
+}
+
+fn update_centroids() -> int {
+    for (let c: int = 0; c < k; c = c + 1) {
+        let count: int = 0;
+        for (let t: int = 0; t < nthreads; t = t + 1) {
+            count = count + pcounts[t][c];
+        }
+        if (count > 0) {
+            for (let i: int = 0; i < d; i = i + 1) {
+                let s: float = 0.0;
+                for (let t: int = 0; t < nthreads; t = t + 1) {
+                    s = s + psums[t][c * d + i];
+                }
+                centroids[c * d + i] = s / itof(count);
+            }
+        }
+    }
+    return 0;
+}
+
+fn clear_partials() -> int {
+    for (let t: int = 0; t < nthreads; t = t + 1) {
+        let sums: [float] = psums[t];
+        let counts: [int] = pcounts[t];
+        for (let i: int = 0; i < k * d; i = i + 1) { sums[i] = 0.0; }
+        for (let c: int = 0; c < k; c = c + 1) { counts[c] = 0; }
+    }
+    return 0;
+}
+
+fn main() -> int {
+    assign = alloc(n);
+    for (let p: int = 0; p < n; p = p + 1) { assign[p] = -1; }
+    psums = alloc(nthreads);
+    pcounts = alloc(nthreads);
+    for (let t: int = 0; t < nthreads; t = t + 1) {
+        psums[t] = alloc(k * d);
+        pcounts[t] = alloc(k);
+    }
+    let tids: [int] = alloc(nthreads);
+    for (let it: int = 0; it < iters; it = it + 1) {
+        clear_partials();
+        for (let t: int = 0; t < nthreads; t = t + 1) { tids[t] = spawn(assign_worker, t); }
+        let moved: int = 0;
+        for (let t: int = 0; t < nthreads; t = t + 1) { moved = moved + join(tids[t]); }
+        update_centroids();
+        if (moved == 0) { break; }
+    }
+    return 0;
+}
+";
+
+/// The k-means benchmark instance.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    px: Vec<f64>,
+    n: i64,
+    d: i64,
+    k: i64,
+    iters: i64,
+    init_centroids: Vec<f64>,
+}
+
+impl KMeans {
+    /// Generate inputs for the given scale and seed.
+    pub fn new(scale: Scale, seed: u64) -> KMeans {
+        let (n, d, k, iters) = match scale {
+            Scale::Small => (300, 3, 4, 4),
+            Scale::Full => (2_200, 4, 5, 8),
+        };
+        let px = generators::floats(seed, (n * d) as usize, 0.0, 100.0);
+        // Initial centroids: the first k points (deterministic).
+        let init_centroids = px[..(k * d) as usize].to_vec();
+        KMeans {
+            px,
+            n,
+            d,
+            k,
+            iters,
+            init_centroids,
+        }
+    }
+
+    /// Rust reference implementation mirroring the Mini-C algorithm
+    /// (same arithmetic order per thread chunk, so results match exactly up
+    /// to f64 associativity which we avoid by chunking identically).
+    #[allow(clippy::needless_range_loop)] // mirrors the Mini-C loops 1:1
+    fn reference(&self) -> (Vec<i64>, Vec<f64>) {
+        let (n, d, k) = (self.n as usize, self.d as usize, self.k as usize);
+        let nthreads = NTHREADS as usize;
+        let mut centroids = self.init_centroids.clone();
+        let mut assign = vec![-1i64; n];
+        for _ in 0..self.iters {
+            let mut psums = vec![vec![0.0f64; k * d]; nthreads];
+            let mut pcounts = vec![vec![0i64; k]; nthreads];
+            let mut moved = 0;
+            let per = n.div_ceil(nthreads);
+            for t in 0..nthreads {
+                let start = t * per;
+                let end = (start + per).min(n);
+                for p in start..end {
+                    let mut best = 0usize;
+                    let mut bestd = f64::INFINITY;
+                    for c in 0..k {
+                        let mut s = 0.0;
+                        for i in 0..d {
+                            let diff = self.px[p * d + i] - centroids[c * d + i];
+                            s += diff * diff;
+                        }
+                        if s < bestd {
+                            bestd = s;
+                            best = c;
+                        }
+                    }
+                    if best as i64 != assign[p] {
+                        moved += 1;
+                    }
+                    assign[p] = best as i64;
+                    pcounts[t][best] += 1;
+                    for i in 0..d {
+                        psums[t][best * d + i] += self.px[p * d + i];
+                    }
+                }
+            }
+            for c in 0..k {
+                let count: i64 = (0..nthreads).map(|t| pcounts[t][c]).sum();
+                if count > 0 {
+                    for i in 0..d {
+                        let s: f64 = (0..nthreads).map(|t| psums[t][c * d + i]).sum();
+                        centroids[c * d + i] = s / count as f64;
+                    }
+                }
+            }
+            if moved == 0 {
+                break;
+            }
+        }
+        (assign, centroids)
+    }
+}
+
+impl Benchmark for KMeans {
+    fn name(&self) -> &'static str {
+        "kmeans"
+    }
+
+    fn source(&self) -> &'static str {
+        SOURCE
+    }
+
+    fn setup(&self, vm: &mut Vm) -> Result<(), McError> {
+        vm.set_global_float_array("px", &self.px)?;
+        vm.set_global_float_array("centroids", &self.init_centroids)?;
+        vm.set_global_int("n", self.n)?;
+        vm.set_global_int("d", self.d)?;
+        vm.set_global_int("k", self.k)?;
+        vm.set_global_int("iters", self.iters)?;
+        vm.set_global_int("nthreads", NTHREADS)
+    }
+
+    fn verify(&self, vm: &Vm) -> Result<(), String> {
+        let (ref_assign, ref_centroids) = self.reference();
+        let assign = vm
+            .read_global_int_array("assign")
+            .map_err(|e| e.to_string())?;
+        if assign != ref_assign {
+            let bad = assign
+                .iter()
+                .zip(&ref_assign)
+                .position(|(a, b)| a != b)
+                .expect("some assignment differs");
+            return Err(format!(
+                "assignment of point {bad}: got {}, expected {}",
+                assign[bad], ref_assign[bad]
+            ));
+        }
+        let centroids = vm
+            .read_global_float_array("centroids")
+            .map_err(|e| e.to_string())?;
+        for (i, (a, b)) in centroids.iter().zip(&ref_centroids).enumerate() {
+            if (a - b).abs() > 1e-9 * b.abs().max(1.0) {
+                return Err(format!("centroid coord {i}: got {a}, expected {b}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_and_verify;
+    use tee_sim::CostModel;
+
+    #[test]
+    fn kmeans_verifies() {
+        let b = KMeans::new(Scale::Small, 13);
+        run_and_verify(&b, CostModel::native()).unwrap();
+    }
+
+    #[test]
+    fn clustering_uses_every_cluster() {
+        let b = KMeans::new(Scale::Small, 13);
+        let (assign, _) = b.reference();
+        let mut used = vec![false; b.k as usize];
+        for a in assign {
+            used[a as usize] = true;
+        }
+        assert!(used.iter().all(|u| *u), "degenerate clustering");
+    }
+}

@@ -1,0 +1,167 @@
+//! Phoenix `linear_regression`: least-squares fit over a point cloud.
+//!
+//! Deliberately the most call-sparse workload: each worker runs **one**
+//! fused accumulation loop and issues a handful of atomic merges. The paper
+//! observes TEE-Perf is ~8 % *faster* than `perf` here — almost no hooks
+//! execute, while `perf` keeps paying periodic AEX interrupts.
+
+use crate::generators;
+use crate::{Benchmark, Scale, NTHREADS};
+use mcvm::{McError, Vm};
+
+const SOURCE: &str = "
+// Phoenix linear_regression, Mini-C port.
+global xs: [int];
+global ys: [int];
+global n: int;
+global nthreads: int;
+global sums: [int];   // sx, sy, sxx, syy, sxy
+
+fn worker(id: int) -> int {
+    let per: int = (n + nthreads - 1) / nthreads;
+    let start: int = id * per;
+    let end: int = start + per;
+    if (end > n) { end = n; }
+    let sx: int = 0;
+    let sy: int = 0;
+    let sxx: int = 0;
+    let syy: int = 0;
+    let sxy: int = 0;
+    for (let i: int = start; i < end; i = i + 1) {
+        let x: int = xs[i];
+        let y: int = ys[i];
+        sx = sx + x;
+        sy = sy + y;
+        sxx = sxx + x * x;
+        syy = syy + y * y;
+        sxy = sxy + x * y;
+    }
+    atomic_add(sums, 0, sx);
+    atomic_add(sums, 1, sy);
+    atomic_add(sums, 2, sxx);
+    atomic_add(sums, 3, syy);
+    atomic_add(sums, 4, sxy);
+    return end - start;
+}
+
+fn main() -> int {
+    sums = alloc(5);
+    let tids: [int] = alloc(nthreads);
+    for (let t: int = 0; t < nthreads; t = t + 1) { tids[t] = spawn(worker, t); }
+    let total: int = 0;
+    for (let t: int = 0; t < nthreads; t = t + 1) { total = total + join(tids[t]); }
+    assert(total == n);
+    return 0;
+}
+";
+
+/// The linear-regression benchmark instance.
+#[derive(Debug, Clone)]
+pub struct LinearRegression {
+    xs: Vec<i64>,
+    ys: Vec<i64>,
+    n: i64,
+}
+
+impl LinearRegression {
+    /// Generate inputs for the given scale and seed.
+    pub fn new(scale: Scale, seed: u64) -> LinearRegression {
+        let n = match scale {
+            Scale::Small => 4_000,
+            Scale::Full => 60_000,
+        };
+        // y ≈ 3x + noise, values kept small so i64 sums cannot overflow.
+        let xs = generators::ints(seed, n, 1_000);
+        let noise = generators::ints(seed ^ 0xdead, n, 100);
+        let ys: Vec<i64> = xs.iter().zip(&noise).map(|(x, e)| 3 * x + e).collect();
+        LinearRegression {
+            xs,
+            ys,
+            n: n as i64,
+        }
+    }
+
+    fn expected_sums(&self) -> [i64; 5] {
+        let mut s = [0i64; 5];
+        for (x, y) in self.xs.iter().zip(&self.ys) {
+            s[0] += x;
+            s[1] += y;
+            s[2] += x * x;
+            s[3] += y * y;
+            s[4] += x * y;
+        }
+        s
+    }
+}
+
+impl Benchmark for LinearRegression {
+    fn name(&self) -> &'static str {
+        "linear_regression"
+    }
+
+    fn source(&self) -> &'static str {
+        SOURCE
+    }
+
+    fn setup(&self, vm: &mut Vm) -> Result<(), McError> {
+        vm.set_global_int_array("xs", &self.xs)?;
+        vm.set_global_int_array("ys", &self.ys)?;
+        vm.set_global_int("n", self.n)?;
+        vm.set_global_int("nthreads", NTHREADS)
+    }
+
+    fn verify(&self, vm: &Vm) -> Result<(), String> {
+        let sums = vm
+            .read_global_int_array("sums")
+            .map_err(|e| e.to_string())?;
+        let expected = self.expected_sums();
+        if sums != expected {
+            return Err(format!("sums {sums:?} != expected {expected:?}"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_and_verify;
+    use tee_sim::CostModel;
+
+    #[test]
+    fn linear_regression_verifies() {
+        let b = LinearRegression::new(Scale::Small, 2);
+        run_and_verify(&b, CostModel::native()).unwrap();
+    }
+
+    #[test]
+    fn slope_recovers_the_generating_model() {
+        let b = LinearRegression::new(Scale::Small, 2);
+        let [sx, sy, sxx, _syy, sxy] = b.expected_sums();
+        let n = b.n as f64;
+        let slope =
+            (n * sxy as f64 - sx as f64 * sy as f64) / (n * sxx as f64 - (sx as f64).powi(2));
+        assert!((slope - 3.0).abs() < 0.05, "slope {slope}");
+    }
+
+    #[test]
+    fn is_call_sparse() {
+        // The property Figure 4 depends on: very few instrumentable calls.
+        let b = LinearRegression::new(Scale::Small, 2);
+        let program = teeperf_compiler::compile_instrumented(
+            b.source(),
+            &teeperf_compiler::InstrumentOptions::default(),
+        )
+        .unwrap();
+        let run = teeperf_compiler::profile_program(
+            program,
+            CostModel::sgx_v1(),
+            mcvm::RunConfig::default(),
+            &teeperf_core::RecorderConfig::default(),
+            |vm| b.setup(vm),
+        )
+        .unwrap();
+        // main + nthreads workers, ×2 events each.
+        assert_eq!(run.log.entries.len() as i64, 2 * (1 + NTHREADS));
+    }
+}

@@ -1,0 +1,9 @@
+//! The seven Phoenix workloads.
+
+pub mod histogram;
+pub mod kmeans;
+pub mod linear_regression;
+pub mod matrix_mult;
+pub mod pca;
+pub mod string_match;
+pub mod word_count;

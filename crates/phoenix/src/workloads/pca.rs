@@ -1,0 +1,214 @@
+//! Phoenix `pca`: mean vector and covariance matrix of a data matrix
+//! (rows = variables, columns = observations). Workers compute row means
+//! in a first wave, then covariance entries (upper triangle) in a second —
+//! the two-pass structure of the original benchmark.
+
+use crate::generators;
+use crate::{Benchmark, Scale, NTHREADS};
+use mcvm::{McError, Vm};
+
+const SOURCE: &str = "
+// Phoenix pca, Mini-C port.
+global mat: [float];    // r*c, row-major
+global r: int;
+global c: int;
+global nthreads: int;
+global means: [float];  // r
+global cov: [float];    // r*r (upper triangle filled)
+global cursor: [int];   // work cursor over covariance pairs
+
+fn row_mean(i: int) -> float {
+    let s: float = 0.0;
+    let off: int = i * c;
+    for (let j: int = 0; j < c; j = j + 1) { s = s + mat[off + j]; }
+    return s / itof(c);
+}
+
+fn mean_worker(id: int) -> int {
+    for (let i: int = id; i < r; i = i + nthreads) {
+        means[i] = row_mean(i);
+    }
+    return 0;
+}
+
+fn cov_pair(i: int, j: int) -> float {
+    let s: float = 0.0;
+    let oi: int = i * c;
+    let oj: int = j * c;
+    let mi: float = means[i];
+    let mj: float = means[j];
+    for (let t: int = 0; t < c; t = t + 1) {
+        s = s + (mat[oi + t] - mi) * (mat[oj + t] - mj);
+    }
+    return s / itof(c - 1);
+}
+
+fn pair_index(p: int) -> int {
+    // Row of the p-th upper-triangle pair, solving p against the triangle.
+    let i: int = 0;
+    let consumed: int = 0;
+    while (consumed + (r - i) <= p) {
+        consumed = consumed + (r - i);
+        i = i + 1;
+    }
+    return i * r + (i + (p - consumed));  // encode (i, j)
+}
+
+fn cov_worker(id: int) -> int {
+    let npairs: int = r * (r + 1) / 2;
+    let done: int = 0;
+    while (1) {
+        let p: int = atomic_add(cursor, 0, 1);
+        if (p >= npairs) { break; }
+        let enc: int = pair_index(p);
+        let i: int = enc / r;
+        let j: int = enc % r;
+        cov[i * r + j] = cov_pair(i, j);
+        done = done + 1;
+    }
+    return done;
+}
+
+fn main() -> int {
+    means = alloc(r);
+    cov = alloc(r * r);
+    cursor = alloc(1);
+    let tids: [int] = alloc(nthreads);
+    for (let t: int = 0; t < nthreads; t = t + 1) { tids[t] = spawn(mean_worker, t); }
+    for (let t: int = 0; t < nthreads; t = t + 1) { join(tids[t]); }
+    for (let t: int = 0; t < nthreads; t = t + 1) { tids[t] = spawn(cov_worker, t); }
+    let total: int = 0;
+    for (let t: int = 0; t < nthreads; t = t + 1) { total = total + join(tids[t]); }
+    assert(total == r * (r + 1) / 2);
+    return 0;
+}
+";
+
+/// The PCA benchmark instance.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    mat: Vec<f64>,
+    r: i64,
+    c: i64,
+}
+
+impl Pca {
+    /// Generate inputs for the given scale and seed.
+    pub fn new(scale: Scale, seed: u64) -> Pca {
+        let (r, c) = match scale {
+            Scale::Small => (10, 200),
+            Scale::Full => (24, 1_200),
+        };
+        Pca {
+            mat: generators::floats(seed, (r * c) as usize, -10.0, 10.0),
+            r: r as i64,
+            c: c as i64,
+        }
+    }
+
+    #[allow(clippy::needless_range_loop)] // mirrors the Mini-C loops 1:1
+    fn reference(&self) -> (Vec<f64>, Vec<f64>) {
+        let (r, c) = (self.r as usize, self.c as usize);
+        let mut means = vec![0.0f64; r];
+        for i in 0..r {
+            let mut s = 0.0;
+            for j in 0..c {
+                s += self.mat[i * c + j];
+            }
+            means[i] = s / c as f64;
+        }
+        let mut cov = vec![0.0f64; r * r];
+        for i in 0..r {
+            for j in i..r {
+                let mut s = 0.0;
+                for t in 0..c {
+                    s += (self.mat[i * c + t] - means[i]) * (self.mat[j * c + t] - means[j]);
+                }
+                cov[i * r + j] = s / (c as f64 - 1.0);
+            }
+        }
+        (means, cov)
+    }
+}
+
+impl Benchmark for Pca {
+    fn name(&self) -> &'static str {
+        "pca"
+    }
+
+    fn source(&self) -> &'static str {
+        SOURCE
+    }
+
+    fn setup(&self, vm: &mut Vm) -> Result<(), McError> {
+        vm.set_global_float_array("mat", &self.mat)?;
+        vm.set_global_int("r", self.r)?;
+        vm.set_global_int("c", self.c)?;
+        vm.set_global_int("nthreads", NTHREADS)
+    }
+
+    fn verify(&self, vm: &Vm) -> Result<(), String> {
+        let (ref_means, ref_cov) = self.reference();
+        let means = vm
+            .read_global_float_array("means")
+            .map_err(|e| e.to_string())?;
+        for (i, (a, b)) in means.iter().zip(&ref_means).enumerate() {
+            if (a - b).abs() > 1e-9 {
+                return Err(format!("mean {i}: got {a}, expected {b}"));
+            }
+        }
+        let cov = vm
+            .read_global_float_array("cov")
+            .map_err(|e| e.to_string())?;
+        for (i, (a, b)) in cov.iter().zip(&ref_cov).enumerate() {
+            if (a - b).abs() > 1e-9 * b.abs().max(1.0) {
+                return Err(format!("cov {i}: got {a}, expected {b}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_and_verify;
+    use tee_sim::CostModel;
+
+    #[test]
+    fn pca_verifies() {
+        let b = Pca::new(Scale::Small, 21);
+        run_and_verify(&b, CostModel::native()).unwrap();
+    }
+
+    #[test]
+    fn diagonal_is_variance_and_positive() {
+        let b = Pca::new(Scale::Small, 21);
+        let (_, cov) = b.reference();
+        let r = b.r as usize;
+        for i in 0..r {
+            assert!(cov[i * r + i] > 0.0, "variance must be positive");
+        }
+    }
+
+    #[test]
+    fn pair_enumeration_covers_upper_triangle() {
+        // Mirror the Mini-C pair_index logic and check it hits each (i,j),
+        // i <= j, exactly once.
+        let r = 7i64;
+        let mut seen = std::collections::HashSet::new();
+        let npairs = r * (r + 1) / 2;
+        for p in 0..npairs {
+            let mut i = 0;
+            let mut consumed = 0;
+            while consumed + (r - i) <= p {
+                consumed += r - i;
+                i += 1;
+            }
+            let j = i + (p - consumed);
+            assert!(i <= j && j < r);
+            assert!(seen.insert((i, j)));
+        }
+        assert_eq!(seen.len() as i64, npairs);
+    }
+}

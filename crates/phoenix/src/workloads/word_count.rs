@@ -1,0 +1,232 @@
+//! Phoenix `word_count`: count word occurrences with per-thread
+//! open-addressing hash tables merged by the main thread — the classic
+//! map-reduce shape of the original benchmark.
+
+use std::collections::HashMap;
+
+use crate::generators;
+use crate::{Benchmark, Scale, NTHREADS};
+use mcvm::{McError, Vm};
+
+const SOURCE: &str = "
+// Phoenix word_count, Mini-C port.
+// Each worker fills its own open-addressing table (keys = word index + 1,
+// so 0 means empty); main merges the per-thread tables into a final one.
+global text: [int];
+global offs: [int];
+global n_words: int;
+global nthreads: int;
+global cap: int;           // table capacity (power of two)
+global tkeys: [[int]];     // per-thread key tables
+global tcounts: [[int]];   // per-thread count tables
+global fkeys: [int];       // final merged table
+global fcounts: [int];
+global distinct: [int];    // [0] = number of distinct words
+
+fn hash_word(w: int) -> int {
+    let h: int = 5381;
+    let start: int = offs[w];
+    let end: int = offs[w + 1];
+    for (let i: int = start; i < end; i = i + 1) {
+        h = (h * 33 + text[i]) & 0xffffff;
+    }
+    return h;
+}
+
+fn words_equal(a: int, b: int) -> int {
+    let a_off: int = offs[a];
+    let b_off: int = offs[b];
+    let a_len: int = offs[a + 1] - a_off;
+    if (a_len != offs[b + 1] - b_off) { return 0; }
+    for (let i: int = 0; i < a_len; i = i + 1) {
+        if (text[a_off + i] != text[b_off + i]) { return 0; }
+    }
+    return 1;
+}
+
+// Insert word w with the given count into (keys, counts); returns 1 when a
+// new slot was claimed, 0 when an existing entry was bumped.
+fn table_add(keys: [int], counts: [int], w: int, count: int) -> int {
+    let slot: int = hash_word(w) & (cap - 1);
+    while (1) {
+        let k: int = keys[slot];
+        if (k == 0) {
+            keys[slot] = w + 1;
+            counts[slot] = count;
+            return 1;
+        }
+        if (words_equal(k - 1, w)) {
+            counts[slot] = counts[slot] + count;
+            return 0;
+        }
+        slot = (slot + 1) & (cap - 1);
+    }
+    return 0;
+}
+
+fn worker(id: int) -> int {
+    let per: int = (n_words + nthreads - 1) / nthreads;
+    let start: int = id * per;
+    let end: int = start + per;
+    if (end > n_words) { end = n_words; }
+    let keys: [int] = tkeys[id];
+    let counts: [int] = tcounts[id];
+    for (let w: int = start; w < end; w = w + 1) {
+        table_add(keys, counts, w, 1);
+    }
+    return end - start;
+}
+
+fn merge_tables() -> int {
+    let uniq: int = 0;
+    for (let t: int = 0; t < nthreads; t = t + 1) {
+        let keys: [int] = tkeys[t];
+        let counts: [int] = tcounts[t];
+        for (let s: int = 0; s < cap; s = s + 1) {
+            if (keys[s] != 0) {
+                uniq = uniq + table_add(fkeys, fcounts, keys[s] - 1, counts[s]);
+            }
+        }
+    }
+    return uniq;
+}
+
+fn main() -> int {
+    tkeys = alloc(nthreads);
+    tcounts = alloc(nthreads);
+    for (let t: int = 0; t < nthreads; t = t + 1) {
+        tkeys[t] = alloc(cap);
+        tcounts[t] = alloc(cap);
+    }
+    fkeys = alloc(cap);
+    fcounts = alloc(cap);
+    distinct = alloc(1);
+    let tids: [int] = alloc(nthreads);
+    for (let t: int = 0; t < nthreads; t = t + 1) { tids[t] = spawn(worker, t); }
+    let total: int = 0;
+    for (let t: int = 0; t < nthreads; t = t + 1) { total = total + join(tids[t]); }
+    assert(total == n_words);
+    distinct[0] = merge_tables();
+    return 0;
+}
+";
+
+/// The word-count benchmark instance.
+#[derive(Debug, Clone)]
+pub struct WordCount {
+    text: Vec<i64>,
+    offs: Vec<i64>,
+    n_words: i64,
+    cap: i64,
+}
+
+impl WordCount {
+    /// Generate inputs for the given scale and seed.
+    pub fn new(scale: Scale, seed: u64) -> WordCount {
+        let n_words = match scale {
+            Scale::Small => 800,
+            Scale::Full => 12_000,
+        };
+        let (text, offs) = generators::words(seed, n_words, 2, 9);
+        // Capacity: next power of two ≥ 4×words (load factor ≤ 0.25 so
+        // probing stays shallow even in the merged table).
+        let cap = (n_words * 4).next_power_of_two() as i64;
+        WordCount {
+            text,
+            offs,
+            n_words: n_words as i64,
+            cap,
+        }
+    }
+
+    fn reference_counts(&self) -> HashMap<Vec<i64>, i64> {
+        let mut m = HashMap::new();
+        for w in 0..self.n_words as usize {
+            *m.entry(generators::word_at(&self.text, &self.offs, w))
+                .or_insert(0) += 1;
+        }
+        m
+    }
+}
+
+impl Benchmark for WordCount {
+    fn name(&self) -> &'static str {
+        "word_count"
+    }
+
+    fn source(&self) -> &'static str {
+        SOURCE
+    }
+
+    fn setup(&self, vm: &mut Vm) -> Result<(), McError> {
+        vm.set_global_int_array("text", &self.text)?;
+        vm.set_global_int_array("offs", &self.offs)?;
+        vm.set_global_int("n_words", self.n_words)?;
+        vm.set_global_int("cap", self.cap)?;
+        vm.set_global_int("nthreads", NTHREADS)
+    }
+
+    fn verify(&self, vm: &Vm) -> Result<(), String> {
+        let reference = self.reference_counts();
+        let distinct = vm
+            .read_global_int_array("distinct")
+            .map_err(|e| e.to_string())?[0];
+        if distinct != reference.len() as i64 {
+            return Err(format!(
+                "distinct words: got {distinct}, expected {}",
+                reference.len()
+            ));
+        }
+        // Rebuild the merged table host-side and compare every count.
+        let fkeys = vm
+            .read_global_int_array("fkeys")
+            .map_err(|e| e.to_string())?;
+        let fcounts = vm
+            .read_global_int_array("fcounts")
+            .map_err(|e| e.to_string())?;
+        let mut total = 0i64;
+        for (slot, &k) in fkeys.iter().enumerate() {
+            if k == 0 {
+                continue;
+            }
+            let word = generators::word_at(&self.text, &self.offs, (k - 1) as usize);
+            let expected = reference.get(&word).copied().unwrap_or(0);
+            if fcounts[slot] != expected {
+                return Err(format!(
+                    "word {:?}: got {}, expected {expected}",
+                    String::from_utf8_lossy(&word.iter().map(|b| *b as u8).collect::<Vec<_>>()),
+                    fcounts[slot]
+                ));
+            }
+            total += fcounts[slot];
+        }
+        if total != self.n_words {
+            return Err(format!("counts sum to {total}, expected {}", self.n_words));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_and_verify;
+    use tee_sim::CostModel;
+
+    #[test]
+    fn word_count_verifies() {
+        let b = WordCount::new(Scale::Small, 8);
+        run_and_verify(&b, CostModel::native()).unwrap();
+    }
+
+    #[test]
+    fn reference_has_duplicates_to_exercise_bumping() {
+        let b = WordCount::new(Scale::Small, 8);
+        let reference = b.reference_counts();
+        assert!(
+            (reference.len() as i64) < b.n_words,
+            "corpus must contain duplicates"
+        );
+        assert!(reference.values().any(|&c| c > 1));
+    }
+}

@@ -1,0 +1,33 @@
+//! # spdk-sim — a user-space NVMe storage stack (the SPDK of §IV-C)
+//!
+//! The paper's case study ports Intel SPDK into an SGX enclave, profiles it
+//! with TEE-Perf, and finds the naive port spending ~72 % of its time in
+//! `getpid` ocalls and ~20 % in `rdtsc` emulation (Figure 6, top). After
+//! caching the pid and periodically-corrected timestamps, performance
+//! returns to (slightly above) native: 223,808 → 15,821 → 232,736 IOPS.
+//!
+//! This crate rebuilds that experiment end to end:
+//!
+//! * [`device`] — a simulated NVMe SSD (per-channel service model sized
+//!   after the paper's Intel DC P3700);
+//! * [`nvme`] — queue pairs with submission/completion rings and polled
+//!   completions, SPDK-style (no interrupts, no syscalls in the data path —
+//!   *except* the environment calls below);
+//! * [`env`](mod@env) — the environment layer: `getpid` and `get_ticks`/`rdtsc`.
+//!   [`env::SpdkEnv::naive`] issues a real syscall each time (an ocall
+//!   inside a TEE — the bug the paper found); [`env::SpdkEnv::optimized`]
+//!   caches the pid and refreshes the cached timestamp only every N calls
+//!   (the paper's fix);
+//! * [`perf_tool`] — the `spdk perf` benchmark: 4 KiB random reads/writes
+//!   (80 % reads) at a fixed queue depth, with the exact call frames of
+//!   Figure 6 probed for the flame graphs.
+
+pub mod device;
+pub mod env;
+pub mod nvme;
+pub mod perf_tool;
+
+pub use device::{DeviceConfig, NvmeDevice};
+pub use env::SpdkEnv;
+pub use nvme::{IoKind, QueuePair};
+pub use perf_tool::{run_perf_tool, PerfToolOptions, PerfToolResult};

@@ -1,0 +1,369 @@
+//! TEE architecture profiles and their cycle cost models.
+//!
+//! TEE-Perf's headline design goal is *generality*: the profiler must work
+//! across instruction sets (x86, RISC) and TEE versions (SGX v1 vs v2)
+//! without relying on architecture-specific counters. The simulator mirrors
+//! this by expressing every architecture as a plain table of cycle costs
+//! ([`CostModel`]) so the same profiled binary can be replayed under any
+//! [`TeeKind`].
+//!
+//! The numbers are calibrated to the literature (SGX ecall/ocall ≈ 8–12 k
+//! cycles, EPC paging tens of thousands of cycles, MEE a few tens of cycles
+//! per cache line) rather than to a specific silicon stepping; experiments in
+//! this repository only depend on their relative magnitudes.
+
+use std::fmt;
+
+/// The family of trusted execution environment being simulated.
+///
+/// ```
+/// use tee_sim::{CostModel, TeeKind};
+/// let m = CostModel::for_kind(TeeKind::SgxV2);
+/// assert_eq!(m.kind, TeeKind::SgxV2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TeeKind {
+    /// No TEE at all: the native-host baseline with zero protection overhead.
+    Native,
+    /// Intel SGX version 1: 128 MiB EPC (~93 MiB usable), expensive paging,
+    /// expensive world switches, no dynamic memory.
+    SgxV1,
+    /// Intel SGX version 2: larger EPC, slightly cheaper transitions (EDMM-era).
+    SgxV2,
+    /// ARM TrustZone: a secure world without a memory-encryption engine;
+    /// world switches are cheap SMC calls and there is no paging cliff.
+    TrustZone,
+    /// AMD SEV: whole-VM encryption — memory is taxed uniformly, no EPC
+    /// limit, world switches are VM exits.
+    Sev,
+    /// RISC-V Keystone: PMP-isolated enclaves, no MEE, moderate switch cost.
+    Keystone,
+}
+
+impl TeeKind {
+    /// All simulated kinds, in ascending protection-overhead order.
+    pub const ALL: [TeeKind; 6] = [
+        TeeKind::Native,
+        TeeKind::TrustZone,
+        TeeKind::Keystone,
+        TeeKind::Sev,
+        TeeKind::SgxV2,
+        TeeKind::SgxV1,
+    ];
+
+    /// Short lowercase name used in reports and CLI arguments.
+    pub fn name(self) -> &'static str {
+        match self {
+            TeeKind::Native => "native",
+            TeeKind::SgxV1 => "sgx-v1",
+            TeeKind::SgxV2 => "sgx-v2",
+            TeeKind::TrustZone => "trustzone",
+            TeeKind::Sev => "sev",
+            TeeKind::Keystone => "keystone",
+        }
+    }
+
+    /// Parse a kind from its [`name`](TeeKind::name).
+    pub fn parse(s: &str) -> Option<TeeKind> {
+        TeeKind::ALL.iter().copied().find(|k| k.name() == s)
+    }
+}
+
+impl fmt::Display for TeeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Cycle cost table for one simulated TEE architecture.
+///
+/// All fields are in CPU cycles unless stated otherwise. The defaults are
+/// produced by the per-architecture constructors ([`CostModel::sgx_v1`] and
+/// friends); individual fields may be overridden for ablation studies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostModel {
+    /// Which architecture this table describes.
+    pub kind: TeeKind,
+    /// Nominal core frequency in Hz; used only to convert cycles to wall
+    /// seconds in reports (the paper's testbed runs at 3.60 GHz).
+    pub freq_hz: u64,
+    /// Synchronous enclave entry (EENTER + TLB flush on the way in).
+    pub ecall_cycles: u64,
+    /// Synchronous enclave exit + re-entry (EEXIT/EENTER pair); the cost of
+    /// servicing one ocall, excluding the host work itself.
+    pub ocall_cycles: u64,
+    /// Asynchronous enclave exit (AEX) + resume, as caused by an interrupt —
+    /// this is what a sampling profiler inflicts on every sample.
+    pub aex_cycles: u64,
+    /// Extra cycles the memory-encryption engine adds to a protected
+    /// cache-line read.
+    pub mee_read_cycles: u64,
+    /// Extra cycles the MEE adds to a protected cache-line write.
+    pub mee_write_cycles: u64,
+    /// Base cost of a cache-line access that misses to DRAM (host memory).
+    pub dram_cycles: u64,
+    /// Cost of a cache-line access that hits in the simulated cache.
+    pub cache_hit_cycles: u64,
+    /// Total lines of the simulated last-level cache (0 disables the cache
+    /// model: every access hits). The MEE taxes only cache *misses*, as on
+    /// real hardware where the encryption engine sits behind the LLC.
+    pub cache_lines: usize,
+    /// Cache associativity.
+    pub cache_assoc: usize,
+    /// EPC capacity in 4 KiB pages. `u64::MAX` disables the paging model.
+    pub epc_pages: u64,
+    /// Evicting one enclave page to host memory (EWB: encrypt + MAC).
+    pub page_out_cycles: u64,
+    /// Loading one page back into the EPC (ELDU: decrypt + verify).
+    pub page_in_cycles: u64,
+    /// Cost of refilling one TLB entry after a flush.
+    pub tlb_miss_cycles: u64,
+    /// Number of TLB entries modeled (flushed on every world switch).
+    pub tlb_entries: usize,
+    /// Host-side cost of a trivial syscall (e.g. `getpid`) once outside the
+    /// enclave; inside a TEE this is paid *in addition to* `ocall_cycles`.
+    pub syscall_cycles: u64,
+    /// Cost of reading the timestamp counter natively (`rdtsc`).
+    pub rdtsc_cycles: u64,
+}
+
+impl CostModel {
+    /// Cost table for the given architecture kind.
+    pub fn for_kind(kind: TeeKind) -> CostModel {
+        match kind {
+            TeeKind::Native => CostModel::native(),
+            TeeKind::SgxV1 => CostModel::sgx_v1(),
+            TeeKind::SgxV2 => CostModel::sgx_v2(),
+            TeeKind::TrustZone => CostModel::trustzone(),
+            TeeKind::Sev => CostModel::sev(),
+            TeeKind::Keystone => CostModel::keystone(),
+        }
+    }
+
+    /// The unprotected host baseline: no MEE, no paging cliff, no world
+    /// switches (ecall/ocall degrade to plain calls / syscalls).
+    pub fn native() -> CostModel {
+        CostModel {
+            kind: TeeKind::Native,
+            freq_hz: 3_600_000_000,
+            ecall_cycles: 2,
+            ocall_cycles: 2,
+            aex_cycles: 1_300, // a plain perf interrupt + signal frame
+            mee_read_cycles: 0,
+            mee_write_cycles: 0,
+            dram_cycles: 200,
+            cache_hit_cycles: 4,
+            cache_lines: 4_096,
+            cache_assoc: 8,
+            epc_pages: u64::MAX,
+            page_out_cycles: 0,
+            page_in_cycles: 0,
+            tlb_miss_cycles: 0,
+            tlb_entries: 0,
+            syscall_cycles: 150,
+            rdtsc_cycles: 30,
+        }
+    }
+
+    /// Intel SGX v1 (the paper's evaluation platform, via SCONE).
+    pub fn sgx_v1() -> CostModel {
+        CostModel {
+            kind: TeeKind::SgxV1,
+            freq_hz: 3_600_000_000,
+            ecall_cycles: 10_000,
+            ocall_cycles: 12_000,
+            aex_cycles: 14_000,
+            mee_read_cycles: 30,
+            mee_write_cycles: 45,
+            dram_cycles: 200,
+            cache_hit_cycles: 4,
+            cache_lines: 4_096,
+            cache_assoc: 8,
+            // 128 MiB EPC, ~93 MiB usable => ~23 800 pages. We default to a
+            // scaled-down EPC so paging experiments fit laptop-sized inputs;
+            // experiments that need the cliff shrink it further explicitly.
+            epc_pages: 23_800,
+            page_out_cycles: 35_000,
+            page_in_cycles: 40_000,
+            tlb_miss_cycles: 40,
+            tlb_entries: 64,
+            syscall_cycles: 150,
+            rdtsc_cycles: 30, // paid on the host after the mandatory ocall
+        }
+    }
+
+    /// Intel SGX v2: bigger EPC, modestly cheaper transitions.
+    pub fn sgx_v2() -> CostModel {
+        CostModel {
+            epc_pages: 262_144, // 1 GiB
+            ecall_cycles: 8_000,
+            ocall_cycles: 9_500,
+            aex_cycles: 11_000,
+            kind: TeeKind::SgxV2,
+            ..CostModel::sgx_v1()
+        }
+    }
+
+    /// ARM TrustZone: no MEE, no paging cliff, cheap SMC world switches.
+    pub fn trustzone() -> CostModel {
+        CostModel {
+            kind: TeeKind::TrustZone,
+            freq_hz: 2_000_000_000,
+            ecall_cycles: 1_200,
+            ocall_cycles: 1_500,
+            aex_cycles: 2_000,
+            mee_read_cycles: 0,
+            mee_write_cycles: 0,
+            dram_cycles: 220,
+            cache_hit_cycles: 4,
+            cache_lines: 2_048,
+            cache_assoc: 8,
+            epc_pages: u64::MAX,
+            page_out_cycles: 0,
+            page_in_cycles: 0,
+            tlb_miss_cycles: 30,
+            tlb_entries: 48,
+            syscall_cycles: 180,
+            rdtsc_cycles: 40,
+        }
+    }
+
+    /// AMD SEV: uniform VM-level memory encryption, VM-exit world switches.
+    pub fn sev() -> CostModel {
+        CostModel {
+            kind: TeeKind::Sev,
+            freq_hz: 2_900_000_000,
+            ecall_cycles: 4_500,
+            ocall_cycles: 5_500,
+            aex_cycles: 6_000,
+            mee_read_cycles: 20,
+            mee_write_cycles: 30,
+            dram_cycles: 210,
+            cache_hit_cycles: 4,
+            cache_lines: 4_096,
+            cache_assoc: 8,
+            epc_pages: u64::MAX, // whole guest RAM is encrypted; no cliff
+            page_out_cycles: 0,
+            page_in_cycles: 0,
+            tlb_miss_cycles: 45,
+            tlb_entries: 64,
+            syscall_cycles: 160,
+            rdtsc_cycles: 35,
+        }
+    }
+
+    /// RISC-V Keystone: PMP isolation, no MEE, moderate switch costs.
+    pub fn keystone() -> CostModel {
+        CostModel {
+            kind: TeeKind::Keystone,
+            freq_hz: 1_500_000_000,
+            ecall_cycles: 2_600,
+            ocall_cycles: 3_200,
+            aex_cycles: 3_800,
+            mee_read_cycles: 0,
+            mee_write_cycles: 0,
+            dram_cycles: 250,
+            cache_hit_cycles: 4,
+            cache_lines: 1_024,
+            cache_assoc: 4,
+            epc_pages: u64::MAX,
+            page_out_cycles: 0,
+            page_in_cycles: 0,
+            tlb_miss_cycles: 35,
+            tlb_entries: 32,
+            syscall_cycles: 200,
+            rdtsc_cycles: 45,
+        }
+    }
+
+    /// Returns a copy with the EPC limited to `pages` 4 KiB pages — used by
+    /// the secure-paging ablation to provoke the EPC cliff on small inputs.
+    pub fn with_epc_pages(mut self, pages: u64) -> CostModel {
+        self.epc_pages = pages;
+        self
+    }
+
+    /// Whether this architecture pays memory-encryption costs at all.
+    pub fn has_mee(&self) -> bool {
+        self.mee_read_cycles > 0 || self.mee_write_cycles > 0
+    }
+
+    /// Whether this architecture has a bounded EPC (i.e. a paging cliff).
+    pub fn has_epc_limit(&self) -> bool {
+        self.epc_pages != u64::MAX
+    }
+
+    /// Convert a cycle count to seconds at this model's nominal frequency.
+    pub fn cycles_to_secs(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.freq_hz as f64
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::sgx_v1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in TeeKind::ALL {
+            assert_eq!(TeeKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(TeeKind::parse("sgx-v3"), None);
+    }
+
+    #[test]
+    fn native_has_no_protection_costs() {
+        let m = CostModel::native();
+        assert!(!m.has_mee());
+        assert!(!m.has_epc_limit());
+        assert!(m.ecall_cycles < 10);
+    }
+
+    #[test]
+    fn sgx_v1_is_strictly_more_expensive_than_v2_transitions() {
+        let v1 = CostModel::sgx_v1();
+        let v2 = CostModel::sgx_v2();
+        assert!(v1.ecall_cycles > v2.ecall_cycles);
+        assert!(v1.ocall_cycles > v2.ocall_cycles);
+        assert!(v1.epc_pages < v2.epc_pages);
+    }
+
+    #[test]
+    fn for_kind_matches_kind() {
+        for kind in TeeKind::ALL {
+            assert_eq!(CostModel::for_kind(kind).kind, kind);
+        }
+    }
+
+    #[test]
+    fn with_epc_pages_overrides() {
+        let m = CostModel::sgx_v1().with_epc_pages(16);
+        assert_eq!(m.epc_pages, 16);
+        assert!(m.has_epc_limit());
+    }
+
+    #[test]
+    fn cycles_to_secs_uses_frequency() {
+        let m = CostModel::native();
+        let s = m.cycles_to_secs(3_600_000_000);
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trustzone_and_keystone_have_no_mee() {
+        assert!(!CostModel::trustzone().has_mee());
+        assert!(!CostModel::keystone().has_mee());
+        assert!(CostModel::sev().has_mee());
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(TeeKind::SgxV1.to_string(), "sgx-v1");
+    }
+}

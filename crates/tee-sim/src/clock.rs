@@ -1,0 +1,99 @@
+//! The virtual cycle clock.
+//!
+//! Every cost in the simulator is charged against a single monotonic cycle
+//! counter. The counter lives behind an `Arc<AtomicU64>` so that components
+//! that conceptually run *in parallel* with the simulated application — most
+//! importantly TEE-Perf's software counter thread — can observe it without
+//! owning the machine.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shareable, monotonically increasing virtual cycle counter.
+///
+/// Cloning a `Clock` yields a handle onto the *same* underlying counter.
+///
+/// ```
+/// use tee_sim::Clock;
+/// let c = Clock::new();
+/// let view = c.clone();
+/// c.advance(100);
+/// assert_eq!(view.now(), 100);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Clock {
+    cycles: Arc<AtomicU64>,
+}
+
+impl Clock {
+    /// Creates a clock starting at cycle zero.
+    pub fn new() -> Clock {
+        Clock::default()
+    }
+
+    /// Current virtual time in cycles.
+    pub fn now(&self) -> u64 {
+        self.cycles.load(Ordering::Relaxed)
+    }
+
+    /// Advances virtual time by `cycles` and returns the new time.
+    pub fn advance(&self, cycles: u64) -> u64 {
+        self.cycles.fetch_add(cycles, Ordering::Relaxed) + cycles
+    }
+
+    /// Advances virtual time to `deadline` if it is in the future; returns
+    /// the (possibly unchanged) current time. Used to model waiting for a
+    /// simulated device.
+    pub fn advance_to(&self, deadline: u64) -> u64 {
+        let mut cur = self.now();
+        while cur < deadline {
+            match self.cycles.compare_exchange(
+                cur,
+                deadline,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return deadline,
+                Err(seen) => cur = seen,
+            }
+        }
+        cur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(Clock::new().now(), 0);
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let c = Clock::new();
+        assert_eq!(c.advance(5), 5);
+        assert_eq!(c.advance(7), 12);
+        assert_eq!(c.now(), 12);
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let a = Clock::new();
+        let b = a.clone();
+        a.advance(42);
+        assert_eq!(b.now(), 42);
+        b.advance(8);
+        assert_eq!(a.now(), 50);
+    }
+
+    #[test]
+    fn advance_to_only_moves_forward() {
+        let c = Clock::new();
+        c.advance(100);
+        assert_eq!(c.advance_to(50), 100); // past deadline: no-op
+        assert_eq!(c.advance_to(150), 150);
+        assert_eq!(c.now(), 150);
+    }
+}

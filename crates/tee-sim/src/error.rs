@@ -1,0 +1,77 @@
+//! Simulator error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the TEE simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// An access touched an address outside every mapped region.
+    UnmappedAddress {
+        /// The faulting virtual address.
+        addr: u64,
+    },
+    /// An access to the shared region fell outside its allocated size.
+    ShmOutOfBounds {
+        /// Byte offset of the access within the shared region.
+        offset: u64,
+        /// Length of the access in bytes.
+        len: u64,
+        /// Size of the shared region in bytes.
+        size: u64,
+    },
+    /// An unknown syscall number reached the ocall dispatcher.
+    UnknownSyscall {
+        /// The offending syscall number.
+        nr: u64,
+    },
+    /// An operation that requires being inside the enclave was attempted
+    /// from the host world (or vice versa).
+    WrongWorld {
+        /// Human-readable description of the violated expectation.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnmappedAddress { addr } => {
+                write!(f, "access to unmapped address {addr:#x}")
+            }
+            SimError::ShmOutOfBounds { offset, len, size } => write!(
+                f,
+                "shared-memory access of {len} bytes at offset {offset:#x} exceeds region of {size} bytes"
+            ),
+            SimError::UnknownSyscall { nr } => write!(f, "unknown syscall number {nr}"),
+            SimError::WrongWorld { expected } => {
+                write!(f, "operation requires execution in the {expected}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::UnmappedAddress { addr: 0xdead };
+        assert!(e.to_string().contains("0xdead"));
+        let e = SimError::ShmOutOfBounds {
+            offset: 8,
+            len: 16,
+            size: 10,
+        };
+        assert!(e.to_string().contains("16 bytes"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err<E: Error>(_: E) {}
+        takes_err(SimError::UnknownSyscall { nr: 999 });
+    }
+}

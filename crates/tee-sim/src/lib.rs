@@ -1,0 +1,69 @@
+//! # tee-sim — a deterministic trusted-execution-environment simulator
+//!
+//! This crate is the hardware substrate for the TEE-Perf reproduction. It
+//! models, with deterministic cycle accounting, the micro-architectural
+//! effects that make profiling inside TEEs both necessary and hard
+//! (TEE-Perf, DSN'19, §I):
+//!
+//! * a **memory-encryption engine** (MEE) that taxes every cache-line access
+//!   to protected memory,
+//! * a bounded **enclave page cache** (EPC) with secure paging, whose misses
+//!   cost orders of magnitude more than ordinary memory accesses,
+//! * **world switches** (ecall / ocall / asynchronous exits) that flush the
+//!   TLB and cost thousands of cycles,
+//! * a **shared untrusted memory** region visible to both the enclave and
+//!   host processes — the channel TEE-Perf's recorder relies on,
+//! * an **ocall-mediated syscall layer**, because direct syscalls are
+//!   forbidden inside an enclave.
+//!
+//! The simulator is parameterized by [`CostModel`] profiles for several TEE
+//! architectures ([`TeeKind`]): SGXv1, SGXv2, TrustZone, SEV, Keystone and a
+//! `Native` no-op baseline — this is what makes the profiler built on top
+//! architecture-independent in a testable way.
+//!
+//! All time is virtual: a [`Clock`] counts cycles and every component charges
+//! it. Runs are bit-for-bit reproducible.
+//!
+//! ```
+//! use tee_sim::{Machine, CostModel};
+//!
+//! let mut m = Machine::new(CostModel::sgx_v1());
+//! let before = m.clock().now();
+//! m.ecall();                      // enter the enclave
+//! m.write(tee_sim::ENCLAVE_HEAP_BASE, 64); // protected write, pays MEE
+//! m.ocall();                      // leave and re-enter (e.g. a syscall)
+//! assert!(m.clock().now() > before);
+//! ```
+
+pub mod arch;
+pub mod clock;
+pub mod error;
+pub mod machine;
+pub mod memory;
+pub mod shm;
+pub mod stats;
+pub mod syscall;
+pub mod world;
+
+pub use arch::{CostModel, TeeKind};
+pub use clock::Clock;
+pub use error::SimError;
+pub use machine::Machine;
+pub use memory::{MemoryModel, Region};
+pub use shm::SharedMem;
+pub use stats::MachineStats;
+pub use syscall::{SyscallTable, Syscalls};
+pub use world::WorldState;
+
+/// Base virtual address of the simulated enclave text (code) segment.
+pub const ENCLAVE_TEXT_BASE: u64 = 0x0040_0000;
+/// Base virtual address of the simulated enclave heap.
+pub const ENCLAVE_HEAP_BASE: u64 = 0x1000_0000;
+/// Base virtual address of the simulated enclave stacks (one 1 MiB slab per thread).
+pub const ENCLAVE_STACK_BASE: u64 = 0x5000_0000;
+/// Base virtual address at which untrusted shared memory is mapped into the enclave.
+pub const SHM_BASE: u64 = 0x7000_0000;
+/// Size of a simulated page in bytes.
+pub const PAGE_SIZE: u64 = 4096;
+/// Size of a simulated cache line in bytes.
+pub const CACHE_LINE: u64 = 64;

@@ -1,0 +1,355 @@
+//! The composed simulated machine: clock + cost model + memory + worlds +
+//! syscalls, behind one façade.
+
+use std::sync::Arc;
+
+use crate::arch::CostModel;
+use crate::clock::Clock;
+use crate::memory::{AccessKind, MemoryModel};
+use crate::shm::SharedMem;
+use crate::stats::MachineStats;
+use crate::syscall::{SyscallTable, Syscalls};
+use crate::world::{World, WorldState};
+
+/// One simulated TEE-capable machine running one application.
+///
+/// Everything the VM, the profiler runtime and the workload substrates need
+/// from "hardware" goes through this type, so that cycle accounting is
+/// centralized and deterministic.
+///
+/// ```
+/// use tee_sim::{Machine, CostModel, Syscalls};
+///
+/// let mut m = Machine::new(CostModel::sgx_v1());
+/// m.ecall();
+/// let t0 = m.clock().now();
+/// m.syscall(Syscalls::Getpid);       // ocall + host service time
+/// assert!(m.clock().now() - t0 >= 12_000);
+/// ```
+#[derive(Debug)]
+pub struct Machine {
+    cost: CostModel,
+    clock: Clock,
+    memory: MemoryModel,
+    world: WorldState,
+    syscalls: SyscallTable,
+    stats: MachineStats,
+    shm: Option<Arc<SharedMem>>,
+    pid: u64,
+}
+
+impl Machine {
+    /// Build a machine for the given architecture cost model.
+    pub fn new(cost: CostModel) -> Machine {
+        let syscalls = SyscallTable::from_cost(&cost);
+        Machine {
+            memory: MemoryModel::new(&cost),
+            clock: Clock::new(),
+            world: WorldState::new(),
+            syscalls,
+            stats: MachineStats::default(),
+            shm: None,
+            pid: 4242,
+            cost,
+        }
+    }
+
+    /// Build a machine that shares an existing clock — used when a host-side
+    /// component (e.g. the recorder) must observe the same virtual time.
+    pub fn with_clock(cost: CostModel, clock: Clock) -> Machine {
+        let mut m = Machine::new(cost);
+        m.clock = clock;
+        m
+    }
+
+    /// The machine's virtual clock (cheap to clone; clones share time).
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// The architecture cost model in force.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Accumulated hardware event counters.
+    pub fn stats(&self) -> &MachineStats {
+        &self.stats
+    }
+
+    /// The simulated process id (what `getpid` returns).
+    pub fn pid(&self) -> u64 {
+        self.pid
+    }
+
+    /// Sets the simulated process id.
+    pub fn set_pid(&mut self, pid: u64) {
+        self.pid = pid;
+    }
+
+    /// Whether execution is currently inside the enclave.
+    pub fn in_enclave(&self) -> bool {
+        self.world.in_enclave()
+    }
+
+    /// The current execution world.
+    pub fn world(&self) -> World {
+        self.world.current()
+    }
+
+    /// Map an untrusted shared-memory region into the simulated address
+    /// space at [`crate::SHM_BASE`]. Returns a handle the host side (e.g.
+    /// the recorder) can keep.
+    pub fn map_shared(&mut self, shm: Arc<SharedMem>) -> Arc<SharedMem> {
+        self.shm = Some(Arc::clone(&shm));
+        shm
+    }
+
+    /// The mapped shared region, if any.
+    pub fn shared(&self) -> Option<&Arc<SharedMem>> {
+        self.shm.as_ref()
+    }
+
+    /// Charge `cycles` of pure computation.
+    pub fn compute(&mut self, cycles: u64) {
+        self.clock.advance(cycles);
+    }
+
+    /// Enter the enclave (EENTER): charges the transition and flushes the TLB.
+    pub fn ecall(&mut self) {
+        self.clock.advance(self.cost.ecall_cycles);
+        self.memory.flush_tlb();
+        self.world.enter();
+        self.stats.ecalls += 1;
+    }
+
+    /// Leave the enclave permanently (EEXIT without re-entry); charges half
+    /// an ocall since there is no resume.
+    pub fn eexit(&mut self) {
+        self.clock.advance(self.cost.ocall_cycles / 2);
+        self.memory.flush_tlb();
+        self.world.exit();
+    }
+
+    /// A complete synchronous ocall round trip: exit, (caller then performs
+    /// host work), re-enter. Charges the transition pair and flushes the TLB
+    /// twice. Execution stays logically inside the enclave afterwards.
+    pub fn ocall(&mut self) {
+        debug_assert!(self.world.in_enclave(), "ocall from host world");
+        self.clock.advance(self.cost.ocall_cycles);
+        self.memory.flush_tlb();
+        self.stats.ocalls += 1;
+    }
+
+    /// An asynchronous enclave exit and resume (AEX), as inflicted by an
+    /// interrupt — e.g. one sampling-profiler sample.
+    pub fn aex(&mut self) {
+        self.clock.advance(self.cost.aex_cycles);
+        self.memory.flush_tlb();
+        self.stats.aexes += 1;
+    }
+
+    /// Charge one memory read of `len` bytes at `addr`; returns cycles charged.
+    pub fn read(&mut self, addr: u64, len: u64) -> u64 {
+        self.memory
+            .access(addr, len, AccessKind::Read, &self.cost, &self.clock, &mut self.stats)
+    }
+
+    /// Charge one memory write of `len` bytes at `addr`; returns cycles charged.
+    pub fn write(&mut self, addr: u64, len: u64) -> u64 {
+        self.memory
+            .access(addr, len, AccessKind::Write, &self.cost, &self.clock, &mut self.stats)
+    }
+
+    /// Number of enclave pages resident in the EPC.
+    pub fn epc_resident_pages(&self) -> u64 {
+        self.memory.epc_resident_pages()
+    }
+
+    /// Dispatch a syscall, paying the ocall tax when inside the enclave, and
+    /// return its result:
+    ///
+    /// * `Getpid` → the simulated pid,
+    /// * `ClockGettime` → virtual nanoseconds,
+    /// * `Rdtsc` → the virtual cycle count,
+    /// * `Read`/`Write` → 0 (device time is modeled by the storage substrates).
+    pub fn syscall(&mut self, sc: Syscalls) -> u64 {
+        if self.world.in_enclave() {
+            self.ocall();
+        }
+        self.clock.advance(self.syscalls.service_cycles(sc));
+        self.stats.syscalls += 1;
+        match sc {
+            Syscalls::Getpid => self.pid,
+            Syscalls::ClockGettime => {
+                // cycles -> ns at the nominal frequency
+                let cycles = self.clock.now();
+                cycles.saturating_mul(1_000_000_000) / self.cost.freq_hz
+            }
+            Syscalls::Rdtsc => self.clock.now(),
+            Syscalls::Read | Syscalls::Write => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecall_charges_and_switches_world() {
+        let mut m = Machine::new(CostModel::sgx_v1());
+        assert!(!m.in_enclave());
+        m.ecall();
+        assert!(m.in_enclave());
+        assert_eq!(m.clock().now(), 10_000);
+        assert_eq!(m.stats().ecalls, 1);
+    }
+
+    #[test]
+    fn syscall_inside_enclave_pays_ocall() {
+        let mut native = Machine::new(CostModel::native());
+        native.syscall(Syscalls::Getpid);
+        let host_cost = native.clock().now();
+
+        let mut sgx = Machine::new(CostModel::sgx_v1());
+        sgx.ecall();
+        let t0 = sgx.clock().now();
+        sgx.syscall(Syscalls::Getpid);
+        let enclave_cost = sgx.clock().now() - t0;
+        assert!(
+            enclave_cost > host_cost * 10,
+            "enclave getpid ({enclave_cost}) should dwarf native ({host_cost})"
+        );
+        assert_eq!(sgx.stats().ocalls, 1);
+    }
+
+    #[test]
+    fn getpid_returns_pid() {
+        let mut m = Machine::new(CostModel::native());
+        m.set_pid(777);
+        assert_eq!(m.syscall(Syscalls::Getpid), 777);
+    }
+
+    #[test]
+    fn rdtsc_returns_cycle_count() {
+        let mut m = Machine::new(CostModel::native());
+        m.compute(500);
+        let t = m.syscall(Syscalls::Rdtsc);
+        assert!(t >= 500);
+    }
+
+    #[test]
+    fn clock_gettime_converts_to_ns() {
+        let mut m = Machine::new(CostModel::native());
+        m.compute(3_600_000_000); // one second at 3.6 GHz
+        let ns = m.syscall(Syscalls::ClockGettime);
+        assert!((999_000_000..=1_001_000_000).contains(&ns), "ns={ns}");
+    }
+
+    #[test]
+    fn world_switch_flushes_tlb() {
+        let mut m = Machine::new(CostModel::sgx_v1());
+        m.ecall();
+        m.read(crate::ENCLAVE_HEAP_BASE, 8);
+        m.read(crate::ENCLAVE_HEAP_BASE, 8);
+        let misses = m.stats().tlb_misses;
+        m.ocall();
+        m.read(crate::ENCLAVE_HEAP_BASE, 8);
+        assert_eq!(m.stats().tlb_misses, misses + 1);
+    }
+
+    #[test]
+    fn shared_mapping_is_visible_to_both_sides() {
+        let mut m = Machine::new(CostModel::sgx_v1());
+        let host_view = m.map_shared(Arc::new(SharedMem::new(64)));
+        host_view.write_u64(0, 99).unwrap();
+        assert_eq!(m.shared().unwrap().read_u64(0).unwrap(), 99);
+    }
+
+    #[test]
+    fn compute_advances_clock_exactly() {
+        let mut m = Machine::new(CostModel::native());
+        m.compute(123);
+        assert_eq!(m.clock().now(), 123);
+    }
+
+    #[test]
+    fn with_clock_shares_time() {
+        let clock = Clock::new();
+        let mut m = Machine::with_clock(CostModel::native(), clock.clone());
+        m.compute(50);
+        assert_eq!(clock.now(), 50);
+    }
+
+    #[test]
+    fn aex_counts_and_charges() {
+        let mut m = Machine::new(CostModel::sgx_v1());
+        m.ecall();
+        let t0 = m.clock().now();
+        m.aex();
+        assert_eq!(m.clock().now() - t0, 14_000);
+        assert_eq!(m.stats().aexes, 1);
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+    use crate::Syscalls;
+
+    #[test]
+    fn eexit_returns_to_host_world() {
+        let mut m = Machine::new(CostModel::sgx_v1());
+        m.ecall();
+        assert!(m.in_enclave());
+        let t0 = m.clock().now();
+        m.eexit();
+        assert!(!m.in_enclave());
+        assert!(m.clock().now() > t0);
+        // Syscalls from the host world no longer pay the ocall tax.
+        let ocalls = m.stats().ocalls;
+        m.syscall(Syscalls::Getpid);
+        assert_eq!(m.stats().ocalls, ocalls);
+    }
+
+    #[test]
+    fn repeated_enter_exit_cycles_accumulate_costs() {
+        let mut m = Machine::new(CostModel::sgx_v1());
+        for _ in 0..10 {
+            m.ecall();
+            m.eexit();
+        }
+        assert_eq!(m.stats().ecalls, 10);
+        assert!(m.clock().now() >= 10 * m.cost().ecall_cycles);
+    }
+
+    #[test]
+    fn native_world_switches_are_nearly_free() {
+        let mut m = Machine::new(CostModel::native());
+        m.ecall();
+        m.ocall();
+        m.eexit();
+        assert!(m.clock().now() < 100, "native transitions ~free, got {}", m.clock().now());
+    }
+
+    #[test]
+    fn all_architectures_order_by_protection_cost_for_a_syscall_loop() {
+        // TeeKind::ALL is documented as ascending protection overhead; a
+        // syscall-heavy loop should respect that ordering between the
+        // extremes.
+        let cost_of = |kind: crate::TeeKind| {
+            let mut m = Machine::new(CostModel::for_kind(kind));
+            m.ecall();
+            for _ in 0..100 {
+                m.syscall(Syscalls::Getpid);
+            }
+            m.clock().now()
+        };
+        let native = cost_of(crate::TeeKind::Native);
+        let trustzone = cost_of(crate::TeeKind::TrustZone);
+        let sgx1 = cost_of(crate::TeeKind::SgxV1);
+        assert!(native < trustzone);
+        assert!(trustzone < sgx1);
+    }
+}

@@ -1,0 +1,500 @@
+//! The enclave memory model: address-space regions, a TLB, the memory
+//! encryption engine, and the EPC with secure paging.
+//!
+//! The model is a *cost* model, not a storage model: callers keep their data
+//! wherever they like and report accesses by virtual address so the
+//! simulator can charge the cycles that real TEE hardware would. This split
+//! keeps the VM and the workloads simple while still producing realistic
+//! relative timings (§I of the paper: MEE at cache-line granularity, EPC
+//! paging "up to 2000×", TLB flushes on world switches).
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::arch::CostModel;
+use crate::stats::MachineStats;
+use crate::{CACHE_LINE, ENCLAVE_HEAP_BASE, ENCLAVE_STACK_BASE, ENCLAVE_TEXT_BASE, PAGE_SIZE, SHM_BASE};
+
+/// Which part of the simulated address space an address falls in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Enclave code pages (protected).
+    EnclaveText,
+    /// Enclave heap (protected).
+    EnclaveHeap,
+    /// Enclave thread stacks (protected).
+    EnclaveStack,
+    /// Untrusted memory shared with the host — where TEE-Perf's log lives.
+    Shared,
+    /// Ordinary host memory (only reachable while outside the enclave).
+    Host,
+}
+
+impl Region {
+    /// Classify a virtual address into its region.
+    pub fn classify(addr: u64) -> Region {
+        if (ENCLAVE_TEXT_BASE..ENCLAVE_HEAP_BASE).contains(&addr) {
+            Region::EnclaveText
+        } else if (ENCLAVE_HEAP_BASE..ENCLAVE_STACK_BASE).contains(&addr) {
+            Region::EnclaveHeap
+        } else if (ENCLAVE_STACK_BASE..SHM_BASE).contains(&addr) {
+            Region::EnclaveStack
+        } else if addr >= SHM_BASE {
+            Region::Shared
+        } else {
+            Region::Host
+        }
+    }
+
+    /// Whether this region sits inside the enclave's protected range and is
+    /// therefore subject to the MEE and EPC models.
+    pub fn is_protected(self) -> bool {
+        matches!(
+            self,
+            Region::EnclaveText | Region::EnclaveHeap | Region::EnclaveStack
+        )
+    }
+}
+
+/// Read or write, for cost purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+/// A small fully-associative TLB with LRU replacement, flushed on every
+/// world switch — the mechanism behind the paper's "secure context switch"
+/// cost.
+#[derive(Debug, Clone)]
+struct Tlb {
+    entries: Vec<(u64, u64)>, // (page, last-use tick)
+    capacity: usize,
+    tick: u64,
+}
+
+impl Tlb {
+    fn new(capacity: usize) -> Tlb {
+        Tlb {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            tick: 0,
+        }
+    }
+
+    /// Returns `true` on a hit; on a miss the page is inserted.
+    fn touch(&mut self, page: u64) -> bool {
+        self.tick += 1;
+        if self.capacity == 0 {
+            return true; // TLB not modeled for this architecture
+        }
+        if let Some(e) = self.entries.iter_mut().find(|(p, _)| *p == page) {
+            e.1 = self.tick;
+            return true;
+        }
+        if self.entries.len() >= self.capacity {
+            let (idx, _) = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, t))| *t)
+                .expect("tlb is non-empty");
+            self.entries.swap_remove(idx);
+        }
+        self.entries.push((page, self.tick));
+        false
+    }
+
+    fn flush(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// A set-associative last-level cache with LRU replacement within each set.
+/// Only *misses* pay DRAM latency and (for protected lines) the MEE tax —
+/// the encryption engine sits behind the cache on real SGX parts, so
+/// cache-resident enclave data is as fast as ordinary data.
+#[derive(Debug, Clone)]
+struct LlCache {
+    sets: Vec<Vec<(u64, u64)>>, // per-set (line tag, last-use tick)
+    assoc: usize,
+    tick: u64,
+}
+
+impl LlCache {
+    fn new(total_lines: usize, assoc: usize) -> LlCache {
+        let assoc = assoc.max(1);
+        let n_sets = (total_lines / assoc).max(1);
+        LlCache {
+            sets: vec![Vec::with_capacity(assoc); n_sets],
+            assoc,
+            tick: 0,
+        }
+    }
+
+    /// Returns `true` on a hit; on a miss the line is filled (evicting the
+    /// set's LRU way if needed).
+    fn touch(&mut self, line: u64) -> bool {
+        self.tick += 1;
+        let n_sets = self.sets.len() as u64;
+        let set = &mut self.sets[(line % n_sets) as usize];
+        if let Some(e) = set.iter_mut().find(|(tag, _)| *tag == line) {
+            e.1 = self.tick;
+            return true;
+        }
+        if set.len() >= self.assoc {
+            let (idx, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, t))| *t)
+                .expect("set is non-empty");
+            set.swap_remove(idx);
+        }
+        set.push((line, self.tick));
+        false
+    }
+}
+
+/// The enclave page cache: bounded residency with LRU eviction and secure
+/// paging costs (EWB/ELDU).
+#[derive(Debug, Clone)]
+struct Epc {
+    capacity: u64,
+    resident: HashMap<u64, u64>, // page -> last-use tick
+    lru: BTreeMap<u64, u64>,     // last-use tick -> page
+    tick: u64,
+}
+
+/// Outcome of touching one page through the EPC model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EpcOutcome {
+    Unlimited,
+    Hit,
+    FaultLoaded,
+    FaultEvicted,
+}
+
+impl Epc {
+    fn new(capacity: u64) -> Epc {
+        Epc {
+            capacity,
+            resident: HashMap::new(),
+            lru: BTreeMap::new(),
+            tick: 0,
+        }
+    }
+
+    fn touch(&mut self, page: u64) -> EpcOutcome {
+        if self.capacity == u64::MAX {
+            return EpcOutcome::Unlimited;
+        }
+        self.tick += 1;
+        if let Some(old) = self.resident.insert(page, self.tick) {
+            self.lru.remove(&old);
+            self.lru.insert(self.tick, page);
+            return EpcOutcome::Hit;
+        }
+        self.lru.insert(self.tick, page);
+        if self.resident.len() as u64 > self.capacity {
+            let (&victim_tick, &victim) = self.lru.iter().next().expect("epc lru non-empty");
+            self.lru.remove(&victim_tick);
+            self.resident.remove(&victim);
+            EpcOutcome::FaultEvicted
+        } else {
+            EpcOutcome::FaultLoaded
+        }
+    }
+
+    fn resident_pages(&self) -> u64 {
+        self.resident.len() as u64
+    }
+}
+
+/// The complete per-machine memory cost model.
+///
+/// ```
+/// use tee_sim::{CostModel, MemoryModel, Clock, MachineStats};
+/// use tee_sim::memory::AccessKind;
+///
+/// let cost = CostModel::sgx_v1();
+/// let mut mem = MemoryModel::new(&cost);
+/// let clock = Clock::new();
+/// let mut stats = MachineStats::default();
+/// let charged = mem.access(
+///     tee_sim::ENCLAVE_HEAP_BASE, 8, AccessKind::Read, &cost, &clock, &mut stats,
+/// );
+/// assert!(charged > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryModel {
+    tlb: Tlb,
+    epc: Epc,
+    cache: Option<LlCache>,
+}
+
+impl MemoryModel {
+    /// Build a memory model sized from the architecture's cost table.
+    pub fn new(cost: &CostModel) -> MemoryModel {
+        MemoryModel {
+            tlb: Tlb::new(cost.tlb_entries),
+            epc: Epc::new(cost.epc_pages),
+            cache: (cost.cache_lines > 0)
+                .then(|| LlCache::new(cost.cache_lines, cost.cache_assoc)),
+        }
+    }
+
+    /// Charge one memory access of `len` bytes at `addr`, advancing `clock`
+    /// and recording counters into `stats`. Returns the cycles charged.
+    ///
+    /// Costs are assessed per cache line (MEE) and per page (TLB, EPC), as
+    /// the respective hardware units operate at those granularities.
+    pub fn access(
+        &mut self,
+        addr: u64,
+        len: u64,
+        kind: AccessKind,
+        cost: &CostModel,
+        clock: &crate::Clock,
+        stats: &mut MachineStats,
+    ) -> u64 {
+        debug_assert!(len > 0, "zero-length access");
+        let region = Region::classify(addr);
+        let mut cycles = 0u64;
+
+        let first_line = addr / CACHE_LINE;
+        let last_line = (addr + len - 1) / CACHE_LINE;
+        let mee_per_line = match kind {
+            AccessKind::Read => cost.mee_read_cycles,
+            AccessKind::Write => cost.mee_write_cycles,
+        };
+        for line in first_line..=last_line {
+            let hit = match &mut self.cache {
+                Some(cache) => cache.touch(line),
+                None => true,
+            };
+            if hit {
+                cycles += cost.cache_hit_cycles;
+            } else {
+                // The fill comes from DRAM and, for protected lines, passes
+                // through the memory-encryption engine.
+                cycles += cost.dram_cycles;
+                stats.cache_misses += 1;
+                if region.is_protected() && cost.has_mee() {
+                    cycles += mee_per_line;
+                    stats.mee_lines += 1;
+                }
+            }
+        }
+
+        let first_page = addr / PAGE_SIZE;
+        let last_page = (addr + len - 1) / PAGE_SIZE;
+        for page in first_page..=last_page {
+            if !self.tlb.touch(page) {
+                cycles += cost.tlb_miss_cycles;
+                stats.tlb_misses += 1;
+            }
+            if region.is_protected() {
+                match self.epc.touch(page) {
+                    EpcOutcome::Unlimited | EpcOutcome::Hit => {}
+                    EpcOutcome::FaultLoaded => {
+                        cycles += cost.page_in_cycles;
+                        stats.epc_faults += 1;
+                    }
+                    EpcOutcome::FaultEvicted => {
+                        cycles += cost.page_in_cycles + cost.page_out_cycles;
+                        stats.epc_faults += 1;
+                        stats.epc_evictions += 1;
+                    }
+                }
+            }
+        }
+
+        match kind {
+            AccessKind::Read => stats.bytes_read += len,
+            AccessKind::Write => stats.bytes_written += len,
+        }
+        stats.mem_accesses += 1;
+        clock.advance(cycles);
+        cycles
+    }
+
+    /// Flush the TLB, as a world switch does.
+    pub fn flush_tlb(&mut self) {
+        self.tlb.flush();
+    }
+
+    /// Number of enclave pages currently resident in the EPC (for tests and
+    /// the paging ablation).
+    pub fn epc_resident_pages(&self) -> u64 {
+        self.epc.resident_pages()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Clock, MachineStats};
+
+    fn setup(cost: &CostModel) -> (MemoryModel, Clock, MachineStats) {
+        (MemoryModel::new(cost), Clock::new(), MachineStats::default())
+    }
+
+    #[test]
+    fn classify_regions() {
+        assert_eq!(Region::classify(ENCLAVE_TEXT_BASE), Region::EnclaveText);
+        assert_eq!(Region::classify(ENCLAVE_HEAP_BASE + 8), Region::EnclaveHeap);
+        assert_eq!(Region::classify(ENCLAVE_STACK_BASE), Region::EnclaveStack);
+        assert_eq!(Region::classify(SHM_BASE + 100), Region::Shared);
+        assert_eq!(Region::classify(0x1000), Region::Host);
+        assert!(Region::EnclaveHeap.is_protected());
+        assert!(!Region::Shared.is_protected());
+    }
+
+    #[test]
+    fn cold_protected_read_costs_more_than_cold_shared_read_under_sgx() {
+        let cost = CostModel::sgx_v1();
+        let (mut mem, clock, mut stats) = setup(&cost);
+        // Warm the TLB on both pages (one dummy line each) so the compared
+        // accesses differ only in the MEE tax of the cache-line fill.
+        mem.access(ENCLAVE_HEAP_BASE + 512, 8, AccessKind::Read, &cost, &clock, &mut stats);
+        mem.access(SHM_BASE + 512, 8, AccessKind::Read, &cost, &clock, &mut stats);
+        let p = mem.access(ENCLAVE_HEAP_BASE, 8, AccessKind::Read, &cost, &clock, &mut stats);
+        let s = mem.access(SHM_BASE, 8, AccessKind::Read, &cost, &clock, &mut stats);
+        assert_eq!(p - s, cost.mee_read_cycles, "protected fill pays the MEE");
+    }
+
+    #[test]
+    fn warm_protected_access_is_as_cheap_as_shared() {
+        // The MEE sits behind the cache: enclave data already in cache pays
+        // nothing extra — this is why TEE profiling distortions come from
+        // misses, paging and world switches, not from every load.
+        let cost = CostModel::sgx_v1();
+        let (mut mem, clock, mut stats) = setup(&cost);
+        mem.access(ENCLAVE_HEAP_BASE, 8, AccessKind::Read, &cost, &clock, &mut stats);
+        let warm = mem.access(ENCLAVE_HEAP_BASE, 8, AccessKind::Read, &cost, &clock, &mut stats);
+        assert_eq!(warm, cost.cache_hit_cycles);
+    }
+
+    #[test]
+    fn mee_cold_writes_cost_more_than_cold_reads() {
+        let cost = CostModel::sgx_v1();
+        let (mut mem, clock, mut stats) = setup(&cost);
+        // Same page, two cold lines.
+        mem.access(ENCLAVE_HEAP_BASE + 1024, 8, AccessKind::Read, &cost, &clock, &mut stats);
+        let r = mem.access(ENCLAVE_HEAP_BASE, 8, AccessKind::Read, &cost, &clock, &mut stats);
+        let w = mem.access(ENCLAVE_HEAP_BASE + 64, 8, AccessKind::Write, &cost, &clock, &mut stats);
+        assert!(w > r);
+    }
+
+    #[test]
+    fn cache_capacity_evicts_and_remisses() {
+        let mut cost = CostModel::sgx_v1();
+        cost.cache_lines = 8;
+        cost.cache_assoc = 2;
+        cost.tlb_entries = 0; // isolate the cache effect
+        let (mut mem, clock, mut stats) = setup(&cost);
+        // Touch 32 distinct lines in one page: all miss.
+        for i in 0..32 {
+            mem.access(ENCLAVE_HEAP_BASE + i * CACHE_LINE, 8, AccessKind::Read, &cost, &clock, &mut stats);
+        }
+        assert_eq!(stats.cache_misses, 32);
+        // Re-touch the first line: evicted long ago, misses again.
+        mem.access(ENCLAVE_HEAP_BASE, 8, AccessKind::Read, &cost, &clock, &mut stats);
+        assert_eq!(stats.cache_misses, 33);
+    }
+
+    #[test]
+    fn epc_eviction_kicks_in_beyond_capacity() {
+        let cost = CostModel::sgx_v1().with_epc_pages(4);
+        let (mut mem, clock, mut stats) = setup(&cost);
+        for i in 0..4 {
+            mem.access(
+                ENCLAVE_HEAP_BASE + i * PAGE_SIZE,
+                8,
+                AccessKind::Read,
+                &cost,
+                &clock,
+                &mut stats,
+            );
+        }
+        assert_eq!(stats.epc_faults, 4);
+        assert_eq!(stats.epc_evictions, 0);
+        assert_eq!(mem.epc_resident_pages(), 4);
+        mem.access(
+            ENCLAVE_HEAP_BASE + 4 * PAGE_SIZE,
+            8,
+            AccessKind::Read,
+            &cost,
+            &clock,
+            &mut stats,
+        );
+        assert_eq!(stats.epc_faults, 5);
+        assert_eq!(stats.epc_evictions, 1);
+        assert_eq!(mem.epc_resident_pages(), 4);
+    }
+
+    #[test]
+    fn epc_lru_evicts_least_recently_used() {
+        let cost = CostModel::sgx_v1().with_epc_pages(2);
+        let (mut mem, clock, mut stats) = setup(&cost);
+        let page = |i: u64| ENCLAVE_HEAP_BASE + i * PAGE_SIZE;
+        mem.access(page(0), 8, AccessKind::Read, &cost, &clock, &mut stats);
+        mem.access(page(1), 8, AccessKind::Read, &cost, &clock, &mut stats);
+        // Touch page 0 again so page 1 is LRU.
+        mem.access(page(0), 8, AccessKind::Read, &cost, &clock, &mut stats);
+        let faults_before = stats.epc_faults;
+        mem.access(page(2), 8, AccessKind::Read, &cost, &clock, &mut stats); // evicts 1
+        mem.access(page(0), 8, AccessKind::Read, &cost, &clock, &mut stats); // still resident
+        assert_eq!(stats.epc_faults, faults_before + 1);
+        mem.access(page(1), 8, AccessKind::Read, &cost, &clock, &mut stats); // was evicted
+        assert_eq!(stats.epc_faults, faults_before + 2);
+    }
+
+    #[test]
+    fn tlb_flush_causes_fresh_misses() {
+        let cost = CostModel::sgx_v1();
+        let (mut mem, clock, mut stats) = setup(&cost);
+        mem.access(ENCLAVE_HEAP_BASE, 8, AccessKind::Read, &cost, &clock, &mut stats);
+        mem.access(ENCLAVE_HEAP_BASE, 8, AccessKind::Read, &cost, &clock, &mut stats);
+        assert_eq!(stats.tlb_misses, 1);
+        mem.flush_tlb();
+        mem.access(ENCLAVE_HEAP_BASE, 8, AccessKind::Read, &cost, &clock, &mut stats);
+        assert_eq!(stats.tlb_misses, 2);
+    }
+
+    #[test]
+    fn native_model_has_no_mee_or_epc_charges() {
+        let cost = CostModel::native();
+        let (mut mem, clock, mut stats) = setup(&cost);
+        mem.access(ENCLAVE_HEAP_BASE, 4096, AccessKind::Write, &cost, &clock, &mut stats);
+        assert_eq!(stats.mee_lines, 0);
+        assert_eq!(stats.epc_faults, 0);
+    }
+
+    #[test]
+    fn multi_line_access_charges_per_line() {
+        let cost = CostModel::sgx_v1();
+        let (mut mem, clock, mut stats) = setup(&cost);
+        // Warm all four lines and the TLB.
+        mem.access(ENCLAVE_HEAP_BASE, 4 * CACHE_LINE, AccessKind::Read, &cost, &clock, &mut stats);
+        let one = mem.access(ENCLAVE_HEAP_BASE, 8, AccessKind::Read, &cost, &clock, &mut stats);
+        let four = mem.access(
+            ENCLAVE_HEAP_BASE,
+            4 * CACHE_LINE,
+            AccessKind::Read,
+            &cost,
+            &clock,
+            &mut stats,
+        );
+        assert_eq!(four, 4 * one);
+    }
+
+    #[test]
+    fn clock_advances_by_charged_cycles() {
+        let cost = CostModel::sgx_v1();
+        let (mut mem, clock, mut stats) = setup(&cost);
+        let charged = mem.access(ENCLAVE_HEAP_BASE, 8, AccessKind::Read, &cost, &clock, &mut stats);
+        assert_eq!(clock.now(), charged);
+    }
+}

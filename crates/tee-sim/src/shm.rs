@@ -1,0 +1,220 @@
+//! Untrusted memory shared between the enclave and host processes.
+//!
+//! TEE-Perf's central assumption (§II-A) is that the profiled application
+//! inside the TEE can map a memory region that a natively running recorder
+//! process can also see. The log lives here precisely so it does **not**
+//! consume scarce protected memory.
+//!
+//! The region is backed by atomic 64-bit words so that a real host thread —
+//! such as the software counter of `teeperf-core` — can concurrently access
+//! it while the simulated enclave runs, mirroring the paper's lock-free,
+//! fetch-and-add log protocol.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::error::SimError;
+
+/// A fixed-size shared memory region addressed by byte offset.
+///
+/// All word accessors require 8-byte-aligned offsets; this models the
+/// alignment the paper's log layout guarantees and keeps every access a
+/// single atomic operation.
+///
+/// ```
+/// use tee_sim::SharedMem;
+/// let shm = SharedMem::new(4096);
+/// shm.write_u64(0, 42).unwrap();
+/// assert_eq!(shm.read_u64(0).unwrap(), 42);
+/// assert_eq!(shm.fetch_add_u64(0, 8).unwrap(), 42);
+/// assert_eq!(shm.read_u64(0).unwrap(), 50);
+/// ```
+#[derive(Debug)]
+pub struct SharedMem {
+    words: Vec<AtomicU64>,
+    size: u64,
+}
+
+impl SharedMem {
+    /// Allocate a zeroed shared region of at least `bytes` bytes (rounded up
+    /// to a whole number of 64-bit words).
+    pub fn new(bytes: u64) -> SharedMem {
+        let words = bytes.div_ceil(8);
+        SharedMem {
+            words: (0..words).map(|_| AtomicU64::new(0)).collect(),
+            size: words * 8,
+        }
+    }
+
+    /// Size of the region in bytes.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    fn word_index(&self, offset: u64, len: u64) -> Result<usize, SimError> {
+        if !offset.is_multiple_of(8) {
+            return Err(SimError::ShmOutOfBounds {
+                offset,
+                len,
+                size: self.size,
+            });
+        }
+        if offset + len > self.size {
+            return Err(SimError::ShmOutOfBounds {
+                offset,
+                len,
+                size: self.size,
+            });
+        }
+        Ok((offset / 8) as usize)
+    }
+
+    /// Atomically read the 64-bit word at byte `offset`.
+    ///
+    /// # Errors
+    /// Returns [`SimError::ShmOutOfBounds`] if `offset` is unaligned or the
+    /// word would exceed the region.
+    pub fn read_u64(&self, offset: u64) -> Result<u64, SimError> {
+        let i = self.word_index(offset, 8)?;
+        Ok(self.words[i].load(Ordering::Acquire))
+    }
+
+    /// Atomically write the 64-bit word at byte `offset`.
+    ///
+    /// # Errors
+    /// Returns [`SimError::ShmOutOfBounds`] on unaligned or out-of-range access.
+    pub fn write_u64(&self, offset: u64, value: u64) -> Result<(), SimError> {
+        let i = self.word_index(offset, 8)?;
+        self.words[i].store(value, Ordering::Release);
+        Ok(())
+    }
+
+    /// Atomic fetch-and-add on the word at byte `offset`, returning the
+    /// previous value. This is the primitive the paper uses to reserve log
+    /// entries lock-free.
+    ///
+    /// # Errors
+    /// Returns [`SimError::ShmOutOfBounds`] on unaligned or out-of-range access.
+    pub fn fetch_add_u64(&self, offset: u64, delta: u64) -> Result<u64, SimError> {
+        let i = self.word_index(offset, 8)?;
+        Ok(self.words[i].fetch_add(delta, Ordering::AcqRel))
+    }
+
+    /// Atomic compare-exchange on the word at byte `offset`. Returns
+    /// `Ok(previous)` where the exchange succeeded iff `previous == current`.
+    ///
+    /// # Errors
+    /// Returns [`SimError::ShmOutOfBounds`] on unaligned or out-of-range access.
+    pub fn compare_exchange_u64(
+        &self,
+        offset: u64,
+        current: u64,
+        new: u64,
+    ) -> Result<u64, SimError> {
+        let i = self.word_index(offset, 8)?;
+        Ok(
+            match self.words[i].compare_exchange(
+                current,
+                new,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(prev) => prev,
+                Err(prev) => prev,
+            },
+        )
+    }
+
+    /// Snapshot `count` consecutive words starting at byte `offset` — used by
+    /// the recorder when draining the log to persistent storage.
+    ///
+    /// # Errors
+    /// Returns [`SimError::ShmOutOfBounds`] if the range exceeds the region.
+    pub fn read_words(&self, offset: u64, count: u64) -> Result<Vec<u64>, SimError> {
+        let start = self.word_index(offset, count * 8)?;
+        Ok(self.words[start..start + count as usize]
+            .iter()
+            .map(|w| w.load(Ordering::Acquire))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn size_rounds_up_to_words() {
+        assert_eq!(SharedMem::new(1).size(), 8);
+        assert_eq!(SharedMem::new(16).size(), 16);
+        assert_eq!(SharedMem::new(17).size(), 24);
+    }
+
+    #[test]
+    fn rw_round_trip() {
+        let shm = SharedMem::new(64);
+        for i in 0..8 {
+            shm.write_u64(i * 8, i * 1000 + 7).unwrap();
+        }
+        for i in 0..8 {
+            assert_eq!(shm.read_u64(i * 8).unwrap(), i * 1000 + 7);
+        }
+    }
+
+    #[test]
+    fn rejects_unaligned_and_out_of_range() {
+        let shm = SharedMem::new(16);
+        assert!(shm.read_u64(4).is_err());
+        assert!(shm.read_u64(16).is_err());
+        assert!(shm.write_u64(9, 0).is_err());
+        assert!(shm.fetch_add_u64(24, 1).is_err());
+    }
+
+    #[test]
+    fn fetch_add_returns_previous() {
+        let shm = SharedMem::new(8);
+        assert_eq!(shm.fetch_add_u64(0, 3).unwrap(), 0);
+        assert_eq!(shm.fetch_add_u64(0, 3).unwrap(), 3);
+        assert_eq!(shm.read_u64(0).unwrap(), 6);
+    }
+
+    #[test]
+    fn compare_exchange_semantics() {
+        let shm = SharedMem::new(8);
+        shm.write_u64(0, 5).unwrap();
+        assert_eq!(shm.compare_exchange_u64(0, 5, 9).unwrap(), 5);
+        assert_eq!(shm.read_u64(0).unwrap(), 9);
+        // Failed exchange returns the observed value and leaves it unchanged.
+        assert_eq!(shm.compare_exchange_u64(0, 5, 1).unwrap(), 9);
+        assert_eq!(shm.read_u64(0).unwrap(), 9);
+    }
+
+    #[test]
+    fn read_words_snapshots_range() {
+        let shm = SharedMem::new(32);
+        for i in 0..4 {
+            shm.write_u64(i * 8, i).unwrap();
+        }
+        assert_eq!(shm.read_words(8, 3).unwrap(), vec![1, 2, 3]);
+        assert!(shm.read_words(8, 4).is_err());
+    }
+
+    #[test]
+    fn concurrent_fetch_add_loses_no_increments() {
+        let shm = Arc::new(SharedMem::new(8));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let shm = Arc::clone(&shm);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        shm.fetch_add_u64(0, 1).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(shm.read_u64(0).unwrap(), 40_000);
+    }
+}

@@ -1,0 +1,80 @@
+//! Event counters accumulated by the simulator.
+
+use std::fmt;
+
+/// Counters of notable simulated-hardware events.
+///
+/// These are observability for tests and the benchmark harness; they do not
+/// feed back into timing (the [`crate::Clock`] carries all time).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MachineStats {
+    /// Synchronous enclave entries.
+    pub ecalls: u64,
+    /// Synchronous enclave exits + re-entries (ocalls).
+    pub ocalls: u64,
+    /// Asynchronous enclave exits (interrupt-style, e.g. profiler samples).
+    pub aexes: u64,
+    /// Cache lines that paid the memory-encryption engine.
+    pub mee_lines: u64,
+    /// Last-level cache misses.
+    pub cache_misses: u64,
+    /// TLB refills after misses.
+    pub tlb_misses: u64,
+    /// EPC page faults (pages loaded into the EPC).
+    pub epc_faults: u64,
+    /// EPC evictions (pages securely written back to host memory).
+    pub epc_evictions: u64,
+    /// Total memory accesses charged.
+    pub mem_accesses: u64,
+    /// Bytes read through the memory model.
+    pub bytes_read: u64,
+    /// Bytes written through the memory model.
+    pub bytes_written: u64,
+    /// Syscalls dispatched through the ocall layer.
+    pub syscalls: u64,
+}
+
+impl MachineStats {
+    /// Total number of world switches of any flavor.
+    pub fn world_switches(&self) -> u64 {
+        self.ecalls + self.ocalls + self.aexes
+    }
+}
+
+impl fmt::Display for MachineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "ecalls:        {:>12}", self.ecalls)?;
+        writeln!(f, "ocalls:        {:>12}", self.ocalls)?;
+        writeln!(f, "aexes:         {:>12}", self.aexes)?;
+        writeln!(f, "syscalls:      {:>12}", self.syscalls)?;
+        writeln!(f, "mee lines:     {:>12}", self.mee_lines)?;
+        writeln!(f, "cache misses:  {:>12}", self.cache_misses)?;
+        writeln!(f, "tlb misses:    {:>12}", self.tlb_misses)?;
+        writeln!(f, "epc faults:    {:>12}", self.epc_faults)?;
+        writeln!(f, "epc evictions: {:>12}", self.epc_evictions)?;
+        writeln!(f, "mem accesses:  {:>12}", self.mem_accesses)?;
+        writeln!(f, "bytes read:    {:>12}", self.bytes_read)?;
+        write!(f, "bytes written: {:>12}", self.bytes_written)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_switches_sums_components() {
+        let s = MachineStats {
+            ecalls: 1,
+            ocalls: 2,
+            aexes: 3,
+            ..MachineStats::default()
+        };
+        assert_eq!(s.world_switches(), 6);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!MachineStats::default().to_string().is_empty());
+    }
+}

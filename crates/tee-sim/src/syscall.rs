@@ -1,0 +1,137 @@
+//! The ocall-mediated syscall layer.
+//!
+//! Direct syscalls are forbidden inside a TEE — the paper's SPDK case study
+//! (§IV-C) turns entirely on this fact: a `getpid` on the hot path costs a
+//! full world switch, and the naive port spent 72 % of its time there. The
+//! simulator therefore routes every syscall through [`crate::Machine`]'s
+//! ocall path when execution is inside the enclave, and charges only the
+//! host-side service time when it is not.
+
+use std::fmt;
+
+/// The syscalls the simulated applications use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Syscalls {
+    /// `getpid(2)` — trivially cheap on the host, an ocall in the enclave.
+    Getpid,
+    /// `clock_gettime(2)`-style monotonic timestamp in nanoseconds.
+    ClockGettime,
+    /// Read the timestamp counter. Natively this is a plain `rdtsc`
+    /// instruction; SGX v1 forbids `rdtsc` inside the enclave, so there it
+    /// is emulated via an ocall (exactly the situation in Figure 6).
+    Rdtsc,
+    /// A generic blocking read of `len` bytes from a descriptor.
+    Read,
+    /// A generic blocking write of `len` bytes to a descriptor.
+    Write,
+}
+
+impl Syscalls {
+    /// Stable syscall number, used by the VM's builtin dispatcher.
+    pub fn number(self) -> u64 {
+        match self {
+            Syscalls::Getpid => 0,
+            Syscalls::ClockGettime => 1,
+            Syscalls::Rdtsc => 2,
+            Syscalls::Read => 3,
+            Syscalls::Write => 4,
+        }
+    }
+
+    /// Inverse of [`number`](Syscalls::number).
+    pub fn from_number(nr: u64) -> Option<Syscalls> {
+        Some(match nr {
+            0 => Syscalls::Getpid,
+            1 => Syscalls::ClockGettime,
+            2 => Syscalls::Rdtsc,
+            3 => Syscalls::Read,
+            4 => Syscalls::Write,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Syscalls {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Syscalls::Getpid => "getpid",
+            Syscalls::ClockGettime => "clock_gettime",
+            Syscalls::Rdtsc => "rdtsc",
+            Syscalls::Read => "read",
+            Syscalls::Write => "write",
+        })
+    }
+}
+
+/// Host-side service times for each syscall, in cycles, excluding any world
+/// switch needed to reach the host.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyscallTable {
+    /// Service time of `getpid`.
+    pub getpid_cycles: u64,
+    /// Service time of `clock_gettime`.
+    pub clock_gettime_cycles: u64,
+    /// Latency of the `rdtsc` instruction itself.
+    pub rdtsc_cycles: u64,
+    /// Fixed per-call overhead of `read`, excluding device time.
+    pub read_cycles: u64,
+    /// Fixed per-call overhead of `write`, excluding device time.
+    pub write_cycles: u64,
+}
+
+impl SyscallTable {
+    /// Service times derived from an architecture cost model.
+    pub fn from_cost(cost: &crate::CostModel) -> SyscallTable {
+        SyscallTable {
+            getpid_cycles: cost.syscall_cycles,
+            clock_gettime_cycles: cost.syscall_cycles + 50,
+            rdtsc_cycles: cost.rdtsc_cycles,
+            read_cycles: cost.syscall_cycles * 4,
+            write_cycles: cost.syscall_cycles * 4,
+        }
+    }
+
+    /// Host-side cycles for one invocation of `sc`.
+    pub fn service_cycles(&self, sc: Syscalls) -> u64 {
+        match sc {
+            Syscalls::Getpid => self.getpid_cycles,
+            Syscalls::ClockGettime => self.clock_gettime_cycles,
+            Syscalls::Rdtsc => self.rdtsc_cycles,
+            Syscalls::Read => self.read_cycles,
+            Syscalls::Write => self.write_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CostModel;
+
+    #[test]
+    fn numbers_round_trip() {
+        for sc in [
+            Syscalls::Getpid,
+            Syscalls::ClockGettime,
+            Syscalls::Rdtsc,
+            Syscalls::Read,
+            Syscalls::Write,
+        ] {
+            assert_eq!(Syscalls::from_number(sc.number()), Some(sc));
+        }
+        assert_eq!(Syscalls::from_number(999), None);
+    }
+
+    #[test]
+    fn table_tracks_cost_model() {
+        let t = SyscallTable::from_cost(&CostModel::native());
+        assert_eq!(t.service_cycles(Syscalls::Getpid), 150);
+        assert_eq!(t.service_cycles(Syscalls::Rdtsc), 30);
+        assert!(t.service_cycles(Syscalls::Read) > t.service_cycles(Syscalls::Getpid));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Syscalls::Rdtsc.to_string(), "rdtsc");
+    }
+}

@@ -1,0 +1,147 @@
+//! Profile comparison: the before/after-optimization workflow of the
+//! paper's SPDK case study, as a first-class operation. The log header's
+//! process id exists precisely to tell runs apart in the analysis phase
+//! (§II-B); `diff` is what the developer does next.
+
+use std::collections::BTreeSet;
+
+use crate::profile::Profile;
+use crate::query::frame::Frame;
+
+/// Compare two profiles method-by-method.
+///
+/// Produces a queryable frame with one row per method appearing in either
+/// profile: `method, a_pct, b_pct, delta_pct, a_calls, b_calls`, where the
+/// percentages are exclusive-time shares and `delta_pct = b_pct - a_pct`
+/// (negative = the method shrank — mission accomplished). Rows are sorted
+/// by `delta_pct` ascending, so the biggest wins come first.
+pub fn diff(a: &Profile, b: &Profile) -> Frame {
+    let names: BTreeSet<&str> = a
+        .methods
+        .iter()
+        .chain(&b.methods)
+        .map(|m| m.name.as_str())
+        .collect();
+
+    let mut rows: Vec<(String, f64, f64, i64, i64)> = names
+        .into_iter()
+        .map(|name| {
+            let a_pct = a.exclusive_fraction(name) * 100.0;
+            let b_pct = b.exclusive_fraction(name) * 100.0;
+            let a_calls = a.method(name).map_or(0, |m| m.calls as i64);
+            let b_calls = b.method(name).map_or(0, |m| m.calls as i64);
+            (name.to_string(), a_pct, b_pct, a_calls, b_calls)
+        })
+        .collect();
+    rows.sort_by(|x, y| (x.2 - x.1).total_cmp(&(y.2 - y.1)));
+
+    let mut f = Frame::new();
+    f.push_str_column("method", rows.iter().map(|r| r.0.clone()).collect());
+    f.push_float_column("a_pct", rows.iter().map(|r| r.1).collect());
+    f.push_float_column("b_pct", rows.iter().map(|r| r.2).collect());
+    f.push_float_column("delta_pct", rows.iter().map(|r| r.2 - r.1).collect());
+    f.push_int_column("a_calls", rows.iter().map(|r| r.3).collect());
+    f.push_int_column("b_calls", rows.iter().map(|r| r.4).collect());
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::frame::Column;
+    use crate::symbolize::Symbolizer;
+    use mcvm::DebugInfo;
+    use teeperf_core::layout::{EventKind, LogEntry, LogHeader, LOG_VERSION};
+    use teeperf_core::LogFile;
+
+    fn profile_from(spans: &[(&str, u64)]) -> Profile {
+        // Build a flat log: each method runs once, sequentially, for the
+        // given number of ticks.
+        let debug = DebugInfo::from_functions(
+            spans.iter().map(|(n, _)| (*n, 4u64, 1u32)),
+        );
+        let mut entries = Vec::new();
+        let mut t = 1_000u64;
+        for (i, (_, ticks)) in spans.iter().enumerate() {
+            entries.push(LogEntry {
+                kind: EventKind::Call,
+                counter: t,
+                addr: debug.entry_addr(i as u16),
+                tid: 0,
+            });
+            t += ticks;
+            entries.push(LogEntry {
+                kind: EventKind::Return,
+                counter: t,
+                addr: debug.entry_addr(i as u16),
+                tid: 0,
+            });
+        }
+        let log = LogFile::new(
+            LogHeader {
+                active: false,
+                trace_calls: true,
+                trace_returns: true,
+                multithread: false,
+                version: LOG_VERSION,
+                pid: 1,
+                size: 1000,
+                tail: entries.len() as u64,
+                anchor: 0,
+                shm_addr: 0,
+            },
+            entries,
+        );
+        crate::profile::build(&log, &Symbolizer::without_relocation(debug))
+    }
+
+    #[test]
+    fn diff_ranks_shrinking_methods_first() {
+        // "before": getpid dominates; "after": it is gone.
+        let before = profile_from(&[("getpid", 70), ("io", 20), ("compute", 10)]);
+        let after = profile_from(&[("io", 60), ("compute", 40)]);
+        let d = diff(&before, &after);
+        assert_eq!(d.len(), 3);
+        let Some(Column::Str(methods)) = d.column("method").cloned() else {
+            panic!("method column missing")
+        };
+        assert_eq!(methods[0], "getpid", "biggest reduction first");
+        let Some(Column::Float(delta)) = d.column("delta_pct").cloned() else {
+            panic!("delta column missing")
+        };
+        assert!((delta[0] - -70.0).abs() < 1e-9);
+        assert!(delta.windows(2).all(|w| w[0] <= w[1]), "sorted ascending");
+        // Methods only in one profile get 0 on the other side.
+        let Some(Column::Int(a_calls)) = d.column("a_calls").cloned() else {
+            panic!("a_calls missing")
+        };
+        let gi = methods.iter().position(|m| m == "getpid").expect("present");
+        assert_eq!(a_calls[gi], 1);
+        let Some(Column::Int(b_calls)) = d.column("b_calls").cloned() else {
+            panic!("b_calls missing")
+        };
+        assert_eq!(b_calls[gi], 0);
+    }
+
+    #[test]
+    fn identical_profiles_diff_to_zero() {
+        let p = profile_from(&[("a", 50), ("b", 50)]);
+        let d = diff(&p, &p);
+        let Some(Column::Float(delta)) = d.column("delta_pct").cloned() else {
+            panic!("delta column missing")
+        };
+        assert!(delta.iter().all(|v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn diff_is_queryable() {
+        let before = profile_from(&[("hot", 90), ("cold", 10)]);
+        let after = profile_from(&[("hot", 30), ("cold", 70)]);
+        let out = crate::query::run_query(
+            &diff(&before, &after),
+            "select method where delta_pct < -10",
+        )
+        .expect("query runs");
+        assert_eq!(out.len(), 1);
+    }
+}

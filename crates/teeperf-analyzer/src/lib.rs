@@ -1,0 +1,97 @@
+//! # teeperf-analyzer — stage 3 of TEE-Perf: the offline analyzer
+//!
+//! The paper's analyzer (370 LoC of Python on numpy/pandas plus
+//! `addr2line`, `readelf` and `c++filt`) reads the recorded log, groups the
+//! call/return entries per thread, reconstructs every call stack, computes
+//! the time spent in each method — both *inclusive* and *exclusive* (with
+//! callee time subtracted) — correlates addresses with function names
+//! through the binary's debug information, and exposes a rich declarative
+//! query interface for ad-hoc investigation (§II-B stage 3, §II-C).
+//!
+//! This crate reproduces all of that in Rust:
+//!
+//! * [`reader`] — validates the log file (version, incomplete trailing
+//!   records are dismissed, dropped-entry accounting) and groups events per
+//!   thread;
+//! * [`stacks`] — per-thread call-stack reconstruction that tolerates
+//!   truncated logs and orphan returns;
+//! * [`profile`] — method-level aggregation: calls, inclusive/exclusive
+//!   ticks, min/max, per-thread breakdowns, and folded stacks for the
+//!   visualizer;
+//! * [`symbolize`] — `addr2line`/`c++filt` equivalent: relocation via the
+//!   header's anchor address, then symbol lookup and demangling;
+//! * [`query`] — a small dataframe engine with a declarative query language
+//!   (the pandas stand-in): `select … where … sort … limit …` and
+//!   `group … agg …`;
+//! * [`report`] — the sorted text report the developer reads first.
+
+pub mod compare;
+pub mod profile;
+pub mod query;
+pub mod reader;
+pub mod report;
+pub mod stacks;
+pub mod symbolize;
+
+pub use compare::diff;
+
+pub use profile::{MethodStats, Profile};
+pub use query::frame::{Column, Frame};
+pub use query::run_query;
+pub use reader::{AnalyzeError, ThreadEvents};
+pub use symbolize::Symbolizer;
+
+use mcvm::DebugInfo;
+use teeperf_core::LogFile;
+
+/// The analyzer: owns one recorded log and its matching debug info.
+#[derive(Debug, Clone)]
+pub struct Analyzer {
+    log: LogFile,
+    symbolizer: Symbolizer,
+}
+
+impl Analyzer {
+    /// Validate the log and bind it to the binary's debug info.
+    ///
+    /// # Errors
+    /// Returns [`AnalyzeError::VersionMismatch`] when the log was written by
+    /// an incompatible recorder version.
+    pub fn new(log: LogFile, debug: DebugInfo) -> Result<Analyzer, AnalyzeError> {
+        reader::validate(&log)?;
+        let symbolizer = Symbolizer::new(debug, &log.header);
+        Ok(Analyzer { log, symbolizer })
+    }
+
+    /// The underlying log.
+    pub fn log(&self) -> &LogFile {
+        &self.log
+    }
+
+    /// The symbolizer (for address → name lookups).
+    pub fn symbolizer(&self) -> &Symbolizer {
+        &self.symbolizer
+    }
+
+    /// Build the full method-level profile.
+    pub fn profile(&self) -> Profile {
+        profile::build(&self.log, &self.symbolizer)
+    }
+
+    /// Raw events as a queryable dataframe with columns
+    /// `seq, tid, kind, counter, addr, method`.
+    pub fn events_frame(&self) -> Frame {
+        profile::events_frame(&self.log, &self.symbolizer)
+    }
+
+    /// Method statistics as a queryable dataframe with columns
+    /// `method, calls, incl, excl, excl_pct, min, max, threads`.
+    pub fn methods_frame(&self) -> Frame {
+        self.profile().methods_frame()
+    }
+
+    /// The human-readable sorted report.
+    pub fn report(&self) -> String {
+        report::render(&self.profile(), &self.log)
+    }
+}

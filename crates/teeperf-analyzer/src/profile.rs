@@ -1,0 +1,530 @@
+//! Method-level profile aggregation.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::query::frame::Frame;
+use crate::reader::{self};
+use crate::stacks::{self, CompletedCall};
+use crate::symbolize::Symbolizer;
+use teeperf_core::LogFile;
+
+/// Aggregated statistics for one method.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodStats {
+    /// Demangled method name.
+    pub name: String,
+    /// Runtime entry address.
+    pub addr: u64,
+    /// Number of completed calls.
+    pub calls: u64,
+    /// Total inclusive ticks.
+    pub inclusive: u64,
+    /// Total exclusive ticks (callee time subtracted).
+    pub exclusive: u64,
+    /// Fastest single call (inclusive ticks).
+    pub min_inclusive: u64,
+    /// Slowest single call (inclusive ticks).
+    pub max_inclusive: u64,
+    /// Threads that executed the method.
+    pub threads: BTreeSet<u64>,
+}
+
+/// Data-quality counters surfaced alongside the profile.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Anomalies {
+    /// Returns without a matching call.
+    pub orphan_returns: u64,
+    /// Frames force-closed at the end of the log.
+    pub truncated_frames: u64,
+    /// All-zero records dismissed by the reader.
+    pub incomplete_entries: u64,
+    /// Entries the recorder dropped because the log was full.
+    pub dropped_entries: u64,
+}
+
+/// One caller→callee edge of the dynamic call graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallerEdge {
+    /// The calling method (`<root>` for top-level frames).
+    pub caller: String,
+    /// The called method.
+    pub callee: String,
+    /// Number of calls along this edge.
+    pub calls: u64,
+    /// Inclusive ticks of the callee when invoked from this caller.
+    pub inclusive: u64,
+    /// Exclusive ticks of the callee when invoked from this caller.
+    pub exclusive: u64,
+}
+
+/// A complete method-level profile of one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Profile {
+    /// Per-method statistics, sorted by exclusive ticks descending — the
+    /// paper's "presented in a sorted way to the programmer".
+    pub methods: Vec<MethodStats>,
+    /// Folded stacks: (named path outermost→innermost, exclusive ticks).
+    /// This is the flame-graph input format.
+    pub folded: Vec<(Vec<String>, u64)>,
+    /// Caller-context breakdown (§II-C "performance depending on the call
+    /// history of a method"), sorted by inclusive ticks descending.
+    pub caller_edges: Vec<CallerEdge>,
+    /// Every completed call per thread (for deep queries).
+    pub per_thread_calls: BTreeMap<u64, Vec<CompletedCall>>,
+    /// Sum of exclusive ticks over all methods (== total profiled time).
+    pub total_ticks: u64,
+    /// Data-quality counters.
+    pub anomalies: Anomalies,
+}
+
+/// Build the profile for a validated log.
+pub fn build(log: &LogFile, symbolizer: &Symbolizer) -> Profile {
+    let grouped = reader::group_by_thread(log);
+    let mut methods: HashMap<u64, MethodStats> = HashMap::new();
+    let mut folded: HashMap<Vec<u64>, u64> = HashMap::new();
+    let mut edges: HashMap<(u64, u64), (u64, u64, u64)> = HashMap::new();
+    /// Sentinel caller address for top-level frames.
+    const ROOT: u64 = u64::MAX;
+    let mut per_thread_calls = BTreeMap::new();
+    let mut anomalies = Anomalies {
+        incomplete_entries: grouped.incomplete,
+        dropped_entries: log.header.dropped_entries(),
+        ..Anomalies::default()
+    };
+
+    for (tid, events) in &grouped.threads {
+        let st = stacks::reconstruct(events);
+        anomalies.orphan_returns += st.orphan_returns;
+        anomalies.truncated_frames += st.truncated_frames;
+        for call in &st.calls {
+            let m = methods.entry(call.addr).or_insert_with(|| MethodStats {
+                name: symbolizer.name_of(call.addr),
+                addr: call.addr,
+                calls: 0,
+                inclusive: 0,
+                exclusive: 0,
+                min_inclusive: u64::MAX,
+                max_inclusive: 0,
+                threads: BTreeSet::new(),
+            });
+            m.calls += 1;
+            m.inclusive += call.inclusive();
+            m.exclusive += call.exclusive();
+            m.min_inclusive = m.min_inclusive.min(call.inclusive());
+            m.max_inclusive = m.max_inclusive.max(call.inclusive());
+            m.threads.insert(*tid);
+            if call.exclusive() > 0 {
+                *folded.entry(call.stack.clone()).or_default() += call.exclusive();
+            }
+            let caller = if call.stack.len() >= 2 {
+                call.stack[call.stack.len() - 2]
+            } else {
+                ROOT
+            };
+            let e = edges.entry((caller, call.addr)).or_default();
+            e.0 += 1;
+            e.1 += call.inclusive();
+            e.2 += call.exclusive();
+        }
+        per_thread_calls.insert(*tid, st.calls);
+    }
+
+    let mut methods: Vec<MethodStats> = methods.into_values().collect();
+    methods.sort_by(|a, b| b.exclusive.cmp(&a.exclusive).then(a.name.cmp(&b.name)));
+    let total_ticks = methods.iter().map(|m| m.exclusive).sum();
+
+    let mut folded: Vec<(Vec<String>, u64)> = folded
+        .into_iter()
+        .map(|(path, ticks)| {
+            (
+                path.iter().map(|a| symbolizer.name_of(*a)).collect(),
+                ticks,
+            )
+        })
+        .collect();
+    // Merge paths that became identical after symbolization.
+    folded.sort();
+    folded.dedup_by(|a, b| {
+        if a.0 == b.0 {
+            b.1 += a.1;
+            true
+        } else {
+            false
+        }
+    });
+
+    let mut caller_edges: Vec<CallerEdge> = edges
+        .into_iter()
+        .map(|((caller, callee), (calls, inclusive, exclusive))| CallerEdge {
+            caller: if caller == ROOT {
+                "<root>".to_string()
+            } else {
+                symbolizer.name_of(caller)
+            },
+            callee: symbolizer.name_of(callee),
+            calls,
+            inclusive,
+            exclusive,
+        })
+        .collect();
+    caller_edges.sort_by(|a, b| {
+        b.inclusive
+            .cmp(&a.inclusive)
+            .then_with(|| (a.caller.as_str(), a.callee.as_str()).cmp(&(b.caller.as_str(), b.callee.as_str())))
+    });
+
+    Profile {
+        methods,
+        folded,
+        caller_edges,
+        per_thread_calls,
+        total_ticks,
+        anomalies,
+    }
+}
+
+impl Profile {
+    /// Look up a method's stats by name.
+    pub fn method(&self, name: &str) -> Option<&MethodStats> {
+        self.methods.iter().find(|m| m.name == name)
+    }
+
+    /// Fraction of total profiled time spent exclusively in `name`.
+    pub fn exclusive_fraction(&self, name: &str) -> f64 {
+        if self.total_ticks == 0 {
+            return 0.0;
+        }
+        self.method(name)
+            .map_or(0.0, |m| m.exclusive as f64 / self.total_ticks as f64)
+    }
+
+    /// Caller breakdown for one method: who calls it, how often, and how
+    /// expensive it is from each call site.
+    pub fn callers_of(&self, name: &str) -> Vec<&CallerEdge> {
+        self.caller_edges
+            .iter()
+            .filter(|e| e.callee == name)
+            .collect()
+    }
+
+    /// The dynamic call graph as a queryable dataframe
+    /// (`caller, callee, calls, incl, excl`).
+    pub fn callers_frame(&self) -> Frame {
+        let mut f = Frame::new();
+        f.push_str_column(
+            "caller",
+            self.caller_edges.iter().map(|e| e.caller.clone()).collect(),
+        );
+        f.push_str_column(
+            "callee",
+            self.caller_edges.iter().map(|e| e.callee.clone()).collect(),
+        );
+        f.push_int_column(
+            "calls",
+            self.caller_edges.iter().map(|e| e.calls as i64).collect(),
+        );
+        f.push_int_column(
+            "incl",
+            self.caller_edges.iter().map(|e| e.inclusive as i64).collect(),
+        );
+        f.push_int_column(
+            "excl",
+            self.caller_edges.iter().map(|e| e.exclusive as i64).collect(),
+        );
+        f
+    }
+
+    /// The method table as a queryable dataframe.
+    pub fn methods_frame(&self) -> Frame {
+        let mut f = Frame::new();
+        f.push_str_column(
+            "method",
+            self.methods.iter().map(|m| m.name.clone()).collect(),
+        );
+        f.push_int_column("calls", self.methods.iter().map(|m| m.calls as i64).collect());
+        f.push_int_column(
+            "incl",
+            self.methods.iter().map(|m| m.inclusive as i64).collect(),
+        );
+        f.push_int_column(
+            "excl",
+            self.methods.iter().map(|m| m.exclusive as i64).collect(),
+        );
+        f.push_float_column(
+            "excl_pct",
+            self.methods
+                .iter()
+                .map(|m| {
+                    if self.total_ticks == 0 {
+                        0.0
+                    } else {
+                        100.0 * m.exclusive as f64 / self.total_ticks as f64
+                    }
+                })
+                .collect(),
+        );
+        f.push_int_column(
+            "min",
+            self.methods
+                .iter()
+                .map(|m| if m.calls == 0 { 0 } else { m.min_inclusive as i64 })
+                .collect(),
+        );
+        f.push_int_column(
+            "max",
+            self.methods.iter().map(|m| m.max_inclusive as i64).collect(),
+        );
+        f.push_int_column(
+            "threads",
+            self.methods.iter().map(|m| m.threads.len() as i64).collect(),
+        );
+        f
+    }
+}
+
+/// The raw event table as a queryable dataframe (`seq, tid, kind, counter,
+/// addr, method`).
+pub fn events_frame(log: &LogFile, symbolizer: &Symbolizer) -> Frame {
+    let grouped = reader::group_by_thread(log);
+    let mut seq = Vec::new();
+    let mut tid_col = Vec::new();
+    let mut kind = Vec::new();
+    let mut counter = Vec::new();
+    let mut addr = Vec::new();
+    let mut method = Vec::new();
+    let mut rows: Vec<(u64, u64, reader::Event)> = Vec::new();
+    for (tid, events) in &grouped.threads {
+        for e in events {
+            rows.push((e.seq, *tid, *e));
+        }
+    }
+    rows.sort_by_key(|(s, _, _)| *s);
+    for (s, tid, e) in rows {
+        seq.push(s as i64);
+        tid_col.push(tid as i64);
+        kind.push(if e.kind.is_call() { "call" } else { "return" }.to_string());
+        counter.push(e.counter as i64);
+        addr.push(e.addr as i64);
+        method.push(symbolizer.name_of(e.addr));
+    }
+    let mut f = Frame::new();
+    f.push_int_column("seq", seq);
+    f.push_int_column("tid", tid_col);
+    f.push_str_column("kind", kind);
+    f.push_int_column("counter", counter);
+    f.push_int_column("addr", addr);
+    f.push_str_column("method", method);
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcvm::DebugInfo;
+    use teeperf_core::layout::{EventKind, LogEntry, LogHeader, LOG_VERSION};
+
+    fn make_log(entries: Vec<LogEntry>) -> LogFile {
+        LogFile::new(
+            LogHeader {
+                active: false,
+                trace_calls: true,
+                trace_returns: true,
+                multithread: true,
+                version: LOG_VERSION,
+                pid: 1,
+                size: 1000,
+                tail: entries.len() as u64,
+                anchor: 0,
+                shm_addr: 0,
+            },
+            entries,
+        )
+    }
+
+    fn e(kind: EventKind, counter: u64, addr: u64, tid: u64) -> LogEntry {
+        LogEntry {
+            kind,
+            counter,
+            addr,
+            tid,
+        }
+    }
+
+    fn debug() -> DebugInfo {
+        DebugInfo::from_functions([("main", 4, 1), ("work", 4, 5), ("leaf", 4, 9)])
+    }
+
+    fn addr(i: u16) -> u64 {
+        debug().entry_addr(i)
+    }
+
+    #[test]
+    fn aggregates_inclusive_exclusive_and_counts() {
+        use EventKind::{Call, Return};
+        // main(0..100) -> work(10..60) -> leaf(20..30); work again (70..90).
+        let log = make_log(vec![
+            e(Call, 0, addr(0), 0),
+            e(Call, 10, addr(1), 0),
+            e(Call, 20, addr(2), 0),
+            e(Return, 30, addr(2), 0),
+            e(Return, 60, addr(1), 0),
+            e(Call, 70, addr(1), 0),
+            e(Return, 90, addr(1), 0),
+            e(Return, 100, addr(0), 0),
+        ]);
+        let p = build(&log, &Symbolizer::without_relocation(debug()));
+        let main = p.method("main").unwrap();
+        assert_eq!(main.calls, 1);
+        assert_eq!(main.inclusive, 100);
+        assert_eq!(main.exclusive, 100 - 50 - 20);
+        let work = p.method("work").unwrap();
+        assert_eq!(work.calls, 2);
+        assert_eq!(work.inclusive, 50 + 20);
+        assert_eq!(work.exclusive, 70 - 10);
+        assert_eq!(work.min_inclusive, 20);
+        assert_eq!(work.max_inclusive, 50);
+        let leaf = p.method("leaf").unwrap();
+        assert_eq!(leaf.exclusive, 10);
+        assert_eq!(p.total_ticks, 100);
+        // Sorted by exclusive descending.
+        assert!(p.methods[0].exclusive >= p.methods[1].exclusive);
+    }
+
+    #[test]
+    fn folded_stacks_cover_total_time() {
+        use EventKind::{Call, Return};
+        let log = make_log(vec![
+            e(Call, 0, addr(0), 0),
+            e(Call, 10, addr(1), 0),
+            e(Return, 60, addr(1), 0),
+            e(Return, 100, addr(0), 0),
+        ]);
+        let p = build(&log, &Symbolizer::without_relocation(debug()));
+        let total: u64 = p.folded.iter().map(|(_, t)| t).sum();
+        assert_eq!(total, p.total_ticks);
+        assert!(p
+            .folded
+            .iter()
+            .any(|(path, _)| path == &vec!["main".to_string(), "work".to_string()]));
+    }
+
+    #[test]
+    fn threads_are_reconstructed_independently() {
+        use EventKind::{Call, Return};
+        // Interleaved in the log but separate per thread.
+        let log = make_log(vec![
+            e(Call, 0, addr(1), 1),
+            e(Call, 5, addr(1), 2),
+            e(Return, 20, addr(1), 1),
+            e(Return, 35, addr(1), 2),
+        ]);
+        let p = build(&log, &Symbolizer::without_relocation(debug()));
+        let work = p.method("work").unwrap();
+        assert_eq!(work.calls, 2);
+        assert_eq!(work.inclusive, 20 + 30);
+        assert_eq!(work.threads.len(), 2);
+        assert_eq!(p.anomalies.orphan_returns, 0);
+    }
+
+    #[test]
+    fn anomaly_counters_propagate() {
+        use EventKind::{Call, Return};
+        let mut log = make_log(vec![
+            e(Return, 5, addr(2), 0), // orphan
+            e(Call, 10, addr(0), 0),  // never returns -> truncated
+        ]);
+        log.header.tail = 1500; // 500 dropped
+        let p = build(&log, &Symbolizer::without_relocation(debug()));
+        assert_eq!(p.anomalies.orphan_returns, 1);
+        assert_eq!(p.anomalies.truncated_frames, 1);
+        assert_eq!(p.anomalies.dropped_entries, 500);
+    }
+
+    #[test]
+    fn events_frame_has_expected_shape() {
+        use EventKind::{Call, Return};
+        let log = make_log(vec![
+            e(Call, 0, addr(0), 0),
+            e(Return, 9, addr(0), 0),
+        ]);
+        let f = events_frame(&log, &Symbolizer::without_relocation(debug()));
+        assert_eq!(f.len(), 2);
+        assert_eq!(
+            f.column_names(),
+            vec!["seq", "tid", "kind", "counter", "addr", "method"]
+        );
+    }
+
+    #[test]
+    fn caller_edges_distinguish_call_sites() {
+        use EventKind::{Call, Return};
+        // main calls work twice directly, and leaf is called once from
+        // main and once from work: leaf's cost splits by caller.
+        let log = make_log(vec![
+            e(Call, 0, addr(0), 0),    // main
+            e(Call, 10, addr(1), 0),   // work (from main)
+            e(Call, 20, addr(2), 0),   // leaf (from work)
+            e(Return, 30, addr(2), 0),
+            e(Return, 40, addr(1), 0),
+            e(Call, 50, addr(2), 0),   // leaf (from main)
+            e(Return, 80, addr(2), 0),
+            e(Return, 100, addr(0), 0),
+        ]);
+        let p = build(&log, &Symbolizer::without_relocation(debug()));
+        let leaf_callers = p.callers_of("leaf");
+        assert_eq!(leaf_callers.len(), 2);
+        let from_work = leaf_callers
+            .iter()
+            .find(|c| c.caller == "work")
+            .expect("leaf called from work");
+        let from_main = leaf_callers
+            .iter()
+            .find(|c| c.caller == "main")
+            .expect("leaf called from main");
+        assert_eq!(from_work.calls, 1);
+        assert_eq!(from_work.inclusive, 10);
+        assert_eq!(from_main.inclusive, 30);
+        // Top-level frames hang off the synthetic root.
+        assert!(p
+            .caller_edges
+            .iter()
+            .any(|c| c.caller == "<root>" && c.callee == "main"));
+        // Edges are queryable.
+        let out = crate::query::run_query(
+            &p.callers_frame(),
+            r#"select caller, incl where callee == "leaf" sort incl desc"#,
+        )
+        .expect("query runs");
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn recursion_produces_a_self_edge() {
+        use EventKind::{Call, Return};
+        let log = make_log(vec![
+            e(Call, 0, addr(1), 0),
+            e(Call, 10, addr(1), 0),
+            e(Return, 20, addr(1), 0),
+            e(Return, 40, addr(1), 0),
+        ]);
+        let p = build(&log, &Symbolizer::without_relocation(debug()));
+        assert!(p
+            .caller_edges
+            .iter()
+            .any(|c| c.caller == "work" && c.callee == "work" && c.calls == 1));
+    }
+
+    #[test]
+    fn exclusive_fraction() {
+        use EventKind::{Call, Return};
+        let log = make_log(vec![
+            e(Call, 0, addr(0), 0),
+            e(Call, 0, addr(1), 0),
+            e(Return, 75, addr(1), 0),
+            e(Return, 100, addr(0), 0),
+        ]);
+        let p = build(&log, &Symbolizer::without_relocation(debug()));
+        assert!((p.exclusive_fraction("work") - 0.75).abs() < 1e-9);
+        assert_eq!(p.exclusive_fraction("nonexistent"), 0.0);
+    }
+}

@@ -1,0 +1,470 @@
+//! Query execution over frames.
+
+use std::collections::HashMap;
+
+use super::frame::{Column, Frame};
+use super::lang::{parse_query, Agg, AggFn, CmpOp, Literal, Pred, Query, QueryError, Sort};
+
+/// Parse and execute a query against a frame, producing a new frame.
+///
+/// # Errors
+/// Returns [`QueryError`] on parse errors, unknown columns or type
+/// mismatches.
+pub fn run_query(frame: &Frame, query: &str) -> Result<Frame, QueryError> {
+    execute(frame, &parse_query(query)?)
+}
+
+/// Execute an already parsed query.
+///
+/// # Errors
+/// Returns [`QueryError::UnknownColumn`] or [`QueryError::TypeMismatch`].
+pub fn execute(frame: &Frame, query: &Query) -> Result<Frame, QueryError> {
+    match query {
+        Query::Select {
+            columns,
+            predicate,
+            sort,
+            limit,
+        } => {
+            let mut out = match predicate {
+                Some(p) => frame.filter(&eval_pred(frame, p)?),
+                None => frame.clone(),
+            };
+            out = apply_sort(&out, sort)?;
+            if !columns.is_empty() {
+                for c in columns {
+                    if out.column(c).is_none() {
+                        return Err(QueryError::UnknownColumn(c.clone()));
+                    }
+                }
+                let names: Vec<&str> = columns.iter().map(String::as_str).collect();
+                out = out.select(&names);
+            }
+            if let Some(n) = limit {
+                out = out.head(*n);
+            }
+            Ok(out)
+        }
+        Query::Group {
+            keys,
+            aggs,
+            sort,
+            limit,
+        } => {
+            let mut out = group_by(frame, keys, aggs)?;
+            out = apply_sort(&out, sort)?;
+            if let Some(n) = limit {
+                out = out.head(*n);
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn apply_sort(frame: &Frame, sort: &Option<Sort>) -> Result<Frame, QueryError> {
+    let Some(s) = sort else {
+        return Ok(frame.clone());
+    };
+    let col = frame
+        .column(&s.column)
+        .ok_or_else(|| QueryError::UnknownColumn(s.column.clone()))?;
+    Ok(frame.take(&frame.sort_indices(col, s.descending)))
+}
+
+fn eval_pred(frame: &Frame, pred: &Pred) -> Result<Vec<bool>, QueryError> {
+    match pred {
+        Pred::And(a, b) => {
+            let (ma, mb) = (eval_pred(frame, a)?, eval_pred(frame, b)?);
+            Ok(ma.iter().zip(&mb).map(|(x, y)| *x && *y).collect())
+        }
+        Pred::Or(a, b) => {
+            let (ma, mb) = (eval_pred(frame, a)?, eval_pred(frame, b)?);
+            Ok(ma.iter().zip(&mb).map(|(x, y)| *x || *y).collect())
+        }
+        Pred::Cmp { column, op, value } => {
+            let col = frame
+                .column(column)
+                .ok_or_else(|| QueryError::UnknownColumn(column.clone()))?;
+            cmp_mask(col, *op, value, column)
+        }
+    }
+}
+
+fn cmp_mask(
+    col: &Column,
+    op: CmpOp,
+    value: &Literal,
+    name: &str,
+) -> Result<Vec<bool>, QueryError> {
+    let numeric = |x: f64, y: f64| match op {
+        CmpOp::Eq => x == y,
+        CmpOp::Ne => x != y,
+        CmpOp::Lt => x < y,
+        CmpOp::Le => x <= y,
+        CmpOp::Gt => x > y,
+        CmpOp::Ge => x >= y,
+        CmpOp::Contains => false,
+    };
+    match (col, value) {
+        (Column::Str(v), Literal::Str(s)) => Ok(v
+            .iter()
+            .map(|x| match op {
+                CmpOp::Eq => x == s,
+                CmpOp::Ne => x != s,
+                CmpOp::Contains => x.contains(s.as_str()),
+                CmpOp::Lt => x < s,
+                CmpOp::Le => x <= s,
+                CmpOp::Gt => x > s,
+                CmpOp::Ge => x >= s,
+            })
+            .collect()),
+        (Column::Int(v), Literal::Int(y)) if op != CmpOp::Contains => {
+            Ok(v.iter().map(|x| numeric(*x as f64, *y as f64)).collect())
+        }
+        (Column::Int(v), Literal::Float(y)) if op != CmpOp::Contains => {
+            Ok(v.iter().map(|x| numeric(*x as f64, *y)).collect())
+        }
+        (Column::Float(v), Literal::Int(y)) if op != CmpOp::Contains => {
+            Ok(v.iter().map(|x| numeric(*x, *y as f64)).collect())
+        }
+        (Column::Float(v), Literal::Float(y)) if op != CmpOp::Contains => {
+            Ok(v.iter().map(|x| numeric(*x, *y)).collect())
+        }
+        _ => Err(QueryError::TypeMismatch(format!(
+            "cannot apply {op:?} to column `{name}` ({}) and {value:?}",
+            col.type_name()
+        ))),
+    }
+}
+
+fn key_string(col: &Column, i: usize) -> String {
+    match col {
+        Column::Int(v) => v[i].to_string(),
+        Column::Float(v) => format!("{}", v[i]),
+        Column::Str(v) => v[i].clone(),
+    }
+}
+
+fn group_by(frame: &Frame, keys: &[String], aggs: &[Agg]) -> Result<Frame, QueryError> {
+    let key_cols: Vec<&Column> = keys
+        .iter()
+        .map(|k| {
+            frame
+                .column(k)
+                .ok_or_else(|| QueryError::UnknownColumn(k.clone()))
+        })
+        .collect::<Result<_, _>>()?;
+    for a in aggs {
+        if let Some(c) = &a.column {
+            let col = frame
+                .column(c)
+                .ok_or_else(|| QueryError::UnknownColumn(c.clone()))?;
+            if matches!(col, Column::Str(_)) && a.func != AggFn::Count {
+                return Err(QueryError::TypeMismatch(format!(
+                    "cannot {:?} over string column `{c}`",
+                    a.func
+                )));
+            }
+        }
+    }
+
+    // Group rows by composite key, preserving first-seen order.
+    let mut order: Vec<String> = Vec::new();
+    let mut groups: HashMap<String, Vec<usize>> = HashMap::new();
+    for i in 0..frame.len() {
+        let key = key_cols
+            .iter()
+            .map(|c| key_string(c, i))
+            .collect::<Vec<_>>()
+            .join("\u{1f}");
+        if !groups.contains_key(&key) {
+            order.push(key.clone());
+        }
+        groups.entry(key).or_default().push(i);
+    }
+
+    let mut out = Frame::new();
+    // Key columns: re-render from the first row of each group.
+    for (k, kc) in keys.iter().zip(&key_cols) {
+        match kc {
+            Column::Int(v) => out.push_int_column(
+                k,
+                order
+                    .iter()
+                    .map(|key| v[groups[key][0]])
+                    .collect(),
+            ),
+            Column::Float(v) => out.push_float_column(
+                k,
+                order.iter().map(|key| v[groups[key][0]]).collect(),
+            ),
+            Column::Str(v) => out.push_str_column(
+                k,
+                order
+                    .iter()
+                    .map(|key| v[groups[key][0]].clone())
+                    .collect(),
+            ),
+        }
+    }
+
+    for a in aggs {
+        match a.func {
+            AggFn::Count => out.push_int_column(
+                &a.output,
+                order.iter().map(|key| groups[key].len() as i64).collect(),
+            ),
+            _ => {
+                let col = frame
+                    .column(a.column.as_deref().expect("validated"))
+                    .expect("validated");
+                let values: Vec<f64> = order
+                    .iter()
+                    .map(|key| {
+                        let rows = &groups[key];
+                        let nums: Vec<f64> = rows
+                            .iter()
+                            .map(|&i| match col {
+                                Column::Int(v) => v[i] as f64,
+                                Column::Float(v) => v[i],
+                                Column::Str(_) => unreachable!("validated"),
+                            })
+                            .collect();
+                        match a.func {
+                            AggFn::Sum => nums.iter().sum(),
+                            AggFn::Mean => nums.iter().sum::<f64>() / nums.len() as f64,
+                            AggFn::Min => nums.iter().copied().fold(f64::INFINITY, f64::min),
+                            AggFn::Max => nums.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                            AggFn::Count => unreachable!(),
+                        }
+                    })
+                    .collect();
+                // Integer inputs with integral results stay integer columns
+                // for sum/min/max (nicer tables); mean is always float.
+                let int_in = matches!(col, Column::Int(_));
+                if int_in && a.func != AggFn::Mean {
+                    out.push_int_column(&a.output, values.iter().map(|v| *v as i64).collect());
+                } else {
+                    out.push_float_column(&a.output, values);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Frame {
+        let mut f = Frame::new();
+        f.push_str_column(
+            "method",
+            ["get", "put", "get", "compact", "get", "put"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        );
+        f.push_int_column("tid", vec![0, 0, 1, 1, 0, 1]);
+        f.push_int_column("excl", vec![10, 20, 30, 100, 5, 15]);
+        f.push_float_column("frac", vec![0.1, 0.2, 0.3, 1.0, 0.05, 0.15]);
+        f
+    }
+
+    #[test]
+    fn select_where_sort_limit() {
+        let out = run_query(&sample(), "select method, excl where excl >= 15 sort excl desc limit 2")
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        let Column::Int(v) = out.column("excl").unwrap() else {
+            panic!()
+        };
+        assert_eq!(v, &vec![100, 30]);
+        assert_eq!(out.column_names(), vec!["method", "excl"]);
+    }
+
+    #[test]
+    fn select_star_keeps_all_columns() {
+        let out = run_query(&sample(), "select * where tid == 1").unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.column_names().len(), 4);
+    }
+
+    #[test]
+    fn contains_and_boolean_combinators() {
+        // "get" contains "et"; only rows 0 and 4 also have tid == 0.
+        let out = run_query(&sample(), r#"select * where method contains "et" and tid == 0"#)
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        let out2 = run_query(&sample(), r#"select * where method == "compact" or excl < 10"#)
+            .unwrap();
+        assert_eq!(out2.len(), 2);
+    }
+
+    #[test]
+    fn float_comparison_against_int_column() {
+        let out = run_query(&sample(), "select * where excl > 19.5").unwrap();
+        assert_eq!(out.len(), 3);
+        let out = run_query(&sample(), "select * where frac >= 0.3").unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn group_count_and_sum() {
+        let out = run_query(
+            &sample(),
+            "group method agg count() as n, sum(excl) as total sort total desc",
+        )
+        .unwrap();
+        assert_eq!(out.len(), 3);
+        let Column::Str(m) = out.column("method").unwrap() else {
+            panic!()
+        };
+        let Column::Int(tot) = out.column("total").unwrap() else {
+            panic!()
+        };
+        assert_eq!(m[0], "compact");
+        assert_eq!(tot[0], 100);
+        let Column::Int(n) = out.column("n").unwrap() else {
+            panic!()
+        };
+        let gi = m.iter().position(|x| x == "get").unwrap();
+        assert_eq!(n[gi], 3);
+        assert_eq!(tot[gi], 45);
+    }
+
+    #[test]
+    fn group_multi_key_and_mean() {
+        let out = run_query(&sample(), "group method, tid agg mean(excl) as m").unwrap();
+        // get appears under tid 0 (10,5 -> 7.5) and tid 1 (30).
+        let Column::Str(m) = out.column("method").unwrap() else {
+            panic!()
+        };
+        let Column::Int(t) = out.column("tid").unwrap() else {
+            panic!()
+        };
+        let Column::Float(means) = out.column("m").unwrap() else {
+            panic!()
+        };
+        let i = m
+            .iter()
+            .zip(t)
+            .position(|(mm, tt)| mm == "get" && *tt == 0)
+            .unwrap();
+        assert!((means[i] - 7.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn group_min_max() {
+        let out = run_query(&sample(), "group tid agg min(excl) as lo, max(excl) as hi").unwrap();
+        let Column::Int(lo) = out.column("lo").unwrap() else {
+            panic!()
+        };
+        let Column::Int(hi) = out.column("hi").unwrap() else {
+            panic!()
+        };
+        assert_eq!(lo, &vec![5, 15]);
+        assert_eq!(hi, &vec![20, 100]);
+    }
+
+    #[test]
+    fn error_paths() {
+        assert!(matches!(
+            run_query(&sample(), "select nope"),
+            Err(QueryError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            run_query(&sample(), "select * where nope == 1"),
+            Err(QueryError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            run_query(&sample(), r#"select * where excl contains "x""#),
+            Err(QueryError::TypeMismatch(_))
+        ));
+        assert!(matches!(
+            run_query(&sample(), "group tid agg sum(method)"),
+            Err(QueryError::TypeMismatch(_))
+        ));
+        assert!(matches!(
+            run_query(&sample(), "select * sort nope"),
+            Err(QueryError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn empty_frame_queries() {
+        let mut f = Frame::new();
+        f.push_int_column("x", vec![]);
+        let out = run_query(&f, "select * where x > 0").unwrap();
+        assert!(out.is_empty());
+        let out = run_query(&f, "group x agg count()").unwrap();
+        assert!(out.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+
+    fn frame() -> Frame {
+        let mut f = Frame::new();
+        f.push_str_column("name", vec!["b".into(), "a".into(), "c".into()]);
+        f.push_float_column("share", vec![0.5, 0.25, 0.25]);
+        f.push_int_column("n", vec![2, 1, 1]);
+        f
+    }
+
+    #[test]
+    fn sort_on_string_column() {
+        let out = run_query(&frame(), "select name sort name").unwrap();
+        let Some(Column::Str(names)) = out.column("name").cloned() else {
+            panic!("name column missing")
+        };
+        assert_eq!(names, vec!["a".to_string(), "b".into(), "c".into()]);
+        let out = run_query(&frame(), "select name sort name desc limit 1").unwrap();
+        let Some(Column::Str(names)) = out.column("name").cloned() else {
+            panic!()
+        };
+        assert_eq!(names, vec!["c".to_string()]);
+    }
+
+    #[test]
+    fn group_by_float_key() {
+        let out = run_query(&frame(), "group share agg count() as k sort k desc").unwrap();
+        assert_eq!(out.len(), 2);
+        let Some(Column::Int(k)) = out.column("k").cloned() else {
+            panic!()
+        };
+        assert_eq!(k, vec![2, 1]);
+    }
+
+    #[test]
+    fn limit_zero_and_oversized() {
+        assert_eq!(run_query(&frame(), "select * limit 0").unwrap().len(), 0);
+        assert_eq!(run_query(&frame(), "select * limit 99").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn string_ordering_comparisons() {
+        // Lexicographic < on string columns.
+        let out = run_query(&frame(), r#"select name where name < "c" sort name"#).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn select_duplicate_column_names_in_projection() {
+        let out = run_query(&frame(), "select name, name").unwrap();
+        assert_eq!(out.column_names(), vec!["name", "name"]);
+    }
+
+    #[test]
+    fn keywords_are_not_reserved_as_column_names() {
+        // A column literally named "sort" can still be selected as long as
+        // the grammar position is unambiguous.
+        let mut f = Frame::new();
+        f.push_int_column("sort", vec![3, 1, 2]);
+        let out = run_query(&f, "select sort").unwrap();
+        assert_eq!(out.len(), 3);
+    }
+}

@@ -1,0 +1,319 @@
+//! A minimal column-oriented dataframe.
+
+use std::fmt;
+
+/// One typed column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// 64-bit integers.
+    Int(Vec<i64>),
+    /// 64-bit floats.
+    Float(Vec<f64>),
+    /// Strings.
+    Str(Vec<String>),
+}
+
+impl Column {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len(),
+            Column::Float(v) => v.len(),
+            Column::Str(v) => v.len(),
+        }
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Type name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Column::Int(_) => "int",
+            Column::Float(_) => "float",
+            Column::Str(_) => "str",
+        }
+    }
+
+    fn gather(&self, idx: &[usize]) -> Column {
+        match self {
+            Column::Int(v) => Column::Int(idx.iter().map(|&i| v[i]).collect()),
+            Column::Float(v) => Column::Float(idx.iter().map(|&i| v[i]).collect()),
+            Column::Str(v) => Column::Str(idx.iter().map(|&i| v[i].clone()).collect()),
+        }
+    }
+
+    fn render(&self, i: usize) -> String {
+        match self {
+            Column::Int(v) => v[i].to_string(),
+            Column::Float(v) => format!("{:.3}", v[i]),
+            Column::Str(v) => v[i].clone(),
+        }
+    }
+}
+
+/// A named collection of equal-length columns.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Frame {
+    columns: Vec<(String, Column)>,
+}
+
+impl Frame {
+    /// An empty frame.
+    pub fn new() -> Frame {
+        Frame::default()
+    }
+
+    /// Number of rows (0 for a columnless frame).
+    pub fn len(&self) -> usize {
+        self.columns.first().map_or(0, |(_, c)| c.len())
+    }
+
+    /// Whether the frame has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Column names in order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Look up a column by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| c)
+    }
+
+    fn assert_len(&self, len: usize) {
+        assert!(
+            self.columns.is_empty() || self.len() == len,
+            "column length {len} != frame length {}",
+            self.len()
+        );
+    }
+
+    /// Append an integer column.
+    ///
+    /// # Panics
+    /// Panics if the length differs from existing columns.
+    pub fn push_int_column(&mut self, name: &str, values: Vec<i64>) {
+        self.assert_len(values.len());
+        self.columns.push((name.to_string(), Column::Int(values)));
+    }
+
+    /// Append a float column.
+    ///
+    /// # Panics
+    /// Panics if the length differs from existing columns.
+    pub fn push_float_column(&mut self, name: &str, values: Vec<f64>) {
+        self.assert_len(values.len());
+        self.columns.push((name.to_string(), Column::Float(values)));
+    }
+
+    /// Append a string column.
+    ///
+    /// # Panics
+    /// Panics if the length differs from existing columns.
+    pub fn push_str_column(&mut self, name: &str, values: Vec<String>) {
+        self.assert_len(values.len());
+        self.columns.push((name.to_string(), Column::Str(values)));
+    }
+
+    /// A new frame containing only `names`, in that order (unknown names
+    /// are skipped by the caller's validation).
+    pub fn select(&self, names: &[&str]) -> Frame {
+        Frame {
+            columns: names
+                .iter()
+                .filter_map(|n| {
+                    self.columns
+                        .iter()
+                        .find(|(cn, _)| cn == n)
+                        .map(|(cn, c)| (cn.clone(), c.clone()))
+                })
+                .collect(),
+        }
+    }
+
+    /// A new frame with only the rows where `mask` is true.
+    ///
+    /// # Panics
+    /// Panics if `mask.len()` differs from the row count.
+    pub fn filter(&self, mask: &[bool]) -> Frame {
+        assert_eq!(mask.len(), self.len(), "mask length mismatch");
+        let idx: Vec<usize> = mask
+            .iter()
+            .enumerate()
+            .filter(|(_, &keep)| keep)
+            .map(|(i, _)| i)
+            .collect();
+        self.take(&idx)
+    }
+
+    /// A new frame with rows reordered/subset by `idx`.
+    pub fn take(&self, idx: &[usize]) -> Frame {
+        Frame {
+            columns: self
+                .columns
+                .iter()
+                .map(|(n, c)| (n.clone(), c.gather(idx)))
+                .collect(),
+        }
+    }
+
+    /// Row indices sorted by `column` (stable), optionally descending.
+    pub fn sort_indices(&self, column: &Column, descending: bool) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        match column {
+            Column::Int(v) => idx.sort_by_key(|&i| v[i]),
+            Column::Float(v) => idx.sort_by(|&a, &b| {
+                v[a].partial_cmp(&v[b]).unwrap_or(std::cmp::Ordering::Equal)
+            }),
+            Column::Str(v) => idx.sort_by(|&a, &b| v[a].cmp(&v[b])),
+        }
+        if descending {
+            idx.reverse();
+        }
+        idx
+    }
+
+    /// First `n` rows.
+    pub fn head(&self, n: usize) -> Frame {
+        let idx: Vec<usize> = (0..self.len().min(n)).collect();
+        self.take(&idx)
+    }
+
+    /// Render as an aligned text table.
+    pub fn to_table(&self) -> String {
+        if self.columns.is_empty() {
+            return String::from("(empty frame)\n");
+        }
+        let n = self.len();
+        let mut cells: Vec<Vec<String>> = Vec::with_capacity(n + 1);
+        cells.push(self.columns.iter().map(|(name, _)| name.clone()).collect());
+        for i in 0..n {
+            cells.push(self.columns.iter().map(|(_, c)| c.render(i)).collect());
+        }
+        let widths: Vec<usize> = (0..self.columns.len())
+            .map(|c| cells.iter().map(|row| row[c].len()).max().unwrap_or(0))
+            .collect();
+        let mut out = String::new();
+        for (r, row) in cells.iter().enumerate() {
+            for (c, cell) in row.iter().enumerate() {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                // Right-align numbers, left-align strings.
+                let right = matches!(self.columns[c].1, Column::Int(_) | Column::Float(_));
+                if right {
+                    out.push_str(&format!("{cell:>w$}", w = widths[c]));
+                } else {
+                    out.push_str(&format!("{cell:<w$}", w = widths[c]));
+                }
+            }
+            out.push('\n');
+            if r == 0 {
+                for (c, w) in widths.iter().enumerate() {
+                    if c > 0 {
+                        out.push_str("  ");
+                    }
+                    out.push_str(&"-".repeat(*w));
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Frame {
+        let mut f = Frame::new();
+        f.push_str_column("name", vec!["c".into(), "a".into(), "b".into()]);
+        f.push_int_column("n", vec![3, 1, 2]);
+        f.push_float_column("x", vec![0.3, 0.1, 0.2]);
+        f
+    }
+
+    #[test]
+    fn len_and_names() {
+        let f = sample();
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.column_names(), vec!["name", "n", "x"]);
+        assert_eq!(f.column("n").unwrap().type_name(), "int");
+        assert!(f.column("missing").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "column length")]
+    fn mismatched_column_length_panics() {
+        let mut f = sample();
+        f.push_int_column("bad", vec![1]);
+    }
+
+    #[test]
+    fn select_subset_and_order() {
+        let f = sample().select(&["x", "name"]);
+        assert_eq!(f.column_names(), vec!["x", "name"]);
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    fn filter_by_mask() {
+        let f = sample().filter(&[true, false, true]);
+        assert_eq!(f.len(), 2);
+        let Column::Int(v) = f.column("n").unwrap() else {
+            panic!()
+        };
+        assert_eq!(v, &vec![3, 2]);
+    }
+
+    #[test]
+    fn sort_and_head() {
+        let f = sample();
+        let idx = f.sort_indices(f.column("n").unwrap(), false);
+        let sorted = f.take(&idx);
+        let Column::Str(names) = sorted.column("name").unwrap() else {
+            panic!()
+        };
+        assert_eq!(names, &vec!["a".to_string(), "b".into(), "c".into()]);
+        let top = sorted.head(2);
+        assert_eq!(top.len(), 2);
+        // Descending by float.
+        let idx = f.sort_indices(f.column("x").unwrap(), true);
+        let Column::Str(names) = f.take(&idx).column("name").unwrap().clone() else {
+            panic!()
+        };
+        assert_eq!(names[0], "c");
+    }
+
+    #[test]
+    fn table_rendering_is_aligned() {
+        let t = sample().to_table();
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 5); // header + rule + 3 rows
+        assert!(lines[0].contains("name"));
+        assert!(lines[1].starts_with('-'));
+        // All lines equally wide (alignment).
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    fn empty_frame_renders() {
+        assert!(Frame::new().to_table().contains("empty"));
+    }
+}

@@ -1,0 +1,174 @@
+//! Log validation and per-thread event grouping.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use teeperf_core::layout::{EventKind, LOG_VERSION};
+use teeperf_core::LogFile;
+
+/// Errors detected while validating a log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalyzeError {
+    /// The log structure version is not one this analyzer understands. The
+    /// version field exists precisely so the analyzer can support multiple
+    /// layouts (§II-B); we currently speak only version 1.
+    VersionMismatch {
+        /// Version found in the header.
+        found: u16,
+        /// Version this analyzer expects.
+        expected: u16,
+    },
+}
+
+impl fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzeError::VersionMismatch { found, expected } => write!(
+                f,
+                "log structure version {found} unsupported (expected {expected})"
+            ),
+        }
+    }
+}
+
+impl Error for AnalyzeError {}
+
+/// Check header invariants.
+///
+/// # Errors
+/// Returns [`AnalyzeError::VersionMismatch`] for foreign versions.
+pub fn validate(log: &LogFile) -> Result<(), AnalyzeError> {
+    if log.header.version != LOG_VERSION {
+        return Err(AnalyzeError::VersionMismatch {
+            found: log.header.version,
+            expected: LOG_VERSION,
+        });
+    }
+    Ok(())
+}
+
+/// One event after grouping (the thread id moved into the group key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Call or return.
+    pub kind: EventKind,
+    /// Counter value at the event.
+    pub counter: u64,
+    /// Call/return target address.
+    pub addr: u64,
+    /// Position in the original log (for queries and debugging).
+    pub seq: u64,
+}
+
+/// Events grouped per thread, in log order. Within one thread the order is
+/// the thread's true execution order — the guarantee the paper's recorder
+/// provides by holding the thread until its entry is written.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ThreadEvents {
+    /// thread id → events in order.
+    pub threads: BTreeMap<u64, Vec<Event>>,
+    /// All-zero entries dismissed as incomplete (reserved but never
+    /// written, e.g. a thread preempted mid-write when the log was drained).
+    pub incomplete: u64,
+}
+
+/// Group the log's entries by thread, dismissing incomplete records.
+pub fn group_by_thread(log: &LogFile) -> ThreadEvents {
+    let mut out = ThreadEvents::default();
+    for (i, e) in log.entries.iter().enumerate() {
+        if e.counter == 0 && e.addr == 0 && e.tid == 0 {
+            out.incomplete += 1;
+            continue;
+        }
+        out.threads.entry(e.tid).or_default().push(Event {
+            kind: e.kind,
+            counter: e.counter,
+            addr: e.addr,
+            seq: i as u64,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teeperf_core::layout::{LogEntry, LogHeader};
+
+    fn header(version: u16) -> LogHeader {
+        LogHeader {
+            active: false,
+            trace_calls: true,
+            trace_returns: true,
+            multithread: true,
+            version,
+            pid: 1,
+            size: 100,
+            tail: 0,
+            anchor: 0,
+            shm_addr: 0,
+        }
+    }
+
+    fn entry(kind: EventKind, counter: u64, addr: u64, tid: u64) -> LogEntry {
+        LogEntry {
+            kind,
+            counter,
+            addr,
+            tid,
+        }
+    }
+
+    #[test]
+    fn validate_accepts_current_version() {
+        let log = LogFile::new(header(LOG_VERSION), vec![]);
+        assert!(validate(&log).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_future_version() {
+        let log = LogFile::new(header(9), vec![]);
+        assert_eq!(
+            validate(&log),
+            Err(AnalyzeError::VersionMismatch {
+                found: 9,
+                expected: LOG_VERSION
+            })
+        );
+    }
+
+    #[test]
+    fn groups_by_thread_preserving_order() {
+        let log = LogFile::new(
+            header(LOG_VERSION),
+            vec![
+                entry(EventKind::Call, 10, 100, 0),
+                entry(EventKind::Call, 11, 200, 1),
+                entry(EventKind::Return, 12, 100, 0),
+                entry(EventKind::Return, 13, 200, 1),
+            ],
+        );
+        let g = group_by_thread(&log);
+        assert_eq!(g.threads.len(), 2);
+        assert_eq!(g.threads[&0].len(), 2);
+        assert_eq!(g.threads[&0][0].addr, 100);
+        assert_eq!(g.threads[&1][1].kind, EventKind::Return);
+        assert_eq!(g.threads[&0][1].seq, 2);
+        assert_eq!(g.incomplete, 0);
+    }
+
+    #[test]
+    fn dismisses_incomplete_all_zero_records() {
+        let log = LogFile::new(
+            header(LOG_VERSION),
+            vec![
+                entry(EventKind::Call, 10, 100, 0),
+                entry(EventKind::Return, 0, 0, 0), // reserved, never written
+            ],
+        );
+        let g = group_by_thread(&log);
+        assert_eq!(g.incomplete, 1);
+        assert_eq!(g.threads[&0].len(), 1);
+    }
+}

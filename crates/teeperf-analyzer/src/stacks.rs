@@ -1,0 +1,290 @@
+//! Per-thread call-stack reconstruction.
+//!
+//! Within one thread the recorder guarantees program order, so the call and
+//! return events form a (possibly truncated) balanced sequence. Walking it
+//! with an explicit stack yields, for every completed call: its inclusive
+//! ticks (exit counter − enter counter), its exclusive ticks (inclusive −
+//! time spent in callees) and its full ancestry — everything the profile,
+//! queries and flame graphs need.
+//!
+//! Real logs are imperfect; the reconstruction is deliberately tolerant:
+//!
+//! * **orphan returns** (tracing was activated mid-run, or the matching
+//!   call was dropped from a full log) are counted and skipped;
+//! * **unclosed frames** (the log filled up or tracing stopped mid-call)
+//!   are closed at the thread's last observed counter and counted as
+//!   truncated, mirroring the paper's "dismiss records, which might be
+//!   wrong at the end of the log".
+
+use crate::reader::Event;
+use teeperf_core::layout::EventKind;
+
+/// One completed (or force-closed) call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompletedCall {
+    /// Function entry address (runtime).
+    pub addr: u64,
+    /// Full stack at the time of the call, outermost first, ending with
+    /// this call's own address.
+    pub stack: Vec<u64>,
+    /// Counter at entry.
+    pub enter: u64,
+    /// Counter at exit (or the forced close).
+    pub exit: u64,
+    /// Ticks spent in callees.
+    pub child_ticks: u64,
+    /// Whether the call was force-closed due to log truncation.
+    pub truncated: bool,
+}
+
+impl CompletedCall {
+    /// Total ticks between entry and exit.
+    pub fn inclusive(&self) -> u64 {
+        self.exit.saturating_sub(self.enter)
+    }
+
+    /// Ticks spent in the method itself, callees subtracted.
+    pub fn exclusive(&self) -> u64 {
+        self.inclusive().saturating_sub(self.child_ticks)
+    }
+
+    /// Stack depth (1 = top-level call).
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+}
+
+/// Result of reconstructing one thread.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ThreadStacks {
+    /// Completed calls in completion order.
+    pub calls: Vec<CompletedCall>,
+    /// Returns with no matching call.
+    pub orphan_returns: u64,
+    /// Frames force-closed at the end of the log.
+    pub truncated_frames: u64,
+}
+
+struct OpenFrame {
+    addr: u64,
+    enter: u64,
+    child_ticks: u64,
+}
+
+/// Reconstruct the call stacks of one thread's event sequence.
+pub fn reconstruct(events: &[Event]) -> ThreadStacks {
+    let mut out = ThreadStacks::default();
+    let mut open: Vec<OpenFrame> = Vec::new();
+    let mut last_counter = 0u64;
+
+    for e in events {
+        last_counter = last_counter.max(e.counter);
+        match e.kind {
+            EventKind::Call => open.push(OpenFrame {
+                addr: e.addr,
+                enter: e.counter,
+                child_ticks: 0,
+            }),
+            EventKind::Return => {
+                // Normally the top frame matches. If it does not (dropped
+                // entries), unwind to the closest matching frame; frames
+                // popped on the way are closed at this counter.
+                let Some(pos) = open.iter().rposition(|f| f.addr == e.addr) else {
+                    out.orphan_returns += 1;
+                    continue;
+                };
+                while open.len() > pos + 1 {
+                    close_top(&mut open, &mut out, e.counter, true);
+                    out.truncated_frames += 1;
+                }
+                close_top(&mut open, &mut out, e.counter, false);
+            }
+        }
+    }
+
+    // Close anything still open at the last observed counter.
+    while !open.is_empty() {
+        close_top(&mut open, &mut out, last_counter, true);
+        out.truncated_frames += 1;
+    }
+    out
+}
+
+fn close_top(open: &mut Vec<OpenFrame>, out: &mut ThreadStacks, counter: u64, truncated: bool) {
+    let frame = open.pop().expect("close_top requires an open frame");
+    let mut stack: Vec<u64> = open.iter().map(|f| f.addr).collect();
+    stack.push(frame.addr);
+    let inclusive = counter.saturating_sub(frame.enter);
+    if let Some(parent) = open.last_mut() {
+        parent.child_ticks += inclusive;
+    }
+    out.calls.push(CompletedCall {
+        addr: frame.addr,
+        stack,
+        enter: frame.enter,
+        exit: counter,
+        child_ticks: frame.child_ticks,
+        truncated,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ev(kind: EventKind, counter: u64, addr: u64) -> Event {
+        Event {
+            kind,
+            counter,
+            addr,
+            seq: 0,
+        }
+    }
+    use EventKind::{Call, Return};
+
+    #[test]
+    fn simple_nesting() {
+        // A(0..100) calls B(10..40): A exclusive = 70, B exclusive = 30.
+        let calls = reconstruct(&[
+            ev(Call, 0, 0xA),
+            ev(Call, 10, 0xB),
+            ev(Return, 40, 0xB),
+            ev(Return, 100, 0xA),
+        ]);
+        assert_eq!(calls.orphan_returns, 0);
+        assert_eq!(calls.truncated_frames, 0);
+        let b = &calls.calls[0];
+        assert_eq!(b.addr, 0xB);
+        assert_eq!(b.inclusive(), 30);
+        assert_eq!(b.exclusive(), 30);
+        assert_eq!(b.stack, vec![0xA, 0xB]);
+        let a = &calls.calls[1];
+        assert_eq!(a.inclusive(), 100);
+        assert_eq!(a.exclusive(), 70);
+        assert_eq!(a.depth(), 1);
+    }
+
+    #[test]
+    fn sibling_calls_accumulate_child_time() {
+        let calls = reconstruct(&[
+            ev(Call, 0, 0xA),
+            ev(Call, 10, 0xB),
+            ev(Return, 20, 0xB),
+            ev(Call, 30, 0xB),
+            ev(Return, 50, 0xB),
+            ev(Return, 60, 0xA),
+        ]);
+        let a = calls.calls.last().unwrap();
+        assert_eq!(a.inclusive(), 60);
+        assert_eq!(a.child_ticks, 30);
+        assert_eq!(a.exclusive(), 30);
+    }
+
+    #[test]
+    fn recursion_distinguished_by_depth() {
+        let calls = reconstruct(&[
+            ev(Call, 0, 0xF),
+            ev(Call, 10, 0xF),
+            ev(Return, 20, 0xF),
+            ev(Return, 40, 0xF),
+        ]);
+        assert_eq!(calls.calls.len(), 2);
+        assert_eq!(calls.calls[0].depth(), 2);
+        assert_eq!(calls.calls[1].depth(), 1);
+        assert_eq!(calls.calls[1].exclusive(), 30);
+    }
+
+    #[test]
+    fn orphan_return_skipped() {
+        let calls = reconstruct(&[
+            ev(Return, 5, 0xDEAD),
+            ev(Call, 10, 0xA),
+            ev(Return, 20, 0xA),
+        ]);
+        assert_eq!(calls.orphan_returns, 1);
+        assert_eq!(calls.calls.len(), 1);
+    }
+
+    #[test]
+    fn truncated_log_closes_frames_at_last_counter() {
+        let calls = reconstruct(&[ev(Call, 0, 0xA), ev(Call, 10, 0xB), ev(Return, 30, 0xB)]);
+        assert_eq!(calls.truncated_frames, 1);
+        let a = calls.calls.last().unwrap();
+        assert!(a.truncated);
+        assert_eq!(a.exit, 30);
+    }
+
+    #[test]
+    fn mismatched_return_unwinds_to_match() {
+        // B's return entry was dropped from a full log: A's return arrives
+        // while B is open. B must be closed (as truncated) and A completed.
+        let calls = reconstruct(&[
+            ev(Call, 0, 0xA),
+            ev(Call, 10, 0xB),
+            ev(Return, 50, 0xA),
+        ]);
+        assert_eq!(calls.truncated_frames, 1);
+        assert_eq!(calls.calls.len(), 2);
+        assert_eq!(calls.calls[0].addr, 0xB);
+        assert!(calls.calls[0].truncated);
+        assert_eq!(calls.calls[1].addr, 0xA);
+        assert!(!calls.calls[1].truncated);
+    }
+
+    /// Generate a random well-nested trace and check global invariants.
+    fn arbitrary_trace() -> impl Strategy<Value = Vec<Event>> {
+        // A sequence of pushes/pops encoded as a random walk.
+        proptest::collection::vec((0u64..6, any::<bool>()), 1..200).prop_map(|ops| {
+            let mut events = Vec::new();
+            let mut stack: Vec<u64> = Vec::new();
+            let mut counter = 0u64;
+            for (addr, push) in ops {
+                counter += 1 + addr; // strictly increasing, irregular steps
+                if push || stack.is_empty() {
+                    stack.push(addr);
+                    events.push(ev(Call, counter, addr));
+                } else {
+                    let a = stack.pop().expect("nonempty");
+                    events.push(ev(Return, counter, a));
+                }
+            }
+            while let Some(a) = stack.pop() {
+                counter += 1;
+                events.push(ev(Return, counter, a));
+            }
+            events
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_balanced_traces_reconstruct_cleanly(trace in arbitrary_trace()) {
+            let result = reconstruct(&trace);
+            prop_assert_eq!(result.orphan_returns, 0);
+            prop_assert_eq!(result.truncated_frames, 0);
+            let n_calls = trace.iter().filter(|e| e.kind == Call).count();
+            prop_assert_eq!(result.calls.len(), n_calls);
+            for c in &result.calls {
+                // exclusive + child == inclusive, and stacks end with self.
+                prop_assert_eq!(c.exclusive() + c.child_ticks, c.inclusive());
+                prop_assert_eq!(*c.stack.last().unwrap(), c.addr);
+            }
+        }
+
+        #[test]
+        fn prop_total_exclusive_equals_root_inclusive(trace in arbitrary_trace()) {
+            let result = reconstruct(&trace);
+            // Sum of exclusive over all calls == sum of inclusive over
+            // top-level calls (time is partitioned exactly once).
+            let total_exclusive: u64 = result.calls.iter().map(|c| c.exclusive()).sum();
+            let root_inclusive: u64 = result
+                .calls
+                .iter()
+                .filter(|c| c.depth() == 1)
+                .map(|c| c.inclusive())
+                .sum();
+            prop_assert_eq!(total_exclusive, root_inclusive);
+        }
+    }
+}

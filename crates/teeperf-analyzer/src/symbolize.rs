@@ -1,0 +1,129 @@
+//! Address → function-name resolution (the `addr2line` + `c++filt` stage).
+//!
+//! The recorder stores the runtime address of a well-known anchor function
+//! in the log header; comparing it with the anchor's static address in the
+//! debug info yields the relocation offset of position-independent code
+//! (§II-B: "to be able to easily determine the mapping offset of
+//! relocatable code").
+
+use mcvm::debuginfo::{demangle, DebugInfo};
+use teeperf_core::layout::LogHeader;
+
+/// Symbol resolver bound to one binary's debug info and one log's
+/// relocation state.
+#[derive(Debug, Clone)]
+pub struct Symbolizer {
+    debug: DebugInfo,
+    /// runtime_addr - static_addr.
+    offset: i64,
+}
+
+impl Symbolizer {
+    /// Build a symbolizer; the relocation offset is derived from the log
+    /// header's anchor, which the recorder set to the runtime address of
+    /// the binary's first function.
+    pub fn new(debug: DebugInfo, header: &LogHeader) -> Symbolizer {
+        let static_anchor = debug.functions().first().map_or(0, |f| f.base_addr);
+        let offset = if header.anchor == 0 {
+            0 // anchor never set: assume no relocation
+        } else {
+            header.anchor as i64 - static_anchor as i64
+        };
+        Symbolizer { debug, offset }
+    }
+
+    /// A symbolizer with no relocation (tests, native-API profiles).
+    pub fn without_relocation(debug: DebugInfo) -> Symbolizer {
+        Symbolizer { debug, offset: 0 }
+    }
+
+    /// The relocation offset in bytes.
+    pub fn relocation_offset(&self) -> i64 {
+        self.offset
+    }
+
+    /// The bound debug info.
+    pub fn debug(&self) -> &DebugInfo {
+        &self.debug
+    }
+
+    /// Translate a runtime address to its static (debug-info) address.
+    pub fn to_static(&self, runtime_addr: u64) -> u64 {
+        runtime_addr.wrapping_add_signed(-self.offset)
+    }
+
+    /// Resolve a runtime address to a demangled function name;
+    /// unresolvable addresses render as `0x…` (like `perf`'s raw frames).
+    pub fn name_of(&self, runtime_addr: u64) -> String {
+        match self.debug.function_at(self.to_static(runtime_addr)) {
+            Some(f) => demangle(&f.mangled).unwrap_or_else(|| f.mangled.clone()),
+            None => format!("{runtime_addr:#x}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teeperf_core::layout::LOG_VERSION;
+
+    fn debug() -> DebugInfo {
+        DebugInfo::from_functions([("main", 10, 1), ("worker", 5, 9)])
+    }
+
+    fn header_with_anchor(anchor: u64) -> LogHeader {
+        LogHeader {
+            active: false,
+            trace_calls: true,
+            trace_returns: true,
+            multithread: false,
+            version: LOG_VERSION,
+            pid: 1,
+            size: 10,
+            tail: 0,
+            anchor,
+            shm_addr: 0,
+        }
+    }
+
+    #[test]
+    fn resolves_without_relocation() {
+        let d = debug();
+        let main_addr = d.entry_addr(0);
+        let worker_addr = d.entry_addr(1);
+        let s = Symbolizer::new(d, &header_with_anchor(main_addr));
+        assert_eq!(s.relocation_offset(), 0);
+        assert_eq!(s.name_of(main_addr), "main");
+        assert_eq!(s.name_of(worker_addr), "worker");
+    }
+
+    #[test]
+    fn resolves_relocated_addresses() {
+        let d = debug();
+        let static_main = d.entry_addr(0);
+        let static_worker = d.entry_addr(1);
+        let slide = 0x1000;
+        // The binary was loaded `slide` bytes higher than its static layout.
+        let s = Symbolizer::new(d, &header_with_anchor(static_main + slide));
+        assert_eq!(s.relocation_offset(), slide as i64);
+        assert_eq!(s.name_of(static_worker + slide), "worker");
+        // The unrelocated address now points before `worker`'s slid range —
+        // it must NOT resolve to worker.
+        assert_ne!(s.name_of(static_worker), "worker");
+    }
+
+    #[test]
+    fn unknown_address_renders_hex() {
+        let s = Symbolizer::without_relocation(debug());
+        assert_eq!(s.name_of(0x1), "0x1");
+    }
+
+    #[test]
+    fn zero_anchor_means_no_relocation() {
+        let d = debug();
+        let main_addr = d.entry_addr(0);
+        let s = Symbolizer::new(d, &header_with_anchor(0));
+        assert_eq!(s.relocation_offset(), 0);
+        assert_eq!(s.name_of(main_addr), "main");
+    }
+}

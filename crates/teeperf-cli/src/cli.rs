@@ -1,0 +1,566 @@
+//! Command implementations, kept pure enough to unit-test: every command
+//! returns the text it would print.
+
+use std::fmt::Write as _;
+
+use mcvm::{DebugInfo, RunConfig};
+use tee_sim::{CostModel, TeeKind};
+use teeperf_analyzer::Analyzer;
+use teeperf_compiler::{compile_instrumented, profile_program, run_native, InstrumentOptions};
+use teeperf_core::{LogFile, RecorderConfig};
+use teeperf_flamegraph::{FlameGraph, SvgOptions};
+
+/// A CLI failure with a user-facing message.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+const USAGE: &str = "usage:
+  teeperf compile <prog.mc> [--out <prog.tpo>] [--instrument yes|no] [--only <fn,fn>]
+  teeperf run <prog.mc|prog.tpo> [--arch <kind>]
+  teeperf record <prog.mc|prog.tpo> [--arch <kind>] [--out <base>] [--max-entries <n>]
+  teeperf analyze <base.tpf> <base.sym>
+  teeperf query <base.tpf> <base.sym> <query>
+  teeperf flamegraph <base.tpf> <base.sym> [--svg <file>] [--title <t>]
+  teeperf diff <a.tpf> <a.sym> <b.tpf> <b.sym> [--svg <file>]
+  teeperf phoenix [--bench <name>] [--arch <kind>]
+  teeperf archs
+
+architectures: native, sgx-v1, sgx-v2, trustzone, sev, keystone
+query example: \"select method, calls, excl where excl > 100 sort excl desc limit 10\"
+";
+
+/// Minimal flag parser: positional args plus `--flag value` pairs.
+struct Args<'a> {
+    positional: Vec<&'a str>,
+    flags: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Args<'a> {
+    fn parse(args: &'a [String]) -> Result<Args<'a>, CliError> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let a = args[i].as_str();
+            if let Some(name) = a.strip_prefix("--") {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| err(format!("flag --{name} needs a value")))?;
+                flags.push((name, value.as_str()));
+                i += 2;
+            } else {
+                positional.push(a);
+                i += 1;
+            }
+        }
+        Ok(Args { positional, flags })
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+
+    fn arch(&self) -> Result<CostModel, CliError> {
+        let name = self.flag("arch").unwrap_or("sgx-v1");
+        TeeKind::parse(name)
+            .map(CostModel::for_kind)
+            .ok_or_else(|| err(format!("unknown architecture `{name}`")))
+    }
+}
+
+/// Entry point used by `main` and by the tests.
+pub fn dispatch(args: &[String]) -> Result<String, CliError> {
+    let Some(command) = args.first() else {
+        return Ok(USAGE.to_string());
+    };
+    let rest = Args::parse(&args[1..])?;
+    match command.as_str() {
+        "compile" => cmd_compile(&rest),
+        "run" => cmd_run(&rest),
+        "record" => cmd_record(&rest),
+        "analyze" => cmd_analyze(&rest),
+        "query" => cmd_query(&rest),
+        "flamegraph" => cmd_flamegraph(&rest),
+        "diff" => cmd_diff(&rest),
+        "phoenix" => cmd_phoenix(&rest),
+        "archs" => Ok(TeeKind::ALL
+            .iter()
+            .map(|k| k.name())
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n"),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(err(format!("unknown command `{other}`\n\n{USAGE}"))),
+    }
+}
+
+fn read_source(args: &Args<'_>) -> Result<(String, String), CliError> {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| err(format!("missing program path\n\n{USAGE}")))?;
+    let source = std::fs::read_to_string(path).map_err(|e| err(format!("{path}: {e}")))?;
+    Ok(((*path).to_string(), source))
+}
+
+/// Load a program from either Mini-C source (`.mc`, compiled on the fly,
+/// uninstrumented) or a prebuilt object file (`.tpo`, possibly
+/// instrumented by `teeperf compile`).
+fn load_program(path: &str, instrument_sources: bool) -> Result<mcvm::CompiledProgram, CliError> {
+    if path.ends_with(".tpo") {
+        let bytes = std::fs::read(path).map_err(|e| err(format!("{path}: {e}")))?;
+        return mcvm::objfile::from_bytes(&bytes).map_err(|e| err(format!("{path}: {e}")));
+    }
+    let source = std::fs::read_to_string(path).map_err(|e| err(format!("{path}: {e}")))?;
+    if instrument_sources {
+        compile_instrumented(&source, &InstrumentOptions::default())
+            .map_err(|e| err(e.to_string()))
+    } else {
+        mcvm::compile(&source).map_err(|e| err(e.to_string()))
+    }
+}
+
+fn cmd_compile(args: &Args<'_>) -> Result<String, CliError> {
+    let (path, source) = read_source(args)?;
+    let instrument = args.flag("instrument").unwrap_or("yes") == "yes";
+    let program = if instrument {
+        let options = match args.flag("only") {
+            Some(names) => InstrumentOptions {
+                filter: Some(teeperf_compiler::NameFilter::include(
+                    names.split(','),
+                )),
+            },
+            None => InstrumentOptions::default(),
+        };
+        compile_instrumented(&source, &options).map_err(|e| err(e.to_string()))?
+    } else {
+        mcvm::compile(&source).map_err(|e| err(e.to_string()))?
+    };
+    let out = args
+        .flag("out")
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("{}.tpo", path.trim_end_matches(".mc")));
+    std::fs::write(&out, mcvm::objfile::to_bytes(&program))
+        .map_err(|e| err(format!("{out}: {e}")))?;
+    let hooks = program
+        .functions
+        .iter()
+        .flat_map(|f| &f.code)
+        .filter(|i| i.is_hook())
+        .count();
+    Ok(format!(
+        "compiled {} functions ({} instructions, {hooks} hooks) -> {out}\n",
+        program.functions.len(),
+        program.instruction_count(),
+    ))
+}
+
+fn cmd_run(args: &Args<'_>) -> Result<String, CliError> {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| err(format!("missing program path\n\n{USAGE}")))?;
+    let cost = args.arch()?;
+    let kind = cost.kind;
+    let program = load_program(path, false)?;
+    let run = run_native(program, cost, RunConfig::default(), |_| Ok(()))
+        .map_err(|e| err(e.to_string()))?;
+    let mut out = String::new();
+    for line in &run.output {
+        writeln!(out, "{line}").expect("writing to string");
+    }
+    writeln!(out, "exit code: {}", run.exit_code).expect("writing to string");
+    writeln!(
+        out,
+        "{} cycles on {kind} ({} instructions)",
+        run.cycles, run.instructions
+    )
+    .expect("writing to string");
+    Ok(out)
+}
+
+fn cmd_record(args: &Args<'_>) -> Result<String, CliError> {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| err(format!("missing program path\n\n{USAGE}")))?
+        .to_string();
+    let cost = args.arch()?;
+    let kind = cost.kind;
+    let base = args
+        .flag("out")
+        .map(str::to_string)
+        .unwrap_or_else(|| {
+            path.trim_end_matches(".mc").trim_end_matches(".tpo").to_string()
+        });
+    let max_entries: u64 = match args.flag("max-entries") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| err(format!("bad --max-entries `{v}`")))?,
+        None => 1 << 20,
+    };
+    let program = load_program(&path, true)?;
+    let run = profile_program(
+        program,
+        cost,
+        RunConfig::default(),
+        &RecorderConfig {
+            max_entries,
+            ..RecorderConfig::default()
+        },
+        |_| Ok(()),
+    )
+    .map_err(|e| err(e.to_string()))?;
+
+    let log_path = format!("{base}.tpf");
+    let sym_path = format!("{base}.sym");
+    run.log
+        .save(&log_path)
+        .map_err(|e| err(format!("{log_path}: {e}")))?;
+    std::fs::write(&sym_path, run.debug.to_text()).map_err(|e| err(format!("{sym_path}: {e}")))?;
+
+    let mut out = String::new();
+    for line in &run.output {
+        writeln!(out, "{line}").expect("writing to string");
+    }
+    writeln!(out, "exit code: {}", run.exit_code).expect("writing to string");
+    writeln!(
+        out,
+        "recorded {} events in {} cycles on {kind}",
+        run.log.entries.len(),
+        run.cycles
+    )
+    .expect("writing to string");
+    writeln!(out, "log:     {log_path}").expect("writing to string");
+    writeln!(out, "symbols: {sym_path}").expect("writing to string");
+    Ok(out)
+}
+
+fn load_log_and_symbols(args: &Args<'_>) -> Result<(LogFile, DebugInfo), CliError> {
+    let log_path = args
+        .positional
+        .first()
+        .ok_or_else(|| err(format!("missing log path\n\n{USAGE}")))?;
+    let sym_path = args
+        .positional
+        .get(1)
+        .ok_or_else(|| err(format!("missing symbol path\n\n{USAGE}")))?;
+    let log = LogFile::load(log_path).map_err(|e| err(format!("{log_path}: {e}")))?;
+    let sym_text =
+        std::fs::read_to_string(sym_path).map_err(|e| err(format!("{sym_path}: {e}")))?;
+    let debug = DebugInfo::from_text(&sym_text)
+        .ok_or_else(|| err(format!("{sym_path}: malformed symbol file")))?;
+    Ok((log, debug))
+}
+
+fn cmd_analyze(args: &Args<'_>) -> Result<String, CliError> {
+    let (log, debug) = load_log_and_symbols(args)?;
+    let analyzer = Analyzer::new(log, debug).map_err(|e| err(e.to_string()))?;
+    Ok(analyzer.report())
+}
+
+fn cmd_query(args: &Args<'_>) -> Result<String, CliError> {
+    let (log, debug) = load_log_and_symbols(args)?;
+    let query = args
+        .positional
+        .get(2)
+        .ok_or_else(|| err(format!("missing query string\n\n{USAGE}")))?;
+    let analyzer = Analyzer::new(log, debug).map_err(|e| err(e.to_string()))?;
+    // Queries mentioning per-event columns go to the event frame; method
+    // queries to the method frame.
+    let frame = if query.contains("kind") || query.contains("counter") || query.contains("seq")
+        || query.contains("tid")
+    {
+        analyzer.events_frame()
+    } else {
+        analyzer.methods_frame()
+    };
+    let result = teeperf_analyzer::run_query(&frame, query).map_err(|e| err(e.to_string()))?;
+    Ok(result.to_table())
+}
+
+fn cmd_flamegraph(args: &Args<'_>) -> Result<String, CliError> {
+    let (log, debug) = load_log_and_symbols(args)?;
+    let analyzer = Analyzer::new(log, debug).map_err(|e| err(e.to_string()))?;
+    let profile = analyzer.profile();
+    let fg = FlameGraph::from_folded(&profile.folded);
+    let mut out = String::new();
+    if let Some(svg_path) = args.flag("svg") {
+        let title = args.flag("title").unwrap_or("TEE-Perf Flame Graph");
+        let svg = fg.to_svg(&SvgOptions::default().with_title(title));
+        std::fs::write(svg_path, svg).map_err(|e| err(format!("{svg_path}: {e}")))?;
+        writeln!(out, "wrote {svg_path}").expect("writing to string");
+    } else {
+        out.push_str(&fg.to_ascii(60));
+    }
+    Ok(out)
+}
+
+fn cmd_diff(args: &Args<'_>) -> Result<String, CliError> {
+    if args.positional.len() != 4 {
+        return Err(err(format!(
+            "diff needs <a.tpf> <a.sym> <b.tpf> <b.sym>\n\n{USAGE}"
+        )));
+    }
+    let load = |log_path: &str, sym_path: &str| -> Result<Analyzer, CliError> {
+        let log = LogFile::load(log_path).map_err(|e| err(format!("{log_path}: {e}")))?;
+        let sym_text =
+            std::fs::read_to_string(sym_path).map_err(|e| err(format!("{sym_path}: {e}")))?;
+        let debug = DebugInfo::from_text(&sym_text)
+            .ok_or_else(|| err(format!("{sym_path}: malformed symbol file")))?;
+        Analyzer::new(log, debug).map_err(|e| err(e.to_string()))
+    };
+    let a = load(args.positional[0], args.positional[1])?.profile();
+    let b = load(args.positional[2], args.positional[3])?.profile();
+    let d = teeperf_analyzer::diff(&a, &b);
+    let mut out = String::from(
+        "profile diff (delta_pct = b - a in exclusive-time share; negative = improved)\n\n",
+    );
+    out.push_str(&d.to_table());
+    if let Some(svg_path) = args.flag("svg") {
+        let before = FlameGraph::from_folded(&a.folded);
+        let after = FlameGraph::from_folded(&b.folded);
+        let svg = after.to_diff_svg(
+            &before,
+            &SvgOptions::default()
+                .with_title("Differential flame graph (b vs a)")
+                .with_subtitle("red = share grew, blue = share shrank"),
+        );
+        std::fs::write(svg_path, svg).map_err(|e| err(format!("{svg_path}: {e}")))?;
+        out.push_str(&format!("\nwrote differential flame graph: {svg_path}\n"));
+    }
+    Ok(out)
+}
+
+fn cmd_phoenix(args: &Args<'_>) -> Result<String, CliError> {
+    let cost = args.arch()?;
+    let kind = cost.kind;
+    let only = args.flag("bench");
+    let mut out = format!("phoenix suite on {kind} (small scale)\n");
+    let mut matched = false;
+    for b in phoenix::suite(phoenix::Scale::Small, 42) {
+        if let Some(name) = only {
+            if b.name() != name {
+                continue;
+            }
+        }
+        matched = true;
+        let vm = phoenix::run_and_verify(b.as_ref(), cost.clone()).map_err(err)?;
+        writeln!(
+            out,
+            "{:20} ok   {:>12} cycles  {:>10} instructions",
+            b.name(),
+            vm.machine().clock().now(),
+            vm.executed_instructions()
+        )
+        .expect("writing to string");
+    }
+    if !matched {
+        return Err(err(format!(
+            "no benchmark named `{}`",
+            only.unwrap_or_default()
+        )));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn tmpdir() -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("teeperf-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        let out = dispatch(&[]).unwrap();
+        assert!(out.contains("usage:"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(dispatch(&strs(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn archs_lists_all() {
+        let out = dispatch(&strs(&["archs"])).unwrap();
+        for k in ["native", "sgx-v1", "trustzone"] {
+            assert!(out.contains(k));
+        }
+    }
+
+    #[test]
+    fn run_record_analyze_query_flamegraph_pipeline() {
+        let dir = tmpdir();
+        let prog = dir.join("demo.mc");
+        std::fs::write(
+            &prog,
+            "fn work(n: int) -> int { let s: int = 0; for (let i: int = 0; i < n; i = i + 1) { s = s + i; } return s; }
+             fn main() -> int { print_int(work(100)); return 0; }",
+        )
+        .unwrap();
+        let prog = prog.to_str().unwrap().to_string();
+        let base = dir.join("demo").to_str().unwrap().to_string();
+
+        let out = dispatch(&strs(&["run", &prog, "--arch", "native"])).unwrap();
+        assert!(out.contains("4950"));
+        assert!(out.contains("exit code: 0"));
+
+        let out = dispatch(&strs(&["record", &prog, "--arch", "sgx-v1", "--out", &base])).unwrap();
+        assert!(out.contains("recorded 4 events"), "{out}");
+
+        let tpf = format!("{base}.tpf");
+        let sym = format!("{base}.sym");
+        let out = dispatch(&strs(&["analyze", &tpf, &sym])).unwrap();
+        assert!(out.contains("work"));
+        assert!(out.contains("main"));
+
+        let out = dispatch(&strs(&[
+            "query",
+            &tpf,
+            &sym,
+            "select method, calls sort calls desc limit 1",
+        ]))
+        .unwrap();
+        assert!(out.contains("method"));
+
+        let out = dispatch(&strs(&["flamegraph", &tpf, &sym])).unwrap();
+        assert!(out.contains("work"));
+
+        let svg = dir.join("demo.svg").to_str().unwrap().to_string();
+        dispatch(&strs(&["flamegraph", &tpf, &sym, "--svg", &svg])).unwrap();
+        let svg_text = std::fs::read_to_string(&svg).unwrap();
+        assert!(svg_text.starts_with("<svg"));
+    }
+
+    #[test]
+    fn compile_then_run_and_record_object_file() {
+        let dir = tmpdir();
+        let prog = dir.join("obj.mc");
+        std::fs::write(
+            &prog,
+            "fn f(x: int) -> int { return x * 2; }
+             fn main() -> int { print_int(f(21)); return 0; }",
+        )
+        .unwrap();
+        let prog = prog.to_str().unwrap().to_string();
+        let tpo = dir.join("obj.tpo").to_str().unwrap().to_string();
+
+        let out = dispatch(&strs(&["compile", &prog, "--out", &tpo])).unwrap();
+        assert!(out.contains("hooks"), "{out}");
+        assert!(out.contains(&tpo));
+
+        // Run the prebuilt object directly.
+        let out = dispatch(&strs(&["run", &tpo, "--arch", "native"])).unwrap();
+        assert!(out.contains("42"));
+
+        // Record it: the hooks baked into the object fire.
+        let base = dir.join("obj").to_str().unwrap().to_string();
+        let out = dispatch(&strs(&["record", &tpo, "--arch", "sgx-v1", "--out", &base])).unwrap();
+        assert!(out.contains("recorded 4 events"), "{out}");
+
+        // Selective compile-time instrumentation via --only.
+        let tpo2 = dir.join("obj_only.tpo").to_str().unwrap().to_string();
+        dispatch(&strs(&["compile", &prog, "--out", &tpo2, "--only", "f"])).unwrap();
+        let out = dispatch(&strs(&["record", &tpo2, "--arch", "sgx-v1", "--out", &base])).unwrap();
+        assert!(out.contains("recorded 2 events"), "{out}");
+    }
+
+    #[test]
+    fn diff_compares_two_recordings() {
+        let dir = tmpdir();
+        let write_prog = |name: &str, body: &str| -> String {
+            let p = dir.join(name);
+            std::fs::write(&p, body).unwrap();
+            p.to_str().unwrap().to_string()
+        };
+        let a = write_prog(
+            "before.mc",
+            "fn hot() -> int { let s: int = 0; for (let i: int = 0; i < 500; i = i + 1) { s = s + i; } return s; }
+             fn main() -> int { hot(); return 0; }",
+        );
+        let b = write_prog(
+            "after.mc",
+            "fn hot() -> int { return 124750; }
+             fn main() -> int { hot(); return 0; }",
+        );
+        let base_a = dir.join("before").to_str().unwrap().to_string();
+        let base_b = dir.join("after").to_str().unwrap().to_string();
+        dispatch(&strs(&["record", &a, "--out", &base_a])).unwrap();
+        dispatch(&strs(&["record", &b, "--out", &base_b])).unwrap();
+        let svg = dir.join("diff.svg").to_str().unwrap().to_string();
+        let out = dispatch(&strs(&[
+            "diff",
+            &format!("{base_a}.tpf"),
+            &format!("{base_a}.sym"),
+            &format!("{base_b}.tpf"),
+            &format!("{base_b}.sym"),
+            "--svg",
+            &svg,
+        ]))
+        .unwrap();
+        assert!(out.contains("hot"));
+        assert!(out.contains("delta_pct"));
+        let svg_text = std::fs::read_to_string(&svg).unwrap();
+        assert!(svg_text.contains("Differential"));
+    }
+
+    #[test]
+    fn bad_arch_rejected() {
+        let dir = tmpdir();
+        let prog = dir.join("p.mc");
+        std::fs::write(&prog, "fn main() -> int { return 0; }").unwrap();
+        let e = dispatch(&strs(&[
+            "run",
+            prog.to_str().unwrap(),
+            "--arch",
+            "sgx-v9",
+        ]))
+        .unwrap_err();
+        assert!(e.to_string().contains("unknown architecture"));
+    }
+
+    #[test]
+    fn phoenix_single_bench_runs() {
+        let out = dispatch(&strs(&[
+            "phoenix",
+            "--bench",
+            "linear_regression",
+            "--arch",
+            "native",
+        ]))
+        .unwrap();
+        assert!(out.contains("linear_regression"));
+        assert!(out.contains("ok"));
+        assert!(dispatch(&strs(&["phoenix", "--bench", "nope"])).is_err());
+    }
+
+    #[test]
+    fn missing_flag_value_rejected() {
+        assert!(dispatch(&strs(&["run", "--arch"])).is_err());
+    }
+}

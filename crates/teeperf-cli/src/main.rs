@@ -1,0 +1,28 @@
+//! `teeperf` — the command-line face of the TEE-Perf pipeline.
+//!
+//! ```text
+//! teeperf run <prog.mc> [--arch sgx-v1]                  # plain execution
+//! teeperf record <prog.mc> [--arch sgx-v1] [--out base]  # stages 1+2
+//! teeperf analyze <base.tpf> <base.sym>                  # stage 3 report
+//! teeperf query <base.tpf> <base.sym> "<query>"          # declarative queries
+//! teeperf flamegraph <base.tpf> <base.sym> [--svg f]     # stage 4
+//! teeperf phoenix [--bench name] [--arch sgx-v1]         # run the suite
+//! ```
+
+mod cli;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::dispatch(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("teeperf: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! The run driver: executes compiled programs natively or under the
+//! recorder and packages everything the offline stages need.
+
+use mcvm::debuginfo::DebugInfo;
+use mcvm::{McError, RunConfig, Vm};
+use tee_sim::{CostModel, Machine, MachineStats};
+use teeperf_core::{LogFile, Recorder, RecorderConfig};
+
+/// Result of an uninstrumented (baseline) run.
+#[derive(Debug)]
+pub struct NativeRun {
+    /// `main`'s return value.
+    pub exit_code: i64,
+    /// Total virtual cycles consumed.
+    pub cycles: u64,
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Program output lines.
+    pub output: Vec<String>,
+    /// Simulated-hardware event counters.
+    pub stats: MachineStats,
+}
+
+/// Result of a profiled run: everything stage 3 (the analyzer) consumes.
+#[derive(Debug)]
+pub struct ProfiledRun {
+    /// `main`'s return value.
+    pub exit_code: i64,
+    /// The drained persistent log.
+    pub log: LogFile,
+    /// Symbol table matching the instrumented binary.
+    pub debug: DebugInfo,
+    /// Total virtual cycles consumed (including profiling overhead).
+    pub cycles: u64,
+    /// Instructions executed (including injected hooks).
+    pub instructions: u64,
+    /// Program output lines.
+    pub output: Vec<String>,
+    /// Simulated-hardware event counters.
+    pub stats: MachineStats,
+}
+
+/// Run `program` without any profiler attached — the baseline of Figure 4.
+///
+/// `setup` runs before execution and typically injects workload inputs into
+/// globals.
+///
+/// # Errors
+/// Propagates compile-quality runtime traps from the VM.
+pub fn run_native(
+    program: mcvm::CompiledProgram,
+    cost: CostModel,
+    run_config: RunConfig,
+    setup: impl FnOnce(&mut Vm) -> Result<(), McError>,
+) -> Result<NativeRun, McError> {
+    let machine = Machine::new(cost);
+    let mut vm = Vm::with_config(program, machine, run_config);
+    setup(&mut vm)?;
+    let exit_code = vm.run()?;
+    Ok(NativeRun {
+        exit_code,
+        cycles: vm.machine().clock().now(),
+        instructions: vm.executed_instructions(),
+        output: vm.output().to_vec(),
+        stats: vm.machine().stats().clone(),
+    })
+}
+
+/// Run an **instrumented** `program` under the TEE-Perf recorder: sets up
+/// shared memory, installs the hooks with the deterministic software
+/// counter, executes, and drains the log.
+///
+/// # Errors
+/// Propagates runtime traps from the VM.
+pub fn profile_program(
+    program: mcvm::CompiledProgram,
+    cost: CostModel,
+    run_config: RunConfig,
+    recorder_config: &RecorderConfig,
+    setup: impl FnOnce(&mut Vm) -> Result<(), McError>,
+) -> Result<ProfiledRun, McError> {
+    let debug = program.debug.clone();
+    let machine = Machine::new(cost);
+    let mut recorder_config = recorder_config.clone();
+    recorder_config.anchor = debug
+        .functions()
+        .first()
+        .map_or(tee_sim::ENCLAVE_TEXT_BASE, |f| f.base_addr);
+
+    let recorder = Recorder::new(&recorder_config);
+    let mut vm = Vm::with_config(program, machine, run_config);
+    recorder.attach(vm.machine_mut());
+    let hooks = recorder.sim_hooks(vm.machine().clock().clone());
+    vm.set_hooks(Box::new(hooks));
+    setup(&mut vm)?;
+    let exit_code = vm.run()?;
+    let log = recorder.finish();
+    Ok(ProfiledRun {
+        exit_code,
+        log,
+        debug,
+        cycles: vm.machine().clock().now(),
+        instructions: vm.executed_instructions(),
+        output: vm.output().to_vec(),
+        stats: vm.machine().stats().clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile_instrumented, InstrumentOptions};
+
+    const SRC: &str = "
+        fn work(n: int) -> int {
+            let s: int = 0;
+            for (let i: int = 0; i < n; i = i + 1) { s = s + i; }
+            return s;
+        }
+        fn main() -> int { return work(100) + work(50); }
+    ";
+
+    #[test]
+    fn native_and_profiled_agree_on_results() {
+        let plain = mcvm::compile(SRC).unwrap();
+        let inst = compile_instrumented(SRC, &InstrumentOptions::default()).unwrap();
+        let native = run_native(plain, CostModel::sgx_v1(), RunConfig::default(), |_| Ok(()))
+            .unwrap();
+        let profiled = profile_program(
+            inst,
+            CostModel::sgx_v1(),
+            RunConfig::default(),
+            &RecorderConfig::default(),
+            |_| Ok(()),
+        )
+        .unwrap();
+        assert_eq!(native.exit_code, profiled.exit_code);
+        assert_eq!(native.exit_code, 4950 + 1225);
+    }
+
+    #[test]
+    fn profiling_costs_cycles_and_records_events() {
+        let plain = mcvm::compile(SRC).unwrap();
+        let inst = compile_instrumented(SRC, &InstrumentOptions::default()).unwrap();
+        let native = run_native(plain, CostModel::sgx_v1(), RunConfig::default(), |_| Ok(()))
+            .unwrap();
+        let profiled = profile_program(
+            inst,
+            CostModel::sgx_v1(),
+            RunConfig::default(),
+            &RecorderConfig::default(),
+            |_| Ok(()),
+        )
+        .unwrap();
+        assert!(profiled.cycles > native.cycles);
+        // 3 functions entered (main, work×2) → 6 events.
+        assert_eq!(profiled.log.entries.len(), 6);
+        // Events alternate correctly per the single thread.
+        assert!(profiled.log.entries[0].kind.is_call());
+        assert_eq!(profiled.log.header.dropped_entries(), 0);
+    }
+
+    #[test]
+    fn log_is_deterministic_across_runs() {
+        let mk = || {
+            profile_program(
+                compile_instrumented(SRC, &InstrumentOptions::default()).unwrap(),
+                CostModel::sgx_v1(),
+                RunConfig::default(),
+                &RecorderConfig::default(),
+                |_| Ok(()),
+            )
+            .unwrap()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.log, b.log);
+        assert_eq!(a.cycles, b.cycles);
+    }
+
+    #[test]
+    fn anchor_set_from_first_function() {
+        let inst = compile_instrumented(SRC, &InstrumentOptions::default()).unwrap();
+        let first = inst.debug.functions()[0].base_addr;
+        let run = profile_program(
+            inst,
+            CostModel::sgx_v1(),
+            RunConfig::default(),
+            &RecorderConfig::default(),
+            |_| Ok(()),
+        )
+        .unwrap();
+        assert_eq!(run.log.header.anchor, first);
+    }
+}

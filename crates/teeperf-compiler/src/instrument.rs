@@ -1,0 +1,278 @@
+//! The bytecode instrumentation pass.
+
+use std::collections::HashSet;
+
+use mcvm::bytecode::{CompiledProgram, FnCode, Instr};
+
+/// Compile-time selective instrumentation by function name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NameFilter {
+    /// Instrument only the named functions.
+    Include(HashSet<String>),
+    /// Instrument everything except the named functions.
+    Exclude(HashSet<String>),
+}
+
+impl NameFilter {
+    /// Build an include filter from names.
+    pub fn include<'a, I: IntoIterator<Item = &'a str>>(names: I) -> NameFilter {
+        NameFilter::Include(names.into_iter().map(str::to_string).collect())
+    }
+
+    /// Build an exclude filter from names.
+    pub fn exclude<'a, I: IntoIterator<Item = &'a str>>(names: I) -> NameFilter {
+        NameFilter::Exclude(names.into_iter().map(str::to_string).collect())
+    }
+
+    fn allows(&self, name: &str) -> bool {
+        match self {
+            NameFilter::Include(s) => s.contains(name),
+            NameFilter::Exclude(s) => !s.contains(name),
+        }
+    }
+}
+
+/// Options for the instrumentation pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InstrumentOptions {
+    /// Optional compile-time selective instrumentation.
+    pub filter: Option<NameFilter>,
+}
+
+/// Inject `ProfEnter`/`ProfExit` hooks into every eligible function of
+/// `program`, remapping branch targets, then rebuild the debug info (code
+/// sizes change, so addresses move — exactly like recompiling with
+/// `-finstrument-functions` produces a different binary layout).
+///
+/// Functions declared `@no_instrument` are never touched; a [`NameFilter`]
+/// further restricts the set.
+pub fn instrument(program: &mut CompiledProgram, options: &InstrumentOptions) {
+    for (idx, f) in program.functions.iter_mut().enumerate() {
+        let eligible = !f.no_instrument
+            && options
+                .filter
+                .as_ref()
+                .is_none_or(|filt| filt.allows(&f.name));
+        if eligible {
+            instrument_fn(f, idx as u16);
+        }
+    }
+    program.rebuild_debug_info();
+}
+
+fn instrument_fn(f: &mut FnCode, fn_idx: u16) {
+    debug_assert!(
+        !f.code.iter().any(|i| i.is_hook()),
+        "function {} instrumented twice",
+        f.name
+    );
+    let old_code = std::mem::take(&mut f.code);
+    let old_lines = std::mem::take(&mut f.lines);
+
+    let mut new_code = Vec::with_capacity(old_code.len() + 4);
+    let mut new_lines = Vec::with_capacity(old_lines.len() + 4);
+    let mut map = Vec::with_capacity(old_code.len());
+
+    new_code.push(Instr::ProfEnter(fn_idx));
+    new_lines.push(f.decl_line);
+
+    for (i, instr) in old_code.iter().enumerate() {
+        map.push(new_code.len() as u32);
+        if *instr == Instr::Ret {
+            // A jump that targeted this Ret lands on the ProfExit, so the
+            // exit event is never skipped.
+            new_code.push(Instr::ProfExit(fn_idx));
+            new_lines.push(old_lines[i]);
+        }
+        new_code.push(*instr);
+        new_lines.push(old_lines[i]);
+    }
+
+    // Remap branch targets. A branch may target one past the last
+    // instruction only in degenerate dead code; map that to the new end.
+    let end = new_code.len() as u32;
+    for instr in &mut new_code {
+        if let Some(t) = instr.jump_target() {
+            let new_t = map.get(t as usize).copied().unwrap_or(end);
+            *instr = instr.with_jump_target(new_t);
+        }
+    }
+
+    f.code = new_code;
+    f.lines = new_lines;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcvm::{compile, Vm};
+    use tee_sim::{CostModel, Machine};
+
+    const BRANCHY: &str = "
+        @no_instrument
+        fn helper(x: int) -> int { return x + 1; }
+        fn fib(n: int) -> int {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        fn classify(x: int) -> int {
+            let r: int = 0;
+            for (let i: int = 0; i < x; i = i + 1) {
+                if (i % 3 == 0) { continue; }
+                if (i > 20) { break; }
+                r = r + helper(i);
+            }
+            while (r > 100) { r = r - 10; }
+            return r;
+        }
+        fn main() -> int { return fib(10) + classify(15); }
+    ";
+
+    fn expected_result() -> i64 {
+        fn fib(n: i64) -> i64 {
+            if n < 2 {
+                n
+            } else {
+                fib(n - 1) + fib(n - 2)
+            }
+        }
+        let mut r = 0i64;
+        for i in 0..15 {
+            if i % 3 == 0 {
+                continue;
+            }
+            // i never exceeds 20 here, so no break
+            r += i + 1;
+        }
+        while r > 100 {
+            r -= 10;
+        }
+        fib(10) + r
+    }
+
+    #[test]
+    fn instrumented_program_computes_identical_result() {
+        let plain = compile(BRANCHY).unwrap();
+        let mut inst = plain.clone();
+        instrument(&mut inst, &InstrumentOptions::default());
+
+        let mut vm1 = Vm::new(plain, Machine::new(CostModel::native()));
+        let mut vm2 = Vm::new(inst, Machine::new(CostModel::native()));
+        let a = vm1.run().unwrap();
+        let b = vm2.run().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, expected_result());
+    }
+
+    #[test]
+    fn hooks_placed_at_entry_and_before_every_ret() {
+        let mut p = compile(BRANCHY).unwrap();
+        instrument(&mut p, &InstrumentOptions::default());
+        let fib = &p.functions[p.function_index("fib").unwrap() as usize];
+        assert!(matches!(fib.code[0], Instr::ProfEnter(_)));
+        let rets: Vec<usize> = fib
+            .code
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| **i == Instr::Ret)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(rets.len() >= 2, "fib has an early and a tail return");
+        for r in rets {
+            assert!(
+                matches!(fib.code[r - 1], Instr::ProfExit(_)),
+                "Ret at {r} lacks a preceding ProfExit"
+            );
+        }
+    }
+
+    #[test]
+    fn no_instrument_attribute_respected() {
+        let mut p = compile(BRANCHY).unwrap();
+        instrument(&mut p, &InstrumentOptions::default());
+        let helper = &p.functions[p.function_index("helper").unwrap() as usize];
+        assert!(helper.code.iter().all(|i| !i.is_hook()));
+    }
+
+    #[test]
+    fn include_filter_limits_instrumentation() {
+        let mut p = compile(BRANCHY).unwrap();
+        instrument(
+            &mut p,
+            &InstrumentOptions {
+                filter: Some(NameFilter::include(["fib"])),
+            },
+        );
+        let fib = &p.functions[p.function_index("fib").unwrap() as usize];
+        let classify = &p.functions[p.function_index("classify").unwrap() as usize];
+        assert!(fib.code.iter().any(|i| i.is_hook()));
+        assert!(classify.code.iter().all(|i| !i.is_hook()));
+    }
+
+    #[test]
+    fn exclude_filter_inverts() {
+        let mut p = compile(BRANCHY).unwrap();
+        instrument(
+            &mut p,
+            &InstrumentOptions {
+                filter: Some(NameFilter::exclude(["fib"])),
+            },
+        );
+        let fib = &p.functions[p.function_index("fib").unwrap() as usize];
+        let main = &p.functions[p.function_index("main").unwrap() as usize];
+        assert!(fib.code.iter().all(|i| !i.is_hook()));
+        assert!(main.code.iter().any(|i| i.is_hook()));
+    }
+
+    #[test]
+    fn debug_info_rebuilt_with_larger_sizes() {
+        let plain = compile(BRANCHY).unwrap();
+        let mut inst = plain.clone();
+        instrument(&mut inst, &InstrumentOptions::default());
+        let fi = plain.function_index("fib").unwrap() as usize;
+        assert!(
+            inst.debug.functions()[fi].size > plain.debug.functions()[fi].size,
+            "instrumented fib must occupy more text"
+        );
+    }
+
+    #[test]
+    fn jump_targets_stay_in_bounds_after_pass() {
+        let mut p = compile(BRANCHY).unwrap();
+        instrument(&mut p, &InstrumentOptions::default());
+        for f in &p.functions {
+            for i in &f.code {
+                if let Some(t) = i.jump_target() {
+                    assert!((t as usize) <= f.code.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn jump_to_ret_lands_on_profexit() {
+        // `while (1) { break; } return 0;` produces a forward jump; ensure a
+        // branch targeting a Ret hits the exit hook first by construction:
+        // find any branch whose target instruction is a Ret in instrumented
+        // code — there must be none (they all land on ProfExit).
+        let mut p = compile(BRANCHY).unwrap();
+        instrument(&mut p, &InstrumentOptions::default());
+        for f in &p.functions {
+            if f.no_instrument {
+                continue;
+            }
+            for i in &f.code {
+                if let Some(t) = i.jump_target() {
+                    if (t as usize) < f.code.len() {
+                        assert_ne!(
+                            f.code[t as usize],
+                            Instr::Ret,
+                            "branch in {} jumps straight to Ret, skipping ProfExit",
+                            f.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # teeperf-compiler — stage 1 of TEE-Perf: the instrumentation pass
+//!
+//! The paper recompiles the application with
+//! `gcc -finstrument-functions --include=profiler.h … -lprofiler`, which
+//! injects a call to `__cyg_profile_func_enter` at every function entry and
+//! `__cyg_profile_func_exit` at every return, links in the log set-up code,
+//! and leaves functions marked `__attribute__((no_instrument_function))`
+//! untouched (that attribute is what keeps the profiler from measuring —
+//! and infinitely recursing into — itself).
+//!
+//! This crate reproduces that stage over Mini-C bytecode:
+//!
+//! * [`instrument()`](instrument()) rewrites each function to execute `ProfEnter` on entry
+//!   and `ProfExit` immediately before every `Ret`, remapping all branch
+//!   targets;
+//! * `@no_instrument` functions are skipped, as is anything excluded by a
+//!   compile-time [`NameFilter`] (the paper's *selective code profiling*);
+//! * [`compile_instrumented`] is the full `gcc` replacement: front end →
+//!   lowering → instrumentation → fresh debug info;
+//! * [`driver`] runs compiled programs under the recorder and packages the
+//!   results (log file, symbols, cycle counts) for the analyzer.
+
+pub mod driver;
+pub mod instrument;
+
+pub use driver::{profile_program, run_native, NativeRun, ProfiledRun};
+pub use instrument::{instrument, InstrumentOptions, NameFilter};
+
+use mcvm::{CompiledProgram, McError};
+
+/// Compile Mini-C source with profiling instrumentation — the analogue of
+/// `gcc -finstrument-functions --include=profiler.h src.c -lprofiler`.
+///
+/// # Errors
+/// Returns [`McError`] on lexical, syntax or type errors.
+///
+/// ```
+/// let p = teeperf_compiler::compile_instrumented(
+///     "fn main() -> int { return 0; }", &Default::default()).unwrap();
+/// assert!(p.functions[0].code.iter().any(|i| i.is_hook()));
+/// ```
+pub fn compile_instrumented(
+    source: &str,
+    options: &InstrumentOptions,
+) -> Result<CompiledProgram, McError> {
+    let mut program = mcvm::compile(source)?;
+    instrument(&mut program, options);
+    Ok(program)
+}

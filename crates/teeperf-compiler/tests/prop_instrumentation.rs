@@ -1,0 +1,192 @@
+//! Property test: the instrumentation pass preserves program semantics on
+//! *arbitrary* programs, not just the hand-written ones.
+//!
+//! A generator builds random well-typed Mini-C programs (call DAG, bounded
+//! loops, nested conditionals, integer arithmetic) and we check, for every
+//! generated program:
+//!
+//! 1. the instrumented binary computes exactly the plain binary's result;
+//! 2. the recorded log is balanced (every call has its return) and clean;
+//! 3. the analyzer's call counts equal the log's call events;
+//! 4. repeated profiled runs are bit-identical.
+
+use proptest::prelude::*;
+
+use mcvm::RunConfig;
+use tee_sim::CostModel;
+use teeperf_analyzer::Analyzer;
+use teeperf_compiler::{
+    compile_instrumented, profile_program, run_native, InstrumentOptions,
+};
+use teeperf_core::RecorderConfig;
+
+/// A recipe for one random function body.
+#[derive(Debug, Clone)]
+struct FnRecipe {
+    /// Number of `int` parameters (0..=2).
+    params: usize,
+    /// Bounded loop trip count (0..=6).
+    loop_n: u8,
+    /// Small constants woven into the arithmetic.
+    c1: i8,
+    c2: i8,
+    /// Which earlier functions to call (by relative index), if any.
+    callees: Vec<u8>,
+    /// Whether to include an if/else on the first parameter.
+    branchy: bool,
+    /// Whether the function is marked @no_instrument.
+    no_instrument: bool,
+}
+
+fn arb_recipe() -> impl Strategy<Value = FnRecipe> {
+    (
+        0usize..=2,
+        0u8..=6,
+        any::<i8>(),
+        any::<i8>(),
+        proptest::collection::vec(any::<u8>(), 0..3),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(params, loop_n, c1, c2, callees, branchy, no_instrument)| FnRecipe {
+            params,
+            loop_n,
+            c1,
+            c2,
+            callees,
+            branchy,
+            no_instrument,
+        })
+}
+
+/// Render a recipe list into a Mini-C program. Function `i` may only call
+/// functions `j < i`, so the call graph is a DAG and termination is
+/// guaranteed; all arithmetic is wrapping-safe (+, -, *, &, ^ on small
+/// values).
+fn render(recipes: &[FnRecipe]) -> String {
+    let mut src = String::new();
+    for (i, r) in recipes.iter().enumerate() {
+        if r.no_instrument {
+            src.push_str("@no_instrument\n");
+        }
+        let params: Vec<String> = (0..r.params).map(|p| format!("p{p}: int")).collect();
+        src.push_str(&format!("fn f{i}({}) -> int {{\n", params.join(", ")));
+        src.push_str(&format!("    let acc: int = {};\n", r.c1));
+        if r.branchy && r.params > 0 {
+            src.push_str(&format!(
+                "    if (p0 % 2 == 0) {{ acc = acc + {}; }} else {{ acc = acc - p0; }}\n",
+                r.c2
+            ));
+        }
+        src.push_str(&format!(
+            "    for (let k: int = 0; k < {}; k = k + 1) {{\n",
+            r.loop_n
+        ));
+        src.push_str(&format!("        acc = (acc * 3 + k) ^ {};\n", r.c2));
+        // Calls to earlier functions, with arguments derived from state.
+        for (ci, callee_pick) in r.callees.iter().enumerate() {
+            if i == 0 {
+                break;
+            }
+            let j = (*callee_pick as usize) % i;
+            let arity = recipes[j].params;
+            let args: Vec<String> = (0..arity)
+                .map(|a| format!("(acc + {a} + {ci}) & 63"))
+                .collect();
+            src.push_str(&format!(
+                "        acc = acc + f{j}({}) % 1000;\n",
+                args.join(", ")
+            ));
+        }
+        src.push_str("    }\n");
+        let param_sum = (0..r.params)
+            .map(|p| format!(" + p{p}"))
+            .collect::<String>();
+        src.push_str(&format!("    return (acc{param_sum}) & 0xffff;\n}}\n"));
+    }
+    // main calls the last function with small constants.
+    let last = recipes.len() - 1;
+    let args: Vec<String> = (0..recipes[last].params)
+        .map(|p| format!("{}", p + 1))
+        .collect();
+    src.push_str(&format!(
+        "fn main() -> int {{ return f{last}({}) & 0xffff; }}\n",
+        args.join(", ")
+    ));
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn instrumentation_preserves_semantics(recipes in proptest::collection::vec(arb_recipe(), 1..6)) {
+        let src = render(&recipes);
+
+        let plain = mcvm::compile(&src)
+            .unwrap_or_else(|e| panic!("generated program must compile: {e}\n{src}"));
+        let native = run_native(plain, CostModel::sgx_v1(), RunConfig::default(), |_| Ok(()))
+            .unwrap_or_else(|e| panic!("plain run failed: {e}\n{src}"));
+
+        let instrumented = compile_instrumented(&src, &InstrumentOptions::default())
+            .expect("instrumented compile");
+        let profiled = profile_program(
+            instrumented,
+            CostModel::sgx_v1(),
+            RunConfig::default(),
+            &RecorderConfig { max_entries: 1 << 22, ..RecorderConfig::default() },
+            |_| Ok(()),
+        )
+        .unwrap_or_else(|e| panic!("profiled run failed: {e}\n{src}"));
+
+        // 1. Identical results.
+        prop_assert_eq!(native.exit_code, profiled.exit_code, "program:\n{}", src);
+
+        // 2. Balanced, clean log.
+        let calls = profiled.log.entries.iter().filter(|e| e.kind.is_call()).count();
+        let rets = profiled.log.entries.len() - calls;
+        prop_assert_eq!(calls, rets, "unbalanced log for:\n{}", src);
+        prop_assert_eq!(profiled.log.header.dropped_entries(), 0);
+
+        // 3. Analyzer agrees with the raw log.
+        let analyzer = Analyzer::new(profiled.log.clone(), profiled.debug.clone())
+            .expect("valid log");
+        let profile = analyzer.profile();
+        prop_assert_eq!(profile.anomalies.orphan_returns, 0);
+        prop_assert_eq!(profile.anomalies.truncated_frames, 0);
+        let counted: u64 = profile.methods.iter().map(|m| m.calls).sum();
+        prop_assert_eq!(counted as usize, calls);
+
+        // no_instrument functions never appear in the profile.
+        for (i, r) in recipes.iter().enumerate() {
+            if r.no_instrument {
+                prop_assert!(
+                    profile.method(&format!("f{i}")).is_none(),
+                    "f{} is @no_instrument but was profiled:\n{}", i, src
+                );
+            }
+        }
+
+        // 4. Bit-identical on re-run.
+        let again = profile_program(
+            compile_instrumented(&src, &InstrumentOptions::default()).expect("recompile"),
+            CostModel::sgx_v1(),
+            RunConfig::default(),
+            &RecorderConfig { max_entries: 1 << 22, ..RecorderConfig::default() },
+            |_| Ok(()),
+        )
+        .expect("second profiled run");
+        prop_assert_eq!(again.log, profiled.log);
+    }
+
+    #[test]
+    fn object_file_round_trip_on_random_programs(recipes in proptest::collection::vec(arb_recipe(), 1..5)) {
+        let src = render(&recipes);
+        let program = compile_instrumented(&src, &InstrumentOptions::default())
+            .expect("compiles");
+        let bytes = mcvm::objfile::to_bytes(&program);
+        let loaded = mcvm::objfile::from_bytes(&bytes)
+            .unwrap_or_else(|e| panic!("round trip failed: {e}\n{src}"));
+        prop_assert_eq!(&loaded, &program);
+    }
+}

@@ -1,0 +1,292 @@
+//! Native-Rust profiling API for workloads written in Rust.
+//!
+//! The paper profiles C/C++ applications by recompiling them; our RocksDB
+//! and SPDK substrates are Rust crates, so they cannot pass through the
+//! Mini-C instrumentation pass. This module plays the role of "compile with
+//! `--include profiler.h` and link `-lprofiler`": a [`Profiler`] registers
+//! function names, assigns them virtual addresses **identical to the
+//! scheme the Mini-C debug info uses**, and routes enter/exit events
+//! through the very same [`TeePerfHooks`] hot path — so the analyzer and
+//! flame-graph stages downstream cannot tell the difference.
+
+use std::collections::HashMap;
+
+use mcvm::debuginfo::DebugInfo;
+use tee_sim::Machine;
+
+use crate::hooks::TeePerfHooks;
+use crate::layout::EventKind;
+
+/// Identifier of a registered function: its virtual entry address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FunctionId(u64);
+
+impl FunctionId {
+    /// The function's virtual entry address.
+    pub fn addr(self) -> u64 {
+        self.0
+    }
+}
+
+/// Virtual address of the `i`-th registered native function. Matches
+/// [`DebugInfo::from_functions`] with one-instruction functions, so
+/// [`Profiler::debug_info`] reproduces exactly these addresses.
+fn native_addr(index: usize) -> u64 {
+    tee_sim::ENCLAVE_TEXT_BASE + (index as u64) * 64
+}
+
+/// A method-level profiler for native Rust workloads.
+pub struct Profiler {
+    hooks: TeePerfHooks,
+    names: Vec<String>,
+    ids: HashMap<String, FunctionId>,
+}
+
+impl std::fmt::Debug for Profiler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Profiler")
+            .field("functions", &self.names.len())
+            .field("hooks", &self.hooks)
+            .finish()
+    }
+}
+
+impl Profiler {
+    /// Wrap recording hooks into a name-registering profiler.
+    pub fn new(hooks: TeePerfHooks) -> Profiler {
+        Profiler {
+            hooks,
+            names: Vec::new(),
+            ids: HashMap::new(),
+        }
+    }
+
+    /// Register (or look up) a function by name and get its id.
+    pub fn register(&mut self, name: &str) -> FunctionId {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = FunctionId(native_addr(self.names.len()));
+        self.names.push(name.to_string());
+        self.ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// Record a function entry.
+    pub fn enter(&mut self, machine: &mut Machine, id: FunctionId, tid: u64) {
+        self.hooks.record(machine, EventKind::Call, id.addr(), tid);
+    }
+
+    /// Record a function exit.
+    pub fn exit(&mut self, machine: &mut Machine, id: FunctionId, tid: u64) {
+        self.hooks.record(machine, EventKind::Return, id.addr(), tid);
+    }
+
+    /// Profile a scope: records entry, runs `body`, records exit.
+    ///
+    /// The body receives the profiler and machine back, so nested profiled
+    /// scopes compose:
+    ///
+    /// ```
+    /// use teeperf_core::{Profiler, Recorder, RecorderConfig};
+    /// use tee_sim::{CostModel, Machine};
+    ///
+    /// let recorder = Recorder::new(&RecorderConfig::default());
+    /// let mut machine = Machine::new(CostModel::native());
+    /// recorder.attach(&mut machine);
+    /// let mut profiler = Profiler::new(recorder.sim_hooks(machine.clock().clone()));
+    /// let outer = profiler.register("outer");
+    /// let inner = profiler.register("inner");
+    /// let result = profiler.profile(&mut machine, outer, 0, |p, m| {
+    ///     p.profile(m, inner, 0, |_, m| { m.compute(100); 7 })
+    /// });
+    /// assert_eq!(result, 7);
+    /// assert_eq!(recorder.finish().entries.len(), 4);
+    /// ```
+    pub fn profile<R>(
+        &mut self,
+        machine: &mut Machine,
+        id: FunctionId,
+        tid: u64,
+        body: impl FnOnce(&mut Profiler, &mut Machine) -> R,
+    ) -> R {
+        self.enter(machine, id, tid);
+        let r = body(self, machine);
+        self.exit(machine, id, tid);
+        r
+    }
+
+    /// Synthesize debug info for the registered functions; addresses agree
+    /// with the ids handed out by [`Profiler::register`].
+    pub fn debug_info(&self) -> DebugInfo {
+        DebugInfo::from_functions(self.names.iter().map(|n| (n.as_str(), 1, 0)))
+    }
+
+    /// The underlying hooks (e.g. to inspect recording statistics).
+    pub fn hooks(&self) -> &TeePerfHooks {
+        &self.hooks
+    }
+}
+
+/// A cheaply clonable, optional probe over a shared [`Profiler`] — the
+/// native-Rust stand-in for compiling a workload with
+/// `-finstrument-functions`. Substrate crates wrap their method bodies in
+/// [`Probe::scope`]; a disabled probe costs nothing.
+#[derive(Clone, Default)]
+pub struct Probe {
+    profiler: Option<std::rc::Rc<std::cell::RefCell<Profiler>>>,
+    tid: u64,
+}
+
+impl std::fmt::Debug for Probe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Probe")
+            .field("enabled", &self.profiler.is_some())
+            .field("tid", &self.tid)
+            .finish()
+    }
+}
+
+impl Probe {
+    /// A disabled probe: all scopes are free.
+    pub fn disabled() -> Probe {
+        Probe::default()
+    }
+
+    /// A probe feeding the given shared profiler, attributed to `tid`.
+    pub fn new(profiler: std::rc::Rc<std::cell::RefCell<Profiler>>, tid: u64) -> Probe {
+        Probe {
+            profiler: Some(profiler),
+            tid,
+        }
+    }
+
+    /// The same profiler viewed as a different thread.
+    pub fn for_thread(&self, tid: u64) -> Probe {
+        Probe {
+            profiler: self.profiler.clone(),
+            tid,
+        }
+    }
+
+    /// Whether profiling is live.
+    pub fn enabled(&self) -> bool {
+        self.profiler.is_some()
+    }
+
+    /// The underlying shared profiler, if any.
+    pub fn profiler(&self) -> Option<&std::rc::Rc<std::cell::RefCell<Profiler>>> {
+        self.profiler.as_ref()
+    }
+
+    /// Record a function-entry event for `name`.
+    pub fn enter(&self, machine: &mut Machine, name: &str) {
+        if let Some(p) = &self.profiler {
+            let mut p = p.borrow_mut();
+            let id = p.register(name);
+            p.enter(machine, id, self.tid);
+        }
+    }
+
+    /// Record a function-exit event for `name`.
+    pub fn exit(&self, machine: &mut Machine, name: &str) {
+        if let Some(p) = &self.profiler {
+            let mut p = p.borrow_mut();
+            let id = p.register(name);
+            p.exit(machine, id, self.tid);
+        }
+    }
+
+    /// Run `body` inside an enter/exit pair for `name`.
+    pub fn scope<R>(
+        &self,
+        machine: &mut Machine,
+        name: &str,
+        body: impl FnOnce(&mut Machine) -> R,
+    ) -> R {
+        self.enter(machine, name);
+        let r = body(machine);
+        self.exit(machine, name);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{Recorder, RecorderConfig};
+    use tee_sim::CostModel;
+
+    fn setup() -> (Recorder, Machine, Profiler) {
+        let r = Recorder::new(&RecorderConfig {
+            max_entries: 64,
+            ..RecorderConfig::default()
+        });
+        let mut machine = Machine::new(CostModel::sgx_v1());
+        r.attach(&mut machine);
+        machine.ecall();
+        let p = Profiler::new(r.sim_hooks(machine.clock().clone()));
+        (r, machine, p)
+    }
+
+    #[test]
+    fn register_is_idempotent_and_ordered() {
+        let (_r, _m, mut p) = setup();
+        let a = p.register("alpha");
+        let b = p.register("beta");
+        assert_ne!(a, b);
+        assert_eq!(p.register("alpha"), a);
+        assert_eq!(a.addr(), tee_sim::ENCLAVE_TEXT_BASE);
+        assert_eq!(b.addr(), tee_sim::ENCLAVE_TEXT_BASE + 64);
+    }
+
+    #[test]
+    fn ids_agree_with_generated_debug_info() {
+        let (_r, _m, mut p) = setup();
+        let ids = ["f", "g", "h"].map(|n| p.register(n));
+        let debug = p.debug_info();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(debug.entry_addr(i as u16), id.addr());
+            assert_eq!(debug.function_at(id.addr()).unwrap().name, ["f", "g", "h"][i]);
+        }
+    }
+
+    #[test]
+    fn profile_scope_emits_balanced_events() {
+        let (r, mut m, mut p) = setup();
+        let f = p.register("work");
+        let out = p.profile(&mut m, f, 3, |_, m| {
+            m.compute(500);
+            "done"
+        });
+        assert_eq!(out, "done");
+        let log = r.finish();
+        assert_eq!(log.entries.len(), 2);
+        assert!(log.entries[0].kind.is_call());
+        assert!(!log.entries[1].kind.is_call());
+        assert_eq!(log.entries[0].addr, f.addr());
+        assert_eq!(log.entries[0].tid, 3);
+        assert!(log.entries[1].counter - log.entries[0].counter >= 500 / 4);
+    }
+
+    #[test]
+    fn nested_scopes_preserve_ordering() {
+        let (r, mut m, mut p) = setup();
+        let outer = p.register("outer");
+        let inner = p.register("inner");
+        p.profile(&mut m, outer, 0, |p, m| {
+            p.profile(m, inner, 0, |_, m| m.compute(10));
+        });
+        let log = r.finish();
+        let seq: Vec<(bool, u64)> = log.entries.iter().map(|e| (e.kind.is_call(), e.addr)).collect();
+        assert_eq!(
+            seq,
+            vec![
+                (true, outer.addr()),
+                (true, inner.addr()),
+                (false, inner.addr()),
+                (false, outer.addr()),
+            ]
+        );
+    }
+}

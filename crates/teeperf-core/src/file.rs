@@ -1,0 +1,265 @@
+//! The persistent log file the recorder writes after measurement and the
+//! analyzer reads offline.
+//!
+//! A simple, versioned little-endian binary format:
+//!
+//! ```text
+//! magic   8 bytes  "TPERFLG1"
+//! header  6 words  control, pid, size, tail, anchor, shm_addr
+//! count   1 word   number of entries that follow
+//! entries count × 3 words
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::layout::{LogEntry, LogHeader};
+
+const MAGIC: &[u8; 8] = b"TPERFLG1";
+
+/// Errors reading or writing a log file.
+#[derive(Debug)]
+pub enum LogFileError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// The bytes are not a valid log file.
+    Malformed(String),
+}
+
+impl fmt::Display for LogFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogFileError::Io(e) => write!(f, "log file i/o error: {e}"),
+            LogFileError::Malformed(msg) => write!(f, "malformed log file: {msg}"),
+        }
+    }
+}
+
+impl Error for LogFileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LogFileError::Io(e) => Some(e),
+            LogFileError::Malformed(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for LogFileError {
+    fn from(e: std::io::Error) -> Self {
+        LogFileError::Io(e)
+    }
+}
+
+/// A drained, persistent profiling log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogFile {
+    /// The header as of drain time.
+    pub header: LogHeader,
+    /// The recorded entries in reservation order.
+    pub entries: Vec<LogEntry>,
+}
+
+impl LogFile {
+    /// Bundle a header and entries into a log file.
+    pub fn new(header: LogHeader, entries: Vec<LogEntry>) -> LogFile {
+        LogFile { header, entries }
+    }
+
+    /// Serialize to the on-disk byte format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 7 * 8 + self.entries.len() * 24);
+        out.extend_from_slice(MAGIC);
+        let h = &self.header;
+        for w in [
+            h.pack_control(),
+            h.pid,
+            h.size,
+            h.tail,
+            h.anchor,
+            h.shm_addr,
+            self.entries.len() as u64,
+        ] {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        for e in &self.entries {
+            for w in e.pack() {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parse the on-disk byte format.
+    ///
+    /// # Errors
+    /// Returns [`LogFileError::Malformed`] on a bad magic, truncation, or an
+    /// implausible entry count.
+    pub fn from_bytes(bytes: &[u8]) -> Result<LogFile, LogFileError> {
+        let word = |i: usize| -> Result<u64, LogFileError> {
+            let start = 8 + i * 8;
+            let chunk: [u8; 8] = bytes
+                .get(start..start + 8)
+                .ok_or_else(|| LogFileError::Malformed("truncated header".into()))?
+                .try_into()
+                .expect("slice of length 8");
+            Ok(u64::from_le_bytes(chunk))
+        };
+        if bytes.len() < 8 || &bytes[..8] != MAGIC {
+            return Err(LogFileError::Malformed("bad magic".into()));
+        }
+        let control = word(0)?;
+        let (active, trace_calls, trace_returns, multithread, version) =
+            LogHeader::unpack_control(control);
+        let header = LogHeader {
+            active,
+            trace_calls,
+            trace_returns,
+            multithread,
+            version,
+            pid: word(1)?,
+            size: word(2)?,
+            tail: word(3)?,
+            anchor: word(4)?,
+            shm_addr: word(5)?,
+        };
+        let count = word(6)? as usize;
+        let body = &bytes[8 + 7 * 8..];
+        if body.len() != count * 24 {
+            return Err(LogFileError::Malformed(format!(
+                "expected {count} entries ({} bytes), found {} bytes",
+                count * 24,
+                body.len()
+            )));
+        }
+        let entries = body
+            .chunks_exact(24)
+            .map(|c| {
+                let w = |i: usize| {
+                    u64::from_le_bytes(c[i * 8..(i + 1) * 8].try_into().expect("8 bytes"))
+                };
+                LogEntry::unpack([w(0), w(1), w(2)])
+            })
+            .collect();
+        Ok(LogFile { header, entries })
+    }
+
+    /// Write the log to a file.
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), LogFileError> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(&self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Read a log from a file.
+    ///
+    /// # Errors
+    /// Propagates I/O failures and format errors.
+    pub fn load(path: impl AsRef<Path>) -> Result<LogFile, LogFileError> {
+        let mut bytes = Vec::new();
+        std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+        LogFile::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{EventKind, LOG_VERSION};
+    use proptest::prelude::*;
+
+    fn sample() -> LogFile {
+        LogFile::new(
+            LogHeader {
+                active: false,
+                trace_calls: true,
+                trace_returns: true,
+                multithread: true,
+                version: LOG_VERSION,
+                pid: 42,
+                size: 100,
+                tail: 2,
+                anchor: 0x40_0000,
+                shm_addr: tee_sim::SHM_BASE,
+            },
+            vec![
+                LogEntry {
+                    kind: EventKind::Call,
+                    counter: 10,
+                    addr: 0x40_0000,
+                    tid: 0,
+                },
+                LogEntry {
+                    kind: EventKind::Return,
+                    counter: 20,
+                    addr: 0x40_0000,
+                    tid: 0,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let f = sample();
+        assert_eq!(LogFile::from_bytes(&f.to_bytes()).unwrap(), f);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("teeperf-file-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.bin");
+        let f = sample();
+        f.save(&path).unwrap();
+        assert_eq!(LogFile::load(&path).unwrap(), f);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        let f = sample();
+        let mut b = f.to_bytes();
+        b[0] = b'X';
+        assert!(matches!(
+            LogFile::from_bytes(&b),
+            Err(LogFileError::Malformed(_))
+        ));
+        let b = f.to_bytes();
+        assert!(LogFile::from_bytes(&b[..b.len() - 1]).is_err());
+        assert!(LogFile::from_bytes(&b[..20]).is_err());
+        assert!(LogFile::from_bytes(b"").is_err());
+    }
+
+    #[test]
+    fn count_mismatch_detected() {
+        let f = sample();
+        let mut b = f.to_bytes();
+        // Claim three entries while only two follow.
+        let off = 8 + 6 * 8;
+        b[off..off + 8].copy_from_slice(&3u64.to_le_bytes());
+        assert!(LogFile::from_bytes(&b).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(
+            pid: u64, size: u64, tail: u64, anchor: u64,
+            raw_entries in proptest::collection::vec((any::<bool>(), 0u64..(1<<62), any::<u64>(), any::<u64>()), 0..64),
+        ) {
+            let entries: Vec<LogEntry> = raw_entries.iter().map(|(c, counter, addr, tid)| LogEntry {
+                kind: if *c { EventKind::Call } else { EventKind::Return },
+                counter: *counter, addr: *addr, tid: *tid,
+            }).collect();
+            let f = LogFile::new(LogHeader {
+                active: true, trace_calls: false, trace_returns: true, multithread: false,
+                version: LOG_VERSION, pid, size, tail, anchor, shm_addr: 0,
+            }, entries);
+            prop_assert_eq!(LogFile::from_bytes(&f.to_bytes()).unwrap(), f);
+        }
+    }
+}

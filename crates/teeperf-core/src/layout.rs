@@ -1,0 +1,314 @@
+//! The shared-memory log format of TEE-Perf (paper Figure 2).
+//!
+//! ## Header (64 bytes, eight 64-bit words)
+//!
+//! | word | offset | contents |
+//! |------|--------|----------|
+//! | 0 | 0  | control: bits 0–15 flags (bit 0 = active, bit 1 = trace calls, bit 2 = trace returns), bit 16 = multithread, bits 17–31 = version |
+//! | 1 | 8  | process id |
+//! | 2 | 16 | log size (maximum number of entries) |
+//! | 3 | 24 | tail: index of the next entry to write (fetch-and-add) |
+//! | 4 | 32 | address of the profiler anchor function (relocation offset) |
+//! | 5 | 40 | shared-memory mapping address inside the enclave |
+//! | 6 | 48 | the software counter word (incremented by the host thread) |
+//! | 7 | 56 | reserved |
+//!
+//! The control word is the only mutable-while-running word besides the tail
+//! and the counter; it is read and written atomically so tracing can be
+//! toggled mid-run without a critical section (§II-B). The version is
+//! written once and never changes.
+//!
+//! ## Entry (24 bytes, three words)
+//!
+//! | word | contents |
+//! |------|----------|
+//! | 0 | bit 63 = call(1)/return(0), bits 0–62 = counter value |
+//! | 1 | call/return target instruction address |
+//! | 2 | thread id |
+
+/// Current version of the log structure.
+pub const LOG_VERSION: u16 = 1;
+
+/// Header size in bytes.
+pub const HEADER_BYTES: u64 = 64;
+/// Entry size in bytes.
+pub const ENTRY_BYTES: u64 = 24;
+
+/// Byte offset of the control word.
+pub const OFF_CONTROL: u64 = 0;
+/// Byte offset of the process-id word.
+pub const OFF_PID: u64 = 8;
+/// Byte offset of the log-size word.
+pub const OFF_SIZE: u64 = 16;
+/// Byte offset of the tail-index word.
+pub const OFF_TAIL: u64 = 24;
+/// Byte offset of the profiler-anchor word.
+pub const OFF_ANCHOR: u64 = 32;
+/// Byte offset of the shared-memory address word.
+pub const OFF_SHM_ADDR: u64 = 40;
+/// Byte offset of the software-counter word.
+pub const OFF_COUNTER: u64 = 48;
+
+/// Control-word bit: measurement is active.
+pub const FLAG_ACTIVE: u64 = 1 << 0;
+/// Control-word bit: record call events.
+pub const FLAG_TRACE_CALLS: u64 = 1 << 1;
+/// Control-word bit: record return events.
+pub const FLAG_TRACE_RETURNS: u64 = 1 << 2;
+/// Control-word bit: log contains entries from multiple threads.
+pub const FLAG_MULTITHREAD: u64 = 1 << 16;
+const VERSION_SHIFT: u32 = 17;
+const VERSION_MASK: u64 = 0x7fff;
+
+/// Entry word 0: the call/return discriminator bit.
+pub const ENTRY_KIND_BIT: u64 = 1 << 63;
+/// Entry word 0: mask of the counter-value bits.
+pub const ENTRY_COUNTER_MASK: u64 = ENTRY_KIND_BIT - 1;
+
+/// Whether a log entry records a call (function entry) or a return.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A function was entered.
+    Call,
+    /// A function returned.
+    Return,
+}
+
+impl EventKind {
+    /// `true` for [`EventKind::Call`].
+    pub fn is_call(self) -> bool {
+        self == EventKind::Call
+    }
+}
+
+/// A decoded log header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogHeader {
+    /// Measurement active bit.
+    pub active: bool,
+    /// Record call events.
+    pub trace_calls: bool,
+    /// Record return events.
+    pub trace_returns: bool,
+    /// Multithreaded-log bit.
+    pub multithread: bool,
+    /// Log structure version.
+    pub version: u16,
+    /// Process id of the profiled application.
+    pub pid: u64,
+    /// Maximum number of entries.
+    pub size: u64,
+    /// Next-write index (may exceed `size` if entries were dropped).
+    pub tail: u64,
+    /// Address of the profiler anchor function.
+    pub anchor: u64,
+    /// Shared-memory mapping address inside the enclave.
+    pub shm_addr: u64,
+}
+
+impl LogHeader {
+    /// Pack the control fields into the control word.
+    pub fn pack_control(&self) -> u64 {
+        let mut w = 0u64;
+        if self.active {
+            w |= FLAG_ACTIVE;
+        }
+        if self.trace_calls {
+            w |= FLAG_TRACE_CALLS;
+        }
+        if self.trace_returns {
+            w |= FLAG_TRACE_RETURNS;
+        }
+        if self.multithread {
+            w |= FLAG_MULTITHREAD;
+        }
+        w |= (u64::from(self.version) & VERSION_MASK) << VERSION_SHIFT;
+        w
+    }
+
+    /// Decode the control word into flag fields (pid/size/tail/anchor/
+    /// shm_addr are separate words and must be filled by the caller).
+    pub fn unpack_control(word: u64) -> (bool, bool, bool, bool, u16) {
+        (
+            word & FLAG_ACTIVE != 0,
+            word & FLAG_TRACE_CALLS != 0,
+            word & FLAG_TRACE_RETURNS != 0,
+            word & FLAG_MULTITHREAD != 0,
+            ((word >> VERSION_SHIFT) & VERSION_MASK) as u16,
+        )
+    }
+
+    /// Number of entries actually present given the size bound.
+    pub fn stored_entries(&self) -> u64 {
+        self.tail.min(self.size)
+    }
+
+    /// Entries lost because the log filled up.
+    pub fn dropped_entries(&self) -> u64 {
+        self.tail.saturating_sub(self.size)
+    }
+}
+
+/// A decoded log entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LogEntry {
+    /// Call or return.
+    pub kind: EventKind,
+    /// Software-counter value at the event (63 bits).
+    pub counter: u64,
+    /// Call/return target instruction address.
+    pub addr: u64,
+    /// Id of the thread that executed the call/return.
+    pub tid: u64,
+}
+
+impl LogEntry {
+    /// Pack into the three words of the on-log representation.
+    pub fn pack(&self) -> [u64; 3] {
+        let mut w0 = self.counter & ENTRY_COUNTER_MASK;
+        if self.kind == EventKind::Call {
+            w0 |= ENTRY_KIND_BIT;
+        }
+        [w0, self.addr, self.tid]
+    }
+
+    /// Decode from the three on-log words.
+    pub fn unpack(words: [u64; 3]) -> LogEntry {
+        LogEntry {
+            kind: if words[0] & ENTRY_KIND_BIT != 0 {
+                EventKind::Call
+            } else {
+                EventKind::Return
+            },
+            counter: words[0] & ENTRY_COUNTER_MASK,
+            addr: words[1],
+            tid: words[2],
+        }
+    }
+
+    /// Byte offset of entry `index` within the shared region.
+    pub fn offset_of(index: u64) -> u64 {
+        HEADER_BYTES + index * ENTRY_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn entry_pack_unpack_basic() {
+        let e = LogEntry {
+            kind: EventKind::Call,
+            counter: 123_456,
+            addr: 0x40_0040,
+            tid: 3,
+        };
+        assert_eq!(LogEntry::unpack(e.pack()), e);
+        let r = LogEntry {
+            kind: EventKind::Return,
+            ..e
+        };
+        assert_eq!(LogEntry::unpack(r.pack()), r);
+        assert_ne!(e.pack()[0], r.pack()[0]);
+    }
+
+    #[test]
+    fn counter_top_bit_does_not_leak_into_kind() {
+        let e = LogEntry {
+            kind: EventKind::Return,
+            counter: u64::MAX, // will be masked to 63 bits
+            addr: 1,
+            tid: 0,
+        };
+        let d = LogEntry::unpack(e.pack());
+        assert_eq!(d.kind, EventKind::Return);
+        assert_eq!(d.counter, ENTRY_COUNTER_MASK);
+    }
+
+    #[test]
+    fn header_control_round_trip() {
+        let h = LogHeader {
+            active: true,
+            trace_calls: true,
+            trace_returns: false,
+            multithread: true,
+            version: 7,
+            pid: 0,
+            size: 0,
+            tail: 0,
+            anchor: 0,
+            shm_addr: 0,
+        };
+        let (a, c, r, m, v) = LogHeader::unpack_control(h.pack_control());
+        assert!(a && c && !r && m);
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn stored_and_dropped_entries() {
+        let mut h = LogHeader {
+            active: false,
+            trace_calls: true,
+            trace_returns: true,
+            multithread: false,
+            version: LOG_VERSION,
+            pid: 1,
+            size: 100,
+            tail: 42,
+            anchor: 0,
+            shm_addr: 0,
+        };
+        assert_eq!(h.stored_entries(), 42);
+        assert_eq!(h.dropped_entries(), 0);
+        h.tail = 130;
+        assert_eq!(h.stored_entries(), 100);
+        assert_eq!(h.dropped_entries(), 30);
+    }
+
+    #[test]
+    fn offsets_are_disjoint_words() {
+        let offs = [
+            OFF_CONTROL,
+            OFF_PID,
+            OFF_SIZE,
+            OFF_TAIL,
+            OFF_ANCHOR,
+            OFF_SHM_ADDR,
+            OFF_COUNTER,
+        ];
+        for (i, a) in offs.iter().enumerate() {
+            assert_eq!(a % 8, 0);
+            assert!(*a < HEADER_BYTES);
+            for b in &offs[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert_eq!(LogEntry::offset_of(0), HEADER_BYTES);
+        assert_eq!(LogEntry::offset_of(2), HEADER_BYTES + 2 * ENTRY_BYTES);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_entry_round_trips(counter in 0u64..=ENTRY_COUNTER_MASK, addr: u64, tid: u64, call: bool) {
+            let e = LogEntry {
+                kind: if call { EventKind::Call } else { EventKind::Return },
+                counter,
+                addr,
+                tid,
+            };
+            prop_assert_eq!(LogEntry::unpack(e.pack()), e);
+        }
+
+        #[test]
+        fn prop_control_round_trips(active: bool, calls: bool, rets: bool, multi: bool, version in 0u16..0x7fff) {
+            let h = LogHeader {
+                active, trace_calls: calls, trace_returns: rets, multithread: multi, version,
+                pid: 0, size: 0, tail: 0, anchor: 0, shm_addr: 0,
+            };
+            let (a, c, r, m, v) = LogHeader::unpack_control(h.pack_control());
+            prop_assert_eq!((a, c, r, m, v), (active, calls, rets, multi, version));
+        }
+    }
+}

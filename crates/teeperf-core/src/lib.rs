@@ -1,0 +1,57 @@
+//! # teeperf-core — the TEE-Perf runtime (stages 1½ and 2 of the paper)
+//!
+//! This crate is the reproduction of TEE-Perf's primary contribution: an
+//! architecture- and platform-independent method-level profiler runtime for
+//! trusted execution environments (Bailleu et al., DSN 2019).
+//!
+//! It contains, mapped 1:1 onto the paper's §II-B:
+//!
+//! * [`layout`] — the bit-packed **log format** of Figure 2: a header with
+//!   atomically mutable flags (active bit, call/return event mask,
+//!   multithread bit, version), process id, maximum size, an atomically
+//!   incremented tail index, the shared-memory mapping address and a
+//!   profiler anchor address for relocation; plus 24-byte log entries
+//!   packing a call/return bit with the counter value, the call/return
+//!   target address, and the thread id.
+//! * [`log`] — the **lock-free shared log**: writers reserve entries with a
+//!   single fetch-and-add on the tail, so no critical section ever
+//!   serializes the profiled threads (§II-C "Multithreading support").
+//! * [`counter`] — the **software counter**: a host thread incrementing a
+//!   word in shared memory in a tight loop ([`counter::SpinCounter`],
+//!   sacrificing a core, as in the paper), a deterministic simulated variant
+//!   driven by the virtual clock ([`counter::SimCounter`]) and a
+//!   TSC-style hardware counter ([`counter::TscCounter`]) for the
+//!   counter-source ablation.
+//! * [`hooks`] — the **injected code**: the
+//!   `__cyg_profile_func_enter`/`_exit` analogue that runs at every call
+//!   and return inside the enclave, reads the counter, reserves a log slot
+//!   and writes the entry — charging the simulated machine for every shared
+//!   memory access it performs, which is exactly the overhead Figure 4
+//!   measures.
+//! * [`recorder`] — the **recorder wrapper**: sets up the shared memory
+//!   region, initializes the log to a known state, runs the counter, and
+//!   drains the log to a persistent [`file::LogFile`] when measurement ends.
+//! * [`select`] — **selective code profiling** filters (§II-C).
+//! * [`api`] — a native-Rust profiling API used by the workload substrates
+//!   (LSM store, SPDK port) that are written in Rust rather than Mini-C;
+//!   it plays the role of linking `profiler.h` into a C++ code base.
+
+pub mod api;
+pub mod counter;
+pub mod file;
+pub mod hooks;
+pub mod layout;
+pub mod log;
+pub mod plog;
+pub mod recorder;
+pub mod select;
+
+pub use api::{FunctionId, Probe, Profiler};
+pub use counter::{CounterSource, SimCounter, SpinCounter, TscCounter};
+pub use file::LogFile;
+pub use hooks::TeePerfHooks;
+pub use layout::{EventKind, LogEntry, LogHeader, ENTRY_BYTES, HEADER_BYTES, LOG_VERSION};
+pub use log::SharedLog;
+pub use plog::{PartitionedHooks, PartitionedLog};
+pub use recorder::{Recorder, RecorderConfig};
+pub use select::SelectiveFilter;

@@ -1,0 +1,359 @@
+//! The lock-free shared-memory log.
+//!
+//! One [`SharedLog`] wraps an untrusted [`SharedMem`] region laid out per
+//! [`crate::layout`]. Writers (the injected code inside the enclave) reserve
+//! an entry with a single fetch-and-add on the tail word and then fill the
+//! three entry words; there is no lock anywhere on the hot path, so — as
+//! the paper argues — profiling never introduces a critical section that
+//! could distort the measured application's concurrency behaviour.
+//!
+//! All methods here perform the *data* movement; the *cycle cost* of the
+//! enclave-side accesses is charged by [`crate::hooks`], which knows it is
+//! running inside the simulated machine.
+
+use std::sync::Arc;
+
+use tee_sim::SharedMem;
+
+use crate::layout::{
+    EventKind, LogEntry, LogHeader, ENTRY_BYTES, FLAG_ACTIVE, FLAG_TRACE_CALLS,
+    FLAG_TRACE_RETURNS, HEADER_BYTES, LOG_VERSION, OFF_ANCHOR, OFF_CONTROL, OFF_COUNTER, OFF_PID,
+    OFF_SHM_ADDR, OFF_SIZE, OFF_TAIL,
+};
+
+/// A handle onto the shared log. Cheap to clone; clones alias the same
+/// underlying region (like two mappings of the same shared memory).
+#[derive(Debug, Clone)]
+pub struct SharedLog {
+    shm: Arc<SharedMem>,
+    size: u64,
+}
+
+/// Bytes of shared memory needed for a log of `max_entries`.
+pub fn region_bytes(max_entries: u64) -> u64 {
+    HEADER_BYTES + max_entries * ENTRY_BYTES
+}
+
+impl SharedLog {
+    /// Initialize a fresh log in `shm` (host side, before the application
+    /// starts — the paper's "initialize the shared memory to a known
+    /// state"). `shm_addr` is the address at which the region is mapped
+    /// inside the enclave and `anchor` the profiler anchor function address.
+    ///
+    /// # Panics
+    /// Panics if `shm` is too small for even one entry.
+    pub fn init(shm: Arc<SharedMem>, header: &LogHeader) -> SharedLog {
+        assert!(
+            shm.size() >= region_bytes(1),
+            "shared region too small for a log"
+        );
+        let max_entries = (shm.size() - HEADER_BYTES) / ENTRY_BYTES;
+        let size = header.size.min(max_entries);
+        shm.write_u64(OFF_CONTROL, header.pack_control()).expect("header in range");
+        shm.write_u64(OFF_PID, header.pid).expect("header in range");
+        shm.write_u64(OFF_SIZE, size).expect("header in range");
+        shm.write_u64(OFF_TAIL, 0).expect("header in range");
+        shm.write_u64(OFF_ANCHOR, header.anchor).expect("header in range");
+        shm.write_u64(OFF_SHM_ADDR, header.shm_addr).expect("header in range");
+        shm.write_u64(OFF_COUNTER, 0).expect("header in range");
+        SharedLog { shm, size }
+    }
+
+    /// Attach to an already initialized log (e.g. the enclave side mapping
+    /// the region the recorder prepared).
+    pub fn attach(shm: Arc<SharedMem>) -> SharedLog {
+        let size = shm.read_u64(OFF_SIZE).expect("header in range");
+        SharedLog { shm, size }
+    }
+
+    /// The underlying shared region.
+    pub fn shm(&self) -> &Arc<SharedMem> {
+        &self.shm
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> u64 {
+        self.size
+    }
+
+    /// Read and decode the current header.
+    pub fn header(&self) -> LogHeader {
+        let control = self.shm.read_u64(OFF_CONTROL).expect("header in range");
+        let (active, trace_calls, trace_returns, multithread, version) =
+            LogHeader::unpack_control(control);
+        LogHeader {
+            active,
+            trace_calls,
+            trace_returns,
+            multithread,
+            version,
+            pid: self.shm.read_u64(OFF_PID).expect("header in range"),
+            size: self.shm.read_u64(OFF_SIZE).expect("header in range"),
+            tail: self.shm.read_u64(OFF_TAIL).expect("header in range"),
+            anchor: self.shm.read_u64(OFF_ANCHOR).expect("header in range"),
+            shm_addr: self.shm.read_u64(OFF_SHM_ADDR).expect("header in range"),
+        }
+    }
+
+    /// Atomically read the control word (the hot-path "is tracing on" check).
+    pub fn control_word(&self) -> u64 {
+        self.shm.read_u64(OFF_CONTROL).expect("header in range")
+    }
+
+    /// Whether an event of `kind` should currently be recorded.
+    pub fn should_record(&self, kind: EventKind) -> bool {
+        let c = self.control_word();
+        c & FLAG_ACTIVE != 0
+            && match kind {
+                EventKind::Call => c & FLAG_TRACE_CALLS != 0,
+                EventKind::Return => c & FLAG_TRACE_RETURNS != 0,
+            }
+    }
+
+    /// Atomically flip the active bit (dynamic de-/activation, §II-B).
+    pub fn set_active(&self, active: bool) {
+        loop {
+            let cur = self.control_word();
+            let new = if active {
+                cur | FLAG_ACTIVE
+            } else {
+                cur & !FLAG_ACTIVE
+            };
+            if self
+                .shm
+                .compare_exchange_u64(OFF_CONTROL, cur, new)
+                .expect("header in range")
+                == cur
+            {
+                return;
+            }
+        }
+    }
+
+    /// Current value of the software-counter word.
+    pub fn counter_value(&self) -> u64 {
+        self.shm.read_u64(OFF_COUNTER).expect("header in range")
+    }
+
+    /// Host-side: store a new counter value (what the spin thread does).
+    pub fn store_counter(&self, v: u64) {
+        self.shm.write_u64(OFF_COUNTER, v).expect("header in range");
+    }
+
+    /// Reserve the next entry slot via fetch-and-add; returns the absolute
+    /// index, which may be `>= capacity()` when the log is full (the write
+    /// is then dropped but the tail keeps counting, so the analyzer can
+    /// report how many entries were lost).
+    pub fn reserve(&self) -> u64 {
+        self.shm.fetch_add_u64(OFF_TAIL, 1).expect("header in range")
+    }
+
+    /// Write `entry` into the reserved slot `index`. Returns `false` (and
+    /// writes nothing) if the slot is beyond capacity.
+    pub fn write_entry(&self, index: u64, entry: &LogEntry) -> bool {
+        if index >= self.size {
+            return false;
+        }
+        let off = LogEntry::offset_of(index);
+        let words = entry.pack();
+        for (i, w) in words.iter().enumerate() {
+            self.shm
+                .write_u64(off + (i as u64) * 8, *w)
+                .expect("entry in range");
+        }
+        true
+    }
+
+    /// Read back the entry at `index` (host side / tests).
+    ///
+    /// # Panics
+    /// Panics if `index >= capacity()`.
+    pub fn read_entry(&self, index: u64) -> LogEntry {
+        assert!(index < self.size, "entry index out of range");
+        let off = LogEntry::offset_of(index);
+        let words = self.shm.read_words(off, 3).expect("entry in range");
+        LogEntry::unpack([words[0], words[1], words[2]])
+    }
+
+    /// Snapshot all stored entries (host side, after measurement).
+    pub fn drain_entries(&self) -> Vec<LogEntry> {
+        let stored = self.header().stored_entries();
+        (0..stored).map(|i| self.read_entry(i)).collect()
+    }
+}
+
+/// Build a standard header for [`SharedLog::init`].
+pub fn make_header(pid: u64, max_entries: u64, multithread: bool, anchor: u64, shm_addr: u64) -> LogHeader {
+    LogHeader {
+        active: true,
+        trace_calls: true,
+        trace_returns: true,
+        multithread,
+        version: LOG_VERSION,
+        pid,
+        size: max_entries,
+        tail: 0,
+        anchor,
+        shm_addr,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fresh(max_entries: u64) -> SharedLog {
+        let shm = Arc::new(SharedMem::new(region_bytes(max_entries)));
+        SharedLog::init(
+            shm,
+            &make_header(77, max_entries, true, 0x40_0000, tee_sim::SHM_BASE),
+        )
+    }
+
+    #[test]
+    fn init_writes_known_state() {
+        let log = fresh(16);
+        let h = log.header();
+        assert!(h.active && h.trace_calls && h.trace_returns && h.multithread);
+        assert_eq!(h.version, LOG_VERSION);
+        assert_eq!(h.pid, 77);
+        assert_eq!(h.size, 16);
+        assert_eq!(h.tail, 0);
+        assert_eq!(h.anchor, 0x40_0000);
+        assert_eq!(h.shm_addr, tee_sim::SHM_BASE);
+        assert_eq!(log.counter_value(), 0);
+    }
+
+    #[test]
+    fn attach_sees_initialized_log() {
+        let shm = Arc::new(SharedMem::new(region_bytes(8)));
+        let host = SharedLog::init(Arc::clone(&shm), &make_header(1, 8, false, 0, 0));
+        let enclave = SharedLog::attach(shm);
+        assert_eq!(enclave.capacity(), 8);
+        host.store_counter(99);
+        assert_eq!(enclave.counter_value(), 99);
+    }
+
+    #[test]
+    fn reserve_and_write_round_trip() {
+        let log = fresh(4);
+        let e = LogEntry {
+            kind: EventKind::Call,
+            counter: 1000,
+            addr: 0x40_0040,
+            tid: 2,
+        };
+        let i = log.reserve();
+        assert_eq!(i, 0);
+        assert!(log.write_entry(i, &e));
+        assert_eq!(log.read_entry(0), e);
+        assert_eq!(log.header().tail, 1);
+    }
+
+    #[test]
+    fn full_log_drops_but_counts() {
+        let log = fresh(2);
+        let e = LogEntry {
+            kind: EventKind::Return,
+            counter: 5,
+            addr: 1,
+            tid: 0,
+        };
+        for _ in 0..5 {
+            let i = log.reserve();
+            log.write_entry(i, &e);
+        }
+        let h = log.header();
+        assert_eq!(h.tail, 5);
+        assert_eq!(h.stored_entries(), 2);
+        assert_eq!(h.dropped_entries(), 3);
+        assert_eq!(log.drain_entries().len(), 2);
+    }
+
+    #[test]
+    fn set_active_toggles_only_active_bit() {
+        let log = fresh(2);
+        assert!(log.should_record(EventKind::Call));
+        log.set_active(false);
+        assert!(!log.should_record(EventKind::Call));
+        assert!(!log.should_record(EventKind::Return));
+        let h = log.header();
+        assert!(h.trace_calls && h.trace_returns, "event mask must survive");
+        assert_eq!(h.version, LOG_VERSION, "version must survive");
+        log.set_active(true);
+        assert!(log.should_record(EventKind::Return));
+    }
+
+    #[test]
+    fn event_mask_respected() {
+        let shm = Arc::new(SharedMem::new(region_bytes(2)));
+        let mut h = make_header(1, 2, false, 0, 0);
+        h.trace_returns = false;
+        let log = SharedLog::init(shm, &h);
+        assert!(log.should_record(EventKind::Call));
+        assert!(!log.should_record(EventKind::Return));
+    }
+
+    #[test]
+    fn concurrent_reservation_is_duplicate_free() {
+        let log = fresh(4_000);
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let log = log.clone();
+            handles.push(std::thread::spawn(move || {
+                for k in 0..1_000u64 {
+                    let i = log.reserve();
+                    log.write_entry(
+                        i,
+                        &LogEntry {
+                            kind: EventKind::Call,
+                            counter: k,
+                            addr: t * 10_000 + k,
+                            tid: t,
+                        },
+                    );
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let entries = log.drain_entries();
+        assert_eq!(entries.len(), 4_000);
+        // Every (tid, addr) pair must appear exactly once: no slot was
+        // written twice and none lost.
+        let mut seen: Vec<u64> = entries.iter().map(|e| e.addr).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 4_000);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_entries_survive_storage(entries in proptest::collection::vec(
+            (any::<bool>(), 0u64..(1<<62), any::<u64>(), 0u64..64), 1..50)
+        ) {
+            let log = fresh(64);
+            for (i, (call, counter, addr, tid)) in entries.iter().enumerate() {
+                let e = LogEntry {
+                    kind: if *call { EventKind::Call } else { EventKind::Return },
+                    counter: *counter,
+                    addr: *addr,
+                    tid: *tid,
+                };
+                let slot = log.reserve();
+                prop_assert_eq!(slot, i as u64);
+                log.write_entry(slot, &e);
+            }
+            let drained = log.drain_entries();
+            prop_assert_eq!(drained.len(), entries.len());
+            for (d, (call, counter, addr, tid)) in drained.iter().zip(&entries) {
+                prop_assert_eq!(d.kind.is_call(), *call);
+                prop_assert_eq!(d.counter, *counter);
+                prop_assert_eq!(d.addr, *addr);
+                prop_assert_eq!(d.tid, *tid);
+            }
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Selective code profiling (paper §II-C).
+//!
+//! By restricting which functions the hooks record, the developer reduces
+//! both the log size and the probe overhead. The filter operates on
+//! call/return target addresses, so it costs one hash lookup on the hot
+//! path and nothing when absent.
+
+use std::collections::HashSet;
+
+use mcvm::DebugInfo;
+
+/// Whether the address set is a whitelist or a blacklist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FilterMode {
+    Include,
+    Exclude,
+}
+
+/// A selective-profiling filter over function entry addresses.
+#[derive(Debug, Clone)]
+pub struct SelectiveFilter {
+    mode: FilterMode,
+    addrs: HashSet<u64>,
+}
+
+impl SelectiveFilter {
+    /// Record only events whose target is in `addrs`.
+    pub fn include<I: IntoIterator<Item = u64>>(addrs: I) -> SelectiveFilter {
+        SelectiveFilter {
+            mode: FilterMode::Include,
+            addrs: addrs.into_iter().collect(),
+        }
+    }
+
+    /// Record everything except events whose target is in `addrs` — the
+    /// `no_instrument`-at-runtime variant.
+    pub fn exclude<I: IntoIterator<Item = u64>>(addrs: I) -> SelectiveFilter {
+        SelectiveFilter {
+            mode: FilterMode::Exclude,
+            addrs: addrs.into_iter().collect(),
+        }
+    }
+
+    /// Build an include filter from function names, resolved against the
+    /// program's debug info. Unknown names are ignored.
+    pub fn include_names(debug: &DebugInfo, names: &[&str]) -> SelectiveFilter {
+        SelectiveFilter::include(
+            debug
+                .functions()
+                .iter()
+                .filter(|f| names.contains(&f.name.as_str()))
+                .map(|f| f.base_addr),
+        )
+    }
+
+    /// Build an exclude filter from function names.
+    pub fn exclude_names(debug: &DebugInfo, names: &[&str]) -> SelectiveFilter {
+        SelectiveFilter::exclude(
+            debug
+                .functions()
+                .iter()
+                .filter(|f| names.contains(&f.name.as_str()))
+                .map(|f| f.base_addr),
+        )
+    }
+
+    /// Whether an event targeting `addr` should be recorded.
+    pub fn allows(&self, addr: u64) -> bool {
+        match self.mode {
+            FilterMode::Include => self.addrs.contains(&addr),
+            FilterMode::Exclude => !self.addrs.contains(&addr),
+        }
+    }
+
+    /// Number of addresses in the filter set.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Whether the filter set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn include_allows_only_listed() {
+        let f = SelectiveFilter::include([10, 20]);
+        assert!(f.allows(10));
+        assert!(f.allows(20));
+        assert!(!f.allows(30));
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn exclude_allows_everything_else() {
+        let f = SelectiveFilter::exclude([10]);
+        assert!(!f.allows(10));
+        assert!(f.allows(11));
+    }
+
+    #[test]
+    fn name_resolution_against_debug_info() {
+        let debug = DebugInfo::from_functions([("main", 4, 1), ("hot", 4, 5), ("cold", 4, 9)]);
+        let f = SelectiveFilter::include_names(&debug, &["hot", "missing"]);
+        assert_eq!(f.len(), 1);
+        assert!(f.allows(debug.entry_addr(1)));
+        assert!(!f.allows(debug.entry_addr(0)));
+        let g = SelectiveFilter::exclude_names(&debug, &["cold"]);
+        assert!(g.allows(debug.entry_addr(0)));
+        assert!(!g.allows(debug.entry_addr(2)));
+    }
+
+    #[test]
+    fn empty_include_records_nothing() {
+        let f = SelectiveFilter::include([]);
+        assert!(f.is_empty());
+        assert!(!f.allows(1));
+    }
+}

@@ -1,0 +1,303 @@
+//! # teeperf-flamegraph — stage 4 of TEE-Perf: the visualizer
+//!
+//! The paper pipes the analyzer's output into Brendan Gregg's Flame Graphs
+//! ("implemented with as little as 15 LoC" thanks to the folded-stack
+//! format). This crate is a self-contained flame-graph engine:
+//!
+//! * [`FlameGraph`] — a merge trie built from folded stacks
+//!   (`path…;leaf ticks`), the exact interchange format `flamegraph.pl`
+//!   consumes;
+//! * [`FlameGraph::to_svg`] — a static SVG renderer with the classic
+//!   warm palette, per-frame tooltips and percentage labels;
+//! * [`FlameGraph::to_ascii`] — a terminal renderer for quick looks;
+//! * round-tripping via [`FlameGraph::to_folded`] /
+//!   [`FlameGraph::from_folded_text`].
+
+pub mod palette;
+pub mod svg;
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use palette::Palette;
+pub use svg::SvgOptions;
+
+/// One node of the merged call trie.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// Frame (function) name.
+    pub name: String,
+    /// Ticks attributed to this exact stack (exclusive time of the leaf).
+    pub self_ticks: u64,
+    /// Ticks of this node plus all descendants.
+    pub total_ticks: u64,
+    /// Children by name.
+    pub children: BTreeMap<String, Node>,
+}
+
+impl Node {
+    fn new(name: &str) -> Node {
+        Node {
+            name: name.to_string(),
+            self_ticks: 0,
+            total_ticks: 0,
+            children: BTreeMap::new(),
+        }
+    }
+
+    fn insert(&mut self, path: &[String], ticks: u64) {
+        self.total_ticks += ticks;
+        match path.split_first() {
+            None => self.self_ticks += ticks,
+            Some((head, rest)) => self
+                .children
+                .entry(head.clone())
+                .or_insert_with(|| Node::new(head))
+                .insert(rest, ticks),
+        }
+    }
+
+    /// Depth-first walk: `(depth, node)`.
+    fn walk<'a>(&'a self, depth: usize, f: &mut impl FnMut(usize, &'a Node)) {
+        f(depth, self);
+        for child in self.children.values() {
+            child.walk(depth + 1, f);
+        }
+    }
+}
+
+/// A flame graph: the merge trie over all recorded stacks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlameGraph {
+    root: Node,
+}
+
+impl FlameGraph {
+    /// Build from folded stacks: `(path outermost→innermost, ticks)`.
+    pub fn from_folded<S: AsRef<str>>(folded: &[(Vec<S>, u64)]) -> FlameGraph {
+        let mut root = Node::new("root");
+        for (path, ticks) in folded {
+            let path: Vec<String> = path.iter().map(|s| s.as_ref().to_string()).collect();
+            root.insert(&path, *ticks);
+        }
+        FlameGraph { root }
+    }
+
+    /// Parse the textual folded format (`a;b;c 123` per line).
+    ///
+    /// # Errors
+    /// Returns a description of the first malformed line.
+    pub fn from_folded_text(text: &str) -> Result<FlameGraph, String> {
+        let mut folded = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (path, ticks) = line
+                .rsplit_once(' ')
+                .ok_or_else(|| format!("line {}: missing tick count", i + 1))?;
+            let ticks: u64 = ticks
+                .parse()
+                .map_err(|_| format!("line {}: bad tick count `{ticks}`", i + 1))?;
+            let path: Vec<String> = path.split(';').map(str::to_string).collect();
+            if path.iter().any(String::is_empty) {
+                return Err(format!("line {}: empty frame name", i + 1));
+            }
+            folded.push((path, ticks));
+        }
+        Ok(FlameGraph::from_folded(&folded))
+    }
+
+    /// Serialize to the textual folded format, deterministically ordered.
+    pub fn to_folded(&self) -> String {
+        let mut out = String::new();
+        fn rec(node: &Node, prefix: &mut Vec<String>, out: &mut String) {
+            if node.self_ticks > 0 && !prefix.is_empty() {
+                out.push_str(&format!("{} {}\n", prefix.join(";"), node.self_ticks));
+            }
+            for child in node.children.values() {
+                prefix.push(child.name.clone());
+                rec(child, prefix, out);
+                prefix.pop();
+            }
+        }
+        rec(&self.root, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// Total ticks across all stacks.
+    pub fn total_ticks(&self) -> u64 {
+        self.root.total_ticks
+    }
+
+    /// Maximum stack depth.
+    pub fn max_depth(&self) -> usize {
+        let mut max = 0;
+        self.root.walk(0, &mut |d, _| max = max.max(d));
+        max
+    }
+
+    /// The root node (named "root"; its children are the top-level frames).
+    pub fn root(&self) -> &Node {
+        &self.root
+    }
+
+    /// Fraction of total time spent in frames named `name` (inclusive).
+    /// Nested occurrences of the same name (recursion) are counted once,
+    /// at their outermost occurrence.
+    pub fn fraction(&self, name: &str) -> f64 {
+        if self.root.total_ticks == 0 {
+            return 0.0;
+        }
+        fn sum(node: &Node, name: &str) -> u64 {
+            if node.name == name {
+                return node.total_ticks;
+            }
+            node.children.values().map(|c| sum(c, name)).sum()
+        }
+        sum(&self.root, name) as f64 / self.root.total_ticks as f64
+    }
+
+    /// The single hottest leaf path and its share of total time.
+    pub fn hottest_path(&self) -> (Vec<String>, f64) {
+        let mut best: (Vec<String>, u64) = (Vec::new(), 0);
+        fn rec(node: &Node, prefix: &mut Vec<String>, best: &mut (Vec<String>, u64)) {
+            if node.self_ticks > best.1 {
+                *best = (prefix.clone(), node.self_ticks);
+            }
+            for child in node.children.values() {
+                prefix.push(child.name.clone());
+                rec(child, prefix, best);
+                prefix.pop();
+            }
+        }
+        rec(&self.root, &mut Vec::new(), &mut best);
+        let frac = if self.root.total_ticks == 0 {
+            0.0
+        } else {
+            best.1 as f64 / self.root.total_ticks as f64
+        };
+        (best.0, frac)
+    }
+
+    /// Render a terminal flame view: indented tree with bars sized by
+    /// inclusive share.
+    pub fn to_ascii(&self, width: usize) -> String {
+        let total = self.root.total_ticks.max(1);
+        let mut out = String::new();
+        self.root.walk(0, &mut |depth, node| {
+            if depth == 0 {
+                return;
+            }
+            let frac = node.total_ticks as f64 / total as f64;
+            let bar_w = ((width as f64) * frac).round() as usize;
+            out.push_str(&format!(
+                "{:indent$}{} {:5.1}% |{}|\n",
+                "",
+                node.name,
+                frac * 100.0,
+                "█".repeat(bar_w.max(1)),
+                indent = (depth - 1) * 2,
+            ));
+        });
+        out
+    }
+
+    /// Render a static SVG flame graph.
+    pub fn to_svg(&self, options: &SvgOptions) -> String {
+        svg::render(self, options)
+    }
+
+    /// Render a red/blue differential SVG showing how this graph changed
+    /// relative to `before` (see [`svg::render_diff`]).
+    pub fn to_diff_svg(&self, before: &FlameGraph, options: &SvgOptions) -> String {
+        svg::render_diff(before, self, options)
+    }
+}
+
+impl fmt::Display for FlameGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_ascii(60))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FlameGraph {
+        FlameGraph::from_folded(&[
+            (vec!["main", "io", "read"], 30),
+            (vec!["main", "io", "write"], 10),
+            (vec!["main", "compute"], 50),
+            (vec!["main"], 10),
+        ])
+    }
+
+    #[test]
+    fn trie_merges_and_totals() {
+        let fg = sample();
+        assert_eq!(fg.total_ticks(), 100);
+        let main = &fg.root().children["main"];
+        assert_eq!(main.total_ticks, 100);
+        assert_eq!(main.self_ticks, 10);
+        assert_eq!(main.children["io"].total_ticks, 40);
+        assert_eq!(main.children["io"].children["read"].self_ticks, 30);
+        assert_eq!(fg.max_depth(), 3);
+    }
+
+    #[test]
+    fn fraction_counts_inclusive_time_once() {
+        let fg = sample();
+        assert!((fg.fraction("io") - 0.4).abs() < 1e-9);
+        assert!((fg.fraction("main") - 1.0).abs() < 1e-9);
+        assert_eq!(fg.fraction("nonexistent"), 0.0);
+        // Recursive frames counted once at the outermost occurrence.
+        let rec = FlameGraph::from_folded(&[(vec!["f", "f", "f"], 10), (vec!["f"], 10)]);
+        assert!((rec.fraction("f") - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hottest_path() {
+        let (path, frac) = sample().hottest_path();
+        assert_eq!(path, vec!["main".to_string(), "compute".into()]);
+        assert!((frac - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn folded_text_round_trip() {
+        let fg = sample();
+        let text = fg.to_folded();
+        assert!(text.contains("main;io;read 30"));
+        let parsed = FlameGraph::from_folded_text(&text).unwrap();
+        assert_eq!(parsed, fg);
+    }
+
+    #[test]
+    fn from_folded_text_rejects_garbage() {
+        assert!(FlameGraph::from_folded_text("main;io").is_err());
+        assert!(FlameGraph::from_folded_text("main;io x").is_err());
+        assert!(FlameGraph::from_folded_text("main;;io 5").is_err());
+        // Empty input is a valid empty graph.
+        assert_eq!(FlameGraph::from_folded_text("").unwrap().total_ticks(), 0);
+    }
+
+    #[test]
+    fn ascii_renders_every_frame() {
+        let a = sample().to_ascii(40);
+        for name in ["main", "io", "read", "write", "compute"] {
+            assert!(a.contains(name), "{name} missing from:\n{a}");
+        }
+        assert!(a.contains("100.0%"));
+    }
+
+    #[test]
+    fn empty_graph_is_harmless() {
+        let fg = FlameGraph::from_folded::<&str>(&[]);
+        assert_eq!(fg.total_ticks(), 0);
+        assert_eq!(fg.fraction("x"), 0.0);
+        assert_eq!(fg.hottest_path().0.len(), 0);
+        let _ = fg.to_ascii(40);
+    }
+}

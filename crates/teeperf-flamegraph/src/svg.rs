@@ -1,0 +1,354 @@
+//! Static SVG renderer, in the spirit of `flamegraph.pl`.
+
+use crate::palette::Palette;
+use crate::{FlameGraph, Node};
+
+/// Rendering options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SvgOptions {
+    /// Image width in pixels.
+    pub width: u32,
+    /// Height of one frame row in pixels.
+    pub frame_height: u32,
+    /// Title printed at the top.
+    pub title: String,
+    /// Optional subtitle.
+    pub subtitle: String,
+    /// Frames narrower than this fraction of the width are culled.
+    pub min_frac: f64,
+    /// Color scheme.
+    pub palette: Palette,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            width: 1200,
+            frame_height: 16,
+            title: "Flame Graph".to_string(),
+            subtitle: String::new(),
+            min_frac: 0.0005,
+            palette: Palette::Warm,
+        }
+    }
+}
+
+impl SvgOptions {
+    /// Builder-style title setter.
+    pub fn with_title(mut self, title: impl Into<String>) -> SvgOptions {
+        self.title = title.into();
+        self
+    }
+
+    /// Builder-style subtitle setter.
+    pub fn with_subtitle(mut self, subtitle: impl Into<String>) -> SvgOptions {
+        self.subtitle = subtitle.into();
+        self
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+struct Renderer<'a> {
+    opts: &'a SvgOptions,
+    total: f64,
+    max_depth: usize,
+    body: String,
+    frames: usize,
+    /// Optional differential coloring: maps (stack path, inclusive share)
+    /// to a fill color and an extra tooltip suffix.
+    diff: Option<&'a dyn Fn(&[String], f64) -> (String, String)>,
+    path: Vec<String>,
+}
+
+impl<'a> Renderer<'a> {
+    fn frame(&mut self, node: &Node, depth: usize, x_ticks: u64) {
+        let w = self.opts.width as f64 * node.total_ticks as f64 / self.total;
+        if node.total_ticks == 0 || w < self.opts.width as f64 * self.opts.min_frac {
+            return;
+        }
+        let x = self.opts.width as f64 * x_ticks as f64 / self.total;
+        // Classic flame graph: roots at the bottom, leaves on top.
+        let y = 40 + (self.max_depth - depth) as u32 * (self.opts.frame_height + 1);
+        let pct = 100.0 * node.total_ticks as f64 / self.total;
+        let name = escape(&node.name);
+        self.path.push(node.name.clone());
+        let (fill, extra) = match self.diff {
+            Some(color) => color(&self.path, node.total_ticks as f64 / self.total),
+            None => (self.opts.palette.color_for(&node.name), String::new()),
+        };
+        self.body.push_str(&format!(
+            r##"<g><title>{name} ({ticks} ticks, {pct:.2}%{extra})</title><rect x="{x:.1}" y="{y}" width="{w:.1}" height="{h}" fill="{fill}" rx="1"/>"##,
+            ticks = node.total_ticks,
+            h = self.opts.frame_height,
+            extra = escape(&extra),
+        ));
+        // Only label frames wide enough to hold text (~7px per char).
+        let max_chars = (w / 7.0) as usize;
+        if max_chars >= 3 {
+            let label = if node.name.len() <= max_chars {
+                name.clone()
+            } else {
+                format!("{}..", escape(&node.name[..max_chars.saturating_sub(2)]))
+            };
+            self.body.push_str(&format!(
+                r##"<text x="{tx:.1}" y="{ty}" font-size="11" font-family="monospace" fill="#000">{label}</text>"##,
+                tx = x + 3.0,
+                ty = y + self.opts.frame_height - 4,
+            ));
+        }
+        self.body.push_str("</g>\n");
+        self.frames += 1;
+
+        // Children packed left-to-right in name order (deterministic).
+        let mut cx = x_ticks;
+        for child in node.children.values() {
+            self.frame(child, depth + 1, cx);
+            cx += child.total_ticks;
+        }
+        self.path.pop();
+    }
+}
+
+/// Render `graph` to an SVG document.
+pub fn render(graph: &FlameGraph, opts: &SvgOptions) -> String {
+    render_inner(graph, opts, None)
+}
+
+/// Render a **differential** flame graph: the layout of `after`, with each
+/// frame colored by how its inclusive-time share changed from `before` —
+/// red for growth, blue for shrinkage, neutral beige for ±unchanged
+/// (Brendan Gregg's red/blue differential convention). Tooltips carry the
+/// share delta in percentage points. Frames new in `after` count as pure
+/// growth from zero.
+pub fn render_diff(before: &FlameGraph, after: &FlameGraph, opts: &SvgOptions) -> String {
+    use std::collections::HashMap;
+
+    // Inclusive share of every stack path in `before`.
+    let mut before_shares: HashMap<Vec<String>, f64> = HashMap::new();
+    let before_total = before.total_ticks().max(1) as f64;
+    fn collect(
+        node: &Node,
+        path: &mut Vec<String>,
+        total: f64,
+        out: &mut HashMap<Vec<String>, f64>,
+    ) {
+        for child in node.children.values() {
+            path.push(child.name.clone());
+            out.insert(path.clone(), child.total_ticks as f64 / total);
+            collect(child, path, total, out);
+            path.pop();
+        }
+    }
+    collect(before.root(), &mut Vec::new(), before_total, &mut before_shares);
+
+    let color = move |path: &[String], after_share: f64| -> (String, String) {
+        let before_share = before_shares.get(path).copied().unwrap_or(0.0);
+        let delta = after_share - before_share;
+        // Intensity saturates at a 20-percentage-point change.
+        let t = (delta.abs() / 0.20).min(1.0);
+        let fill = if delta > 0.001 {
+            // toward red
+            let g = 235.0 - 180.0 * t;
+            format!("rgb(250,{g:.0},{g:.0})")
+        } else if delta < -0.001 {
+            // toward blue
+            let rg = 235.0 - 180.0 * t;
+            format!("rgb({rg:.0},{rg:.0},250)")
+        } else {
+            "rgb(240,235,225)".to_string()
+        };
+        (fill, format!(", {delta:+.2e} share vs before", delta = delta))
+    };
+    render_inner(after, opts, Some(&color))
+}
+
+fn render_inner(
+    graph: &FlameGraph,
+    opts: &SvgOptions,
+    diff: Option<&dyn Fn(&[String], f64) -> (String, String)>,
+) -> String {
+    let total = graph.total_ticks().max(1) as f64;
+    let max_depth = graph.max_depth();
+    let height = 40 + (max_depth as u32 + 1) * (opts.frame_height + 1) + 24;
+
+    let mut r = Renderer {
+        opts,
+        total,
+        max_depth,
+        body: String::new(),
+        frames: 0,
+        diff,
+        path: Vec::new(),
+    };
+    // Render top-level frames (skip the synthetic root).
+    let mut cx = 0u64;
+    for child in graph.root().children.values() {
+        r.frame(child, 1, cx);
+        cx += child.total_ticks;
+    }
+
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{height}" viewBox="0 0 {w} {height}">"#,
+        w = opts.width,
+    ));
+    svg.push('\n');
+    svg.push_str(&format!(
+        r##"<rect width="100%" height="100%" fill="#f8f8f8"/>
+<text x="{cx}" y="20" text-anchor="middle" font-size="15" font-family="sans-serif" font-weight="bold">{title}</text>
+"##,
+        cx = opts.width / 2,
+        title = escape(&opts.title),
+    ));
+    if !opts.subtitle.is_empty() {
+        svg.push_str(&format!(
+            r##"<text x="{cx}" y="36" text-anchor="middle" font-size="11" font-family="sans-serif" fill="#555">{s}</text>"##,
+            cx = opts.width / 2,
+            s = escape(&opts.subtitle),
+        ));
+        svg.push('\n');
+    }
+    svg.push_str(&r.body);
+    svg.push_str(&format!(
+        r##"<text x="4" y="{by}" font-size="10" font-family="sans-serif" fill="#888">{n} frames, {t} ticks total — generated by tee-perf</text>"##,
+        by = height - 8,
+        n = r.frames,
+        t = graph.total_ticks(),
+    ));
+    svg.push_str("\n</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FlameGraph {
+        FlameGraph::from_folded(&[
+            (vec!["main", "io", "read"], 30),
+            (vec!["main", "compute<int>"], 60),
+            (vec!["main"], 10),
+        ])
+    }
+
+    #[test]
+    fn svg_is_well_formed_and_contains_frames() {
+        let svg = sample().to_svg(&SvgOptions::default().with_title("Test Graph"));
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<g>").count(), svg.matches("</g>").count());
+        for name in ["main", "io", "read"] {
+            assert!(svg.contains(&format!("<title>{name} (")), "{name} missing");
+        }
+        assert!(svg.contains("Test Graph"));
+    }
+
+    #[test]
+    fn special_characters_escaped() {
+        let svg = sample().to_svg(&SvgOptions::default());
+        assert!(svg.contains("compute&lt;int&gt;"));
+        assert!(!svg.contains("compute<int>"));
+    }
+
+    #[test]
+    fn widths_proportional_to_ticks() {
+        let svg = sample().to_svg(&SvgOptions {
+            width: 1000,
+            ..SvgOptions::default()
+        });
+        // main = 100% → width 1000; compute = 60%.
+        assert!(svg.contains(r#"width="1000.0""#));
+        assert!(svg.contains(r#"width="600.0""#));
+        assert!(svg.contains(r#"width="300.0""#));
+    }
+
+    #[test]
+    fn tiny_frames_culled() {
+        let fg = FlameGraph::from_folded(&[
+            (vec!["main", "big"], 1_000_000),
+            (vec!["main", "microscopic"], 1),
+        ]);
+        let svg = fg.to_svg(&SvgOptions::default());
+        assert!(svg.contains("big"));
+        assert!(!svg.contains("microscopic"));
+    }
+
+    #[test]
+    fn root_frames_sit_below_leaves() {
+        let svg = sample().to_svg(&SvgOptions::default());
+        // Extract y of main and read titles: main must have larger y.
+        let y_of = |name: &str| -> f64 {
+            let at = svg.find(&format!("<title>{name} (")).unwrap();
+            let rect = svg[at..].find("y=\"").unwrap() + at + 3;
+            svg[rect..].split('"').next().unwrap().parse().unwrap()
+        };
+        assert!(y_of("main") > y_of("read"));
+    }
+
+    #[test]
+    fn empty_graph_renders_valid_svg() {
+        let fg = FlameGraph::from_folded::<&str>(&[]);
+        let svg = fg.to_svg(&SvgOptions::default());
+        assert!(svg.starts_with("<svg") && svg.trim_end().ends_with("</svg>"));
+    }
+}
+
+#[cfg(test)]
+mod diff_tests {
+    use super::*;
+
+    #[test]
+    fn differential_colors_growth_red_and_shrinkage_blue() {
+        let before = FlameGraph::from_folded(&[
+            (vec!["main", "getpid"], 70),
+            (vec!["main", "io"], 30),
+        ]);
+        let after = FlameGraph::from_folded(&[
+            (vec!["main", "getpid"], 5),
+            (vec!["main", "io"], 95),
+        ]);
+        let svg = render_diff(&before, &after, &SvgOptions::default());
+        // getpid shrank -> its rect is blueish (blue channel at 250);
+        // io grew -> reddish (red channel at 250).
+        let color_of = |name: &str| -> String {
+            let at = svg.find(&format!("<title>{name} (")).expect("frame present");
+            let fill = svg[at..].find("fill=\"").expect("fill attr") + at + 6;
+            svg[fill..].split('"').next().expect("value").to_string()
+        };
+        let getpid = color_of("getpid");
+        let io = color_of("io");
+        assert!(getpid.ends_with(",250)"), "getpid should be blue: {getpid}");
+        assert!(io.starts_with("rgb(250,"), "io should be red: {io}");
+        // Tooltips carry the delta.
+        assert!(svg.contains("share vs before"));
+    }
+
+    #[test]
+    fn identical_graphs_render_neutral() {
+        let g = FlameGraph::from_folded(&[(vec!["main", "x"], 10), (vec!["main", "y"], 10)]);
+        let svg = render_diff(&g.clone(), &g, &SvgOptions::default());
+        assert!(!svg.contains("rgb(250,"), "no growth red expected");
+        assert!(!svg.contains(",250)"), "no shrink blue expected");
+        assert!(svg.contains("rgb(240,235,225)"));
+    }
+
+    #[test]
+    fn new_frames_count_as_pure_growth() {
+        let before = FlameGraph::from_folded(&[(vec!["main", "old"], 100)]);
+        let after = FlameGraph::from_folded(&[
+            (vec!["main", "old"], 50),
+            (vec!["main", "brand_new"], 50),
+        ]);
+        let svg = render_diff(&before, &after, &SvgOptions::default());
+        let at = svg.find("<title>brand_new (").expect("frame present");
+        let fill = svg[at..].find("fill=\"").expect("fill attr") + at + 6;
+        let color = svg[fill..].split('"').next().expect("value");
+        assert!(color.starts_with("rgb(250,"), "new frame should be red: {color}");
+    }
+}

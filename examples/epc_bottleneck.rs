@@ -1,0 +1,91 @@
+//! Find a TEE-*specific* bottleneck: a function that is harmless on the
+//! host becomes the hotspot inside the enclave because its working set
+//! exceeds the EPC and every access triggers secure paging — the §I
+//! motivation ("EPC paging … can slow down application performance up to
+//! 2000×") made visible by TEE-Perf.
+//!
+//! ```text
+//! cargo run --release --example epc_bottleneck
+//! ```
+
+use teeperf::analyzer::Analyzer;
+use teeperf::compiler::{compile_instrumented, profile_program, InstrumentOptions};
+use teeperf::core::RecorderConfig;
+use teeperf::mc::RunConfig;
+use teeperf::sim::CostModel;
+
+const PROGRAM: &str = r#"
+global small: [int];   // fits the EPC comfortably
+global big: [int];     // exceeds the EPC: every pass pages
+
+fn sum_small(passes: int) -> int {
+    let s: int = 0;
+    for (let p: int = 0; p < passes; p = p + 1) {
+        for (let i: int = 0; i < len(small); i = i + 512) { s = s + small[i]; }
+    }
+    return s;
+}
+
+fn sum_big(passes: int) -> int {
+    let s: int = 0;
+    for (let p: int = 0; p < passes; p = p + 1) {
+        for (let i: int = 0; i < len(big); i = i + 512) { s = s + big[i]; }
+    }
+    return s;
+}
+
+fn main() -> int {
+    // Same number of touched elements in both functions.
+    let a: int = sum_small(8);
+    let b: int = sum_big(1);
+    return (a + b) & 0xff;
+}
+"#;
+
+fn profile_on(cost: CostModel) -> Result<(f64, f64), Box<dyn std::error::Error>> {
+    let run = profile_program(
+        compile_instrumented(PROGRAM, &InstrumentOptions::default())?,
+        cost,
+        RunConfig::default(),
+        &RecorderConfig::default(),
+        |vm| {
+            // small: 64 pages; big: 8× the constrained EPC below.
+            vm.set_global_int_array("small", &vec![1; 64 * 512])?;
+            vm.set_global_int_array("big", &vec![1; 8 * 64 * 512])
+        },
+    )?;
+    let analyzer = Analyzer::new(run.log, run.debug)?;
+    let profile = analyzer.profile();
+    Ok((
+        profile.exclusive_fraction("sum_small"),
+        profile.exclusive_fraction("sum_big"),
+    ))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("profiling the same program on the host and inside a small-EPC enclave...\n");
+
+    let (small_host, big_host) = profile_on(CostModel::native())?;
+    println!("host profile:");
+    println!("  sum_small: {:.1}%   sum_big: {:.1}%", small_host * 100.0, big_host * 100.0);
+
+    // An enclave whose EPC holds 128 pages: `small` (64 pages) stays
+    // resident, `big` (512 pages) thrashes through secure paging.
+    let constrained = CostModel::sgx_v1().with_epc_pages(128);
+    let (small_tee, big_tee) = profile_on(constrained)?;
+    println!("\nenclave profile (EPC = 128 pages):");
+    println!("  sum_small: {:.1}%   sum_big: {:.1}%", small_tee * 100.0, big_tee * 100.0);
+
+    let amplification = (big_tee / small_tee) / (big_host / small_host);
+    println!(
+        "\nsum_big grew from {:.1}% of the run on the host to {:.1}% inside the \
+         enclave — {amplification:.1}x relative amplification from secure paging alone.",
+        big_host * 100.0,
+        big_tee * 100.0,
+    );
+    println!(
+        "This is why profiling must happen *inside* the TEE: a host profile \
+         badly misjudges how much an enclave-only cost dominates."
+    );
+    Ok(())
+}

@@ -1,0 +1,92 @@
+//! Tour of the declarative query interface (the paper's pandas session):
+//! record a multithreaded program, then slice the profile interactively.
+//!
+//! ```text
+//! cargo run --release --example query_interface
+//! ```
+
+use teeperf::analyzer::{run_query, Analyzer};
+use teeperf::compiler::{compile_instrumented, profile_program, InstrumentOptions};
+use teeperf::core::RecorderConfig;
+use teeperf::mc::RunConfig;
+use teeperf::sim::CostModel;
+
+const PROGRAM: &str = r#"
+global work: [int];
+fn quick(x: int) -> int { return x * 2 + 1; }
+fn slow(x: int) -> int {
+    let s: int = 0;
+    for (let i: int = 0; i < 400; i = i + 1) { s = s + i * x; }
+    return s;
+}
+fn worker(id: int) -> int {
+    let acc: int = 0;
+    for (let i: int = 0; i < 30; i = i + 1) {
+        if ((i + id) % 3 == 0) { acc = acc + slow(i); }
+        else { acc = acc + quick(i); }
+    }
+    atomic_add(work, 0, acc);
+    return acc;
+}
+fn main() -> int {
+    work = alloc(1);
+    let t0: int = spawn(worker, 0);
+    let t1: int = spawn(worker, 1);
+    let t2: int = spawn(worker, 2);
+    join(t0); join(t1); join(t2);
+    return 0;
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let run = profile_program(
+        compile_instrumented(PROGRAM, &InstrumentOptions::default())?,
+        CostModel::sgx_v1(),
+        RunConfig::default(),
+        &RecorderConfig::default(),
+        |_| Ok(()),
+    )?;
+    let analyzer = Analyzer::new(run.log, run.debug)?;
+    let methods = analyzer.methods_frame();
+    let events = analyzer.events_frame();
+
+    let session: &[(&str, &teeperf::analyzer::Frame)] = &[
+        ("select method, calls, excl, excl_pct sort excl desc", &methods),
+        (
+            r#"select method, calls where method contains "o" and calls > 10"#,
+            &methods,
+        ),
+        (
+            "group tid agg count() as events, max(counter) as last_tick sort tid",
+            &events,
+        ),
+        (
+            // Which thread called which method how often — the paper's own
+            // example query.
+            r#"group tid, method agg count() as calls sort calls desc limit 6"#,
+            &events,
+        ),
+        (
+            r#"select seq, tid, kind, counter where method == "slow" sort seq limit 4"#,
+            &events,
+        ),
+    ];
+
+    for (query, frame) in session {
+        println!("query> {query}");
+        println!("{}", run_query(frame, query)?);
+    }
+
+    // The caller-context view (§II-C "performance depending on the call
+    // history of a method"): the same callee broken down by call site.
+    let profile = analyzer.profile();
+    println!("query> [callers] select caller, callee, calls, incl sort incl desc limit 5");
+    println!(
+        "{}",
+        run_query(
+            &profile.callers_frame(),
+            "select caller, callee, calls, incl sort incl desc limit 5",
+        )?
+    );
+    Ok(())
+}

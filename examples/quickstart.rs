@@ -1,0 +1,99 @@
+//! Quickstart: the complete four-stage TEE-Perf pipeline on a small
+//! Mini-C program inside a simulated SGX enclave.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use teeperf::analyzer::Analyzer;
+use teeperf::compiler::{compile_instrumented, profile_program, InstrumentOptions};
+use teeperf::core::RecorderConfig;
+use teeperf::flamegraph::FlameGraph;
+use teeperf::mc::RunConfig;
+use teeperf::sim::CostModel;
+
+const PROGRAM: &str = r#"
+// A toy application with an obvious bottleneck.
+fn checksum(data: [int], lo: int, hi: int) -> int {
+    let h: int = 5381;
+    for (let i: int = lo; i < hi; i = i + 1) {
+        h = (h * 33 + data[i]) & 0xffffff;
+    }
+    return h;
+}
+
+fn fill(data: [int]) -> int {
+    for (let i: int = 0; i < len(data); i = i + 1) {
+        data[i] = i * 2654435761 & 0xffff;
+    }
+    return len(data);
+}
+
+fn expensive_validation(data: [int]) -> int {
+    // The bottleneck: re-checksums the whole buffer for every block.
+    let acc: int = 0;
+    for (let b: int = 0; b < 64; b = b + 1) {
+        acc = acc ^ checksum(data, 0, len(data));
+    }
+    return acc;
+}
+
+fn main() -> int {
+    let data: [int] = alloc(4096);
+    fill(data);
+    let ok: int = expensive_validation(data);
+    print_int(ok);
+    return 0;
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Stage 1 — recompile with instrumentation (the moral equivalent of
+    //   gcc -finstrument-functions --include=profiler.h app.c -lprofiler
+    println!("stage 1: compiling with instrumentation...");
+    let program = compile_instrumented(PROGRAM, &InstrumentOptions::default())?;
+
+    // Stage 2 — run inside the simulated SGX enclave under the recorder.
+    println!("stage 2: recording inside sgx-v1...");
+    let run = profile_program(
+        program,
+        CostModel::sgx_v1(),
+        RunConfig::default(),
+        &RecorderConfig::default(),
+        |_| Ok(()),
+    )?;
+    println!(
+        "  program output: {:?}, exit code {}, {} events recorded in {} cycles",
+        run.output,
+        run.exit_code,
+        run.log.entries.len(),
+        run.cycles
+    );
+
+    // Stage 3 — analyze the log offline.
+    println!("\nstage 3: analyzing...");
+    let analyzer = Analyzer::new(run.log, run.debug)?;
+    print!("{}", analyzer.report());
+
+    // The declarative query interface.
+    println!("query> group method agg count() as calls, sum(counter) as t sort t desc limit 3");
+    let events = analyzer.events_frame();
+    let answer = teeperf::analyzer::run_query(
+        &events,
+        "group method agg count() as calls, sum(counter) as t sort t desc limit 3",
+    )?;
+    print!("{answer}");
+
+    // Stage 4 — visualize.
+    println!("\nstage 4: flame graph");
+    let profile = analyzer.profile();
+    let graph = FlameGraph::from_folded(&profile.folded);
+    print!("{}", graph.to_ascii(60));
+    let (hot_path, share) = graph.hottest_path();
+    println!(
+        "\nhottest path: {} ({:.1}% of total time) — go optimize it!",
+        hot_path.join(" -> "),
+        share * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,111 @@
+//! # teeperf — a reproduction of *TEE-Perf: A Profiler for Trusted
+//! Execution Environments* (Bailleu et al., DSN 2019) in Rust
+//!
+//! TEE-Perf is an architecture- and platform-independent, method-level
+//! profiler for applications running inside trusted execution environments
+//! (Intel SGX, ARM TrustZone, AMD SEV, RISC-V Keystone). It needs no
+//! hardware performance counters and no kernel support: the application is
+//! recompiled with hooks at every call and return, the hooks write
+//! timestamped events into shared memory using a lock-free log, and the
+//! timestamps come from a *software counter* — a host thread incrementing
+//! a shared word in a tight loop.
+//!
+//! This crate is a façade re-exporting the whole reproduction:
+//!
+//! | module | paper stage | contents |
+//! |---|---|---|
+//! | [`compiler`] | stage 1 | instrumentation pass + run drivers |
+//! | [`core`] | stage 2 | log format, counters, recorder, hooks, native API |
+//! | [`analyzer`] | stage 3 | call-stack reconstruction, profiles, query engine |
+//! | [`flamegraph`] | stage 4 | folded stacks, SVG/ASCII rendering |
+//! | [`sim`] | substrate | the deterministic TEE simulator |
+//! | [`mc`] | substrate | the Mini-C language and VM the profiler instruments |
+//! | [`perf`] | baseline | the sampling profiler (`Linux perf` analogue) |
+//! | [`phoenix`] | workload | the Phoenix 2.0 suite in Mini-C |
+//! | [`rocksdb`] | workload | the LSM key–value store + `db_bench` (Figure 5) |
+//! | [`spdk`] | workload | the user-space NVMe stack + case study (Figure 6) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use teeperf::compiler::{compile_instrumented, profile_program, InstrumentOptions};
+//! use teeperf::analyzer::Analyzer;
+//! use teeperf::flamegraph::FlameGraph;
+//! use teeperf::core::RecorderConfig;
+//! use teeperf::sim::CostModel;
+//! use teeperf::mc::RunConfig;
+//!
+//! let source = r#"
+//!     fn hot(n: int) -> int {
+//!         let s: int = 0;
+//!         for (let i: int = 0; i < n; i = i + 1) { s = s + i; }
+//!         return s;
+//!     }
+//!     fn main() -> int { return hot(1000); }
+//! "#;
+//! // Stage 1: recompile with instrumentation; stage 2: run under the
+//! // recorder inside a simulated SGX enclave.
+//! let program = compile_instrumented(source, &InstrumentOptions::default())?;
+//! let run = profile_program(
+//!     program, CostModel::sgx_v1(), RunConfig::default(),
+//!     &RecorderConfig::default(), |_| Ok(()),
+//! )?;
+//! // Stage 3: analyze; stage 4: visualize.
+//! let analyzer = Analyzer::new(run.log, run.debug)?;
+//! let profile = analyzer.profile();
+//! assert_eq!(profile.method("hot").unwrap().calls, 1);
+//! let graph = FlameGraph::from_folded(&profile.folded);
+//! assert!(graph.fraction("hot") > 0.9);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+/// Stage 1 — the instrumentation pass and run drivers
+/// ([`teeperf_compiler`]).
+pub mod compiler {
+    pub use teeperf_compiler::*;
+}
+
+/// Stage 2 — the recorder runtime ([`teeperf_core`]).
+pub mod core {
+    pub use teeperf_core::*;
+}
+
+/// Stage 3 — the offline analyzer and query engine ([`teeperf_analyzer`]).
+pub mod analyzer {
+    pub use teeperf_analyzer::*;
+}
+
+/// Stage 4 — the flame-graph visualizer ([`teeperf_flamegraph`]).
+pub mod flamegraph {
+    pub use teeperf_flamegraph::*;
+}
+
+/// The deterministic TEE hardware simulator ([`tee_sim`]).
+pub mod sim {
+    pub use tee_sim::*;
+}
+
+/// The Mini-C language and VM ([`mcvm`]).
+pub mod mc {
+    pub use mcvm::*;
+}
+
+/// The sampling-profiler baseline ([`perf_sim`]).
+pub mod perf {
+    pub use perf_sim::*;
+}
+
+/// The Phoenix 2.0 workload suite ([`phoenix`]).
+pub mod phoenix {
+    pub use ::phoenix::*;
+}
+
+/// The LSM key–value store and `db_bench` ([`lsm_store`]).
+pub mod rocksdb {
+    pub use lsm_store::*;
+}
+
+/// The user-space NVMe stack and `perf` tool ([`spdk_sim`]).
+pub mod spdk {
+    pub use spdk_sim::*;
+}
