@@ -94,10 +94,8 @@ fn bench_hook_record(c: &mut Criterion) {
         let mut machine = Machine::new(CostModel::sgx_v1());
         machine.map_shared(shm);
         machine.ecall();
-        let mut hooks = TeePerfHooks::new(
-            log,
-            Box::new(SimCounter::standard(machine.clock().clone())),
-        );
+        let mut hooks =
+            TeePerfHooks::new(log, Box::new(SimCounter::standard(machine.clock().clone())));
         let mut i = 0u64;
         b.iter(|| {
             hooks.record(&mut machine, EventKind::Call, 0x40_0000 + i, 0);
@@ -210,9 +208,7 @@ fn bench_vm(c: &mut Criterion) {
 }
 
 fn bench_symbolizer(c: &mut Criterion) {
-    let debug = DebugInfo::from_functions(
-        (0..512).map(|_| ("some_function_name", 16u64, 1u32)),
-    );
+    let debug = DebugInfo::from_functions((0..512).map(|_| ("some_function_name", 16u64, 1u32)));
     let addrs: Vec<u64> = (0..512u16).map(|i| debug.entry_addr(i)).collect();
     let sym = Symbolizer::without_relocation(debug);
     c.bench_function("symbolize_512_functions", |b| {

@@ -106,8 +106,12 @@ pub fn run_sampling_bias(k: i64) -> BiasResult {
     .expect("profiled run");
     let analyzer = Analyzer::new(profiled.log, profiled.debug).expect("validates");
     let profile = analyzer.profile();
-    let a = profile.method("phase_a").map_or(0.0, |m| m.exclusive as f64);
-    let b = profile.method("phase_b").map_or(0.0, |m| m.exclusive as f64);
+    let a = profile
+        .method("phase_a")
+        .map_or(0.0, |m| m.exclusive as f64);
+    let b = profile
+        .method("phase_b")
+        .map_or(0.0, |m| m.exclusive as f64);
 
     // Each sample costs one AEX, during which the application makes no
     // progress; for the sampler to land at the same loop phase every time,
@@ -123,14 +127,19 @@ pub fn run_sampling_bias(k: i64) -> BiasResult {
 
 /// Render the bias table.
 pub fn render_bias(r: &BiasResult) -> String {
-    let mut out = String::from(
-        "Sampling-frequency bias — share attributed to phase_a (truth: 0.50)\n\n",
-    );
+    let mut out =
+        String::from("Sampling-frequency bias — share attributed to phase_a (truth: 0.50)\n\n");
     out.push_str(&render_table(
         &["estimator", "phase_a share"],
         &[
-            vec!["TEE-Perf (full trace)".into(), format!("{:.3}", r.true_fraction_a)],
-            vec!["perf, aligned period".into(), format!("{:.3}", r.aligned_fraction_a)],
+            vec![
+                "TEE-Perf (full trace)".into(),
+                format!("{:.3}", r.true_fraction_a),
+            ],
+            vec![
+                "perf, aligned period".into(),
+                format!("{:.3}", r.aligned_fraction_a),
+            ],
             vec![
                 "perf, misaligned period".into(),
                 format!("{:.3}", r.misaligned_fraction_a),
@@ -380,7 +389,8 @@ pub fn run_reservation_modes() -> ReservationResult {
 
 /// Render the reservation-mode table.
 pub fn render_reservation(r: &ReservationResult) -> String {
-    let mut out = String::from("Log reservation modes (string_match, sgx-v1, 4 worker threads)\n\n");
+    let mut out =
+        String::from("Log reservation modes (string_match, sgx-v1, 4 worker threads)\n\n");
     out.push_str(&render_table(
         &["reservation", "events", "cycles"],
         &[
@@ -437,8 +447,7 @@ pub fn run_epc_paging(epc_pages: u64) -> Vec<EpcPoint> {
             }
             EpcPoint {
                 ratio,
-                cycles_per_access: (machine.clock().now() - t0) as f64
-                    / (passes * pages) as f64,
+                cycles_per_access: (machine.clock().now() - t0) as f64 / (passes * pages) as f64,
             }
         })
         .collect()
@@ -451,7 +460,12 @@ pub fn render_epc(points: &[EpcPoint]) -> String {
         &["working set / EPC", "cycles per access"],
         &points
             .iter()
-            .map(|p| vec![format!("{:.1}", p.ratio), format!("{:.0}", p.cycles_per_access)])
+            .map(|p| {
+                vec![
+                    format!("{:.1}", p.ratio),
+                    format!("{:.0}", p.cycles_per_access),
+                ]
+            })
             .collect::<Vec<_>>(),
     ));
     out

@@ -1,0 +1,44 @@
+//! Measure the continuous-monitoring overhead of `teeperf-live` on the
+//! long-running lsm-store workload.
+//!
+//! ```text
+//! cargo run --release -p bench --bin live_overhead
+//! ```
+//!
+//! Writes `results/BENCH_live_overhead.json`.
+
+use bench::live::{run_live_overhead, to_json, LiveBenchOptions, LiveBenchResult};
+use bench::util::write_artifact;
+
+fn main() {
+    let options = LiveBenchOptions::default();
+    eprintln!(
+        "db_bench readrandomwriterandom, {} ops on {}: native vs batch vs live \
+         ({}-entry rotating log, watermark {}%)...",
+        options.ops, options.cost.kind, options.live_log_entries, options.watermark_pct
+    );
+    let result = run_live_overhead(&options);
+    let path = write_artifact("BENCH_live_overhead.json", &to_json(&result, &options));
+
+    println!(
+        "native  {:>14} cycles\nbatch   {:>14} cycles  ({:.2}x)\nlive    {:>14} cycles  ({:.2}x)",
+        result.native_cycles,
+        result.batch_cycles,
+        result.batch_overhead(),
+        result.live_cycles,
+        result.live_overhead()
+    );
+    println!(
+        "live session: {} events over {} epochs of a {}-entry log, {} dropped, {} ms wall",
+        result.live_events,
+        result.epochs,
+        options.live_log_entries,
+        result.live_dropped,
+        result.live_wall_ms
+    );
+    println!("top-5 (live rolling profile, exclusive cycles):");
+    for (name, exclusive) in LiveBenchResult::top(&result.live_profile, 5) {
+        println!("  {exclusive:>12}  {name}");
+    }
+    eprintln!("wrote {}", path.display());
+}

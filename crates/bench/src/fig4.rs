@@ -84,10 +84,7 @@ impl Fig4Row {
     }
 }
 
-fn run_one(
-    bench: &dyn Benchmark,
-    options: &Fig4Options,
-) -> (u64, u64, u64, u64) {
+fn run_one(bench: &dyn Benchmark, options: &Fig4Options) -> (u64, u64, u64, u64) {
     let run_config = RunConfig::default();
 
     let native = run_native(
@@ -173,7 +170,12 @@ pub fn run_fig4(options: &Fig4Options) -> Vec<Fig4Row> {
 
 /// Geometric mean of the per-benchmark `teeperf/perf` ratios.
 pub fn mean_relative_overhead(rows: &[Fig4Row]) -> f64 {
-    geomean(&rows.iter().map(Fig4Row::teeperf_vs_perf).collect::<Vec<_>>())
+    geomean(
+        &rows
+            .iter()
+            .map(Fig4Row::teeperf_vs_perf)
+            .collect::<Vec<_>>(),
+    )
 }
 
 /// Render the figure as a table plus an ASCII bar chart.
@@ -259,7 +261,11 @@ mod tests {
         let rows = run_fig4(&options);
         assert_eq!(rows.len(), 7);
 
-        let by_name = |n: &str| rows.iter().find(|r| r.name == n).expect("benchmark present");
+        let by_name = |n: &str| {
+            rows.iter()
+                .find(|r| r.name == n)
+                .expect("benchmark present")
+        };
         let sm = by_name("string_match");
         let lr = by_name("linear_regression");
 

@@ -119,10 +119,16 @@ fn profiled_graph(cost: CostModel, env: &mut SpdkEnv, ops: u64) -> FlameGraph {
 
 /// Run the full case study.
 pub fn run_fig6(options: &Fig6Options) -> Fig6Result {
-    let (native_iops, native_tp) =
-        throughput(CostModel::native(), &mut SpdkEnv::naive(), options.throughput_ops);
-    let (naive_iops, naive_tp) =
-        throughput(CostModel::sgx_v1(), &mut SpdkEnv::naive(), options.throughput_ops);
+    let (native_iops, native_tp) = throughput(
+        CostModel::native(),
+        &mut SpdkEnv::naive(),
+        options.throughput_ops,
+    );
+    let (naive_iops, naive_tp) = throughput(
+        CostModel::sgx_v1(),
+        &mut SpdkEnv::naive(),
+        options.throughput_ops,
+    );
     let (opt_iops, opt_tp) = throughput(
         CostModel::sgx_v1(),
         &mut SpdkEnv::optimized(options.refresh_interval),
@@ -189,7 +195,13 @@ pub fn render_fig6(result: &Fig6Result) -> String {
         .collect();
     let mut out = String::from("§IV-C — SPDK perf, random R/W 80% reads, 4 KiB blocks\n\n");
     out.push_str(&render_table(
-        &["configuration", "IOPS", "MiB/s", "paper IOPS", "paper MiB/s"],
+        &[
+            "configuration",
+            "IOPS",
+            "MiB/s",
+            "paper IOPS",
+            "paper MiB/s",
+        ],
         &rows,
     ));
     out.push_str(&format!(
@@ -256,8 +268,14 @@ mod tests {
         let optimized = r.configs[2].iops;
 
         // Ordering and magnitudes.
-        assert!(native > naive * 8.0, "native {native:.0} vs naive {naive:.0}");
-        assert!(optimized >= native * 0.95, "optimized must recover to native");
+        assert!(
+            native > naive * 8.0,
+            "native {native:.0} vs naive {naive:.0}"
+        );
+        assert!(
+            optimized >= native * 0.95,
+            "optimized must recover to native"
+        );
         assert!(
             (8.0..25.0).contains(&r.improvement),
             "improvement {:.1}",

@@ -10,6 +10,7 @@
 //! | [`fig5`] | Figure 5 — RocksDB `db_bench` flame graph | `fig5_rocksdb_flamegraph` |
 //! | [`fig6`] | Figure 6 + §IV-C IOPS table — SPDK case study | `fig6_spdk_casestudy` |
 //! | [`ablations`] | sampling bias, counter sources, selective profiling, EPC paging | `ablation_*` |
+//! | [`live`] | continuous-monitoring overhead of `teeperf-live` | `live_overhead` |
 //!
 //! Everything is deterministic; "10 runs" vary the workload seed, exactly
 //! like re-running a benchmark binary on fresh inputs.
@@ -18,4 +19,5 @@ pub mod ablations;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod live;
 pub mod util;

@@ -8,7 +8,10 @@ use std::path::{Path, PathBuf};
 /// Panics on an empty slice or non-positive values.
 pub fn geomean(values: &[f64]) -> f64 {
     assert!(!values.is_empty(), "geomean of nothing");
-    assert!(values.iter().all(|v| *v > 0.0), "geomean needs positive values");
+    assert!(
+        values.iter().all(|v| *v > 0.0),
+        "geomean needs positive values"
+    );
     let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
     (log_sum / values.len() as f64).exp()
 }
@@ -48,7 +51,12 @@ pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
     all.extend(rows.iter().cloned());
     let cols = header.len();
     let widths: Vec<usize> = (0..cols)
-        .map(|c| all.iter().map(|r| r.get(c).map_or(0, String::len)).max().unwrap_or(0))
+        .map(|c| {
+            all.iter()
+                .map(|r| r.get(c).map_or(0, String::len))
+                .max()
+                .unwrap_or(0)
+        })
         .collect();
     let mut out = String::new();
     for (i, row) in all.iter().enumerate() {
@@ -57,7 +65,11 @@ pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
                 out.push_str("  ");
             }
             let cell = row.get(c).map(String::as_str).unwrap_or("");
-            let numeric = cell.trim_start_matches(['-', '+']).chars().next().is_some_and(|ch| ch.is_ascii_digit());
+            let numeric = cell
+                .trim_start_matches(['-', '+'])
+                .chars()
+                .next()
+                .is_some_and(|ch| ch.is_ascii_digit());
             if numeric && i > 0 {
                 out.push_str(&format!("{cell:>w$}"));
             } else {
@@ -80,7 +92,9 @@ pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
 
 /// True when `path` exists and is non-empty (artifact sanity checks).
 pub fn artifact_ok(path: &Path) -> bool {
-    std::fs::metadata(path).map(|m| m.len() > 0).unwrap_or(false)
+    std::fs::metadata(path)
+        .map(|m| m.len() > 0)
+        .unwrap_or(false)
 }
 
 #[cfg(test)]
@@ -124,7 +138,10 @@ mod tests {
 
     #[test]
     fn artifacts_round_trip() {
-        std::env::set_var("TEEPERF_RESULTS", std::env::temp_dir().join("teeperf-results-test"));
+        std::env::set_var(
+            "TEEPERF_RESULTS",
+            std::env::temp_dir().join("teeperf-results-test"),
+        );
         let p = write_artifact("probe.txt", "hello");
         assert!(artifact_ok(&p));
         std::env::remove_var("TEEPERF_RESULTS");

@@ -224,7 +224,11 @@ impl Db {
 
     fn level_target_bytes(&self, l: usize) -> usize {
         // L1 budget grows ×multiplier per level below.
-        self.options.l1_bytes * self.options.level_multiplier.pow(l.saturating_sub(1) as u32)
+        self.options.l1_bytes
+            * self
+                .options
+                .level_multiplier
+                .pow(l.saturating_sub(1) as u32)
     }
 
     fn maybe_cascade(&mut self, machine: &mut Machine) {
@@ -244,14 +248,21 @@ impl Db {
         let probe = self.probe.clone();
         probe.scope(machine, "lsm::Compaction::Run", |machine| {
             let upper = std::mem::take(&mut self.levels[l]);
-            let lo = upper.iter().map(|t| t.min_key().to_vec()).min().expect("non-empty");
-            let hi = upper.iter().map(|t| t.max_key().to_vec()).max().expect("non-empty");
+            let lo = upper
+                .iter()
+                .map(|t| t.min_key().to_vec())
+                .min()
+                .expect("non-empty");
+            let hi = upper
+                .iter()
+                .map(|t| t.max_key().to_vec())
+                .max()
+                .expect("non-empty");
             // Pull in the overlapping run of the lower level.
-            let (overlapping, disjoint): (Vec<SsTable>, Vec<SsTable>) = std::mem::take(
-                &mut self.levels[l + 1],
-            )
-            .into_iter()
-            .partition(|t| t.overlaps(&lo, &hi));
+            let (overlapping, disjoint): (Vec<SsTable>, Vec<SsTable>) =
+                std::mem::take(&mut self.levels[l + 1])
+                    .into_iter()
+                    .partition(|t| t.overlaps(&lo, &hi));
 
             // Merge newest-wins. Upper level is newer than lower; within
             // L0, index 0 is newest — feed oldest first so later inserts
@@ -394,7 +405,11 @@ mod tests {
         let mut m = machine();
         let mut db = Db::open(tiny_options());
         for i in 0..200 {
-            db.put(&mut m, format!("key{i:04}").as_bytes(), format!("v{i}").as_bytes());
+            db.put(
+                &mut m,
+                format!("key{i:04}").as_bytes(),
+                format!("v{i}").as_bytes(),
+            );
         }
         assert!(db.stats().flushes > 0, "tiny memtable must have flushed");
         assert!(db.stats().compactions > 0, "L0 must have compacted");
@@ -458,7 +473,11 @@ mod tests {
         let mut m = machine();
         let mut db = Db::open(tiny_options());
         for i in (0..100).rev() {
-            db.put(&mut m, format!("key{i:03}").as_bytes(), format!("v{i}").as_bytes());
+            db.put(
+                &mut m,
+                format!("key{i:03}").as_bytes(),
+                format!("v{i}").as_bytes(),
+            );
         }
         db.delete(&mut m, b"key050");
         let out = db.scan(&mut m, b"key040", b"key060");

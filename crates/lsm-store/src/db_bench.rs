@@ -201,8 +201,16 @@ mod tests {
         let r = run_db_bench(&mut m, &small_options(), None);
         assert_eq!(r.ops, 2_000);
         let read_frac = r.reads as f64 / r.ops as f64;
-        assert!((0.75..0.85).contains(&read_frac), "read fraction {read_frac}");
-        assert!(r.read_hits > r.reads / 4, "too few hits: {}/{}", r.read_hits, r.reads);
+        assert!(
+            (0.75..0.85).contains(&read_frac),
+            "read fraction {read_frac}"
+        );
+        assert!(
+            r.read_hits > r.reads / 4,
+            "too few hits: {}/{}",
+            r.read_hits,
+            r.reads
+        );
         assert!(r.ops_per_sec > 0.0);
         assert!(r.mean_latency_ns > 0.0);
         assert!(r.db_stats.flushes > 0);
@@ -246,8 +254,7 @@ mod tests {
             assert!(names.contains(&expected), "missing probe {expected}");
         }
         // Multiple logical threads appear in the log.
-        let tids: std::collections::HashSet<u64> =
-            log.entries.iter().map(|e| e.tid).collect();
+        let tids: std::collections::HashSet<u64> = log.entries.iter().map(|e| e.tid).collect();
         assert!(tids.len() >= 4);
     }
 

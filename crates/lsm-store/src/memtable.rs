@@ -88,8 +88,22 @@ mod tests {
     fn put_get_overwrite() {
         let mut mt = MemTable::new();
         let mut machine = m();
-        mt.put(&mut machine, b"a".to_vec(), Entry { seq: 1, value: Some(b"1".to_vec()) });
-        mt.put(&mut machine, b"a".to_vec(), Entry { seq: 2, value: Some(b"2".to_vec()) });
+        mt.put(
+            &mut machine,
+            b"a".to_vec(),
+            Entry {
+                seq: 1,
+                value: Some(b"1".to_vec()),
+            },
+        );
+        mt.put(
+            &mut machine,
+            b"a".to_vec(),
+            Entry {
+                seq: 2,
+                value: Some(b"2".to_vec()),
+            },
+        );
         let e = mt.get(&mut machine, b"a").unwrap();
         assert_eq!(e.seq, 2);
         assert_eq!(e.value.as_deref(), Some(b"2".as_slice()));
@@ -100,7 +114,14 @@ mod tests {
     fn tombstones_are_visible() {
         let mut mt = MemTable::new();
         let mut machine = m();
-        mt.put(&mut machine, b"k".to_vec(), Entry { seq: 5, value: None });
+        mt.put(
+            &mut machine,
+            b"k".to_vec(),
+            Entry {
+                seq: 5,
+                value: None,
+            },
+        );
         assert_eq!(mt.get(&mut machine, b"k").unwrap().value, None);
     }
 
@@ -112,7 +133,10 @@ mod tests {
             mt.put(
                 &mut machine,
                 k.as_bytes().to_vec(),
-                Entry { seq: 1, value: Some(vec![0; 10]) },
+                Entry {
+                    seq: 1,
+                    value: Some(vec![0; 10]),
+                },
             );
         }
         assert!(mt.approximate_bytes() >= 3 * (1 + 10));
@@ -125,7 +149,14 @@ mod tests {
     fn operations_charge_cycles() {
         let mut mt = MemTable::new();
         let mut machine = m();
-        mt.put(&mut machine, b"x".to_vec(), Entry { seq: 1, value: None });
+        mt.put(
+            &mut machine,
+            b"x".to_vec(),
+            Entry {
+                seq: 1,
+                value: None,
+            },
+        );
         assert!(machine.clock().now() > 0);
     }
 }

@@ -36,7 +36,10 @@ impl SsTable {
     /// sortedness).
     pub fn build(machine: &mut Machine, id: u64, rows: Vec<(Vec<u8>, Entry)>) -> SsTable {
         assert!(!rows.is_empty(), "SSTs are never empty");
-        debug_assert!(rows.windows(2).all(|w| w[0].0 < w[1].0), "rows must be strictly sorted");
+        debug_assert!(
+            rows.windows(2).all(|w| w[0].0 < w[1].0),
+            "rows must be strictly sorted"
+        );
         let mut bloom = BloomFilter::with_capacity(rows.len(), 10);
         let mut bytes = 0;
         let mut index = Vec::with_capacity(rows.len() / BLOCK_ENTRIES + 1);
@@ -102,7 +105,10 @@ impl SsTable {
         }
         // Binary search the sparse index for the candidate block.
         machine.compute((self.index.len().max(1) as f64).log2().ceil() as u64 * CMP_CYCLES);
-        let block = match self.index.binary_search_by(|first| first.as_slice().cmp(key)) {
+        let block = match self
+            .index
+            .binary_search_by(|first| first.as_slice().cmp(key))
+        {
             Ok(b) => b,
             Err(0) => return SstLookup::Miss, // before the first key
             Err(b) => b - 1,
@@ -156,7 +162,12 @@ mod tests {
     fn build_table(n: usize) -> (SsTable, Machine) {
         let mut m = Machine::new(CostModel::native());
         let rows: Vec<(Vec<u8>, Entry)> = (0..n)
-            .map(|i| (format!("key{i:05}").into_bytes(), entry(format!("v{i}").as_bytes())))
+            .map(|i| {
+                (
+                    format!("key{i:05}").into_bytes(),
+                    entry(format!("v{i}").as_bytes()),
+                )
+            })
             .collect();
         let t = SsTable::build(&mut m, 1, rows);
         (t, m)
@@ -185,10 +196,7 @@ mod tests {
             }
         }
         // A key before the table's range must miss.
-        assert_ne!(
-            t.get(&mut m, b"aaa"),
-            SstLookup::Found(entry(b"x"))
-        );
+        assert_ne!(t.get(&mut m, b"aaa"), SstLookup::Found(entry(b"x")));
     }
 
     #[test]
@@ -223,7 +231,10 @@ mod tests {
         let t0 = m2.clock().now();
         let _ = t.get(&mut m2, b"key00100");
         let hit_cost = m2.clock().now() - t0;
-        assert!(hit_cost > skip_cost * 2, "hit {hit_cost} vs skip {skip_cost}");
+        assert!(
+            hit_cost > skip_cost * 2,
+            "hit {hit_cost} vs skip {skip_cost}"
+        );
     }
 
     #[test]

@@ -34,13 +34,7 @@ impl Wal {
 
     /// Append one record: `seq`, key and optional value (tombstone when
     /// `None`). Charges serialization plus the write syscall.
-    pub fn append(
-        &mut self,
-        machine: &mut Machine,
-        seq: u64,
-        key: &[u8],
-        value: Option<&[u8]>,
-    ) {
+    pub fn append(&mut self, machine: &mut Machine, seq: u64, key: &[u8], value: Option<&[u8]>) {
         let mut rec = Vec::with_capacity(24 + key.len() + value.map_or(0, <[u8]>::len));
         rec.extend_from_slice(&seq.to_le_bytes());
         rec.extend_from_slice(&(key.len() as u32).to_le_bytes());
@@ -58,7 +52,8 @@ impl Wal {
         let sum = checksum(&rec);
         machine.compute((rec.len() as u64).div_ceil(64) * CYCLES_PER_LINE);
         machine.syscall(Syscalls::Write);
-        self.buf.extend_from_slice(&(rec.len() as u32).to_le_bytes());
+        self.buf
+            .extend_from_slice(&(rec.len() as u32).to_le_bytes());
         self.buf.extend_from_slice(&sum.to_le_bytes());
         self.buf.extend_from_slice(&rec);
         self.records += 1;

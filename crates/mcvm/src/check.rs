@@ -339,7 +339,10 @@ pub fn check(program: &Program) -> Result<TypedProgram, McError> {
     if let Some(idx) = main {
         let f = &tfunctions[idx as usize];
         if !f.params.is_empty() || f.ret != Type::Int {
-            return Err(terr(f.line, "`main` must have signature `fn main() -> int`"));
+            return Err(terr(
+                f.line,
+                "`main` must have signature `fn main() -> int`",
+            ));
         }
     }
 
@@ -429,7 +432,10 @@ impl<'a> Checker<'a> {
             .ok_or_else(|| terr(line, "too many locals"))?;
         let scope = self.scopes.last_mut().expect("scope stack non-empty");
         if scope.insert(name.to_string(), (slot, ty)).is_some() {
-            return Err(terr(line, format!("`{name}` already declared in this scope")));
+            return Err(terr(
+                line,
+                format!("`{name}` already declared in this scope"),
+            ));
         }
         Ok(slot)
     }
@@ -453,7 +459,10 @@ impl<'a> Checker<'a> {
                 if init.ty != *ty {
                     return Err(terr(
                         *line,
-                        format!("`{name}` declared `{ty}` but initialized with `{}`", init.ty),
+                        format!(
+                            "`{name}` declared `{ty}` but initialized with `{}`",
+                            init.ty
+                        ),
                     ));
                 }
                 let slot = self.declare_local(name, ty.clone(), *line)?;
@@ -567,25 +576,21 @@ impl<'a> Checker<'a> {
                 self.scopes.pop();
                 result
             }
-            Stmt::Return { expr, line } => {
-                match (expr, self.current_ret.clone()) {
-                    (None, Type::Void) => Ok(TStmt::Return(None)),
-                    (None, ret) => Err(terr(*line, format!("must return a value of type `{ret}`"))),
-                    (Some(_), Type::Void) => {
-                        Err(terr(*line, "void function cannot return a value"))
+            Stmt::Return { expr, line } => match (expr, self.current_ret.clone()) {
+                (None, Type::Void) => Ok(TStmt::Return(None)),
+                (None, ret) => Err(terr(*line, format!("must return a value of type `{ret}`"))),
+                (Some(_), Type::Void) => Err(terr(*line, "void function cannot return a value")),
+                (Some(e), ret) => {
+                    let e = self.check_expr(e, Some(&ret))?;
+                    if e.ty != ret {
+                        return Err(terr(
+                            *line,
+                            format!("returning `{}` from a function returning `{ret}`", e.ty),
+                        ));
                     }
-                    (Some(e), ret) => {
-                        let e = self.check_expr(e, Some(&ret))?;
-                        if e.ty != ret {
-                            return Err(terr(
-                                *line,
-                                format!("returning `{}` from a function returning `{ret}`", e.ty),
-                            ));
-                        }
-                        Ok(TStmt::Return(Some(e)))
-                    }
+                    Ok(TStmt::Return(Some(e)))
                 }
-            }
+            },
             Stmt::Break { line } => {
                 if self.loop_depth == 0 {
                     return Err(terr(*line, "`break` outside a loop"));
@@ -654,9 +659,7 @@ impl<'a> Checker<'a> {
                     (UnOp::Neg, Type::Int) => Type::Int,
                     (UnOp::Neg, Type::Float) => Type::Float,
                     (UnOp::Not, Type::Int) => Type::Int,
-                    (op, ty) => {
-                        return Err(terr(*line, format!("cannot apply {op:?} to `{ty}`")))
-                    }
+                    (op, ty) => return Err(terr(*line, format!("cannot apply {op:?} to `{ty}`"))),
                 };
                 Ok(TExpr {
                     ty,
@@ -819,7 +822,10 @@ impl<'a> Checker<'a> {
                 }
                 let a = self.check_expr(&args[0], None)?;
                 if !matches!(a.ty, Type::Array(_)) {
-                    return Err(terr(line, format!("`len` requires an array, got `{}`", a.ty)));
+                    return Err(terr(
+                        line,
+                        format!("`len` requires an array, got `{}`", a.ty),
+                    ));
                 }
                 Ok(TExpr {
                     ty: Type::Int,
@@ -832,13 +838,22 @@ impl<'a> Checker<'a> {
             }
             Builtin::Spawn => {
                 if args.len() != 2 {
-                    return Err(terr(line, "`spawn` takes a function name and an `int` argument"));
+                    return Err(terr(
+                        line,
+                        "`spawn` takes a function name and an `int` argument",
+                    ));
                 }
                 let Expr::Var(fname, _) = &args[0] else {
-                    return Err(terr(line, "first argument to `spawn` must be a function name"));
+                    return Err(terr(
+                        line,
+                        "first argument to `spawn` must be a function name",
+                    ));
                 };
                 let Some(sig) = self.fns.get(fname) else {
-                    return Err(terr(line, format!("`spawn` of undefined function `{fname}`")));
+                    return Err(terr(
+                        line,
+                        format!("`spawn` of undefined function `{fname}`"),
+                    ));
                 };
                 if sig.params != [Type::Int] || sig.ret != Type::Int {
                     return Err(terr(
@@ -968,8 +983,9 @@ mod tests {
 
     #[test]
     fn locals_get_distinct_slots() {
-        let p = check_src("fn f(a: int) -> int { let b: int = 1; let c: int = 2; return a + b + c; }")
-            .unwrap();
+        let p =
+            check_src("fn f(a: int) -> int { let b: int = 1; let c: int = 2; return a + b + c; }")
+                .unwrap();
         assert_eq!(p.functions[0].n_locals, 3);
     }
 
@@ -1015,16 +1031,15 @@ mod tests {
 
     #[test]
     fn nested_array_alloc() {
-        check_src(
-            "fn f() { let m: [[int]] = alloc(2); m[0] = alloc(3); m[0][1] = 7; }",
-        )
-        .unwrap();
+        check_src("fn f() { let m: [[int]] = alloc(2); m[0] = alloc(3); m[0][1] = 7; }").unwrap();
     }
 
     #[test]
     fn string_literals_are_int_arrays_and_interned() {
-        let p = check_src(r#"fn f() -> int { let s: [int] = "ab"; let t: [int] = "ab"; return s[0] + t[1]; }"#)
-            .unwrap();
+        let p = check_src(
+            r#"fn f() -> int { let s: [int] = "ab"; let t: [int] = "ab"; return s[0] + t[1]; }"#,
+        )
+        .unwrap();
         assert_eq!(p.strings.len(), 1);
         assert_eq!(p.strings[0], vec![97, 98]);
     }
@@ -1045,10 +1060,10 @@ mod tests {
     #[test]
     fn missing_return_detected() {
         assert!(check_src("fn f(x: int) -> int { if (x > 0) { return 1; } }").is_err());
-        assert!(check_src(
-            "fn f(x: int) -> int { if (x > 0) { return 1; } else { return 2; } }"
-        )
-        .is_ok());
+        assert!(
+            check_src("fn f(x: int) -> int { if (x > 0) { return 1; } else { return 2; } }")
+                .is_ok()
+        );
     }
 
     #[test]
@@ -1083,7 +1098,9 @@ mod tests {
 
     #[test]
     fn wrong_arity_rejected() {
-        assert!(check_src("fn g(a: int) -> int { return a; } fn f() -> int { return g(); }").is_err());
+        assert!(
+            check_src("fn g(a: int) -> int { return a; } fn f() -> int { return g(); }").is_err()
+        );
         assert!(check_src("fn f() -> int { return len(); }").is_err());
     }
 
@@ -1094,14 +1111,12 @@ mod tests {
 
     #[test]
     fn atomic_add_checks_types() {
-        assert!(check_src(
-            "global c: [int]; fn f() -> int { return atomic_add(c, 0, 1); }"
-        )
-        .is_ok());
-        assert!(check_src(
-            "global c: [float]; fn f() -> int { return atomic_add(c, 0, 1); }"
-        )
-        .is_err());
+        assert!(
+            check_src("global c: [int]; fn f() -> int { return atomic_add(c, 0, 1); }").is_ok()
+        );
+        assert!(
+            check_src("global c: [float]; fn f() -> int { return atomic_add(c, 0, 1); }").is_err()
+        );
     }
 
     #[test]

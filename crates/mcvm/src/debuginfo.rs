@@ -147,9 +147,10 @@ impl DebugInfo {
             }
             let mut parts = row.split_whitespace();
             let mangled = parts.next()?.to_string();
-            let base_addr = parts.next()?.strip_prefix("0x").and_then(|h| {
-                u64::from_str_radix(h, 16).ok()
-            })?;
+            let base_addr = parts
+                .next()?
+                .strip_prefix("0x")
+                .and_then(|h| u64::from_str_radix(h, 16).ok())?;
             let size: u64 = parts.next()?.parse().ok()?;
             let decl_line: u32 = parts.next()?.parse().ok()?;
             if parts.next().is_some() {
@@ -204,7 +205,9 @@ mod tests {
         let worker = &d.functions()[2];
         assert_eq!(d.function_at(worker.base_addr).unwrap().name, "worker");
         assert_eq!(
-            d.function_at(worker.base_addr + worker.size - 1).unwrap().name,
+            d.function_at(worker.base_addr + worker.size - 1)
+                .unwrap()
+                .name,
             "worker"
         );
         assert_eq!(d.function_at(ENCLAVE_TEXT_BASE).unwrap().name, "main");
@@ -231,8 +234,9 @@ mod tests {
     fn from_text_rejects_garbage() {
         assert!(DebugInfo::from_text("nonsense").is_none());
         assert!(DebugInfo::from_text("# teeperf symbols v1\nbad row here\n").is_none());
-        assert!(DebugInfo::from_text("# teeperf symbols v1\n_MC4mainv 0x400000 40 1 extra\n")
-            .is_none());
+        assert!(
+            DebugInfo::from_text("# teeperf symbols v1\n_MC4mainv 0x400000 40 1 extra\n").is_none()
+        );
     }
 
     #[test]

@@ -474,21 +474,21 @@ mod tests {
     fn expression_statement_pops() {
         let p = compile_src("fn g() -> int { return 1; } fn main() -> int { g(); return 0; }");
         let main = &p.functions[1];
-        assert!(main.code.windows(2).any(|w| matches!(w, [Instr::Call(0), Instr::Pop])));
+        assert!(main
+            .code
+            .windows(2)
+            .any(|w| matches!(w, [Instr::Call(0), Instr::Pop])));
     }
 
     #[test]
     fn alloc_pushes_elem_code() {
         let p = compile_src("fn main() -> int { let a: [float] = alloc(3); return len(a); }");
         let main = &p.functions[0];
-        assert!(main
-            .code
-            .windows(3)
-            .any(|w| matches!(
-                w,
-                [Instr::PushInt(c), Instr::PushInt(3), Instr::CallBuiltin(Builtin::Alloc)]
-                if *c == elem_code::FLOAT
-            )));
+        assert!(main.code.windows(3).any(|w| matches!(
+            w,
+            [Instr::PushInt(c), Instr::PushInt(3), Instr::CallBuiltin(Builtin::Alloc)]
+            if *c == elem_code::FLOAT
+        )));
     }
 
     #[test]

@@ -80,21 +80,31 @@ impl<'a> Reader<'a> {
         Ok(self.take(1)?[0])
     }
     fn u16(&mut self) -> Result<u16, ObjError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
     }
     fn u32(&mut self) -> Result<u32, ObjError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
     fn i64(&mut self) -> Result<i64, ObjError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
     fn f64(&mut self) -> Result<f64, ObjError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
     fn str(&mut self) -> Result<String, ObjError> {
         let n = self.u32()? as usize;
         if n > 1 << 20 {
-            return Err(ObjError::Malformed(format!("implausible string length {n}")));
+            return Err(ObjError::Malformed(format!(
+                "implausible string length {n}"
+            )));
         }
         String::from_utf8(self.take(n)?.to_vec())
             .map_err(|_| ObjError::Malformed("non-utf8 string".into()))
@@ -584,7 +594,10 @@ mod tests {
         for i in &all {
             write_instr(&mut w, *i);
         }
-        let mut r = Reader { buf: &w.buf, pos: 0 };
+        let mut r = Reader {
+            buf: &w.buf,
+            pos: 0,
+        };
         for expected in &all {
             assert_eq!(read_instr(&mut r).unwrap(), *expected);
         }

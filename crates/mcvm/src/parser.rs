@@ -364,11 +364,7 @@ impl Parser {
         self.or_expr()
     }
 
-    fn binary_level<F>(
-        &mut self,
-        next: F,
-        ops: &[(Tok, BinOp)],
-    ) -> Result<Expr, McError>
+    fn binary_level<F>(&mut self, next: F, ops: &[(Tok, BinOp)]) -> Result<Expr, McError>
     where
         F: Fn(&mut Parser) -> Result<Expr, McError>,
     {
@@ -590,7 +586,12 @@ mod tests {
         let Stmt::Return { expr: Some(e), .. } = &p.functions[0].body[0] else {
             panic!("expected return");
         };
-        let Expr::Binary { op: BinOp::Add, rhs, .. } = e else {
+        let Expr::Binary {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = e
+        else {
             panic!("expected add at the top: {e:?}");
         };
         assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));

@@ -219,8 +219,8 @@ impl<'a> Lexer<'a> {
                 return Err(self.err("empty hex literal"));
             }
             let text = std::str::from_utf8(&self.src[hstart..self.pos]).expect("ascii");
-            let v = i64::from_str_radix(text, 16)
-                .map_err(|_| self.err("hex literal out of range"))?;
+            let v =
+                i64::from_str_radix(text, 16).map_err(|_| self.err("hex literal out of range"))?;
             return Ok(Tok::Int(v));
         }
         while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
@@ -478,10 +478,7 @@ mod tests {
 
     #[test]
     fn lexes_strings_and_chars() {
-        assert_eq!(
-            kinds(r#""hi\n""#),
-            vec![Tok::Str("hi\n".into()), Tok::Eof]
-        );
+        assert_eq!(kinds(r#""hi\n""#), vec![Tok::Str("hi\n".into()), Tok::Eof]);
         assert_eq!(kinds("'a'"), vec![Tok::Int(97), Tok::Eof]);
         assert_eq!(kinds(r"'\n'"), vec![Tok::Int(10), Tok::Eof]);
     }

@@ -296,12 +296,7 @@ impl Vm {
     /// Fails if the global is missing, null, or holds non-integers.
     pub fn read_global_int_array(&self, name: &str) -> Result<Vec<i64>, McError> {
         let r = self.global_value(name)?.as_ref()?;
-        self.heap
-            .get(r)?
-            .data
-            .iter()
-            .map(|v| v.as_int())
-            .collect()
+        self.heap.get(r)?.data.iter().map(|v| v.as_int()).collect()
     }
 
     /// Read a `[float]` global as a vector.
@@ -413,7 +408,9 @@ impl Vm {
 
     #[inline]
     fn pop(stack: &mut Vec<Value>) -> Result<Value, McError> {
-        stack.pop().ok_or_else(|| McError::runtime("operand stack underflow"))
+        stack
+            .pop()
+            .ok_or_else(|| McError::runtime("operand stack underflow"))
     }
 
     fn step(&mut self, t: usize, program: &CompiledProgram) -> Result<(), McError> {
@@ -425,11 +422,17 @@ impl Vm {
         }
 
         let (fn_idx, ip_before) = {
-            let frame = self.threads[t].frames.last().expect("live thread has a frame");
+            let frame = self.threads[t]
+                .frames
+                .last()
+                .expect("live thread has a frame");
             (frame.fn_idx, frame.ip)
         };
         let func = &program.functions[fn_idx as usize];
-        debug_assert!((ip_before as usize) < func.code.len(), "ip ran off function end");
+        debug_assert!(
+            (ip_before as usize) < func.code.len(),
+            "ip ran off function end"
+        );
         let instr = func.code[ip_before as usize];
         self.machine.compute(base_cost(instr));
         self.threads[t].frames.last_mut().expect("frame").ip = ip_before + 1;
@@ -458,7 +461,8 @@ impl Vm {
                 self.threads[t].stack.push(v);
             }
             Instr::StoreGlobal(idx) => {
-                self.machine.write(ENCLAVE_HEAP_BASE + u64::from(idx) * 8, 8);
+                self.machine
+                    .write(ENCLAVE_HEAP_BASE + u64::from(idx) * 8, 8);
                 let v = Self::pop(&mut self.threads[t].stack)?;
                 self.globals[idx as usize] = v;
             }
@@ -480,8 +484,16 @@ impl Vm {
                 self.machine.write(addr, 8);
                 self.heap.get_mut(r)?.data[idx as usize] = v;
             }
-            Instr::IAdd | Instr::ISub | Instr::IMul | Instr::IDiv | Instr::IRem
-            | Instr::BitAnd | Instr::BitOr | Instr::BitXor | Instr::Shl | Instr::Shr => {
+            Instr::IAdd
+            | Instr::ISub
+            | Instr::IMul
+            | Instr::IDiv
+            | Instr::IRem
+            | Instr::BitAnd
+            | Instr::BitOr
+            | Instr::BitXor
+            | Instr::Shl
+            | Instr::Shr => {
                 let th = &mut self.threads[t];
                 let b = Self::pop(&mut th.stack)?.as_int()?;
                 let a = Self::pop(&mut th.stack)?.as_int()?;
@@ -489,12 +501,12 @@ impl Vm {
                     Instr::IAdd => a.wrapping_add(b),
                     Instr::ISub => a.wrapping_sub(b),
                     Instr::IMul => a.wrapping_mul(b),
-                    Instr::IDiv => a.checked_div(b).ok_or_else(|| {
-                        McError::runtime("integer division by zero or overflow")
-                    })?,
-                    Instr::IRem => a.checked_rem(b).ok_or_else(|| {
-                        McError::runtime("integer remainder by zero or overflow")
-                    })?,
+                    Instr::IDiv => a
+                        .checked_div(b)
+                        .ok_or_else(|| McError::runtime("integer division by zero or overflow"))?,
+                    Instr::IRem => a
+                        .checked_rem(b)
+                        .ok_or_else(|| McError::runtime("integer remainder by zero or overflow"))?,
                     Instr::BitAnd => a & b,
                     Instr::BitOr => a | b,
                     Instr::BitXor => a ^ b,
@@ -669,7 +681,9 @@ impl Vm {
                     return Err(McError::runtime(format!("alloc of negative size {count}")));
                 }
                 if count > 1 << 27 {
-                    return Err(McError::runtime(format!("alloc of {count} elements exceeds the VM limit")));
+                    return Err(McError::runtime(format!(
+                        "alloc of {count} elements exceeds the VM limit"
+                    )));
                 }
                 let fill = match code {
                     elem_code::INT => Value::Int(0),
@@ -826,7 +840,9 @@ mod tests {
     fn arithmetic_and_calls() {
         assert_eq!(run_src("fn main() -> int { return 2 + 3 * 4; }"), 14);
         assert_eq!(
-            run_src("fn sq(x: int) -> int { return x * x; } fn main() -> int { return sq(sq(2)); }"),
+            run_src(
+                "fn sq(x: int) -> int { return x * x; } fn main() -> int { return sq(sq(2)); }"
+            ),
             16
         );
         assert_eq!(run_src("fn main() -> int { return 7 / 2 + 7 % 2; }"), 4);
@@ -840,7 +856,10 @@ mod tests {
             6
         );
         assert_eq!(run_src("fn main() -> int { return ftoi(sqrt(81.0)); }"), 9);
-        assert_eq!(run_src("fn main() -> int { return ftoi(fabs(-2.5) * 2.0); }"), 5);
+        assert_eq!(
+            run_src("fn main() -> int { return ftoi(fabs(-2.5) * 2.0); }"),
+            5
+        );
         assert_eq!(run_src("fn main() -> int { return ftoi(floor(2.9)); }"), 2);
     }
 
@@ -986,7 +1005,9 @@ mod tests {
                  for (let i: int = 0; i < 8; i = i + 1) { join(tids[i]); }
                  return acc[0];
              }";
-        let expected = (0..8).map(|id| (0..100).map(|i| i * id).sum::<i64>()).sum::<i64>();
+        let expected = (0..8)
+            .map(|id| (0..100).map(|i| i * id).sum::<i64>())
+            .sum::<i64>();
         let a = run_src(src);
         assert_eq!(a, expected);
         // Determinism: same cycle count on a second run.
@@ -1133,7 +1154,10 @@ mod tests {
         )
         .unwrap();
         let mut vm = Vm::new(p, Machine::new(CostModel::native()));
-        vm.set_observer(Box::new(Counter { seen: 0, max_depth: 0 }));
+        vm.set_observer(Box::new(Counter {
+            seen: 0,
+            max_depth: 0,
+        }));
         vm.run().unwrap();
         // The observer box is owned by the VM; re-extract is not offered, so
         // assert indirectly through executed_instructions.
@@ -1194,9 +1218,16 @@ mod edge_tests {
 
     #[test]
     fn bit_operations_semantics() {
-        assert_eq!(run_src("fn main() -> int { return (12 & 10) | (1 ^ 3); }"), 8 | 2);
+        assert_eq!(
+            run_src("fn main() -> int { return (12 & 10) | (1 ^ 3); }"),
+            8 | 2
+        );
         assert_eq!(run_src("fn main() -> int { return 1 << 10; }"), 1024);
-        assert_eq!(run_src("fn main() -> int { return -8 >> 1; }"), -4, "arithmetic shift");
+        assert_eq!(
+            run_src("fn main() -> int { return -8 >> 1; }"),
+            -4,
+            "arithmetic shift"
+        );
         // Shift counts wrap modulo 64, like x86.
         assert_eq!(run_src("fn main() -> int { return 1 << 64; }"), 1);
     }
@@ -1206,7 +1237,10 @@ mod edge_tests {
         assert_eq!(run_src("fn main() -> int { return 1.5 < 2.5; }"), 1);
         assert_eq!(run_src("fn main() -> int { return 2.5 <= 2.5; }"), 1);
         assert_eq!(run_src("fn main() -> int { return 2.5 != 2.5; }"), 0);
-        assert_eq!(run_src("fn main() -> int { return ftoi(-(-3.5) * 2.0); }"), 7);
+        assert_eq!(
+            run_src("fn main() -> int { return ftoi(-(-3.5) * 2.0); }"),
+            7
+        );
         // 0.0/0.0 is NaN: all comparisons false.
         assert_eq!(
             run_src("fn main() -> int { let z: float = 0.0; let n: float = z / z; return (n == n) + (n < 1.0) + (n > 1.0); }"),
@@ -1221,7 +1255,9 @@ mod edge_tests {
             1
         );
         assert_eq!(
-            run_src("fn main() -> int { let big: int = 0x7fffffffffffffff; return -(-big) == big; }"),
+            run_src(
+                "fn main() -> int { let big: int = 0x7fffffffffffffff; return -(-big) == big; }"
+            ),
             1
         );
     }
@@ -1259,7 +1295,10 @@ mod edge_tests {
 
     #[test]
     fn zero_length_array_is_usable_but_unindexable() {
-        assert_eq!(run_src("fn main() -> int { let a: [int] = alloc(0); return len(a); }"), 0);
+        assert_eq!(
+            run_src("fn main() -> int { let a: [int] = alloc(0); return len(a); }"),
+            0
+        );
         let p = compile("fn main() -> int { let a: [int] = alloc(0); return a[0]; }").unwrap();
         let mut vm = Vm::new(p, Machine::new(CostModel::native()));
         assert!(vm.run().is_err());

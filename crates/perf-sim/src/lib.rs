@@ -176,8 +176,7 @@ impl PerfReport {
             let leaf = symbolizer.name_of(s.ip);
             *flat.entry(leaf).or_default() += 1;
             if !s.stack.is_empty() {
-                let path: Vec<String> =
-                    s.stack.iter().map(|a| symbolizer.name_of(*a)).collect();
+                let path: Vec<String> = s.stack.iter().map(|a| symbolizer.name_of(*a)).collect();
                 *folded.entry(path).or_default() += 1;
             }
         }

@@ -65,7 +65,9 @@ pub fn suite(scale: Scale, seed: u64) -> Vec<Box<dyn Benchmark>> {
     vec![
         Box::new(workloads::histogram::Histogram::new(scale, seed)),
         Box::new(workloads::kmeans::KMeans::new(scale, seed)),
-        Box::new(workloads::linear_regression::LinearRegression::new(scale, seed)),
+        Box::new(workloads::linear_regression::LinearRegression::new(
+            scale, seed,
+        )),
         Box::new(workloads::matrix_mult::MatrixMult::new(scale, seed)),
         Box::new(workloads::pca::Pca::new(scale, seed)),
         Box::new(workloads::string_match::StringMatch::new(scale, seed)),
@@ -78,10 +80,7 @@ pub fn suite(scale: Scale, seed: u64) -> Vec<Box<dyn Benchmark>> {
 ///
 /// # Errors
 /// Returns the VM error or the verification failure as a string.
-pub fn run_and_verify(
-    bench: &dyn Benchmark,
-    cost: tee_sim::CostModel,
-) -> Result<Vm, String> {
+pub fn run_and_verify(bench: &dyn Benchmark, cost: tee_sim::CostModel) -> Result<Vm, String> {
     let program = mcvm::compile(bench.source())
         .map_err(|e| format!("{}: compile error: {e}", bench.name()))?;
     let mut vm = Vm::new(program, tee_sim::Machine::new(cost));
@@ -90,7 +89,9 @@ pub fn run_and_verify(
         .map_err(|e| format!("{}: setup error: {e}", bench.name()))?;
     vm.run()
         .map_err(|e| format!("{}: runtime error: {e}", bench.name()))?;
-    bench.verify(&vm).map_err(|e| format!("{}: {e}", bench.name()))?;
+    bench
+        .verify(&vm)
+        .map_err(|e| format!("{}: {e}", bench.name()))?;
     Ok(vm)
 }
 
@@ -143,12 +144,7 @@ mod tests {
             )
             .unwrap();
             assert_eq!(run.exit_code, 0, "{} nonzero exit", b.name());
-            let calls = run
-                .log
-                .entries
-                .iter()
-                .filter(|e| e.kind.is_call())
-                .count();
+            let calls = run.log.entries.iter().filter(|e| e.kind.is_call()).count();
             let rets = run.log.entries.len() - calls;
             assert_eq!(calls, rets, "{} unbalanced log", b.name());
             // linear_regression is deliberately call-sparse (main + workers

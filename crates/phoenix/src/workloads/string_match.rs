@@ -116,8 +116,7 @@ impl StringMatch {
         for w in 0..self.n_words as usize {
             let word = generators::word_at(&self.text, &self.offs, w);
             for k in 0..4 {
-                let key =
-                    &self.keys[self.key_offs[k] as usize..self.key_offs[k + 1] as usize];
+                let key = &self.keys[self.key_offs[k] as usize..self.key_offs[k + 1] as usize];
                 if word == key {
                     found[k] += 1;
                 }

@@ -97,10 +97,8 @@ impl NvmeDevice {
 
     /// Poll: remove and return all commands completed by `now`.
     pub fn poll(&mut self, now: u64) -> Vec<InFlight> {
-        let (done, pending): (Vec<InFlight>, Vec<InFlight>) = self
-            .in_flight
-            .iter()
-            .partition(|c| c.complete_at <= now);
+        let (done, pending): (Vec<InFlight>, Vec<InFlight>) =
+            self.in_flight.iter().partition(|c| c.complete_at <= now);
         self.in_flight = pending;
         self.completed_total += done.len() as u64;
         done

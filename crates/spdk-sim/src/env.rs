@@ -196,7 +196,10 @@ mod tests {
         // After the most recent correction the cache is within one refresh
         // window of real time.
         let real = m.clock().now();
-        assert!(real.abs_diff(last) < 20_000, "cache drifted: {last} vs {real}");
+        assert!(
+            real.abs_diff(last) < 20_000,
+            "cache drifted: {last} vs {real}"
+        );
     }
 
     #[test]

@@ -129,7 +129,10 @@ mod tests {
             channels: 8,
             blocks: 1_000,
         });
-        (QueuePair::new(device, depth), Machine::new(CostModel::native()))
+        (
+            QueuePair::new(device, depth),
+            Machine::new(CostModel::native()),
+        )
     }
 
     #[test]
@@ -160,8 +163,16 @@ mod tests {
     fn completions_preserve_counts() {
         let (mut q, mut m) = qp(8);
         for i in 0..8 {
-            q.submit(&mut m, i, if i % 2 == 0 { IoKind::Read } else { IoKind::Write })
-                .unwrap();
+            q.submit(
+                &mut m,
+                i,
+                if i % 2 == 0 {
+                    IoKind::Read
+                } else {
+                    IoKind::Write
+                },
+            )
+            .unwrap();
         }
         let mut reaped = 0;
         while reaped < 8 {

@@ -155,20 +155,19 @@ fn submit_single_io(
                 probe.scope(machine, "pcie_qpair_submit_request", |machine| {
                     getpid_site(probe, machine, env, 2);
                     machine.compute(SUBMIT_WORK_CYCLES / 2);
-                    qp.submit(machine, lba, if is_read { IoKind::Read } else { IoKind::Write })
-                        .expect("caller checked queue depth");
+                    qp.submit(
+                        machine,
+                        lba,
+                        if is_read { IoKind::Read } else { IoKind::Write },
+                    )
+                    .expect("caller checked queue depth");
                 });
             });
         });
     });
 }
 
-fn check_io(
-    probe: &Probe,
-    machine: &mut Machine,
-    env: &mut SpdkEnv,
-    qp: &mut QueuePair,
-) -> u64 {
+fn check_io(probe: &Probe, machine: &mut Machine, env: &mut SpdkEnv, qp: &mut QueuePair) -> u64 {
     probe.scope(machine, "check_io", |machine| {
         probe.scope(machine, "qpair_process_completions", |machine| {
             probe.scope(machine, "transport_qpair_process_completions", |machine| {
@@ -370,7 +369,15 @@ mod tests {
         let debug = profiler.borrow().debug_info();
         let analyzer = teeperf_analyzer::Analyzer::new(log, debug).unwrap();
         let fg = teeperf_flamegraph::FlameGraph::from_folded(&analyzer.profile().folded);
-        assert!(fg.fraction("getpid") < 0.10, "getpid {:.3}", fg.fraction("getpid"));
-        assert!(fg.fraction("rdtsc") < 0.10, "rdtsc {:.3}", fg.fraction("rdtsc"));
+        assert!(
+            fg.fraction("getpid") < 0.10,
+            "getpid {:.3}",
+            fg.fraction("getpid")
+        );
+        assert!(
+            fg.fraction("rdtsc") < 0.10,
+            "rdtsc {:.3}",
+            fg.fraction("rdtsc")
+        );
     }
 }

@@ -47,12 +47,10 @@ impl Clock {
     pub fn advance_to(&self, deadline: u64) -> u64 {
         let mut cur = self.now();
         while cur < deadline {
-            match self.cycles.compare_exchange(
-                cur,
-                deadline,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
+            match self
+                .cycles
+                .compare_exchange(cur, deadline, Ordering::Relaxed, Ordering::Relaxed)
+            {
                 Ok(_) => return deadline,
                 Err(seen) => cur = seen,
             }

@@ -151,14 +151,26 @@ impl Machine {
 
     /// Charge one memory read of `len` bytes at `addr`; returns cycles charged.
     pub fn read(&mut self, addr: u64, len: u64) -> u64 {
-        self.memory
-            .access(addr, len, AccessKind::Read, &self.cost, &self.clock, &mut self.stats)
+        self.memory.access(
+            addr,
+            len,
+            AccessKind::Read,
+            &self.cost,
+            &self.clock,
+            &mut self.stats,
+        )
     }
 
     /// Charge one memory write of `len` bytes at `addr`; returns cycles charged.
     pub fn write(&mut self, addr: u64, len: u64) -> u64 {
-        self.memory
-            .access(addr, len, AccessKind::Write, &self.cost, &self.clock, &mut self.stats)
+        self.memory.access(
+            addr,
+            len,
+            AccessKind::Write,
+            &self.cost,
+            &self.clock,
+            &mut self.stats,
+        )
     }
 
     /// Number of enclave pages resident in the EPC.
@@ -330,7 +342,11 @@ mod edge_tests {
         m.ecall();
         m.ocall();
         m.eexit();
-        assert!(m.clock().now() < 100, "native transitions ~free, got {}", m.clock().now());
+        assert!(
+            m.clock().now() < 100,
+            "native transitions ~free, got {}",
+            m.clock().now()
+        );
     }
 
     #[test]

@@ -12,7 +12,9 @@ use std::collections::{BTreeMap, HashMap};
 
 use crate::arch::CostModel;
 use crate::stats::MachineStats;
-use crate::{CACHE_LINE, ENCLAVE_HEAP_BASE, ENCLAVE_STACK_BASE, ENCLAVE_TEXT_BASE, PAGE_SIZE, SHM_BASE};
+use crate::{
+    CACHE_LINE, ENCLAVE_HEAP_BASE, ENCLAVE_STACK_BASE, ENCLAVE_TEXT_BASE, PAGE_SIZE, SHM_BASE,
+};
 
 /// Which part of the simulated address space an address falls in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -239,8 +241,7 @@ impl MemoryModel {
         MemoryModel {
             tlb: Tlb::new(cost.tlb_entries),
             epc: Epc::new(cost.epc_pages),
-            cache: (cost.cache_lines > 0)
-                .then(|| LlCache::new(cost.cache_lines, cost.cache_assoc)),
+            cache: (cost.cache_lines > 0).then(|| LlCache::new(cost.cache_lines, cost.cache_assoc)),
         }
     }
 
@@ -337,7 +338,11 @@ mod tests {
     use crate::{Clock, MachineStats};
 
     fn setup(cost: &CostModel) -> (MemoryModel, Clock, MachineStats) {
-        (MemoryModel::new(cost), Clock::new(), MachineStats::default())
+        (
+            MemoryModel::new(cost),
+            Clock::new(),
+            MachineStats::default(),
+        )
     }
 
     #[test]
@@ -357,9 +362,30 @@ mod tests {
         let (mut mem, clock, mut stats) = setup(&cost);
         // Warm the TLB on both pages (one dummy line each) so the compared
         // accesses differ only in the MEE tax of the cache-line fill.
-        mem.access(ENCLAVE_HEAP_BASE + 512, 8, AccessKind::Read, &cost, &clock, &mut stats);
-        mem.access(SHM_BASE + 512, 8, AccessKind::Read, &cost, &clock, &mut stats);
-        let p = mem.access(ENCLAVE_HEAP_BASE, 8, AccessKind::Read, &cost, &clock, &mut stats);
+        mem.access(
+            ENCLAVE_HEAP_BASE + 512,
+            8,
+            AccessKind::Read,
+            &cost,
+            &clock,
+            &mut stats,
+        );
+        mem.access(
+            SHM_BASE + 512,
+            8,
+            AccessKind::Read,
+            &cost,
+            &clock,
+            &mut stats,
+        );
+        let p = mem.access(
+            ENCLAVE_HEAP_BASE,
+            8,
+            AccessKind::Read,
+            &cost,
+            &clock,
+            &mut stats,
+        );
         let s = mem.access(SHM_BASE, 8, AccessKind::Read, &cost, &clock, &mut stats);
         assert_eq!(p - s, cost.mee_read_cycles, "protected fill pays the MEE");
     }
@@ -371,8 +397,22 @@ mod tests {
         // misses, paging and world switches, not from every load.
         let cost = CostModel::sgx_v1();
         let (mut mem, clock, mut stats) = setup(&cost);
-        mem.access(ENCLAVE_HEAP_BASE, 8, AccessKind::Read, &cost, &clock, &mut stats);
-        let warm = mem.access(ENCLAVE_HEAP_BASE, 8, AccessKind::Read, &cost, &clock, &mut stats);
+        mem.access(
+            ENCLAVE_HEAP_BASE,
+            8,
+            AccessKind::Read,
+            &cost,
+            &clock,
+            &mut stats,
+        );
+        let warm = mem.access(
+            ENCLAVE_HEAP_BASE,
+            8,
+            AccessKind::Read,
+            &cost,
+            &clock,
+            &mut stats,
+        );
         assert_eq!(warm, cost.cache_hit_cycles);
     }
 
@@ -381,9 +421,30 @@ mod tests {
         let cost = CostModel::sgx_v1();
         let (mut mem, clock, mut stats) = setup(&cost);
         // Same page, two cold lines.
-        mem.access(ENCLAVE_HEAP_BASE + 1024, 8, AccessKind::Read, &cost, &clock, &mut stats);
-        let r = mem.access(ENCLAVE_HEAP_BASE, 8, AccessKind::Read, &cost, &clock, &mut stats);
-        let w = mem.access(ENCLAVE_HEAP_BASE + 64, 8, AccessKind::Write, &cost, &clock, &mut stats);
+        mem.access(
+            ENCLAVE_HEAP_BASE + 1024,
+            8,
+            AccessKind::Read,
+            &cost,
+            &clock,
+            &mut stats,
+        );
+        let r = mem.access(
+            ENCLAVE_HEAP_BASE,
+            8,
+            AccessKind::Read,
+            &cost,
+            &clock,
+            &mut stats,
+        );
+        let w = mem.access(
+            ENCLAVE_HEAP_BASE + 64,
+            8,
+            AccessKind::Write,
+            &cost,
+            &clock,
+            &mut stats,
+        );
         assert!(w > r);
     }
 
@@ -396,11 +457,25 @@ mod tests {
         let (mut mem, clock, mut stats) = setup(&cost);
         // Touch 32 distinct lines in one page: all miss.
         for i in 0..32 {
-            mem.access(ENCLAVE_HEAP_BASE + i * CACHE_LINE, 8, AccessKind::Read, &cost, &clock, &mut stats);
+            mem.access(
+                ENCLAVE_HEAP_BASE + i * CACHE_LINE,
+                8,
+                AccessKind::Read,
+                &cost,
+                &clock,
+                &mut stats,
+            );
         }
         assert_eq!(stats.cache_misses, 32);
         // Re-touch the first line: evicted long ago, misses again.
-        mem.access(ENCLAVE_HEAP_BASE, 8, AccessKind::Read, &cost, &clock, &mut stats);
+        mem.access(
+            ENCLAVE_HEAP_BASE,
+            8,
+            AccessKind::Read,
+            &cost,
+            &clock,
+            &mut stats,
+        );
         assert_eq!(stats.cache_misses, 33);
     }
 
@@ -455,11 +530,32 @@ mod tests {
     fn tlb_flush_causes_fresh_misses() {
         let cost = CostModel::sgx_v1();
         let (mut mem, clock, mut stats) = setup(&cost);
-        mem.access(ENCLAVE_HEAP_BASE, 8, AccessKind::Read, &cost, &clock, &mut stats);
-        mem.access(ENCLAVE_HEAP_BASE, 8, AccessKind::Read, &cost, &clock, &mut stats);
+        mem.access(
+            ENCLAVE_HEAP_BASE,
+            8,
+            AccessKind::Read,
+            &cost,
+            &clock,
+            &mut stats,
+        );
+        mem.access(
+            ENCLAVE_HEAP_BASE,
+            8,
+            AccessKind::Read,
+            &cost,
+            &clock,
+            &mut stats,
+        );
         assert_eq!(stats.tlb_misses, 1);
         mem.flush_tlb();
-        mem.access(ENCLAVE_HEAP_BASE, 8, AccessKind::Read, &cost, &clock, &mut stats);
+        mem.access(
+            ENCLAVE_HEAP_BASE,
+            8,
+            AccessKind::Read,
+            &cost,
+            &clock,
+            &mut stats,
+        );
         assert_eq!(stats.tlb_misses, 2);
     }
 
@@ -467,7 +563,14 @@ mod tests {
     fn native_model_has_no_mee_or_epc_charges() {
         let cost = CostModel::native();
         let (mut mem, clock, mut stats) = setup(&cost);
-        mem.access(ENCLAVE_HEAP_BASE, 4096, AccessKind::Write, &cost, &clock, &mut stats);
+        mem.access(
+            ENCLAVE_HEAP_BASE,
+            4096,
+            AccessKind::Write,
+            &cost,
+            &clock,
+            &mut stats,
+        );
         assert_eq!(stats.mee_lines, 0);
         assert_eq!(stats.epc_faults, 0);
     }
@@ -477,8 +580,22 @@ mod tests {
         let cost = CostModel::sgx_v1();
         let (mut mem, clock, mut stats) = setup(&cost);
         // Warm all four lines and the TLB.
-        mem.access(ENCLAVE_HEAP_BASE, 4 * CACHE_LINE, AccessKind::Read, &cost, &clock, &mut stats);
-        let one = mem.access(ENCLAVE_HEAP_BASE, 8, AccessKind::Read, &cost, &clock, &mut stats);
+        mem.access(
+            ENCLAVE_HEAP_BASE,
+            4 * CACHE_LINE,
+            AccessKind::Read,
+            &cost,
+            &clock,
+            &mut stats,
+        );
+        let one = mem.access(
+            ENCLAVE_HEAP_BASE,
+            8,
+            AccessKind::Read,
+            &cost,
+            &clock,
+            &mut stats,
+        );
         let four = mem.access(
             ENCLAVE_HEAP_BASE,
             4 * CACHE_LINE,
@@ -494,7 +611,14 @@ mod tests {
     fn clock_advances_by_charged_cycles() {
         let cost = CostModel::sgx_v1();
         let (mut mem, clock, mut stats) = setup(&cost);
-        let charged = mem.access(ENCLAVE_HEAP_BASE, 8, AccessKind::Read, &cost, &clock, &mut stats);
+        let charged = mem.access(
+            ENCLAVE_HEAP_BASE,
+            8,
+            AccessKind::Read,
+            &cost,
+            &clock,
+            &mut stats,
+        );
         assert_eq!(clock.now(), charged);
     }
 }

@@ -112,12 +112,8 @@ impl SharedMem {
     ) -> Result<u64, SimError> {
         let i = self.word_index(offset, 8)?;
         Ok(
-            match self.words[i].compare_exchange(
-                current,
-                new,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
+            match self.words[i].compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire)
+            {
                 Ok(prev) => prev,
                 Err(prev) => prev,
             },

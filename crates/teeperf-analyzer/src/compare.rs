@@ -57,9 +57,7 @@ mod tests {
     fn profile_from(spans: &[(&str, u64)]) -> Profile {
         // Build a flat log: each method runs once, sequentially, for the
         // given number of ticks.
-        let debug = DebugInfo::from_functions(
-            spans.iter().map(|(n, _)| (*n, 4u64, 1u32)),
-        );
+        let debug = DebugInfo::from_functions(spans.iter().map(|(n, _)| (*n, 4u64, 1u32)));
         let mut entries = Vec::new();
         let mut t = 1_000u64;
         for (i, (_, ticks)) in spans.iter().enumerate() {

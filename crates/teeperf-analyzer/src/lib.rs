@@ -39,6 +39,7 @@ pub use profile::{MethodStats, Profile};
 pub use query::frame::{Column, Frame};
 pub use query::run_query;
 pub use reader::{AnalyzeError, ThreadEvents};
+pub use stacks::{CompletedCall, ResumableStacks, ThreadStacks};
 pub use symbolize::Symbolizer;
 
 use mcvm::DebugInfo;

@@ -135,12 +135,7 @@ pub fn build(log: &LogFile, symbolizer: &Symbolizer) -> Profile {
 
     let mut folded: Vec<(Vec<String>, u64)> = folded
         .into_iter()
-        .map(|(path, ticks)| {
-            (
-                path.iter().map(|a| symbolizer.name_of(*a)).collect(),
-                ticks,
-            )
-        })
+        .map(|(path, ticks)| (path.iter().map(|a| symbolizer.name_of(*a)).collect(), ticks))
         .collect();
     // Merge paths that became identical after symbolization.
     folded.sort();
@@ -155,22 +150,24 @@ pub fn build(log: &LogFile, symbolizer: &Symbolizer) -> Profile {
 
     let mut caller_edges: Vec<CallerEdge> = edges
         .into_iter()
-        .map(|((caller, callee), (calls, inclusive, exclusive))| CallerEdge {
-            caller: if caller == ROOT {
-                "<root>".to_string()
-            } else {
-                symbolizer.name_of(caller)
+        .map(
+            |((caller, callee), (calls, inclusive, exclusive))| CallerEdge {
+                caller: if caller == ROOT {
+                    "<root>".to_string()
+                } else {
+                    symbolizer.name_of(caller)
+                },
+                callee: symbolizer.name_of(callee),
+                calls,
+                inclusive,
+                exclusive,
             },
-            callee: symbolizer.name_of(callee),
-            calls,
-            inclusive,
-            exclusive,
-        })
+        )
         .collect();
     caller_edges.sort_by(|a, b| {
-        b.inclusive
-            .cmp(&a.inclusive)
-            .then_with(|| (a.caller.as_str(), a.callee.as_str()).cmp(&(b.caller.as_str(), b.callee.as_str())))
+        b.inclusive.cmp(&a.inclusive).then_with(|| {
+            (a.caller.as_str(), a.callee.as_str()).cmp(&(b.caller.as_str(), b.callee.as_str()))
+        })
     });
 
     Profile {
@@ -225,11 +222,17 @@ impl Profile {
         );
         f.push_int_column(
             "incl",
-            self.caller_edges.iter().map(|e| e.inclusive as i64).collect(),
+            self.caller_edges
+                .iter()
+                .map(|e| e.inclusive as i64)
+                .collect(),
         );
         f.push_int_column(
             "excl",
-            self.caller_edges.iter().map(|e| e.exclusive as i64).collect(),
+            self.caller_edges
+                .iter()
+                .map(|e| e.exclusive as i64)
+                .collect(),
         );
         f
     }
@@ -241,7 +244,10 @@ impl Profile {
             "method",
             self.methods.iter().map(|m| m.name.clone()).collect(),
         );
-        f.push_int_column("calls", self.methods.iter().map(|m| m.calls as i64).collect());
+        f.push_int_column(
+            "calls",
+            self.methods.iter().map(|m| m.calls as i64).collect(),
+        );
         f.push_int_column(
             "incl",
             self.methods.iter().map(|m| m.inclusive as i64).collect(),
@@ -267,16 +273,28 @@ impl Profile {
             "min",
             self.methods
                 .iter()
-                .map(|m| if m.calls == 0 { 0 } else { m.min_inclusive as i64 })
+                .map(|m| {
+                    if m.calls == 0 {
+                        0
+                    } else {
+                        m.min_inclusive as i64
+                    }
+                })
                 .collect(),
         );
         f.push_int_column(
             "max",
-            self.methods.iter().map(|m| m.max_inclusive as i64).collect(),
+            self.methods
+                .iter()
+                .map(|m| m.max_inclusive as i64)
+                .collect(),
         );
         f.push_int_column(
             "threads",
-            self.methods.iter().map(|m| m.threads.len() as i64).collect(),
+            self.methods
+                .iter()
+                .map(|m| m.threads.len() as i64)
+                .collect(),
         );
         f
     }
@@ -443,10 +461,7 @@ mod tests {
     #[test]
     fn events_frame_has_expected_shape() {
         use EventKind::{Call, Return};
-        let log = make_log(vec![
-            e(Call, 0, addr(0), 0),
-            e(Return, 9, addr(0), 0),
-        ]);
+        let log = make_log(vec![e(Call, 0, addr(0), 0), e(Return, 9, addr(0), 0)]);
         let f = events_frame(&log, &Symbolizer::without_relocation(debug()));
         assert_eq!(f.len(), 2);
         assert_eq!(
@@ -461,12 +476,12 @@ mod tests {
         // main calls work twice directly, and leaf is called once from
         // main and once from work: leaf's cost splits by caller.
         let log = make_log(vec![
-            e(Call, 0, addr(0), 0),    // main
-            e(Call, 10, addr(1), 0),   // work (from main)
-            e(Call, 20, addr(2), 0),   // leaf (from work)
+            e(Call, 0, addr(0), 0),  // main
+            e(Call, 10, addr(1), 0), // work (from main)
+            e(Call, 20, addr(2), 0), // leaf (from work)
             e(Return, 30, addr(2), 0),
             e(Return, 40, addr(1), 0),
-            e(Call, 50, addr(2), 0),   // leaf (from main)
+            e(Call, 50, addr(2), 0), // leaf (from main)
             e(Return, 80, addr(2), 0),
             e(Return, 100, addr(0), 0),
         ]);

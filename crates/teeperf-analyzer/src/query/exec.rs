@@ -90,12 +90,7 @@ fn eval_pred(frame: &Frame, pred: &Pred) -> Result<Vec<bool>, QueryError> {
     }
 }
 
-fn cmp_mask(
-    col: &Column,
-    op: CmpOp,
-    value: &Literal,
-    name: &str,
-) -> Result<Vec<bool>, QueryError> {
+fn cmp_mask(col: &Column, op: CmpOp, value: &Literal, name: &str) -> Result<Vec<bool>, QueryError> {
     let numeric = |x: f64, y: f64| match op {
         CmpOp::Eq => x == y,
         CmpOp::Ne => x != y,
@@ -187,23 +182,15 @@ fn group_by(frame: &Frame, keys: &[String], aggs: &[Agg]) -> Result<Frame, Query
     // Key columns: re-render from the first row of each group.
     for (k, kc) in keys.iter().zip(&key_cols) {
         match kc {
-            Column::Int(v) => out.push_int_column(
-                k,
-                order
-                    .iter()
-                    .map(|key| v[groups[key][0]])
-                    .collect(),
-            ),
-            Column::Float(v) => out.push_float_column(
-                k,
-                order.iter().map(|key| v[groups[key][0]]).collect(),
-            ),
+            Column::Int(v) => {
+                out.push_int_column(k, order.iter().map(|key| v[groups[key][0]]).collect())
+            }
+            Column::Float(v) => {
+                out.push_float_column(k, order.iter().map(|key| v[groups[key][0]]).collect())
+            }
             Column::Str(v) => out.push_str_column(
                 k,
-                order
-                    .iter()
-                    .map(|key| v[groups[key][0]].clone())
-                    .collect(),
+                order.iter().map(|key| v[groups[key][0]].clone()).collect(),
             ),
         }
     }
@@ -274,8 +261,11 @@ mod tests {
 
     #[test]
     fn select_where_sort_limit() {
-        let out = run_query(&sample(), "select method, excl where excl >= 15 sort excl desc limit 2")
-            .unwrap();
+        let out = run_query(
+            &sample(),
+            "select method, excl where excl >= 15 sort excl desc limit 2",
+        )
+        .unwrap();
         assert_eq!(out.len(), 2);
         let Column::Int(v) = out.column("excl").unwrap() else {
             panic!()
@@ -294,11 +284,17 @@ mod tests {
     #[test]
     fn contains_and_boolean_combinators() {
         // "get" contains "et"; only rows 0 and 4 also have tid == 0.
-        let out = run_query(&sample(), r#"select * where method contains "et" and tid == 0"#)
-            .unwrap();
+        let out = run_query(
+            &sample(),
+            r#"select * where method contains "et" and tid == 0"#,
+        )
+        .unwrap();
         assert_eq!(out.len(), 2);
-        let out2 = run_query(&sample(), r#"select * where method == "compact" or excl < 10"#)
-            .unwrap();
+        let out2 = run_query(
+            &sample(),
+            r#"select * where method == "compact" or excl < 10"#,
+        )
+        .unwrap();
         assert_eq!(out2.len(), 2);
     }
 

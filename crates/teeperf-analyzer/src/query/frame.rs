@@ -83,10 +83,7 @@ impl Frame {
 
     /// Look up a column by name.
     pub fn column(&self, name: &str) -> Option<&Column> {
-        self.columns
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, c)| c)
+        self.columns.iter().find(|(n, _)| n == name).map(|(_, c)| c)
     }
 
     fn assert_len(&self, len: usize) {
@@ -171,9 +168,9 @@ impl Frame {
         let mut idx: Vec<usize> = (0..self.len()).collect();
         match column {
             Column::Int(v) => idx.sort_by_key(|&i| v[i]),
-            Column::Float(v) => idx.sort_by(|&a, &b| {
-                v[a].partial_cmp(&v[b]).unwrap_or(std::cmp::Ordering::Equal)
-            }),
+            Column::Float(v) => {
+                idx.sort_by(|&a, &b| v[a].partial_cmp(&v[b]).unwrap_or(std::cmp::Ordering::Equal))
+            }
             Column::Str(v) => idx.sort_by(|&a, &b| v[a].cmp(&v[b])),
         }
         if descending {

@@ -223,9 +223,10 @@ fn tokenize(q: &str) -> Result<Vec<Tok>, QueryError> {
                 }
                 let text = &q[start..i];
                 if is_float {
-                    out.push(Tok::Float(text.parse().map_err(|_| {
-                        QueryError::Parse(format!("bad float `{text}`"))
-                    })?));
+                    out.push(Tok::Float(
+                        text.parse()
+                            .map_err(|_| QueryError::Parse(format!("bad float `{text}`")))?,
+                    ));
                 } else {
                     out.push(Tok::Int(text.parse().map_err(|_| {
                         QueryError::Parse(format!("bad integer `{text}`"))
@@ -280,7 +281,9 @@ impl P {
     fn ident(&mut self, what: &str) -> Result<String, QueryError> {
         match self.bump() {
             Some(Tok::Ident(s)) => Ok(s),
-            other => Err(QueryError::Parse(format!("expected {what}, found {other:?}"))),
+            other => Err(QueryError::Parse(format!(
+                "expected {what}, found {other:?}"
+            ))),
         }
     }
 
@@ -370,11 +373,7 @@ impl P {
             "mean" => AggFn::Mean,
             "min" => AggFn::Min,
             "max" => AggFn::Max,
-            other => {
-                return Err(QueryError::Parse(format!(
-                    "unknown aggregation `{other}`"
-                )))
-            }
+            other => return Err(QueryError::Parse(format!("unknown aggregation `{other}`"))),
         };
         if !matches!(self.bump(), Some(Tok::LParen)) {
             return Err(QueryError::Parse(format!("expected `(` after `{fname}`")));
@@ -516,19 +515,16 @@ mod tests {
             panic!("expected top-level or")
         };
         assert!(matches!(*lhs, Pred::And(..)));
-        assert!(matches!(
-            *rhs,
-            Pred::Cmp {
-                op: CmpOp::Eq,
-                ..
-            }
-        ));
+        assert!(matches!(*rhs, Pred::Cmp { op: CmpOp::Eq, .. }));
     }
 
     #[test]
     fn parses_group_with_aggs() {
         let q = parse_query("group tid, method agg count() as n, sum(excl) sort n desc").unwrap();
-        let Query::Group { keys, aggs, sort, .. } = q else {
+        let Query::Group {
+            keys, aggs, sort, ..
+        } = q
+        else {
             panic!()
         };
         assert_eq!(keys, vec!["tid", "method"]);

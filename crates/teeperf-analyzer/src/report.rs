@@ -14,9 +14,27 @@ pub fn render(profile: &Profile, log: &LogFile) -> String {
         profile.per_thread_calls.len()
     ));
     out.push_str(&format!(
-        "total profiled time: {} ticks\n\n",
+        "total profiled time: {} ticks\n",
         profile.total_ticks
     ));
+    // Log coverage up front: a truncated log silently skews every number
+    // below, so say explicitly how much of the run the data covers instead
+    // of leaving the reader to infer it from unbalanced stacks.
+    let stored = log.entries.len() as u64;
+    let reserved = log.header.tail.max(stored);
+    if reserved > stored {
+        let dropped = reserved - stored;
+        out.push_str(&format!(
+            "log coverage: {stored} of {reserved} events recorded, {dropped} dropped on overflow ({:.1}% lost)\n",
+            dropped as f64 * 100.0 / reserved as f64
+        ));
+    } else {
+        out.push_str(&format!(
+            "log coverage: complete ({stored} events, capacity {})\n",
+            log.header.size
+        ));
+    }
+    out.push('\n');
     out.push_str(&profile.methods_frame().to_table());
 
     // The heaviest dynamic call edges — the call-history view of §II-C.
@@ -36,7 +54,7 @@ pub fn render(profile: &Profile, log: &LogFile) -> String {
         out.push('\n');
         if a.dropped_entries > 0 {
             out.push_str(&format!(
-                "warning: {} entries dropped (log full — increase max_entries or use selective profiling)\n",
+                "warning: {} entries dropped (log full — increase max_entries, use selective profiling, or profile continuously with `teeperf live`)\n",
                 a.dropped_entries
             ));
         }
@@ -47,7 +65,10 @@ pub fn render(profile: &Profile, log: &LogFile) -> String {
             ));
         }
         if a.orphan_returns > 0 {
-            out.push_str(&format!("warning: {} orphan returns skipped\n", a.orphan_returns));
+            out.push_str(&format!(
+                "warning: {} orphan returns skipped\n",
+                a.orphan_returns
+            ));
         }
         if a.truncated_frames > 0 {
             out.push_str(&format!(
@@ -72,10 +93,30 @@ mod tests {
         let a0 = debug.entry_addr(0);
         let a1 = debug.entry_addr(1);
         let entries = vec![
-            LogEntry { kind: EventKind::Call, counter: 1, addr: a0, tid: 0 },
-            LogEntry { kind: EventKind::Call, counter: 10, addr: a1, tid: 0 },
-            LogEntry { kind: EventKind::Return, counter: 90, addr: a1, tid: 0 },
-            LogEntry { kind: EventKind::Return, counter: 101, addr: a0, tid: 0 },
+            LogEntry {
+                kind: EventKind::Call,
+                counter: 1,
+                addr: a0,
+                tid: 0,
+            },
+            LogEntry {
+                kind: EventKind::Call,
+                counter: 10,
+                addr: a1,
+                tid: 0,
+            },
+            LogEntry {
+                kind: EventKind::Return,
+                counter: 90,
+                addr: a1,
+                tid: 0,
+            },
+            LogEntry {
+                kind: EventKind::Return,
+                counter: 101,
+                addr: a0,
+                tid: 0,
+            },
         ];
         let log = LogFile::new(
             LogHeader {
@@ -102,7 +143,10 @@ mod tests {
         assert!(r.contains("pid 55"));
         let hot_pos = r.find("hot").unwrap();
         let main_pos = r.find("main").unwrap();
-        assert!(hot_pos < main_pos, "hot (80 excl) must sort above main (20)");
+        assert!(
+            hot_pos < main_pos,
+            "hot (80 excl) must sort above main (20)"
+        );
         assert!(!r.contains("warning"));
     }
 
@@ -114,5 +158,21 @@ mod tests {
         let p = profile::build(&log, &sym);
         let r = super::render(&p, &log);
         assert!(r.contains("dropped"));
+        assert!(
+            r.contains(
+                "log coverage: 4 of 500 events recorded, 496 dropped on overflow (99.2% lost)"
+            ),
+            "coverage line missing or wrong:\n{r}"
+        );
+    }
+
+    #[test]
+    fn report_states_complete_coverage() {
+        let (log, debug) = make_log();
+        let r = Analyzer::new(log, debug).unwrap().report();
+        assert!(
+            r.contains("log coverage: complete (4 events, capacity 100)"),
+            "coverage line missing or wrong:\n{r}"
+        );
     }
 }

@@ -65,48 +65,100 @@ pub struct ThreadStacks {
     pub truncated_frames: u64,
 }
 
+impl ThreadStacks {
+    /// Fold another batch's results into this one (used when assembling
+    /// streaming batches back into a whole-run view).
+    pub fn absorb(&mut self, other: ThreadStacks) {
+        self.calls.extend(other.calls);
+        self.orphan_returns += other.orphan_returns;
+        self.truncated_frames += other.truncated_frames;
+    }
+}
+
+#[derive(Debug)]
 struct OpenFrame {
     addr: u64,
     enter: u64,
     child_ticks: u64,
 }
 
-/// Reconstruct the call stacks of one thread's event sequence.
-pub fn reconstruct(events: &[Event]) -> ThreadStacks {
-    let mut out = ThreadStacks::default();
-    let mut open: Vec<OpenFrame> = Vec::new();
-    let mut last_counter = 0u64;
+/// Resumable reconstruction state for one thread. Carries open frames and
+/// the last observed counter across event batches, so a streaming consumer
+/// (the live drainer) can feed each epoch's events as they arrive and
+/// still close a call whose return lands epochs after its call. Feeding
+/// everything in one batch and finishing is exactly [`reconstruct`].
+#[derive(Debug, Default)]
+pub struct ResumableStacks {
+    open: Vec<OpenFrame>,
+    last_counter: u64,
+}
 
-    for e in events {
-        last_counter = last_counter.max(e.counter);
-        match e.kind {
-            EventKind::Call => open.push(OpenFrame {
-                addr: e.addr,
-                enter: e.counter,
-                child_ticks: 0,
-            }),
-            EventKind::Return => {
-                // Normally the top frame matches. If it does not (dropped
-                // entries), unwind to the closest matching frame; frames
-                // popped on the way are closed at this counter.
-                let Some(pos) = open.iter().rposition(|f| f.addr == e.addr) else {
-                    out.orphan_returns += 1;
-                    continue;
-                };
-                while open.len() > pos + 1 {
-                    close_top(&mut open, &mut out, e.counter, true);
-                    out.truncated_frames += 1;
+impl ResumableStacks {
+    /// Fresh state with no open frames.
+    pub fn new() -> ResumableStacks {
+        ResumableStacks::default()
+    }
+
+    /// Calls currently open (their returns have not arrived yet).
+    pub fn open_frames(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Highest counter value observed so far.
+    pub fn last_counter(&self) -> u64 {
+        self.last_counter
+    }
+
+    /// Consume one batch of events, returning the calls it completed and
+    /// the orphan returns it contained. Open frames stay open.
+    pub fn feed(&mut self, events: &[Event]) -> ThreadStacks {
+        let mut out = ThreadStacks::default();
+        for e in events {
+            self.last_counter = self.last_counter.max(e.counter);
+            match e.kind {
+                EventKind::Call => self.open.push(OpenFrame {
+                    addr: e.addr,
+                    enter: e.counter,
+                    child_ticks: 0,
+                }),
+                EventKind::Return => {
+                    // Normally the top frame matches. If it does not
+                    // (dropped entries), unwind to the closest matching
+                    // frame; frames popped on the way are closed at this
+                    // counter.
+                    let Some(pos) = self.open.iter().rposition(|f| f.addr == e.addr) else {
+                        out.orphan_returns += 1;
+                        continue;
+                    };
+                    while self.open.len() > pos + 1 {
+                        close_top(&mut self.open, &mut out, e.counter, true);
+                        out.truncated_frames += 1;
+                    }
+                    close_top(&mut self.open, &mut out, e.counter, false);
                 }
-                close_top(&mut open, &mut out, e.counter, false);
             }
         }
+        out
     }
 
-    // Close anything still open at the last observed counter.
-    while !open.is_empty() {
-        close_top(&mut open, &mut out, last_counter, true);
-        out.truncated_frames += 1;
+    /// Force-close everything still open at the last observed counter
+    /// (end of the log, or of the live session). The state is reusable —
+    /// after `finish` it has no open frames.
+    pub fn finish(&mut self) -> ThreadStacks {
+        let mut out = ThreadStacks::default();
+        while !self.open.is_empty() {
+            close_top(&mut self.open, &mut out, self.last_counter, true);
+            out.truncated_frames += 1;
+        }
+        out
     }
+}
+
+/// Reconstruct the call stacks of one thread's event sequence.
+pub fn reconstruct(events: &[Event]) -> ThreadStacks {
+    let mut state = ResumableStacks::new();
+    let mut out = state.feed(events);
+    out.absorb(state.finish());
     out
 }
 
@@ -219,11 +271,7 @@ mod tests {
     fn mismatched_return_unwinds_to_match() {
         // B's return entry was dropped from a full log: A's return arrives
         // while B is open. B must be closed (as truncated) and A completed.
-        let calls = reconstruct(&[
-            ev(Call, 0, 0xA),
-            ev(Call, 10, 0xB),
-            ev(Return, 50, 0xA),
-        ]);
+        let calls = reconstruct(&[ev(Call, 0, 0xA), ev(Call, 10, 0xB), ev(Return, 50, 0xA)]);
         assert_eq!(calls.truncated_frames, 1);
         assert_eq!(calls.calls.len(), 2);
         assert_eq!(calls.calls[0].addr, 0xB);
@@ -270,6 +318,29 @@ mod tests {
                 prop_assert_eq!(c.exclusive() + c.child_ticks, c.inclusive());
                 prop_assert_eq!(*c.stack.last().unwrap(), c.addr);
             }
+        }
+
+        #[test]
+        fn prop_split_feeding_matches_batch_reconstruction(
+            trace in arbitrary_trace(),
+            cuts in proptest::collection::vec(0usize..1_000, 0..4),
+        ) {
+            // Feeding the trace in arbitrary chunks through ResumableStacks
+            // must yield exactly the same calls as one-shot reconstruct —
+            // the invariant the live incremental analyzer depends on.
+            let mut points: Vec<usize> = cuts.iter().map(|c| c % (trace.len() + 1)).collect();
+            points.sort_unstable();
+            let mut state = ResumableStacks::new();
+            let mut streamed = ThreadStacks::default();
+            let mut prev = 0usize;
+            for p in points {
+                streamed.absorb(state.feed(&trace[prev..p]));
+                prev = p;
+            }
+            streamed.absorb(state.feed(&trace[prev..]));
+            streamed.absorb(state.finish());
+            prop_assert_eq!(state.open_frames(), 0);
+            prop_assert_eq!(streamed, reconstruct(&trace));
         }
 
         #[test]

@@ -9,6 +9,7 @@ use teeperf_analyzer::Analyzer;
 use teeperf_compiler::{compile_instrumented, profile_program, run_native, InstrumentOptions};
 use teeperf_core::{LogFile, RecorderConfig};
 use teeperf_flamegraph::{FlameGraph, SvgOptions};
+use teeperf_live::DrainPolicy;
 
 /// A CLI failure with a user-facing message.
 #[derive(Debug)]
@@ -30,6 +31,8 @@ const USAGE: &str = "usage:
   teeperf compile <prog.mc> [--out <prog.tpo>] [--instrument yes|no] [--only <fn,fn>]
   teeperf run <prog.mc|prog.tpo> [--arch <kind>]
   teeperf record <prog.mc|prog.tpo> [--arch <kind>] [--out <base>] [--max-entries <n>]
+  teeperf live <prog.mc|prog.tpo> [--arch <kind>] [--max-entries <n>] [--watermark <pct>]
+               [--refresh <events>] [--frames yes|no] [--svg <file>] [--out <base>]
   teeperf analyze <base.tpf> <base.sym>
   teeperf query <base.tpf> <base.sym> <query>
   teeperf flamegraph <base.tpf> <base.sym> [--svg <file>] [--title <t>]
@@ -94,6 +97,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "compile" => cmd_compile(&rest),
         "run" => cmd_run(&rest),
         "record" => cmd_record(&rest),
+        "live" => cmd_live(&rest),
         "analyze" => cmd_analyze(&rest),
         "query" => cmd_query(&rest),
         "flamegraph" => cmd_flamegraph(&rest),
@@ -129,8 +133,7 @@ fn load_program(path: &str, instrument_sources: bool) -> Result<mcvm::CompiledPr
     }
     let source = std::fs::read_to_string(path).map_err(|e| err(format!("{path}: {e}")))?;
     if instrument_sources {
-        compile_instrumented(&source, &InstrumentOptions::default())
-            .map_err(|e| err(e.to_string()))
+        compile_instrumented(&source, &InstrumentOptions::default()).map_err(|e| err(e.to_string()))
     } else {
         mcvm::compile(&source).map_err(|e| err(e.to_string()))
     }
@@ -142,9 +145,7 @@ fn cmd_compile(args: &Args<'_>) -> Result<String, CliError> {
     let program = if instrument {
         let options = match args.flag("only") {
             Some(names) => InstrumentOptions {
-                filter: Some(teeperf_compiler::NameFilter::include(
-                    names.split(','),
-                )),
+                filter: Some(teeperf_compiler::NameFilter::include(names.split(','))),
             },
             None => InstrumentOptions::default(),
         };
@@ -203,12 +204,11 @@ fn cmd_record(args: &Args<'_>) -> Result<String, CliError> {
         .to_string();
     let cost = args.arch()?;
     let kind = cost.kind;
-    let base = args
-        .flag("out")
-        .map(str::to_string)
-        .unwrap_or_else(|| {
-            path.trim_end_matches(".mc").trim_end_matches(".tpo").to_string()
-        });
+    let base = args.flag("out").map(str::to_string).unwrap_or_else(|| {
+        path.trim_end_matches(".mc")
+            .trim_end_matches(".tpo")
+            .to_string()
+    });
     let max_entries: u64 = match args.flag("max-entries") {
         Some(v) => v
             .parse()
@@ -252,6 +252,99 @@ fn cmd_record(args: &Args<'_>) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn cmd_live(args: &Args<'_>) -> Result<String, CliError> {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| err(format!("missing program path\n\n{USAGE}")))?;
+    let cost = args.arch()?;
+    let kind = cost.kind;
+    // Live mode exists to run unbounded sessions over a *small* log, so the
+    // default capacity is three orders of magnitude below `record`'s.
+    let max_entries: u64 = match args.flag("max-entries") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| err(format!("bad --max-entries `{v}`")))?,
+        None => 1 << 10,
+    };
+    let watermark_pct: u8 = match args.flag("watermark") {
+        Some(v) => {
+            let pct = v
+                .parse()
+                .ok()
+                .filter(|p| (1..=99).contains(p))
+                .ok_or_else(|| err(format!("bad --watermark `{v}` (want 1..=99)")))?;
+            pct
+        }
+        None => DrainPolicy::default().watermark_pct,
+    };
+    let refresh_events: u64 = match args.flag("refresh") {
+        Some(v) => v.parse().map_err(|_| err(format!("bad --refresh `{v}`")))?,
+        None => 2_000,
+    };
+    let show_frames = args.flag("frames").unwrap_or("no") == "yes";
+
+    let program = load_program(path, true)?;
+    let run = teeperf_live::live_profile_program(
+        program,
+        cost,
+        RunConfig::default(),
+        &RecorderConfig {
+            max_entries,
+            ..RecorderConfig::default()
+        },
+        &teeperf_live::LiveRunConfig {
+            live: teeperf_live::LiveConfig {
+                policy: DrainPolicy { watermark_pct },
+                refresh_events,
+                ..teeperf_live::LiveConfig::default()
+            },
+            ..teeperf_live::LiveRunConfig::default()
+        },
+        |_| Ok(()),
+    )
+    .map_err(|e| err(e.to_string()))?;
+
+    let mut out = String::new();
+    if show_frames {
+        for (i, frame) in run.frames.iter().enumerate() {
+            writeln!(out, "--- refresh {} ---", i + 1).expect("writing to string");
+            out.push_str(frame);
+            out.push('\n');
+        }
+    }
+    for line in &run.output {
+        writeln!(out, "{line}").expect("writing to string");
+    }
+    writeln!(out, "exit code: {}", run.exit_code).expect("writing to string");
+    writeln!(
+        out,
+        "live session on {kind}: {} events over {} epochs ({} entries/epoch), {} dropped, {} cycles",
+        run.events, run.epochs, max_entries, run.dropped, run.cycles
+    )
+    .expect("writing to string");
+    out.push_str(&run.snapshot.status.banner());
+    out.push('\n');
+    let fg = FlameGraph::from_folded(&run.snapshot.profile.folded);
+    out.push_str(&fg.to_ascii(60));
+    if let Some(svg_path) = args.flag("svg") {
+        let svg = teeperf_flamegraph::live::render_svg(
+            &run.snapshot.profile.folded,
+            &run.snapshot.status,
+            &SvgOptions::default().with_title("TEE-Perf live session"),
+        );
+        std::fs::write(svg_path, svg).map_err(|e| err(format!("{svg_path}: {e}")))?;
+        writeln!(out, "wrote {svg_path}").expect("writing to string");
+    }
+    if let Some(base) = args.flag("out") {
+        let snap_path = format!("{base}.live");
+        std::fs::write(&snap_path, run.snapshot.to_text())
+            .map_err(|e| err(format!("{snap_path}: {e}")))?;
+        writeln!(out, "wrote {snap_path}").expect("writing to string");
+    }
+    Ok(out)
+}
+
 fn load_log_and_symbols(args: &Args<'_>) -> Result<(LogFile, DebugInfo), CliError> {
     let log_path = args
         .positional
@@ -284,7 +377,9 @@ fn cmd_query(args: &Args<'_>) -> Result<String, CliError> {
     let analyzer = Analyzer::new(log, debug).map_err(|e| err(e.to_string()))?;
     // Queries mentioning per-event columns go to the event frame; method
     // queries to the method frame.
-    let frame = if query.contains("kind") || query.contains("counter") || query.contains("seq")
+    let frame = if query.contains("kind")
+        || query.contains("counter")
+        || query.contains("seq")
         || query.contains("tid")
     {
         analyzer.events_frame()
@@ -430,7 +525,10 @@ mod tests {
         assert!(out.contains("4950"));
         assert!(out.contains("exit code: 0"));
 
-        let out = dispatch(&strs(&["record", &prog, "--arch", "sgx-v1", "--out", &base])).unwrap();
+        let out = dispatch(&strs(&[
+            "record", &prog, "--arch", "sgx-v1", "--out", &base,
+        ]))
+        .unwrap();
         assert!(out.contains("recorded 4 events"), "{out}");
 
         let tpf = format!("{base}.tpf");
@@ -486,7 +584,10 @@ mod tests {
         // Selective compile-time instrumentation via --only.
         let tpo2 = dir.join("obj_only.tpo").to_str().unwrap().to_string();
         dispatch(&strs(&["compile", &prog, "--out", &tpo2, "--only", "f"])).unwrap();
-        let out = dispatch(&strs(&["record", &tpo2, "--arch", "sgx-v1", "--out", &base])).unwrap();
+        let out = dispatch(&strs(&[
+            "record", &tpo2, "--arch", "sgx-v1", "--out", &base,
+        ]))
+        .unwrap();
         assert!(out.contains("recorded 2 events"), "{out}");
     }
 
@@ -530,17 +631,57 @@ mod tests {
     }
 
     #[test]
+    fn live_session_over_a_tiny_log() {
+        let dir = tmpdir();
+        let prog = dir.join("live.mc");
+        std::fs::write(
+            &prog,
+            "fn work(n: int) -> int { let s: int = 0; for (let i: int = 0; i < n; i = i + 1) { s = s + i; } return s; }
+             fn main() -> int { let acc: int = 0; for (let r: int = 0; r < 20; r = r + 1) { acc = acc + work(10); } print_int(acc); return 0; }",
+        )
+        .unwrap();
+        let prog = prog.to_str().unwrap().to_string();
+        let svg = dir.join("live.svg").to_str().unwrap().to_string();
+        let base = dir.join("live").to_str().unwrap().to_string();
+
+        // 42 events through an 8-entry log: the session must rotate.
+        let out = dispatch(&strs(&[
+            "live",
+            &prog,
+            "--max-entries",
+            "8",
+            "--refresh",
+            "10",
+            "--frames",
+            "yes",
+            "--svg",
+            &svg,
+            "--out",
+            &base,
+        ]))
+        .unwrap();
+        assert!(out.contains("exit code: 0"), "{out}");
+        assert!(out.contains("42 events"), "{out}");
+        assert!(out.contains("0 dropped"), "{out}");
+        assert!(out.contains("--- refresh 1 ---"), "{out}");
+        assert!(out.contains("work"), "{out}");
+
+        let svg_text = std::fs::read_to_string(&svg).unwrap();
+        assert!(svg_text.starts_with("<svg"));
+        let snap_text = std::fs::read_to_string(format!("{base}.live")).unwrap();
+        assert!(snap_text.contains("[live]"));
+        assert!(snap_text.contains("dropped 0"));
+
+        assert!(dispatch(&strs(&["live", &prog, "--watermark", "0"])).is_err());
+        assert!(dispatch(&strs(&["live", &prog, "--max-entries", "x"])).is_err());
+    }
+
+    #[test]
     fn bad_arch_rejected() {
         let dir = tmpdir();
         let prog = dir.join("p.mc");
         std::fs::write(&prog, "fn main() -> int { return 0; }").unwrap();
-        let e = dispatch(&strs(&[
-            "run",
-            prog.to_str().unwrap(),
-            "--arch",
-            "sgx-v9",
-        ]))
-        .unwrap_err();
+        let e = dispatch(&strs(&["run", prog.to_str().unwrap(), "--arch", "sgx-v9"])).unwrap_err();
         assert!(e.to_string().contains("unknown architecture"));
     }
 

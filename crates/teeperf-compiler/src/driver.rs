@@ -124,8 +124,8 @@ mod tests {
     fn native_and_profiled_agree_on_results() {
         let plain = mcvm::compile(SRC).unwrap();
         let inst = compile_instrumented(SRC, &InstrumentOptions::default()).unwrap();
-        let native = run_native(plain, CostModel::sgx_v1(), RunConfig::default(), |_| Ok(()))
-            .unwrap();
+        let native =
+            run_native(plain, CostModel::sgx_v1(), RunConfig::default(), |_| Ok(())).unwrap();
         let profiled = profile_program(
             inst,
             CostModel::sgx_v1(),
@@ -142,8 +142,8 @@ mod tests {
     fn profiling_costs_cycles_and_records_events() {
         let plain = mcvm::compile(SRC).unwrap();
         let inst = compile_instrumented(SRC, &InstrumentOptions::default()).unwrap();
-        let native = run_native(plain, CostModel::sgx_v1(), RunConfig::default(), |_| Ok(()))
-            .unwrap();
+        let native =
+            run_native(plain, CostModel::sgx_v1(), RunConfig::default(), |_| Ok(())).unwrap();
         let profiled = profile_program(
             inst,
             CostModel::sgx_v1(),

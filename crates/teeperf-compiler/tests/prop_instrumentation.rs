@@ -15,9 +15,7 @@ use proptest::prelude::*;
 use mcvm::RunConfig;
 use tee_sim::CostModel;
 use teeperf_analyzer::Analyzer;
-use teeperf_compiler::{
-    compile_instrumented, profile_program, run_native, InstrumentOptions,
-};
+use teeperf_compiler::{compile_instrumented, profile_program, run_native, InstrumentOptions};
 use teeperf_core::RecorderConfig;
 
 /// A recipe for one random function body.
@@ -48,15 +46,17 @@ fn arb_recipe() -> impl Strategy<Value = FnRecipe> {
         any::<bool>(),
         any::<bool>(),
     )
-        .prop_map(|(params, loop_n, c1, c2, callees, branchy, no_instrument)| FnRecipe {
-            params,
-            loop_n,
-            c1,
-            c2,
-            callees,
-            branchy,
-            no_instrument,
-        })
+        .prop_map(
+            |(params, loop_n, c1, c2, callees, branchy, no_instrument)| FnRecipe {
+                params,
+                loop_n,
+                c1,
+                c2,
+                callees,
+                branchy,
+                no_instrument,
+            },
+        )
 }
 
 /// Render a recipe list into a Mini-C program. Function `i` may only call

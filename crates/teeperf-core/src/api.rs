@@ -79,7 +79,8 @@ impl Profiler {
 
     /// Record a function exit.
     pub fn exit(&mut self, machine: &mut Machine, id: FunctionId, tid: u64) {
-        self.hooks.record(machine, EventKind::Return, id.addr(), tid);
+        self.hooks
+            .record(machine, EventKind::Return, id.addr(), tid);
     }
 
     /// Profile a scope: records entry, runs `body`, records exit.
@@ -247,7 +248,10 @@ mod tests {
         let debug = p.debug_info();
         for (i, id) in ids.iter().enumerate() {
             assert_eq!(debug.entry_addr(i as u16), id.addr());
-            assert_eq!(debug.function_at(id.addr()).unwrap().name, ["f", "g", "h"][i]);
+            assert_eq!(
+                debug.function_at(id.addr()).unwrap().name,
+                ["f", "g", "h"][i]
+            );
         }
     }
 
@@ -278,7 +282,11 @@ mod tests {
             p.profile(m, inner, 0, |_, m| m.compute(10));
         });
         let log = r.finish();
-        let seq: Vec<(bool, u64)> = log.entries.iter().map(|e| (e.kind.is_call(), e.addr)).collect();
+        let seq: Vec<(bool, u64)> = log
+            .entries
+            .iter()
+            .map(|e| (e.kind.is_call(), e.addr))
+            .collect();
         assert_eq!(
             seq,
             vec![

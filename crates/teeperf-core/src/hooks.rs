@@ -48,6 +48,7 @@ pub struct TeePerfHooks {
     filter: Option<SelectiveFilter>,
     injected_cycles: u64,
     counter_in_shm: bool,
+    live: bool,
     events_recorded: u64,
     events_suppressed: u64,
 }
@@ -72,9 +73,20 @@ impl TeePerfHooks {
             filter: None,
             injected_cycles: DEFAULT_INJECTED_CYCLES,
             counter_in_shm,
+            live: false,
             events_recorded: 0,
             events_suppressed: 0,
         }
+    }
+
+    /// Switch to the rotation-aware [`SharedLog::write_live`] append path,
+    /// so a concurrent drainer may rotate the log mid-run. The announce /
+    /// withdraw RMWs ride on the same header cache line already charged for
+    /// the tail RMW, so an instrumented run is cycle-identical in batch and
+    /// live mode — the convergence tests rely on that.
+    pub fn with_live_writes(mut self) -> TeePerfHooks {
+        self.live = true;
+        self
     }
 
     /// Restrict recording with a selective-profiling filter.
@@ -137,18 +149,25 @@ impl TeePerfHooks {
         machine.read(SHM_BASE + OFF_TAIL, 8);
         machine.write(SHM_BASE + OFF_TAIL, 8);
         machine.compute(TAIL_RMW_CYCLES);
-        let index = self.log.reserve();
-
-        // 6. The entry itself (three consecutive words).
         let entry = LogEntry {
             kind,
             counter,
             addr,
             tid,
         };
-        if self.log.write_entry(index, &entry) {
-            machine.write(SHM_BASE + LogEntry::offset_of(index), ENTRY_BYTES);
-            self.events_recorded += 1;
+
+        // 6. The entry itself (three consecutive words).
+        if self.live {
+            if let Some(index) = self.log.write_live(&entry) {
+                machine.write(SHM_BASE + LogEntry::offset_of(index), ENTRY_BYTES);
+                self.events_recorded += 1;
+            }
+        } else {
+            let index = self.log.reserve();
+            if self.log.write_entry(index, &entry) {
+                machine.write(SHM_BASE + LogEntry::offset_of(index), ENTRY_BYTES);
+                self.events_recorded += 1;
+            }
         }
     }
 }
@@ -300,7 +319,10 @@ mod tests {
         // The TSC records raw cycles (not counter ticks): the timestamp must
         // sit between the hook start and its completion.
         let c = log.drain_entries()[0].counter;
-        assert!(c > t0 && c < machine.clock().now(), "tsc {c} outside hook window");
+        assert!(
+            c > t0 && c < machine.clock().now(),
+            "tsc {c} outside hook window"
+        );
     }
 
     #[test]

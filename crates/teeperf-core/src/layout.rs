@@ -1,22 +1,34 @@
-//! The shared-memory log format of TEE-Perf (paper Figure 2).
+//! The shared-memory log format of TEE-Perf (paper Figure 2), extended
+//! with the continuous-profiling words used by `teeperf-live`.
 //!
-//! ## Header (64 bytes, eight 64-bit words)
+//! ## Header (96 bytes, twelve 64-bit words)
 //!
 //! | word | offset | contents |
 //! |------|--------|----------|
-//! | 0 | 0  | control: bits 0–15 flags (bit 0 = active, bit 1 = trace calls, bit 2 = trace returns), bit 16 = multithread, bits 17–31 = version |
+//! | 0 | 0  | control: bits 0–15 flags (bit 0 = active, bit 1 = trace calls, bit 2 = trace returns, bit 3 = epoch rotation in progress), bit 16 = multithread, bits 17–31 = version, bits 32–55 = writers in flight |
 //! | 1 | 8  | process id |
 //! | 2 | 16 | log size (maximum number of entries) |
 //! | 3 | 24 | tail: index of the next entry to write (fetch-and-add) |
 //! | 4 | 32 | address of the profiler anchor function (relocation offset) |
 //! | 5 | 40 | shared-memory mapping address inside the enclave |
 //! | 6 | 48 | the software counter word (incremented by the host thread) |
-//! | 7 | 56 | reserved |
+//! | 7 | 56 | epoch: number of completed drain rotations |
+//! | 8 | 64 | entries dropped in completed epochs (cumulative) |
+//! | 9–11 | 72 | reserved |
 //!
-//! The control word is the only mutable-while-running word besides the tail
-//! and the counter; it is read and written atomically so tracing can be
-//! toggled mid-run without a critical section (§II-B). The version is
-//! written once and never changes.
+//! The control word is the only mutable-while-running word besides the
+//! tail, the counter, and the two live words; it is read and written
+//! atomically so tracing can be toggled mid-run without a critical section
+//! (§II-B). The version is written once and never changes. Words 7–8 stay
+//! zero in batch mode; a live drainer uses them to rotate the log under
+//! concurrent writers. The rotation handshake (flag bit 3 + the
+//! writers-in-flight count) lives entirely in the control word on purpose:
+//! read-modify-writes on a single atomic word have one total modification
+//! order, so a writer that announced itself before the drainer set the
+//! rotating bit is always observed by the drainer's quiesce loop — a
+//! two-word handshake would allow the classic store-buffering reordering
+//! where each side misses the other's update. Word 8 accumulates overflow
+//! drops across rotations so nothing is lost silently.
 //!
 //! ## Entry (24 bytes, three words)
 //!
@@ -26,11 +38,12 @@
 //! | 1 | call/return target instruction address |
 //! | 2 | thread id |
 
-/// Current version of the log structure.
-pub const LOG_VERSION: u16 = 1;
+/// Current version of the log structure. Version 2 grew the header from 64
+/// to 96 bytes (epoch, writers-in-flight, and cumulative-dropped words).
+pub const LOG_VERSION: u16 = 2;
 
 /// Header size in bytes.
-pub const HEADER_BYTES: u64 = 64;
+pub const HEADER_BYTES: u64 = 96;
 /// Entry size in bytes.
 pub const ENTRY_BYTES: u64 = 24;
 
@@ -48,6 +61,10 @@ pub const OFF_ANCHOR: u64 = 32;
 pub const OFF_SHM_ADDR: u64 = 40;
 /// Byte offset of the software-counter word.
 pub const OFF_COUNTER: u64 = 48;
+/// Byte offset of the epoch word (completed drain rotations).
+pub const OFF_EPOCH: u64 = 56;
+/// Byte offset of the cumulative-dropped word (overflow across epochs).
+pub const OFF_DROPPED: u64 = 64;
 
 /// Control-word bit: measurement is active.
 pub const FLAG_ACTIVE: u64 = 1 << 0;
@@ -55,6 +72,13 @@ pub const FLAG_ACTIVE: u64 = 1 << 0;
 pub const FLAG_TRACE_CALLS: u64 = 1 << 1;
 /// Control-word bit: record return events.
 pub const FLAG_TRACE_RETURNS: u64 = 1 << 2;
+/// Control-word bit: an epoch rotation is in progress; writers must back
+/// off until the drainer clears it (never set in batch mode).
+pub const FLAG_ROTATING: u64 = 1 << 3;
+/// Control word: one writer in flight (added/subtracted to announce).
+pub const WRITER_ONE: u64 = 1 << 32;
+/// Control word: mask of the writers-in-flight count (bits 32–55).
+pub const WRITERS_MASK: u64 = 0xff_ffff << 32;
 /// Control-word bit: log contains entries from multiple threads.
 pub const FLAG_MULTITHREAD: u64 = 1 << 16;
 const VERSION_SHIFT: u32 = 17;

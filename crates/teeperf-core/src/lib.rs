@@ -51,7 +51,7 @@ pub use counter::{CounterSource, SimCounter, SpinCounter, TscCounter};
 pub use file::LogFile;
 pub use hooks::TeePerfHooks;
 pub use layout::{EventKind, LogEntry, LogHeader, ENTRY_BYTES, HEADER_BYTES, LOG_VERSION};
-pub use log::SharedLog;
+pub use log::{LogCursor, RotationOutcome, SharedLog};
 pub use plog::{PartitionedHooks, PartitionedLog};
 pub use recorder::{Recorder, RecorderConfig};
 pub use select::SelectiveFilter;

@@ -16,9 +16,9 @@ use std::sync::Arc;
 use tee_sim::SharedMem;
 
 use crate::layout::{
-    EventKind, LogEntry, LogHeader, ENTRY_BYTES, FLAG_ACTIVE, FLAG_TRACE_CALLS,
-    FLAG_TRACE_RETURNS, HEADER_BYTES, LOG_VERSION, OFF_ANCHOR, OFF_CONTROL, OFF_COUNTER, OFF_PID,
-    OFF_SHM_ADDR, OFF_SIZE, OFF_TAIL,
+    EventKind, LogEntry, LogHeader, ENTRY_BYTES, FLAG_ACTIVE, FLAG_ROTATING, FLAG_TRACE_CALLS,
+    FLAG_TRACE_RETURNS, HEADER_BYTES, LOG_VERSION, OFF_ANCHOR, OFF_CONTROL, OFF_COUNTER,
+    OFF_DROPPED, OFF_EPOCH, OFF_PID, OFF_SHM_ADDR, OFF_SIZE, OFF_TAIL, WRITERS_MASK, WRITER_ONE,
 };
 
 /// A handle onto the shared log. Cheap to clone; clones alias the same
@@ -49,13 +49,18 @@ impl SharedLog {
         );
         let max_entries = (shm.size() - HEADER_BYTES) / ENTRY_BYTES;
         let size = header.size.min(max_entries);
-        shm.write_u64(OFF_CONTROL, header.pack_control()).expect("header in range");
+        shm.write_u64(OFF_CONTROL, header.pack_control())
+            .expect("header in range");
         shm.write_u64(OFF_PID, header.pid).expect("header in range");
         shm.write_u64(OFF_SIZE, size).expect("header in range");
         shm.write_u64(OFF_TAIL, 0).expect("header in range");
-        shm.write_u64(OFF_ANCHOR, header.anchor).expect("header in range");
-        shm.write_u64(OFF_SHM_ADDR, header.shm_addr).expect("header in range");
+        shm.write_u64(OFF_ANCHOR, header.anchor)
+            .expect("header in range");
+        shm.write_u64(OFF_SHM_ADDR, header.shm_addr)
+            .expect("header in range");
         shm.write_u64(OFF_COUNTER, 0).expect("header in range");
+        shm.write_u64(OFF_EPOCH, 0).expect("header in range");
+        shm.write_u64(OFF_DROPPED, 0).expect("header in range");
         SharedLog { shm, size }
     }
 
@@ -145,7 +150,9 @@ impl SharedLog {
     /// is then dropped but the tail keeps counting, so the analyzer can
     /// report how many entries were lost).
     pub fn reserve(&self) -> u64 {
-        self.shm.fetch_add_u64(OFF_TAIL, 1).expect("header in range")
+        self.shm
+            .fetch_add_u64(OFF_TAIL, 1)
+            .expect("header in range")
     }
 
     /// Write `entry` into the reserved slot `index`. Returns `false` (and
@@ -180,10 +187,207 @@ impl SharedLog {
         let stored = self.header().stored_entries();
         (0..stored).map(|i| self.read_entry(i)).collect()
     }
+
+    // ---- continuous-profiling (live) API --------------------------------
+    //
+    // Batch mode never touches anything below: the recorder stops the
+    // writers, then drains. A live drainer instead consumes the log while
+    // writers keep appending, and "rotates" the log (reset tail, bump
+    // epoch) whenever it has caught up or the log is near capacity.
+
+    /// Number of completed drain rotations.
+    pub fn epoch(&self) -> u64 {
+        self.shm.read_u64(OFF_EPOCH).expect("header in range")
+    }
+
+    /// Writers currently inside [`SharedLog::write_live`].
+    pub fn writers_in_flight(&self) -> u64 {
+        (self.control_word() & WRITERS_MASK) >> WRITER_ONE.trailing_zeros()
+    }
+
+    /// Entries dropped on overflow, summed over all completed epochs plus
+    /// the overflow of the current epoch.
+    pub fn dropped_total(&self) -> u64 {
+        let completed = self.shm.read_u64(OFF_DROPPED).expect("header in range");
+        completed + self.header().dropped_entries()
+    }
+
+    /// Rotation-aware append: announce on the control word, back off while
+    /// a rotation is in progress, then reserve and publish. Returns the slot
+    /// index the entry landed in, or `None` if it was dropped because the
+    /// current epoch's log is full (the drop is accounted against the
+    /// header at the next rotation).
+    ///
+    /// The entry words are written address/tid first and the kind+counter
+    /// word last, so a concurrent [`SharedLog::poll`] that sees a non-zero
+    /// word 0 sees a fully published entry.
+    pub fn write_live(&self, entry: &LogEntry) -> Option<u64> {
+        loop {
+            let prev = self
+                .shm
+                .fetch_add_u64(OFF_CONTROL, WRITER_ONE)
+                .expect("header in range");
+            if prev & FLAG_ROTATING == 0 {
+                break;
+            }
+            // A rotation is in progress: withdraw the announcement and wait
+            // for the drainer to finish, then try again.
+            self.shm
+                .fetch_add_u64(OFF_CONTROL, WRITER_ONE.wrapping_neg())
+                .expect("header in range");
+            while self.control_word() & FLAG_ROTATING != 0 {
+                std::hint::spin_loop();
+            }
+        }
+        let index = self.reserve();
+        let stored = if index < self.size {
+            let off = LogEntry::offset_of(index);
+            let words = entry.pack();
+            self.shm
+                .write_u64(off + 8, words[1])
+                .expect("entry in range");
+            self.shm
+                .write_u64(off + 16, words[2])
+                .expect("entry in range");
+            self.shm.write_u64(off, words[0]).expect("entry in range");
+            Some(index)
+        } else {
+            None
+        };
+        self.shm
+            .fetch_add_u64(OFF_CONTROL, WRITER_ONE.wrapping_neg())
+            .expect("header in range");
+        stored
+    }
+
+    /// Read all entries published since the cursor's position without
+    /// stopping the writers. Advances the cursor. Stops early at the first
+    /// slot whose kind+counter word is still zero (either not yet published
+    /// or a return at counter zero — both are picked up by the next
+    /// [`SharedLog::rotate`], which reads after writers have quiesced).
+    ///
+    /// # Panics
+    /// Panics if the cursor belongs to a previous epoch; only the single
+    /// drainer that owns the cursor may rotate the log.
+    pub fn poll(&self, cursor: &mut LogCursor) -> Vec<LogEntry> {
+        assert_eq!(
+            cursor.epoch,
+            self.epoch(),
+            "stale cursor: the log rotated without this cursor"
+        );
+        let stored = self.header().stored_entries();
+        let mut out = Vec::new();
+        while cursor.index < stored {
+            let off = LogEntry::offset_of(cursor.index);
+            let words = self.shm.read_words(off, 3).expect("entry in range");
+            if words[0] == 0 {
+                break;
+            }
+            out.push(LogEntry::unpack([words[0], words[1], words[2]]));
+            cursor.index += 1;
+        }
+        out
+    }
+
+    /// Rotate the log: block new writers, wait for in-flight writers to
+    /// finish, drain every entry the cursor has not seen, account overflow
+    /// drops, reset the tail, and open the next epoch. Writers that arrive
+    /// during the rotation spin in [`SharedLog::write_live`] (bounded by
+    /// the drain, which is O(capacity)) — the workload is never stopped.
+    pub fn rotate(&self, cursor: &mut LogCursor) -> RotationOutcome {
+        assert_eq!(
+            cursor.epoch,
+            self.epoch(),
+            "stale cursor: the log rotated without this cursor"
+        );
+        // Close the epoch to new writers.
+        loop {
+            let cur = self.control_word();
+            if self
+                .shm
+                .compare_exchange_u64(OFF_CONTROL, cur, cur | FLAG_ROTATING)
+                .expect("header in range")
+                == cur
+            {
+                break;
+            }
+        }
+        // Wait for announced writers to publish and leave. Reading the same
+        // word the writers RMW gives a total order: any writer that slipped
+        // in before the flag was set is visible here.
+        while self.control_word() & WRITERS_MASK != 0 {
+            std::hint::spin_loop();
+        }
+        let tail = self.shm.read_u64(OFF_TAIL).expect("header in range");
+        let stored = tail.min(self.size);
+        let dropped = tail.saturating_sub(self.size);
+        let entries: Vec<LogEntry> = (cursor.index..stored).map(|i| self.read_entry(i)).collect();
+        if dropped > 0 {
+            self.shm
+                .fetch_add_u64(OFF_DROPPED, dropped)
+                .expect("header in range");
+        }
+        self.shm.write_u64(OFF_TAIL, 0).expect("header in range");
+        let new_epoch = self
+            .shm
+            .fetch_add_u64(OFF_EPOCH, 1)
+            .expect("header in range")
+            + 1;
+        // Reopen the log for writers.
+        loop {
+            let cur = self.control_word();
+            if self
+                .shm
+                .compare_exchange_u64(OFF_CONTROL, cur, cur & !FLAG_ROTATING)
+                .expect("header in range")
+                == cur
+            {
+                break;
+            }
+        }
+        cursor.epoch = new_epoch;
+        cursor.index = 0;
+        RotationOutcome {
+            entries,
+            dropped,
+            new_epoch,
+        }
+    }
+}
+
+/// Position of a live drainer within the shared log: which epoch it is
+/// reading and how many of that epoch's entries it has consumed. Create
+/// one per drainer with `LogCursor::default()` and pass it to
+/// [`SharedLog::poll`] / [`SharedLog::rotate`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LogCursor {
+    /// Epoch this cursor is positioned in.
+    pub epoch: u64,
+    /// Index of the next unread entry within the epoch.
+    pub index: u64,
+}
+
+/// What a [`SharedLog::rotate`] call recovered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RotationOutcome {
+    /// Entries drained between the cursor position and the end of the
+    /// closed epoch (in log order).
+    pub entries: Vec<LogEntry>,
+    /// Entries the closed epoch dropped on overflow (now accounted in the
+    /// header's cumulative-dropped word).
+    pub dropped: u64,
+    /// Epoch number now open for writers.
+    pub new_epoch: u64,
 }
 
 /// Build a standard header for [`SharedLog::init`].
-pub fn make_header(pid: u64, max_entries: u64, multithread: bool, anchor: u64, shm_addr: u64) -> LogHeader {
+pub fn make_header(
+    pid: u64,
+    max_entries: u64,
+    multithread: bool,
+    anchor: u64,
+    shm_addr: u64,
+) -> LogHeader {
     LogHeader {
         active: true,
         trace_calls: true,
@@ -327,6 +531,167 @@ mod tests {
         seen.sort_unstable();
         seen.dedup();
         assert_eq!(seen.len(), 4_000);
+    }
+
+    #[test]
+    fn live_write_poll_rotate_round_trip() {
+        let log = fresh(4);
+        let mut cursor = LogCursor::default();
+        for k in 1..=3u64 {
+            assert_eq!(
+                log.write_live(&LogEntry {
+                    kind: EventKind::Call,
+                    counter: k,
+                    addr: 0x100 + k,
+                    tid: 0,
+                }),
+                Some(k - 1)
+            );
+        }
+        let polled = log.poll(&mut cursor);
+        assert_eq!(polled.len(), 3);
+        assert_eq!(polled[0].counter, 1);
+        assert_eq!(cursor, LogCursor { epoch: 0, index: 3 });
+        // Nothing new: poll is idempotent at the cursor.
+        assert!(log.poll(&mut cursor).is_empty());
+        // One more entry, then rotate: only the unseen entry comes back.
+        assert_eq!(
+            log.write_live(&LogEntry {
+                kind: EventKind::Return,
+                counter: 9,
+                addr: 0x103,
+                tid: 0,
+            }),
+            Some(3)
+        );
+        let out = log.rotate(&mut cursor);
+        assert_eq!(out.entries.len(), 1);
+        assert_eq!(out.entries[0].counter, 9);
+        assert_eq!(out.dropped, 0);
+        assert_eq!(out.new_epoch, 1);
+        assert_eq!(log.epoch(), 1);
+        assert_eq!(cursor, LogCursor { epoch: 1, index: 0 });
+        assert_eq!(log.header().tail, 0, "tail reset for the new epoch");
+        assert_eq!(log.writers_in_flight(), 0);
+    }
+
+    #[test]
+    fn rotation_accounts_overflow_drops() {
+        let log = fresh(2);
+        let mut cursor = LogCursor::default();
+        let e = LogEntry {
+            kind: EventKind::Call,
+            counter: 7,
+            addr: 1,
+            tid: 0,
+        };
+        assert!(log.write_live(&e).is_some());
+        assert!(log.write_live(&e).is_some());
+        assert!(
+            log.write_live(&e).is_none(),
+            "third write must drop: log full"
+        );
+        assert_eq!(log.dropped_total(), 1);
+        let out = log.rotate(&mut cursor);
+        assert_eq!(out.entries.len(), 2);
+        assert_eq!(out.dropped, 1);
+        // After the rotation the epoch is empty again and the drop stays
+        // accounted in the cumulative word.
+        assert_eq!(log.dropped_total(), 1);
+        assert_eq!(log.write_live(&e), Some(0), "rotation reopened slot 0");
+        assert_eq!(log.poll(&mut cursor).len(), 1);
+    }
+
+    #[test]
+    fn poll_stops_at_unpublished_slot() {
+        let log = fresh(4);
+        let mut cursor = LogCursor::default();
+        // Simulate a writer that reserved slot 0 but has not published yet
+        // (only possible mid-`write_live` from another thread): slot 0 is
+        // all zeroes while slot 1 is complete.
+        log.reserve();
+        let i = log.reserve();
+        log.write_entry(
+            i,
+            &LogEntry {
+                kind: EventKind::Call,
+                counter: 5,
+                addr: 2,
+                tid: 0,
+            },
+        );
+        assert!(log.poll(&mut cursor).is_empty(), "must not skip slot 0");
+        // Rotation reads after quiesce, so both slots drain (slot 0 decodes
+        // as an incomplete all-zero record for the analyzer to dismiss).
+        let out = log.rotate(&mut cursor);
+        assert_eq!(out.entries.len(), 2);
+        assert_eq!(out.entries[1].counter, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale cursor")]
+    fn stale_cursor_is_rejected() {
+        let log = fresh(2);
+        let mut cursor = LogCursor::default();
+        log.rotate(&mut cursor);
+        let mut stale = LogCursor::default();
+        log.poll(&mut stale);
+    }
+
+    #[test]
+    fn concurrent_live_writers_and_drainer_lose_nothing() {
+        let log = fresh(64);
+        let total_per_thread = 2_000u64;
+        let mut handles = Vec::new();
+        for t in 0..3u64 {
+            let log = log.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut written = 0u64;
+                for k in 0..total_per_thread {
+                    if log
+                        .write_live(&LogEntry {
+                            kind: EventKind::Call,
+                            counter: k + 1,
+                            addr: t * 1_000_000 + k + 1,
+                            tid: t,
+                        })
+                        .is_some()
+                    {
+                        written += 1;
+                    }
+                }
+                written
+            }));
+        }
+        let drainer = {
+            let log = log.clone();
+            std::thread::spawn(move || {
+                let mut cursor = LogCursor::default();
+                let mut drained = Vec::new();
+                loop {
+                    drained.extend(log.poll(&mut cursor));
+                    let out = log.rotate(&mut cursor);
+                    drained.extend(out.entries);
+                    if log.writers_in_flight() == 0
+                        && drained.len() as u64 + log.dropped_total() >= 3 * total_per_thread
+                    {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+                drained
+            })
+        };
+        let written: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        let drained = drainer.join().unwrap();
+        // Every successfully written entry is drained exactly once.
+        assert_eq!(drained.len() as u64, written);
+        assert_eq!(written + log.dropped_total(), 3 * total_per_thread);
+        let mut addrs: Vec<u64> = drained.iter().map(|e| e.addr).collect();
+        addrs.sort_unstable();
+        let before = addrs.len();
+        addrs.dedup();
+        assert_eq!(addrs.len(), before, "no entry may be drained twice");
     }
 
     proptest! {

@@ -57,7 +57,8 @@ impl PartitionedLog {
         h.size = n_partitions * per_partition;
         let base = SharedLog::init(Arc::clone(&shm), &h);
         for p in 0..n_partitions {
-            shm.write_u64(HEADER_BYTES + p * 8, 0).expect("tails in range");
+            shm.write_u64(HEADER_BYTES + p * 8, 0)
+                .expect("tails in range");
         }
         PartitionedLog {
             shm,
@@ -88,7 +89,9 @@ impl PartitionedLog {
     }
 
     fn entry_offset(&self, partition: u64, index: u64) -> u64 {
-        HEADER_BYTES + self.n_partitions * 8 + (partition * self.per_partition + index) * ENTRY_BYTES
+        HEADER_BYTES
+            + self.n_partitions * 8
+            + (partition * self.per_partition + index) * ENTRY_BYTES
     }
 
     /// Append an entry to `tid`'s partition using only plain loads and
@@ -99,13 +102,17 @@ impl PartitionedLog {
         let p = tid % self.n_partitions;
         let tail_off = self.tail_offset(p);
         let tail = self.shm.read_u64(tail_off).expect("tail in range");
-        self.shm.write_u64(tail_off, tail + 1).expect("tail in range");
+        self.shm
+            .write_u64(tail_off, tail + 1)
+            .expect("tail in range");
         if tail >= self.per_partition {
             return false;
         }
         let off = self.entry_offset(p, tail);
         for (i, w) in entry.pack().iter().enumerate() {
-            self.shm.write_u64(off + (i as u64) * 8, *w).expect("entry in range");
+            self.shm
+                .write_u64(off + (i as u64) * 8, *w)
+                .expect("entry in range");
         }
         true
     }
@@ -320,10 +327,8 @@ mod tests {
 
         // Classic fetch-and-add hooks on the same machine class.
         let shm = Arc::new(SharedMem::new(crate::log::region_bytes(1024)));
-        let classic_log = SharedLog::init(
-            Arc::clone(&shm),
-            &make_header(1, 1024, true, 0, SHM_BASE),
-        );
+        let classic_log =
+            SharedLog::init(Arc::clone(&shm), &make_header(1, 1024, true, 0, SHM_BASE));
         let mut machine2 = Machine::new(CostModel::sgx_v1());
         machine2.map_shared(shm);
         machine2.ecall();

@@ -13,12 +13,14 @@
 //! * round-tripping via [`FlameGraph::to_folded`] /
 //!   [`FlameGraph::from_folded_text`].
 
+pub mod live;
 pub mod palette;
 pub mod svg;
 
 use std::collections::BTreeMap;
 use std::fmt;
 
+pub use live::LiveStatus;
 pub use palette::Palette;
 pub use svg::SvgOptions;
 

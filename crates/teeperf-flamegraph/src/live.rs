@@ -1,0 +1,110 @@
+//! Rendering for continuous profiling: re-emit the flame graph from a
+//! rolling aggregate on every refresh, with a status banner describing how
+//! much of the stream the picture covers. `teeperf live` calls this once
+//! per refresh interval; unlike the batch renderers there is no final log —
+//! the folded stacks come straight from `teeperf-live`'s rolling profile.
+
+use crate::{FlameGraph, SvgOptions};
+
+/// Momentary state of a live session, displayed above the graph so a
+/// reader knows which slice of the stream they are looking at.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LiveStatus {
+    /// Drain epochs completed so far.
+    pub epoch: u64,
+    /// Events merged into the rolling profile.
+    pub events: u64,
+    /// Events dropped on log overflow (accounted, not silently lost).
+    pub dropped: u64,
+    /// Threads observed.
+    pub threads: u64,
+    /// Calls still open (no return seen yet); their time is not in the
+    /// graph until they complete or the session finishes.
+    pub open_frames: u64,
+}
+
+impl LiveStatus {
+    /// One-line banner, e.g.
+    /// `live · epoch 3 · 12000 events · 2 threads · 1 open · 0 dropped`.
+    pub fn banner(&self) -> String {
+        format!(
+            "live · epoch {} · {} events · {} threads · {} open · {} dropped",
+            self.epoch, self.events, self.threads, self.open_frames, self.dropped
+        )
+    }
+}
+
+/// Render the rolling aggregate for a terminal: status banner plus the
+/// ASCII flame graph.
+pub fn render_ascii(folded: &[(Vec<String>, u64)], status: &LiveStatus, width: usize) -> String {
+    let graph = FlameGraph::from_folded(folded);
+    let mut out = String::new();
+    out.push_str(&status.banner());
+    out.push('\n');
+    if graph.total_ticks() == 0 {
+        out.push_str("(no completed calls yet)\n");
+    } else {
+        out.push_str(&graph.to_ascii(width));
+    }
+    out
+}
+
+/// Render the rolling aggregate as SVG, with the status banner as the
+/// subtitle (the caller's title is preserved).
+pub fn render_svg(
+    folded: &[(Vec<String>, u64)],
+    status: &LiveStatus,
+    options: &SvgOptions,
+) -> String {
+    let graph = FlameGraph::from_folded(folded);
+    let opts = options.clone().with_subtitle(status.banner());
+    graph.to_svg(&opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn folded() -> Vec<(Vec<String>, u64)> {
+        vec![
+            (vec!["main".into(), "work".into()], 80),
+            (vec!["main".into()], 20),
+        ]
+    }
+
+    fn status() -> LiveStatus {
+        LiveStatus {
+            epoch: 3,
+            events: 12_000,
+            dropped: 7,
+            threads: 2,
+            open_frames: 1,
+        }
+    }
+
+    #[test]
+    fn ascii_leads_with_banner() {
+        let out = render_ascii(&folded(), &status(), 60);
+        let first = out.lines().next().unwrap();
+        assert_eq!(
+            first,
+            "live · epoch 3 · 12000 events · 2 threads · 1 open · 7 dropped"
+        );
+        assert!(out.contains("work"));
+    }
+
+    #[test]
+    fn ascii_handles_empty_aggregate() {
+        let out = render_ascii(&[], &LiveStatus::default(), 60);
+        assert!(out.contains("no completed calls yet"));
+    }
+
+    #[test]
+    fn svg_carries_banner_as_subtitle() {
+        let opts = SvgOptions::default().with_title("rolling profile");
+        let out = render_svg(&folded(), &status(), &opts);
+        assert!(out.contains("rolling profile"));
+        assert!(out.contains("epoch 3"));
+        assert!(out.contains("work"));
+    }
+}

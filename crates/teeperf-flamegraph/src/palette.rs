@@ -28,8 +28,8 @@ impl Palette {
     /// recognizable across graphs), with hue jitter within the scheme.
     pub fn color_for(self, name: &str) -> String {
         let h = fnv1a(name);
-        let v1 = (h & 0xff) as u32;          // 0..255
-        let v2 = ((h >> 8) & 0xff) as u32;   // 0..255
+        let v1 = (h & 0xff) as u32; // 0..255
+        let v2 = ((h >> 8) & 0xff) as u32; // 0..255
         let (r, g, b) = match self {
             Palette::Warm => (205 + v1 * 50 / 255, 50 + v2 * 130 / 255, v1 * 30 / 255),
             Palette::Cool => (v1 * 60 / 255, 120 + v2 * 100 / 255, 160 + v1 * 80 / 255),

@@ -54,15 +54,17 @@ fn escape(s: &str) -> String {
         .replace('"', "&quot;")
 }
 
+/// Differential coloring hook: maps (stack path, inclusive share) to a
+/// fill color and an extra tooltip suffix.
+type DiffColor<'a> = &'a dyn Fn(&[String], f64) -> (String, String);
+
 struct Renderer<'a> {
     opts: &'a SvgOptions,
     total: f64,
     max_depth: usize,
     body: String,
     frames: usize,
-    /// Optional differential coloring: maps (stack path, inclusive share)
-    /// to a fill color and an extra tooltip suffix.
-    diff: Option<&'a dyn Fn(&[String], f64) -> (String, String)>,
+    diff: Option<DiffColor<'a>>,
     path: Vec<String>,
 }
 
@@ -145,7 +147,12 @@ pub fn render_diff(before: &FlameGraph, after: &FlameGraph, opts: &SvgOptions) -
             path.pop();
         }
     }
-    collect(before.root(), &mut Vec::new(), before_total, &mut before_shares);
+    collect(
+        before.root(),
+        &mut Vec::new(),
+        before_total,
+        &mut before_shares,
+    );
 
     let color = move |path: &[String], after_share: f64| -> (String, String) {
         let before_share = before_shares.get(path).copied().unwrap_or(0.0);
@@ -163,16 +170,15 @@ pub fn render_diff(before: &FlameGraph, after: &FlameGraph, opts: &SvgOptions) -
         } else {
             "rgb(240,235,225)".to_string()
         };
-        (fill, format!(", {delta:+.2e} share vs before", delta = delta))
+        (
+            fill,
+            format!(", {delta:+.2e} share vs before", delta = delta),
+        )
     };
     render_inner(after, opts, Some(&color))
 }
 
-fn render_inner(
-    graph: &FlameGraph,
-    opts: &SvgOptions,
-    diff: Option<&dyn Fn(&[String], f64) -> (String, String)>,
-) -> String {
+fn render_inner(graph: &FlameGraph, opts: &SvgOptions, diff: Option<DiffColor<'_>>) -> String {
     let total = graph.total_ticks().max(1) as f64;
     let max_depth = graph.max_depth();
     let height = 40 + (max_depth as u32 + 1) * (opts.frame_height + 1) + 24;
@@ -305,19 +311,17 @@ mod diff_tests {
 
     #[test]
     fn differential_colors_growth_red_and_shrinkage_blue() {
-        let before = FlameGraph::from_folded(&[
-            (vec!["main", "getpid"], 70),
-            (vec!["main", "io"], 30),
-        ]);
-        let after = FlameGraph::from_folded(&[
-            (vec!["main", "getpid"], 5),
-            (vec!["main", "io"], 95),
-        ]);
+        let before =
+            FlameGraph::from_folded(&[(vec!["main", "getpid"], 70), (vec!["main", "io"], 30)]);
+        let after =
+            FlameGraph::from_folded(&[(vec!["main", "getpid"], 5), (vec!["main", "io"], 95)]);
         let svg = render_diff(&before, &after, &SvgOptions::default());
         // getpid shrank -> its rect is blueish (blue channel at 250);
         // io grew -> reddish (red channel at 250).
         let color_of = |name: &str| -> String {
-            let at = svg.find(&format!("<title>{name} (")).expect("frame present");
+            let at = svg
+                .find(&format!("<title>{name} ("))
+                .expect("frame present");
             let fill = svg[at..].find("fill=\"").expect("fill attr") + at + 6;
             svg[fill..].split('"').next().expect("value").to_string()
         };
@@ -341,14 +345,15 @@ mod diff_tests {
     #[test]
     fn new_frames_count_as_pure_growth() {
         let before = FlameGraph::from_folded(&[(vec!["main", "old"], 100)]);
-        let after = FlameGraph::from_folded(&[
-            (vec!["main", "old"], 50),
-            (vec!["main", "brand_new"], 50),
-        ]);
+        let after =
+            FlameGraph::from_folded(&[(vec!["main", "old"], 50), (vec!["main", "brand_new"], 50)]);
         let svg = render_diff(&before, &after, &SvgOptions::default());
         let at = svg.find("<title>brand_new (").expect("frame present");
         let fill = svg[at..].find("fill=\"").expect("fill attr") + at + 6;
         let color = svg[fill..].split('"').next().expect("value");
-        assert!(color.starts_with("rgb(250,"), "new frame should be red: {color}");
+        assert!(
+            color.starts_with("rgb(250,"),
+            "new frame should be red: {color}"
+        );
     }
 }

@@ -1,0 +1,238 @@
+//! The streaming log drainer.
+//!
+//! Batch TEE-Perf stops the writers and drains once. A [`Drainer`] instead
+//! consumes the shared log *while the writers keep appending*: it holds the
+//! single persistent [`LogCursor`] over the log, polls published entries
+//! without any synchronization beyond the publication order, and rotates
+//! the log (quiesce writers, reset tail, bump epoch) before the current
+//! epoch can overflow. Overflow that does happen is accounted explicitly —
+//! the stream reports how many entries it lost, it never silently stops.
+
+use teeperf_core::layout::LogEntry;
+use teeperf_core::{LogCursor, SharedLog};
+
+/// When the drainer forces a rotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainPolicy {
+    /// Rotate once the epoch has filled this percentage of the log's
+    /// capacity (entries *reserved*, including overflow). 100 means
+    /// "rotate only when completely full".
+    pub watermark_pct: u8,
+}
+
+impl Default for DrainPolicy {
+    fn default() -> Self {
+        // Leave headroom: writers keep appending while the rotation CAS +
+        // quiesce runs, so rotating at three quarters full avoids drops in
+        // steady state.
+        DrainPolicy { watermark_pct: 75 }
+    }
+}
+
+/// One pump of the drainer: what arrived, and whether the log rotated.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DrainBatch {
+    /// Entries drained, in log order (per-thread program order).
+    pub entries: Vec<LogEntry>,
+    /// Whether this pump closed an epoch.
+    pub rotated: bool,
+    /// Entries the closed epoch dropped on overflow (0 unless `rotated`).
+    pub dropped: u64,
+    /// Epoch open for writers after this pump.
+    pub epoch: u64,
+}
+
+/// The host-side consumer of a live [`SharedLog`]. Exactly one drainer may
+/// exist per log: it owns the read cursor, and only the cursor owner may
+/// rotate.
+#[derive(Debug)]
+pub struct Drainer {
+    log: SharedLog,
+    cursor: LogCursor,
+    policy: DrainPolicy,
+    rotations: u64,
+    drained: u64,
+}
+
+impl Drainer {
+    /// Attach a drainer with its cursor at the start of the current epoch.
+    pub fn new(log: SharedLog, policy: DrainPolicy) -> Drainer {
+        let cursor = LogCursor {
+            epoch: log.epoch(),
+            index: 0,
+        };
+        Drainer {
+            log,
+            cursor,
+            policy,
+            rotations: 0,
+            drained: 0,
+        }
+    }
+
+    /// The shared log this drainer consumes.
+    pub fn log(&self) -> &SharedLog {
+        &self.log
+    }
+
+    /// Epoch the cursor is positioned in.
+    pub fn epoch(&self) -> u64 {
+        self.cursor.epoch
+    }
+
+    /// Rotations this drainer has performed.
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    /// Entries drained so far.
+    pub fn drained(&self) -> u64 {
+        self.drained
+    }
+
+    /// Cumulative dropped entries (all epochs, including the current one).
+    pub fn dropped_total(&self) -> u64 {
+        self.log.dropped_total()
+    }
+
+    /// Reserved slots in the current epoch at which the policy rotates.
+    fn watermark_entries(&self) -> u64 {
+        (self.log.capacity() * u64::from(self.policy.watermark_pct) / 100).max(1)
+    }
+
+    /// One drain step: poll everything published since the last pump, and
+    /// rotate if the epoch has passed the policy's watermark. Never blocks
+    /// the writers (rotation makes them spin only for the bounded quiesce +
+    /// drain window).
+    pub fn pump(&mut self) -> DrainBatch {
+        let mut batch = DrainBatch {
+            entries: self.log.poll(&mut self.cursor),
+            ..DrainBatch::default()
+        };
+        if self.log.header().tail >= self.watermark_entries() {
+            let out = self.log.rotate(&mut self.cursor);
+            batch.entries.extend(out.entries);
+            batch.rotated = true;
+            batch.dropped = out.dropped;
+            self.rotations += 1;
+        }
+        batch.epoch = self.cursor.epoch;
+        self.drained += batch.entries.len() as u64;
+        batch
+    }
+
+    /// Force a rotation now, regardless of the watermark — the final drain
+    /// at the end of a session, when the writers have stopped (or to get a
+    /// consistent snapshot mid-run).
+    pub fn rotate_now(&mut self) -> DrainBatch {
+        let mut batch = DrainBatch {
+            entries: self.log.poll(&mut self.cursor),
+            ..DrainBatch::default()
+        };
+        let out = self.log.rotate(&mut self.cursor);
+        batch.entries.extend(out.entries);
+        batch.rotated = true;
+        batch.dropped = out.dropped;
+        batch.epoch = self.cursor.epoch;
+        self.rotations += 1;
+        self.drained += batch.entries.len() as u64;
+        batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tee_sim::SharedMem;
+    use teeperf_core::layout::EventKind;
+    use teeperf_core::log::{make_header, region_bytes};
+
+    fn fresh(max_entries: u64) -> SharedLog {
+        let shm = Arc::new(SharedMem::new(region_bytes(max_entries)));
+        SharedLog::init(
+            shm,
+            &make_header(1, max_entries, true, 0, tee_sim::SHM_BASE),
+        )
+    }
+
+    fn entry(counter: u64) -> LogEntry {
+        LogEntry {
+            kind: EventKind::Call,
+            counter,
+            addr: 0x40_0000 + counter,
+            tid: 0,
+        }
+    }
+
+    #[test]
+    fn pump_polls_without_rotating_below_watermark() {
+        let log = fresh(100);
+        let mut d = Drainer::new(log.clone(), DrainPolicy::default());
+        for k in 1..=10 {
+            log.write_live(&entry(k));
+        }
+        let b = d.pump();
+        assert_eq!(b.entries.len(), 10);
+        assert!(!b.rotated);
+        assert_eq!(b.epoch, 0);
+        assert_eq!(d.drained(), 10);
+        assert!(d.pump().entries.is_empty(), "no new entries, no re-reads");
+    }
+
+    #[test]
+    fn pump_rotates_at_watermark() {
+        let log = fresh(10);
+        let mut d = Drainer::new(log.clone(), DrainPolicy { watermark_pct: 50 });
+        for k in 1..=5 {
+            log.write_live(&entry(k));
+        }
+        let b = d.pump();
+        assert_eq!(b.entries.len(), 5);
+        assert!(b.rotated);
+        assert_eq!(b.epoch, 1);
+        assert_eq!(d.rotations(), 1);
+        assert_eq!(log.header().tail, 0);
+        // The next epoch starts clean.
+        log.write_live(&entry(6));
+        let b = d.pump();
+        assert_eq!(b.entries.len(), 1);
+        assert!(!b.rotated);
+    }
+
+    #[test]
+    fn overflow_is_accounted_not_silent() {
+        let log = fresh(4);
+        let mut d = Drainer::new(log.clone(), DrainPolicy { watermark_pct: 100 });
+        for k in 1..=7 {
+            log.write_live(&entry(k));
+        }
+        let b = d.pump();
+        assert!(b.rotated);
+        assert_eq!(b.entries.len(), 4);
+        assert_eq!(b.dropped, 3);
+        assert_eq!(d.dropped_total(), 3);
+    }
+
+    #[test]
+    fn rotate_now_flushes_a_partial_epoch() {
+        let log = fresh(100);
+        let mut d = Drainer::new(log.clone(), DrainPolicy::default());
+        log.write_live(&entry(1));
+        let b = d.rotate_now();
+        assert_eq!(b.entries.len(), 1);
+        assert!(b.rotated);
+        assert_eq!(b.epoch, 1);
+        assert_eq!(b.dropped, 0);
+    }
+
+    #[test]
+    fn attaches_at_current_epoch() {
+        let log = fresh(8);
+        let mut first = Drainer::new(log.clone(), DrainPolicy::default());
+        first.rotate_now();
+        first.rotate_now();
+        let second = Drainer::new(log, DrainPolicy::default());
+        assert_eq!(second.epoch(), 2);
+    }
+}

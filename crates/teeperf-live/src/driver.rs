@@ -1,0 +1,292 @@
+//! The live run driver: executes an instrumented Mini-C program while a
+//! drainer consumes its log concurrently.
+//!
+//! The batch driver ([`teeperf_compiler::profile_program`]) runs to
+//! completion and then drains. Here the recorder's hooks append through the
+//! rotation-aware live path, and an [`InstrObserver`] pumps the
+//! [`LiveSession`] every `pump_every_instructions` executed instructions —
+//! the in-process, deterministic equivalent of a host-side drainer thread.
+//! The log can therefore be far smaller than the event stream: it rotates
+//! under the running program, and the rolling profile carries the truth.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use mcvm::debuginfo::DebugInfo;
+use mcvm::{InstrObserver, McError, RunConfig, SampleCtx, Vm};
+use tee_sim::{CostModel, Machine};
+use teeperf_analyzer::symbolize::Symbolizer;
+use teeperf_core::{LogFile, Recorder, RecorderConfig};
+
+use crate::session::{LiveConfig, LiveSession};
+use crate::snapshot::Snapshot;
+
+/// Tuning for one live run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiveRunConfig {
+    /// Session policy (rotation watermark, refresh cadence).
+    pub live: LiveConfig,
+    /// Pump the session every this many executed VM instructions.
+    pub pump_every_instructions: u64,
+}
+
+impl Default for LiveRunConfig {
+    fn default() -> Self {
+        LiveRunConfig {
+            live: LiveConfig::default(),
+            pump_every_instructions: 256,
+        }
+    }
+}
+
+/// Result of a live-profiled run.
+#[derive(Debug)]
+pub struct LiveRun {
+    /// `main`'s return value.
+    pub exit_code: i64,
+    /// The final snapshot: every call closed, all epochs merged.
+    pub snapshot: Snapshot,
+    /// Rendered flame-view frames, one per refresh during the run.
+    pub frames: Vec<String>,
+    /// Drain epochs the session went through.
+    pub epochs: u64,
+    /// Events merged into the rolling profile.
+    pub events: u64,
+    /// Events lost to overflow (accounted, not silent).
+    pub dropped: u64,
+    /// The drained stream re-packaged as a batch log, so any offline stage
+    /// can replay exactly what the live session saw. Empty unless
+    /// [`LiveConfig::keep_replay`] is set — retention is opt-in because it
+    /// grows with the stream.
+    pub replay: LogFile,
+    /// Symbol table matching the instrumented binary.
+    pub debug: DebugInfo,
+    /// Program output lines.
+    pub output: Vec<String>,
+    /// Total virtual cycles consumed.
+    pub cycles: u64,
+}
+
+/// The pump: an instruction observer that hands the session CPU time at a
+/// fixed instruction cadence. It also keeps the raw drained stream for the
+/// replay log.
+struct SessionPump {
+    session: Rc<RefCell<LiveSession>>,
+    every: u64,
+    since: u64,
+}
+
+impl InstrObserver for SessionPump {
+    fn observe(&mut self, _machine: &mut Machine, _ctx: &SampleCtx<'_>) {
+        self.since += 1;
+        if self.since >= self.every {
+            self.since = 0;
+            self.session.borrow_mut().pump();
+        }
+    }
+}
+
+/// Run an instrumented `program` under a live session: hooks write through
+/// the rotation-aware path, the drainer pumps on an instruction cadence,
+/// and the result carries the final merged snapshot (plus a replay log for
+/// offline cross-checks).
+///
+/// # Errors
+/// Propagates runtime traps from the VM.
+pub fn live_profile_program(
+    program: mcvm::CompiledProgram,
+    cost: CostModel,
+    run_config: RunConfig,
+    recorder_config: &RecorderConfig,
+    live_config: &LiveRunConfig,
+    setup: impl FnOnce(&mut Vm) -> Result<(), McError>,
+) -> Result<LiveRun, McError> {
+    let debug = program.debug.clone();
+    let machine = Machine::new(cost);
+    let mut recorder_config = recorder_config.clone();
+    recorder_config.anchor = debug
+        .functions()
+        .first()
+        .map_or(tee_sim::ENCLAVE_TEXT_BASE, |f| f.base_addr);
+
+    let recorder = Recorder::new(&recorder_config);
+    let header = recorder.log().header();
+    let symbolizer = Symbolizer::new(debug.clone(), &header);
+    let session = Rc::new(RefCell::new(LiveSession::new(
+        recorder.log().clone(),
+        symbolizer,
+        live_config.live.clone(),
+    )));
+
+    let mut vm = Vm::with_config(program, machine, run_config);
+    recorder.attach(vm.machine_mut());
+    let hooks = recorder
+        .sim_hooks(vm.machine().clock().clone())
+        .with_live_writes();
+    vm.set_hooks(Box::new(hooks));
+    vm.set_observer(Box::new(SessionPump {
+        session: Rc::clone(&session),
+        every: live_config.pump_every_instructions.max(1),
+        since: 0,
+    }));
+    setup(&mut vm)?;
+    let exit_code = vm.run()?;
+
+    let mut session = session.borrow_mut();
+    let snapshot = session.finish();
+    let replay = LogFile::new(
+        {
+            let mut h = header;
+            h.active = false;
+            h.tail = session.events();
+            h.size = session.events().max(1);
+            h
+        },
+        session.replay_entries().to_vec(),
+    );
+    Ok(LiveRun {
+        exit_code,
+        epochs: session.epochs(),
+        events: session.events(),
+        dropped: session.dropped(),
+        frames: session.frames().to_vec(),
+        replay,
+        snapshot,
+        debug,
+        output: vm.output().to_vec(),
+        cycles: vm.machine().clock().now(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teeperf_analyzer::{profile, Analyzer};
+    use teeperf_compiler::{compile_instrumented, profile_program, InstrumentOptions};
+
+    const SRC: &str = "
+        fn leaf(n: int) -> int {
+            let s: int = 0;
+            for (let i: int = 0; i < n; i = i + 1) { s = s + i; }
+            return s;
+        }
+        fn work(n: int) -> int { return leaf(n) + leaf(n / 2); }
+        fn main() -> int {
+            let acc: int = 0;
+            for (let r: int = 0; r < 8; r = r + 1) { acc = acc + work(40); }
+            return acc;
+        }
+    ";
+
+    fn live_run(max_entries: u64) -> LiveRun {
+        live_profile_program(
+            compile_instrumented(SRC, &InstrumentOptions::default()).unwrap(),
+            CostModel::sgx_v1(),
+            RunConfig::default(),
+            &RecorderConfig {
+                max_entries,
+                ..RecorderConfig::default()
+            },
+            &LiveRunConfig {
+                live: LiveConfig {
+                    refresh_events: 20,
+                    keep_replay: true,
+                    ..LiveConfig::default()
+                },
+                pump_every_instructions: 64,
+            },
+            |_| Ok(()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn live_run_rotates_without_stopping_the_writer() {
+        let run = live_run(16);
+        // 8 iterations × (work + 2×leaf) × 2 events + main = 50 events
+        // through a 16-entry log: several rotations, nothing lost.
+        assert_eq!(run.exit_code, 8 * (780 + 190));
+        assert_eq!(run.events, 50);
+        assert!(run.epochs >= 3, "only {} epochs", run.epochs);
+        assert_eq!(run.dropped, 0, "pump cadence must outrun the writers");
+        assert!(!run.frames.is_empty());
+    }
+
+    #[test]
+    fn rolling_profile_matches_offline_replay_exactly() {
+        let run = live_run(16);
+        // Feed the exact stream the live session drained through the batch
+        // analyzer: the rolling aggregates must be identical.
+        let sym = Symbolizer::new(run.debug.clone(), &run.replay.header);
+        let batch = profile::build(&run.replay, &sym);
+        let live = &run.snapshot.profile;
+        assert_eq!(live.methods, batch.methods);
+        assert_eq!(live.folded, batch.folded);
+        assert_eq!(live.caller_edges, batch.caller_edges);
+        assert_eq!(live.total_ticks, batch.total_ticks);
+    }
+
+    #[test]
+    fn live_agrees_with_independent_batch_run() {
+        let run = live_run(16);
+        // An independent batch run of the same program (big log, no
+        // rotation): per-method call counts and the hot-method order must
+        // agree. Tick values may differ slightly — entry writes land at
+        // different shared-memory addresses, and memory-model costs are
+        // address-dependent.
+        let batch = profile_program(
+            compile_instrumented(SRC, &InstrumentOptions::default()).unwrap(),
+            CostModel::sgx_v1(),
+            RunConfig::default(),
+            &RecorderConfig::default(),
+            |_| Ok(()),
+        )
+        .unwrap();
+        let analyzer = Analyzer::new(batch.log, batch.debug).unwrap();
+        let offline = analyzer.profile();
+        let top = |p: &teeperf_analyzer::Profile| {
+            p.methods
+                .iter()
+                .take(5)
+                .map(|m| (m.name.clone(), m.calls))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(top(&run.snapshot.profile), top(&offline));
+        // Time is partitioned exactly: exclusive sums to inclusive.
+        for m in &run.snapshot.profile.methods {
+            assert!(m.exclusive <= m.inclusive);
+        }
+        let root_inclusive: u64 = run
+            .snapshot
+            .profile
+            .caller_edges
+            .iter()
+            .filter(|e| e.caller == "<root>")
+            .map(|e| e.inclusive)
+            .sum();
+        assert_eq!(run.snapshot.profile.total_ticks, root_inclusive);
+    }
+
+    #[test]
+    fn tiny_log_accounts_drops_instead_of_stopping() {
+        // A 2-entry log with a slow pump cannot keep up; the run must
+        // still finish, and every lost entry must be accounted.
+        let run = live_profile_program(
+            compile_instrumented(SRC, &InstrumentOptions::default()).unwrap(),
+            CostModel::sgx_v1(),
+            RunConfig::default(),
+            &RecorderConfig {
+                max_entries: 2,
+                ..RecorderConfig::default()
+            },
+            &LiveRunConfig {
+                live: LiveConfig::default(),
+                pump_every_instructions: 100_000,
+            },
+            |_| Ok(()),
+        )
+        .unwrap();
+        assert_eq!(run.events + run.dropped, 50);
+        assert!(run.dropped > 0);
+    }
+}

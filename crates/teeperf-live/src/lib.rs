@@ -1,0 +1,37 @@
+//! # teeperf-live — continuous profiling on top of the TEE-Perf pipeline
+//!
+//! The paper's pipeline is batch: record the whole run into one shared log,
+//! stop, then analyze. That caps a session at the log's capacity — once the
+//! tail passes `size`, every further event is dropped. This crate turns the
+//! pipeline into a *streaming* one, so a session can run indefinitely over
+//! a fixed-size log:
+//!
+//! * [`drain`] — a [`Drainer`] consuming the shared log concurrently with
+//!   the writers, using the persistent read cursor and epoch-rotation
+//!   protocol of `teeperf_core::log` (writers announce themselves on the
+//!   control word; the drainer quiesces them only for the bounded rotation
+//!   window). Overflow is accounted explicitly, never a silent stop.
+//! * [`rolling`] — an incremental analyzer: per-thread
+//!   [`teeperf_analyzer::stacks::ResumableStacks`] carry open frames across
+//!   epochs, and completed calls merge into rolling per-method, folded-stack
+//!   and caller-edge aggregates whose memory does not grow with the stream.
+//! * [`snapshot`] — serializable freezes of the rolling profile, with
+//!   diff-vs-previous through the batch comparator.
+//! * [`session`] — the [`LiveSession`] gluing drainer + rolling profile +
+//!   the live flame renderer on a refresh cadence.
+//! * [`driver`] — [`live_profile_program`]: run an instrumented Mini-C
+//!   program with the rotation-aware hooks while an instruction-cadence
+//!   observer pumps the session (the deterministic, in-process equivalent
+//!   of a host drainer thread). Backs the `teeperf live` CLI subcommand.
+
+pub mod drain;
+pub mod driver;
+pub mod rolling;
+pub mod session;
+pub mod snapshot;
+
+pub use drain::{DrainBatch, DrainPolicy, Drainer};
+pub use driver::{live_profile_program, LiveRun, LiveRunConfig};
+pub use rolling::RollingProfile;
+pub use session::{LiveConfig, LiveSession};
+pub use snapshot::Snapshot;

@@ -1,0 +1,378 @@
+//! The incremental analyzer: a rolling method-level profile.
+//!
+//! Batch analysis reconstructs every thread's call stack from the complete
+//! log. A [`RollingProfile`] does the same work one drained batch at a
+//! time: per-thread [`ResumableStacks`] carry open frames across epoch
+//! boundaries (a return may land many epochs after its call), and every
+//! completed call is merged immediately into per-method, folded-stack and
+//! caller-edge aggregates keyed by *address*. Symbolization is deferred to
+//! [`RollingProfile::snapshot`], which materializes a regular
+//! [`Profile`] — so reports, diffs and flame graphs reuse the batch
+//! machinery unchanged.
+//!
+//! Memory stays bounded by the number of distinct methods, stacks and
+//! threads — not by the number of events — which is what lets a session
+//! run indefinitely.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use teeperf_analyzer::profile::{Anomalies, CallerEdge, MethodStats, Profile};
+use teeperf_analyzer::reader::Event;
+use teeperf_analyzer::stacks::{CompletedCall, ResumableStacks, ThreadStacks};
+use teeperf_analyzer::symbolize::Symbolizer;
+use teeperf_core::layout::LogEntry;
+use teeperf_flamegraph::LiveStatus;
+
+/// Sentinel caller address for top-level frames (matches the batch
+/// aggregator's choice).
+const ROOT: u64 = u64::MAX;
+
+#[derive(Debug, Clone, Default)]
+struct RawMethod {
+    calls: u64,
+    inclusive: u64,
+    exclusive: u64,
+    min_inclusive: u64,
+    max_inclusive: u64,
+    threads: BTreeSet<u64>,
+}
+
+/// An endlessly updatable profile over a stream of log entries.
+#[derive(Debug, Default)]
+pub struct RollingProfile {
+    threads: BTreeMap<u64, ResumableStacks>,
+    methods: HashMap<u64, RawMethod>,
+    folded: HashMap<Vec<u64>, u64>,
+    edges: HashMap<(u64, u64), (u64, u64, u64)>,
+    calls_per_thread: BTreeMap<u64, u64>,
+    events: u64,
+    incomplete: u64,
+    orphan_returns: u64,
+    truncated_frames: u64,
+}
+
+impl RollingProfile {
+    /// An empty rolling profile.
+    pub fn new() -> RollingProfile {
+        RollingProfile::default()
+    }
+
+    /// Events merged so far (excluding dismissed incomplete records).
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Calls currently open across all threads.
+    pub fn open_frames(&self) -> u64 {
+        self.threads.values().map(|s| s.open_frames() as u64).sum()
+    }
+
+    /// Threads observed so far.
+    pub fn thread_count(&self) -> u64 {
+        self.threads.len() as u64
+    }
+
+    /// Merge one drained batch. Entries arrive in log order, which within
+    /// each thread is that thread's program order — the only ordering the
+    /// reconstruction needs.
+    pub fn ingest(&mut self, entries: &[LogEntry]) {
+        // Group per thread, preserving order (same dismissal rule as the
+        // batch reader: all-zero records were reserved but never written).
+        let mut per_tid: BTreeMap<u64, Vec<Event>> = BTreeMap::new();
+        for e in entries {
+            if e.counter == 0 && e.addr == 0 && e.tid == 0 {
+                self.incomplete += 1;
+                continue;
+            }
+            self.events += 1;
+            per_tid.entry(e.tid).or_default().push(Event {
+                kind: e.kind,
+                counter: e.counter,
+                addr: e.addr,
+                seq: self.events,
+            });
+        }
+        for (tid, events) in per_tid {
+            let completed = self.threads.entry(tid).or_default().feed(&events);
+            self.absorb(tid, completed);
+        }
+    }
+
+    /// Force-close every open frame at its thread's last observed counter
+    /// (end of session). The per-thread states stay usable: feeding more
+    /// events afterwards starts from an empty stack.
+    pub fn finish(&mut self) {
+        let tids: Vec<u64> = self.threads.keys().copied().collect();
+        for tid in tids {
+            let closed = self
+                .threads
+                .get_mut(&tid)
+                .expect("tid listed above")
+                .finish();
+            self.absorb(tid, closed);
+        }
+    }
+
+    fn absorb(&mut self, tid: u64, batch: ThreadStacks) {
+        self.orphan_returns += batch.orphan_returns;
+        self.truncated_frames += batch.truncated_frames;
+        *self.calls_per_thread.entry(tid).or_default() += batch.calls.len() as u64;
+        for call in &batch.calls {
+            self.merge_call(tid, call);
+        }
+    }
+
+    fn merge_call(&mut self, tid: u64, call: &CompletedCall) {
+        let m = self.methods.entry(call.addr).or_insert_with(|| RawMethod {
+            min_inclusive: u64::MAX,
+            ..RawMethod::default()
+        });
+        m.calls += 1;
+        m.inclusive += call.inclusive();
+        m.exclusive += call.exclusive();
+        m.min_inclusive = m.min_inclusive.min(call.inclusive());
+        m.max_inclusive = m.max_inclusive.max(call.inclusive());
+        m.threads.insert(tid);
+        if call.exclusive() > 0 {
+            *self.folded.entry(call.stack.clone()).or_default() += call.exclusive();
+        }
+        let caller = if call.stack.len() >= 2 {
+            call.stack[call.stack.len() - 2]
+        } else {
+            ROOT
+        };
+        let e = self.edges.entry((caller, call.addr)).or_default();
+        e.0 += 1;
+        e.1 += call.inclusive();
+        e.2 += call.exclusive();
+    }
+
+    /// The one-line session state for the live renderer's banner.
+    pub fn status(&self, epoch: u64, dropped: u64) -> LiveStatus {
+        LiveStatus {
+            epoch,
+            events: self.events,
+            dropped,
+            threads: self.thread_count(),
+            open_frames: self.open_frames(),
+        }
+    }
+
+    /// Materialize the rolling aggregate as a regular [`Profile`], exactly
+    /// as the batch aggregator would have built it from the same completed
+    /// calls. `dropped` is the stream's cumulative overflow loss.
+    ///
+    /// The one documented difference from a batch profile: individual
+    /// completed calls are not retained (that is the point of rolling
+    /// aggregation), so `per_thread_calls` maps every observed thread to an
+    /// empty list — thread counts and all aggregates are still exact.
+    pub fn snapshot(&self, symbolizer: &Symbolizer, dropped: u64) -> Profile {
+        let mut methods: Vec<MethodStats> = self
+            .methods
+            .iter()
+            .map(|(addr, raw)| MethodStats {
+                name: symbolizer.name_of(*addr),
+                addr: *addr,
+                calls: raw.calls,
+                inclusive: raw.inclusive,
+                exclusive: raw.exclusive,
+                min_inclusive: raw.min_inclusive,
+                max_inclusive: raw.max_inclusive,
+                threads: raw.threads.clone(),
+            })
+            .collect();
+        methods.sort_by(|a, b| b.exclusive.cmp(&a.exclusive).then(a.name.cmp(&b.name)));
+        let total_ticks = methods.iter().map(|m| m.exclusive).sum();
+
+        let mut folded: Vec<(Vec<String>, u64)> = self
+            .folded
+            .iter()
+            .map(|(path, ticks)| {
+                (
+                    path.iter().map(|a| symbolizer.name_of(*a)).collect(),
+                    *ticks,
+                )
+            })
+            .collect();
+        folded.sort();
+        folded.dedup_by(|a, b| {
+            if a.0 == b.0 {
+                b.1 += a.1;
+                true
+            } else {
+                false
+            }
+        });
+
+        let mut caller_edges: Vec<CallerEdge> = self
+            .edges
+            .iter()
+            .map(
+                |((caller, callee), (calls, inclusive, exclusive))| CallerEdge {
+                    caller: if *caller == ROOT {
+                        "<root>".to_string()
+                    } else {
+                        symbolizer.name_of(*caller)
+                    },
+                    callee: symbolizer.name_of(*callee),
+                    calls: *calls,
+                    inclusive: *inclusive,
+                    exclusive: *exclusive,
+                },
+            )
+            .collect();
+        caller_edges.sort_by(|a, b| {
+            b.inclusive.cmp(&a.inclusive).then_with(|| {
+                (a.caller.as_str(), a.callee.as_str()).cmp(&(b.caller.as_str(), b.callee.as_str()))
+            })
+        });
+
+        Profile {
+            methods,
+            folded,
+            caller_edges,
+            per_thread_calls: self
+                .calls_per_thread
+                .keys()
+                .map(|tid| (*tid, Vec::new()))
+                .collect(),
+            total_ticks,
+            anomalies: Anomalies {
+                orphan_returns: self.orphan_returns,
+                truncated_frames: self.truncated_frames,
+                incomplete_entries: self.incomplete,
+                dropped_entries: dropped,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcvm::DebugInfo;
+    use teeperf_analyzer::profile;
+    use teeperf_core::layout::{EventKind, LogHeader, LOG_VERSION};
+    use teeperf_core::LogFile;
+
+    fn debug() -> DebugInfo {
+        DebugInfo::from_functions([("main", 4, 1), ("work", 4, 5), ("leaf", 4, 9)])
+    }
+
+    fn addr(i: u16) -> u64 {
+        debug().entry_addr(i)
+    }
+
+    fn e(kind: EventKind, counter: u64, addr: u64, tid: u64) -> LogEntry {
+        LogEntry {
+            kind,
+            counter,
+            addr,
+            tid,
+        }
+    }
+
+    fn sample_entries() -> Vec<LogEntry> {
+        use EventKind::{Call, Return};
+        vec![
+            e(Call, 1, addr(0), 0),
+            e(Call, 10, addr(1), 0),
+            e(Call, 20, addr(2), 0),
+            e(Return, 30, addr(2), 0),
+            e(Return, 60, addr(1), 0),
+            e(Call, 70, addr(1), 1),
+            e(Return, 90, addr(1), 1),
+            e(Return, 100, addr(0), 0),
+        ]
+    }
+
+    fn batch_profile(entries: &[LogEntry]) -> Profile {
+        let log = LogFile::new(
+            LogHeader {
+                active: false,
+                trace_calls: true,
+                trace_returns: true,
+                multithread: true,
+                version: LOG_VERSION,
+                pid: 1,
+                size: 1000,
+                tail: entries.len() as u64,
+                anchor: 0,
+                shm_addr: 0,
+            },
+            entries.to_vec(),
+        );
+        profile::build(&log, &Symbolizer::without_relocation(debug()))
+    }
+
+    /// The load-bearing invariant: streaming the entries in any chunking
+    /// produces the same profile as one batch pass.
+    #[test]
+    fn chunked_ingest_matches_batch_build() {
+        let entries = sample_entries();
+        let sym = Symbolizer::without_relocation(debug());
+        for chunk in [1usize, 2, 3, 8] {
+            let mut rolling = RollingProfile::new();
+            for c in entries.chunks(chunk) {
+                rolling.ingest(c);
+            }
+            rolling.finish();
+            let live = rolling.snapshot(&sym, 0);
+            let batch = batch_profile(&entries);
+            assert_eq!(live.methods, batch.methods, "chunk size {chunk}");
+            assert_eq!(live.folded, batch.folded);
+            assert_eq!(live.caller_edges, batch.caller_edges);
+            assert_eq!(live.total_ticks, batch.total_ticks);
+            assert_eq!(live.anomalies, batch.anomalies);
+        }
+    }
+
+    #[test]
+    fn open_frames_persist_across_batches() {
+        use EventKind::{Call, Return};
+        let mut rolling = RollingProfile::new();
+        rolling.ingest(&[e(Call, 1, addr(0), 0)]);
+        assert_eq!(rolling.open_frames(), 1);
+        assert_eq!(rolling.events(), 1);
+        // The return arrives two "epochs" later and still closes the call.
+        rolling.ingest(&[]);
+        rolling.ingest(&[e(Return, 50, addr(0), 0)]);
+        assert_eq!(rolling.open_frames(), 0);
+        let p = rolling.snapshot(&Symbolizer::without_relocation(debug()), 0);
+        assert_eq!(p.method("main").unwrap().inclusive, 49);
+        assert_eq!(p.anomalies.truncated_frames, 0);
+    }
+
+    #[test]
+    fn finish_closes_open_frames_as_truncated() {
+        use EventKind::Call;
+        let mut rolling = RollingProfile::new();
+        rolling.ingest(&[e(Call, 1, addr(0), 0), e(Call, 10, addr(1), 0)]);
+        rolling.finish();
+        let p = rolling.snapshot(&Symbolizer::without_relocation(debug()), 0);
+        assert_eq!(p.anomalies.truncated_frames, 2);
+        assert_eq!(p.method("main").unwrap().calls, 1);
+    }
+
+    #[test]
+    fn incomplete_records_are_dismissed_and_counted() {
+        let mut rolling = RollingProfile::new();
+        rolling.ingest(&[e(EventKind::Return, 0, 0, 0)]);
+        assert_eq!(rolling.events(), 0);
+        let p = rolling.snapshot(&Symbolizer::without_relocation(debug()), 7);
+        assert_eq!(p.anomalies.incomplete_entries, 1);
+        assert_eq!(p.anomalies.dropped_entries, 7);
+    }
+
+    #[test]
+    fn status_reflects_the_stream() {
+        let mut rolling = RollingProfile::new();
+        rolling.ingest(&sample_entries()[..6]);
+        let s = rolling.status(3, 2);
+        assert_eq!(s.epoch, 3);
+        assert_eq!(s.events, 6);
+        assert_eq!(s.dropped, 2);
+        assert_eq!(s.threads, 2);
+        assert_eq!(s.open_frames, 2);
+    }
+}

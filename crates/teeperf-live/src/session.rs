@@ -1,0 +1,281 @@
+//! The live session: drainer + rolling profile + renderer, glued to a
+//! refresh policy.
+//!
+//! A [`LiveSession`] is the single host-side object a continuous-profiling
+//! consumer holds. Pumping it drains the shared log and merges the stream
+//! into the rolling profile; on every `refresh_events` new events it
+//! re-renders the ASCII flame view into its frame history, which is what
+//! `teeperf live` prints.
+
+use teeperf_analyzer::query::frame::Frame;
+use teeperf_analyzer::symbolize::Symbolizer;
+use teeperf_core::SharedLog;
+use teeperf_flamegraph::{live, LiveStatus, SvgOptions};
+
+use crate::drain::{DrainPolicy, Drainer};
+use crate::rolling::RollingProfile;
+use crate::snapshot::Snapshot;
+
+/// Session tuning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiveConfig {
+    /// When the drainer rotates the log.
+    pub policy: DrainPolicy,
+    /// Re-render the flame view after this many new events (0 disables the
+    /// frame history; snapshots remain available on demand).
+    pub refresh_events: u64,
+    /// Width of the ASCII flame view.
+    pub width: usize,
+    /// Retain every drained entry for replay through the offline stages.
+    /// Off by default: the whole point of the rolling profile is that the
+    /// session's memory does not grow with the stream.
+    pub keep_replay: bool,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        LiveConfig {
+            policy: DrainPolicy::default(),
+            refresh_events: 2_000,
+            width: 60,
+            keep_replay: false,
+        }
+    }
+}
+
+/// A running continuous-profiling session over one shared log.
+#[derive(Debug)]
+pub struct LiveSession {
+    drainer: Drainer,
+    rolling: RollingProfile,
+    symbolizer: Symbolizer,
+    config: LiveConfig,
+    frames: Vec<String>,
+    events_at_last_refresh: u64,
+    last_snapshot: Option<Snapshot>,
+    replay: Vec<teeperf_core::layout::LogEntry>,
+}
+
+impl LiveSession {
+    /// Start a session draining `log`, symbolizing with `symbolizer`.
+    pub fn new(log: SharedLog, symbolizer: Symbolizer, config: LiveConfig) -> LiveSession {
+        LiveSession {
+            drainer: Drainer::new(log, config.policy),
+            rolling: RollingProfile::new(),
+            symbolizer,
+            config,
+            frames: Vec::new(),
+            events_at_last_refresh: 0,
+            last_snapshot: None,
+            replay: Vec::new(),
+        }
+    }
+
+    /// Drain whatever the writers have published and merge it. Returns the
+    /// number of entries consumed. Re-renders a frame when the refresh
+    /// threshold has passed.
+    pub fn pump(&mut self) -> usize {
+        let batch = self.drainer.pump();
+        let n = batch.entries.len();
+        if self.config.keep_replay {
+            self.replay.extend_from_slice(&batch.entries);
+        }
+        self.rolling.ingest(&batch.entries);
+        if self.config.refresh_events > 0
+            && self.rolling.events() - self.events_at_last_refresh >= self.config.refresh_events
+        {
+            self.events_at_last_refresh = self.rolling.events();
+            let frame = self.render_ascii();
+            self.frames.push(frame);
+        }
+        n
+    }
+
+    /// Epochs completed so far.
+    pub fn epochs(&self) -> u64 {
+        self.drainer.epoch()
+    }
+
+    /// Events merged so far.
+    pub fn events(&self) -> u64 {
+        self.rolling.events()
+    }
+
+    /// Cumulative overflow loss.
+    pub fn dropped(&self) -> u64 {
+        self.drainer.dropped_total()
+    }
+
+    /// The one-line session state.
+    pub fn status(&self) -> LiveStatus {
+        self.rolling.status(self.drainer.epoch(), self.dropped())
+    }
+
+    /// The rendered frame history (one ASCII flame view per refresh).
+    pub fn frames(&self) -> &[String] {
+        &self.frames
+    }
+
+    /// Render the current rolling aggregate as an ASCII flame view with
+    /// the status banner.
+    pub fn render_ascii(&self) -> String {
+        let profile = self.rolling.snapshot(&self.symbolizer, self.dropped());
+        live::render_ascii(&profile.folded, &self.status(), self.config.width)
+    }
+
+    /// Render the current rolling aggregate as an SVG flame graph, banner
+    /// as subtitle.
+    pub fn render_svg(&self, options: &SvgOptions) -> String {
+        let profile = self.rolling.snapshot(&self.symbolizer, self.dropped());
+        live::render_svg(&profile.folded, &self.status(), options)
+    }
+
+    /// Freeze the current aggregate into a [`Snapshot`] and remember it as
+    /// the baseline for [`LiveSession::diff_since_last`].
+    pub fn snapshot(&mut self) -> Snapshot {
+        let snap = Snapshot {
+            status: self.status(),
+            profile: self.rolling.snapshot(&self.symbolizer, self.dropped()),
+        };
+        self.last_snapshot = Some(snap.clone());
+        snap
+    }
+
+    /// How the profile moved since the previous [`LiveSession::snapshot`]
+    /// call (`None` before the first snapshot). Also advances the baseline.
+    pub fn diff_since_last(&mut self) -> Option<Frame> {
+        let before = self.last_snapshot.take()?;
+        let now = self.snapshot();
+        Some(now.diff_since(&before))
+    }
+
+    /// End the session: drain the final partial epoch, force-close open
+    /// frames, and return the final snapshot. The writers should have
+    /// stopped (anything they write afterwards lands in the next epoch and
+    /// is simply not part of this session).
+    pub fn finish(&mut self) -> Snapshot {
+        loop {
+            let batch = self.drainer.rotate_now();
+            if batch.entries.is_empty() && batch.dropped == 0 {
+                break;
+            }
+            if self.config.keep_replay {
+                self.replay.extend_from_slice(&batch.entries);
+            }
+            self.rolling.ingest(&batch.entries);
+        }
+        self.rolling.finish();
+        self.snapshot()
+    }
+
+    /// The raw drained stream, in order (empty unless
+    /// [`LiveConfig::keep_replay`] is set).
+    pub fn replay_entries(&self) -> &[teeperf_core::layout::LogEntry] {
+        &self.replay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcvm::DebugInfo;
+    use std::sync::Arc;
+    use tee_sim::SharedMem;
+    use teeperf_core::layout::{EventKind, LogEntry};
+    use teeperf_core::log::{make_header, region_bytes};
+
+    fn debug() -> DebugInfo {
+        DebugInfo::from_functions([("main", 4, 1), ("work", 4, 5)])
+    }
+
+    fn fresh(max_entries: u64) -> SharedLog {
+        let shm = Arc::new(SharedMem::new(region_bytes(max_entries)));
+        SharedLog::init(
+            shm,
+            &make_header(1, max_entries, true, 0, tee_sim::SHM_BASE),
+        )
+    }
+
+    fn session(log: &SharedLog, refresh: u64) -> LiveSession {
+        LiveSession::new(
+            log.clone(),
+            Symbolizer::without_relocation(debug()),
+            LiveConfig {
+                policy: DrainPolicy { watermark_pct: 50 },
+                refresh_events: refresh,
+                width: 40,
+                keep_replay: false,
+            },
+        )
+    }
+
+    fn write_pair(log: &SharedLog, base: u64) {
+        let d = debug();
+        log.write_live(&LogEntry {
+            kind: EventKind::Call,
+            counter: base,
+            addr: d.entry_addr(1),
+            tid: 0,
+        });
+        log.write_live(&LogEntry {
+            kind: EventKind::Return,
+            counter: base + 10,
+            addr: d.entry_addr(1),
+            tid: 0,
+        });
+    }
+
+    #[test]
+    fn pump_rotates_and_accumulates_across_epochs() {
+        let log = fresh(4);
+        let mut s = session(&log, 0);
+        for i in 0..4 {
+            write_pair(&log, 100 * (i + 1));
+            s.pump();
+        }
+        assert!(s.epochs() >= 3, "4 pumps at 50% watermark of 4 slots");
+        assert_eq!(s.events(), 8);
+        assert_eq!(s.dropped(), 0);
+        let snap = s.finish();
+        assert_eq!(snap.profile.method("work").unwrap().calls, 4);
+        assert_eq!(snap.status.open_frames, 0);
+    }
+
+    #[test]
+    fn frames_are_rendered_on_refresh() {
+        let log = fresh(16);
+        let mut s = session(&log, 4);
+        for i in 0..4 {
+            write_pair(&log, 100 * (i + 1));
+            s.pump();
+        }
+        assert_eq!(s.frames().len(), 2, "8 events at refresh-every-4");
+        assert!(s.frames()[0].starts_with("live · epoch"));
+        assert!(s.frames()[1].contains("work"));
+    }
+
+    #[test]
+    fn diff_since_last_tracks_movement() {
+        let log = fresh(64);
+        let mut s = session(&log, 0);
+        write_pair(&log, 100);
+        s.pump();
+        assert!(s.diff_since_last().is_none(), "no baseline yet");
+        s.snapshot();
+        write_pair(&log, 200);
+        s.pump();
+        let d = s.diff_since_last().expect("baseline exists");
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn finish_collects_the_partial_epoch() {
+        let log = fresh(1024);
+        let mut s = session(&log, 0);
+        write_pair(&log, 50);
+        // Never reached the watermark — finish must still see everything.
+        let snap = s.finish();
+        assert_eq!(snap.status.events, 2);
+        assert_eq!(snap.profile.total_ticks, 10);
+    }
+}

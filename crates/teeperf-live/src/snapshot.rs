@@ -1,0 +1,174 @@
+//! Serializable snapshots of a rolling profile.
+//!
+//! A [`Snapshot`] freezes one refresh of the live session: the session
+//! status plus a complete [`Profile`] materialized from the rolling
+//! aggregate. Snapshots serialize to a stable, line-oriented text format
+//! (no external serialization crates in this workspace) and diff against a
+//! previous snapshot by reusing the batch analyzer's
+//! [`teeperf_analyzer::compare::diff`] — the live rendering of the paper's
+//! before/after-optimization workflow.
+
+use teeperf_analyzer::query::frame::Frame;
+use teeperf_analyzer::{compare, Profile};
+use teeperf_flamegraph::LiveStatus;
+
+/// One frozen refresh of a live session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Session state at the moment of the snapshot.
+    pub status: LiveStatus,
+    /// The rolling profile, materialized.
+    pub profile: Profile,
+}
+
+impl Snapshot {
+    /// Method-by-method comparison against an earlier snapshot, as a
+    /// queryable frame (`method, a_pct, b_pct, delta_pct, …` — negative
+    /// delta means the method shrank since `before`).
+    pub fn diff_since(&self, before: &Snapshot) -> Frame {
+        compare::diff(&before.profile, &self.profile)
+    }
+
+    /// The folded-stack lines of this snapshot (`a;b;c ticks`), the
+    /// interchange format every flame-graph tool consumes.
+    pub fn folded_text(&self) -> String {
+        let mut out = String::new();
+        for (path, ticks) in &self.profile.folded {
+            out.push_str(&format!("{} {ticks}\n", path.join(";")));
+        }
+        out
+    }
+
+    /// Serialize to the snapshot text format: a `[live]` header with the
+    /// session counters, a `[methods]` table (`name calls incl excl`) and
+    /// the `[folded]` stacks. Stable across runs; parseable by
+    /// [`Snapshot::summary_from_text`] and by humans.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("[live]\n");
+        out.push_str(&format!(
+            "epoch {}\nevents {}\ndropped {}\nthreads {}\nopen {}\ntotal_ticks {}\n",
+            self.status.epoch,
+            self.status.events,
+            self.status.dropped,
+            self.status.threads,
+            self.status.open_frames,
+            self.profile.total_ticks
+        ));
+        out.push_str("[methods]\n");
+        for m in &self.profile.methods {
+            out.push_str(&format!(
+                "{} {} {} {}\n",
+                m.name, m.calls, m.inclusive, m.exclusive
+            ));
+        }
+        out.push_str("[folded]\n");
+        out.push_str(&self.folded_text());
+        out
+    }
+
+    /// Parse the `[live]` counters back out of a serialized snapshot — the
+    /// part a monitoring pipeline needs to alert on (events, drops, open
+    /// frames) without reconstructing the whole profile.
+    ///
+    /// # Errors
+    /// Returns a description of the first malformed line.
+    pub fn summary_from_text(text: &str) -> Result<LiveStatus, String> {
+        let mut status = LiveStatus::default();
+        let mut in_live = false;
+        let mut seen = 0;
+        for line in text.lines() {
+            match line.trim() {
+                "[live]" => in_live = true,
+                l if l.starts_with('[') => in_live = false,
+                l if in_live => {
+                    let (key, value) = l
+                        .split_once(' ')
+                        .ok_or_else(|| format!("malformed counter line `{l}`"))?;
+                    let value: u64 = value.parse().map_err(|_| format!("bad value in `{l}`"))?;
+                    seen += 1;
+                    match key {
+                        "epoch" => status.epoch = value,
+                        "events" => status.events = value,
+                        "dropped" => status.dropped = value,
+                        "threads" => status.threads = value,
+                        "open" => status.open_frames = value,
+                        "total_ticks" => {}
+                        other => return Err(format!("unknown counter `{other}`")),
+                    }
+                }
+                _ => {}
+            }
+        }
+        if seen == 0 {
+            return Err("no [live] section found".to_string());
+        }
+        Ok(status)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rolling::RollingProfile;
+    use mcvm::DebugInfo;
+    use teeperf_analyzer::symbolize::Symbolizer;
+    use teeperf_core::layout::{EventKind, LogEntry};
+
+    fn debug() -> DebugInfo {
+        DebugInfo::from_functions([("main", 4, 1), ("work", 4, 5)])
+    }
+
+    fn snap(work_ticks: u64) -> Snapshot {
+        let d = debug();
+        let (a0, a1) = (d.entry_addr(0), d.entry_addr(1));
+        let e = |kind, counter, addr| LogEntry {
+            kind,
+            counter,
+            addr,
+            tid: 0,
+        };
+        let mut rolling = RollingProfile::new();
+        rolling.ingest(&[
+            e(EventKind::Call, 1, a0),
+            e(EventKind::Call, 10, a1),
+            e(EventKind::Return, 10 + work_ticks, a1),
+            e(EventKind::Return, 101, a0),
+        ]);
+        rolling.finish();
+        Snapshot {
+            status: rolling.status(2, 0),
+            profile: rolling.snapshot(&Symbolizer::without_relocation(d), 0),
+        }
+    }
+
+    #[test]
+    fn text_round_trips_the_summary() {
+        let s = snap(50);
+        let text = s.to_text();
+        assert!(text.contains("[methods]\n"));
+        assert!(text.contains("work 1 50 50\n"));
+        assert!(text.contains("main;work 50\n"));
+        let parsed = Snapshot::summary_from_text(&text).unwrap();
+        assert_eq!(parsed, s.status);
+    }
+
+    #[test]
+    fn summary_rejects_garbage() {
+        assert!(Snapshot::summary_from_text("").is_err());
+        assert!(Snapshot::summary_from_text("[live]\nepoch x\n").is_err());
+        assert!(Snapshot::summary_from_text("[live]\nwhat 3\n").is_err());
+    }
+
+    #[test]
+    fn diff_since_reuses_the_batch_comparator() {
+        let before = snap(20);
+        let after = snap(80);
+        let d = after.diff_since(&before);
+        // work grew from 20/100 to 80/100 exclusive share.
+        let out =
+            teeperf_analyzer::run_query(&d, r#"select method, delta_pct where method == "work""#)
+                .unwrap();
+        assert_eq!(out.len(), 1);
+    }
+}

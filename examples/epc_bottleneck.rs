@@ -67,14 +67,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let (small_host, big_host) = profile_on(CostModel::native())?;
     println!("host profile:");
-    println!("  sum_small: {:.1}%   sum_big: {:.1}%", small_host * 100.0, big_host * 100.0);
+    println!(
+        "  sum_small: {:.1}%   sum_big: {:.1}%",
+        small_host * 100.0,
+        big_host * 100.0
+    );
 
     // An enclave whose EPC holds 128 pages: `small` (64 pages) stays
     // resident, `big` (512 pages) thrashes through secure paging.
     let constrained = CostModel::sgx_v1().with_epc_pages(128);
     let (small_tee, big_tee) = profile_on(constrained)?;
     println!("\nenclave profile (EPC = 128 pages):");
-    println!("  sum_small: {:.1}%   sum_big: {:.1}%", small_tee * 100.0, big_tee * 100.0);
+    println!(
+        "  sum_small: {:.1}%   sum_big: {:.1}%",
+        small_tee * 100.0,
+        big_tee * 100.0
+    );
 
     let amplification = (big_tee / small_tee) / (big_host / small_host);
     println!(

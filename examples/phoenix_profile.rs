@@ -14,7 +14,9 @@ use teeperf::phoenix::{suite, Scale};
 use teeperf::sim::{CostModel, TeeKind};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let wanted = std::env::args().nth(1).unwrap_or_else(|| "word_count".into());
+    let wanted = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "word_count".into());
     let bench = suite(Scale::Small, 42)
         .into_iter()
         .find(|b| b.name() == wanted)
@@ -56,12 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{:12} {:>14} {:>10} {:>9.2}  {hottest}",
             kind.name(),
             run.cycles,
-            profile
-                .methods
-                .iter()
-                .map(|m| m.calls)
-                .sum::<u64>()
-                * 2,
+            profile.methods.iter().map(|m| m.calls).sum::<u64>() * 2,
             cost.cycles_to_secs(run.cycles) * 1e3,
         );
     }

@@ -51,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let events = analyzer.events_frame();
 
     let session: &[(&str, &teeperf::analyzer::Frame)] = &[
-        ("select method, calls, excl, excl_pct sort excl desc", &methods),
+        (
+            "select method, calls, excl, excl_pct sort excl desc",
+            &methods,
+        ),
         (
             r#"select method, calls where method contains "o" and calls > 10"#,
             &methods,

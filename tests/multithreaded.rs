@@ -34,7 +34,11 @@ fn main() -> int {
 }
 "#;
 
-fn run() -> (teeperf::analyzer::Profile, teeperf::core::LogFile, mcvm::DebugInfo) {
+fn run() -> (
+    teeperf::analyzer::Profile,
+    teeperf::core::LogFile,
+    mcvm::DebugInfo,
+) {
     let run = profile_program(
         compile_instrumented(THREADED, &InstrumentOptions::default()).expect("compiles"),
         CostModel::sgx_v1(),

@@ -6,7 +6,9 @@ use std::sync::Arc;
 
 use teeperf::analyzer::Analyzer;
 use teeperf::compiler::{compile_instrumented, profile_program, InstrumentOptions};
-use teeperf::core::{log::make_header, PartitionedHooks, PartitionedLog, RecorderConfig, SimCounter};
+use teeperf::core::{
+    log::make_header, PartitionedHooks, PartitionedLog, RecorderConfig, SimCounter,
+};
 use teeperf::flamegraph::FlameGraph;
 use teeperf::mc::{RunConfig, Vm};
 use teeperf::sim::{CostModel, Machine, SharedMem, ENCLAVE_TEXT_BASE, SHM_BASE};
@@ -43,8 +45,7 @@ fn partitioned_and_classic_logs_agree_end_to_end() {
     .expect("classic run");
 
     // Partitioned path, wired by hand.
-    let program =
-        compile_instrumented(THREADED, &InstrumentOptions::default()).expect("compiles");
+    let program = compile_instrumented(THREADED, &InstrumentOptions::default()).expect("compiles");
     let debug = program.debug.clone();
     let (n_partitions, per_partition) = (8u64, 4_096u64);
     let shm = Arc::new(SharedMem::new(PartitionedLog::region_bytes(

@@ -89,7 +89,10 @@ fn log_and_symbols_round_trip_through_disk() {
     assert_eq!(log, run.log);
 
     let analyzer = Analyzer::new(log, debug).expect("valid");
-    assert_eq!(analyzer.profile().method("leaf").expect("leaf").calls, 1_000);
+    assert_eq!(
+        analyzer.profile().method("leaf").expect("leaf").calls,
+        1_000
+    );
 }
 
 #[test]
@@ -109,8 +112,16 @@ fn same_binary_profiles_on_every_architecture() {
         cycles.push((kind, run.cycles));
     }
     // SGX v1 is the most expensive TEE for this workload; native cheapest.
-    let native = cycles.iter().find(|(k, _)| *k == TeeKind::Native).expect("native run").1;
-    let sgx = cycles.iter().find(|(k, _)| *k == TeeKind::SgxV1).expect("sgx run").1;
+    let native = cycles
+        .iter()
+        .find(|(k, _)| *k == TeeKind::Native)
+        .expect("native run")
+        .1;
+    let sgx = cycles
+        .iter()
+        .find(|(k, _)| *k == TeeKind::SgxV1)
+        .expect("sgx run")
+        .1;
     assert!(sgx > native);
 }
 
@@ -142,7 +153,10 @@ fn selective_instrumentation_flows_through_the_whole_pipeline() {
     let analyzer = Analyzer::new(run.log, run.debug).expect("valid");
     let profile = analyzer.profile();
     assert_eq!(profile.method("middle").expect("middle profiled").calls, 20);
-    assert!(profile.method("leaf").is_none(), "leaf must be filtered out");
+    assert!(
+        profile.method("leaf").is_none(),
+        "leaf must be filtered out"
+    );
     assert!(profile.method("main").is_none());
 }
 

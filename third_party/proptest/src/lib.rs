@@ -1,0 +1,596 @@
+//! Offline stand-in for the slice of `proptest` 1.x this workspace uses.
+//!
+//! The build container has no route to crates.io, so the real crate cannot
+//! be vendored. This shim keeps the test call sites source compatible:
+//!
+//! * `proptest! { #![proptest_config(..)] #[test] fn name(a in strat, b: ty) {..} }`
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` (with format args)
+//! * `Strategy` (with `prop_map`), `any::<T>()`, integer/float range
+//!   strategies, tuple strategies, `proptest::collection::vec`
+//!
+//! Differences from upstream, on purpose: no shrinking (a failing case
+//! reports its generated input verbatim), no persisted failure seeds, and a
+//! deterministic per-test RNG (seeded from the test path) so CI runs are
+//! reproducible. Case count defaults to 64 and honours
+//! `ProptestConfig::with_cases`.
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Subset of `proptest::test_runner::Config`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases to run per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Why a single generated case failed.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// An assertion in the test body failed.
+        Fail(String),
+        /// The case asked to be skipped (unused here, kept for parity).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Build a failure with the given message.
+        pub fn fail(message: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(message.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            }
+        }
+    }
+
+    /// Deterministic generator used to drive strategies (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG seeded from a test's module path so each test gets a
+        /// distinct but run-to-run stable stream.
+        pub fn for_test(test_path: &str) -> TestRng {
+            // FNV-1a over the path.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_path.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next raw 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u128) -> u128 {
+            debug_assert!(bound > 0);
+            ((self.next_u64() as u128) << 64 | self.next_u64() as u128) % bound
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Subset of `proptest::strategy::Strategy`: something that can
+    /// generate values. No shrinking — `Value` is produced directly.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: Debug;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `map`.
+        fn prop_map<O, F>(self, map: F) -> Map<Self, F, O>
+        where
+            Self: Sized,
+            O: Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map {
+                source: self,
+                map,
+                _out: PhantomData,
+            }
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    pub struct Map<S, F, O> {
+        source: S,
+        map: F,
+        _out: PhantomData<fn() -> O>,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F, O>
+    where
+        S: Strategy,
+        O: Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.source.generate(rng))
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_int_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    (lo as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuple_strategies {
+        ($(($($name:ident),+);)*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategies! {
+        (A);
+        (A, B);
+        (A, B, C);
+        (A, B, C, D);
+        (A, B, C, D, E);
+        (A, B, C, D, E, F);
+        (A, B, C, D, E, F, G);
+        (A, B, C, D, E, F, G, H);
+        (A, B, C, D, E, F, G, H, I);
+        (A, B, C, D, E, F, G, H, I, J);
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Debug + Sized {
+        /// Draw one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug)]
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    /// The full-range strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count bounds for collection strategies (inclusive lo/hi).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    #[derive(Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy: `size` elements generated by `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u128 + 1;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Define property tests. Supports an optional
+/// `#![proptest_config(expr)]` header followed by any number of
+/// `#[test] fn name(args) { body }` items, where each argument is either
+/// `pat in strategy` or `pat: Type` (the latter meaning `any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($cfg); rest = [$($rest)*] }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = ($crate::test_runner::Config::default());
+            rest = [$($rest)*]
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $cfg:tt; rest = []) => {};
+    (
+        config = $cfg:tt;
+        rest = [$(#[$meta:meta])* fn $name:ident ($($args:tt)*) $body:block $($rest:tt)*]
+    ) => {
+        $crate::__proptest_case! {
+            config = $cfg;
+            meta = [$(#[$meta])*];
+            name = $name;
+            pats = [];
+            strats = [];
+            args = [$($args)*];
+            body = $body
+        }
+        $crate::__proptest_items! { config = $cfg; rest = [$($rest)*] }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // `pat in strategy` followed by more arguments.
+    (
+        config = $cfg:tt; meta = $meta:tt; name = $name:ident;
+        pats = [$($pat:ident)*]; strats = [$($strat:expr,)*];
+        args = [$p:ident in $s:expr, $($rest:tt)*]; body = $body:block
+    ) => {
+        $crate::__proptest_case! {
+            config = $cfg; meta = $meta; name = $name;
+            pats = [$($pat)* $p]; strats = [$($strat,)* $s,];
+            args = [$($rest)*]; body = $body
+        }
+    };
+    // Final `pat in strategy` (no trailing comma).
+    (
+        config = $cfg:tt; meta = $meta:tt; name = $name:ident;
+        pats = [$($pat:ident)*]; strats = [$($strat:expr,)*];
+        args = [$p:ident in $s:expr]; body = $body:block
+    ) => {
+        $crate::__proptest_case! {
+            config = $cfg; meta = $meta; name = $name;
+            pats = [$($pat)* $p]; strats = [$($strat,)* $s,];
+            args = []; body = $body
+        }
+    };
+    // `pat: Type` followed by more arguments.
+    (
+        config = $cfg:tt; meta = $meta:tt; name = $name:ident;
+        pats = [$($pat:ident)*]; strats = [$($strat:expr,)*];
+        args = [$p:ident : $t:ty, $($rest:tt)*]; body = $body:block
+    ) => {
+        $crate::__proptest_case! {
+            config = $cfg; meta = $meta; name = $name;
+            pats = [$($pat)* $p]; strats = [$($strat,)* $crate::arbitrary::any::<$t>(),];
+            args = [$($rest)*]; body = $body
+        }
+    };
+    // Final `pat: Type`.
+    (
+        config = $cfg:tt; meta = $meta:tt; name = $name:ident;
+        pats = [$($pat:ident)*]; strats = [$($strat:expr,)*];
+        args = [$p:ident : $t:ty]; body = $body:block
+    ) => {
+        $crate::__proptest_case! {
+            config = $cfg; meta = $meta; name = $name;
+            pats = [$($pat)* $p]; strats = [$($strat,)* $crate::arbitrary::any::<$t>(),];
+            args = []; body = $body
+        }
+    };
+    // All arguments consumed: emit the test function.
+    (
+        config = ($cfg:expr); meta = [$($meta:tt)*]; name = $name:ident;
+        pats = [$($pat:ident)*]; strats = [$($strat:expr,)*];
+        args = []; body = $body:block
+    ) => {
+        $($meta)*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            let __strategy = ($($strat,)*);
+            let mut __rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                let __value =
+                    $crate::strategy::Strategy::generate(&__strategy, &mut __rng);
+                let mut __input = format!("{:?}", __value);
+                if __input.len() > 4096 {
+                    __input.truncate(4096);
+                    __input.push_str("… (truncated)");
+                }
+                let ($($pat,)*) = __value;
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(__err) = __outcome {
+                    panic!(
+                        "proptest `{}` failed at case {}/{}\n{}\ninput: {}",
+                        stringify!($name),
+                        __case + 1,
+                        __config.cases,
+                        __err,
+                        __input,
+                    );
+                }
+            }
+        }
+    };
+}
+
+/// Assert a condition inside a `proptest!` body; failure aborts only the
+/// current case with a report of the generated input.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left == *__right,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+            __left,
+            __right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left == *__right,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+),
+            __left,
+            __right
+        );
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left != *__right,
+            "assertion failed: `left != right`\n  both: {:?}",
+            __left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left != *__right,
+            "{}\n  both: {:?}",
+            format!($($fmt)+),
+            __left
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn config_defaults_and_overrides() {
+        assert_eq!(ProptestConfig::default().cases, 64);
+        assert_eq!(ProptestConfig::with_cases(7).cases, 7);
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_path() {
+        let mut a = crate::test_runner::TestRng::for_test("x::y");
+        let mut b = crate::test_runner::TestRng::for_test("x::y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_runner::TestRng::for_test("x::z");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn vec_strategy_respects_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_test("vec-bounds");
+        let strat = collection::vec(0u64..10, 2..5);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((2..5).contains(&v.len()), "len = {}", v.len());
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_mixed_args(a in 0u64..100, b: bool, v in collection::vec(any::<u8>(), 0..4)) {
+            prop_assert!(a < 100);
+            prop_assert!(v.len() < 4, "len was {}", v.len());
+            let _ = b;
+        }
+
+        #[test]
+        fn macro_single_typed_arg(x: u16) {
+            prop_assert_eq!(u32::from(x) + 1, x as u32 + 1);
+            prop_assert_ne!(i64::from(x) - 1, i64::from(x));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_trailing_comma_and_map(
+            pair in (0u8..4, 0u8..4).prop_map(|(x, y)| (x, y, x as u16 + y as u16)),
+        ) {
+            let (x, y, sum) = pair;
+            prop_assert_eq!(sum, x as u16 + y as u16);
+        }
+    }
+}
