@@ -99,6 +99,29 @@ impl SharedMem {
         Ok(self.words[i].fetch_add(delta, Ordering::AcqRel))
     }
 
+    /// Atomic fetch-and-OR on the word at byte `offset`, returning the
+    /// previous value. Used to raise individual header flags without a
+    /// compare-exchange loop, which could starve against writers
+    /// continuously updating other bits of the same word.
+    ///
+    /// # Errors
+    /// Returns [`SimError::ShmOutOfBounds`] on unaligned or out-of-range access.
+    pub fn fetch_or_u64(&self, offset: u64, bits: u64) -> Result<u64, SimError> {
+        let i = self.word_index(offset, 8)?;
+        Ok(self.words[i].fetch_or(bits, Ordering::AcqRel))
+    }
+
+    /// Atomic fetch-and-AND on the word at byte `offset`, returning the
+    /// previous value — the wait-free counterpart of
+    /// [`SharedMem::fetch_or_u64`] for clearing flags.
+    ///
+    /// # Errors
+    /// Returns [`SimError::ShmOutOfBounds`] on unaligned or out-of-range access.
+    pub fn fetch_and_u64(&self, offset: u64, mask: u64) -> Result<u64, SimError> {
+        let i = self.word_index(offset, 8)?;
+        Ok(self.words[i].fetch_and(mask, Ordering::AcqRel))
+    }
+
     /// Atomic compare-exchange on the word at byte `offset`. Returns
     /// `Ok(previous)` where the exchange succeeded iff `previous == current`.
     ///
@@ -172,6 +195,18 @@ mod tests {
         assert_eq!(shm.fetch_add_u64(0, 3).unwrap(), 0);
         assert_eq!(shm.fetch_add_u64(0, 3).unwrap(), 3);
         assert_eq!(shm.read_u64(0).unwrap(), 6);
+    }
+
+    #[test]
+    fn fetch_or_and_toggle_bits() {
+        let shm = SharedMem::new(8);
+        shm.write_u64(0, 0b0101).unwrap();
+        assert_eq!(shm.fetch_or_u64(0, 0b0010).unwrap(), 0b0101);
+        assert_eq!(shm.read_u64(0).unwrap(), 0b0111);
+        assert_eq!(shm.fetch_and_u64(0, !0b0001).unwrap(), 0b0111);
+        assert_eq!(shm.read_u64(0).unwrap(), 0b0110);
+        assert!(shm.fetch_or_u64(12, 1).is_err());
+        assert!(shm.fetch_and_u64(16, 1).is_err());
     }
 
     #[test]

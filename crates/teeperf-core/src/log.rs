@@ -117,21 +117,14 @@ impl SharedLog {
 
     /// Atomically flip the active bit (dynamic de-/activation, §II-B).
     pub fn set_active(&self, active: bool) {
-        loop {
-            let cur = self.control_word();
-            let new = if active {
-                cur | FLAG_ACTIVE
-            } else {
-                cur & !FLAG_ACTIVE
-            };
-            if self
-                .shm
-                .compare_exchange_u64(OFF_CONTROL, cur, new)
-                .expect("header in range")
-                == cur
-            {
-                return;
-            }
+        if active {
+            self.shm
+                .fetch_or_u64(OFF_CONTROL, FLAG_ACTIVE)
+                .expect("header in range");
+        } else {
+            self.shm
+                .fetch_and_u64(OFF_CONTROL, !FLAG_ACTIVE)
+                .expect("header in range");
         }
     }
 
@@ -207,6 +200,12 @@ impl SharedLog {
 
     /// Entries dropped on overflow, summed over all completed epochs plus
     /// the overflow of the current epoch.
+    ///
+    /// Exact from the drainer thread (between its [`SharedLog::rotate`]
+    /// calls). From any other thread, a rotation in progress may
+    /// transiently *under*-report while the closing epoch's drops move
+    /// from the header tail into the cumulative word — rotate orders the
+    /// two stores so the sum never counts the same drop twice.
     pub fn dropped_total(&self) -> u64 {
         let completed = self.shm.read_u64(OFF_DROPPED).expect("header in range");
         completed + self.header().dropped_entries()
@@ -300,18 +299,12 @@ impl SharedLog {
             self.epoch(),
             "stale cursor: the log rotated without this cursor"
         );
-        // Close the epoch to new writers.
-        loop {
-            let cur = self.control_word();
-            if self
-                .shm
-                .compare_exchange_u64(OFF_CONTROL, cur, cur | FLAG_ROTATING)
-                .expect("header in range")
-                == cur
-            {
-                break;
-            }
-        }
+        // Close the epoch to new writers. A single fetch-OR (rather than a
+        // compare-exchange loop) cannot starve against the writers'
+        // fetch-adds on the same word.
+        self.shm
+            .fetch_or_u64(OFF_CONTROL, FLAG_ROTATING)
+            .expect("header in range");
         // Wait for announced writers to publish and leave. Reading the same
         // word the writers RMW gives a total order: any writer that slipped
         // in before the flag was set is visible here.
@@ -322,29 +315,34 @@ impl SharedLog {
         let stored = tail.min(self.size);
         let dropped = tail.saturating_sub(self.size);
         let entries: Vec<LogEntry> = (cursor.index..stored).map(|i| self.read_entry(i)).collect();
+        // Reset the tail *before* accounting its overflow in the cumulative
+        // word: the two contributions to `dropped_total` then never include
+        // the same drops at the same time (see its docs).
+        self.shm.write_u64(OFF_TAIL, 0).expect("header in range");
         if dropped > 0 {
             self.shm
                 .fetch_add_u64(OFF_DROPPED, dropped)
                 .expect("header in range");
         }
-        self.shm.write_u64(OFF_TAIL, 0).expect("header in range");
+        // Zero the published word of every drained slot so the next epoch
+        // starts from the state `write_live`'s publication order assumes:
+        // `poll` must never mistake a leftover word 0 for a freshly
+        // published entry on a reused slot.
+        for i in 0..stored {
+            self.shm
+                .write_u64(LogEntry::offset_of(i), 0)
+                .expect("entry in range");
+        }
         let new_epoch = self
             .shm
             .fetch_add_u64(OFF_EPOCH, 1)
             .expect("header in range")
             + 1;
-        // Reopen the log for writers.
-        loop {
-            let cur = self.control_word();
-            if self
-                .shm
-                .compare_exchange_u64(OFF_CONTROL, cur, cur & !FLAG_ROTATING)
-                .expect("header in range")
-                == cur
-            {
-                break;
-            }
-        }
+        // Reopen the log for writers (wait-free for the same reason as the
+        // close above).
+        self.shm
+            .fetch_and_u64(OFF_CONTROL, !FLAG_ROTATING)
+            .expect("header in range");
         cursor.epoch = new_epoch;
         cursor.index = 0;
         RotationOutcome {
@@ -600,6 +598,31 @@ mod tests {
         assert_eq!(log.dropped_total(), 1);
         assert_eq!(log.write_live(&e), Some(0), "rotation reopened slot 0");
         assert_eq!(log.poll(&mut cursor).len(), 1);
+    }
+
+    #[test]
+    fn rotation_clears_slots_for_reuse() {
+        let log = fresh(4);
+        let mut cursor = LogCursor::default();
+        let e = LogEntry {
+            kind: EventKind::Call,
+            counter: 11,
+            addr: 0x200,
+            tid: 1,
+        };
+        for _ in 0..4 {
+            assert!(log.write_live(&e).is_some());
+        }
+        assert_eq!(log.rotate(&mut cursor).entries.len(), 4);
+        // Every reused slot must read as unpublished: a writer that has
+        // reserved slot 0 of the new epoch but not yet published (possible
+        // mid-`write_live` from another thread) must not expose epoch-0
+        // leftovers to the drainer.
+        log.reserve();
+        assert!(
+            log.poll(&mut cursor).is_empty(),
+            "stale previous-epoch words must not look published"
+        );
     }
 
     #[test]
