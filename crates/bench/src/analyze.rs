@@ -1,0 +1,608 @@
+//! Analyze-throughput benchmark: how fast does the stage-3 analyzer chew
+//! through a recorded log, and what does the sharded per-thread pipeline
+//! buy over the sequential build?
+//!
+//! Two workload families:
+//!
+//! * a **synthetic** multi-thread log (balanced call/return nesting over a
+//!   configurable function universe) sized well past a million entries, and
+//! * the **Phoenix** profiling logs from real instrumented runs at small
+//!   scale (the same logs Figure 4 analyzes).
+//!
+//! For every shard count we time the three pipeline phases separately —
+//! grouping, per-shard reconstruction+aggregation, merge+materialize — and
+//! report two speedups:
+//!
+//! * `speedup` — the critical-path model `T_seq / (t_group + max(shard) +
+//!   t_merge)`. Shard work is timed one shard at a time, so this is what a
+//!   machine with enough cores gets from the partition; it is the honest
+//!   headline on a CI host with a single core, where true parallel wall
+//!   time cannot beat sequential.
+//! * `speedup_wall` — sequential wall time over the real
+//!   `build_with_shards` wall time, parallelism and thread-spawn overhead
+//!   included. On a many-core host this approaches the model; on a
+//!   single-core host it sits near (or below) 1.0.
+//!
+//! Every sharded profile is checked byte-identical (`==`, plus the folded
+//! text) against the sequential one, and the symbolizer's intern-cache
+//! hit/miss counters are captured from a cold cache per workload.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use mcvm::DebugInfo;
+use phoenix::Scale;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tee_sim::CostModel;
+use teeperf_analyzer::profile::{self, analyze_shard, partition_by_load};
+use teeperf_analyzer::reader::{self, Event};
+use teeperf_analyzer::Symbolizer;
+use teeperf_compiler::{compile_instrumented, profile_program, InstrumentOptions};
+use teeperf_core::layout::{EventKind, LogEntry, LogHeader, LOG_VERSION};
+use teeperf_core::{LogFile, RecorderConfig};
+
+use crate::util::render_table;
+
+/// Harness options.
+#[derive(Debug, Clone)]
+pub struct AnalyzeBenchOptions {
+    /// Entries in the synthetic log (the acceptance bar is ≥ 1M).
+    pub entries: usize,
+    /// Recorder threads interleaved in the synthetic log.
+    pub threads: u64,
+    /// Distinct functions in the synthetic binary.
+    pub functions: u16,
+    /// Maximum call depth in the synthetic trace.
+    pub max_depth: usize,
+    /// Shard counts to sweep (1 is the sequential baseline).
+    pub shard_counts: Vec<usize>,
+    /// RNG seed for the synthetic trace.
+    pub seed: u64,
+    /// Also analyze Phoenix profiling logs (small scale).
+    pub include_phoenix: bool,
+    /// Timing repetitions per measurement (minimum is reported, the
+    /// standard noise shield for sub-second phases).
+    pub repeats: usize,
+}
+
+impl Default for AnalyzeBenchOptions {
+    fn default() -> Self {
+        AnalyzeBenchOptions {
+            entries: 1 << 20,
+            threads: 8,
+            functions: 48,
+            max_depth: 12,
+            shard_counts: vec![1, 2, 4, 8],
+            seed: 42,
+            include_phoenix: true,
+            repeats: 3,
+        }
+    }
+}
+
+impl AnalyzeBenchOptions {
+    /// A fast configuration for CI smoke runs: a small log, shards 1 and 2,
+    /// no Phoenix runs.
+    pub fn smoke() -> AnalyzeBenchOptions {
+        AnalyzeBenchOptions {
+            entries: 1 << 16,
+            shard_counts: vec![1, 2],
+            include_phoenix: false,
+            ..AnalyzeBenchOptions::default()
+        }
+    }
+}
+
+/// Timings for one shard count on one workload.
+#[derive(Debug, Clone)]
+pub struct ShardTiming {
+    /// Worker shard count.
+    pub shards: usize,
+    /// Real `build_with_shards` wall time, milliseconds.
+    pub wall_ms: f64,
+    /// Critical-path model time, milliseconds.
+    pub model_ms: f64,
+    /// Model speedup vs the sequential baseline.
+    pub speedup: f64,
+    /// Wall speedup vs the sequential baseline.
+    pub speedup_wall: f64,
+    /// Whether the sharded profile equals the sequential one byte-for-byte.
+    pub identical: bool,
+}
+
+/// Results for one workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadResult {
+    /// Workload name.
+    pub name: String,
+    /// Log entries analyzed.
+    pub entries: u64,
+    /// Threads in the log.
+    pub threads: u64,
+    /// Sequential analyzer throughput, entries per second.
+    pub entries_per_sec: f64,
+    /// Symbol-cache hits during one cold-cache sequential build.
+    pub cache_hits: u64,
+    /// Symbol-cache misses (= unique addresses resolved).
+    pub cache_misses: u64,
+    /// Hit fraction of the above.
+    pub cache_hit_rate: f64,
+    /// One entry per swept shard count.
+    pub timings: Vec<ShardTiming>,
+}
+
+/// Results for the whole benchmark.
+#[derive(Debug, Clone)]
+pub struct AnalyzeBenchResult {
+    /// Cores the host reported (`available_parallelism`); wall speedups
+    /// cannot exceed this.
+    pub host_cores: usize,
+    /// One entry per workload.
+    pub workloads: Vec<WorkloadResult>,
+}
+
+/// Build a synthetic multi-thread log: `threads` writers interleaved in
+/// random bursts, each walking balanced call/return nests over a
+/// `functions`-sized binary. Deterministic in `seed`.
+///
+/// Call targets follow a static call graph (every function has two
+/// possible callees) rather than a uniform random walk: like a real
+/// program, the trace then has a bounded set of unique stacks, so the
+/// folded table stays flame-graph-sized and the benchmark exercises the
+/// per-thread reconstruction phase — the part sharding parallelizes —
+/// instead of drowning in a pathological merge.
+pub fn synthetic_log(options: &AnalyzeBenchOptions) -> (LogFile, DebugInfo) {
+    let names: Vec<String> = (0..options.functions)
+        .map(|i| format!("synthetic_fn_{i:03}"))
+        .collect();
+    let debug = DebugInfo::from_functions(names.iter().map(|n| (n.as_str(), 4u64, 1u32)));
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut entries = Vec::with_capacity(options.entries);
+    let mut stacks: Vec<Vec<u16>> = vec![Vec::new(); options.threads as usize];
+    let mut clock = 1_000u64;
+    let roots = options.functions.clamp(1, 4);
+
+    while entries.len() < options.entries {
+        let tid = rng.gen_range(0..options.threads);
+        let burst = rng
+            .gen_range(1..=8usize)
+            .min(options.entries - entries.len());
+        for _ in 0..burst {
+            let stack = &mut stacks[tid as usize];
+            clock += rng.gen_range(1..=24u64);
+            // Bias toward calls so stacks stay deep; always call when
+            // empty, always return at the depth cap.
+            let call =
+                stack.is_empty() || (stack.len() < options.max_depth && rng.gen_range(0..5u32) < 3);
+            let (kind, f) = if call {
+                let f = match stack.last() {
+                    None => rng.gen_range(0..roots),
+                    Some(&parent) if rng.gen_range(0..2u32) == 0 => {
+                        (parent * 2 + 1) % options.functions
+                    }
+                    Some(&parent) => (parent * 3 + 2) % options.functions,
+                };
+                stack.push(f);
+                (EventKind::Call, f)
+            } else {
+                (EventKind::Return, stack.pop().expect("non-empty"))
+            };
+            entries.push(LogEntry {
+                kind,
+                counter: clock,
+                addr: debug.entry_addr(f),
+                tid,
+            });
+        }
+    }
+    // Open frames at the cut-off are intentional: the analyzer must charge
+    // truncated frames without panicking, exactly as with a real snapshot.
+    let n = entries.len() as u64;
+    let log = LogFile::new(
+        LogHeader {
+            active: false,
+            trace_calls: true,
+            trace_returns: true,
+            multithread: true,
+            version: LOG_VERSION,
+            pid: 7,
+            size: n,
+            tail: n,
+            anchor: 0,
+            shm_addr: 0,
+        },
+        entries,
+    );
+    (log, debug)
+}
+
+/// Run `f` `repeats` times; return the fastest duration and the last value.
+fn min_time<R>(repeats: usize, mut f: impl FnMut() -> R) -> (Duration, R) {
+    let repeats = repeats.max(1);
+    let t = Instant::now();
+    let mut out = f();
+    let mut best = t.elapsed();
+    for _ in 1..repeats {
+        let t = Instant::now();
+        out = f();
+        best = best.min(t.elapsed());
+    }
+    (best, out)
+}
+
+/// Time one workload (a validated log + debug info) over the shard sweep.
+fn bench_workload(
+    name: &str,
+    log: &LogFile,
+    debug: &DebugInfo,
+    shard_counts: &[usize],
+    repeats: usize,
+) -> WorkloadResult {
+    let symbolizer = Symbolizer::new(debug.clone(), &log.header);
+
+    // Warm-up pass so the first timed configuration isn't charged for
+    // one-time costs (page faults on the log, allocator growth).
+    let _ = profile::build_with_shards(log, &symbolizer.clone(), 1);
+
+    // Phase timings, sequential: group then a single shard then
+    // materialize. A cold symbolizer clone isolates this workload's
+    // cache accounting.
+    let (t_group, grouped) = min_time(repeats, || reader::group_by_thread(log));
+    let threads: Vec<(u64, Vec<Event>)> = grouped.threads.into_iter().collect();
+    let views: Vec<(u64, &[Event])> = threads
+        .iter()
+        .map(|(tid, events)| (*tid, events.as_slice()))
+        .collect();
+    let (t_seq_shard, (agg, calls)) = min_time(repeats, || analyze_shard(&views));
+    let per_thread: BTreeMap<_, _> = calls.into_iter().collect();
+    let anomalies = teeperf_analyzer::profile::Anomalies {
+        incomplete_entries: grouped.incomplete,
+        dropped_entries: log.header.dropped_entries(),
+        orphan_returns: agg.orphan_returns,
+        truncated_frames: agg.truncated_frames,
+    };
+    // The first materialize runs on the cold clone so the cache counters
+    // describe exactly one cold build; repeats use fresh clones.
+    let cold = symbolizer.clone();
+    let t2 = Instant::now();
+    let sequential = agg.materialize(&cold, per_thread.clone(), anomalies);
+    let mut t_merge = t2.elapsed();
+    let stats = cold.cache_stats();
+    for _ in 1..repeats.max(1) {
+        let fresh = symbolizer.clone();
+        let t = Instant::now();
+        let p = agg.materialize(&fresh, per_thread.clone(), anomalies);
+        t_merge = t_merge.min(t.elapsed());
+        assert_eq!(p, sequential, "{name}: materialize must be deterministic");
+    }
+
+    let model_seq = t_group + t_seq_shard + t_merge;
+    let (wall_seq, seq_rebuild) = min_time(repeats, || {
+        profile::build_with_shards(log, &symbolizer.clone(), 1)
+    });
+    assert_eq!(
+        seq_rebuild, sequential,
+        "{name}: sequential rebuild must agree"
+    );
+
+    let loads: Vec<usize> = threads.iter().map(|(_, events)| events.len()).collect();
+    let mut timings = Vec::new();
+    for &shards in shard_counts {
+        if shards <= 1 {
+            timings.push(ShardTiming {
+                shards: 1,
+                wall_ms: ms(wall_seq),
+                model_ms: ms(model_seq),
+                speedup: 1.0,
+                speedup_wall: 1.0,
+                identical: true,
+            });
+            continue;
+        }
+        // Model: run each shard's work serially, keep the slowest.
+        let partition = partition_by_load(&loads, shards);
+        let mut max_shard = Duration::ZERO;
+        for bucket in &partition {
+            let bucket_views: Vec<(u64, &[Event])> = bucket
+                .iter()
+                .map(|i| (threads[*i].0, threads[*i].1.as_slice()))
+                .collect();
+            let (best, _) = min_time(repeats, || analyze_shard(&bucket_views));
+            max_shard = max_shard.max(best);
+        }
+        let model = t_group + max_shard + t_merge;
+
+        // Wall: the real scoped-thread build, then the identity check.
+        let (wall, parallel) = min_time(repeats, || {
+            profile::build_with_shards(log, &symbolizer.clone(), shards)
+        });
+        let identical = parallel == sequential
+            && teeperf_flamegraph::FlameGraph::from_folded_ids(
+                &parallel.symbols,
+                &parallel.folded_ids,
+            )
+            .to_folded()
+                == teeperf_flamegraph::FlameGraph::from_folded_ids(
+                    &sequential.symbols,
+                    &sequential.folded_ids,
+                )
+                .to_folded();
+
+        timings.push(ShardTiming {
+            shards,
+            wall_ms: ms(wall),
+            model_ms: ms(model),
+            speedup: ratio(model_seq.as_secs_f64(), model.as_secs_f64()),
+            speedup_wall: ratio(wall_seq.as_secs_f64(), wall.as_secs_f64()),
+            identical,
+        });
+    }
+
+    WorkloadResult {
+        name: name.to_string(),
+        entries: log.entries.len() as u64,
+        threads: threads.len() as u64,
+        entries_per_sec: log.entries.len() as f64 / wall_seq.as_secs_f64().max(1e-9),
+        cache_hits: stats.hits,
+        cache_misses: stats.misses,
+        cache_hit_rate: stats.hit_rate(),
+        timings,
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn ratio(num: f64, den: f64) -> f64 {
+    if den <= 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// Phoenix profiling logs at small scale: the first `count` suite members.
+fn phoenix_logs(count: usize) -> Vec<(String, LogFile, DebugInfo)> {
+    let mut out = Vec::new();
+    for bench in phoenix::suite(Scale::Small, 9_000).into_iter().take(count) {
+        let profiled = profile_program(
+            compile_instrumented(bench.source(), &InstrumentOptions::default())
+                .expect("benchmarks compile"),
+            CostModel::sgx_v1(),
+            mcvm::RunConfig::default(),
+            &RecorderConfig {
+                max_entries: 1 << 22,
+                ..RecorderConfig::default()
+            },
+            |vm| bench.setup(vm),
+        )
+        .expect("profiled run");
+        out.push((
+            format!("phoenix/{}", bench.name()),
+            profiled.log,
+            profiled.debug,
+        ));
+    }
+    out
+}
+
+/// Run the whole benchmark.
+pub fn run_analyze_bench(options: &AnalyzeBenchOptions) -> AnalyzeBenchResult {
+    let mut workloads = Vec::new();
+    let (log, debug) = synthetic_log(options);
+    workloads.push(bench_workload(
+        "synthetic",
+        &log,
+        &debug,
+        &options.shard_counts,
+        options.repeats,
+    ));
+    if options.include_phoenix {
+        for (name, log, debug) in phoenix_logs(3) {
+            workloads.push(bench_workload(
+                &name,
+                &log,
+                &debug,
+                &options.shard_counts,
+                options.repeats,
+            ));
+        }
+    }
+    AnalyzeBenchResult {
+        host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        workloads,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+impl AnalyzeBenchResult {
+    /// The machine-readable artifact (`results/BENCH_analyze_throughput.json`).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"bench\": \"analyze_throughput\",");
+        let _ = writeln!(s, "  \"host_cores\": {},", self.host_cores);
+        let _ = writeln!(s, "  \"workloads\": [");
+        for (wi, w) in self.workloads.iter().enumerate() {
+            let _ = writeln!(s, "    {{");
+            let _ = writeln!(s, "      \"name\": \"{}\",", json_escape(&w.name));
+            let _ = writeln!(s, "      \"entries\": {},", w.entries);
+            let _ = writeln!(s, "      \"threads\": {},", w.threads);
+            let _ = writeln!(s, "      \"entries_per_sec\": {:.1},", w.entries_per_sec);
+            let _ = writeln!(s, "      \"cache_hits\": {},", w.cache_hits);
+            let _ = writeln!(s, "      \"cache_misses\": {},", w.cache_misses);
+            let _ = writeln!(s, "      \"cache_hit_rate\": {:.4},", w.cache_hit_rate);
+            let _ = writeln!(s, "      \"shards\": [");
+            for (ti, t) in w.timings.iter().enumerate() {
+                let _ = write!(
+                    s,
+                    "        {{\"shards\": {}, \"wall_ms\": {:.3}, \"model_ms\": {:.3}, \
+                     \"speedup\": {:.3}, \"speedup_wall\": {:.3}, \"identical\": {}}}",
+                    t.shards, t.wall_ms, t.model_ms, t.speedup, t.speedup_wall, t.identical
+                );
+                let _ = writeln!(s, "{}", if ti + 1 < w.timings.len() { "," } else { "" });
+            }
+            let _ = writeln!(s, "      ]");
+            let _ = write!(s, "    }}");
+            let _ = writeln!(
+                s,
+                "{}",
+                if wi + 1 < self.workloads.len() {
+                    ","
+                } else {
+                    ""
+                }
+            );
+        }
+        let _ = writeln!(s, "  ]");
+        s.push_str("}\n");
+        s
+    }
+
+    /// Human-readable summary table.
+    pub fn render(&self) -> String {
+        let mut body = Vec::new();
+        for w in &self.workloads {
+            for t in &w.timings {
+                body.push(vec![
+                    w.name.clone(),
+                    w.entries.to_string(),
+                    t.shards.to_string(),
+                    format!("{:.1}", t.wall_ms),
+                    format!("{:.1}", t.model_ms),
+                    format!("{:.2}", t.speedup),
+                    format!("{:.2}", t.speedup_wall),
+                    if t.identical { "yes" } else { "NO" }.to_string(),
+                ]);
+            }
+        }
+        let mut out = format!(
+            "Analyze throughput — sharded analyzer pipeline ({} host core{})\n\n",
+            self.host_cores,
+            if self.host_cores == 1 { "" } else { "s" }
+        );
+        out.push_str(&render_table(
+            &[
+                "workload",
+                "entries",
+                "shards",
+                "wall ms",
+                "model ms",
+                "speedup",
+                "wall spd",
+                "identical",
+            ],
+            &body,
+        ));
+        for w in &self.workloads {
+            out.push_str(&format!(
+                "\n{}: {:.0} entries/s sequential, symbol cache {:.1}% hits ({} hits / {} misses)\n",
+                w.name,
+                w.entries_per_sec,
+                100.0 * w.cache_hit_rate,
+                w.cache_hits,
+                w.cache_misses
+            ));
+        }
+        out
+    }
+
+    /// Model speedup for a workload at a shard count, if swept.
+    pub fn speedup(&self, workload: &str, shards: usize) -> Option<f64> {
+        self.workloads
+            .iter()
+            .find(|w| w.name == workload)?
+            .timings
+            .iter()
+            .find(|t| t.shards == shards)
+            .map(|t| t.speedup)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_log_is_deterministic_and_multithreaded() {
+        let options = AnalyzeBenchOptions {
+            entries: 4_000,
+            threads: 4,
+            ..AnalyzeBenchOptions::default()
+        };
+        let (a, _) = synthetic_log(&options);
+        let (b, _) = synthetic_log(&options);
+        assert_eq!(a.entries, b.entries, "same seed, same log");
+        assert_eq!(a.entries.len(), 4_000);
+        let tids: std::collections::BTreeSet<u64> = a.entries.iter().map(|e| e.tid).collect();
+        assert_eq!(tids.len(), 4, "all threads emit");
+        assert_eq!(a.header.dropped_entries(), 0);
+    }
+
+    #[test]
+    fn smoke_bench_reports_identical_profiles_and_sane_speedup() {
+        let options = AnalyzeBenchOptions {
+            entries: 20_000,
+            threads: 4,
+            shard_counts: vec![1, 2],
+            include_phoenix: false,
+            ..AnalyzeBenchOptions::default()
+        };
+        let result = run_analyze_bench(&options);
+        assert_eq!(result.workloads.len(), 1);
+        let w = &result.workloads[0];
+        assert_eq!(w.entries, 20_000);
+        assert!(w.timings.iter().all(|t| t.identical), "byte-identical");
+        assert!(w.entries_per_sec > 0.0);
+        assert!(w.cache_misses > 0, "cold cache resolves every address once");
+        assert!(w.cache_hit_rate > 0.0, "repeat addresses hit the cache");
+        let s2 = result.speedup("synthetic", 2).expect("swept");
+        assert!(s2 > 0.5, "model speedup at 2 shards: {s2:.2}");
+    }
+
+    #[test]
+    fn json_artifact_is_balanced_and_carries_the_key_fields() {
+        let options = AnalyzeBenchOptions {
+            entries: 8_000,
+            threads: 2,
+            shard_counts: vec![1, 2],
+            include_phoenix: false,
+            ..AnalyzeBenchOptions::default()
+        };
+        let result = run_analyze_bench(&options);
+        let json = result.to_json();
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+        for key in [
+            "\"bench\": \"analyze_throughput\"",
+            "\"host_cores\"",
+            "\"entries_per_sec\"",
+            "\"cache_hit_rate\"",
+            "\"speedup\"",
+            "\"speedup_wall\"",
+            "\"identical\": true",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
+        let text = result.render();
+        assert!(text.contains("synthetic"));
+        assert!(text.contains("entries/s"));
+    }
+}

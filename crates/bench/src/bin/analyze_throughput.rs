@@ -1,0 +1,67 @@
+//! Measure stage-3 analyzer throughput: sequential entries/sec, the
+//! sharded pipeline's speedup at 1/2/4/8 worker shards, and the symbol
+//! cache's hit rate — on a ≥ 1M-entry synthetic multi-thread log and the
+//! Phoenix profiling logs.
+//!
+//! ```text
+//! cargo run --release -p bench --bin analyze_throughput [-- --smoke]
+//! ```
+//!
+//! Writes `results/BENCH_analyze_throughput.json`. With `--smoke` a small
+//! log and shards {1, 2} only (no Phoenix), asserting the artifact exists
+//! and the model speedup at 2 shards is ≥ 1.0 — exits non-zero otherwise.
+
+use bench::analyze::{run_analyze_bench, AnalyzeBenchOptions};
+use bench::util::write_artifact;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let options = if smoke {
+        AnalyzeBenchOptions::smoke()
+    } else {
+        AnalyzeBenchOptions::default()
+    };
+    eprintln!(
+        "analyzing a {}-entry synthetic log ({} threads, {} functions) at shard counts {:?}{}...",
+        options.entries,
+        options.threads,
+        options.functions,
+        options.shard_counts,
+        if options.include_phoenix {
+            " plus phoenix small-scale logs"
+        } else {
+            ""
+        }
+    );
+    let result = run_analyze_bench(&options);
+    let path = write_artifact("BENCH_analyze_throughput.json", &result.to_json());
+
+    print!("{}", result.render());
+    eprintln!("wrote {}", path.display());
+
+    if smoke {
+        if !path.is_file() {
+            eprintln!("smoke FAILED: artifact missing at {}", path.display());
+            std::process::exit(1);
+        }
+        let identical = result
+            .workloads
+            .iter()
+            .all(|w| w.timings.iter().all(|t| t.identical));
+        if !identical {
+            eprintln!("smoke FAILED: sharded profile differs from sequential");
+            std::process::exit(1);
+        }
+        match result.speedup("synthetic", 2) {
+            Some(s) if s >= 1.0 => eprintln!("smoke OK: model speedup at 2 shards = {s:.2}x"),
+            Some(s) => {
+                eprintln!("smoke FAILED: model speedup at 2 shards = {s:.2}x < 1.0");
+                std::process::exit(1);
+            }
+            None => {
+                eprintln!("smoke FAILED: 2-shard sweep missing");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -11,11 +11,13 @@
 //! | [`fig6`] | Figure 6 + §IV-C IOPS table — SPDK case study | `fig6_spdk_casestudy` |
 //! | [`ablations`] | sampling bias, counter sources, selective profiling, EPC paging | `ablation_*` |
 //! | [`live`] | continuous-monitoring overhead of `teeperf-live` | `live_overhead` |
+//! | [`analyze`] | stage-3 analyzer throughput and shard speedup | `analyze_throughput` |
 //!
 //! Everything is deterministic; "10 runs" vary the workload seed, exactly
 //! like re-running a benchmark binary on fresh inputs.
 
 pub mod ablations;
+pub mod analyze;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;

@@ -3,10 +3,21 @@
 //! process id exists precisely to tell runs apart in the analysis phase
 //! (§II-B); `diff` is what the developer does next.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 
-use crate::profile::Profile;
+use crate::profile::{MethodStats, Profile};
 use crate::query::frame::Frame;
+
+/// Name → stats index over a profile's method table. First entry wins,
+/// matching [`Profile::method`]'s linear-scan semantics (methods are
+/// sorted hottest-first, so the first is the dominant namesake).
+fn index(p: &Profile) -> HashMap<&str, &MethodStats> {
+    let mut by_name: HashMap<&str, &MethodStats> = HashMap::with_capacity(p.methods.len());
+    for m in &p.methods {
+        by_name.entry(m.name.as_str()).or_insert(m);
+    }
+    by_name
+}
 
 /// Compare two profiles method-by-method.
 ///
@@ -15,6 +26,9 @@ use crate::query::frame::Frame;
 /// percentages are exclusive-time shares and `delta_pct = b_pct - a_pct`
 /// (negative = the method shrank — mission accomplished). Rows are sorted
 /// by `delta_pct` ascending, so the biggest wins come first.
+///
+/// The join is hash-indexed: building the frame is linear in the number of
+/// methods, not quadratic as the naive per-name profile scan would be.
 pub fn diff(a: &Profile, b: &Profile) -> Frame {
     let names: BTreeSet<&str> = a
         .methods
@@ -22,14 +36,25 @@ pub fn diff(a: &Profile, b: &Profile) -> Frame {
         .chain(&b.methods)
         .map(|m| m.name.as_str())
         .collect();
+    let a_by_name = index(a);
+    let b_by_name = index(b);
+    let pct = |p: &Profile, m: Option<&&MethodStats>| {
+        if p.total_ticks == 0 {
+            0.0
+        } else {
+            m.map_or(0.0, |m| 100.0 * m.exclusive as f64 / p.total_ticks as f64)
+        }
+    };
 
     let mut rows: Vec<(String, f64, f64, i64, i64)> = names
         .into_iter()
         .map(|name| {
-            let a_pct = a.exclusive_fraction(name) * 100.0;
-            let b_pct = b.exclusive_fraction(name) * 100.0;
-            let a_calls = a.method(name).map_or(0, |m| m.calls as i64);
-            let b_calls = b.method(name).map_or(0, |m| m.calls as i64);
+            let a_m = a_by_name.get(name);
+            let b_m = b_by_name.get(name);
+            let a_pct = pct(a, a_m);
+            let b_pct = pct(b, b_m);
+            let a_calls = a_m.map_or(0, |m| m.calls as i64);
+            let b_calls = b_m.map_or(0, |m| m.calls as i64);
             (name.to_string(), a_pct, b_pct, a_calls, b_calls)
         })
         .collect();

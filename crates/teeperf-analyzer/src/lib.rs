@@ -35,12 +35,13 @@ pub mod symbolize;
 
 pub use compare::diff;
 
+pub use profile::Aggregates;
 pub use profile::{MethodStats, Profile};
 pub use query::frame::{Column, Frame};
 pub use query::run_query;
 pub use reader::{AnalyzeError, ThreadEvents};
 pub use stacks::{CompletedCall, ResumableStacks, ThreadStacks};
-pub use symbolize::Symbolizer;
+pub use symbolize::{SymId, SymbolCacheStats, Symbolizer};
 
 use mcvm::DebugInfo;
 use teeperf_core::LogFile;
@@ -50,10 +51,13 @@ use teeperf_core::LogFile;
 pub struct Analyzer {
     log: LogFile,
     symbolizer: Symbolizer,
+    threads: usize,
 }
 
 impl Analyzer {
-    /// Validate the log and bind it to the binary's debug info.
+    /// Validate the log and bind it to the binary's debug info. Analysis
+    /// defaults to one shard per available core; see
+    /// [`Analyzer::with_analyzer_threads`].
     ///
     /// # Errors
     /// Returns [`AnalyzeError::VersionMismatch`] when the log was written by
@@ -61,7 +65,25 @@ impl Analyzer {
     pub fn new(log: LogFile, debug: DebugInfo) -> Result<Analyzer, AnalyzeError> {
         reader::validate(&log)?;
         let symbolizer = Symbolizer::new(debug, &log.header);
-        Ok(Analyzer { log, symbolizer })
+        Ok(Analyzer {
+            log,
+            symbolizer,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        })
+    }
+
+    /// Set the number of analyzer shards (worker threads) used by
+    /// [`Analyzer::profile`]. `0` restores the default (available
+    /// parallelism); `1` forces the sequential path. The profile is
+    /// byte-identical at every setting.
+    #[must_use]
+    pub fn with_analyzer_threads(mut self, threads: usize) -> Analyzer {
+        self.threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            threads
+        };
+        self
     }
 
     /// The underlying log.
@@ -74,9 +96,10 @@ impl Analyzer {
         &self.symbolizer
     }
 
-    /// Build the full method-level profile.
+    /// Build the full method-level profile, sharded over the configured
+    /// number of analyzer threads.
     pub fn profile(&self) -> Profile {
-        profile::build(&self.log, &self.symbolizer)
+        profile::build_with_shards(&self.log, &self.symbolizer, self.threads)
     }
 
     /// Raw events as a queryable dataframe with columns
@@ -91,8 +114,13 @@ impl Analyzer {
         self.profile().methods_frame()
     }
 
-    /// The human-readable sorted report.
+    /// The human-readable sorted report. Symbolization problems (e.g. an
+    /// ignored anchor) surface as a trailing warning line.
     pub fn report(&self) -> String {
-        report::render(&self.profile(), &self.log)
+        let mut out = report::render(&self.profile(), &self.log);
+        if let Some(w) = self.symbolizer.anchor_warning() {
+            out.push_str(&format!("warning: {w}\n"));
+        }
+        out
     }
 }

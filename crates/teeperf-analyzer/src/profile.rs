@@ -1,12 +1,25 @@
-//! Method-level profile aggregation.
+//! Method-level profile aggregation — sequential or sharded across worker
+//! threads.
+//!
+//! Threads in a log are independent by construction (the recorder holds
+//! each thread until its entry is written, so per-thread order is program
+//! order), which makes the analyzer embarrassingly parallel: shard the
+//! threads over workers, reconstruct and aggregate each shard into an
+//! [`Aggregates`], then merge. Every aggregate operation is commutative
+//! and associative and every output table is finished with a total sort,
+//! so the sharded result is byte-identical to the sequential one — the
+//! invariant `build_with_shards` is tested against.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use crate::query::frame::Frame;
-use crate::reader::{self};
-use crate::stacks::{self, CompletedCall};
-use crate::symbolize::Symbolizer;
+use crate::reader::{self, Event};
+use crate::stacks::{self, CompletedCall, ThreadStacks};
+use crate::symbolize::{SymId, Symbolizer};
 use teeperf_core::LogFile;
+
+/// Sentinel caller address for top-level frames.
+pub const ROOT_ADDR: u64 = u64::MAX;
 
 /// Aggregated statistics for one method.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,6 +79,14 @@ pub struct Profile {
     /// Folded stacks: (named path outermost→innermost, exclusive ticks).
     /// This is the flame-graph input format.
     pub folded: Vec<(Vec<String>, u64)>,
+    /// Interned symbol table for [`Profile::folded_ids`]: profile-local,
+    /// deterministic (ids assigned in order of first appearance in the
+    /// sorted `folded`), names pairwise distinct.
+    pub symbols: Vec<String>,
+    /// `folded` with every frame replaced by its index into `symbols`, so
+    /// downstream joins (the flame-graph merge trie) compare integers
+    /// instead of strings.
+    pub folded_ids: Vec<(Vec<u32>, u64)>,
     /// Caller-context breakdown (§II-C "performance depending on the call
     /// history of a method"), sorted by inclusive ticks descending.
     pub caller_edges: Vec<CallerEdge>,
@@ -77,107 +98,363 @@ pub struct Profile {
     pub anomalies: Anomalies,
 }
 
-/// Build the profile for a validated log.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct RawMethod {
+    calls: u64,
+    inclusive: u64,
+    exclusive: u64,
+    min_inclusive: u64,
+    max_inclusive: u64,
+    threads: BTreeSet<u64>,
+}
+
+/// Address-keyed aggregation state over completed calls.
+///
+/// This is the merge kernel shared by the batch analyzer (one per shard)
+/// and `teeperf-live`'s rolling profile (one per session): symbolization
+/// is deferred until [`Aggregates::materialize`], so accumulation touches
+/// only integers. Merging two aggregates is commutative and associative —
+/// the property that makes shard merge order irrelevant.
+#[derive(Debug, Clone, Default)]
+pub struct Aggregates {
+    methods: HashMap<u64, RawMethod>,
+    folded: HashMap<Vec<u64>, u64>,
+    edges: HashMap<(u64, u64), (u64, u64, u64)>,
+    calls_per_thread: BTreeMap<u64, u64>,
+    /// Returns without a matching call.
+    pub orphan_returns: u64,
+    /// Frames force-closed at the end of the log / session.
+    pub truncated_frames: u64,
+}
+
+impl Aggregates {
+    /// An empty aggregate.
+    pub fn new() -> Aggregates {
+        Aggregates::default()
+    }
+
+    /// Threads observed so far (any thread that ever produced a batch,
+    /// even one with zero completed calls).
+    pub fn thread_ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.calls_per_thread.keys().copied()
+    }
+
+    /// Fold one completed call of `tid` into the aggregate.
+    pub fn merge_call(&mut self, tid: u64, call: &CompletedCall) {
+        let m = self.methods.entry(call.addr).or_insert_with(|| RawMethod {
+            min_inclusive: u64::MAX,
+            ..RawMethod::default()
+        });
+        m.calls += 1;
+        m.inclusive += call.inclusive();
+        m.exclusive += call.exclusive();
+        m.min_inclusive = m.min_inclusive.min(call.inclusive());
+        m.max_inclusive = m.max_inclusive.max(call.inclusive());
+        m.threads.insert(tid);
+        if call.exclusive() > 0 {
+            // Clone the stack only when this exact path is new.
+            match self.folded.get_mut(call.stack.as_slice()) {
+                Some(ticks) => *ticks += call.exclusive(),
+                None => {
+                    self.folded.insert(call.stack.clone(), call.exclusive());
+                }
+            }
+        }
+        let caller = if call.stack.len() >= 2 {
+            call.stack[call.stack.len() - 2]
+        } else {
+            ROOT_ADDR
+        };
+        let e = self.edges.entry((caller, call.addr)).or_default();
+        e.0 += 1;
+        e.1 += call.inclusive();
+        e.2 += call.exclusive();
+    }
+
+    /// Fold one thread's reconstruction batch into the aggregate. Always
+    /// registers `tid` as observed, even for an empty batch.
+    pub fn absorb(&mut self, tid: u64, batch: &ThreadStacks) {
+        self.orphan_returns += batch.orphan_returns;
+        self.truncated_frames += batch.truncated_frames;
+        *self.calls_per_thread.entry(tid).or_default() += batch.calls.len() as u64;
+        for call in &batch.calls {
+            self.merge_call(tid, call);
+        }
+    }
+
+    /// Merge another shard's aggregate into this one.
+    pub fn merge(&mut self, other: Aggregates) {
+        for (addr, raw) in other.methods {
+            match self.methods.entry(addr) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(raw);
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let m = e.get_mut();
+                    m.calls += raw.calls;
+                    m.inclusive += raw.inclusive;
+                    m.exclusive += raw.exclusive;
+                    m.min_inclusive = m.min_inclusive.min(raw.min_inclusive);
+                    m.max_inclusive = m.max_inclusive.max(raw.max_inclusive);
+                    m.threads.extend(raw.threads);
+                }
+            }
+        }
+        for (path, ticks) in other.folded {
+            *self.folded.entry(path).or_default() += ticks;
+        }
+        for (edge, (calls, inclusive, exclusive)) in other.edges {
+            let e = self.edges.entry(edge).or_default();
+            e.0 += calls;
+            e.1 += inclusive;
+            e.2 += exclusive;
+        }
+        for (tid, calls) in other.calls_per_thread {
+            *self.calls_per_thread.entry(tid).or_default() += calls;
+        }
+        self.orphan_returns += other.orphan_returns;
+        self.truncated_frames += other.truncated_frames;
+    }
+
+    /// Materialize the aggregate as a [`Profile`]: symbolize (through the
+    /// symbolizer's address cache — each unique address resolves once),
+    /// merge folded paths integer-keyed on interned [`SymId`]s, and finish
+    /// every table with a total sort so the output is independent of both
+    /// hash-map iteration order and shard assignment.
+    pub fn materialize(
+        &self,
+        symbolizer: &Symbolizer,
+        per_thread_calls: BTreeMap<u64, Vec<CompletedCall>>,
+        anomalies: Anomalies,
+    ) -> Profile {
+        let mut methods: Vec<MethodStats> = self
+            .methods
+            .iter()
+            .map(|(addr, raw)| MethodStats {
+                name: symbolizer.name_of(*addr),
+                addr: *addr,
+                calls: raw.calls,
+                inclusive: raw.inclusive,
+                exclusive: raw.exclusive,
+                min_inclusive: raw.min_inclusive,
+                max_inclusive: raw.max_inclusive,
+                threads: raw.threads.clone(),
+            })
+            .collect();
+        methods.sort_by(|a, b| {
+            b.exclusive
+                .cmp(&a.exclusive)
+                .then_with(|| a.name.cmp(&b.name))
+                .then_with(|| a.addr.cmp(&b.addr))
+        });
+        let total_ticks = methods.iter().map(|m| m.exclusive).sum();
+
+        // Folded stacks: intern each address once (the symbolizer caches
+        // addr → id), merge paths that symbolize identically by comparing
+        // id slices — the hot join is integer-keyed; strings appear only
+        // in the final materialization.
+        let mut by_ids: HashMap<Vec<SymId>, u64> = HashMap::with_capacity(self.folded.len());
+        let mut id_buf: Vec<SymId> = Vec::new();
+        for (path, ticks) in &self.folded {
+            id_buf.clear();
+            id_buf.extend(path.iter().map(|a| symbolizer.intern(*a)));
+            match by_ids.get_mut(id_buf.as_slice()) {
+                Some(t) => *t += ticks,
+                None => {
+                    by_ids.insert(id_buf.clone(), *ticks);
+                }
+            }
+        }
+        let mut names: HashMap<SymId, String> = HashMap::new();
+        let mut folded: Vec<(Vec<String>, u64)> = by_ids
+            .into_iter()
+            .map(|(ids, ticks)| {
+                let path = ids
+                    .iter()
+                    .map(|id| {
+                        names
+                            .entry(*id)
+                            .or_insert_with(|| symbolizer.resolve(*id))
+                            .clone()
+                    })
+                    .collect();
+                (path, ticks)
+            })
+            .collect();
+        // Paths are already distinct (id equality ⟺ name equality), so a
+        // plain sort fully determines the order.
+        folded.sort();
+
+        // Profile-local symbol table: ids in order of first appearance in
+        // the sorted folded list, deterministic by construction.
+        let mut symbols: Vec<String> = Vec::new();
+        let mut local: HashMap<String, u32> = HashMap::new();
+        let folded_ids: Vec<(Vec<u32>, u64)> = folded
+            .iter()
+            .map(|(path, ticks)| {
+                let ids = path
+                    .iter()
+                    .map(|name| {
+                        *local.entry(name.clone()).or_insert_with(|| {
+                            symbols.push(name.clone());
+                            u32::try_from(symbols.len() - 1).expect("fewer than 2^32 symbols")
+                        })
+                    })
+                    .collect();
+                (ids, *ticks)
+            })
+            .collect();
+
+        // Caller edges keep their address pair through the sort as the
+        // final tiebreak, making the order total even when distinct
+        // address pairs symbolize to the same names.
+        let mut rows: Vec<((u64, u64), CallerEdge)> = self
+            .edges
+            .iter()
+            .map(|((caller, callee), (calls, inclusive, exclusive))| {
+                (
+                    (*caller, *callee),
+                    CallerEdge {
+                        caller: if *caller == ROOT_ADDR {
+                            "<root>".to_string()
+                        } else {
+                            symbolizer.name_of(*caller)
+                        },
+                        callee: symbolizer.name_of(*callee),
+                        calls: *calls,
+                        inclusive: *inclusive,
+                        exclusive: *exclusive,
+                    },
+                )
+            })
+            .collect();
+        rows.sort_by(|(ka, a), (kb, b)| {
+            b.inclusive
+                .cmp(&a.inclusive)
+                .then_with(|| {
+                    (a.caller.as_str(), a.callee.as_str())
+                        .cmp(&(b.caller.as_str(), b.callee.as_str()))
+                })
+                .then_with(|| ka.cmp(kb))
+        });
+        let caller_edges = rows.into_iter().map(|(_, e)| e).collect();
+
+        Profile {
+            methods,
+            folded,
+            symbols,
+            folded_ids,
+            caller_edges,
+            per_thread_calls,
+            total_ticks,
+            anomalies,
+        }
+    }
+}
+
+/// What one shard worker produces: the mergeable aggregate plus the
+/// per-thread completed calls of the shard's threads.
+pub type ShardOutput = (Aggregates, Vec<(u64, Vec<CompletedCall>)>);
+
+/// Reconstruct and aggregate one shard of threads. Public so the
+/// throughput bench can time shards individually (on a single-core host
+/// the modeled parallel time is `max` over shard timings).
+pub fn analyze_shard(threads: &[(u64, &[Event])]) -> ShardOutput {
+    let mut agg = Aggregates::new();
+    let mut per_thread = Vec::with_capacity(threads.len());
+    for (tid, events) in threads {
+        let st = stacks::reconstruct(events);
+        agg.absorb(*tid, &st);
+        per_thread.push((*tid, st.calls));
+    }
+    (agg, per_thread)
+}
+
+/// Deterministically partition `loads` (per-item work estimates, e.g.
+/// event counts per thread) into `shards` buckets, balancing bucket totals
+/// with longest-processing-time-first: items are placed heaviest first
+/// into the currently lightest bucket (all ties broken by index). Returns
+/// the item indices per bucket.
+pub fn partition_by_load(loads: &[usize], shards: usize) -> Vec<Vec<usize>> {
+    let shards = shards.max(1).min(loads.len().max(1));
+    let mut order: Vec<usize> = (0..loads.len()).collect();
+    order.sort_by_key(|i| (std::cmp::Reverse(loads[*i]), *i));
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); shards];
+    let mut totals = vec![0usize; shards];
+    for i in order {
+        let lightest = (0..shards)
+            .min_by_key(|s| (totals[*s], *s))
+            .expect("at least one shard");
+        totals[lightest] += loads[i];
+        buckets[lightest].push(i);
+    }
+    buckets
+}
+
+/// Build the profile for a validated log (sequential).
 pub fn build(log: &LogFile, symbolizer: &Symbolizer) -> Profile {
+    build_with_shards(log, symbolizer, 1)
+}
+
+/// Build the profile, fanning per-thread reconstruction and aggregation
+/// out over `shards` scoped worker threads. Threads are assigned to shards
+/// by event-count balance; the merged result is byte-identical to the
+/// sequential build (`shards == 1` or a single-thread log short-circuits
+/// to the sequential path).
+pub fn build_with_shards(log: &LogFile, symbolizer: &Symbolizer, shards: usize) -> Profile {
     let grouped = reader::group_by_thread(log);
-    let mut methods: HashMap<u64, MethodStats> = HashMap::new();
-    let mut folded: HashMap<Vec<u64>, u64> = HashMap::new();
-    let mut edges: HashMap<(u64, u64), (u64, u64, u64)> = HashMap::new();
-    /// Sentinel caller address for top-level frames.
-    const ROOT: u64 = u64::MAX;
-    let mut per_thread_calls = BTreeMap::new();
-    let mut anomalies = Anomalies {
+    let anomalies_base = Anomalies {
         incomplete_entries: grouped.incomplete,
         dropped_entries: log.header.dropped_entries(),
         ..Anomalies::default()
     };
+    let threads: Vec<(u64, Vec<Event>)> = grouped.threads.into_iter().collect();
+    let shards = shards.max(1).min(threads.len().max(1));
 
-    for (tid, events) in &grouped.threads {
-        let st = stacks::reconstruct(events);
-        anomalies.orphan_returns += st.orphan_returns;
-        anomalies.truncated_frames += st.truncated_frames;
-        for call in &st.calls {
-            let m = methods.entry(call.addr).or_insert_with(|| MethodStats {
-                name: symbolizer.name_of(call.addr),
-                addr: call.addr,
-                calls: 0,
-                inclusive: 0,
-                exclusive: 0,
-                min_inclusive: u64::MAX,
-                max_inclusive: 0,
-                threads: BTreeSet::new(),
-            });
-            m.calls += 1;
-            m.inclusive += call.inclusive();
-            m.exclusive += call.exclusive();
-            m.min_inclusive = m.min_inclusive.min(call.inclusive());
-            m.max_inclusive = m.max_inclusive.max(call.inclusive());
-            m.threads.insert(*tid);
-            if call.exclusive() > 0 {
-                *folded.entry(call.stack.clone()).or_default() += call.exclusive();
-            }
-            let caller = if call.stack.len() >= 2 {
-                call.stack[call.stack.len() - 2]
-            } else {
-                ROOT
-            };
-            let e = edges.entry((caller, call.addr)).or_default();
-            e.0 += 1;
-            e.1 += call.inclusive();
-            e.2 += call.exclusive();
+    let (agg, calls) = if shards <= 1 {
+        let views: Vec<(u64, &[Event])> = threads
+            .iter()
+            .map(|(tid, events)| (*tid, events.as_slice()))
+            .collect();
+        analyze_shard(&views)
+    } else {
+        let loads: Vec<usize> = threads.iter().map(|(_, events)| events.len()).collect();
+        let partition = partition_by_load(&loads, shards);
+        let results: Vec<ShardOutput> = std::thread::scope(|scope| {
+            let handles: Vec<_> = partition
+                .iter()
+                .map(|bucket| {
+                    let threads = &threads;
+                    scope.spawn(move || {
+                        let views: Vec<(u64, &[Event])> = bucket
+                            .iter()
+                            .map(|i| (threads[*i].0, threads[*i].1.as_slice()))
+                            .collect();
+                        analyze_shard(&views)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("analyzer shard panicked"))
+                .collect()
+        });
+        let mut agg = Aggregates::new();
+        let mut calls = Vec::with_capacity(threads.len());
+        for (shard_agg, shard_calls) in results {
+            agg.merge(shard_agg);
+            calls.extend(shard_calls);
         }
-        per_thread_calls.insert(*tid, st.calls);
-    }
+        (agg, calls)
+    };
 
-    let mut methods: Vec<MethodStats> = methods.into_values().collect();
-    methods.sort_by(|a, b| b.exclusive.cmp(&a.exclusive).then(a.name.cmp(&b.name)));
-    let total_ticks = methods.iter().map(|m| m.exclusive).sum();
-
-    let mut folded: Vec<(Vec<String>, u64)> = folded
-        .into_iter()
-        .map(|(path, ticks)| (path.iter().map(|a| symbolizer.name_of(*a)).collect(), ticks))
-        .collect();
-    // Merge paths that became identical after symbolization.
-    folded.sort();
-    folded.dedup_by(|a, b| {
-        if a.0 == b.0 {
-            b.1 += a.1;
-            true
-        } else {
-            false
-        }
-    });
-
-    let mut caller_edges: Vec<CallerEdge> = edges
-        .into_iter()
-        .map(
-            |((caller, callee), (calls, inclusive, exclusive))| CallerEdge {
-                caller: if caller == ROOT {
-                    "<root>".to_string()
-                } else {
-                    symbolizer.name_of(caller)
-                },
-                callee: symbolizer.name_of(callee),
-                calls,
-                inclusive,
-                exclusive,
-            },
-        )
-        .collect();
-    caller_edges.sort_by(|a, b| {
-        b.inclusive.cmp(&a.inclusive).then_with(|| {
-            (a.caller.as_str(), a.callee.as_str()).cmp(&(b.caller.as_str(), b.callee.as_str()))
-        })
-    });
-
-    Profile {
-        methods,
-        folded,
-        caller_edges,
-        per_thread_calls,
-        total_ticks,
-        anomalies,
-    }
+    let per_thread_calls: BTreeMap<u64, Vec<CompletedCall>> = calls.into_iter().collect();
+    let anomalies = Anomalies {
+        orphan_returns: agg.orphan_returns,
+        truncated_frames: agg.truncated_frames,
+        ..anomalies_base
+    };
+    agg.materialize(symbolizer, per_thread_calls, anomalies)
 }
 
 impl Profile {
@@ -427,6 +704,31 @@ mod tests {
     }
 
     #[test]
+    fn folded_ids_mirror_folded() {
+        use EventKind::{Call, Return};
+        let log = make_log(vec![
+            e(Call, 0, addr(0), 0),
+            e(Call, 10, addr(1), 0),
+            e(Return, 60, addr(1), 0),
+            e(Return, 100, addr(0), 0),
+        ]);
+        let p = build(&log, &Symbolizer::without_relocation(debug()));
+        assert_eq!(p.folded.len(), p.folded_ids.len());
+        for ((path, ticks), (ids, id_ticks)) in p.folded.iter().zip(&p.folded_ids) {
+            assert_eq!(ticks, id_ticks);
+            let named: Vec<&str> = ids
+                .iter()
+                .map(|i| p.symbols[*i as usize].as_str())
+                .collect();
+            let expect: Vec<&str> = path.iter().map(String::as_str).collect();
+            assert_eq!(named, expect);
+        }
+        // The symbol table is deduplicated.
+        let unique: BTreeSet<&String> = p.symbols.iter().collect();
+        assert_eq!(unique.len(), p.symbols.len());
+    }
+
+    #[test]
     fn threads_are_reconstructed_independently() {
         use EventKind::{Call, Return};
         // Interleaved in the log but separate per thread.
@@ -442,6 +744,54 @@ mod tests {
         assert_eq!(work.inclusive, 20 + 30);
         assert_eq!(work.threads.len(), 2);
         assert_eq!(p.anomalies.orphan_returns, 0);
+    }
+
+    #[test]
+    fn sharded_build_is_byte_identical_to_sequential() {
+        use EventKind::{Call, Return};
+        // Four threads with different shapes: nesting, recursion, an
+        // orphan return, and a truncated frame.
+        let log = make_log(vec![
+            e(Call, 0, addr(0), 0),
+            e(Call, 1, addr(1), 1),
+            e(Return, 2, addr(2), 2), // orphan on thread 2
+            e(Call, 3, addr(1), 3),
+            e(Call, 10, addr(1), 0),
+            e(Call, 12, addr(1), 3), // recursion on thread 3
+            e(Return, 20, addr(1), 0),
+            e(Return, 25, addr(1), 1),
+            e(Call, 30, addr(2), 2),
+            e(Return, 40, addr(2), 2),
+            e(Return, 44, addr(1), 3),
+            e(Return, 60, addr(0), 0),
+            e(Call, 70, addr(2), 1), // never returns on thread 1
+        ]);
+        let sequential = build(&log, &Symbolizer::without_relocation(debug()));
+        for shards in [2, 3, 4, 8] {
+            let parallel =
+                build_with_shards(&log, &Symbolizer::without_relocation(debug()), shards);
+            assert_eq!(parallel, sequential, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn partition_by_load_balances_and_is_deterministic() {
+        let loads = [100, 1, 1, 1, 97, 1, 1, 1];
+        let p = partition_by_load(&loads, 2);
+        assert_eq!(p.len(), 2);
+        let total = |bucket: &Vec<usize>| -> usize { bucket.iter().map(|i| loads[*i]).sum() };
+        let (a, b) = (total(&p[0]), total(&p[1]));
+        assert_eq!(a + b, 203);
+        assert!(a.abs_diff(b) <= 3, "{a} vs {b}");
+        assert_eq!(p, partition_by_load(&loads, 2), "deterministic");
+        // Every index appears exactly once.
+        let mut all: Vec<usize> = p.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..loads.len()).collect::<Vec<_>>());
+        // Degenerate shapes: empty input yields one empty bucket, and
+        // requesting more shards than items clamps to the item count.
+        assert_eq!(partition_by_load(&[], 4), vec![Vec::<usize>::new()]);
+        assert_eq!(partition_by_load(&[7, 7], 8).len(), 2);
     }
 
     #[test]

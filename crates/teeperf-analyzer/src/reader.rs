@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
-use teeperf_core::layout::{EventKind, LOG_VERSION};
+use teeperf_core::layout::{EventKind, LogEntry, LOG_VERSION};
 use teeperf_core::LogFile;
 
 /// Errors detected while validating a log.
@@ -73,20 +73,80 @@ pub struct ThreadEvents {
     pub incomplete: u64,
 }
 
+/// The all-zero "reserved but never written" test, on the parse hot path
+/// for every entry in the log.
+#[inline]
+pub(crate) fn is_incomplete(e: &LogEntry) -> bool {
+    // One branch in the common case: a real entry virtually always has a
+    // nonzero counter, so the `addr`/`tid` comparisons are rarely reached.
+    e.counter == 0 && e.addr == 0 && e.tid == 0
+}
+
 /// Group the log's entries by thread, dismissing incomplete records.
+///
+/// Two passes: a counting pass sizes every per-thread vector exactly, then
+/// a fill pass copies events straight through without ever reallocating.
 pub fn group_by_thread(log: &LogFile) -> ThreadEvents {
     let mut out = ThreadEvents::default();
-    for (i, e) in log.entries.iter().enumerate() {
-        if e.counter == 0 && e.addr == 0 && e.tid == 0 {
+    let entries = &log.entries[..];
+
+    // Counting pass: exact per-thread capacities (each bounded by the
+    // header's tail reservation), so the fill pass allocates once per
+    // thread instead of growing geometrically. Recorders emit long runs of
+    // same-thread entries, so runs are accumulated locally and flushed to
+    // the map once per run rather than once per entry.
+    let mut counts: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut run: Option<(u64, usize)> = None;
+    for e in entries {
+        if is_incomplete(e) {
             out.incomplete += 1;
+        } else {
+            match &mut run {
+                Some((tid, n)) if *tid == e.tid => *n += 1,
+                _ => {
+                    if let Some((tid, n)) = run.take() {
+                        *counts.entry(tid).or_default() += n;
+                    }
+                    run = Some((e.tid, 1));
+                }
+            }
+        }
+    }
+    if let Some((tid, n)) = run {
+        *counts.entry(tid).or_default() += n;
+    }
+    for (tid, n) in counts {
+        out.threads.insert(tid, Vec::with_capacity(n));
+    }
+
+    // Fill pass: capacities are exact, no vector ever grows, and the map
+    // is consulted once per same-thread run instead of once per entry.
+    let n = entries.len();
+    let mut idx = 0usize;
+    while idx < n {
+        let e = &entries[idx];
+        if is_incomplete(e) {
+            idx += 1;
             continue;
         }
-        out.threads.entry(e.tid).or_default().push(Event {
-            kind: e.kind,
-            counter: e.counter,
-            addr: e.addr,
-            seq: i as u64,
-        });
+        let tid = e.tid;
+        let events = out
+            .threads
+            .get_mut(&tid)
+            .expect("counted in the first pass");
+        while idx < n {
+            let e = &entries[idx];
+            if is_incomplete(e) || e.tid != tid {
+                break;
+            }
+            events.push(Event {
+                kind: e.kind,
+                counter: e.counter,
+                addr: e.addr,
+                seq: idx as u64,
+            });
+            idx += 1;
+        }
     }
     out
 }

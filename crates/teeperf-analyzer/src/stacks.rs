@@ -77,7 +77,6 @@ impl ThreadStacks {
 
 #[derive(Debug)]
 struct OpenFrame {
-    addr: u64,
     enter: u64,
     child_ticks: u64,
 }
@@ -90,6 +89,10 @@ struct OpenFrame {
 #[derive(Debug, Default)]
 pub struct ResumableStacks {
     open: Vec<OpenFrame>,
+    /// Addresses of the open frames, outermost first — the running call
+    /// stack, kept as a flat buffer so closing a call snapshots its
+    /// ancestry with a single `memcpy` instead of walking the frames.
+    addrs: Vec<u64>,
     last_counter: u64,
 }
 
@@ -116,25 +119,27 @@ impl ResumableStacks {
         for e in events {
             self.last_counter = self.last_counter.max(e.counter);
             match e.kind {
-                EventKind::Call => self.open.push(OpenFrame {
-                    addr: e.addr,
-                    enter: e.counter,
-                    child_ticks: 0,
-                }),
+                EventKind::Call => {
+                    self.open.push(OpenFrame {
+                        enter: e.counter,
+                        child_ticks: 0,
+                    });
+                    self.addrs.push(e.addr);
+                }
                 EventKind::Return => {
                     // Normally the top frame matches. If it does not
                     // (dropped entries), unwind to the closest matching
                     // frame; frames popped on the way are closed at this
                     // counter.
-                    let Some(pos) = self.open.iter().rposition(|f| f.addr == e.addr) else {
+                    let Some(pos) = self.addrs.iter().rposition(|a| *a == e.addr) else {
                         out.orphan_returns += 1;
                         continue;
                     };
                     while self.open.len() > pos + 1 {
-                        close_top(&mut self.open, &mut out, e.counter, true);
+                        self.close_top(&mut out, e.counter, true);
                         out.truncated_frames += 1;
                     }
-                    close_top(&mut self.open, &mut out, e.counter, false);
+                    self.close_top(&mut out, e.counter, false);
                 }
             }
         }
@@ -147,10 +152,30 @@ impl ResumableStacks {
     pub fn finish(&mut self) -> ThreadStacks {
         let mut out = ThreadStacks::default();
         while !self.open.is_empty() {
-            close_top(&mut self.open, &mut out, self.last_counter, true);
+            self.close_top(&mut out, self.last_counter, true);
             out.truncated_frames += 1;
         }
         out
+    }
+
+    fn close_top(&mut self, out: &mut ThreadStacks, counter: u64, truncated: bool) {
+        let frame = self.open.pop().expect("close_top requires an open frame");
+        // The running buffer *is* the closing call's full stack: one exact
+        // allocation and a memcpy, no per-frame walk.
+        let stack = self.addrs.clone();
+        let addr = self.addrs.pop().expect("addrs mirrors open");
+        let inclusive = counter.saturating_sub(frame.enter);
+        if let Some(parent) = self.open.last_mut() {
+            parent.child_ticks += inclusive;
+        }
+        out.calls.push(CompletedCall {
+            addr,
+            stack,
+            enter: frame.enter,
+            exit: counter,
+            child_ticks: frame.child_ticks,
+            truncated,
+        });
     }
 }
 
@@ -160,24 +185,6 @@ pub fn reconstruct(events: &[Event]) -> ThreadStacks {
     let mut out = state.feed(events);
     out.absorb(state.finish());
     out
-}
-
-fn close_top(open: &mut Vec<OpenFrame>, out: &mut ThreadStacks, counter: u64, truncated: bool) {
-    let frame = open.pop().expect("close_top requires an open frame");
-    let mut stack: Vec<u64> = open.iter().map(|f| f.addr).collect();
-    stack.push(frame.addr);
-    let inclusive = counter.saturating_sub(frame.enter);
-    if let Some(parent) = open.last_mut() {
-        parent.child_ticks += inclusive;
-    }
-    out.calls.push(CompletedCall {
-        addr: frame.addr,
-        stack,
-        enter: frame.enter,
-        exit: counter,
-        child_ticks: frame.child_ticks,
-        truncated,
-    });
 }
 
 #[cfg(test)]

@@ -33,15 +33,17 @@ const USAGE: &str = "usage:
   teeperf record <prog.mc|prog.tpo> [--arch <kind>] [--out <base>] [--max-entries <n>]
   teeperf live <prog.mc|prog.tpo> [--arch <kind>] [--max-entries <n>] [--watermark <pct>]
                [--refresh <events>] [--frames yes|no] [--svg <file>] [--out <base>]
-  teeperf analyze <base.tpf> <base.sym>
-  teeperf query <base.tpf> <base.sym> <query>
-  teeperf flamegraph <base.tpf> <base.sym> [--svg <file>] [--title <t>]
-  teeperf diff <a.tpf> <a.sym> <b.tpf> <b.sym> [--svg <file>]
+               [--analyzer-threads <n>]
+  teeperf analyze <base.tpf> <base.sym> [--analyzer-threads <n>]
+  teeperf query <base.tpf> <base.sym> <query> [--analyzer-threads <n>]
+  teeperf flamegraph <base.tpf> <base.sym> [--svg <file>] [--title <t>] [--analyzer-threads <n>]
+  teeperf diff <a.tpf> <a.sym> <b.tpf> <b.sym> [--svg <file>] [--analyzer-threads <n>]
   teeperf phoenix [--bench <name>] [--arch <kind>]
   teeperf archs
 
 architectures: native, sgx-v1, sgx-v2, trustzone, sev, keystone
 query example: \"select method, calls, excl where excl > 100 sort excl desc limit 10\"
+--analyzer-threads: analysis worker shards; 0 or omitted = all available cores
 ";
 
 /// Minimal flag parser: positional args plus `--flag value` pairs.
@@ -84,6 +86,17 @@ impl<'a> Args<'a> {
         TeeKind::parse(name)
             .map(CostModel::for_kind)
             .ok_or_else(|| err(format!("unknown architecture `{name}`")))
+    }
+
+    /// `--analyzer-threads N`: analysis shard count, where 0 (the default)
+    /// means one shard per available core.
+    fn analyzer_threads(&self) -> Result<usize, CliError> {
+        match self.flag("analyzer-threads") {
+            Some(v) => v
+                .parse()
+                .map_err(|_| err(format!("bad --analyzer-threads `{v}`"))),
+            None => Ok(0),
+        }
     }
 }
 
@@ -297,6 +310,9 @@ fn cmd_live(args: &Args<'_>) -> Result<String, CliError> {
             live: teeperf_live::LiveConfig {
                 policy: DrainPolicy { watermark_pct },
                 refresh_events,
+                // 0 keeps the session default (sequential epoch merging;
+                // pumps are frequent and batches small).
+                analyzer_shards: args.analyzer_threads()?.max(1),
                 ..teeperf_live::LiveConfig::default()
             },
             ..teeperf_live::LiveRunConfig::default()
@@ -325,7 +341,10 @@ fn cmd_live(args: &Args<'_>) -> Result<String, CliError> {
     .expect("writing to string");
     out.push_str(&run.snapshot.status.banner());
     out.push('\n');
-    let fg = FlameGraph::from_folded(&run.snapshot.profile.folded);
+    let fg = FlameGraph::from_folded_ids(
+        &run.snapshot.profile.symbols,
+        &run.snapshot.profile.folded_ids,
+    );
     out.push_str(&fg.to_ascii(60));
     if let Some(svg_path) = args.flag("svg") {
         let svg = teeperf_flamegraph::live::render_svg(
@@ -364,7 +383,9 @@ fn load_log_and_symbols(args: &Args<'_>) -> Result<(LogFile, DebugInfo), CliErro
 
 fn cmd_analyze(args: &Args<'_>) -> Result<String, CliError> {
     let (log, debug) = load_log_and_symbols(args)?;
-    let analyzer = Analyzer::new(log, debug).map_err(|e| err(e.to_string()))?;
+    let analyzer = Analyzer::new(log, debug)
+        .map_err(|e| err(e.to_string()))?
+        .with_analyzer_threads(args.analyzer_threads()?);
     Ok(analyzer.report())
 }
 
@@ -374,7 +395,9 @@ fn cmd_query(args: &Args<'_>) -> Result<String, CliError> {
         .positional
         .get(2)
         .ok_or_else(|| err(format!("missing query string\n\n{USAGE}")))?;
-    let analyzer = Analyzer::new(log, debug).map_err(|e| err(e.to_string()))?;
+    let analyzer = Analyzer::new(log, debug)
+        .map_err(|e| err(e.to_string()))?
+        .with_analyzer_threads(args.analyzer_threads()?);
     // Queries mentioning per-event columns go to the event frame; method
     // queries to the method frame.
     let frame = if query.contains("kind")
@@ -392,9 +415,11 @@ fn cmd_query(args: &Args<'_>) -> Result<String, CliError> {
 
 fn cmd_flamegraph(args: &Args<'_>) -> Result<String, CliError> {
     let (log, debug) = load_log_and_symbols(args)?;
-    let analyzer = Analyzer::new(log, debug).map_err(|e| err(e.to_string()))?;
+    let analyzer = Analyzer::new(log, debug)
+        .map_err(|e| err(e.to_string()))?
+        .with_analyzer_threads(args.analyzer_threads()?);
     let profile = analyzer.profile();
-    let fg = FlameGraph::from_folded(&profile.folded);
+    let fg = FlameGraph::from_folded_ids(&profile.symbols, &profile.folded_ids);
     let mut out = String::new();
     if let Some(svg_path) = args.flag("svg") {
         let title = args.flag("title").unwrap_or("TEE-Perf Flame Graph");
@@ -413,13 +438,16 @@ fn cmd_diff(args: &Args<'_>) -> Result<String, CliError> {
             "diff needs <a.tpf> <a.sym> <b.tpf> <b.sym>\n\n{USAGE}"
         )));
     }
+    let threads = args.analyzer_threads()?;
     let load = |log_path: &str, sym_path: &str| -> Result<Analyzer, CliError> {
         let log = LogFile::load(log_path).map_err(|e| err(format!("{log_path}: {e}")))?;
         let sym_text =
             std::fs::read_to_string(sym_path).map_err(|e| err(format!("{sym_path}: {e}")))?;
         let debug = DebugInfo::from_text(&sym_text)
             .ok_or_else(|| err(format!("{sym_path}: malformed symbol file")))?;
-        Analyzer::new(log, debug).map_err(|e| err(e.to_string()))
+        Ok(Analyzer::new(log, debug)
+            .map_err(|e| err(e.to_string()))?
+            .with_analyzer_threads(threads))
     };
     let a = load(args.positional[0], args.positional[1])?.profile();
     let b = load(args.positional[2], args.positional[3])?.profile();
@@ -429,8 +457,8 @@ fn cmd_diff(args: &Args<'_>) -> Result<String, CliError> {
     );
     out.push_str(&d.to_table());
     if let Some(svg_path) = args.flag("svg") {
-        let before = FlameGraph::from_folded(&a.folded);
-        let after = FlameGraph::from_folded(&b.folded);
+        let before = FlameGraph::from_folded_ids(&a.symbols, &a.folded_ids);
+        let after = FlameGraph::from_folded_ids(&b.symbols, &b.folded_ids);
         let svg = after.to_diff_svg(
             &before,
             &SvgOptions::default()
@@ -536,6 +564,12 @@ mod tests {
         let out = dispatch(&strs(&["analyze", &tpf, &sym])).unwrap();
         assert!(out.contains("work"));
         assert!(out.contains("main"));
+
+        // The sharded analyzer must render the identical report.
+        let sharded = dispatch(&strs(&["analyze", &tpf, &sym, "--analyzer-threads", "4"])).unwrap();
+        assert_eq!(sharded, out);
+        let e = dispatch(&strs(&["analyze", &tpf, &sym, "--analyzer-threads", "x"])).unwrap_err();
+        assert!(e.to_string().contains("analyzer-threads"));
 
         let out = dispatch(&strs(&[
             "query",

@@ -17,7 +17,7 @@ pub mod live;
 pub mod palette;
 pub mod svg;
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 pub use live::LiveStatus;
@@ -83,6 +83,74 @@ impl FlameGraph {
             root.insert(&path, *ticks);
         }
         FlameGraph { root }
+    }
+
+    /// Build from interned folded stacks: each frame is an index into
+    /// `symbols` (the analyzer's `Profile::folded_ids` representation).
+    ///
+    /// The merge trie is first built keyed by symbol id — the hot join
+    /// compares and hashes integers, not strings — and converted to the
+    /// named trie once at the end, touching each symbol string once per
+    /// distinct trie node. Ids without a `symbols` entry render as
+    /// `sym#<id>` rather than panicking.
+    pub fn from_folded_ids(symbols: &[String], folded: &[(Vec<u32>, u64)]) -> FlameGraph {
+        #[derive(Default)]
+        struct IdNode {
+            self_ticks: u64,
+            total_ticks: u64,
+            children: HashMap<u32, IdNode>,
+        }
+        let mut root = IdNode::default();
+        for (path, ticks) in folded {
+            root.total_ticks += ticks;
+            let mut node = &mut root;
+            for id in path {
+                let child = node.children.entry(*id).or_default();
+                child.total_ticks += ticks;
+                node = child;
+            }
+            node.self_ticks += ticks;
+        }
+
+        fn convert(id: u32, node: IdNode, symbols: &[String]) -> Node {
+            let name = symbols
+                .get(id as usize)
+                .cloned()
+                .unwrap_or_else(|| format!("sym#{id}"));
+            let mut out = Node::new(&name);
+            out.self_ticks = node.self_ticks;
+            out.total_ticks = node.total_ticks;
+            for (cid, child) in node.children {
+                merge_child(&mut out.children, convert(cid, child, symbols));
+            }
+            out
+        }
+        // Distinct ids normally mean distinct names; if a caller hands in
+        // a symbol table with duplicates, same-named siblings merge rather
+        // than colliding.
+        fn merge_child(children: &mut BTreeMap<String, Node>, node: Node) {
+            match children.entry(node.name.clone()) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(node);
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let into = e.get_mut();
+                    into.self_ticks += node.self_ticks;
+                    into.total_ticks += node.total_ticks;
+                    for (_, child) in node.children {
+                        merge_child(&mut into.children, child);
+                    }
+                }
+            }
+        }
+
+        let mut named_root = Node::new("root");
+        named_root.self_ticks = root.self_ticks;
+        named_root.total_ticks = root.total_ticks;
+        for (cid, child) in root.children {
+            merge_child(&mut named_root.children, convert(cid, child, symbols));
+        }
+        FlameGraph { root: named_root }
     }
 
     /// Parse the textual folded format (`a;b;c 123` per line).
@@ -265,6 +333,42 @@ mod tests {
         let (path, frac) = sample().hottest_path();
         assert_eq!(path, vec!["main".to_string(), "compute".into()]);
         assert!((frac - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn folded_ids_build_the_same_graph_as_names() {
+        let symbols = vec![
+            "main".to_string(),
+            "io".to_string(),
+            "read".to_string(),
+            "write".to_string(),
+            "compute".to_string(),
+        ];
+        let by_ids = FlameGraph::from_folded_ids(
+            &symbols,
+            &[
+                (vec![0, 1, 2], 30),
+                (vec![0, 1, 3], 10),
+                (vec![0, 4], 50),
+                (vec![0], 10),
+            ],
+        );
+        assert_eq!(by_ids, sample());
+        assert_eq!(by_ids.to_folded(), sample().to_folded());
+    }
+
+    #[test]
+    fn folded_ids_tolerate_missing_and_duplicate_symbols() {
+        // Id 7 has no entry: placeholder, no panic.
+        let fg = FlameGraph::from_folded_ids(&["a".to_string()], &[(vec![0, 7], 5)]);
+        assert_eq!(fg.root().children["a"].children["sym#7"].self_ticks, 5);
+        // Two ids mapping to one name merge instead of colliding.
+        let dup = FlameGraph::from_folded_ids(
+            &["f".to_string(), "f".to_string()],
+            &[(vec![0], 3), (vec![1], 4)],
+        );
+        assert_eq!(dup.root().children["f"].self_ticks, 7);
+        assert_eq!(dup.total_ticks(), 7);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! The log can therefore be far smaller than the event stream: it rotates
 //! under the running program, and the rolling profile carries the truth.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use mcvm::debuginfo::DebugInfo;
@@ -26,8 +26,17 @@ use crate::snapshot::Snapshot;
 pub struct LiveRunConfig {
     /// Session policy (rotation watermark, refresh cadence).
     pub live: LiveConfig,
-    /// Pump the session every this many executed VM instructions.
+    /// Pump the session every this many executed VM instructions. With
+    /// [`LiveRunConfig::adaptive_pump`] set this is the *base* (slowest)
+    /// cadence; the driver tightens it when epochs run hot.
     pub pump_every_instructions: u64,
+    /// Derive the pump interval from the observed per-epoch fill rate:
+    /// when a pump drains a batch at or past the rotation watermark the
+    /// interval halves (the writers are outrunning the drainer), and when
+    /// epochs come back cool it relaxes toward the base. The interval only
+    /// ever *shrinks* below the configured base — adaptation can reduce
+    /// drops relative to the fixed cadence, never add them.
+    pub adaptive_pump: bool,
 }
 
 impl Default for LiveRunConfig {
@@ -35,6 +44,7 @@ impl Default for LiveRunConfig {
         LiveRunConfig {
             live: LiveConfig::default(),
             pump_every_instructions: 256,
+            adaptive_pump: true,
         }
     }
 }
@@ -65,15 +75,48 @@ pub struct LiveRun {
     pub output: Vec<String>,
     /// Total virtual cycles consumed.
     pub cycles: u64,
+    /// The pump interval (instructions) in effect when the run ended —
+    /// equals `pump_every_instructions` unless adaptation tightened it.
+    pub pump_interval_end: u64,
 }
 
-/// The pump: an instruction observer that hands the session CPU time at a
-/// fixed instruction cadence. It also keeps the raw drained stream for the
-/// replay log.
+/// The pump: an instruction observer that hands the session CPU time on an
+/// instruction cadence, optionally adapting the cadence to the observed
+/// per-epoch fill rate.
 struct SessionPump {
     session: Rc<RefCell<LiveSession>>,
+    /// Configured (slowest) interval.
+    base: u64,
+    /// Interval currently in effect, clamped to `[base/16, base]`.
     every: u64,
     since: u64,
+    adaptive: bool,
+    /// Log capacity in entries; together with the rotation watermark it
+    /// classifies a drained batch as hot or cool.
+    capacity: u64,
+    watermark_pct: u8,
+    /// Mirror of `every` readable after the VM swallows the observer.
+    interval_out: Rc<Cell<u64>>,
+}
+
+impl SessionPump {
+    /// Entries per pump at which the epoch is considered hot: the batch
+    /// reached the rotation watermark, meaning the writers filled the log
+    /// faster than the cadence drained it.
+    fn hot_threshold(&self) -> u64 {
+        (self.capacity * u64::from(self.watermark_pct) / 100).max(1)
+    }
+
+    fn adapt(&mut self, drained: u64) {
+        let floor = (self.base / 16).max(1);
+        if drained >= self.hot_threshold() {
+            self.every = (self.every / 2).max(floor);
+        } else if drained <= self.hot_threshold() / 2 {
+            // Cool epoch: relax back toward the base, never past it.
+            self.every = (self.every.saturating_mul(2)).min(self.base);
+        }
+        self.interval_out.set(self.every);
+    }
 }
 
 impl InstrObserver for SessionPump {
@@ -81,7 +124,10 @@ impl InstrObserver for SessionPump {
         self.since += 1;
         if self.since >= self.every {
             self.since = 0;
-            self.session.borrow_mut().pump();
+            let drained = self.session.borrow_mut().pump() as u64;
+            if self.adaptive {
+                self.adapt(drained);
+            }
         }
     }
 }
@@ -124,10 +170,17 @@ pub fn live_profile_program(
         .sim_hooks(vm.machine().clock().clone())
         .with_live_writes();
     vm.set_hooks(Box::new(hooks));
+    let base = live_config.pump_every_instructions.max(1);
+    let interval_out = Rc::new(Cell::new(base));
     vm.set_observer(Box::new(SessionPump {
         session: Rc::clone(&session),
-        every: live_config.pump_every_instructions.max(1),
+        base,
+        every: base,
         since: 0,
+        adaptive: live_config.adaptive_pump,
+        capacity: recorder_config.max_entries,
+        watermark_pct: live_config.live.policy.watermark_pct,
+        interval_out: Rc::clone(&interval_out),
     }));
     setup(&mut vm)?;
     let exit_code = vm.run()?;
@@ -155,6 +208,7 @@ pub fn live_profile_program(
         debug,
         output: vm.output().to_vec(),
         cycles: vm.machine().clock().now(),
+        pump_interval_end: interval_out.get(),
     })
 }
 
@@ -191,9 +245,11 @@ mod tests {
                 live: LiveConfig {
                     refresh_events: 20,
                     keep_replay: true,
+                    analyzer_shards: 2,
                     ..LiveConfig::default()
                 },
                 pump_every_instructions: 64,
+                adaptive_pump: true,
             },
             |_| Ok(()),
         )
@@ -282,11 +338,50 @@ mod tests {
             &LiveRunConfig {
                 live: LiveConfig::default(),
                 pump_every_instructions: 100_000,
+                adaptive_pump: false,
             },
             |_| Ok(()),
         )
         .unwrap();
         assert_eq!(run.events + run.dropped, 50);
         assert!(run.dropped > 0);
+    }
+
+    #[test]
+    fn adaptive_pump_never_drops_more_than_fixed() {
+        // A small log with a deliberately slow base cadence loses entries
+        // at the fixed interval. Adaptation only ever tightens the
+        // interval below the base, so at worst it pumps exactly like the
+        // fixed driver — it can reduce drops, never add them.
+        let base = 512;
+        let run_with = |adaptive: bool| {
+            live_profile_program(
+                compile_instrumented(SRC, &InstrumentOptions::default()).unwrap(),
+                CostModel::sgx_v1(),
+                RunConfig::default(),
+                &RecorderConfig {
+                    max_entries: 4,
+                    ..RecorderConfig::default()
+                },
+                &LiveRunConfig {
+                    live: LiveConfig::default(),
+                    pump_every_instructions: base,
+                    adaptive_pump: adaptive,
+                },
+                |_| Ok(()),
+            )
+            .unwrap()
+        };
+        let fixed = run_with(false);
+        let adaptive = run_with(true);
+        assert!(fixed.dropped > 0, "base cadence must be too slow here");
+        assert!(adaptive.dropped <= fixed.dropped);
+        // Every entry is accounted for, drained or dropped, either way.
+        assert_eq!(fixed.events + fixed.dropped, 50);
+        assert_eq!(adaptive.events + adaptive.dropped, 50);
+        // The reported interval stays inside the [base/16, base] clamp.
+        assert_eq!(fixed.pump_interval_end, base);
+        assert!(adaptive.pump_interval_end >= base / 16);
+        assert!(adaptive.pump_interval_end <= base);
     }
 }

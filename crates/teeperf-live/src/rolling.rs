@@ -4,51 +4,39 @@
 //! log. A [`RollingProfile`] does the same work one drained batch at a
 //! time: per-thread [`ResumableStacks`] carry open frames across epoch
 //! boundaries (a return may land many epochs after its call), and every
-//! completed call is merged immediately into per-method, folded-stack and
-//! caller-edge aggregates keyed by *address*. Symbolization is deferred to
+//! completed call is merged immediately into the batch analyzer's
+//! address-keyed [`Aggregates`] kernel — the same commutative merge the
+//! sharded batch path uses, so the rolling and batch profiles cannot
+//! drift apart. Symbolization is deferred to
 //! [`RollingProfile::snapshot`], which materializes a regular
 //! [`Profile`] — so reports, diffs and flame graphs reuse the batch
 //! machinery unchanged.
+//!
+//! Epoch merging can itself be sharded: [`RollingProfile::ingest_sharded`]
+//! fans the per-thread reconstruction of one drained batch out over scoped
+//! workers (threads are independent by construction), matching the batch
+//! analyzer's parallel path.
 //!
 //! Memory stays bounded by the number of distinct methods, stacks and
 //! threads — not by the number of events — which is what lets a session
 //! run indefinitely.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::BTreeMap;
 
-use teeperf_analyzer::profile::{Anomalies, CallerEdge, MethodStats, Profile};
+use teeperf_analyzer::profile::{partition_by_load, Aggregates, Anomalies, Profile};
 use teeperf_analyzer::reader::Event;
-use teeperf_analyzer::stacks::{CompletedCall, ResumableStacks, ThreadStacks};
+use teeperf_analyzer::stacks::{ResumableStacks, ThreadStacks};
 use teeperf_analyzer::symbolize::Symbolizer;
 use teeperf_core::layout::LogEntry;
 use teeperf_flamegraph::LiveStatus;
-
-/// Sentinel caller address for top-level frames (matches the batch
-/// aggregator's choice).
-const ROOT: u64 = u64::MAX;
-
-#[derive(Debug, Clone, Default)]
-struct RawMethod {
-    calls: u64,
-    inclusive: u64,
-    exclusive: u64,
-    min_inclusive: u64,
-    max_inclusive: u64,
-    threads: BTreeSet<u64>,
-}
 
 /// An endlessly updatable profile over a stream of log entries.
 #[derive(Debug, Default)]
 pub struct RollingProfile {
     threads: BTreeMap<u64, ResumableStacks>,
-    methods: HashMap<u64, RawMethod>,
-    folded: HashMap<Vec<u64>, u64>,
-    edges: HashMap<(u64, u64), (u64, u64, u64)>,
-    calls_per_thread: BTreeMap<u64, u64>,
+    agg: Aggregates,
     events: u64,
     incomplete: u64,
-    orphan_returns: u64,
-    truncated_frames: u64,
 }
 
 impl RollingProfile {
@@ -72,10 +60,19 @@ impl RollingProfile {
         self.threads.len() as u64
     }
 
-    /// Merge one drained batch. Entries arrive in log order, which within
-    /// each thread is that thread's program order — the only ordering the
-    /// reconstruction needs.
+    /// Merge one drained batch sequentially (equivalent to
+    /// [`RollingProfile::ingest_sharded`] with one shard).
     pub fn ingest(&mut self, entries: &[LogEntry]) {
+        self.ingest_sharded(entries, 1);
+    }
+
+    /// Merge one drained batch, fanning per-thread reconstruction out over
+    /// up to `shards` scoped workers. Entries arrive in log order, which
+    /// within each thread is that thread's program order — the only
+    /// ordering the reconstruction needs, and the reason threads can be
+    /// processed concurrently. The merged aggregate is identical to the
+    /// sequential path regardless of shard count.
+    pub fn ingest_sharded(&mut self, entries: &[LogEntry], shards: usize) {
         // Group per thread, preserving order (same dismissal rule as the
         // batch reader: all-zero records were reserved but never written).
         let mut per_tid: BTreeMap<u64, Vec<Event>> = BTreeMap::new();
@@ -92,9 +89,58 @@ impl RollingProfile {
                 seq: self.events,
             });
         }
-        for (tid, events) in per_tid {
-            let completed = self.threads.entry(tid).or_default().feed(&events);
-            self.absorb(tid, completed);
+        let shards = shards.max(1).min(per_tid.len().max(1));
+        if shards <= 1 {
+            for (tid, events) in per_tid {
+                let completed = self.threads.entry(tid).or_default().feed(&events);
+                self.agg.absorb(tid, &completed);
+            }
+            return;
+        }
+
+        // Parallel path: borrow each thread's resumable state mutably —
+        // the states are disjoint, one per tid — and let scoped workers
+        // feed their shard of threads concurrently.
+        for tid in per_tid.keys() {
+            self.threads.entry(*tid).or_default();
+        }
+        let mut work: Vec<(u64, &mut ResumableStacks, Vec<Event>)> = Vec::new();
+        let mut remaining = per_tid;
+        for (tid, state) in self.threads.iter_mut() {
+            if let Some(events) = remaining.remove(tid) {
+                work.push((*tid, state, events));
+            }
+        }
+        let loads: Vec<usize> = work.iter().map(|(_, _, events)| events.len()).collect();
+        let partition = partition_by_load(&loads, shards);
+        let mut slots: Vec<Option<(u64, &mut ResumableStacks, Vec<Event>)>> =
+            work.into_iter().map(Some).collect();
+        let mut completed: Vec<(u64, ThreadStacks)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = partition
+                .iter()
+                .map(|bucket| {
+                    let shard: Vec<(u64, &mut ResumableStacks, Vec<Event>)> = bucket
+                        .iter()
+                        .map(|i| slots[*i].take().expect("each index assigned once"))
+                        .collect();
+                    scope.spawn(move || {
+                        shard
+                            .into_iter()
+                            .map(|(tid, state, events)| (tid, state.feed(&events)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("rolling ingest shard panicked"))
+                .collect()
+        });
+        // Aggregate merging is commutative, but absorb in tid order anyway
+        // so the in-memory hash state is reproducible run to run.
+        completed.sort_by_key(|(tid, _)| *tid);
+        for (tid, batch) in completed {
+            self.agg.absorb(tid, &batch);
         }
     }
 
@@ -109,42 +155,8 @@ impl RollingProfile {
                 .get_mut(&tid)
                 .expect("tid listed above")
                 .finish();
-            self.absorb(tid, closed);
+            self.agg.absorb(tid, &closed);
         }
-    }
-
-    fn absorb(&mut self, tid: u64, batch: ThreadStacks) {
-        self.orphan_returns += batch.orphan_returns;
-        self.truncated_frames += batch.truncated_frames;
-        *self.calls_per_thread.entry(tid).or_default() += batch.calls.len() as u64;
-        for call in &batch.calls {
-            self.merge_call(tid, call);
-        }
-    }
-
-    fn merge_call(&mut self, tid: u64, call: &CompletedCall) {
-        let m = self.methods.entry(call.addr).or_insert_with(|| RawMethod {
-            min_inclusive: u64::MAX,
-            ..RawMethod::default()
-        });
-        m.calls += 1;
-        m.inclusive += call.inclusive();
-        m.exclusive += call.exclusive();
-        m.min_inclusive = m.min_inclusive.min(call.inclusive());
-        m.max_inclusive = m.max_inclusive.max(call.inclusive());
-        m.threads.insert(tid);
-        if call.exclusive() > 0 {
-            *self.folded.entry(call.stack.clone()).or_default() += call.exclusive();
-        }
-        let caller = if call.stack.len() >= 2 {
-            call.stack[call.stack.len() - 2]
-        } else {
-            ROOT
-        };
-        let e = self.edges.entry((caller, call.addr)).or_default();
-        e.0 += 1;
-        e.1 += call.inclusive();
-        e.2 += call.exclusive();
     }
 
     /// The one-line session state for the live renderer's banner.
@@ -167,83 +179,18 @@ impl RollingProfile {
     /// aggregation), so `per_thread_calls` maps every observed thread to an
     /// empty list — thread counts and all aggregates are still exact.
     pub fn snapshot(&self, symbolizer: &Symbolizer, dropped: u64) -> Profile {
-        let mut methods: Vec<MethodStats> = self
-            .methods
-            .iter()
-            .map(|(addr, raw)| MethodStats {
-                name: symbolizer.name_of(*addr),
-                addr: *addr,
-                calls: raw.calls,
-                inclusive: raw.inclusive,
-                exclusive: raw.exclusive,
-                min_inclusive: raw.min_inclusive,
-                max_inclusive: raw.max_inclusive,
-                threads: raw.threads.clone(),
-            })
-            .collect();
-        methods.sort_by(|a, b| b.exclusive.cmp(&a.exclusive).then(a.name.cmp(&b.name)));
-        let total_ticks = methods.iter().map(|m| m.exclusive).sum();
-
-        let mut folded: Vec<(Vec<String>, u64)> = self
-            .folded
-            .iter()
-            .map(|(path, ticks)| {
-                (
-                    path.iter().map(|a| symbolizer.name_of(*a)).collect(),
-                    *ticks,
-                )
-            })
-            .collect();
-        folded.sort();
-        folded.dedup_by(|a, b| {
-            if a.0 == b.0 {
-                b.1 += a.1;
-                true
-            } else {
-                false
-            }
-        });
-
-        let mut caller_edges: Vec<CallerEdge> = self
-            .edges
-            .iter()
-            .map(
-                |((caller, callee), (calls, inclusive, exclusive))| CallerEdge {
-                    caller: if *caller == ROOT {
-                        "<root>".to_string()
-                    } else {
-                        symbolizer.name_of(*caller)
-                    },
-                    callee: symbolizer.name_of(*callee),
-                    calls: *calls,
-                    inclusive: *inclusive,
-                    exclusive: *exclusive,
-                },
-            )
-            .collect();
-        caller_edges.sort_by(|a, b| {
-            b.inclusive.cmp(&a.inclusive).then_with(|| {
-                (a.caller.as_str(), a.callee.as_str()).cmp(&(b.caller.as_str(), b.callee.as_str()))
-            })
-        });
-
-        Profile {
-            methods,
-            folded,
-            caller_edges,
-            per_thread_calls: self
-                .calls_per_thread
-                .keys()
-                .map(|tid| (*tid, Vec::new()))
-                .collect(),
-            total_ticks,
-            anomalies: Anomalies {
-                orphan_returns: self.orphan_returns,
-                truncated_frames: self.truncated_frames,
+        let per_thread_calls: BTreeMap<u64, Vec<_>> =
+            self.agg.thread_ids().map(|tid| (tid, Vec::new())).collect();
+        self.agg.materialize(
+            symbolizer,
+            per_thread_calls,
+            Anomalies {
+                orphan_returns: self.agg.orphan_returns,
+                truncated_frames: self.agg.truncated_frames,
                 incomplete_entries: self.incomplete,
                 dropped_entries: dropped,
             },
-        }
+        )
     }
 }
 
@@ -321,9 +268,36 @@ mod tests {
             let batch = batch_profile(&entries);
             assert_eq!(live.methods, batch.methods, "chunk size {chunk}");
             assert_eq!(live.folded, batch.folded);
+            assert_eq!(live.folded_ids, batch.folded_ids);
+            assert_eq!(live.symbols, batch.symbols);
             assert_eq!(live.caller_edges, batch.caller_edges);
             assert_eq!(live.total_ticks, batch.total_ticks);
             assert_eq!(live.anomalies, batch.anomalies);
+        }
+    }
+
+    /// Sharded epoch merging must be indistinguishable from sequential
+    /// ingest, for every chunking and shard count.
+    #[test]
+    fn sharded_ingest_matches_sequential() {
+        let entries = sample_entries();
+        let sym = Symbolizer::without_relocation(debug());
+        let sequential = {
+            let mut rolling = RollingProfile::new();
+            rolling.ingest(&entries);
+            rolling.finish();
+            rolling.snapshot(&sym, 0)
+        };
+        for shards in [2usize, 3, 8] {
+            for chunk in [2usize, 3, 8] {
+                let mut rolling = RollingProfile::new();
+                for c in entries.chunks(chunk) {
+                    rolling.ingest_sharded(c, shards);
+                }
+                rolling.finish();
+                let live = rolling.snapshot(&sym, 0);
+                assert_eq!(live, sequential, "shards {shards}, chunk {chunk}");
+            }
         }
     }
 

@@ -30,6 +30,12 @@ pub struct LiveConfig {
     /// Off by default: the whole point of the rolling profile is that the
     /// session's memory does not grow with the stream.
     pub keep_replay: bool,
+    /// Fan each drained batch's per-thread reconstruction out over this
+    /// many analyzer shards (see
+    /// [`RollingProfile::ingest_sharded`]). Defaults to 1: pumps fire at
+    /// high frequency on small batches, where spawning workers costs more
+    /// than it saves — raise it for sessions draining large epochs.
+    pub analyzer_shards: usize,
 }
 
 impl Default for LiveConfig {
@@ -39,6 +45,7 @@ impl Default for LiveConfig {
             refresh_events: 2_000,
             width: 60,
             keep_replay: false,
+            analyzer_shards: 1,
         }
     }
 }
@@ -80,7 +87,8 @@ impl LiveSession {
         if self.config.keep_replay {
             self.replay.extend_from_slice(&batch.entries);
         }
-        self.rolling.ingest(&batch.entries);
+        self.rolling
+            .ingest_sharded(&batch.entries, self.config.analyzer_shards);
         if self.config.refresh_events > 0
             && self.rolling.events() - self.events_at_last_refresh >= self.config.refresh_events
         {
@@ -162,7 +170,8 @@ impl LiveSession {
             if self.config.keep_replay {
                 self.replay.extend_from_slice(&batch.entries);
             }
-            self.rolling.ingest(&batch.entries);
+            self.rolling
+                .ingest_sharded(&batch.entries, self.config.analyzer_shards);
         }
         self.rolling.finish();
         self.snapshot()
@@ -205,6 +214,7 @@ mod tests {
                 refresh_events: refresh,
                 width: 40,
                 keep_replay: false,
+                analyzer_shards: 2,
             },
         )
     }

@@ -146,6 +146,7 @@ mod string_match_convergence {
                     ..LiveConfig::default()
                 },
                 pump_every_instructions: 128,
+                adaptive_pump: true,
             },
             |vm| bench.setup(vm),
         )

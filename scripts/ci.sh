@@ -29,4 +29,12 @@ run cargo test -q --offline
 # The rest of the workspace.
 run cargo test -q --workspace --offline
 
+# Analyzer-throughput smoke: small log, shards {1,2}; asserts the JSON
+# artifact is written and the model speedup at 2 shards is >= 1.0. Results
+# go to a scratch dir so the checked-in full-scale JSON stays untouched.
+if [ "$mode" != "quick" ]; then
+  TEEPERF_RESULTS="$(mktemp -d)" \
+    run cargo run --release --offline -p bench --bin analyze_throughput -- --smoke
+fi
+
 echo "==> ci ok"
