@@ -266,7 +266,7 @@ fn bench_workload(
     // describe exactly one cold build; repeats use fresh clones.
     let cold = symbolizer.clone();
     let t2 = Instant::now();
-    let sequential = agg.materialize(&cold, per_thread.clone(), anomalies);
+    let mut sequential = agg.materialize(&cold, per_thread.clone(), anomalies);
     let mut t_merge = t2.elapsed();
     let stats = cold.cache_stats();
     for _ in 1..repeats.max(1) {
@@ -276,6 +276,10 @@ fn bench_workload(
         t_merge = t_merge.min(t.elapsed());
         assert_eq!(p, sequential, "{name}: materialize must be deterministic");
     }
+    // The hand-rolled phase pipeline ends at materialize; the public build
+    // additionally stamps the log's pid on the profile, so match it before
+    // comparing against rebuilds.
+    sequential.pids = std::collections::BTreeSet::from([log.header.pid]);
 
     let model_seq = t_group + t_seq_shard + t_merge;
     let (wall_seq, seq_rebuild) = min_time(repeats, || {

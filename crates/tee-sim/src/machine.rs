@@ -49,7 +49,11 @@ impl Machine {
             syscalls,
             stats: MachineStats::default(),
             shm: None,
-            pid: 4242,
+            // World setup stamps the real host process id so the simulated
+            // `getpid` (and any log header derived from it) carries a real,
+            // nonzero id; multi-process simulations override it per machine
+            // with `set_pid`.
+            pid: u64::from(std::process::id()),
             cost,
         }
     }

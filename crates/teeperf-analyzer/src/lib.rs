@@ -36,7 +36,7 @@ pub mod symbolize;
 pub use compare::diff;
 
 pub use profile::Aggregates;
-pub use profile::{MethodStats, Profile};
+pub use profile::{merge_profiles, MethodStats, Profile};
 pub use query::frame::{Column, Frame};
 pub use query::run_query;
 pub use reader::{AnalyzeError, ThreadEvents};
@@ -97,9 +97,12 @@ impl Analyzer {
     }
 
     /// Build the full method-level profile, sharded over the configured
-    /// number of analyzer threads.
+    /// number of analyzer threads. Batch analysis goes through the same
+    /// [`teeperf_core::EventSource`] layer as continuous profiling: the
+    /// log is replayed through a [`teeperf_core::FileReplaySource`].
     pub fn profile(&self) -> Profile {
-        profile::build_with_shards(&self.log, &self.symbolizer, self.threads)
+        let mut source = teeperf_core::FileReplaySource::new(&self.log);
+        profile::build_from_source(&mut source, &self.symbolizer, self.threads)
     }
 
     /// Raw events as a queryable dataframe with columns

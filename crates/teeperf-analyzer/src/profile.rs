@@ -16,7 +16,8 @@ use crate::query::frame::Frame;
 use crate::reader::{self, Event};
 use crate::stacks::{self, CompletedCall, ThreadStacks};
 use crate::symbolize::{SymId, Symbolizer};
-use teeperf_core::LogFile;
+use teeperf_core::layout::LogEntry;
+use teeperf_core::{EventSource, LogFile};
 
 /// Sentinel caller address for top-level frames.
 pub const ROOT_ADDR: u64 = u64::MAX;
@@ -96,6 +97,10 @@ pub struct Profile {
     pub total_ticks: u64,
     /// Data-quality counters.
     pub anomalies: Anomalies,
+    /// Process ids this profile covers (one for a single-log build, the
+    /// union for a [`merge_profiles`] result; empty when the producer did
+    /// not stamp a process dimension, e.g. a bare rolling aggregate).
+    pub pids: BTreeSet<u64>,
 }
 
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -285,25 +290,7 @@ impl Aggregates {
         // plain sort fully determines the order.
         folded.sort();
 
-        // Profile-local symbol table: ids in order of first appearance in
-        // the sorted folded list, deterministic by construction.
-        let mut symbols: Vec<String> = Vec::new();
-        let mut local: HashMap<String, u32> = HashMap::new();
-        let folded_ids: Vec<(Vec<u32>, u64)> = folded
-            .iter()
-            .map(|(path, ticks)| {
-                let ids = path
-                    .iter()
-                    .map(|name| {
-                        *local.entry(name.clone()).or_insert_with(|| {
-                            symbols.push(name.clone());
-                            u32::try_from(symbols.len() - 1).expect("fewer than 2^32 symbols")
-                        })
-                    })
-                    .collect();
-                (ids, *ticks)
-            })
-            .collect();
+        let (symbols, folded_ids) = intern_folded(&folded);
 
         // Caller edges keep their address pair through the sort as the
         // final tiebreak, making the order total even when distinct
@@ -348,8 +335,33 @@ impl Aggregates {
             per_thread_calls,
             total_ticks,
             anomalies,
+            pids: BTreeSet::new(),
         }
     }
+}
+
+/// Build the profile-local symbol table over sorted folded stacks: ids in
+/// order of first appearance, deterministic by construction. Shared by
+/// [`Aggregates::materialize`] and [`merge_profiles`].
+fn intern_folded(folded: &[(Vec<String>, u64)]) -> (Vec<String>, Vec<(Vec<u32>, u64)>) {
+    let mut symbols: Vec<String> = Vec::new();
+    let mut local: HashMap<String, u32> = HashMap::new();
+    let folded_ids: Vec<(Vec<u32>, u64)> = folded
+        .iter()
+        .map(|(path, ticks)| {
+            let ids = path
+                .iter()
+                .map(|name| {
+                    *local.entry(name.clone()).or_insert_with(|| {
+                        symbols.push(name.clone());
+                        u32::try_from(symbols.len() - 1).expect("fewer than 2^32 symbols")
+                    })
+                })
+                .collect();
+            (ids, *ticks)
+        })
+        .collect();
+    (symbols, folded_ids)
 }
 
 /// What one shard worker produces: the mergeable aggregate plus the
@@ -402,10 +414,55 @@ pub fn build(log: &LogFile, symbolizer: &Symbolizer) -> Profile {
 /// sequential build (`shards == 1` or a single-thread log short-circuits
 /// to the sequential path).
 pub fn build_with_shards(log: &LogFile, symbolizer: &Symbolizer, shards: usize) -> Profile {
-    let grouped = reader::group_by_thread(log);
+    build_entries(
+        &log.entries,
+        log.header.pid,
+        log.header.dropped_entries(),
+        symbolizer,
+        shards,
+    )
+}
+
+/// Build the profile by draining an [`EventSource`] to exhaustion (for a
+/// live source: until a forced rotation comes back empty — the writers
+/// must have stopped). This is the path batch analysis shares with the
+/// live session registry: a plog replayed through a
+/// [`teeperf_core::FileReplaySource`] lands here.
+pub fn build_from_source(
+    source: &mut dyn EventSource,
+    symbolizer: &Symbolizer,
+    shards: usize,
+) -> Profile {
+    let mut entries = Vec::new();
+    loop {
+        let batch = source.drain_to_end();
+        if batch.entries.is_empty() && batch.dropped == 0 {
+            break;
+        }
+        entries.extend(batch.entries);
+    }
+    build_entries(
+        &entries,
+        source.pid(),
+        source.dropped_total(),
+        symbolizer,
+        shards,
+    )
+}
+
+/// Build the profile over raw entries from process `pid` (the shared core
+/// of [`build_with_shards`] and [`build_from_source`]).
+pub fn build_entries(
+    entries: &[LogEntry],
+    pid: u64,
+    dropped: u64,
+    symbolizer: &Symbolizer,
+    shards: usize,
+) -> Profile {
+    let grouped = reader::group_entries(entries);
     let anomalies_base = Anomalies {
         incomplete_entries: grouped.incomplete,
-        dropped_entries: log.header.dropped_entries(),
+        dropped_entries: dropped,
         ..Anomalies::default()
     };
     let threads: Vec<(u64, Vec<Event>)> = grouped.threads.into_iter().collect();
@@ -454,7 +511,128 @@ pub fn build_with_shards(log: &LogFile, symbolizer: &Symbolizer, shards: usize) 
         truncated_frames: agg.truncated_frames,
         ..anomalies_base
     };
-    agg.materialize(symbolizer, per_thread_calls, anomalies)
+    let mut profile = agg.materialize(symbolizer, per_thread_calls, anomalies);
+    profile.pids = BTreeSet::from([pid]);
+    profile
+}
+
+/// Key for a thread of process `pid` in a cross-process merged profile:
+/// thread ids are only unique within a process, so the merged view
+/// namespaces them as `pid << 32 | tid` (truncating tids to 32 bits).
+pub fn merged_thread_key(pid: u64, tid: u64) -> u64 {
+    (pid << 32) | (tid & 0xffff_ffff)
+}
+
+/// Merge per-process profiles into one cross-process view.
+///
+/// Each part is `(pid, profile)`. Different processes may load the same
+/// function at different addresses (and different functions at the same
+/// address), so the merge keys methods, folded stacks, and caller edges by
+/// *name*, taking the smallest address as the representative; threads and
+/// per-thread calls are re-keyed with [`merged_thread_key`]. Every counter
+/// is summed, so the merged totals equal the sum of the per-process
+/// totals, and every table is finished with the same total sorts as
+/// [`Aggregates::materialize`]. Merging is commutative: part order does
+/// not affect the result.
+pub fn merge_profiles(parts: &[(u64, &Profile)]) -> Profile {
+    let mut methods: HashMap<String, MethodStats> = HashMap::new();
+    let mut folded_acc: HashMap<Vec<String>, u64> = HashMap::new();
+    let mut edges: HashMap<(String, String), (u64, u64, u64)> = HashMap::new();
+    let mut per_thread_calls: BTreeMap<u64, Vec<CompletedCall>> = BTreeMap::new();
+    let mut anomalies = Anomalies::default();
+    let mut pids: BTreeSet<u64> = BTreeSet::new();
+    let mut total_ticks = 0u64;
+
+    for (pid, p) in parts {
+        pids.insert(*pid);
+        pids.extend(p.pids.iter().copied());
+        total_ticks += p.total_ticks;
+        anomalies.orphan_returns += p.anomalies.orphan_returns;
+        anomalies.truncated_frames += p.anomalies.truncated_frames;
+        anomalies.incomplete_entries += p.anomalies.incomplete_entries;
+        anomalies.dropped_entries += p.anomalies.dropped_entries;
+        for m in &p.methods {
+            let e = methods
+                .entry(m.name.clone())
+                .or_insert_with(|| MethodStats {
+                    name: m.name.clone(),
+                    addr: m.addr,
+                    calls: 0,
+                    inclusive: 0,
+                    exclusive: 0,
+                    min_inclusive: u64::MAX,
+                    max_inclusive: 0,
+                    threads: BTreeSet::new(),
+                });
+            e.addr = e.addr.min(m.addr);
+            e.calls += m.calls;
+            e.inclusive += m.inclusive;
+            e.exclusive += m.exclusive;
+            e.min_inclusive = e.min_inclusive.min(m.min_inclusive);
+            e.max_inclusive = e.max_inclusive.max(m.max_inclusive);
+            e.threads
+                .extend(m.threads.iter().map(|t| merged_thread_key(*pid, *t)));
+        }
+        for (path, ticks) in &p.folded {
+            *folded_acc.entry(path.clone()).or_default() += ticks;
+        }
+        for edge in &p.caller_edges {
+            let e = edges
+                .entry((edge.caller.clone(), edge.callee.clone()))
+                .or_default();
+            e.0 += edge.calls;
+            e.1 += edge.inclusive;
+            e.2 += edge.exclusive;
+        }
+        for (tid, calls) in &p.per_thread_calls {
+            per_thread_calls
+                .entry(merged_thread_key(*pid, *tid))
+                .or_default()
+                .extend(calls.iter().cloned());
+        }
+    }
+
+    let mut methods: Vec<MethodStats> = methods.into_values().collect();
+    methods.sort_by(|a, b| {
+        b.exclusive
+            .cmp(&a.exclusive)
+            .then_with(|| a.name.cmp(&b.name))
+            .then_with(|| a.addr.cmp(&b.addr))
+    });
+    let mut folded: Vec<(Vec<String>, u64)> = folded_acc.into_iter().collect();
+    folded.sort();
+    let (symbols, folded_ids) = intern_folded(&folded);
+    let mut caller_edges: Vec<CallerEdge> = edges
+        .into_iter()
+        .map(
+            |((caller, callee), (calls, inclusive, exclusive))| CallerEdge {
+                caller,
+                callee,
+                calls,
+                inclusive,
+                exclusive,
+            },
+        )
+        .collect();
+    // Name pairs are unique keys here, so no address tiebreak is needed
+    // for a total order.
+    caller_edges.sort_by(|a, b| {
+        b.inclusive.cmp(&a.inclusive).then_with(|| {
+            (a.caller.as_str(), a.callee.as_str()).cmp(&(b.caller.as_str(), b.callee.as_str()))
+        })
+    });
+
+    Profile {
+        methods,
+        folded,
+        symbols,
+        folded_ids,
+        caller_edges,
+        per_thread_calls,
+        total_ticks,
+        anomalies,
+        pids,
+    }
 }
 
 impl Profile {

@@ -83,12 +83,17 @@ pub(crate) fn is_incomplete(e: &LogEntry) -> bool {
 }
 
 /// Group the log's entries by thread, dismissing incomplete records.
+pub fn group_by_thread(log: &LogFile) -> ThreadEvents {
+    group_entries(&log.entries)
+}
+
+/// Group raw entries by thread, dismissing incomplete records (the core of
+/// [`group_by_thread`], shared with the event-source build path).
 ///
 /// Two passes: a counting pass sizes every per-thread vector exactly, then
 /// a fill pass copies events straight through without ever reallocating.
-pub fn group_by_thread(log: &LogFile) -> ThreadEvents {
+pub fn group_entries(entries: &[LogEntry]) -> ThreadEvents {
     let mut out = ThreadEvents::default();
-    let entries = &log.entries[..];
 
     // Counting pass: exact per-thread capacities (each bounded by the
     // header's tail reservation), so the fill pass allocates once per

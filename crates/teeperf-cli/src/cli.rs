@@ -5,11 +5,12 @@ use std::fmt::Write as _;
 
 use mcvm::{DebugInfo, RunConfig};
 use tee_sim::{CostModel, TeeKind};
+use teeperf_analyzer::symbolize::Symbolizer;
 use teeperf_analyzer::Analyzer;
 use teeperf_compiler::{compile_instrumented, profile_program, run_native, InstrumentOptions};
-use teeperf_core::{LogFile, RecorderConfig};
+use teeperf_core::{EventSource, FileReplaySource, LogFile, RecorderConfig};
 use teeperf_flamegraph::{FlameGraph, SvgOptions};
-use teeperf_live::DrainPolicy;
+use teeperf_live::{DrainPolicy, LiveConfig, SessionRegistry, Snapshot};
 
 /// A CLI failure with a user-facing message.
 #[derive(Debug)]
@@ -30,10 +31,11 @@ fn err(msg: impl Into<String>) -> CliError {
 const USAGE: &str = "usage:
   teeperf compile <prog.mc> [--out <prog.tpo>] [--instrument yes|no] [--only <fn,fn>]
   teeperf run <prog.mc|prog.tpo> [--arch <kind>]
-  teeperf record <prog.mc|prog.tpo> [--arch <kind>] [--out <base>] [--max-entries <n>]
+  teeperf record <prog.mc|prog.tpo> [--arch <kind>] [--out <base>] [--max-entries <n>] [--pid <n>]
   teeperf live <prog.mc|prog.tpo> [--arch <kind>] [--max-entries <n>] [--watermark <pct>]
                [--refresh <events>] [--frames yes|no] [--svg <file>] [--out <base>]
-               [--analyzer-threads <n>]
+               [--analyzer-threads <n>] [--follow-pids <n>]
+  teeperf live --logs <a,b,c> [--watermark <pct>] [--svg <file>] [--out <base>]
   teeperf analyze <base.tpf> <base.sym> [--analyzer-threads <n>]
   teeperf query <base.tpf> <base.sym> <query> [--analyzer-threads <n>]
   teeperf flamegraph <base.tpf> <base.sym> [--svg <file>] [--title <t>] [--analyzer-threads <n>]
@@ -44,6 +46,8 @@ const USAGE: &str = "usage:
 architectures: native, sgx-v1, sgx-v2, trustzone, sev, keystone
 query example: \"select method, calls, excl where excl > 100 sort excl desc limit 10\"
 --analyzer-threads: analysis worker shards; 0 or omitted = all available cores
+--follow-pids n: run the program as n simulated processes under one session registry
+--logs a,b,c: replay recorded logs (<base>.tpf + <base>.sym) as one multi-process session
 ";
 
 /// Minimal flag parser: positional args plus `--flag value` pairs.
@@ -228,6 +232,16 @@ fn cmd_record(args: &Args<'_>) -> Result<String, CliError> {
             .map_err(|_| err(format!("bad --max-entries `{v}`")))?,
         None => 1 << 20,
     };
+    // The header is stamped with the recording process's real pid unless
+    // overridden (simulated multi-process recordings need distinct pids).
+    let pid: u64 = match args.flag("pid") {
+        Some(v) => v
+            .parse()
+            .ok()
+            .filter(|p| *p != 0)
+            .ok_or_else(|| err(format!("bad --pid `{v}` (want a nonzero integer)")))?,
+        None => RecorderConfig::default().pid,
+    };
     let program = load_program(&path, true)?;
     let run = profile_program(
         program,
@@ -235,6 +249,7 @@ fn cmd_record(args: &Args<'_>) -> Result<String, CliError> {
         RunConfig::default(),
         &RecorderConfig {
             max_entries,
+            pid,
             ..RecorderConfig::default()
         },
         |_| Ok(()),
@@ -265,32 +280,44 @@ fn cmd_record(args: &Args<'_>) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `--max-entries` for live sessions. Live mode exists to run unbounded
+/// sessions over a *small* log, so the default capacity is three orders of
+/// magnitude below `record`'s.
+fn live_max_entries(args: &Args<'_>) -> Result<u64, CliError> {
+    match args.flag("max-entries") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| err(format!("bad --max-entries `{v}`"))),
+        None => Ok(1 << 10),
+    }
+}
+
+fn live_watermark(args: &Args<'_>) -> Result<u8, CliError> {
+    match args.flag("watermark") {
+        Some(v) => v
+            .parse()
+            .ok()
+            .filter(|p| (1..=99).contains(p))
+            .ok_or_else(|| err(format!("bad --watermark `{v}` (want 1..=99)"))),
+        None => Ok(DrainPolicy::default().watermark_pct),
+    }
+}
+
 fn cmd_live(args: &Args<'_>) -> Result<String, CliError> {
+    if let Some(logs) = args.flag("logs") {
+        return cmd_live_logs(args, logs);
+    }
+    if let Some(n) = args.flag("follow-pids") {
+        return cmd_live_follow(args, n);
+    }
     let path = args
         .positional
         .first()
         .ok_or_else(|| err(format!("missing program path\n\n{USAGE}")))?;
     let cost = args.arch()?;
     let kind = cost.kind;
-    // Live mode exists to run unbounded sessions over a *small* log, so the
-    // default capacity is three orders of magnitude below `record`'s.
-    let max_entries: u64 = match args.flag("max-entries") {
-        Some(v) => v
-            .parse()
-            .map_err(|_| err(format!("bad --max-entries `{v}`")))?,
-        None => 1 << 10,
-    };
-    let watermark_pct: u8 = match args.flag("watermark") {
-        Some(v) => {
-            let pct = v
-                .parse()
-                .ok()
-                .filter(|p| (1..=99).contains(p))
-                .ok_or_else(|| err(format!("bad --watermark `{v}` (want 1..=99)")))?;
-            pct
-        }
-        None => DrainPolicy::default().watermark_pct,
-    };
+    let max_entries = live_max_entries(args)?;
+    let watermark_pct = live_watermark(args)?;
     let refresh_events: u64 = match args.flag("refresh") {
         Some(v) => v.parse().map_err(|_| err(format!("bad --refresh `{v}`")))?,
         None => 2_000,
@@ -361,6 +388,164 @@ fn cmd_live(args: &Args<'_>) -> Result<String, CliError> {
             .map_err(|e| err(format!("{snap_path}: {e}")))?;
         writeln!(out, "wrote {snap_path}").expect("writing to string");
     }
+    Ok(out)
+}
+
+/// Shared tail of the multi-process live commands: per-pid banners, the
+/// merged per-process flame view, and the optional `--svg` / `--out` files
+/// (the `.live` file carries the *merged* snapshot, `[processes]` section
+/// included).
+fn multi_session_output(
+    out: &mut String,
+    per_pid: &std::collections::BTreeMap<u64, Snapshot>,
+    merged: &Snapshot,
+    args: &Args<'_>,
+) -> Result<(), CliError> {
+    for (pid, snap) in per_pid {
+        writeln!(out, "pid {pid}: {}", snap.status.banner()).expect("writing to string");
+    }
+    let parts: Vec<teeperf_flamegraph::PidFolded> = per_pid
+        .iter()
+        .map(|(pid, s)| (*pid, s.profile.folded.as_slice()))
+        .collect();
+    out.push_str(&teeperf_flamegraph::live::render_ascii_multi(
+        &parts,
+        &merged.status,
+        60,
+    ));
+    if let Some(svg_path) = args.flag("svg") {
+        let svg = teeperf_flamegraph::live::render_svg_multi(
+            &parts,
+            &merged.status,
+            &SvgOptions::default().with_title("TEE-Perf multi-process live session"),
+        );
+        std::fs::write(svg_path, svg).map_err(|e| err(format!("{svg_path}: {e}")))?;
+        writeln!(out, "wrote {svg_path}").expect("writing to string");
+    }
+    if let Some(base) = args.flag("out") {
+        let snap_path = format!("{base}.live");
+        std::fs::write(&snap_path, merged.to_text())
+            .map_err(|e| err(format!("{snap_path}: {e}")))?;
+        writeln!(out, "wrote {snap_path}").expect("writing to string");
+    }
+    Ok(())
+}
+
+/// `teeperf live <prog> --follow-pids <n>`: run the program as `n`
+/// simulated processes (pids from the real host pid upward) under one
+/// session registry.
+fn cmd_live_follow(args: &Args<'_>, count: &str) -> Result<String, CliError> {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| err(format!("missing program path\n\n{USAGE}")))?;
+    let count: u64 = count
+        .parse()
+        .ok()
+        .filter(|c| (1..=64).contains(c))
+        .ok_or_else(|| err(format!("bad --follow-pids `{count}` (want 1..=64)")))?;
+    let cost = args.arch()?;
+    let kind = cost.kind;
+    let max_entries = live_max_entries(args)?;
+    let watermark_pct = live_watermark(args)?;
+    let program = load_program(path, true)?;
+    let base_pid = u64::from(std::process::id());
+    let pids: Vec<u64> = (0..count).map(|i| base_pid + i).collect();
+    let run = teeperf_live::live_profile_processes(
+        &program,
+        &cost,
+        &RunConfig::default(),
+        &RecorderConfig {
+            max_entries,
+            ..RecorderConfig::default()
+        },
+        &teeperf_live::LiveRunConfig {
+            live: LiveConfig {
+                policy: DrainPolicy { watermark_pct },
+                refresh_events: 0,
+                analyzer_shards: args.analyzer_threads()?.max(1),
+                ..LiveConfig::default()
+            },
+            ..teeperf_live::LiveRunConfig::default()
+        },
+        &pids,
+    )
+    .map_err(|e| err(e.to_string()))?;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{count} simulated processes on {kind} (pids {base_pid}..={}): {} events, {} dropped",
+        base_pid + count - 1,
+        run.events,
+        run.dropped
+    )
+    .expect("writing to string");
+    multi_session_output(&mut out, &run.per_pid, &run.merged, args)?;
+    Ok(out)
+}
+
+/// `teeperf live --logs a,b,c`: replay recorded logs (each `<base>.tpf`
+/// with its `<base>.sym`) through the live pipeline as one multi-process
+/// session, keyed by the pids in the log headers.
+fn cmd_live_logs(args: &Args<'_>, logs: &str) -> Result<String, CliError> {
+    let watermark_pct = live_watermark(args)?;
+    let mut registry = SessionRegistry::new(LiveConfig {
+        policy: DrainPolicy { watermark_pct },
+        refresh_events: 0,
+        analyzer_shards: args.analyzer_threads()?.max(1),
+        ..LiveConfig::default()
+    });
+    let bases: Vec<&str> = logs
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    if bases.is_empty() {
+        return Err(err(format!("--logs needs at least one <base>\n\n{USAGE}")));
+    }
+    let mut out = String::new();
+    for base in &bases {
+        let base = base.trim_end_matches(".tpf");
+        let log_path = format!("{base}.tpf");
+        let sym_path = format!("{base}.sym");
+        let log = LogFile::load(&log_path).map_err(|e| err(format!("{log_path}: {e}")))?;
+        let sym_text =
+            std::fs::read_to_string(&sym_path).map_err(|e| err(format!("{sym_path}: {e}")))?;
+        let debug = DebugInfo::from_text(&sym_text)
+            .ok_or_else(|| err(format!("{sym_path}: malformed symbol file")))?;
+        let symbolizer = Symbolizer::new(debug, &log.header);
+        let mut source = FileReplaySource::new(&log);
+        // Several files recorded by the same process collide on the header
+        // pid; remap to the next free pid and say so rather than refusing.
+        let original = source.pid();
+        let taken = registry.pids();
+        let mut pid = original.max(1);
+        while taken.contains(&pid) {
+            pid += 1;
+        }
+        if pid != original {
+            source = source.with_pid(pid);
+            writeln!(
+                out,
+                "note: {log_path} reports pid {original}; replaying as pid {pid}"
+            )
+            .expect("writing to string");
+        }
+        registry
+            .attach(Box::new(source), symbolizer)
+            .map_err(|e| err(e.to_string()))?;
+    }
+    while registry.pump() > 0 {}
+    let run = registry.finish();
+    writeln!(
+        out,
+        "replayed {} logs: {} events, {} dropped",
+        bases.len(),
+        run.merged.status.events,
+        run.merged.status.dropped
+    )
+    .expect("writing to string");
+    multi_session_output(&mut out, &run.per_pid, &run.merged, args)?;
     Ok(out)
 }
 
@@ -708,6 +893,89 @@ mod tests {
 
         assert!(dispatch(&strs(&["live", &prog, "--watermark", "0"])).is_err());
         assert!(dispatch(&strs(&["live", &prog, "--max-entries", "x"])).is_err());
+    }
+
+    #[test]
+    fn follow_pids_runs_a_multi_process_session() {
+        let dir = tmpdir();
+        let prog = dir.join("multi.mc");
+        std::fs::write(
+            &prog,
+            "fn work(n: int) -> int { let s: int = 0; for (let i: int = 0; i < n; i = i + 1) { s = s + i; } return s; }
+             fn main() -> int { let acc: int = 0; for (let r: int = 0; r < 20; r = r + 1) { acc = acc + work(10); } print_int(acc); return 0; }",
+        )
+        .unwrap();
+        let prog = prog.to_str().unwrap().to_string();
+        let base = dir.join("multi").to_str().unwrap().to_string();
+
+        // 42 events per process × 3 processes through 8-entry logs.
+        let out = dispatch(&strs(&[
+            "live",
+            &prog,
+            "--follow-pids",
+            "3",
+            "--max-entries",
+            "8",
+            "--out",
+            &base,
+        ]))
+        .unwrap();
+        assert!(out.contains("3 simulated processes"), "{out}");
+        assert!(out.contains("126 events, 0 dropped"), "{out}");
+        let host = u64::from(std::process::id());
+        for pid in host..host + 3 {
+            assert!(out.contains(&format!("pid {pid}")), "{out}");
+        }
+        let snap_text = std::fs::read_to_string(format!("{base}.live")).unwrap();
+        assert!(snap_text.contains("[processes]"), "{snap_text}");
+        assert!(snap_text.contains(&format!("pid {host}\n")), "{snap_text}");
+
+        assert!(dispatch(&strs(&["live", &prog, "--follow-pids", "0"])).is_err());
+        assert!(dispatch(&strs(&["live", &prog, "--follow-pids", "x"])).is_err());
+    }
+
+    #[test]
+    fn logs_replay_merges_recordings_as_processes() {
+        let dir = tmpdir();
+        let prog = dir.join("replay.mc");
+        std::fs::write(
+            &prog,
+            "fn f(x: int) -> int { return x * 2; }
+             fn main() -> int { print_int(f(21)); return 0; }",
+        )
+        .unwrap();
+        let prog = prog.to_str().unwrap().to_string();
+        let base_a = dir.join("proc_a").to_str().unwrap().to_string();
+        let base_b = dir.join("proc_b").to_str().unwrap().to_string();
+        dispatch(&strs(&["record", &prog, "--out", &base_a, "--pid", "71"])).unwrap();
+        dispatch(&strs(&["record", &prog, "--out", &base_b, "--pid", "72"])).unwrap();
+        assert!(dispatch(&strs(&["record", &prog, "--pid", "0"])).is_err());
+
+        let merged = dir.join("replay").to_str().unwrap().to_string();
+        let out = dispatch(&strs(&[
+            "live",
+            "--logs",
+            &format!("{base_a},{base_b}"),
+            "--out",
+            &merged,
+        ]))
+        .unwrap();
+        assert!(
+            out.contains("replayed 2 logs: 8 events, 0 dropped"),
+            "{out}"
+        );
+        assert!(out.contains("pid 71"), "{out}");
+        assert!(out.contains("pid 72"), "{out}");
+        let snap_text = std::fs::read_to_string(format!("{merged}.live")).unwrap();
+        assert!(
+            snap_text.contains("[processes]\npid 71\npid 72\n"),
+            "{snap_text}"
+        );
+
+        // Colliding pids are remapped, not refused.
+        let out = dispatch(&strs(&["live", "--logs", &format!("{base_a},{base_a}")])).unwrap();
+        assert!(out.contains("replaying as pid 72"), "{out}");
+        assert!(dispatch(&strs(&["live", "--logs", " , "])).is_err());
     }
 
     #[test]

@@ -84,6 +84,13 @@ pub const FLAG_MULTITHREAD: u64 = 1 << 16;
 const VERSION_SHIFT: u32 = 17;
 const VERSION_MASK: u64 = 0x7fff;
 
+/// The reserved "no process" pid. A correctly initialized log always
+/// stamps the recording process's real id into the pid word; a session
+/// registry keys its sources by that word and rejects `PID_UNSET` (a zero
+/// pid means the header was never initialized, and two such logs would
+/// collide on the registry key).
+pub const PID_UNSET: u64 = 0;
+
 /// Entry word 0: the call/return discriminator bit.
 pub const ENTRY_KIND_BIT: u64 = 1 << 63;
 /// Entry word 0: mask of the counter-value bits.
@@ -170,6 +177,11 @@ impl LogHeader {
     /// Entries lost because the log filled up.
     pub fn dropped_entries(&self) -> u64 {
         self.tail.saturating_sub(self.size)
+    }
+
+    /// Whether the pid word carries a real process id (see [`PID_UNSET`]).
+    pub fn has_valid_pid(&self) -> bool {
+        self.pid != PID_UNSET
     }
 }
 

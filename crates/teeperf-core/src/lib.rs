@@ -45,6 +45,7 @@ pub mod log;
 pub mod plog;
 pub mod recorder;
 pub mod select;
+pub mod source;
 
 pub use api::{FunctionId, Probe, Profiler};
 pub use counter::{CounterSource, SimCounter, SpinCounter, TscCounter};
@@ -55,3 +56,4 @@ pub use log::{LogCursor, RotationOutcome, SharedLog};
 pub use plog::{PartitionedHooks, PartitionedLog};
 pub use recorder::{Recorder, RecorderConfig};
 pub use select::SelectiveFilter;
+pub use source::{EventSource, FileReplaySource, LiveLogSource, SourceBatch};

@@ -17,7 +17,9 @@ use crate::select::SelectiveFilter;
 pub struct RecorderConfig {
     /// Log capacity in entries (each 24 bytes of untrusted memory).
     pub max_entries: u64,
-    /// Process id stamped into the header.
+    /// Process id stamped into the header (defaults to the recording
+    /// process's real id; a session registry keys its sources by this
+    /// word, so simulated multi-process runs override it per "process").
     pub pid: u64,
     /// Whether the application is multithreaded (sets the header bit).
     pub multithread: bool,
@@ -30,7 +32,7 @@ impl Default for RecorderConfig {
     fn default() -> Self {
         RecorderConfig {
             max_entries: 1 << 20,
-            pid: 4242,
+            pid: u64::from(std::process::id()),
             multithread: true,
             anchor: tee_sim::ENCLAVE_TEXT_BASE,
         }
@@ -138,7 +140,8 @@ mod tests {
         let r = Recorder::new(&RecorderConfig::default());
         let f = r.finish();
         assert!(f.entries.is_empty());
-        assert_eq!(f.header.pid, 4242);
+        assert_eq!(f.header.pid, u64::from(std::process::id()));
+        assert!(f.header.has_valid_pid(), "real pid must be stamped");
         assert!(!f.header.active, "finish must deactivate");
     }
 

@@ -1,0 +1,417 @@
+//! The ingestion abstraction: every consumer — the batch analyzer, the
+//! live drainer, the multi-process session registry — speaks to an
+//! [`EventSource`] instead of a concrete log.
+//!
+//! Two implementations cover both halves of the pipeline:
+//!
+//! * [`LiveLogSource`] drains a [`SharedLog`] that writers are still
+//!   appending to, reusing the lock-free [`SharedLog::poll`] /
+//!   [`SharedLog::rotate`] machinery (it owns the single drain cursor the
+//!   rotation protocol requires).
+//! * [`FileReplaySource`] replays a persisted [`LogFile`] as if it were
+//!   being drained live, so batch analysis of a directory of plogs goes
+//!   through the exact same code path as continuous profiling.
+//!
+//! Each source is keyed by the process id stamped into the log header
+//! (paper Figure 2, word 1): a session registry multiplexes N sources —
+//! one per profiled process — by that pid.
+
+use crate::file::LogFile;
+use crate::layout::LogEntry;
+use crate::log::{LogCursor, SharedLog};
+
+/// One pump's worth of entries from an [`EventSource`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SourceBatch {
+    /// Entries obtained this pump, in log order.
+    pub entries: Vec<LogEntry>,
+    /// Whether this pump closed an epoch (rotated the log / finished a
+    /// replay chunk).
+    pub rotated: bool,
+    /// Entries the closed epoch dropped on overflow (0 if no rotation).
+    pub dropped: u64,
+    /// Epoch the source is positioned in after this pump.
+    pub epoch: u64,
+}
+
+/// A stream of profiling events from one profiled process.
+///
+/// Implementations own whatever cursor or position state the underlying
+/// transport needs; callers never see a raw log. The contract mirrors the
+/// live drain protocol:
+///
+/// * [`EventSource::pump`] is the incremental step — cheap, may return an
+///   empty batch, never blocks on writers.
+/// * [`EventSource::drain_to_end`] forces everything currently available
+///   out (a rotation for live logs, the full remainder for replays).
+/// * [`EventSource::pid`] is the registry key: the process id from the
+///   log header. A valid source never reports pid 0 (see
+///   [`crate::layout::PID_UNSET`]).
+pub trait EventSource: Send + std::fmt::Debug {
+    /// Process id of the producer (the log header's pid word).
+    fn pid(&self) -> u64;
+
+    /// One incremental drain step. For live logs this polls published
+    /// entries and rotates only past the capacity watermark; for replays
+    /// it yields the next chunk.
+    fn pump(&mut self) -> SourceBatch;
+
+    /// Force out everything currently available (rotate a live log even
+    /// below the watermark; emit the whole remainder of a replay).
+    fn drain_to_end(&mut self) -> SourceBatch;
+
+    /// Entries dropped on overflow over the lifetime of the source.
+    fn dropped_total(&self) -> u64;
+
+    /// Epoch the source is currently positioned in.
+    fn epoch(&self) -> u64;
+
+    /// Whether the source can never produce another entry. Live logs are
+    /// never exhausted (writers may still arrive); replays are exhausted
+    /// once every entry and drop has been reported.
+    fn is_exhausted(&self) -> bool;
+}
+
+/// Live shared-memory drain: the [`EventSource`] over a [`SharedLog`]
+/// whose writers are still running. Owns the drain cursor; at most one
+/// `LiveLogSource` may exist per log (the rotation protocol is
+/// single-drainer).
+#[derive(Debug)]
+pub struct LiveLogSource {
+    log: SharedLog,
+    cursor: LogCursor,
+    watermark_pct: u8,
+    rotations: u64,
+    drained: u64,
+}
+
+impl LiveLogSource {
+    /// Wrap `log`, rotating whenever the tail reaches `watermark_pct`
+    /// percent of capacity (clamped to `1..=99`).
+    pub fn new(log: SharedLog, watermark_pct: u8) -> LiveLogSource {
+        let cursor = LogCursor {
+            epoch: log.epoch(),
+            index: 0,
+        };
+        LiveLogSource {
+            log,
+            cursor,
+            watermark_pct: watermark_pct.clamp(1, 99),
+            rotations: 0,
+            drained: 0,
+        }
+    }
+
+    /// The underlying shared log.
+    pub fn log(&self) -> &SharedLog {
+        &self.log
+    }
+
+    /// Completed rotations performed by this source.
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    /// Total entries this source has produced.
+    pub fn drained(&self) -> u64 {
+        self.drained
+    }
+
+    fn watermark_entries(&self) -> u64 {
+        (self.log.capacity() * u64::from(self.watermark_pct) / 100).max(1)
+    }
+
+    fn rotate(&mut self, batch: &mut SourceBatch) {
+        let out = self.log.rotate(&mut self.cursor);
+        batch.entries.extend(out.entries);
+        batch.rotated = true;
+        batch.dropped = out.dropped;
+        batch.epoch = out.new_epoch;
+        self.rotations += 1;
+    }
+}
+
+impl EventSource for LiveLogSource {
+    fn pid(&self) -> u64 {
+        self.log.header().pid
+    }
+
+    fn pump(&mut self) -> SourceBatch {
+        let mut batch = SourceBatch {
+            entries: self.log.poll(&mut self.cursor),
+            rotated: false,
+            dropped: 0,
+            epoch: self.cursor.epoch,
+        };
+        if self.log.header().tail >= self.watermark_entries() {
+            self.rotate(&mut batch);
+        }
+        self.drained += batch.entries.len() as u64;
+        batch
+    }
+
+    fn drain_to_end(&mut self) -> SourceBatch {
+        let mut batch = SourceBatch {
+            entries: self.log.poll(&mut self.cursor),
+            rotated: false,
+            dropped: 0,
+            epoch: self.cursor.epoch,
+        };
+        self.rotate(&mut batch);
+        self.drained += batch.entries.len() as u64;
+        batch
+    }
+
+    fn dropped_total(&self) -> u64 {
+        self.log.dropped_total()
+    }
+
+    fn epoch(&self) -> u64 {
+        self.cursor.epoch
+    }
+
+    fn is_exhausted(&self) -> bool {
+        false
+    }
+}
+
+/// File-backed replay: the [`EventSource`] over a persisted [`LogFile`].
+/// Yields the recorded entries in chunks (one chunk per "epoch") and
+/// reports the file's overflow drops exactly once, with the batch that
+/// exhausts the source.
+#[derive(Debug, Clone)]
+pub struct FileReplaySource {
+    pid: u64,
+    entries: Vec<LogEntry>,
+    pos: usize,
+    chunk: usize,
+    dropped: u64,
+    dropped_reported: bool,
+    epochs: u64,
+}
+
+impl FileReplaySource {
+    /// Replay `log`. The pid and drop count come from the file header; by
+    /// default the whole file is one chunk (see
+    /// [`FileReplaySource::with_chunk`]).
+    pub fn new(log: &LogFile) -> FileReplaySource {
+        let dropped = log.header.dropped_entries();
+        FileReplaySource {
+            pid: log.header.pid,
+            entries: log.entries.clone(),
+            pos: 0,
+            chunk: log.entries.len().max(1),
+            dropped,
+            dropped_reported: dropped == 0,
+            epochs: 0,
+        }
+    }
+
+    /// Override the pid this source reports (used to disambiguate several
+    /// files recorded by the same process).
+    pub fn with_pid(mut self, pid: u64) -> FileReplaySource {
+        self.pid = pid;
+        self
+    }
+
+    /// Replay at most `chunk` entries per pump (clamped to at least 1), so
+    /// a replay exercises the same incremental path as a live drain.
+    pub fn with_chunk(mut self, chunk: usize) -> FileReplaySource {
+        self.chunk = chunk.max(1);
+        self
+    }
+
+    /// Entries not yet replayed.
+    pub fn remaining(&self) -> usize {
+        self.entries.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> SourceBatch {
+        let end = (self.pos + n).min(self.entries.len());
+        let entries = self.entries[self.pos..end].to_vec();
+        self.pos = end;
+        let mut batch = SourceBatch {
+            entries,
+            rotated: false,
+            dropped: 0,
+            epoch: self.epochs,
+        };
+        if self.pos == self.entries.len() && !self.dropped_reported {
+            batch.dropped = self.dropped;
+            self.dropped_reported = true;
+        }
+        if !batch.entries.is_empty() || batch.dropped > 0 {
+            self.epochs += 1;
+            batch.rotated = true;
+            batch.epoch = self.epochs;
+        }
+        batch
+    }
+}
+
+impl EventSource for FileReplaySource {
+    fn pid(&self) -> u64 {
+        self.pid
+    }
+
+    fn pump(&mut self) -> SourceBatch {
+        self.take(self.chunk)
+    }
+
+    fn drain_to_end(&mut self) -> SourceBatch {
+        self.take(self.entries.len() - self.pos)
+    }
+
+    fn dropped_total(&self) -> u64 {
+        self.dropped
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epochs
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.pos == self.entries.len() && self.dropped_reported
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{EventKind, LogHeader, LOG_VERSION};
+    use crate::log::{make_header, region_bytes};
+    use std::sync::Arc;
+    use tee_sim::SharedMem;
+
+    fn entry(counter: u64, addr: u64) -> LogEntry {
+        LogEntry {
+            kind: EventKind::Call,
+            counter,
+            addr,
+            tid: 0,
+        }
+    }
+
+    fn live_log(pid: u64, max_entries: u64) -> SharedLog {
+        let shm = Arc::new(SharedMem::new(region_bytes(max_entries)));
+        SharedLog::init(shm, &make_header(pid, max_entries, true, 0, 0))
+    }
+
+    #[test]
+    fn live_source_pumps_and_rotates_at_watermark() {
+        let log = live_log(7, 8);
+        let mut src = LiveLogSource::new(log.clone(), 75);
+        assert_eq!(src.pid(), 7);
+        assert!(!src.is_exhausted());
+        for k in 1..=3u64 {
+            log.write_live(&entry(k, 0x100 + k));
+        }
+        // Below the watermark (6 of 8): poll only, no rotation.
+        let b = src.pump();
+        assert_eq!(b.entries.len(), 3);
+        assert!(!b.rotated);
+        assert_eq!(src.epoch(), 0);
+        for k in 4..=6u64 {
+            log.write_live(&entry(k, 0x100 + k));
+        }
+        // At the watermark: poll + rotate.
+        let b = src.pump();
+        assert_eq!(b.entries.len(), 3);
+        assert!(b.rotated);
+        assert_eq!(b.epoch, 1);
+        assert_eq!(src.rotations(), 1);
+        assert_eq!(src.drained(), 6);
+    }
+
+    #[test]
+    fn live_source_drain_to_end_forces_rotation() {
+        let log = live_log(7, 8);
+        let mut src = LiveLogSource::new(log.clone(), 75);
+        log.write_live(&entry(1, 0x101));
+        let b = src.drain_to_end();
+        assert_eq!(b.entries.len(), 1);
+        assert!(b.rotated);
+        assert_eq!(log.epoch(), 1);
+        assert_eq!(src.dropped_total(), 0);
+    }
+
+    #[test]
+    fn replay_source_single_chunk() {
+        let header = LogHeader {
+            active: false,
+            trace_calls: true,
+            trace_returns: true,
+            multithread: false,
+            version: LOG_VERSION,
+            pid: 31,
+            size: 4,
+            tail: 6, // 2 dropped
+            anchor: 0,
+            shm_addr: 0,
+        };
+        let file = LogFile::new(header, vec![entry(1, 0xa), entry(2, 0xb)]);
+        let mut src = FileReplaySource::new(&file);
+        assert_eq!(src.pid(), 31);
+        assert_eq!(src.dropped_total(), 2);
+        assert!(!src.is_exhausted());
+        let b = src.pump();
+        assert_eq!(b.entries.len(), 2);
+        assert!(b.rotated);
+        assert_eq!(b.dropped, 2, "drops reported with the exhausting batch");
+        assert!(src.is_exhausted());
+        let b = src.pump();
+        assert!(b.entries.is_empty() && b.dropped == 0);
+    }
+
+    #[test]
+    fn replay_source_chunked_reports_drops_once() {
+        let header = LogHeader {
+            active: false,
+            trace_calls: true,
+            trace_returns: true,
+            multithread: false,
+            version: LOG_VERSION,
+            pid: 31,
+            size: 3,
+            tail: 4,
+            anchor: 0,
+            shm_addr: 0,
+        };
+        let file = LogFile::new(header, vec![entry(1, 0xa), entry(2, 0xb), entry(3, 0xc)]);
+        let mut src = FileReplaySource::new(&file).with_chunk(2).with_pid(99);
+        assert_eq!(src.pid(), 99);
+        let b1 = src.pump();
+        assert_eq!(b1.entries.len(), 2);
+        assert_eq!(b1.dropped, 0);
+        assert_eq!(src.remaining(), 1);
+        let b2 = src.drain_to_end();
+        assert_eq!(b2.entries.len(), 1);
+        assert_eq!(b2.dropped, 1);
+        assert!(src.is_exhausted());
+        let total: u64 = b1.dropped + b2.dropped + src.pump().dropped;
+        assert_eq!(total, 1, "drops must be reported exactly once");
+    }
+
+    #[test]
+    fn replay_of_empty_file_with_drops_still_reports_them() {
+        let header = LogHeader {
+            active: false,
+            trace_calls: true,
+            trace_returns: true,
+            multithread: false,
+            version: LOG_VERSION,
+            pid: 5,
+            size: 0,
+            tail: 3,
+            anchor: 0,
+            shm_addr: 0,
+        };
+        let file = LogFile::new(header, vec![]);
+        let mut src = FileReplaySource::new(&file);
+        assert!(!src.is_exhausted());
+        let b = src.pump();
+        assert!(b.entries.is_empty());
+        assert_eq!(b.dropped, 3);
+        assert!(src.is_exhausted());
+    }
+}

@@ -20,7 +20,7 @@ pub mod svg;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
-pub use live::LiveStatus;
+pub use live::{LiveStatus, PidFolded};
 pub use palette::Palette;
 pub use svg::SvgOptions;
 

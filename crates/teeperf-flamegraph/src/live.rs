@@ -61,6 +61,46 @@ pub fn render_svg(
     graph.to_svg(&opts)
 }
 
+/// One process's folded stacks, keyed by its pid — the per-process slice
+/// handed to the multi-process renderers.
+pub type PidFolded<'a> = (u64, &'a [(Vec<String>, u64)]);
+
+/// Group several processes' folded stacks under per-process root frames:
+/// each pid's stacks are prefixed with a synthetic `pid <n>` frame, so the
+/// flame graph of the result shows one tower per process whose width is
+/// that process's share of the merged session. The output is sorted (the
+/// invariant the flame-graph trie builders expect).
+pub fn merge_folded_by_process(parts: &[PidFolded<'_>]) -> Vec<(Vec<String>, u64)> {
+    let mut out = Vec::new();
+    for (pid, folded) in parts {
+        let root = format!("pid {pid}");
+        for (path, ticks) in folded.iter() {
+            let mut prefixed = Vec::with_capacity(path.len() + 1);
+            prefixed.push(root.clone());
+            prefixed.extend(path.iter().cloned());
+            out.push((prefixed, *ticks));
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Render a multi-process session for a terminal: the merged status banner
+/// plus one per-process tower (see [`merge_folded_by_process`]).
+pub fn render_ascii_multi(parts: &[PidFolded<'_>], status: &LiveStatus, width: usize) -> String {
+    render_ascii(&merge_folded_by_process(parts), status, width)
+}
+
+/// Render a multi-process session as SVG, one per-process tower, merged
+/// status banner as the subtitle.
+pub fn render_svg_multi(
+    parts: &[PidFolded<'_>],
+    status: &LiveStatus,
+    options: &SvgOptions,
+) -> String {
+    render_svg(&merge_folded_by_process(parts), status, options)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,5 +146,37 @@ mod tests {
         assert!(out.contains("rolling profile"));
         assert!(out.contains("epoch 3"));
         assert!(out.contains("work"));
+    }
+
+    #[test]
+    fn per_process_grouping_prefixes_pid_roots() {
+        let a = folded();
+        let b = vec![(vec!["main".into()], 40u64)];
+        let merged = merge_folded_by_process(&[(11, a.as_slice()), (22, b.as_slice())]);
+        assert_eq!(merged.len(), 3);
+        assert!(merged.iter().any(|(p, t)| p
+            == &vec!["pid 11".to_string(), "main".into(), "work".into()]
+            && *t == 80));
+        assert!(merged
+            .iter()
+            .any(|(p, t)| p == &vec!["pid 22".to_string(), "main".into()] && *t == 40));
+        let total: u64 = merged.iter().map(|(_, t)| t).sum();
+        assert_eq!(total, 140, "grouping must preserve every tick");
+        let mut sorted = merged.clone();
+        sorted.sort();
+        assert_eq!(sorted, merged, "output must be sorted");
+    }
+
+    #[test]
+    fn multi_render_shows_one_tower_per_process() {
+        let a = folded();
+        let b = vec![(vec!["main".into()], 40u64)];
+        let parts = [(11u64, a.as_slice()), (22u64, b.as_slice())];
+        let ascii = render_ascii_multi(&parts, &status(), 60);
+        assert!(ascii.contains("pid 11"));
+        assert!(ascii.contains("pid 22"));
+        let svg = render_svg_multi(&parts, &status(), &SvgOptions::default());
+        assert!(svg.contains("pid 11"));
+        assert!(svg.contains("pid 22"));
     }
 }

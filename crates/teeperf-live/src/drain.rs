@@ -1,15 +1,18 @@
-//! The streaming log drainer.
+//! The streaming event-source drainer.
 //!
 //! Batch TEE-Perf stops the writers and drains once. A [`Drainer`] instead
-//! consumes the shared log *while the writers keep appending*: it holds the
-//! single persistent [`LogCursor`] over the log, polls published entries
-//! without any synchronization beyond the publication order, and rotates
-//! the log (quiesce writers, reset tail, bump epoch) before the current
-//! epoch can overflow. Overflow that does happen is accounted explicitly —
-//! the stream reports how many entries it lost, it never silently stops.
+//! consumes an [`EventSource`] incrementally: for the common live case the
+//! source is a [`LiveLogSource`] holding the single persistent cursor over
+//! the shared log (polling published entries, rotating before the epoch
+//! can overflow), but any source — e.g. a
+//! [`teeperf_core::FileReplaySource`] replaying a persisted plog — plugs in
+//! behind the same pump. Overflow that does happen is accounted
+//! explicitly: the stream reports how many entries it lost, it never
+//! silently stops.
 
-use teeperf_core::layout::LogEntry;
-use teeperf_core::{LogCursor, SharedLog};
+use teeperf_core::{EventSource, LiveLogSource, SharedLog};
+
+pub use teeperf_core::SourceBatch as DrainBatch;
 
 /// When the drainer forces a rotation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,55 +32,45 @@ impl Default for DrainPolicy {
     }
 }
 
-/// One pump of the drainer: what arrived, and whether the log rotated.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct DrainBatch {
-    /// Entries drained, in log order (per-thread program order).
-    pub entries: Vec<LogEntry>,
-    /// Whether this pump closed an epoch.
-    pub rotated: bool,
-    /// Entries the closed epoch dropped on overflow (0 unless `rotated`).
-    pub dropped: u64,
-    /// Epoch open for writers after this pump.
-    pub epoch: u64,
-}
-
-/// The host-side consumer of a live [`SharedLog`]. Exactly one drainer may
-/// exist per log: it owns the read cursor, and only the cursor owner may
-/// rotate.
+/// The host-side consumer of one [`EventSource`]. For live logs exactly
+/// one drainer may exist per log: the wrapped [`LiveLogSource`] owns the
+/// read cursor, and only the cursor owner may rotate.
 #[derive(Debug)]
 pub struct Drainer {
-    log: SharedLog,
-    cursor: LogCursor,
-    policy: DrainPolicy,
+    source: Box<dyn EventSource>,
     rotations: u64,
     drained: u64,
 }
 
 impl Drainer {
-    /// Attach a drainer with its cursor at the start of the current epoch.
+    /// Attach a drainer to a live log, with its cursor at the start of the
+    /// current epoch.
     pub fn new(log: SharedLog, policy: DrainPolicy) -> Drainer {
-        let cursor = LogCursor {
-            epoch: log.epoch(),
-            index: 0,
-        };
+        Drainer::from_source(Box::new(LiveLogSource::new(log, policy.watermark_pct)))
+    }
+
+    /// Attach a drainer to an arbitrary event source.
+    pub fn from_source(source: Box<dyn EventSource>) -> Drainer {
         Drainer {
-            log,
-            cursor,
-            policy,
+            source,
             rotations: 0,
             drained: 0,
         }
     }
 
-    /// The shared log this drainer consumes.
-    pub fn log(&self) -> &SharedLog {
-        &self.log
+    /// The event source this drainer consumes.
+    pub fn source(&self) -> &dyn EventSource {
+        self.source.as_ref()
     }
 
-    /// Epoch the cursor is positioned in.
+    /// Process id of the producer behind the source.
+    pub fn pid(&self) -> u64 {
+        self.source.pid()
+    }
+
+    /// Epoch the source is positioned in.
     pub fn epoch(&self) -> u64 {
-        self.cursor.epoch
+        self.source.epoch()
     }
 
     /// Rotations this drainer has performed.
@@ -92,12 +85,15 @@ impl Drainer {
 
     /// Cumulative dropped entries (all epochs, including the current one).
     pub fn dropped_total(&self) -> u64 {
-        self.log.dropped_total()
+        self.source.dropped_total()
     }
 
-    /// Reserved slots in the current epoch at which the policy rotates.
-    fn watermark_entries(&self) -> u64 {
-        (self.log.capacity() * u64::from(self.policy.watermark_pct) / 100).max(1)
+    fn account(&mut self, batch: DrainBatch) -> DrainBatch {
+        if batch.rotated {
+            self.rotations += 1;
+        }
+        self.drained += batch.entries.len() as u64;
+        batch
     }
 
     /// One drain step: poll everything published since the last pump, and
@@ -105,38 +101,16 @@ impl Drainer {
     /// the writers (rotation makes them spin only for the bounded quiesce +
     /// drain window).
     pub fn pump(&mut self) -> DrainBatch {
-        let mut batch = DrainBatch {
-            entries: self.log.poll(&mut self.cursor),
-            ..DrainBatch::default()
-        };
-        if self.log.header().tail >= self.watermark_entries() {
-            let out = self.log.rotate(&mut self.cursor);
-            batch.entries.extend(out.entries);
-            batch.rotated = true;
-            batch.dropped = out.dropped;
-            self.rotations += 1;
-        }
-        batch.epoch = self.cursor.epoch;
-        self.drained += batch.entries.len() as u64;
-        batch
+        let batch = self.source.pump();
+        self.account(batch)
     }
 
     /// Force a rotation now, regardless of the watermark — the final drain
     /// at the end of a session, when the writers have stopped (or to get a
     /// consistent snapshot mid-run).
     pub fn rotate_now(&mut self) -> DrainBatch {
-        let mut batch = DrainBatch {
-            entries: self.log.poll(&mut self.cursor),
-            ..DrainBatch::default()
-        };
-        let out = self.log.rotate(&mut self.cursor);
-        batch.entries.extend(out.entries);
-        batch.rotated = true;
-        batch.dropped = out.dropped;
-        batch.epoch = self.cursor.epoch;
-        self.rotations += 1;
-        self.drained += batch.entries.len() as u64;
-        batch
+        let batch = self.source.drain_to_end();
+        self.account(batch)
     }
 }
 
@@ -145,8 +119,9 @@ mod tests {
     use super::*;
     use std::sync::Arc;
     use tee_sim::SharedMem;
-    use teeperf_core::layout::EventKind;
+    use teeperf_core::layout::{EventKind, LogEntry};
     use teeperf_core::log::{make_header, region_bytes};
+    use teeperf_core::FileReplaySource;
 
     fn fresh(max_entries: u64) -> SharedLog {
         let shm = Arc::new(SharedMem::new(region_bytes(max_entries)));
@@ -234,5 +209,22 @@ mod tests {
         first.rotate_now();
         let second = Drainer::new(log, DrainPolicy::default());
         assert_eq!(second.epoch(), 2);
+    }
+
+    #[test]
+    fn drains_a_file_replay_source_through_the_same_pump() {
+        let log = fresh(8);
+        for k in 1..=3 {
+            log.write_live(&entry(k));
+        }
+        let file = teeperf_core::LogFile::new(log.header(), log.drain_entries());
+        let mut d = Drainer::from_source(Box::new(FileReplaySource::new(&file).with_chunk(2)));
+        assert_eq!(d.pid(), 1);
+        let b = d.pump();
+        assert_eq!(b.entries.len(), 2);
+        let b = d.rotate_now();
+        assert_eq!(b.entries.len(), 1);
+        assert_eq!(d.drained(), 3);
+        assert!(d.source().is_exhausted());
     }
 }

@@ -10,14 +10,18 @@
 //! under the running program, and the rolling profile carries the truth.
 
 use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
 use std::rc::Rc;
 
 use mcvm::debuginfo::DebugInfo;
 use mcvm::{InstrObserver, McError, RunConfig, SampleCtx, Vm};
 use tee_sim::{CostModel, Machine};
 use teeperf_analyzer::symbolize::Symbolizer;
-use teeperf_core::{LogFile, Recorder, RecorderConfig};
+use teeperf_core::{LiveLogSource, LogFile, Recorder, RecorderConfig};
 
+use crate::registry::{AttachError, SessionRegistry};
 use crate::session::{LiveConfig, LiveSession};
 use crate::snapshot::Snapshot;
 
@@ -212,6 +216,141 @@ pub fn live_profile_program(
     })
 }
 
+/// Why a multi-process live run failed.
+#[derive(Debug)]
+pub enum MultiLiveError {
+    /// A simulated process could not be attached to the registry (zero or
+    /// duplicate pid).
+    Attach(AttachError),
+    /// One of the program runs trapped.
+    Run(McError),
+}
+
+impl fmt::Display for MultiLiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MultiLiveError::Attach(e) => write!(f, "attach failed: {e}"),
+            MultiLiveError::Run(e) => write!(f, "program run failed: {e}"),
+        }
+    }
+}
+
+impl Error for MultiLiveError {}
+
+impl From<AttachError> for MultiLiveError {
+    fn from(e: AttachError) -> MultiLiveError {
+        MultiLiveError::Attach(e)
+    }
+}
+
+impl From<McError> for MultiLiveError {
+    fn from(e: McError) -> MultiLiveError {
+        MultiLiveError::Run(e)
+    }
+}
+
+/// Result of a multi-process live run.
+#[derive(Debug)]
+pub struct MultiLiveRun {
+    /// `main`'s return value for each simulated process, in `pids` order.
+    pub exit_codes: Vec<i64>,
+    /// Final per-process snapshots, keyed by pid.
+    pub per_pid: BTreeMap<u64, Snapshot>,
+    /// The cross-process merge: totals equal the sum over `per_pid`.
+    pub merged: Snapshot,
+    /// Events merged across all processes.
+    pub events: u64,
+    /// Events lost to overflow across all processes (accounted).
+    pub dropped: u64,
+}
+
+/// The registry pump: hands every attached session CPU time on an
+/// instruction cadence while one of the simulated processes runs.
+struct RegistryPump {
+    registry: Rc<RefCell<SessionRegistry>>,
+    every: u64,
+    since: u64,
+}
+
+impl InstrObserver for RegistryPump {
+    fn observe(&mut self, _machine: &mut Machine, _ctx: &SampleCtx<'_>) {
+        self.since += 1;
+        if self.since >= self.every {
+            self.since = 0;
+            self.registry.borrow_mut().pump();
+        }
+    }
+}
+
+/// Run `program` once per entry of `pids` — each run a simulated process
+/// with its own recorder, shared log and pid — under one
+/// [`SessionRegistry`]: every log is drained by its own session, and the
+/// result carries per-pid snapshots plus the merged cross-process view
+/// (whose totals are exactly the per-pid sums).
+///
+/// Runs are sequential (the simulator is single-threaded) but every
+/// session stays attached for the whole span, so the registry's pump
+/// keeps draining earlier processes' logs while later ones execute —
+/// the deterministic equivalent of N enclaves sharing one host drainer.
+///
+/// # Errors
+/// [`MultiLiveError::Attach`] when a pid is zero or repeated;
+/// [`MultiLiveError::Run`] when a program run traps.
+pub fn live_profile_processes(
+    program: &mcvm::CompiledProgram,
+    cost: &CostModel,
+    run_config: &RunConfig,
+    recorder_config: &RecorderConfig,
+    live_config: &LiveRunConfig,
+    pids: &[u64],
+) -> Result<MultiLiveRun, MultiLiveError> {
+    let debug = program.debug.clone();
+    let anchor = debug
+        .functions()
+        .first()
+        .map_or(tee_sim::ENCLAVE_TEXT_BASE, |f| f.base_addr);
+    let registry = Rc::new(RefCell::new(SessionRegistry::new(live_config.live.clone())));
+    let mut exit_codes = Vec::with_capacity(pids.len());
+
+    for &pid in pids {
+        let mut config = recorder_config.clone();
+        config.pid = pid;
+        config.anchor = anchor;
+        let recorder = Recorder::new(&config);
+        let header = recorder.log().header();
+        let symbolizer = Symbolizer::new(debug.clone(), &header);
+        let source = LiveLogSource::new(
+            recorder.log().clone(),
+            live_config.live.policy.watermark_pct,
+        );
+        registry.borrow_mut().attach(Box::new(source), symbolizer)?;
+
+        let mut machine = Machine::new(cost.clone());
+        machine.set_pid(pid);
+        let mut vm = Vm::with_config(program.clone(), machine, run_config.clone());
+        recorder.attach(vm.machine_mut());
+        let hooks = recorder
+            .sim_hooks(vm.machine().clock().clone())
+            .with_live_writes();
+        vm.set_hooks(Box::new(hooks));
+        vm.set_observer(Box::new(RegistryPump {
+            registry: Rc::clone(&registry),
+            every: live_config.pump_every_instructions.max(1),
+            since: 0,
+        }));
+        exit_codes.push(vm.run()?);
+    }
+
+    let run = registry.borrow_mut().finish();
+    Ok(MultiLiveRun {
+        exit_codes,
+        events: run.merged.status.events,
+        dropped: run.merged.status.dropped,
+        per_pid: run.per_pid,
+        merged: run.merged,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -383,5 +522,61 @@ mod tests {
         assert_eq!(fixed.pump_interval_end, base);
         assert!(adaptive.pump_interval_end >= base / 16);
         assert!(adaptive.pump_interval_end <= base);
+    }
+
+    fn multi_run(pids: &[u64]) -> Result<MultiLiveRun, MultiLiveError> {
+        live_profile_processes(
+            &compile_instrumented(SRC, &InstrumentOptions::default()).unwrap(),
+            &CostModel::sgx_v1(),
+            &RunConfig::default(),
+            &RecorderConfig {
+                max_entries: 16,
+                ..RecorderConfig::default()
+            },
+            &LiveRunConfig {
+                pump_every_instructions: 64,
+                ..LiveRunConfig::default()
+            },
+            pids,
+        )
+    }
+
+    #[test]
+    fn three_processes_yield_per_pid_and_merged_views() {
+        let run = multi_run(&[101, 102, 103]).unwrap();
+        assert_eq!(run.exit_codes, vec![8 * (780 + 190); 3]);
+        assert_eq!(run.per_pid.len(), 3);
+        for (pid, snap) in &run.per_pid {
+            assert_eq!(snap.status.events, 50, "pid {pid}");
+            assert_eq!(snap.status.dropped, 0, "pid {pid}");
+            assert_eq!(snap.status.open_frames, 0, "pid {pid}");
+        }
+        // The acceptance criterion: merged totals equal the per-pid sums.
+        assert_eq!(run.events, 150);
+        let ticks_sum: u64 = run.per_pid.values().map(|s| s.profile.total_ticks).sum();
+        assert_eq!(run.merged.profile.total_ticks, ticks_sum);
+        let calls = |p: &teeperf_analyzer::Profile, name: &str| p.method(name).unwrap().calls;
+        assert_eq!(calls(&run.merged.profile, "leaf"), 3 * 16);
+        assert_eq!(
+            run.merged.profile.pids,
+            std::collections::BTreeSet::from([101, 102, 103])
+        );
+        // Identical processes: every per-pid profile agrees method-wise.
+        let first = &run.per_pid[&101].profile;
+        for snap in run.per_pid.values() {
+            assert_eq!(snap.profile.methods, first.methods);
+        }
+    }
+
+    #[test]
+    fn multi_run_rejects_zero_and_duplicate_pids() {
+        match multi_run(&[0]) {
+            Err(MultiLiveError::Attach(AttachError::ZeroPid)) => {}
+            other => panic!("expected ZeroPid, got {other:?}"),
+        }
+        match multi_run(&[9, 9]) {
+            Err(MultiLiveError::Attach(AttachError::DuplicatePid(9))) => {}
+            other => panic!("expected DuplicatePid, got {other:?}"),
+        }
     }
 }

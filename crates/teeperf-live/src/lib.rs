@@ -23,15 +23,31 @@
 //!   program with the rotation-aware hooks while an instruction-cadence
 //!   observer pumps the session (the deterministic, in-process equivalent
 //!   of a host drainer thread). Backs the `teeperf live` CLI subcommand.
+//!   [`live_profile_processes`] runs N simulated processes under one
+//!   registry.
+//! * [`registry`] — the multi-process layer: a [`SessionRegistry`] keys
+//!   one session per [`teeperf_core::EventSource`] by the pid in its log
+//!   header, and merges the per-pid rolling profiles into a cross-process
+//!   view whose totals are exactly the per-pid sums.
+//! * [`native`] — [`NativeLiveSession`]: continuous profiling of native
+//!   Rust workloads under a *real* spin-counter thread, through the same
+//!   session machinery.
 
 pub mod drain;
 pub mod driver;
+pub mod native;
+pub mod registry;
 pub mod rolling;
 pub mod session;
 pub mod snapshot;
 
 pub use drain::{DrainBatch, DrainPolicy, Drainer};
-pub use driver::{live_profile_program, LiveRun, LiveRunConfig};
+pub use driver::{
+    live_profile_processes, live_profile_program, LiveRun, LiveRunConfig, MultiLiveError,
+    MultiLiveRun,
+};
+pub use native::NativeLiveSession;
+pub use registry::{AttachError, RegistryRun, SessionRegistry};
 pub use rolling::RollingProfile;
 pub use session::{LiveConfig, LiveSession};
 pub use snapshot::Snapshot;

@@ -1,0 +1,380 @@
+//! The pid-keyed session registry: continuous profiling over N processes.
+//!
+//! A [`SessionRegistry`] multiplexes any number of [`EventSource`]s — one
+//! per profiled process — into independent [`LiveSession`]s keyed by the
+//! process id stamped in each source's log header. Every session keeps its
+//! own drain cursor, epoch counter and rolling profile; the registry adds
+//! the cross-process views: per-pid snapshots on demand, plus a *merged*
+//! snapshot whose profile is the commutative merge of every per-pid
+//! profile (see [`teeperf_analyzer::merge_profiles`]), so the merged
+//! totals are exactly the sum of the per-pid totals.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use teeperf_analyzer::merge_profiles;
+use teeperf_analyzer::symbolize::Symbolizer;
+use teeperf_analyzer::Profile;
+use teeperf_core::layout::PID_UNSET;
+use teeperf_core::EventSource;
+use teeperf_flamegraph::{live, LiveStatus, SvgOptions};
+
+use crate::session::{LiveConfig, LiveSession};
+use crate::snapshot::Snapshot;
+
+/// Why a source could not be attached to the registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttachError {
+    /// The source reports pid 0 ([`PID_UNSET`]): the recorder never
+    /// stamped a real process id into the log header, so the registry has
+    /// no key to file the session under. Fix the producer (the recorder
+    /// stamps the host pid at init) or override the pid on the source.
+    ZeroPid,
+    /// A session for this pid is already attached. Detach it first, or
+    /// override the pid on the new source if the two logs really come from
+    /// different processes.
+    DuplicatePid(u64),
+}
+
+impl fmt::Display for AttachError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttachError::ZeroPid => write!(
+                f,
+                "source reports pid 0 (PID_UNSET): the log header was never \
+                 stamped with a real process id, so the registry cannot key \
+                 a session for it"
+            ),
+            AttachError::DuplicatePid(pid) => {
+                write!(f, "a session for pid {pid} is already attached")
+            }
+        }
+    }
+}
+
+impl Error for AttachError {}
+
+/// The final word on a multi-process session: one snapshot per pid plus
+/// the merged cross-process snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegistryRun {
+    /// Final per-process snapshots, keyed by pid.
+    pub per_pid: BTreeMap<u64, Snapshot>,
+    /// The cross-process merge: totals equal the sum over `per_pid`.
+    pub merged: Snapshot,
+}
+
+/// N profiled processes, one [`LiveSession`] each, keyed by pid.
+#[derive(Debug)]
+pub struct SessionRegistry {
+    config: LiveConfig,
+    sessions: BTreeMap<u64, LiveSession>,
+}
+
+impl SessionRegistry {
+    /// An empty registry; every attached session inherits `config`.
+    pub fn new(config: LiveConfig) -> SessionRegistry {
+        SessionRegistry {
+            config,
+            sessions: BTreeMap::new(),
+        }
+    }
+
+    /// Attach a source and start its session. The session is keyed by
+    /// [`EventSource::pid`]; returns that pid on success.
+    ///
+    /// # Errors
+    /// [`AttachError::ZeroPid`] when the source reports [`PID_UNSET`]
+    /// (the producer never stamped a real pid), and
+    /// [`AttachError::DuplicatePid`] when a session with the same pid is
+    /// already attached.
+    pub fn attach(
+        &mut self,
+        source: Box<dyn EventSource>,
+        symbolizer: Symbolizer,
+    ) -> Result<u64, AttachError> {
+        let pid = source.pid();
+        if pid == PID_UNSET {
+            return Err(AttachError::ZeroPid);
+        }
+        if self.sessions.contains_key(&pid) {
+            return Err(AttachError::DuplicatePid(pid));
+        }
+        let session = LiveSession::from_source(source, symbolizer, self.config.clone());
+        self.sessions.insert(pid, session);
+        Ok(pid)
+    }
+
+    /// The attached pids, ascending.
+    pub fn pids(&self) -> Vec<u64> {
+        self.sessions.keys().copied().collect()
+    }
+
+    /// Number of attached sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether no session is attached.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// The session for `pid`, if attached.
+    pub fn session(&self, pid: u64) -> Option<&LiveSession> {
+        self.sessions.get(&pid)
+    }
+
+    /// Mutable access to the session for `pid`, if attached.
+    pub fn session_mut(&mut self, pid: u64) -> Option<&mut LiveSession> {
+        self.sessions.get_mut(&pid)
+    }
+
+    /// Pump every session once (each drains its own source and merges into
+    /// its own rolling profile). Returns the total entries consumed.
+    pub fn pump(&mut self) -> usize {
+        self.sessions.values_mut().map(LiveSession::pump).sum()
+    }
+
+    /// Events merged so far, across all processes.
+    pub fn events(&self) -> u64 {
+        self.sessions.values().map(LiveSession::events).sum()
+    }
+
+    /// Cumulative overflow loss, across all processes.
+    pub fn dropped(&self) -> u64 {
+        self.sessions.values().map(LiveSession::dropped).sum()
+    }
+
+    /// The cross-process status: every counter is the sum over the
+    /// attached sessions (epochs included — each process rotates its own
+    /// log, so the merged epoch counts rotations fleet-wide).
+    pub fn merged_status(&self) -> LiveStatus {
+        let mut status = LiveStatus::default();
+        for s in self.sessions.values() {
+            let one = s.status();
+            status.epoch += one.epoch;
+            status.events += one.events;
+            status.dropped += one.dropped;
+            status.threads += one.threads;
+            status.open_frames += one.open_frames;
+        }
+        status
+    }
+
+    /// Freeze the session for `pid` into a snapshot (`None` if no such
+    /// session is attached).
+    pub fn snapshot_pid(&mut self, pid: u64) -> Option<Snapshot> {
+        self.sessions.get_mut(&pid).map(LiveSession::snapshot)
+    }
+
+    /// Freeze every session and merge: the returned snapshot's profile
+    /// covers all attached pids, its method and tick totals are the sums
+    /// of the per-pid profiles, and its status is [`Self::merged_status`].
+    pub fn merged_snapshot(&mut self) -> Snapshot {
+        let per_pid: BTreeMap<u64, Snapshot> = self
+            .sessions
+            .iter_mut()
+            .map(|(pid, s)| (*pid, s.snapshot()))
+            .collect();
+        merge_snapshots(&per_pid)
+    }
+
+    /// Render the merged view for a terminal: one `pid <n>` tower per
+    /// process under the merged status banner.
+    pub fn render_ascii(&mut self, width: usize) -> String {
+        let per_pid: Vec<(u64, Profile)> = self
+            .sessions
+            .iter_mut()
+            .map(|(pid, s)| (*pid, s.snapshot().profile))
+            .collect();
+        let parts: Vec<teeperf_flamegraph::PidFolded> = per_pid
+            .iter()
+            .map(|(pid, p)| (*pid, p.folded.as_slice()))
+            .collect();
+        live::render_ascii_multi(&parts, &self.merged_status(), width)
+    }
+
+    /// Render the merged view as SVG, one `pid <n>` tower per process.
+    pub fn render_svg(&mut self, options: &SvgOptions) -> String {
+        let per_pid: Vec<(u64, Profile)> = self
+            .sessions
+            .iter_mut()
+            .map(|(pid, s)| (*pid, s.snapshot().profile))
+            .collect();
+        let parts: Vec<teeperf_flamegraph::PidFolded> = per_pid
+            .iter()
+            .map(|(pid, p)| (*pid, p.folded.as_slice()))
+            .collect();
+        live::render_svg_multi(&parts, &self.merged_status(), options)
+    }
+
+    /// End every session (drain final partial epochs, force-close open
+    /// frames) and return the per-pid snapshots plus the merged view.
+    pub fn finish(&mut self) -> RegistryRun {
+        let per_pid: BTreeMap<u64, Snapshot> = self
+            .sessions
+            .iter_mut()
+            .map(|(pid, s)| (*pid, s.finish()))
+            .collect();
+        let merged = merge_snapshots(&per_pid);
+        RegistryRun { per_pid, merged }
+    }
+}
+
+/// Merge per-pid snapshots: profiles through [`merge_profiles`], statuses
+/// by field-wise summation.
+fn merge_snapshots(per_pid: &BTreeMap<u64, Snapshot>) -> Snapshot {
+    let parts: Vec<(u64, &Profile)> = per_pid.iter().map(|(pid, s)| (*pid, &s.profile)).collect();
+    let profile = merge_profiles(&parts);
+    let mut status = LiveStatus::default();
+    for s in per_pid.values() {
+        status.epoch += s.status.epoch;
+        status.events += s.status.events;
+        status.dropped += s.status.dropped;
+        status.threads += s.status.threads;
+        status.open_frames += s.status.open_frames;
+    }
+    Snapshot { status, profile }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcvm::DebugInfo;
+    use std::collections::BTreeSet;
+    use teeperf_core::layout::{EventKind, LogEntry, LogHeader, LOG_VERSION};
+    use teeperf_core::{FileReplaySource, LogFile};
+
+    fn debug() -> DebugInfo {
+        DebugInfo::from_functions([("main", 4, 1), ("work", 4, 5)])
+    }
+
+    fn sym() -> Symbolizer {
+        Symbolizer::without_relocation(debug())
+    }
+
+    fn header(pid: u64, entries: u64) -> LogHeader {
+        LogHeader {
+            active: false,
+            trace_calls: true,
+            trace_returns: true,
+            multithread: true,
+            version: LOG_VERSION,
+            pid,
+            size: entries,
+            tail: entries,
+            anchor: 0,
+            shm_addr: 0,
+        }
+    }
+
+    /// A file whose single thread runs `main { work }` with `work_ticks`
+    /// inside `work` and 100 ticks in `main` overall.
+    fn file(pid: u64, work_ticks: u64) -> LogFile {
+        let d = debug();
+        let (a0, a1) = (d.entry_addr(0), d.entry_addr(1));
+        let e = |kind, counter, addr| LogEntry {
+            kind,
+            counter,
+            addr,
+            tid: 0,
+        };
+        let entries = vec![
+            e(EventKind::Call, 1, a0),
+            e(EventKind::Call, 10, a1),
+            e(EventKind::Return, 10 + work_ticks, a1),
+            e(EventKind::Return, 101, a0),
+        ];
+        LogFile::new(header(pid, entries.len() as u64), entries)
+    }
+
+    #[test]
+    fn attach_rejects_pid_zero_with_a_clear_error() {
+        let mut reg = SessionRegistry::new(LiveConfig::default());
+        let src = FileReplaySource::new(&file(0, 10));
+        let err = reg.attach(Box::new(src), sym()).unwrap_err();
+        assert_eq!(err, AttachError::ZeroPid);
+        let msg = err.to_string();
+        assert!(msg.contains("pid 0"), "must name the bad pid: {msg}");
+        assert!(msg.contains("PID_UNSET"), "must name the sentinel: {msg}");
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn attach_rejects_duplicate_pids() {
+        let mut reg = SessionRegistry::new(LiveConfig::default());
+        reg.attach(Box::new(FileReplaySource::new(&file(7, 10))), sym())
+            .unwrap();
+        let err = reg
+            .attach(Box::new(FileReplaySource::new(&file(7, 20))), sym())
+            .unwrap_err();
+        assert_eq!(err, AttachError::DuplicatePid(7));
+        assert_eq!(err.to_string(), "a session for pid 7 is already attached");
+        // An explicit pid override resolves the collision.
+        let src = FileReplaySource::new(&file(7, 20)).with_pid(8);
+        assert_eq!(reg.attach(Box::new(src), sym()), Ok(8));
+        assert_eq!(reg.pids(), vec![7, 8]);
+    }
+
+    #[test]
+    fn three_processes_merge_to_the_sum_of_per_pid_views() {
+        let mut reg = SessionRegistry::new(LiveConfig::default());
+        let works = [(11u64, 20u64), (22, 30), (33, 40)];
+        for (pid, work) in works {
+            let src = FileReplaySource::new(&file(pid, work)).with_chunk(1);
+            reg.attach(Box::new(src), sym()).unwrap();
+        }
+        // Interleave: each pump advances every source by one entry.
+        while reg.events() < 12 {
+            assert!(reg.pump() > 0, "sources must still be producing");
+        }
+        let run = reg.finish();
+
+        assert_eq!(run.per_pid.len(), 3);
+        let ticks_sum: u64 = run.per_pid.values().map(|s| s.profile.total_ticks).sum();
+        assert_eq!(run.merged.profile.total_ticks, ticks_sum);
+        assert_eq!(run.merged.profile.total_ticks, 300, "3 × 100 ticks of main");
+
+        let calls_sum: u64 = run
+            .per_pid
+            .values()
+            .map(|s| s.profile.method("work").unwrap().calls)
+            .sum();
+        let merged_work = run.merged.profile.method("work").unwrap();
+        assert_eq!(merged_work.calls, calls_sum);
+        assert_eq!(merged_work.inclusive, 20 + 30 + 40);
+
+        assert_eq!(
+            run.merged.profile.pids,
+            BTreeSet::from([11, 22, 33]),
+            "merged profile must record every contributing process"
+        );
+        let events_sum: u64 = run.per_pid.values().map(|s| s.status.events).sum();
+        assert_eq!(run.merged.status.events, events_sum);
+        assert_eq!(run.merged.status.open_frames, 0);
+
+        // The merged snapshot announces its processes when serialized.
+        let text = run.merged.to_text();
+        assert!(text.contains("[processes]\npid 11\npid 22\npid 33\n"));
+        // Per-pid snapshots are single-process: no [processes] section.
+        assert!(!run.per_pid[&11].to_text().contains("[processes]"));
+    }
+
+    #[test]
+    fn multi_process_render_towers_per_pid() {
+        let mut reg = SessionRegistry::new(LiveConfig::default());
+        for (pid, work) in [(5u64, 50u64), (6, 60)] {
+            reg.attach(Box::new(FileReplaySource::new(&file(pid, work))), sym())
+                .unwrap();
+        }
+        while reg.pump() > 0 {}
+        let ascii = reg.render_ascii(72);
+        assert!(ascii.starts_with("live · "));
+        assert!(ascii.contains("pid 5"));
+        assert!(ascii.contains("pid 6"));
+        let svg = reg.render_svg(&SvgOptions::default());
+        assert!(svg.contains("pid 5") && svg.contains("pid 6"));
+    }
+}

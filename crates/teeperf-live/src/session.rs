@@ -7,9 +7,11 @@
 //! re-renders the ASCII flame view into its frame history, which is what
 //! `teeperf live` prints.
 
+use std::collections::BTreeSet;
+
 use teeperf_analyzer::query::frame::Frame;
 use teeperf_analyzer::symbolize::Symbolizer;
-use teeperf_core::SharedLog;
+use teeperf_core::{EventSource, SharedLog};
 use teeperf_flamegraph::{live, LiveStatus, SvgOptions};
 
 use crate::drain::{DrainPolicy, Drainer};
@@ -66,8 +68,25 @@ pub struct LiveSession {
 impl LiveSession {
     /// Start a session draining `log`, symbolizing with `symbolizer`.
     pub fn new(log: SharedLog, symbolizer: Symbolizer, config: LiveConfig) -> LiveSession {
+        let policy = config.policy;
+        LiveSession::from_drainer(Drainer::new(log, policy), symbolizer, config)
+    }
+
+    /// Start a session over an arbitrary [`EventSource`] — a live log, a
+    /// file replay, or anything else that implements the trait. This is
+    /// what a session registry uses to run one session per profiled
+    /// process.
+    pub fn from_source(
+        source: Box<dyn EventSource>,
+        symbolizer: Symbolizer,
+        config: LiveConfig,
+    ) -> LiveSession {
+        LiveSession::from_drainer(Drainer::from_source(source), symbolizer, config)
+    }
+
+    fn from_drainer(drainer: Drainer, symbolizer: Symbolizer, config: LiveConfig) -> LiveSession {
         LiveSession {
-            drainer: Drainer::new(log, config.policy),
+            drainer,
             rolling: RollingProfile::new(),
             symbolizer,
             config,
@@ -76,6 +95,17 @@ impl LiveSession {
             last_snapshot: None,
             replay: Vec::new(),
         }
+    }
+
+    /// Process id of the profiled process behind this session's source.
+    pub fn pid(&self) -> u64 {
+        self.drainer.pid()
+    }
+
+    /// Replace the symbolizer (a native workload registers functions
+    /// lazily, so its debug info grows while the session runs).
+    pub fn set_symbolizer(&mut self, symbolizer: Symbolizer) {
+        self.symbolizer = symbolizer;
     }
 
     /// Drain whatever the writers have published and merge it. Returns the
@@ -139,11 +169,14 @@ impl LiveSession {
     }
 
     /// Freeze the current aggregate into a [`Snapshot`] and remember it as
-    /// the baseline for [`LiveSession::diff_since_last`].
+    /// the baseline for [`LiveSession::diff_since_last`]. The profile is
+    /// stamped with the source's process id.
     pub fn snapshot(&mut self) -> Snapshot {
+        let mut profile = self.rolling.snapshot(&self.symbolizer, self.dropped());
+        profile.pids = BTreeSet::from([self.drainer.pid()]);
         let snap = Snapshot {
             status: self.status(),
-            profile: self.rolling.snapshot(&self.symbolizer, self.dropped()),
+            profile,
         };
         self.last_snapshot = Some(snap.clone());
         snap

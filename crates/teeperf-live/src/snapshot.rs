@@ -43,6 +43,10 @@ impl Snapshot {
     /// session counters, a `[methods]` table (`name calls incl excl`) and
     /// the `[folded]` stacks. Stable across runs; parseable by
     /// [`Snapshot::summary_from_text`] and by humans.
+    ///
+    /// A cross-process merged snapshot (profile covering more than one
+    /// pid) additionally lists its processes in a `[processes]` section;
+    /// single-source snapshots serialize exactly as they always have.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         out.push_str("[live]\n");
@@ -55,6 +59,12 @@ impl Snapshot {
             self.status.open_frames,
             self.profile.total_ticks
         ));
+        if self.profile.pids.len() > 1 {
+            out.push_str("[processes]\n");
+            for pid in &self.profile.pids {
+                out.push_str(&format!("pid {pid}\n"));
+            }
+        }
         out.push_str("[methods]\n");
         for m in &self.profile.methods {
             out.push_str(&format!(

@@ -20,6 +20,12 @@ run() {
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets --offline -- -D warnings
 
+# API docs must build warning-free (broken intra-doc links, missing docs
+# on public items surfaced by the crates' own lint settings, etc.).
+# --lib: the `teeperf` CLI bin collides with the root facade lib's doc
+# output path; library APIs are what the docs gate is for.
+run env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline --lib
+
 # Tier-1 (ROADMAP.md): the root facade build + tests must stay green.
 if [ "$mode" != "quick" ]; then
   run cargo build --release --offline
