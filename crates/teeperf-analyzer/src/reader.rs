@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
+use teeperf_core::faults::{SalvageReason, SalvageReport};
 use teeperf_core::layout::{EventKind, LogEntry, LOG_VERSION};
 use teeperf_core::LogFile;
 
@@ -19,6 +20,15 @@ pub enum AnalyzeError {
         /// Version this analyzer expects.
         expected: u16,
     },
+    /// The header contradicts the log body: more entries than the declared
+    /// `max_size` could ever hold. A log like this was not produced by the
+    /// recorder and nothing in it can be trusted.
+    InconsistentHeader {
+        /// Number of entries present.
+        entries: u64,
+        /// Capacity the header declares.
+        max_size: u64,
+    },
 }
 
 impl fmt::Display for AnalyzeError {
@@ -27,6 +37,10 @@ impl fmt::Display for AnalyzeError {
             AnalyzeError::VersionMismatch { found, expected } => write!(
                 f,
                 "log structure version {found} unsupported (expected {expected})"
+            ),
+            AnalyzeError::InconsistentHeader { entries, max_size } => write!(
+                f,
+                "inconsistent log header: {entries} entries exceed max_size {max_size}"
             ),
         }
     }
@@ -37,12 +51,20 @@ impl Error for AnalyzeError {}
 /// Check header invariants.
 ///
 /// # Errors
-/// Returns [`AnalyzeError::VersionMismatch`] for foreign versions.
+/// Returns [`AnalyzeError::VersionMismatch`] for foreign versions and
+/// [`AnalyzeError::InconsistentHeader`] when the body exceeds the header's
+/// declared capacity.
 pub fn validate(log: &LogFile) -> Result<(), AnalyzeError> {
     if log.header.version != LOG_VERSION {
         return Err(AnalyzeError::VersionMismatch {
             found: log.header.version,
             expected: LOG_VERSION,
+        });
+    }
+    if log.entries.len() as u64 > log.header.size {
+        return Err(AnalyzeError::InconsistentHeader {
+            entries: log.entries.len() as u64,
+            max_size: log.header.size,
         });
     }
     Ok(())
@@ -71,6 +93,25 @@ pub struct ThreadEvents {
     /// All-zero entries dismissed as incomplete (reserved but never
     /// written, e.g. a thread preempted mid-write when the log was drained).
     pub incomplete: u64,
+    /// Torn entries dismissed: a published record with an impossible zero
+    /// target address, the signature of a partial slot write (the recorder
+    /// publishes the address before the kind/counter word, so a zero
+    /// address under a nonzero first word cannot occur in a healthy log).
+    pub torn: u64,
+}
+
+impl ThreadEvents {
+    /// Salvage accounting for this grouping pass: events kept, incomplete
+    /// and torn records dismissed.
+    pub fn salvage(&self) -> SalvageReport {
+        let mut report = SalvageReport {
+            kept: self.threads.values().map(|v| v.len() as u64).sum(),
+            ..SalvageReport::default()
+        };
+        report.drop_n(SalvageReason::UnpublishedSlot, self.incomplete);
+        report.drop_n(SalvageReason::TornEntry, self.torn);
+        report
+    }
 }
 
 /// The all-zero "reserved but never written" test, on the parse hot path
@@ -105,6 +146,8 @@ pub fn group_entries(entries: &[LogEntry]) -> ThreadEvents {
     for e in entries {
         if is_incomplete(e) {
             out.incomplete += 1;
+        } else if e.addr == 0 {
+            out.torn += 1;
         } else {
             match &mut run {
                 Some((tid, n)) if *tid == e.tid => *n += 1,
@@ -130,7 +173,7 @@ pub fn group_entries(entries: &[LogEntry]) -> ThreadEvents {
     let mut idx = 0usize;
     while idx < n {
         let e = &entries[idx];
-        if is_incomplete(e) {
+        if is_incomplete(e) || e.addr == 0 {
             idx += 1;
             continue;
         }
@@ -141,7 +184,7 @@ pub fn group_entries(entries: &[LogEntry]) -> ThreadEvents {
             .expect("counted in the first pass");
         while idx < n {
             let e = &entries[idx];
-            if is_incomplete(e) || e.tid != tid {
+            if is_incomplete(e) || e.addr == 0 || e.tid != tid {
                 break;
             }
             events.push(Event {
@@ -235,5 +278,47 @@ mod tests {
         let g = group_by_thread(&log);
         assert_eq!(g.incomplete, 1);
         assert_eq!(g.threads[&0].len(), 1);
+    }
+
+    #[test]
+    fn dismisses_torn_records_and_accounts_them() {
+        use teeperf_core::faults::SalvageReason;
+        let log = LogFile::new(
+            header(LOG_VERSION),
+            vec![
+                entry(EventKind::Call, 10, 100, 0),
+                entry(EventKind::Call, 11, 0, 0), // torn: published, addr never landed
+                entry(EventKind::Return, 12, 100, 0),
+                entry(EventKind::Return, 0, 0, 0), // incomplete
+            ],
+        );
+        let g = group_by_thread(&log);
+        assert_eq!(g.torn, 1);
+        assert_eq!(g.incomplete, 1);
+        assert_eq!(g.threads[&0].len(), 2);
+        let report = g.salvage();
+        assert_eq!(report.kept, 2);
+        assert_eq!(report.count(SalvageReason::TornEntry), 1);
+        assert_eq!(report.count(SalvageReason::UnpublishedSlot), 1);
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_header() {
+        let mut h = header(LOG_VERSION);
+        h.size = 1;
+        let log = LogFile::new(
+            h,
+            vec![
+                entry(EventKind::Call, 10, 100, 0),
+                entry(EventKind::Return, 12, 100, 0),
+            ],
+        );
+        assert_eq!(
+            validate(&log),
+            Err(AnalyzeError::InconsistentHeader {
+                entries: 2,
+                max_size: 1
+            })
+        );
     }
 }

@@ -12,20 +12,40 @@ use teeperf_core::{EventSource, FileReplaySource, LogFile, RecorderConfig};
 use teeperf_flamegraph::{FlameGraph, SvgOptions};
 use teeperf_live::{DrainPolicy, LiveConfig, SessionRegistry, Snapshot};
 
-/// A CLI failure with a user-facing message.
+/// A CLI failure with a user-facing message and a process exit code.
 #[derive(Debug)]
-pub struct CliError(pub String);
+pub struct CliError {
+    /// What went wrong, user-facing.
+    pub message: String,
+    /// Exit code for the process: 1 for usage and pipeline errors, 2 when
+    /// a named input path does not exist or cannot be read/parsed — so
+    /// scripts can tell "bad invocation" from "bad file" without grepping
+    /// stderr.
+    pub code: u8,
+}
 
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(&self.message)
     }
 }
 
 impl std::error::Error for CliError {}
 
 fn err(msg: impl Into<String>) -> CliError {
-    CliError(msg.into())
+    CliError {
+        message: msg.into(),
+        code: 1,
+    }
+}
+
+/// A per-path failure: the message always leads with the offending path,
+/// and the process exits with code 2.
+fn path_err(path: &str, e: impl std::fmt::Display) -> CliError {
+    CliError {
+        message: format!("{path}: {e}"),
+        code: 2,
+    }
 }
 
 const USAGE: &str = "usage:
@@ -35,8 +55,9 @@ const USAGE: &str = "usage:
   teeperf live <prog.mc|prog.tpo> [--arch <kind>] [--max-entries <n>] [--watermark <pct>]
                [--refresh <events>] [--frames yes|no] [--svg <file>] [--out <base>]
                [--analyzer-threads <n>] [--follow-pids <n>]
-  teeperf live --logs <a,b,c> [--watermark <pct>] [--svg <file>] [--out <base>]
-  teeperf analyze <base.tpf> <base.sym> [--analyzer-threads <n>]
+  teeperf live --logs <a,b,c> [--watermark <pct>] [--watchdog-timeout <pumps>]
+               [--svg <file>] [--out <base>]
+  teeperf analyze <base.tpf> <base.sym> [--salvage yes|no] [--analyzer-threads <n>]
   teeperf query <base.tpf> <base.sym> <query> [--analyzer-threads <n>]
   teeperf flamegraph <base.tpf> <base.sym> [--svg <file>] [--title <t>] [--analyzer-threads <n>]
   teeperf diff <a.tpf> <a.sym> <b.tpf> <b.sym> [--svg <file>] [--analyzer-threads <n>]
@@ -48,6 +69,8 @@ query example: \"select method, calls, excl where excl > 100 sort excl desc limi
 --analyzer-threads: analysis worker shards; 0 or omitted = all available cores
 --follow-pids n: run the program as n simulated processes under one session registry
 --logs a,b,c: replay recorded logs (<base>.tpf + <base>.sym) as one multi-process session
+--salvage yes: keep the valid records of a torn/truncated log instead of rejecting it
+--watchdog-timeout n: quarantine a source after n progress-free pumps (with backoff retries)
 ";
 
 /// Minimal flag parser: positional args plus `--flag value` pairs.
@@ -136,7 +159,7 @@ fn read_source(args: &Args<'_>) -> Result<(String, String), CliError> {
         .positional
         .first()
         .ok_or_else(|| err(format!("missing program path\n\n{USAGE}")))?;
-    let source = std::fs::read_to_string(path).map_err(|e| err(format!("{path}: {e}")))?;
+    let source = std::fs::read_to_string(path).map_err(|e| path_err(path, e))?;
     Ok(((*path).to_string(), source))
 }
 
@@ -145,10 +168,10 @@ fn read_source(args: &Args<'_>) -> Result<(String, String), CliError> {
 /// instrumented by `teeperf compile`).
 fn load_program(path: &str, instrument_sources: bool) -> Result<mcvm::CompiledProgram, CliError> {
     if path.ends_with(".tpo") {
-        let bytes = std::fs::read(path).map_err(|e| err(format!("{path}: {e}")))?;
-        return mcvm::objfile::from_bytes(&bytes).map_err(|e| err(format!("{path}: {e}")));
+        let bytes = std::fs::read(path).map_err(|e| path_err(path, e))?;
+        return mcvm::objfile::from_bytes(&bytes).map_err(|e| path_err(path, e));
     }
-    let source = std::fs::read_to_string(path).map_err(|e| err(format!("{path}: {e}")))?;
+    let source = std::fs::read_to_string(path).map_err(|e| path_err(path, e))?;
     if instrument_sources {
         compile_instrumented(&source, &InstrumentOptions::default()).map_err(|e| err(e.to_string()))
     } else {
@@ -487,6 +510,10 @@ fn cmd_live_follow(args: &Args<'_>, count: &str) -> Result<String, CliError> {
 /// `teeperf live --logs a,b,c`: replay recorded logs (each `<base>.tpf`
 /// with its `<base>.sym`) through the live pipeline as one multi-process
 /// session, keyed by the pids in the log headers.
+///
+/// Every unreadable or malformed path is reported (one message per path)
+/// before the command gives up with exit code 2 — a typo in one of ten
+/// bases names the typo instead of panicking on the first open.
 fn cmd_live_logs(args: &Args<'_>, logs: &str) -> Result<String, CliError> {
     let watermark_pct = live_watermark(args)?;
     let mut registry = SessionRegistry::new(LiveConfig {
@@ -495,6 +522,17 @@ fn cmd_live_logs(args: &Args<'_>, logs: &str) -> Result<String, CliError> {
         analyzer_shards: args.analyzer_threads()?.max(1),
         ..LiveConfig::default()
     });
+    if let Some(v) = args.flag("watchdog-timeout") {
+        let timeout_pumps: u64 = v
+            .parse()
+            .ok()
+            .filter(|t| *t > 0)
+            .ok_or_else(|| err(format!("bad --watchdog-timeout `{v}` (want pumps >= 1)")))?;
+        registry = registry.with_watchdog(teeperf_live::WatchdogConfig {
+            timeout_pumps,
+            ..teeperf_live::WatchdogConfig::default()
+        });
+    }
     let bases: Vec<&str> = logs
         .split(',')
         .map(str::trim)
@@ -503,16 +541,46 @@ fn cmd_live_logs(args: &Args<'_>, logs: &str) -> Result<String, CliError> {
     if bases.is_empty() {
         return Err(err(format!("--logs needs at least one <base>\n\n{USAGE}")));
     }
-    let mut out = String::new();
+    // Validate every path before attaching anything: all failures are
+    // reported together, each on its own line.
+    let mut loaded = Vec::new();
+    let mut bad: Vec<String> = Vec::new();
     for base in &bases {
         let base = base.trim_end_matches(".tpf");
         let log_path = format!("{base}.tpf");
         let sym_path = format!("{base}.sym");
-        let log = LogFile::load(&log_path).map_err(|e| err(format!("{log_path}: {e}")))?;
-        let sym_text =
-            std::fs::read_to_string(&sym_path).map_err(|e| err(format!("{sym_path}: {e}")))?;
-        let debug = DebugInfo::from_text(&sym_text)
-            .ok_or_else(|| err(format!("{sym_path}: malformed symbol file")))?;
+        let log = match LogFile::load(&log_path) {
+            Ok(log) => Some(log),
+            Err(e) => {
+                bad.push(format!("{log_path}: {e}"));
+                None
+            }
+        };
+        let debug = match std::fs::read_to_string(&sym_path) {
+            Ok(text) => match DebugInfo::from_text(&text) {
+                Some(debug) => Some(debug),
+                None => {
+                    bad.push(format!("{sym_path}: malformed symbol file"));
+                    None
+                }
+            },
+            Err(e) => {
+                bad.push(format!("{sym_path}: {e}"));
+                None
+            }
+        };
+        if let (Some(log), Some(debug)) = (log, debug) {
+            loaded.push((log_path, log, debug));
+        }
+    }
+    if !bad.is_empty() {
+        return Err(CliError {
+            message: bad.join("\n"),
+            code: 2,
+        });
+    }
+    let mut out = String::new();
+    for (log_path, log, debug) in loaded {
         let symbolizer = Symbolizer::new(debug, &log.header);
         let mut source = FileReplaySource::new(&log);
         // Several files recorded by the same process collide on the header
@@ -536,6 +604,7 @@ fn cmd_live_logs(args: &Args<'_>, logs: &str) -> Result<String, CliError> {
             .map_err(|e| err(e.to_string()))?;
     }
     while registry.pump() > 0 {}
+    let salvage = registry.salvage();
     let run = registry.finish();
     writeln!(
         out,
@@ -545,11 +614,20 @@ fn cmd_live_logs(args: &Args<'_>, logs: &str) -> Result<String, CliError> {
         run.merged.status.dropped
     )
     .expect("writing to string");
+    if !salvage.is_clean() {
+        writeln!(out, "{}", salvage.to_line()).expect("writing to string");
+    }
     multi_session_output(&mut out, &run.per_pid, &run.merged, args)?;
     Ok(out)
 }
 
-fn load_log_and_symbols(args: &Args<'_>) -> Result<(LogFile, DebugInfo), CliError> {
+/// Load `<base.tpf> <base.sym>` for the offline commands. With
+/// `--salvage yes` a torn or truncated log is read through the salvage
+/// path instead of rejected, and the accounting report is returned for the
+/// caller to print.
+fn load_log_and_symbols(
+    args: &Args<'_>,
+) -> Result<(LogFile, DebugInfo, Option<teeperf_core::SalvageReport>), CliError> {
     let log_path = args
         .positional
         .first()
@@ -558,24 +636,37 @@ fn load_log_and_symbols(args: &Args<'_>) -> Result<(LogFile, DebugInfo), CliErro
         .positional
         .get(1)
         .ok_or_else(|| err(format!("missing symbol path\n\n{USAGE}")))?;
-    let log = LogFile::load(log_path).map_err(|e| err(format!("{log_path}: {e}")))?;
-    let sym_text =
-        std::fs::read_to_string(sym_path).map_err(|e| err(format!("{sym_path}: {e}")))?;
+    let salvage = args.flag("salvage").unwrap_or("no") == "yes";
+    let (log, report) = if salvage {
+        let (log, report) = LogFile::load_salvage(log_path).map_err(|e| path_err(log_path, e))?;
+        (log, Some(report))
+    } else {
+        (
+            LogFile::load(log_path).map_err(|e| path_err(log_path, e))?,
+            None,
+        )
+    };
+    let sym_text = std::fs::read_to_string(sym_path).map_err(|e| path_err(sym_path, e))?;
     let debug = DebugInfo::from_text(&sym_text)
-        .ok_or_else(|| err(format!("{sym_path}: malformed symbol file")))?;
-    Ok((log, debug))
+        .ok_or_else(|| path_err(sym_path, "malformed symbol file"))?;
+    Ok((log, debug, report))
 }
 
 fn cmd_analyze(args: &Args<'_>) -> Result<String, CliError> {
-    let (log, debug) = load_log_and_symbols(args)?;
+    let (log, debug, salvage) = load_log_and_symbols(args)?;
     let analyzer = Analyzer::new(log, debug)
         .map_err(|e| err(e.to_string()))?
         .with_analyzer_threads(args.analyzer_threads()?);
-    Ok(analyzer.report())
+    let mut out = String::new();
+    if let Some(report) = salvage {
+        writeln!(out, "{}", report.to_line()).expect("writing to string");
+    }
+    out.push_str(&analyzer.report());
+    Ok(out)
 }
 
 fn cmd_query(args: &Args<'_>) -> Result<String, CliError> {
-    let (log, debug) = load_log_and_symbols(args)?;
+    let (log, debug, _) = load_log_and_symbols(args)?;
     let query = args
         .positional
         .get(2)
@@ -599,7 +690,7 @@ fn cmd_query(args: &Args<'_>) -> Result<String, CliError> {
 }
 
 fn cmd_flamegraph(args: &Args<'_>) -> Result<String, CliError> {
-    let (log, debug) = load_log_and_symbols(args)?;
+    let (log, debug, _) = load_log_and_symbols(args)?;
     let analyzer = Analyzer::new(log, debug)
         .map_err(|e| err(e.to_string()))?
         .with_analyzer_threads(args.analyzer_threads()?);
@@ -625,11 +716,10 @@ fn cmd_diff(args: &Args<'_>) -> Result<String, CliError> {
     }
     let threads = args.analyzer_threads()?;
     let load = |log_path: &str, sym_path: &str| -> Result<Analyzer, CliError> {
-        let log = LogFile::load(log_path).map_err(|e| err(format!("{log_path}: {e}")))?;
-        let sym_text =
-            std::fs::read_to_string(sym_path).map_err(|e| err(format!("{sym_path}: {e}")))?;
+        let log = LogFile::load(log_path).map_err(|e| path_err(log_path, e))?;
+        let sym_text = std::fs::read_to_string(sym_path).map_err(|e| path_err(sym_path, e))?;
         let debug = DebugInfo::from_text(&sym_text)
-            .ok_or_else(|| err(format!("{sym_path}: malformed symbol file")))?;
+            .ok_or_else(|| path_err(sym_path, "malformed symbol file"))?;
         Ok(Analyzer::new(log, debug)
             .map_err(|e| err(e.to_string()))?
             .with_analyzer_threads(threads))
@@ -976,6 +1066,79 @@ mod tests {
         let out = dispatch(&strs(&["live", "--logs", &format!("{base_a},{base_a}")])).unwrap();
         assert!(out.contains("replaying as pid 72"), "{out}");
         assert!(dispatch(&strs(&["live", "--logs", " , "])).is_err());
+    }
+
+    #[test]
+    fn missing_input_paths_exit_with_code_2() {
+        let e = dispatch(&strs(&["analyze", "/no/such/log.tpf", "/no/such/log.sym"])).unwrap_err();
+        assert_eq!(e.code, 2, "missing log path is a path error: {e}");
+        assert!(e.to_string().starts_with("/no/such/log.tpf:"), "{e}");
+
+        let e = dispatch(&strs(&["live", "--logs", "/no/such/a,/no/such/b"])).unwrap_err();
+        assert_eq!(e.code, 2);
+        let msg = e.to_string();
+        // Every bad path gets its own message, not just the first.
+        assert!(msg.contains("/no/such/a.tpf:"), "{msg}");
+        assert!(msg.contains("/no/such/b.tpf:"), "{msg}");
+
+        // Usage errors stay exit code 1.
+        let e = dispatch(&strs(&["analyze"])).unwrap_err();
+        assert_eq!(e.code, 1);
+    }
+
+    #[test]
+    fn analyze_salvages_a_truncated_log() {
+        let dir = tmpdir();
+        let prog = dir.join("salv.mc");
+        std::fs::write(
+            &prog,
+            "fn f(x: int) -> int { return x * 2; }
+             fn main() -> int { print_int(f(21)); return 0; }",
+        )
+        .unwrap();
+        let prog = prog.to_str().unwrap().to_string();
+        let base = dir.join("salv").to_str().unwrap().to_string();
+        dispatch(&strs(&["record", &prog, "--out", &base])).unwrap();
+
+        // Tear the tail off the recording, as a crash mid-save would.
+        let tpf = format!("{base}.tpf");
+        let sym = format!("{base}.sym");
+        let bytes = std::fs::read(&tpf).unwrap();
+        std::fs::write(&tpf, &bytes[..bytes.len() - 10]).unwrap();
+
+        let e = dispatch(&strs(&["analyze", &tpf, &sym])).unwrap_err();
+        assert_eq!(e.code, 2, "a torn log is rejected by default: {e}");
+
+        let out = dispatch(&strs(&["analyze", &tpf, &sym, "--salvage", "yes"])).unwrap();
+        assert!(out.starts_with("salvage: kept 3 dropped 1"), "{out}");
+        assert!(out.contains("truncated-file: 1"), "{out}");
+        assert!(out.contains("main"), "the surviving records still analyze");
+    }
+
+    #[test]
+    fn logs_replay_accepts_a_watchdog_timeout() {
+        let dir = tmpdir();
+        let prog = dir.join("dog.mc");
+        std::fs::write(
+            &prog,
+            "fn f(x: int) -> int { return x * 2; }
+             fn main() -> int { print_int(f(21)); return 0; }",
+        )
+        .unwrap();
+        let prog = prog.to_str().unwrap().to_string();
+        let base = dir.join("dog").to_str().unwrap().to_string();
+        dispatch(&strs(&["record", &prog, "--out", &base, "--pid", "81"])).unwrap();
+
+        // Replay sources finish; the watchdog must not quarantine them.
+        let out = dispatch(&strs(&["live", "--logs", &base, "--watchdog-timeout", "4"])).unwrap();
+        assert!(
+            out.contains("replayed 1 logs: 4 events, 0 dropped"),
+            "{out}"
+        );
+        assert!(!out.contains("quarantined"), "{out}");
+
+        let e = dispatch(&strs(&["live", "--logs", &base, "--watchdog-timeout", "0"])).unwrap_err();
+        assert!(e.to_string().contains("watchdog-timeout"), "{e}");
     }
 
     #[test]

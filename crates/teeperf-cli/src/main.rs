@@ -22,7 +22,9 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("teeperf: {e}");
-            ExitCode::FAILURE
+            // Code 2 = a named input path was missing or unreadable; 1 =
+            // everything else (see `cli::CliError`).
+            ExitCode::from(e.code)
         }
     }
 }

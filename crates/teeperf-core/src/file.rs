@@ -15,7 +15,8 @@ use std::fmt;
 use std::io::{Read, Write};
 use std::path::Path;
 
-use crate::layout::{LogEntry, LogHeader};
+use crate::faults::{SalvageReason, SalvageReport};
+use crate::layout::{LogEntry, LogHeader, LOG_VERSION};
 
 const MAGIC: &[u8; 8] = b"TPERFLG1";
 
@@ -26,6 +27,24 @@ pub enum LogFileError {
     Io(std::io::Error),
     /// The bytes are not a valid log file.
     Malformed(String),
+    /// The header carries a log-format version this build does not speak;
+    /// parsing the body would be interpreting garbage.
+    VersionMismatch {
+        /// Version found in the header control word.
+        found: u16,
+        /// The version this build writes ([`LOG_VERSION`]).
+        expected: u16,
+    },
+    /// A header field contradicts the file's own length (e.g. more entries
+    /// than `max_size` slots, or more entries than the tail ever reserved).
+    Inconsistent {
+        /// Which header field is being contradicted.
+        what: &'static str,
+        /// Value implied by the file contents.
+        found: u64,
+        /// Bound claimed by the header.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for LogFileError {
@@ -33,6 +52,14 @@ impl fmt::Display for LogFileError {
         match self {
             LogFileError::Io(e) => write!(f, "log file i/o error: {e}"),
             LogFileError::Malformed(msg) => write!(f, "malformed log file: {msg}"),
+            LogFileError::VersionMismatch { found, expected } => write!(
+                f,
+                "log version mismatch: file is v{found}, this build reads v{expected}"
+            ),
+            LogFileError::Inconsistent { what, found, limit } => write!(
+                f,
+                "inconsistent log header: {found} entries on disk but {what} is {limit}"
+            ),
         }
     }
 }
@@ -41,7 +68,7 @@ impl Error for LogFileError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             LogFileError::Io(e) => Some(e),
-            LogFileError::Malformed(_) => None,
+            _ => None,
         }
     }
 }
@@ -91,12 +118,9 @@ impl LogFile {
         out
     }
 
-    /// Parse the on-disk byte format.
-    ///
-    /// # Errors
-    /// Returns [`LogFileError::Malformed`] on a bad magic, truncation, or an
-    /// implausible entry count.
-    pub fn from_bytes(bytes: &[u8]) -> Result<LogFile, LogFileError> {
+    /// Parse the magic, header words and declared count; the shared prefix
+    /// of strict and salvage parsing.
+    fn parse_header(bytes: &[u8]) -> Result<(LogHeader, u64), LogFileError> {
         let word = |i: usize| -> Result<u64, LogFileError> {
             let start = 8 + i * 8;
             let chunk: [u8; 8] = bytes
@@ -112,6 +136,12 @@ impl LogFile {
         let control = word(0)?;
         let (active, trace_calls, trace_returns, multithread, version) =
             LogHeader::unpack_control(control);
+        if version != LOG_VERSION {
+            return Err(LogFileError::VersionMismatch {
+                found: version,
+                expected: LOG_VERSION,
+            });
+        }
         let header = LogHeader {
             active,
             trace_calls,
@@ -124,25 +154,84 @@ impl LogFile {
             anchor: word(4)?,
             shm_addr: word(5)?,
         };
-        let count = word(6)? as usize;
-        let body = &bytes[8 + 7 * 8..];
-        if body.len() != count * 24 {
-            return Err(LogFileError::Malformed(format!(
-                "expected {count} entries ({} bytes), found {} bytes",
-                count * 24,
-                body.len()
-            )));
-        }
-        let entries = body
-            .chunks_exact(24)
+        let count = word(6)?;
+        Ok((header, count))
+    }
+
+    fn decode_entries(body: &[u8]) -> Vec<LogEntry> {
+        body.chunks_exact(24)
             .map(|c| {
                 let w = |i: usize| {
                     u64::from_le_bytes(c[i * 8..(i + 1) * 8].try_into().expect("8 bytes"))
                 };
                 LogEntry::unpack([w(0), w(1), w(2)])
             })
-            .collect();
-        Ok(LogFile { header, entries })
+            .collect()
+    }
+
+    /// Parse the on-disk byte format, strictly.
+    ///
+    /// # Errors
+    /// Returns [`LogFileError::Malformed`] on a bad magic, truncation, or an
+    /// implausible entry count; [`LogFileError::VersionMismatch`] when the
+    /// header version is not [`LOG_VERSION`]; [`LogFileError::Inconsistent`]
+    /// when the entry count contradicts the header's `max_size` or tail.
+    pub fn from_bytes(bytes: &[u8]) -> Result<LogFile, LogFileError> {
+        let (header, count) = LogFile::parse_header(bytes)?;
+        let body = &bytes[8 + 7 * 8..];
+        if body.len() as u64 != count * 24 {
+            return Err(LogFileError::Malformed(format!(
+                "expected {count} entries ({} bytes), found {} bytes",
+                count * 24,
+                body.len()
+            )));
+        }
+        if count > header.size {
+            return Err(LogFileError::Inconsistent {
+                what: "max_size",
+                found: count,
+                limit: header.size,
+            });
+        }
+        if count > header.tail {
+            return Err(LogFileError::Inconsistent {
+                what: "tail",
+                found: count,
+                limit: header.tail,
+            });
+        }
+        Ok(LogFile {
+            header,
+            entries: LogFile::decode_entries(body),
+        })
+    }
+
+    /// Parse the on-disk byte format, salvaging what a strict parse would
+    /// reject: a truncated entry region keeps every complete 24-byte entry
+    /// (dropping the cut one), torn or never-published records are skipped,
+    /// and a count/size/tail inconsistency is clamped rather than fatal.
+    /// The report accounts for every record given up on.
+    ///
+    /// # Errors
+    /// Still fails on damage with nothing behind it to salvage: a bad
+    /// magic, a truncated header, or a [`LogFileError::VersionMismatch`]
+    /// (entries of a foreign version would be decoded as garbage).
+    pub fn from_bytes_salvage(bytes: &[u8]) -> Result<(LogFile, SalvageReport), LogFileError> {
+        let (header, count) = LogFile::parse_header(bytes)?;
+        let mut report = SalvageReport::default();
+        let body = &bytes[8 + 7 * 8..];
+        let complete = (body.len() / 24) as u64;
+        let expected = count.max(complete);
+        if expected > complete {
+            // Entries the header promised (or a partial trailing record)
+            // that the file no longer holds.
+            report.drop_n(SalvageReason::TruncatedFile, expected - complete);
+        } else if !body.len().is_multiple_of(24) {
+            report.drop_n(SalvageReason::TruncatedFile, 1);
+        }
+        let raw = LogFile::decode_entries(&body[..(complete * 24) as usize]);
+        let entries = report.filter_entries(raw);
+        Ok((LogFile { header, entries }, report))
     }
 
     /// Write the log to a file.
@@ -163,6 +252,16 @@ impl LogFile {
         let mut bytes = Vec::new();
         std::fs::File::open(path)?.read_to_end(&mut bytes)?;
         LogFile::from_bytes(&bytes)
+    }
+
+    /// Read a log from a file via [`LogFile::from_bytes_salvage`].
+    ///
+    /// # Errors
+    /// Propagates I/O failures and unsalvageable format errors.
+    pub fn load_salvage(path: impl AsRef<Path>) -> Result<(LogFile, SalvageReport), LogFileError> {
+        let mut bytes = Vec::new();
+        std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+        LogFile::from_bytes_salvage(&bytes)
     }
 }
 
@@ -245,6 +344,85 @@ mod tests {
         assert!(LogFile::from_bytes(&b).is_err());
     }
 
+    #[test]
+    fn rejects_foreign_version_with_typed_error() {
+        let mut f = sample();
+        f.header.version = LOG_VERSION + 1;
+        let b = f.to_bytes();
+        match LogFile::from_bytes(&b) {
+            Err(LogFileError::VersionMismatch { found, expected }) => {
+                assert_eq!(found, LOG_VERSION + 1);
+                assert_eq!(expected, LOG_VERSION);
+            }
+            other => panic!("expected VersionMismatch, got {other:?}"),
+        }
+        // Salvage refuses too: a foreign version's entries are garbage.
+        assert!(matches!(
+            LogFile::from_bytes_salvage(&b),
+            Err(LogFileError::VersionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_header_inconsistent_with_file_length() {
+        // More entries than max_size slots could ever hold.
+        let mut f = sample();
+        f.header.size = 1;
+        match LogFile::from_bytes(&f.to_bytes()) {
+            Err(LogFileError::Inconsistent { what, found, limit }) => {
+                assert_eq!(what, "max_size");
+                assert_eq!((found, limit), (2, 1));
+            }
+            other => panic!("expected Inconsistent, got {other:?}"),
+        }
+        // More entries than the tail ever reserved.
+        let mut f = sample();
+        f.header.tail = 1;
+        assert!(matches!(
+            LogFile::from_bytes(&f.to_bytes()),
+            Err(LogFileError::Inconsistent { what: "tail", .. })
+        ));
+        // Salvage clamps instead of erroring.
+        let (salvaged, report) = LogFile::from_bytes_salvage(&f.to_bytes()).unwrap();
+        assert_eq!(salvaged.entries.len(), 2);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn salvage_keeps_complete_entries_of_a_truncated_file() {
+        let f = sample();
+        let b = f.to_bytes();
+        // Cut mid-way through the second entry.
+        let cut = b.len() - 10;
+        let (salvaged, report) = LogFile::from_bytes_salvage(&b[..cut]).unwrap();
+        assert_eq!(salvaged.entries, f.entries[..1]);
+        assert_eq!(report.kept, 1);
+        assert_eq!(report.count(super::SalvageReason::TruncatedFile), 1);
+        // Strict parsing still rejects the same bytes.
+        assert!(LogFile::from_bytes(&b[..cut]).is_err());
+        // A cut inside the header is beyond salvage.
+        assert!(LogFile::from_bytes_salvage(&b[..40]).is_err());
+    }
+
+    #[test]
+    fn salvage_skips_torn_and_unpublished_records() {
+        let mut f = sample();
+        f.header.size = 4;
+        f.header.tail = 4;
+        f.entries.push(LogEntry {
+            kind: EventKind::Call,
+            counter: 9,
+            addr: 0,
+            tid: 0,
+        }); // torn
+        f.entries.push(LogEntry::unpack([0, 0, 0])); // unpublished hole
+        let (salvaged, report) = LogFile::from_bytes_salvage(&f.to_bytes()).unwrap();
+        assert_eq!(salvaged.entries.len(), 2);
+        assert_eq!(report.kept, 2);
+        assert_eq!(report.count(super::SalvageReason::TornEntry), 1);
+        assert_eq!(report.count(super::SalvageReason::UnpublishedSlot), 1);
+    }
+
     proptest! {
         #[test]
         fn prop_round_trip(
@@ -255,11 +433,30 @@ mod tests {
                 kind: if *c { EventKind::Call } else { EventKind::Return },
                 counter: *counter, addr: *addr, tid: *tid,
             }).collect();
+            let n = entries.len() as u64;
             let f = LogFile::new(LogHeader {
                 active: true, trace_calls: false, trace_returns: true, multithread: false,
-                version: LOG_VERSION, pid, size, tail, anchor, shm_addr: 0,
+                version: LOG_VERSION, pid, size: size.max(n), tail: tail.max(n), anchor, shm_addr: 0,
             }, entries);
             prop_assert_eq!(LogFile::from_bytes(&f.to_bytes()).unwrap(), f);
+        }
+
+        #[test]
+        fn prop_salvage_never_panics_and_accounts_everything(
+            cut in 0usize..512,
+            flips in proptest::collection::vec((64usize..512, any::<u8>()), 0..4),
+        ) {
+            let f = sample();
+            let mut b = f.to_bytes();
+            for (pos, val) in flips {
+                if pos < b.len() { b[pos] = val; }
+            }
+            let cut = cut.min(b.len());
+            b.truncate(cut);
+            // Must never panic; when it parses, the books must balance.
+            if let Ok((salvaged, report)) = LogFile::from_bytes_salvage(&b) {
+                prop_assert_eq!(salvaged.entries.len() as u64, report.kept);
+            }
         }
     }
 }

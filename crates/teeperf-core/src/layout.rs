@@ -14,7 +14,8 @@
 //! | 6 | 48 | the software counter word (incremented by the host thread) |
 //! | 7 | 56 | epoch: number of completed drain rotations |
 //! | 8 | 64 | entries dropped in completed epochs (cumulative) |
-//! | 9–11 | 72 | reserved |
+//! | 9 | 72 | integrity magic ([`LOG_MAGIC`], written once at init) |
+//! | 10–11 | 80 | reserved |
 //!
 //! The control word is the only mutable-while-running word besides the
 //! tail, the counter, and the two live words; it is read and written
@@ -65,6 +66,14 @@ pub const OFF_COUNTER: u64 = 48;
 pub const OFF_EPOCH: u64 = 56;
 /// Byte offset of the cumulative-dropped word (overflow across epochs).
 pub const OFF_DROPPED: u64 = 64;
+/// Byte offset of the integrity-magic word.
+pub const OFF_MAGIC: u64 = 72;
+
+/// The header integrity word: `"TPERFLOG"` as a little-endian u64. Written
+/// once at init and never changed; a reader that finds anything else knows
+/// the header was corrupted (or the region was never initialized) and must
+/// not trust any other header word.
+pub const LOG_MAGIC: u64 = u64::from_le_bytes(*b"TPERFLOG");
 
 /// Control-word bit: measurement is active.
 pub const FLAG_ACTIVE: u64 = 1 << 0;
@@ -198,7 +207,46 @@ pub struct LogEntry {
     pub tid: u64,
 }
 
+/// What a per-entry validity check concluded about a stored record.
+///
+/// The live write protocol publishes word 0 (kind+counter) last, so a
+/// crash-free log only ever contains `Valid` entries and `Unpublished`
+/// holes (a slot reserved by a writer that died or was preempted before
+/// publishing word 0 — the other words may hold the hole's own half-write
+/// *or* stale data from a previous epoch, since rotation clears only the
+/// publication word). A `Torn` record — word 0 published but the address
+/// word still zero — can only come from a writer that violated the
+/// publication order or from memory corruption; no real function lives at
+/// address zero, so such records are detectable and salvageable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EntryValidity {
+    /// A complete, plausible record.
+    Valid,
+    /// Word 0 zero: reserved but never published.
+    Unpublished,
+    /// Partially written: published-looking but with an impossible zero
+    /// target address.
+    Torn,
+}
+
 impl LogEntry {
+    /// Classify this stored record (see [`EntryValidity`]). Consumers that
+    /// salvage hostile or crashed logs skip everything non-[`EntryValidity::Valid`]
+    /// and account for it instead of aborting the analysis.
+    pub fn validity(&self) -> EntryValidity {
+        // Word 0 packs the kind bit and the counter; the writer publishes
+        // it last, so word 0 == 0 means "never published" no matter what
+        // the other words hold — a slot reused after rotation keeps its
+        // stale addr/tid, and trusting them would resurrect a dead record.
+        if self.counter == 0 && self.kind == EventKind::Return {
+            EntryValidity::Unpublished
+        } else if self.addr == 0 {
+            EntryValidity::Torn
+        } else {
+            EntryValidity::Valid
+        }
+    }
+
     /// Pack into the three words of the on-log representation.
     pub fn pack(&self) -> [u64; 3] {
         let mut w0 = self.counter & ENTRY_COUNTER_MASK;
@@ -304,6 +352,51 @@ mod tests {
     }
 
     #[test]
+    fn validity_classifies_torn_and_unpublished_records() {
+        let valid = LogEntry {
+            kind: EventKind::Call,
+            counter: 5,
+            addr: 0x40_0000,
+            tid: 0,
+        };
+        assert_eq!(valid.validity(), EntryValidity::Valid);
+        let unpublished = LogEntry::unpack([0, 0, 0]);
+        assert_eq!(unpublished.validity(), EntryValidity::Unpublished);
+        // Published-looking (nonzero word 0) but address zero: torn.
+        let torn = LogEntry {
+            kind: EventKind::Call,
+            counter: 9,
+            addr: 0,
+            tid: 3,
+        };
+        assert_eq!(torn.validity(), EntryValidity::Torn);
+        // Even a Return with a counter is torn if the address is zero.
+        let torn2 = LogEntry {
+            kind: EventKind::Return,
+            counter: 1,
+            addr: 0,
+            tid: 0,
+        };
+        assert_eq!(torn2.validity(), EntryValidity::Torn);
+        // A hole in a slot reused after rotation: word 0 zero but stale
+        // addr/tid from the previous epoch. Still never published.
+        let stale_hole = LogEntry {
+            kind: EventKind::Return,
+            counter: 0,
+            addr: 0x40_1234,
+            tid: 7,
+        };
+        assert_eq!(stale_hole.validity(), EntryValidity::Unpublished);
+    }
+
+    #[test]
+    fn magic_word_is_stable() {
+        assert_eq!(LOG_MAGIC.to_le_bytes(), *b"TPERFLOG");
+        assert_eq!(OFF_MAGIC % 8, 0);
+        const { assert!(OFF_MAGIC < HEADER_BYTES) };
+    }
+
+    #[test]
     fn offsets_are_disjoint_words() {
         let offs = [
             OFF_CONTROL,
@@ -313,6 +406,9 @@ mod tests {
             OFF_ANCHOR,
             OFF_SHM_ADDR,
             OFF_COUNTER,
+            OFF_EPOCH,
+            OFF_DROPPED,
+            OFF_MAGIC,
         ];
         for (i, a) in offs.iter().enumerate() {
             assert_eq!(a % 8, 0);

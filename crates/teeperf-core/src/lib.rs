@@ -38,6 +38,7 @@
 
 pub mod api;
 pub mod counter;
+pub mod faults;
 pub mod file;
 pub mod hooks;
 pub mod layout;
@@ -49,11 +50,18 @@ pub mod source;
 
 pub use api::{FunctionId, Probe, Profiler};
 pub use counter::{CounterSource, SimCounter, SpinCounter, TscCounter};
+pub use faults::{
+    ArmedFault, FaultKind, FaultPlan, FaultRng, FaultyWriter, SalvageReason, SalvageReport,
+    WriteOutcome,
+};
 pub use file::LogFile;
 pub use hooks::TeePerfHooks;
-pub use layout::{EventKind, LogEntry, LogHeader, ENTRY_BYTES, HEADER_BYTES, LOG_VERSION};
-pub use log::{LogCursor, RotationOutcome, SharedLog};
+pub use layout::{
+    EntryValidity, EventKind, LogEntry, LogHeader, ENTRY_BYTES, HEADER_BYTES, LOG_MAGIC,
+    LOG_VERSION,
+};
+pub use log::{HeaderFault, LogCursor, RotationOutcome, RotationStall, SharedLog};
 pub use plog::{PartitionedHooks, PartitionedLog};
 pub use recorder::{Recorder, RecorderConfig};
 pub use select::SelectiveFilter;
-pub use source::{EventSource, FileReplaySource, LiveLogSource, SourceBatch};
+pub use source::{EventSource, FileReplaySource, LiveLogSource, SourceBatch, SourceResilience};

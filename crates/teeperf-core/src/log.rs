@@ -15,10 +15,14 @@ use std::sync::Arc;
 
 use tee_sim::SharedMem;
 
+use std::error::Error;
+use std::fmt;
+
 use crate::layout::{
     EventKind, LogEntry, LogHeader, ENTRY_BYTES, FLAG_ACTIVE, FLAG_ROTATING, FLAG_TRACE_CALLS,
-    FLAG_TRACE_RETURNS, HEADER_BYTES, LOG_VERSION, OFF_ANCHOR, OFF_CONTROL, OFF_COUNTER,
-    OFF_DROPPED, OFF_EPOCH, OFF_PID, OFF_SHM_ADDR, OFF_SIZE, OFF_TAIL, WRITERS_MASK, WRITER_ONE,
+    FLAG_TRACE_RETURNS, HEADER_BYTES, LOG_MAGIC, LOG_VERSION, OFF_ANCHOR, OFF_CONTROL, OFF_COUNTER,
+    OFF_DROPPED, OFF_EPOCH, OFF_MAGIC, OFF_PID, OFF_SHM_ADDR, OFF_SIZE, OFF_TAIL, WRITERS_MASK,
+    WRITER_ONE,
 };
 
 /// A handle onto the shared log. Cheap to clone; clones alias the same
@@ -61,6 +65,8 @@ impl SharedLog {
         shm.write_u64(OFF_COUNTER, 0).expect("header in range");
         shm.write_u64(OFF_EPOCH, 0).expect("header in range");
         shm.write_u64(OFF_DROPPED, 0).expect("header in range");
+        shm.write_u64(OFF_MAGIC, LOG_MAGIC)
+            .expect("header in range");
         SharedLog { shm, size }
     }
 
@@ -288,12 +294,67 @@ impl SharedLog {
         out
     }
 
+    /// Verify the header's integrity words: the magic written at init, the
+    /// structure version, and the size word against the capacity this
+    /// handle attached with. A writer that scribbled over the header (or a
+    /// region that was never initialized) fails here, and the caller knows
+    /// not to trust the tail, epoch or dropped words either.
+    ///
+    /// # Errors
+    /// The first [`HeaderFault`] found, most fundamental first (a bad magic
+    /// masks everything else).
+    pub fn verify_header(&self) -> Result<(), HeaderFault> {
+        let magic = self.shm.read_u64(OFF_MAGIC).expect("header in range");
+        if magic != LOG_MAGIC {
+            return Err(HeaderFault::BadMagic { found: magic });
+        }
+        let (_, _, _, _, version) = LogHeader::unpack_control(self.control_word());
+        if version != LOG_VERSION {
+            return Err(HeaderFault::BadVersion { found: version });
+        }
+        let size = self.shm.read_u64(OFF_SIZE).expect("header in range");
+        if size != self.size {
+            return Err(HeaderFault::SizeMismatch {
+                found: size,
+                expected: self.size,
+            });
+        }
+        Ok(())
+    }
+
     /// Rotate the log: block new writers, wait for in-flight writers to
     /// finish, drain every entry the cursor has not seen, account overflow
     /// drops, reset the tail, and open the next epoch. Writers that arrive
     /// during the rotation spin in [`SharedLog::write_live`] (bounded by
     /// the drain, which is O(capacity)) — the workload is never stopped.
+    ///
+    /// Waits for in-flight writers forever; a writer that died inside
+    /// [`SharedLog::write_live`] hangs this call. Crash-resilient drainers
+    /// use [`SharedLog::try_rotate`] instead.
     pub fn rotate(&self, cursor: &mut LogCursor) -> RotationOutcome {
+        self.try_rotate(cursor, u64::MAX)
+            .expect("unbounded quiesce cannot stall")
+    }
+
+    /// [`SharedLog::rotate`] with a bounded quiesce: give in-flight writers
+    /// `spin_limit` spin iterations to publish and leave. If any writer is
+    /// still announced after that, the rotation is abandoned — the rotating
+    /// flag is cleared so live writers are never blocked on a drainer that
+    /// gave up — and the stall is reported instead of hanging the drainer
+    /// (the crashed-enclave case: a writer that died between announcing and
+    /// withdrawing never leaves).
+    ///
+    /// # Errors
+    /// [`RotationStall`] with the number of writers still announced.
+    ///
+    /// # Panics
+    /// Panics if the cursor belongs to a previous epoch; only the single
+    /// drainer that owns the cursor may rotate the log.
+    pub fn try_rotate(
+        &self,
+        cursor: &mut LogCursor,
+        spin_limit: u64,
+    ) -> Result<RotationOutcome, RotationStall> {
         assert_eq!(
             cursor.epoch,
             self.epoch(),
@@ -308,7 +369,19 @@ impl SharedLog {
         // Wait for announced writers to publish and leave. Reading the same
         // word the writers RMW gives a total order: any writer that slipped
         // in before the flag was set is visible here.
+        let mut spins = 0u64;
         while self.control_word() & WRITERS_MASK != 0 {
+            if spins >= spin_limit {
+                // Reopen the log before giving up: surviving writers must
+                // not spin against an abandoned rotation.
+                self.shm
+                    .fetch_and_u64(OFF_CONTROL, !FLAG_ROTATING)
+                    .expect("header in range");
+                return Err(RotationStall {
+                    writers: self.writers_in_flight(),
+                });
+            }
+            spins += 1;
             std::hint::spin_loop();
         }
         let tail = self.shm.read_u64(OFF_TAIL).expect("header in range");
@@ -345,13 +418,98 @@ impl SharedLog {
             .expect("header in range");
         cursor.epoch = new_epoch;
         cursor.index = 0;
-        RotationOutcome {
+        Ok(RotationOutcome {
             entries,
             dropped,
             new_epoch,
+        })
+    }
+
+    /// Forcibly clear the writers-in-flight count: declare every announced
+    /// writer dead and reclaim the log for rotation.
+    ///
+    /// This is the salvage path of last resort, for when a watchdog has
+    /// decided the producing process is gone (repeated [`RotationStall`]s,
+    /// a dead pid): a writer that crashed inside [`SharedLog::write_live`]
+    /// leaves its announcement on the control word forever, and nothing
+    /// else can ever rotate the log again. Calling this while a writer is
+    /// actually alive corrupts the writers count when that writer later
+    /// withdraws — callers own the "is it really dead" judgement.
+    ///
+    /// Returns the number of writers that were declared dead.
+    pub fn force_reclaim_writers(&self) -> u64 {
+        let prev = self
+            .shm
+            .fetch_and_u64(OFF_CONTROL, !WRITERS_MASK)
+            .expect("header in range");
+        (prev & WRITERS_MASK) >> WRITER_ONE.trailing_zeros()
+    }
+}
+
+/// A corrupted or foreign log header, found by [`SharedLog::verify_header`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeaderFault {
+    /// The integrity word does not contain [`LOG_MAGIC`].
+    BadMagic {
+        /// The word found where the magic should be.
+        found: u64,
+    },
+    /// The version bits of the control word are not [`LOG_VERSION`].
+    BadVersion {
+        /// The version found in the control word.
+        found: u16,
+    },
+    /// The size word no longer matches the capacity this handle attached
+    /// with.
+    SizeMismatch {
+        /// The size word as currently stored.
+        found: u64,
+        /// The capacity recorded when the handle attached.
+        expected: u64,
+    },
+}
+
+impl fmt::Display for HeaderFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeaderFault::BadMagic { found } => {
+                write!(f, "header magic {found:#018x} != {LOG_MAGIC:#018x}")
+            }
+            HeaderFault::BadVersion { found } => {
+                write!(f, "header version {found} != {LOG_VERSION}")
+            }
+            HeaderFault::SizeMismatch { found, expected } => {
+                write!(
+                    f,
+                    "header size word {found} != attached capacity {expected}"
+                )
+            }
         }
     }
 }
+
+impl Error for HeaderFault {}
+
+/// A bounded rotation gave up: writers were still announced after the spin
+/// limit (see [`SharedLog::try_rotate`]). The log was reopened; nothing was
+/// drained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RotationStall {
+    /// Writers still in flight when the rotation was abandoned.
+    pub writers: u64,
+}
+
+impl fmt::Display for RotationStall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rotation stalled: {} writer(s) still announced after the quiesce deadline",
+            self.writers
+        )
+    }
+}
+
+impl Error for RotationStall {}
 
 /// Position of a live drainer within the shared log: which epoch it is
 /// reading and how many of that epoch's entries it has consumed. Create
@@ -649,6 +807,74 @@ mod tests {
         let out = log.rotate(&mut cursor);
         assert_eq!(out.entries.len(), 2);
         assert_eq!(out.entries[1].counter, 5);
+    }
+
+    #[test]
+    fn verify_header_accepts_fresh_log_and_detects_corruption() {
+        let log = fresh(8);
+        assert_eq!(log.verify_header(), Ok(()));
+        // Smash the magic word: everything else is now untrustworthy.
+        log.shm().write_u64(OFF_MAGIC, 0xdead_beef).unwrap();
+        assert_eq!(
+            log.verify_header(),
+            Err(HeaderFault::BadMagic { found: 0xdead_beef })
+        );
+        log.shm().write_u64(OFF_MAGIC, LOG_MAGIC).unwrap();
+        // Smash the version bits of the control word.
+        let good_control = log.control_word();
+        log.shm()
+            .write_u64(OFF_CONTROL, good_control ^ (0x7u64 << 17))
+            .unwrap();
+        assert!(matches!(
+            log.verify_header(),
+            Err(HeaderFault::BadVersion { .. })
+        ));
+        log.shm().write_u64(OFF_CONTROL, good_control).unwrap();
+        // Smash the size word.
+        log.shm().write_u64(OFF_SIZE, 999).unwrap();
+        assert_eq!(
+            log.verify_header(),
+            Err(HeaderFault::SizeMismatch {
+                found: 999,
+                expected: 8
+            })
+        );
+    }
+
+    #[test]
+    fn try_rotate_stalls_on_a_dead_writer_and_reopens_the_log() {
+        let log = fresh(4);
+        let mut cursor = LogCursor::default();
+        log.write_live(&LogEntry {
+            kind: EventKind::Call,
+            counter: 3,
+            addr: 0x100,
+            tid: 0,
+        });
+        // Simulate a writer that announced itself and then died before
+        // publishing or withdrawing.
+        log.shm().fetch_add_u64(OFF_CONTROL, WRITER_ONE).unwrap();
+        let stall = log.try_rotate(&mut cursor, 64).unwrap_err();
+        assert_eq!(stall.writers, 1);
+        assert!(stall.to_string().contains("1 writer(s)"));
+        // The abandoned rotation must have reopened the log: live writers
+        // keep appending, and nothing was drained or reset.
+        assert_eq!(log.control_word() & FLAG_ROTATING, 0);
+        assert_eq!(log.epoch(), 0);
+        assert!(log
+            .write_live(&LogEntry {
+                kind: EventKind::Return,
+                counter: 9,
+                addr: 0x100,
+                tid: 0,
+            })
+            .is_some());
+        // The watchdog declares the writer dead; rotation then succeeds.
+        assert_eq!(log.force_reclaim_writers(), 1);
+        assert_eq!(log.writers_in_flight(), 0);
+        let out = log.try_rotate(&mut cursor, 64).unwrap();
+        assert_eq!(out.entries.len(), 2);
+        assert_eq!(out.new_epoch, 1);
     }
 
     #[test]

@@ -16,8 +16,9 @@
 //! (paper Figure 2, word 1): a session registry multiplexes N sources —
 //! one per profiled process — by that pid.
 
+use crate::faults::{SalvageReason, SalvageReport};
 use crate::file::LogFile;
-use crate::layout::LogEntry;
+use crate::layout::{EntryValidity, LogEntry};
 use crate::log::{LogCursor, SharedLog};
 
 /// One pump's worth of entries from an [`EventSource`].
@@ -70,12 +71,61 @@ pub trait EventSource: Send + std::fmt::Debug {
     /// never exhausted (writers may still arrive); replays are exhausted
     /// once every entry and drop has been reported.
     fn is_exhausted(&self) -> bool;
+
+    /// Accounting of everything this source salvaged around — torn
+    /// entries skipped, holes closed, rotations abandoned, headers
+    /// distrusted. Clean (all-zero) for a healthy stream.
+    fn salvage(&self) -> SalvageReport {
+        SalvageReport::default()
+    }
+
+    /// Whether the source has declared its producer dead (corrupted
+    /// header, unrecoverable transport). A dead source returns empty
+    /// batches forever; the registry quarantines it.
+    fn is_dead(&self) -> bool {
+        false
+    }
+}
+
+/// Knobs for a [`LiveLogSource`]'s failure handling. The defaults favour
+/// patience: real writers stall for microseconds, so every threshold is
+/// far past anything a live writer produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceResilience {
+    /// Consecutive pumps a never-published slot may block the cursor
+    /// before the hole is closed (slot skipped, counted as dropped).
+    pub stall_pumps: u64,
+    /// Quiesce iterations [`crate::log::SharedLog::try_rotate`] spins
+    /// before declaring the rotation stalled.
+    pub rotate_spin_limit: u64,
+    /// Consecutive stalled rotations tolerated before the announced
+    /// writers are presumed dead and forcibly reclaimed.
+    pub max_rotation_stalls: u64,
+}
+
+impl Default for SourceResilience {
+    fn default() -> SourceResilience {
+        SourceResilience {
+            stall_pumps: 64,
+            rotate_spin_limit: 1 << 20,
+            max_rotation_stalls: 2,
+        }
+    }
 }
 
 /// Live shared-memory drain: the [`EventSource`] over a [`SharedLog`]
 /// whose writers are still running. Owns the drain cursor; at most one
 /// `LiveLogSource` may exist per log (the rotation protocol is
 /// single-drainer).
+///
+/// Degrades gracefully under writer failure (see [`SourceResilience`]):
+/// torn entries are filtered out, a slot never published is skipped after
+/// a deadline instead of blocking the cursor forever, a rotation stalled
+/// on a crashed writer's announcement is abandoned and — after repeated
+/// stalls — the dead writers are forcibly reclaimed, and a corrupted
+/// header kills the source (empty batches, [`EventSource::is_dead`])
+/// rather than letting it interpret garbage. Everything given up on is
+/// accounted in [`EventSource::salvage`].
 #[derive(Debug)]
 pub struct LiveLogSource {
     log: SharedLog,
@@ -83,6 +133,12 @@ pub struct LiveLogSource {
     watermark_pct: u8,
     rotations: u64,
     drained: u64,
+    resilience: SourceResilience,
+    salvage: SalvageReport,
+    /// (epoch, index, consecutive pumps) the cursor has been blocked at.
+    stuck: Option<(u64, u64, u64)>,
+    rotation_stalls: u64,
+    dead: bool,
 }
 
 impl LiveLogSource {
@@ -99,7 +155,19 @@ impl LiveLogSource {
             watermark_pct: watermark_pct.clamp(1, 99),
             rotations: 0,
             drained: 0,
+            resilience: SourceResilience::default(),
+            salvage: SalvageReport::default(),
+            stuck: None,
+            rotation_stalls: 0,
+            dead: false,
         }
+    }
+
+    /// Override the failure-handling thresholds.
+    #[must_use]
+    pub fn with_resilience(mut self, resilience: SourceResilience) -> LiveLogSource {
+        self.resilience = resilience;
+        self
     }
 
     /// The underlying shared log.
@@ -121,13 +189,110 @@ impl LiveLogSource {
         (self.log.capacity() * u64::from(self.watermark_pct) / 100).max(1)
     }
 
-    fn rotate(&mut self, batch: &mut SourceBatch) {
-        let out = self.log.rotate(&mut self.cursor);
+    /// Distrust the header once and for all: record the incident and go
+    /// dead. Every later pump returns an empty batch.
+    fn go_dead(&mut self) {
+        if !self.dead {
+            self.dead = true;
+            self.salvage.incident(SalvageReason::CorruptHeader);
+        }
+    }
+
+    /// A pump made no progress past a reserved-but-unpublished slot. Count
+    /// the consecutive stuck pumps; past the deadline, re-check the slot
+    /// and close the hole (skip it, account it) if it is still empty.
+    /// Returns whether the cursor was advanced past a hole.
+    fn note_stuck(&mut self) -> bool {
+        let at = (self.cursor.epoch, self.cursor.index);
+        let pumps = match self.stuck {
+            Some((e, i, n)) if (e, i) == at => n + 1,
+            _ => 1,
+        };
+        if pumps >= self.resilience.stall_pumps {
+            self.stuck = None;
+            // Deadline reached: if the writer published in the meantime the
+            // next poll will pick the entry up; otherwise skip the hole.
+            if self.log.read_entry(self.cursor.index).validity() != EntryValidity::Valid {
+                self.cursor.index += 1;
+                self.salvage.drop_n(SalvageReason::UnpublishedSlot, 1);
+                return true;
+            }
+        } else {
+            self.stuck = Some((at.0, at.1, pumps));
+        }
+        false
+    }
+
+    /// Rotate with a bounded quiesce. A stall is recorded and skipped;
+    /// `force` (the drain-to-end path) and repeated stalls escalate to
+    /// reclaiming the announced-but-dead writers so the epoch's published
+    /// entries are still salvaged.
+    fn rotate(&mut self, batch: &mut SourceBatch, force: bool) {
+        let limit = self.resilience.rotate_spin_limit;
+        let mut attempt = self.log.try_rotate(&mut self.cursor, limit);
+        if attempt.is_err() {
+            self.salvage.incident(SalvageReason::StalledRotation);
+            self.rotation_stalls += 1;
+            if force || self.rotation_stalls >= self.resilience.max_rotation_stalls {
+                let reclaimed = self.log.force_reclaim_writers();
+                for _ in 0..reclaimed {
+                    self.salvage.incident(SalvageReason::DeadWriterReclaimed);
+                }
+                attempt = self.log.try_rotate(&mut self.cursor, limit);
+            }
+        }
+        let Ok(out) = attempt else { return };
+        self.rotation_stalls = 0;
         batch.entries.extend(out.entries);
         batch.rotated = true;
         batch.dropped = out.dropped;
         batch.epoch = out.new_epoch;
         self.rotations += 1;
+    }
+
+    /// Shared pump body: poll, filter invalid records, maybe rotate.
+    fn pump_inner(&mut self, force_rotate: bool) -> SourceBatch {
+        if self.dead {
+            return SourceBatch {
+                epoch: self.cursor.epoch,
+                ..SourceBatch::default()
+            };
+        }
+        if self.log.verify_header().is_err() {
+            self.go_dead();
+            return SourceBatch {
+                epoch: self.cursor.epoch,
+                ..SourceBatch::default()
+            };
+        }
+        let polled = self.log.poll(&mut self.cursor);
+        let blocked = polled.is_empty()
+            && self.cursor.index < self.log.header().tail.min(self.log.capacity());
+        let mut batch = SourceBatch {
+            entries: self.salvage.filter_entries(polled),
+            rotated: false,
+            dropped: 0,
+            epoch: self.cursor.epoch,
+        };
+        if force_rotate || self.log.header().tail >= self.watermark_entries() {
+            let before = batch.entries.len();
+            self.rotate(&mut batch, force_rotate);
+            let rotated_in = batch.entries.split_off(before);
+            batch
+                .entries
+                .extend(self.salvage.filter_entries(rotated_in));
+            self.stuck = None;
+        } else if blocked {
+            if self.note_stuck() {
+                // The hole is closed: pick up whatever lies past it now.
+                let extra = self.log.poll(&mut self.cursor);
+                batch.entries.extend(self.salvage.filter_entries(extra));
+            }
+        } else {
+            self.stuck = None;
+        }
+        self.drained += batch.entries.len() as u64;
+        batch
     }
 }
 
@@ -137,29 +302,11 @@ impl EventSource for LiveLogSource {
     }
 
     fn pump(&mut self) -> SourceBatch {
-        let mut batch = SourceBatch {
-            entries: self.log.poll(&mut self.cursor),
-            rotated: false,
-            dropped: 0,
-            epoch: self.cursor.epoch,
-        };
-        if self.log.header().tail >= self.watermark_entries() {
-            self.rotate(&mut batch);
-        }
-        self.drained += batch.entries.len() as u64;
-        batch
+        self.pump_inner(false)
     }
 
     fn drain_to_end(&mut self) -> SourceBatch {
-        let mut batch = SourceBatch {
-            entries: self.log.poll(&mut self.cursor),
-            rotated: false,
-            dropped: 0,
-            epoch: self.cursor.epoch,
-        };
-        self.rotate(&mut batch);
-        self.drained += batch.entries.len() as u64;
-        batch
+        self.pump_inner(true)
     }
 
     fn dropped_total(&self) -> u64 {
@@ -173,12 +320,25 @@ impl EventSource for LiveLogSource {
     fn is_exhausted(&self) -> bool {
         false
     }
+
+    fn salvage(&self) -> SalvageReport {
+        self.salvage.clone()
+    }
+
+    fn is_dead(&self) -> bool {
+        self.dead
+    }
 }
 
 /// File-backed replay: the [`EventSource`] over a persisted [`LogFile`].
 /// Yields the recorded entries in chunks (one chunk per "epoch") and
 /// reports the file's overflow drops exactly once, with the batch that
 /// exhausts the source.
+///
+/// Torn or never-published records in the file (a log persisted after a
+/// writer crash) are filtered out at construction and accounted in
+/// [`EventSource::salvage`], so a damaged replay degrades exactly like a
+/// damaged live drain.
 #[derive(Debug, Clone)]
 pub struct FileReplaySource {
     pid: u64,
@@ -188,6 +348,7 @@ pub struct FileReplaySource {
     dropped: u64,
     dropped_reported: bool,
     epochs: u64,
+    salvage: SalvageReport,
 }
 
 impl FileReplaySource {
@@ -196,15 +357,28 @@ impl FileReplaySource {
     /// [`FileReplaySource::with_chunk`]).
     pub fn new(log: &LogFile) -> FileReplaySource {
         let dropped = log.header.dropped_entries();
+        let mut salvage = SalvageReport::default();
+        let entries = salvage.filter_entries(log.entries.clone());
+        let chunk = entries.len().max(1);
         FileReplaySource {
             pid: log.header.pid,
-            entries: log.entries.clone(),
+            entries,
             pos: 0,
-            chunk: log.entries.len().max(1),
+            chunk,
             dropped,
             dropped_reported: dropped == 0,
             epochs: 0,
+            salvage,
         }
+    }
+
+    /// Fold an earlier salvage pass's losses (e.g. from
+    /// [`LogFile::load_salvage`]) into this source's report, so one report
+    /// accounts for the whole file-to-stream path.
+    #[must_use]
+    pub fn with_prior_salvage(mut self, prior: &SalvageReport) -> FileReplaySource {
+        self.salvage.absorb_drops(prior);
+        self
     }
 
     /// Override the pid this source reports (used to disambiguate several
@@ -272,6 +446,10 @@ impl EventSource for FileReplaySource {
 
     fn is_exhausted(&self) -> bool {
         self.pos == self.entries.len() && self.dropped_reported
+    }
+
+    fn salvage(&self) -> SalvageReport {
+        self.salvage.clone()
     }
 }
 
@@ -390,6 +568,157 @@ mod tests {
         assert!(src.is_exhausted());
         let total: u64 = b1.dropped + b2.dropped + src.pump().dropped;
         assert_eq!(total, 1, "drops must be reported exactly once");
+    }
+
+    #[test]
+    fn live_source_filters_torn_entries_and_accounts_them() {
+        use crate::faults::{FaultKind, FaultPlan, FaultyWriter, SalvageReason};
+        let log = live_log(7, 8);
+        let plan = FaultPlan::new().with(FaultKind::TornEntry, 1);
+        let mut w = FaultyWriter::new(log.clone(), plan);
+        let mut src = LiveLogSource::new(log, 90);
+        for k in 1..=3u64 {
+            w.write_live(&entry(k, 0x100 + k));
+        }
+        let b = src.drain_to_end();
+        assert_eq!(b.entries, w.published());
+        let report = src.salvage();
+        assert_eq!(report.kept, 2);
+        assert_eq!(report.count(SalvageReason::TornEntry), 1);
+        assert!(!src.is_dead());
+    }
+
+    #[test]
+    fn live_source_closes_hole_left_by_stalled_writer() {
+        use crate::faults::{FaultKind, FaultPlan, FaultyWriter, SalvageReason};
+        let log = live_log(7, 16);
+        let plan = FaultPlan::new().with(FaultKind::StalledWriter, 1);
+        let mut w = FaultyWriter::new(log.clone(), plan);
+        let mut src = LiveLogSource::new(log, 90).with_resilience(SourceResilience {
+            stall_pumps: 2,
+            ..SourceResilience::default()
+        });
+        w.write_live(&entry(1, 0x101));
+        w.write_live(&entry(2, 0x102)); // stalls: slot 1 is a hole
+        w.write_live(&entry(3, 0x103));
+        let b = src.pump();
+        assert_eq!(b.entries.len(), 1, "poll stops at the hole");
+        // The first blocked pump starts the deadline clock; the second
+        // closes the hole and picks up the entry beyond it in one pump.
+        assert!(src.pump().entries.is_empty());
+        let b = src.pump();
+        assert_eq!(b.entries, vec![entry(3, 0x103)], "cursor skipped the hole");
+        assert_eq!(src.salvage().count(SalvageReason::UnpublishedSlot), 1);
+        // The stalled writer resuming later publishes into a slot the
+        // cursor already passed: nothing is double-delivered.
+        w.release_stall();
+        assert!(src.pump().entries.is_empty());
+        assert_eq!(src.drained(), 2);
+    }
+
+    #[test]
+    fn live_source_recovers_from_writer_publishing_before_deadline() {
+        use crate::faults::{FaultKind, FaultPlan, FaultyWriter};
+        let log = live_log(7, 16);
+        let plan = FaultPlan::new().with(FaultKind::StalledWriter, 0);
+        let mut w = FaultyWriter::new(log.clone(), plan);
+        let mut src = LiveLogSource::new(log, 90).with_resilience(SourceResilience {
+            stall_pumps: 10,
+            ..SourceResilience::default()
+        });
+        w.write_live(&entry(1, 0x101)); // stalls immediately
+        w.write_live(&entry(2, 0x102));
+        assert!(src.pump().entries.is_empty(), "blocked at slot 0");
+        w.release_stall(); // resumes before the deadline
+        let b = src.pump();
+        assert_eq!(b.entries, vec![entry(1, 0x101), entry(2, 0x102)]);
+        assert!(src.salvage().is_clean());
+    }
+
+    #[test]
+    fn live_source_reclaims_crashed_writer_and_salvages_published_entries() {
+        use crate::faults::{FaultKind, FaultPlan, FaultyWriter, SalvageReason};
+        let log = live_log(7, 16);
+        let plan = FaultPlan::new().with(FaultKind::WriterCrash, 2);
+        let mut w = FaultyWriter::new(log.clone(), plan);
+        let mut src = LiveLogSource::new(log, 90).with_resilience(SourceResilience {
+            rotate_spin_limit: 32,
+            max_rotation_stalls: 2,
+            ..SourceResilience::default()
+        });
+        w.write_live(&entry(1, 0x101));
+        w.write_live(&entry(2, 0x102));
+        w.write_live(&entry(3, 0x103)); // crashes: announcement never withdrawn
+                                        // Force path: the stalled rotation escalates to reclaim at once.
+        let b = src.drain_to_end();
+        assert_eq!(b.entries, w.published(), "published entries salvaged");
+        assert!(b.rotated);
+        let report = src.salvage();
+        assert_eq!(report.count(SalvageReason::StalledRotation), 1);
+        assert_eq!(report.count(SalvageReason::DeadWriterReclaimed), 1);
+        assert_eq!(report.count(SalvageReason::UnpublishedSlot), 1);
+        assert_eq!(src.log().writers_in_flight(), 0);
+        // The log is usable again after the reclaim.
+        src.log().write_live(&entry(4, 0x104));
+        assert_eq!(src.pump().entries.len(), 1);
+    }
+
+    #[test]
+    fn live_source_goes_dead_on_corrupted_header() {
+        use crate::faults::{FaultKind, FaultPlan, FaultyWriter, SalvageReason};
+        let log = live_log(7, 8);
+        let plan = FaultPlan::new().with(FaultKind::CorruptHeader, 1);
+        let mut w = FaultyWriter::new(log.clone(), plan);
+        let mut src = LiveLogSource::new(log, 90);
+        w.write_live(&entry(1, 0x101));
+        assert_eq!(src.pump().entries.len(), 1);
+        w.write_live(&entry(2, 0x102)); // smashes the header
+        assert!(src.pump().entries.is_empty());
+        assert!(src.is_dead());
+        assert_eq!(src.salvage().count(SalvageReason::CorruptHeader), 1);
+        // Dead is sticky and cheap: no further header reads, empty batches.
+        assert!(src.drain_to_end().entries.is_empty());
+        assert_eq!(src.salvage().count(SalvageReason::CorruptHeader), 1);
+    }
+
+    #[test]
+    fn replay_source_filters_invalid_records() {
+        use crate::faults::SalvageReason;
+        let header = LogHeader {
+            active: false,
+            trace_calls: true,
+            trace_returns: true,
+            multithread: false,
+            version: LOG_VERSION,
+            pid: 31,
+            size: 8,
+            tail: 4,
+            anchor: 0,
+            shm_addr: 0,
+        };
+        let file = LogFile::new(
+            header,
+            vec![
+                entry(1, 0xa),
+                LogEntry::unpack([0, 0, 0]), // unpublished hole
+                entry(3, 0),                 // torn
+                entry(4, 0xb),
+            ],
+        );
+        let prior = {
+            let mut p = crate::faults::SalvageReport::default();
+            p.drop_n(SalvageReason::TruncatedFile, 1);
+            p
+        };
+        let mut src = FileReplaySource::new(&file).with_prior_salvage(&prior);
+        let b = src.drain_to_end();
+        assert_eq!(b.entries, vec![entry(1, 0xa), entry(4, 0xb)]);
+        let report = src.salvage();
+        assert_eq!(report.kept, 2);
+        assert_eq!(report.count(SalvageReason::UnpublishedSlot), 1);
+        assert_eq!(report.count(SalvageReason::TornEntry), 1);
+        assert_eq!(report.count(SalvageReason::TruncatedFile), 1);
+        assert_eq!(report.dropped, 3);
     }
 
     #[test]

@@ -88,6 +88,22 @@ impl Drainer {
         self.source.dropped_total()
     }
 
+    /// Salvage accounting of the wrapped source (see
+    /// [`teeperf_core::EventSource::salvage`]).
+    pub fn salvage(&self) -> teeperf_core::SalvageReport {
+        self.source.salvage()
+    }
+
+    /// Whether the wrapped source has declared its producer dead.
+    pub fn is_dead(&self) -> bool {
+        self.source.is_dead()
+    }
+
+    /// Whether the wrapped source can never produce another entry.
+    pub fn is_exhausted(&self) -> bool {
+        self.source.is_exhausted()
+    }
+
     fn account(&mut self, batch: DrainBatch) -> DrainBatch {
         if batch.rotated {
             self.rotations += 1;

@@ -28,7 +28,9 @@
 //! * [`registry`] — the multi-process layer: a [`SessionRegistry`] keys
 //!   one session per [`teeperf_core::EventSource`] by the pid in its log
 //!   header, and merges the per-pid rolling profiles into a cross-process
-//!   view whose totals are exactly the per-pid sums.
+//!   view whose totals are exactly the per-pid sums. Sessions attach and
+//!   detach hot, and an optional liveness watchdog quarantines sources
+//!   whose producer crashed — their prior contribution stays in the merge.
 //! * [`native`] — [`NativeLiveSession`]: continuous profiling of native
 //!   Rust workloads under a *real* spin-counter thread, through the same
 //!   session machinery.
@@ -47,7 +49,7 @@ pub use driver::{
     MultiLiveRun,
 };
 pub use native::NativeLiveSession;
-pub use registry::{AttachError, RegistryRun, SessionRegistry};
+pub use registry::{AttachError, RegistryRun, SessionRegistry, WatchdogConfig};
 pub use rolling::RollingProfile;
 pub use session::{LiveConfig, LiveSession};
-pub use snapshot::Snapshot;
+pub use snapshot::{SessionEvent, Snapshot};

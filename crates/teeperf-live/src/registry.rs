@@ -8,6 +8,17 @@
 //! snapshot whose profile is the commutative merge of every per-pid
 //! profile (see [`teeperf_analyzer::merge_profiles`]), so the merged
 //! totals are exactly the sum of the per-pid totals.
+//!
+//! Sessions come and go while the registry runs: [`SessionRegistry::attach`]
+//! accepts a new source at any point and [`SessionRegistry::detach`] ends
+//! one early, moving its final snapshot into the *retired* set — the merged
+//! profile keeps counting its contribution. An optional liveness watchdog
+//! ([`SessionRegistry::with_watchdog`]) does the same involuntarily: a
+//! source whose heartbeat (tail progress observed at each pump) stays flat
+//! past the configured timeout is retried with doubling backoff and then
+//! *quarantined* — finished, retired, and recorded as a
+//! [`SessionEvent::Quarantined`] in the merged snapshot, so one crashed
+//! process never poisons the run for the survivors.
 
 use std::collections::BTreeMap;
 use std::error::Error;
@@ -17,11 +28,11 @@ use teeperf_analyzer::merge_profiles;
 use teeperf_analyzer::symbolize::Symbolizer;
 use teeperf_analyzer::Profile;
 use teeperf_core::layout::PID_UNSET;
-use teeperf_core::EventSource;
+use teeperf_core::{EventSource, SalvageReport};
 use teeperf_flamegraph::{live, LiveStatus, SvgOptions};
 
 use crate::session::{LiveConfig, LiveSession};
-use crate::snapshot::Snapshot;
+use crate::snapshot::{SessionEvent, Snapshot};
 
 /// Why a source could not be attached to the registry.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,10 +70,47 @@ impl Error for AttachError {}
 /// the merged cross-process snapshot.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RegistryRun {
-    /// Final per-process snapshots, keyed by pid.
+    /// Final per-process snapshots, keyed by pid — including sessions that
+    /// were detached or quarantined before the run ended, so the merged
+    /// totals always equal the sum over `per_pid`.
     pub per_pid: BTreeMap<u64, Snapshot>,
     /// The cross-process merge: totals equal the sum over `per_pid`.
     pub merged: Snapshot,
+}
+
+/// Liveness-watchdog tuning for a [`SessionRegistry`].
+///
+/// The heartbeat is tail progress: a pump that consumes at least one entry
+/// (or reports drops) proves the producer alive. A source missing
+/// `timeout_pumps` consecutive heartbeats strikes out once; each strike
+/// doubles the deadline (bounded backoff), and after `max_retries`
+/// additional strikes the source is declared dead and quarantined.
+/// Exhausted replay sources are exempt — done is not dead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Consecutive progress-free pumps before the first strike.
+    pub timeout_pumps: u64,
+    /// Strikes tolerated after the first before quarantining (0 means the
+    /// first timeout is final).
+    pub max_retries: u32,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> WatchdogConfig {
+        WatchdogConfig {
+            timeout_pumps: 64,
+            max_retries: 2,
+        }
+    }
+}
+
+/// Per-session watchdog ledger.
+#[derive(Debug, Clone, Copy, Default)]
+struct WatchState {
+    /// Progress-free pumps since the last heartbeat or strike.
+    missed: u64,
+    /// Strikes so far (each doubles the next deadline).
+    retries: u32,
 }
 
 /// N profiled processes, one [`LiveSession`] each, keyed by pid.
@@ -70,6 +118,13 @@ pub struct RegistryRun {
 pub struct SessionRegistry {
     config: LiveConfig,
     sessions: BTreeMap<u64, LiveSession>,
+    watchdog: Option<WatchdogConfig>,
+    watch: BTreeMap<u64, WatchState>,
+    /// Final snapshots of detached/quarantined sessions: their
+    /// contribution stays in every merged view.
+    retired: BTreeMap<u64, Snapshot>,
+    retired_salvage: SalvageReport,
+    events: Vec<SessionEvent>,
 }
 
 impl SessionRegistry {
@@ -78,17 +133,33 @@ impl SessionRegistry {
         SessionRegistry {
             config,
             sessions: BTreeMap::new(),
+            watchdog: None,
+            watch: BTreeMap::new(),
+            retired: BTreeMap::new(),
+            retired_salvage: SalvageReport::default(),
+            events: Vec::new(),
         }
     }
 
-    /// Attach a source and start its session. The session is keyed by
+    /// Enable the per-source liveness watchdog (off by default: a registry
+    /// of replay sources has no liveness to watch).
+    #[must_use]
+    pub fn with_watchdog(mut self, watchdog: WatchdogConfig) -> SessionRegistry {
+        self.watchdog = Some(watchdog);
+        self
+    }
+
+    /// Attach a source and start its session — at construction time or hot,
+    /// in the middle of a run. The session is keyed by
     /// [`EventSource::pid`]; returns that pid on success.
     ///
     /// # Errors
     /// [`AttachError::ZeroPid`] when the source reports [`PID_UNSET`]
     /// (the producer never stamped a real pid), and
     /// [`AttachError::DuplicatePid`] when a session with the same pid is
-    /// already attached.
+    /// already attached — or was retired (detached/quarantined) earlier in
+    /// this run, since its contribution is still keyed under that pid in
+    /// the merged views.
     pub fn attach(
         &mut self,
         source: Box<dyn EventSource>,
@@ -98,12 +169,62 @@ impl SessionRegistry {
         if pid == PID_UNSET {
             return Err(AttachError::ZeroPid);
         }
-        if self.sessions.contains_key(&pid) {
+        if self.sessions.contains_key(&pid) || self.retired.contains_key(&pid) {
             return Err(AttachError::DuplicatePid(pid));
         }
         let session = LiveSession::from_source(source, symbolizer, self.config.clone());
         self.sessions.insert(pid, session);
+        self.events.push(SessionEvent::Attached { pid });
         Ok(pid)
+    }
+
+    /// Hot-detach the session for `pid`: end it (final drain, close open
+    /// frames) and move its snapshot into the retired set, where every
+    /// merged view keeps counting it. Returns the final snapshot, or
+    /// `None` when no such session is attached.
+    pub fn detach(&mut self, pid: u64) -> Option<Snapshot> {
+        let mut session = self.sessions.remove(&pid)?;
+        self.watch.remove(&pid);
+        let snapshot = session.finish();
+        self.retired_salvage.absorb(&session.salvage());
+        self.retired.insert(pid, snapshot.clone());
+        self.events.push(SessionEvent::Detached { pid });
+        Some(snapshot)
+    }
+
+    /// Declare `pid`'s producer dead: finish what can still be drained
+    /// (published entries of the final epoch are salvaged on the way out),
+    /// retire the snapshot, and record the quarantine event.
+    fn quarantine(&mut self, pid: u64, reason: String) {
+        let Some(mut session) = self.sessions.remove(&pid) else {
+            return;
+        };
+        self.watch.remove(&pid);
+        let snapshot = session.finish();
+        self.retired_salvage.absorb(&session.salvage());
+        self.retired.insert(pid, snapshot);
+        self.events.push(SessionEvent::Quarantined { pid, reason });
+    }
+
+    /// Registry lifecycle events so far (attach/detach/quarantine), in
+    /// order of occurrence.
+    pub fn session_events(&self) -> &[SessionEvent] {
+        &self.events
+    }
+
+    /// Pids quarantined or detached so far, ascending.
+    pub fn retired_pids(&self) -> Vec<u64> {
+        self.retired.keys().copied().collect()
+    }
+
+    /// Salvage accounting across the whole registry: every live session's
+    /// report plus those of retired sessions.
+    pub fn salvage(&self) -> SalvageReport {
+        let mut total = self.retired_salvage.clone();
+        for s in self.sessions.values() {
+            total.absorb(&s.salvage());
+        }
+        total
     }
 
     /// The attached pids, ascending.
@@ -133,27 +254,88 @@ impl SessionRegistry {
 
     /// Pump every session once (each drains its own source and merges into
     /// its own rolling profile). Returns the total entries consumed.
+    ///
+    /// With a watchdog enabled, each pump also checks every source's
+    /// heartbeat: consuming entries (or reporting drops) resets its
+    /// ledger; a source silent past the timeout strikes out with doubled
+    /// deadlines until [`WatchdogConfig::max_retries`] is exhausted, at
+    /// which point it is quarantined. A source that declares itself dead
+    /// (corrupted header) is quarantined immediately.
     pub fn pump(&mut self) -> usize {
-        self.sessions.values_mut().map(LiveSession::pump).sum()
+        let mut total = 0;
+        let mut condemned: Vec<(u64, String)> = Vec::new();
+        let watchdog = self.watchdog;
+        for (pid, session) in &mut self.sessions {
+            let before_dropped = session.dropped();
+            let n = session.pump();
+            total += n;
+            if session.source_dead() {
+                condemned.push((*pid, "source header corrupted".to_string()));
+                continue;
+            }
+            let Some(dog) = watchdog else { continue };
+            if session.source_exhausted() {
+                self.watch.remove(pid);
+                continue;
+            }
+            let state = self.watch.entry(*pid).or_default();
+            if n > 0 || session.dropped() > before_dropped {
+                *state = WatchState::default();
+                continue;
+            }
+            state.missed += 1;
+            let deadline = dog
+                .timeout_pumps
+                .checked_shl(state.retries)
+                .unwrap_or(u64::MAX);
+            if state.missed >= deadline {
+                state.missed = 0;
+                if state.retries >= dog.max_retries {
+                    condemned.push((
+                        *pid,
+                        format!(
+                            "no progress after {} strikes of {} pumps",
+                            dog.max_retries + 1,
+                            dog.timeout_pumps
+                        ),
+                    ));
+                } else {
+                    state.retries += 1;
+                }
+            }
+        }
+        for (pid, reason) in condemned {
+            self.quarantine(pid, reason);
+        }
+        total
     }
 
-    /// Events merged so far, across all processes.
+    /// Events merged so far, across all processes — including sessions
+    /// already retired.
     pub fn events(&self) -> u64 {
-        self.sessions.values().map(LiveSession::events).sum()
+        self.sessions.values().map(LiveSession::events).sum::<u64>()
+            + self.retired.values().map(|s| s.status.events).sum::<u64>()
     }
 
-    /// Cumulative overflow loss, across all processes.
+    /// Cumulative overflow loss, across all processes — including
+    /// sessions already retired.
     pub fn dropped(&self) -> u64 {
-        self.sessions.values().map(LiveSession::dropped).sum()
+        self.sessions
+            .values()
+            .map(LiveSession::dropped)
+            .sum::<u64>()
+            + self.retired.values().map(|s| s.status.dropped).sum::<u64>()
     }
 
     /// The cross-process status: every counter is the sum over the
     /// attached sessions (epochs included — each process rotates its own
-    /// log, so the merged epoch counts rotations fleet-wide).
+    /// log, so the merged epoch counts rotations fleet-wide) plus the
+    /// frozen counters of retired sessions.
     pub fn merged_status(&self) -> LiveStatus {
         let mut status = LiveStatus::default();
-        for s in self.sessions.values() {
-            let one = s.status();
+        let live = self.sessions.values().map(LiveSession::status);
+        let retired = self.retired.values().map(|s| s.status.clone());
+        for one in live.chain(retired) {
             status.epoch += one.epoch;
             status.events += one.events;
             status.dropped += one.dropped;
@@ -170,25 +352,42 @@ impl SessionRegistry {
     }
 
     /// Freeze every session and merge: the returned snapshot's profile
-    /// covers all attached pids, its method and tick totals are the sums
-    /// of the per-pid profiles, and its status is [`Self::merged_status`].
+    /// covers all attached pids (plus retired ones, whose final frozen
+    /// profiles keep contributing), its method and tick totals are the
+    /// sums of the per-pid profiles, its status is
+    /// [`Self::merged_status`], and its events list records every
+    /// attach/detach/quarantine so far.
     pub fn merged_snapshot(&mut self) -> Snapshot {
-        let per_pid: BTreeMap<u64, Snapshot> = self
+        let mut per_pid: BTreeMap<u64, Snapshot> = self
             .sessions
             .iter_mut()
             .map(|(pid, s)| (*pid, s.snapshot()))
             .collect();
-        merge_snapshots(&per_pid)
+        per_pid.extend(self.retired.iter().map(|(pid, s)| (*pid, s.clone())));
+        merge_snapshots(&per_pid, self.events.clone())
+    }
+
+    /// The per-pid profiles for rendering: live sessions freshly frozen,
+    /// retired sessions at their final frozen state.
+    fn render_parts(&mut self) -> Vec<(u64, Profile)> {
+        let mut per_pid: Vec<(u64, Profile)> = self
+            .sessions
+            .iter_mut()
+            .map(|(pid, s)| (*pid, s.snapshot().profile))
+            .collect();
+        per_pid.extend(
+            self.retired
+                .iter()
+                .map(|(pid, s)| (*pid, s.profile.clone())),
+        );
+        per_pid.sort_by_key(|(pid, _)| *pid);
+        per_pid
     }
 
     /// Render the merged view for a terminal: one `pid <n>` tower per
     /// process under the merged status banner.
     pub fn render_ascii(&mut self, width: usize) -> String {
-        let per_pid: Vec<(u64, Profile)> = self
-            .sessions
-            .iter_mut()
-            .map(|(pid, s)| (*pid, s.snapshot().profile))
-            .collect();
+        let per_pid = self.render_parts();
         let parts: Vec<teeperf_flamegraph::PidFolded> = per_pid
             .iter()
             .map(|(pid, p)| (*pid, p.folded.as_slice()))
@@ -198,11 +397,7 @@ impl SessionRegistry {
 
     /// Render the merged view as SVG, one `pid <n>` tower per process.
     pub fn render_svg(&mut self, options: &SvgOptions) -> String {
-        let per_pid: Vec<(u64, Profile)> = self
-            .sessions
-            .iter_mut()
-            .map(|(pid, s)| (*pid, s.snapshot().profile))
-            .collect();
+        let per_pid = self.render_parts();
         let parts: Vec<teeperf_flamegraph::PidFolded> = per_pid
             .iter()
             .map(|(pid, p)| (*pid, p.folded.as_slice()))
@@ -212,20 +407,24 @@ impl SessionRegistry {
 
     /// End every session (drain final partial epochs, force-close open
     /// frames) and return the per-pid snapshots plus the merged view.
+    /// Retired sessions are included under their pids, so the merged
+    /// totals equal the sum over `per_pid` even after quarantines.
     pub fn finish(&mut self) -> RegistryRun {
-        let per_pid: BTreeMap<u64, Snapshot> = self
+        let mut per_pid: BTreeMap<u64, Snapshot> = self
             .sessions
             .iter_mut()
             .map(|(pid, s)| (*pid, s.finish()))
             .collect();
-        let merged = merge_snapshots(&per_pid);
+        per_pid.extend(self.retired.iter().map(|(pid, s)| (*pid, s.clone())));
+        let merged = merge_snapshots(&per_pid, self.events.clone());
         RegistryRun { per_pid, merged }
     }
 }
 
 /// Merge per-pid snapshots: profiles through [`merge_profiles`], statuses
-/// by field-wise summation.
-fn merge_snapshots(per_pid: &BTreeMap<u64, Snapshot>) -> Snapshot {
+/// by field-wise summation; `events` becomes the merged snapshot's event
+/// log.
+fn merge_snapshots(per_pid: &BTreeMap<u64, Snapshot>, events: Vec<SessionEvent>) -> Snapshot {
     let parts: Vec<(u64, &Profile)> = per_pid.iter().map(|(pid, s)| (*pid, &s.profile)).collect();
     let profile = merge_profiles(&parts);
     let mut status = LiveStatus::default();
@@ -236,7 +435,11 @@ fn merge_snapshots(per_pid: &BTreeMap<u64, Snapshot>) -> Snapshot {
         status.threads += s.status.threads;
         status.open_frames += s.status.open_frames;
     }
-    Snapshot { status, profile }
+    Snapshot {
+        status,
+        profile,
+        events,
+    }
 }
 
 #[cfg(test)]
@@ -360,6 +563,109 @@ mod tests {
         assert!(text.contains("[processes]\npid 11\npid 22\npid 33\n"));
         // Per-pid snapshots are single-process: no [processes] section.
         assert!(!run.per_pid[&11].to_text().contains("[processes]"));
+    }
+
+    #[test]
+    fn hot_detach_keeps_the_contribution_and_blocks_reattach() {
+        let mut reg = SessionRegistry::new(LiveConfig::default());
+        for (pid, work) in [(11u64, 20u64), (22, 30)] {
+            reg.attach(Box::new(FileReplaySource::new(&file(pid, work))), sym())
+                .unwrap();
+        }
+        while reg.pump() > 0 {}
+        let gone = reg.detach(11).expect("session 11 is attached");
+        assert_eq!(gone.profile.total_ticks, 100);
+        assert!(reg.detach(11).is_none(), "already detached");
+        assert_eq!(reg.pids(), vec![22]);
+        assert_eq!(reg.retired_pids(), vec![11]);
+        // Its pid stays reserved: the retired contribution is keyed by it.
+        let err = reg
+            .attach(Box::new(FileReplaySource::new(&file(11, 5))), sym())
+            .unwrap_err();
+        assert_eq!(err, AttachError::DuplicatePid(11));
+        // A third process attaches hot, after the run started.
+        reg.attach(Box::new(FileReplaySource::new(&file(33, 40))), sym())
+            .unwrap();
+        while reg.pump() > 0 {}
+        let run = reg.finish();
+        assert_eq!(run.per_pid.len(), 3, "retired pid 11 still reported");
+        let ticks_sum: u64 = run.per_pid.values().map(|s| s.profile.total_ticks).sum();
+        assert_eq!(run.merged.profile.total_ticks, ticks_sum);
+        assert_eq!(run.merged.profile.total_ticks, 300);
+        assert_eq!(
+            run.merged.events,
+            vec![
+                SessionEvent::Attached { pid: 11 },
+                SessionEvent::Attached { pid: 22 },
+                SessionEvent::Detached { pid: 11 },
+                SessionEvent::Attached { pid: 33 },
+            ]
+        );
+        let text = run.merged.to_text();
+        assert!(text.contains("[events]\n"));
+        assert!(text.contains("detached pid 11\n"));
+    }
+
+    #[test]
+    fn watchdog_exempts_exhausted_replays() {
+        let mut reg = SessionRegistry::new(LiveConfig::default()).with_watchdog(WatchdogConfig {
+            timeout_pumps: 2,
+            max_retries: 0,
+        });
+        reg.attach(Box::new(FileReplaySource::new(&file(7, 10))), sym())
+            .unwrap();
+        for _ in 0..20 {
+            reg.pump();
+        }
+        assert_eq!(reg.pids(), vec![7], "done is not dead");
+        assert!(reg.session_events().len() == 1, "only the attach event");
+    }
+
+    #[test]
+    fn watchdog_quarantines_a_silent_live_source_with_backoff() {
+        use std::sync::Arc;
+        use tee_sim::SharedMem;
+        use teeperf_core::log::{make_header, region_bytes};
+        use teeperf_core::{LiveLogSource, SharedLog};
+
+        let shm = Arc::new(SharedMem::new(region_bytes(8)));
+        let log = SharedLog::init(shm, &make_header(9, 8, true, 0, 0));
+        let mut reg = SessionRegistry::new(LiveConfig::default()).with_watchdog(WatchdogConfig {
+            timeout_pumps: 2,
+            max_retries: 1,
+        });
+        reg.attach(Box::new(LiveLogSource::new(log.clone(), 75)), sym())
+            .unwrap();
+        // One heartbeat proves it alive and resets the ledger.
+        log.write_live(&LogEntry {
+            kind: EventKind::Call,
+            counter: 1,
+            addr: debug().entry_addr(0),
+            tid: 0,
+        });
+        reg.pump();
+        assert_eq!(reg.pids(), vec![9]);
+        // Silence: strike after 2 pumps, doubled deadline of 4 more pumps,
+        // then quarantine — exactly 6 progress-free pumps in total.
+        for _ in 0..5 {
+            reg.pump();
+            assert_eq!(reg.pids(), vec![9], "still within the backoff budget");
+        }
+        reg.pump();
+        assert!(reg.pids().is_empty(), "quarantined on the final strike");
+        assert_eq!(reg.retired_pids(), vec![9]);
+        let quarantines: Vec<_> = reg
+            .session_events()
+            .iter()
+            .filter(|e| matches!(e, SessionEvent::Quarantined { pid: 9, .. }))
+            .collect();
+        assert_eq!(quarantines.len(), 1);
+        // The heartbeat entry it consumed stays in the merged profile.
+        let run = reg.finish();
+        assert_eq!(run.per_pid[&9].status.events, 1);
+        assert_eq!(run.merged.status.events, 1);
+        let text = run.merged.to_text();
+        assert!(text.contains("quarantined pid 9"), "{text}");
     }
 
     #[test]

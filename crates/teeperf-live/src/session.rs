@@ -144,6 +144,25 @@ impl LiveSession {
         self.drainer.dropped_total()
     }
 
+    /// Salvage accounting of this session's source: records skipped,
+    /// holes closed, rotations abandoned (see
+    /// [`teeperf_core::EventSource::salvage`]).
+    pub fn salvage(&self) -> teeperf_core::SalvageReport {
+        self.drainer.salvage()
+    }
+
+    /// Whether this session's source has declared its producer dead
+    /// (corrupted header or unrecoverable transport).
+    pub fn source_dead(&self) -> bool {
+        self.drainer.is_dead()
+    }
+
+    /// Whether this session's source can never produce another entry (a
+    /// finished replay; live sources never exhaust).
+    pub fn source_exhausted(&self) -> bool {
+        self.drainer.is_exhausted()
+    }
+
     /// The one-line session state.
     pub fn status(&self) -> LiveStatus {
         self.rolling.status(self.drainer.epoch(), self.dropped())
@@ -177,6 +196,7 @@ impl LiveSession {
         let snap = Snapshot {
             status: self.status(),
             profile,
+            events: Vec::new(),
         };
         self.last_snapshot = Some(snap.clone());
         snap

@@ -8,9 +8,50 @@
 //! [`teeperf_analyzer::compare::diff`] — the live rendering of the paper's
 //! before/after-optimization workflow.
 
+use std::fmt;
+
 use teeperf_analyzer::query::frame::Frame;
 use teeperf_analyzer::{compare, Profile};
 use teeperf_flamegraph::LiveStatus;
+
+/// A registry lifecycle event worth surfacing to the consumer: a source
+/// arriving, leaving, or being declared dead. Rendered in the snapshot's
+/// `[events]` section (present only when any occurred, so single-source
+/// snapshots serialize exactly as they always have).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionEvent {
+    /// A source for this pid was attached.
+    Attached {
+        /// Process id of the new session.
+        pid: u64,
+    },
+    /// The session for this pid was detached by the consumer; its
+    /// contribution stays in the merged profile.
+    Detached {
+        /// Process id of the departed session.
+        pid: u64,
+    },
+    /// The liveness watchdog declared this pid's source dead and detached
+    /// it; its prior contribution stays in the merged profile.
+    Quarantined {
+        /// Process id of the dead session.
+        pid: u64,
+        /// Why the watchdog gave up on it.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SessionEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionEvent::Attached { pid } => write!(f, "attached pid {pid}"),
+            SessionEvent::Detached { pid } => write!(f, "detached pid {pid}"),
+            SessionEvent::Quarantined { pid, reason } => {
+                write!(f, "quarantined pid {pid}: {reason}")
+            }
+        }
+    }
+}
 
 /// One frozen refresh of a live session.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,6 +60,9 @@ pub struct Snapshot {
     pub status: LiveStatus,
     /// The rolling profile, materialized.
     pub profile: Profile,
+    /// Registry lifecycle events up to this snapshot (attach, detach,
+    /// quarantine). Empty for plain single-session snapshots.
+    pub events: Vec<SessionEvent>,
 }
 
 impl Snapshot {
@@ -45,8 +89,10 @@ impl Snapshot {
     /// [`Snapshot::summary_from_text`] and by humans.
     ///
     /// A cross-process merged snapshot (profile covering more than one
-    /// pid) additionally lists its processes in a `[processes]` section;
-    /// single-source snapshots serialize exactly as they always have.
+    /// pid) additionally lists its processes in a `[processes]` section,
+    /// and registry lifecycle events (attach/detach/quarantine), when any
+    /// occurred, in an `[events]` section; single-source snapshots
+    /// serialize exactly as they always have.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         out.push_str("[live]\n");
@@ -63,6 +109,12 @@ impl Snapshot {
             out.push_str("[processes]\n");
             for pid in &self.profile.pids {
                 out.push_str(&format!("pid {pid}\n"));
+            }
+        }
+        if !self.events.is_empty() {
+            out.push_str("[events]\n");
+            for e in &self.events {
+                out.push_str(&format!("{e}\n"));
             }
         }
         out.push_str("[methods]\n");
@@ -82,11 +134,21 @@ impl Snapshot {
     /// frames) without reconstructing the whole profile.
     ///
     /// # Errors
-    /// Returns a description of the first malformed line.
+    /// Returns a description of the first malformed line, and rejects a
+    /// `[live]` section missing any counter — a truncated snapshot must
+    /// fail loudly, not parse as "zero drops".
     pub fn summary_from_text(text: &str) -> Result<LiveStatus, String> {
+        const REQUIRED: [&str; 6] = [
+            "epoch",
+            "events",
+            "dropped",
+            "threads",
+            "open",
+            "total_ticks",
+        ];
         let mut status = LiveStatus::default();
         let mut in_live = false;
-        let mut seen = 0;
+        let mut seen = [false; REQUIRED.len()];
         for line in text.lines() {
             match line.trim() {
                 "[live]" => in_live = true,
@@ -96,7 +158,6 @@ impl Snapshot {
                         .split_once(' ')
                         .ok_or_else(|| format!("malformed counter line `{l}`"))?;
                     let value: u64 = value.parse().map_err(|_| format!("bad value in `{l}`"))?;
-                    seen += 1;
                     match key {
                         "epoch" => status.epoch = value,
                         "events" => status.events = value,
@@ -106,12 +167,17 @@ impl Snapshot {
                         "total_ticks" => {}
                         other => return Err(format!("unknown counter `{other}`")),
                     }
+                    let idx = REQUIRED.iter().position(|k| *k == key).expect("matched");
+                    seen[idx] = true;
                 }
                 _ => {}
             }
         }
-        if seen == 0 {
-            return Err("no [live] section found".to_string());
+        if let Some(idx) = seen.iter().position(|s| !s) {
+            return Err(format!(
+                "incomplete [live] section: missing `{}`",
+                REQUIRED[idx]
+            ));
         }
         Ok(status)
     }
@@ -149,6 +215,7 @@ mod tests {
         Snapshot {
             status: rolling.status(2, 0),
             profile: rolling.snapshot(&Symbolizer::without_relocation(d), 0),
+            events: Vec::new(),
         }
     }
 
@@ -168,6 +235,83 @@ mod tests {
         assert!(Snapshot::summary_from_text("").is_err());
         assert!(Snapshot::summary_from_text("[live]\nepoch x\n").is_err());
         assert!(Snapshot::summary_from_text("[live]\nwhat 3\n").is_err());
+        // A [live] section missing counters is a truncation, not zeroes.
+        assert!(Snapshot::summary_from_text("[live]\nepoch 1\nevents 2\n").is_err());
+    }
+
+    #[test]
+    fn events_section_renders_only_when_nonempty() {
+        let mut s = snap(50);
+        let plain = s.to_text();
+        assert!(!plain.contains("[events]"));
+        s.events = vec![
+            SessionEvent::Attached { pid: 5 },
+            SessionEvent::Quarantined {
+                pid: 5,
+                reason: "no progress after 8 pumps".to_string(),
+            },
+            SessionEvent::Detached { pid: 6 },
+        ];
+        let text = s.to_text();
+        assert!(text.contains(
+            "[events]\nattached pid 5\nquarantined pid 5: no progress after 8 pumps\ndetached pid 6\n"
+        ));
+        // The summary parser skips the section it does not know.
+        assert_eq!(Snapshot::summary_from_text(&text).unwrap(), s.status);
+    }
+
+    use proptest::prelude::*;
+
+    proptest::proptest! {
+        /// Fuzz-style robustness: any truncation inside the `[live]`
+        /// section must return `Err`; arbitrary byte mutations anywhere
+        /// must never panic.
+        #[test]
+        fn prop_summary_survives_truncations_and_mutations(
+            cut_frac in 0.0f64..1.0,
+            flips in proptest::collection::vec((any::<usize>(), 0u8..128), 0..6),
+        ) {
+            let text = snap(50).to_text();
+
+            // Truncation that cuts off the last counter (or more): some
+            // required counter is missing or its line is cut mid-key, so
+            // parsing must fail — a truncated snapshot never parses as
+            // "zero drops".
+            let last_key = text.find("total_ticks").expect("snapshot has total_ticks");
+            #[allow(clippy::cast_possible_truncation, clippy::cast_precision_loss, clippy::cast_sign_loss)]
+            let cut = ((last_key as f64) * cut_frac) as usize;
+            prop_assert!(Snapshot::summary_from_text(&text[..cut]).is_err());
+
+            // Arbitrary single-byte mutations: Err or Ok, never a panic.
+            let mut bytes = text.clone().into_bytes();
+            for (pos, val) in flips {
+                let pos = pos % bytes.len();
+                bytes[pos] = val;
+            }
+            if let Ok(mutated) = String::from_utf8(bytes) {
+                let _ = Snapshot::summary_from_text(&mutated);
+            }
+        }
+
+        /// Mutating any digit of a counter value to a letter must fail
+        /// parsing — a corrupted counter can never round down to "fine".
+        #[test]
+        fn prop_summary_rejects_corrupted_counters(which in any::<usize>()) {
+            let text = snap(50).to_text();
+            let live_end = text.find("[methods]").expect("methods section");
+            let digit_positions: Vec<usize> = text[..live_end]
+                .bytes()
+                .enumerate()
+                .filter(|(_, b)| b.is_ascii_digit())
+                .map(|(i, _)| i)
+                .collect();
+            prop_assert!(!digit_positions.is_empty());
+            let pos = digit_positions[which % digit_positions.len()];
+            let mut bytes = text.into_bytes();
+            bytes[pos] = b'x';
+            let mutated = String::from_utf8(bytes).expect("ascii mutation");
+            prop_assert!(Snapshot::summary_from_text(&mutated).is_err());
+        }
     }
 
     #[test]

@@ -1,0 +1,378 @@
+//! The fault-injection matrix: every [`FaultKind`] crossed with both
+//! source flavours (live shared-memory drain, persisted-file replay) must
+//! leave the pipeline *finished* — no panic, no hang — with the fault
+//! accounted in a [`SalvageReport`] or a typed error. Plus the registry
+//! acceptance scenario (one crashed process among survivors) and a
+//! property test pinning salvage to the ground truth of published entries.
+//!
+//! Every test arms a [`hang_guard`]: a watchdog thread that aborts the
+//! whole process if the test is still running after 60 seconds, because a
+//! salvage bug's natural failure mode is an infinite pump loop, which a
+//! plain test harness would never report.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use mcvm::DebugInfo;
+use tee_sim::SharedMem;
+use teeperf_analyzer::symbolize::Symbolizer;
+use teeperf_core::layout::{EventKind, LogEntry};
+use teeperf_core::log::{make_header, region_bytes};
+use teeperf_core::{
+    EventSource, FaultKind, FaultPlan, FaultyWriter, FileReplaySource, LiveLogSource, LogFile,
+    SalvageReason, SharedLog, SourceResilience, WriteOutcome,
+};
+use teeperf_live::{LiveConfig, LiveSession, SessionEvent, SessionRegistry, WatchdogConfig};
+
+/// Aborts the process if the owning test has not finished within 60
+/// seconds. Dropping the guard disarms it.
+struct HangGuard(Arc<AtomicBool>);
+
+fn hang_guard(label: &'static str) -> HangGuard {
+    let done = Arc::new(AtomicBool::new(false));
+    let armed = Arc::clone(&done);
+    std::thread::spawn(move || {
+        for _ in 0..600 {
+            std::thread::sleep(Duration::from_millis(100));
+            if armed.load(Ordering::Relaxed) {
+                return;
+            }
+        }
+        eprintln!("fault-matrix test hung for 60s: {label}");
+        std::process::abort();
+    });
+    HangGuard(done)
+}
+
+impl Drop for HangGuard {
+    fn drop(&mut self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+}
+
+fn fresh(pid: u64, max_entries: u64) -> SharedLog {
+    let shm = Arc::new(SharedMem::new(region_bytes(max_entries)));
+    SharedLog::init(shm, &make_header(pid, max_entries, true, 0, 0))
+}
+
+fn entry(counter: u64) -> LogEntry {
+    LogEntry {
+        kind: EventKind::Call,
+        counter,
+        addr: 0x40_0000 + counter,
+        tid: 0,
+    }
+}
+
+/// Impatient thresholds so a test exercises the recovery paths in a
+/// handful of pumps instead of the production-scale defaults.
+fn impatient() -> SourceResilience {
+    SourceResilience {
+        stall_pumps: 2,
+        rotate_spin_limit: 1 << 12,
+        max_rotation_stalls: 1,
+    }
+}
+
+/// Live half of the matrix: arm each fault on a writer, drain the log to
+/// the end, and check the pipeline both finished and reported the fault.
+#[test]
+fn live_matrix_every_fault_completes_and_is_reported() {
+    for kind in FaultKind::ALL {
+        let _guard = hang_guard(kind.name());
+        let log = fresh(1, 16);
+        let mut writer = FaultyWriter::new(log.clone(), FaultPlan::new().with(kind, 2));
+        let mut source = LiveLogSource::new(log.clone(), 75).with_resilience(impatient());
+        for k in 1..=6 {
+            writer.write_live(&entry(k));
+        }
+        let mut got: Vec<LogEntry> = Vec::new();
+        for _ in 0..12 {
+            got.extend(source.pump().entries);
+        }
+        for _ in 0..4 {
+            got.extend(source.drain_to_end().entries);
+        }
+        let report = source.salvage();
+        match kind {
+            FaultKind::TornEntry => {
+                assert_eq!(report.count(SalvageReason::TornEntry), 1, "{kind}");
+            }
+            FaultKind::WriterCrash => {
+                assert_eq!(report.count(SalvageReason::UnpublishedSlot), 1, "{kind}");
+                assert!(
+                    report.count(SalvageReason::DeadWriterReclaimed) >= 1,
+                    "{kind}: the stuck announcement must be reclaimed"
+                );
+            }
+            FaultKind::StalledWriter => {
+                assert_eq!(report.count(SalvageReason::UnpublishedSlot), 1, "{kind}");
+            }
+            FaultKind::CorruptHeader => {
+                assert!(source.is_dead(), "{kind}: source must refuse the garbage");
+                assert_eq!(report.count(SalvageReason::CorruptHeader), 1, "{kind}");
+            }
+            FaultKind::TruncatedFile => {
+                // A file-level fault: the live path sails through clean.
+                assert!(report.is_clean(), "{kind}: {report:?}");
+            }
+        }
+        if !source.is_dead() {
+            assert_eq!(
+                got,
+                writer.published(),
+                "{kind}: salvage must deliver exactly the published entries"
+            );
+            assert_eq!(report.kept, writer.published().len() as u64, "{kind}");
+        }
+    }
+}
+
+/// Replay half of the matrix: the same faults frozen into a persisted log
+/// file (writer-level kinds via the shared-memory state the writer left,
+/// file-level kinds via [`FaultPlan::mutilate`]).
+#[test]
+fn replay_matrix_every_fault_completes_and_is_reported() {
+    for kind in FaultKind::ALL {
+        let _guard = hang_guard(kind.name());
+        match kind {
+            FaultKind::TornEntry | FaultKind::WriterCrash | FaultKind::StalledWriter => {
+                let log = fresh(1, 16);
+                let mut writer = FaultyWriter::new(log.clone(), FaultPlan::new().with(kind, 2));
+                for k in 1..=6 {
+                    writer.write_live(&entry(k));
+                }
+                let bytes = LogFile::new(log.header(), log.drain_entries()).to_bytes();
+                let (salvaged, report) =
+                    LogFile::from_bytes_salvage(&bytes).expect("salvage never rejects torn bodies");
+                assert_eq!(salvaged.entries, writer.published(), "{kind}");
+                assert_eq!(report.dropped, 1, "{kind}: one record lost to the fault");
+
+                // The replay source re-delivers without re-counting drops.
+                let mut source = FileReplaySource::new(&salvaged).with_prior_salvage(&report);
+                let mut got = Vec::new();
+                while !source.is_exhausted() {
+                    got.extend(source.pump().entries);
+                }
+                assert_eq!(got, writer.published(), "{kind}");
+                let total = source.salvage();
+                assert_eq!(total.kept, writer.published().len() as u64, "{kind}");
+                assert_eq!(total.dropped, 1, "{kind}: drops counted exactly once");
+            }
+            FaultKind::CorruptHeader => {
+                let log = fresh(1, 16);
+                for k in 1..=6 {
+                    log.write_live(&entry(k));
+                }
+                let mut bytes = LogFile::new(log.header(), log.drain_entries()).to_bytes();
+                FaultPlan::new()
+                    .with(FaultKind::CorruptHeader, 0)
+                    .mutilate(&mut bytes, 7);
+                // Nothing under a smashed control word can be trusted:
+                // salvage refuses with a typed error instead of guessing.
+                assert!(LogFile::from_bytes_salvage(&bytes).is_err(), "{kind}");
+                assert!(LogFile::from_bytes(&bytes).is_err(), "{kind}");
+            }
+            FaultKind::TruncatedFile => {
+                let log = fresh(1, 16);
+                for k in 1..=6 {
+                    log.write_live(&entry(k));
+                }
+                let mut bytes = LogFile::new(log.header(), log.drain_entries()).to_bytes();
+                FaultPlan::new()
+                    .with(FaultKind::TruncatedFile, 0)
+                    .mutilate(&mut bytes, 7);
+                let (salvaged, report) =
+                    LogFile::from_bytes_salvage(&bytes).expect("header survived the cut");
+                assert!(
+                    report.count(SalvageReason::TruncatedFile) >= 1,
+                    "{kind}: {report:?}"
+                );
+                assert_eq!(salvaged.entries.len() as u64, report.kept, "{kind}");
+                assert_eq!(report.kept + report.dropped, 6, "{kind}: all accounted");
+            }
+        }
+    }
+}
+
+fn debug() -> DebugInfo {
+    DebugInfo::from_functions([("main", 4, 1), ("work", 4, 5)])
+}
+
+fn sym() -> Symbolizer {
+    Symbolizer::without_relocation(debug())
+}
+
+/// Write one `main { work }` span (4 entries, 100 ticks total, 50 in
+/// `work`) through any writer-like closure.
+fn write_span(mut write: impl FnMut(&LogEntry), base: u64) {
+    let d = debug();
+    let (a0, a1) = (d.entry_addr(0), d.entry_addr(1));
+    let e = |kind, counter, addr| LogEntry {
+        kind,
+        counter,
+        addr,
+        tid: 0,
+    };
+    write(&e(EventKind::Call, base + 1, a0));
+    write(&e(EventKind::Call, base + 10, a1));
+    write(&e(EventKind::Return, base + 60, a1));
+    write(&e(EventKind::Return, base + 101, a0));
+}
+
+/// The acceptance scenario: one process crashes mid-run (header smashed),
+/// the registry quarantines it, and the survivors' run is untouched — with
+/// the merged totals still exactly the per-pid sums.
+#[test]
+fn registry_with_one_crashed_source_serves_the_survivors() {
+    let _guard = hang_guard("registry-crash");
+    let healthy = fresh(5, 64);
+    let sick = fresh(6, 64);
+    let mut reg = SessionRegistry::new(LiveConfig::default()).with_watchdog(WatchdogConfig {
+        timeout_pumps: 4,
+        max_retries: 0,
+    });
+    reg.attach(
+        Box::new(LiveLogSource::new(healthy.clone(), 75).with_resilience(impatient())),
+        sym(),
+    )
+    .unwrap();
+    reg.attach(
+        Box::new(LiveLogSource::new(sick.clone(), 75).with_resilience(impatient())),
+        sym(),
+    )
+    .unwrap();
+
+    // Both processes complete one span, then pid 6 crashes: its fifth
+    // write scribbles over the header.
+    write_span(
+        |e| {
+            let _ = healthy.write_live(e);
+        },
+        0,
+    );
+    let mut crasher = FaultyWriter::new(
+        sick.clone(),
+        FaultPlan::new().with(FaultKind::CorruptHeader, 4),
+    );
+    write_span(
+        |e| {
+            let _ = crasher.write_live(e);
+        },
+        0,
+    );
+    reg.pump();
+    assert_eq!(reg.pids(), vec![5, 6], "both alive after a healthy span");
+
+    assert_eq!(
+        crasher.write_live(&entry(500)),
+        WriteOutcome::Faulted(FaultKind::CorruptHeader)
+    );
+    write_span(
+        |e| {
+            let _ = healthy.write_live(e);
+        },
+        1000,
+    );
+    reg.pump();
+
+    // The dead source is quarantined immediately; the survivor keeps going.
+    assert_eq!(reg.pids(), vec![5], "pid 6 quarantined");
+    assert_eq!(reg.retired_pids(), vec![6]);
+    assert!(reg
+        .session_events()
+        .iter()
+        .any(|e| matches!(e, SessionEvent::Quarantined { pid: 6, .. })));
+
+    write_span(
+        |e| {
+            let _ = healthy.write_live(e);
+        },
+        2000,
+    );
+    reg.pump();
+    let run = reg.finish();
+
+    // Survivor: 3 spans. Quarantined: the 1 span drained before the crash.
+    assert_eq!(run.per_pid[&5].profile.total_ticks, 300);
+    assert_eq!(run.per_pid[&6].profile.total_ticks, 100);
+    let ticks_sum: u64 = run.per_pid.values().map(|s| s.profile.total_ticks).sum();
+    assert_eq!(run.merged.profile.total_ticks, ticks_sum);
+    let events_sum: u64 = run.per_pid.values().map(|s| s.status.events).sum();
+    assert_eq!(run.merged.status.events, events_sum);
+    let calls_sum: u64 = run
+        .per_pid
+        .values()
+        .map(|s| s.profile.method("work").map_or(0, |m| m.calls))
+        .sum();
+    assert_eq!(run.merged.profile.method("work").unwrap().calls, calls_sum);
+
+    // The quarantine is surfaced in the merged serialization.
+    let text = run.merged.to_text();
+    assert!(text.contains("[events]\n"), "{text}");
+    assert!(text.contains("quarantined pid 6"), "{text}");
+}
+
+proptest::proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Crash a writer at a random point in a rotating stream: the salvaged
+    /// session profile must equal the profile of exactly the published
+    /// entries (replayed through a healthy pipeline), with no hang and no
+    /// double-counted drops. The pump cadence (at most 2 writes between
+    /// pumps, 8-slot log, watermark 75%) guarantees no healthy overflow,
+    /// so any nonzero `dropped_total` would be a double count.
+    #[test]
+    fn prop_writer_crash_salvage_equals_published_profile(
+        crash_at in 0u64..40,
+        pump_every in 1usize..3,
+    ) {
+        let _guard = hang_guard("prop-writer-crash");
+        let log = fresh(1, 8);
+        let mut writer = FaultyWriter::new(
+            log.clone(),
+            FaultPlan::new().with(FaultKind::WriterCrash, crash_at),
+        );
+        let mut session = LiveSession::from_source(
+            Box::new(LiveLogSource::new(log.clone(), 75).with_resilience(impatient())),
+            sym(),
+            LiveConfig { refresh_events: 0, ..LiveConfig::default() },
+        );
+        let mut writes = 0usize;
+        for span in 0..10u64 {
+            let mut emit = |e: &LogEntry| {
+                writer.write_live(e);
+                writes += 1;
+                if writes.is_multiple_of(pump_every) {
+                    session.pump();
+                }
+            };
+            write_span(&mut emit, span * 1000);
+        }
+        // The crash leaves a stuck announcement: finishing must still
+        // terminate (bounded rotations + forced reclaim), not spin.
+        let salvaged = session.finish();
+
+        // Ground truth: the same pipeline over only the published entries.
+        let published = writer.published().to_vec();
+        let truth_log = LogFile::new(log.header(), published.clone());
+        let mut truth = LiveSession::from_source(
+            Box::new(FileReplaySource::new(&truth_log)),
+            sym(),
+            LiveConfig { refresh_events: 0, ..LiveConfig::default() },
+        );
+        while truth.pump() > 0 {}
+        let truth_snap = truth.finish();
+
+        prop_assert_eq!(&salvaged.profile, &truth_snap.profile);
+        prop_assert_eq!(salvaged.status.events, published.len() as u64);
+        prop_assert_eq!(session.dropped(), 0, "no overflow scheduled, so any drop is a double count");
+        let report = session.salvage();
+        prop_assert_eq!(report.kept, published.len() as u64);
+        prop_assert_eq!(report.count(SalvageReason::UnpublishedSlot), 1,
+            "the crash hole is counted exactly once");
+    }
+}

@@ -35,6 +35,16 @@ run cargo test -q --offline
 # The rest of the workspace.
 run cargo test -q --workspace --offline
 
+# Fault-injection matrix (ISSUE 5): every FaultPlan fault kind crossed with
+# both consumers (live LiveLogSource and FileReplaySource replay), plus the
+# registry crash acceptance test and the writer-crash salvage proptest.
+# Each test binary runs under a hard 60s timeout so a salvage regression
+# that hangs a consumer fails the gate instead of wedging CI (the tests
+# also carry an in-process hang guard that aborts after 60s of no exit).
+run timeout 60 cargo test -q --offline -p teeperf-live --test fault_matrix
+run timeout 60 cargo test -q --offline -p teeperf-core faults::
+run timeout 60 cargo test -q --offline -p teeperf-core source::tests
+
 # Analyzer-throughput smoke: small log, shards {1,2}; asserts the JSON
 # artifact is written and the model speedup at 2 shards is >= 1.0. Results
 # go to a scratch dir so the checked-in full-scale JSON stays untouched.
