@@ -16,6 +16,8 @@
 //! Everything is deterministic; "10 runs" vary the workload seed, exactly
 //! like re-running a benchmark binary on fresh inputs.
 
+#![forbid(unsafe_code)]
+
 pub mod ablations;
 pub mod analyze;
 pub mod fig4;

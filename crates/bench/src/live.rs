@@ -16,6 +16,10 @@
 //! log footprint drops from `O(events)` to a fixed window, which is the
 //! point of the subsystem. Emits `results/BENCH_live_overhead.json`.
 
+// teeperf-lint: allow(raw-atomics, file): the bench harness's stop flag
+// for its OS drainer thread — host-side orchestration, not shared-log
+// state (the log is only touched through SharedLog's accessors).
+
 use std::cell::RefCell;
 use std::fmt::Write as _;
 use std::rc::Rc;
@@ -190,6 +194,9 @@ pub fn run_live_overhead(options: &LiveBenchOptions) -> LiveBenchResult {
             loop {
                 let batch = drainer.pump();
                 rolling.ingest(&batch.entries);
+                // ord: Acquire pairs with the Release store below so the
+                // drainer observes everything the workload wrote before
+                // requesting the final flush.
                 if stop.load(Ordering::Acquire) {
                     // Writers are done: flush the final partial epoch.
                     loop {
@@ -212,6 +219,7 @@ pub fn run_live_overhead(options: &LiveBenchOptions) -> LiveBenchResult {
     let wall = std::time::Instant::now();
     run_db_bench(&mut machine, &bench_options, Some(Rc::clone(&profiler)));
     let live_cycles = machine.clock().now();
+    // ord: Release pairs with the drainer's Acquire poll above.
     stop.store(true, Ordering::Release);
     let (epochs, live_dropped, rolling) = drain_thread.join().expect("drainer thread");
     let live_wall_ms = wall.elapsed().as_millis();

@@ -20,6 +20,8 @@
 //! the same benchmark under `CostModel::native()` vs `CostModel::sgx_v1()`
 //! reproduces the TEE distortions the paper profiles.
 
+#![forbid(unsafe_code)]
+
 pub mod bloom;
 pub mod db;
 pub mod db_bench;

@@ -35,6 +35,8 @@
 //! # Ok::<(), mcvm::McError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod builtins;
 pub mod bytecode;

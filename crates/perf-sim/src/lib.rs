@@ -20,6 +20,8 @@
 //! [`PerfReport`] renders `perf report`-style flat profiles and folded
 //! stacks for flame graphs.
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 
 use mcvm::{InstrObserver, SampleCtx};

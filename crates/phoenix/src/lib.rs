@@ -21,6 +21,8 @@
 //! straightforward Rust reference implementation, so the profiling
 //! experiments measure correct computations.
 
+#![forbid(unsafe_code)]
+
 pub mod generators;
 pub mod workloads;
 

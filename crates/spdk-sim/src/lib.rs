@@ -22,6 +22,8 @@
 //!   (80 % reads) at a fixed queue depth, with the exact call frames of
 //!   Figure 6 probed for the flame graphs.
 
+#![forbid(unsafe_code)]
+
 pub mod device;
 pub mod env;
 pub mod nvme;

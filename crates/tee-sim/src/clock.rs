@@ -6,6 +6,10 @@
 //! importantly TEE-Perf's software counter thread — can observe it without
 //! owning the machine.
 
+// teeperf-lint: allow(raw-atomics, file): the virtual cycle counter is
+// simulator bookkeeping, not shared-log state; it never needs schedule
+// exploration and must stay off the SharedMem seam.
+
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -33,11 +37,15 @@ impl Clock {
 
     /// Current virtual time in cycles.
     pub fn now(&self) -> u64 {
+        // ord: Relaxed — a monotonic statistic; readers tolerate lag and
+        // no other memory is published under this counter.
         self.cycles.load(Ordering::Relaxed)
     }
 
     /// Advances virtual time by `cycles` and returns the new time.
     pub fn advance(&self, cycles: u64) -> u64 {
+        // ord: Relaxed — same-word RMW already has a total modification
+        // order; the clock guards no other memory.
         self.cycles.fetch_add(cycles, Ordering::Relaxed) + cycles
     }
 
@@ -47,6 +55,8 @@ impl Clock {
     pub fn advance_to(&self, deadline: u64) -> u64 {
         let mut cur = self.now();
         while cur < deadline {
+            // ord: Relaxed on both sides — the CAS only keeps the counter
+            // monotonic; it synchronizes no other memory.
             match self
                 .cycles
                 .compare_exchange(cur, deadline, Ordering::Relaxed, Ordering::Relaxed)

@@ -35,10 +35,13 @@
 //! assert!(m.clock().now() > before);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod arch;
 pub mod clock;
 pub mod error;
 pub mod machine;
+pub mod memmodel;
 pub mod memory;
 pub mod shm;
 pub mod stats;
@@ -49,6 +52,7 @@ pub use arch::{CostModel, TeeKind};
 pub use clock::Clock;
 pub use error::SimError;
 pub use machine::Machine;
+pub use memmodel::{AccessKind, MemAccess, MemModel};
 pub use memory::{MemoryModel, Region};
 pub use shm::SharedMem;
 pub use stats::MachineStats;

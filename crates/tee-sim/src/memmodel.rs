@@ -1,0 +1,170 @@
+//! The memory-model seam: an interception hook over every atomic access to
+//! a [`crate::SharedMem`] region.
+//!
+//! The lock-free log protocol in `teeperf-core` is correct only under
+//! specific interleavings of the atomic operations it performs on shared
+//! memory. Production code runs those operations directly on hardware
+//! atomics; a *model checker* instead needs to own every interleaving
+//! decision so it can explore schedules deterministically. This module is
+//! the seam between the two: a [`MemModel`] receives a callback **before**
+//! every atomic access and at every spin-wait, and may block the calling
+//! thread until a virtual scheduler grants it the next step.
+//!
+//! The seam is deliberately minimal:
+//!
+//! * It does not reimplement the atomics — the real `AtomicU64` operations
+//!   still execute, so the checked code path is byte-for-byte the
+//!   production protocol. The model only controls *when* each operation
+//!   runs relative to the other threads.
+//! * A region built with [`crate::SharedMem::new`] carries no model and
+//!   pays one `Option` branch per access; a region built with
+//!   [`crate::SharedMem::new_modeled`] routes every access through the
+//!   hook.
+//! * Spin loops in protocol code call [`crate::SharedMem::spin_hint`]
+//!   instead of [`std::hint::spin_loop`] so a virtual scheduler can park
+//!   the spinning thread until another thread writes — turning unbounded
+//!   physical spinning into a finite, explorable state space.
+//!
+//! The checker that drives this seam lives in the `teeperf-check` crate;
+//! see DESIGN.md §11 ("Memory model & verification").
+
+use std::fmt;
+
+/// What kind of atomic operation is about to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A plain atomic load.
+    Load,
+    /// A plain atomic store.
+    Store,
+    /// An atomic read-modify-write (fetch-add/or/and, compare-exchange).
+    Rmw,
+}
+
+impl AccessKind {
+    /// Whether the access can change the word (stores and RMWs).
+    pub fn is_write(self) -> bool {
+        !matches!(self, AccessKind::Load)
+    }
+}
+
+/// One atomic access about to be performed on a shared region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemAccess {
+    /// Byte offset of the 64-bit word being accessed.
+    pub offset: u64,
+    /// Operation class.
+    pub kind: AccessKind,
+}
+
+impl fmt::Display for MemAccess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}@{:#x}", self.kind, self.offset)
+    }
+}
+
+/// A virtual memory model / scheduler attached to a [`crate::SharedMem`].
+///
+/// Implementations are called from the threads running the protocol under
+/// test. Both hooks may block; when they return, the calling thread owns
+/// the next step (the access executes immediately after `before_access`
+/// returns, before any other modeled thread can run another access —
+/// provided the implementation serializes grants, which is the whole
+/// point).
+pub trait MemModel: Send + Sync + fmt::Debug {
+    /// Called immediately before every atomic access on the region.
+    fn before_access(&self, access: MemAccess);
+
+    /// Called when a thread is about to spin-wait for another thread's
+    /// write (the seam's replacement for [`std::hint::spin_loop`]). A
+    /// scheduler should park the thread until some other thread performs
+    /// a store or RMW — re-checking a word no one has written cannot
+    /// observe a new value and only inflates the schedule space.
+    fn on_spin(&self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SharedMem;
+    // teeperf-lint: allow(raw-atomics, file): the test CountingModel's
+    // counters are test-local bookkeeping, not shared-log state.
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[derive(Debug, Default)]
+    struct CountingModel {
+        loads: AtomicU64,
+        writes: AtomicU64,
+        spins: AtomicU64,
+    }
+
+    impl MemModel for CountingModel {
+        fn before_access(&self, access: MemAccess) {
+            if access.kind.is_write() {
+                // ord: test counter only; no ordering requirement.
+                self.writes.fetch_add(1, Ordering::Relaxed);
+            } else {
+                // ord: test counter only; no ordering requirement.
+                self.loads.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        fn on_spin(&self) {
+            // ord: test counter only; no ordering requirement.
+            self.spins.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn modeled_region_reports_every_access() {
+        let model = Arc::new(CountingModel::default());
+        let shm = SharedMem::new_modeled(64, Arc::clone(&model) as Arc<dyn MemModel>);
+        shm.write_u64(0, 7).unwrap();
+        assert_eq!(shm.read_u64(0).unwrap(), 7);
+        shm.fetch_add_u64(0, 1).unwrap();
+        shm.fetch_or_u64(8, 2).unwrap();
+        shm.fetch_and_u64(8, !2).unwrap();
+        shm.compare_exchange_u64(0, 8, 9).unwrap();
+        // read_words reports one access per word: a multi-word snapshot is
+        // not atomic in reality, so the model must see each word load as a
+        // separate interleaving point.
+        shm.read_words(0, 3).unwrap();
+        shm.spin_hint();
+        // ord: test counter only; no ordering requirement.
+        assert_eq!(model.loads.load(Ordering::Relaxed), 1 + 3);
+        // ord: test counter only; no ordering requirement.
+        assert_eq!(model.writes.load(Ordering::Relaxed), 1 + 4);
+        // ord: test counter only; no ordering requirement.
+        assert_eq!(model.spins.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn out_of_bounds_access_is_rejected_before_the_hook_fires() {
+        let model = Arc::new(CountingModel::default());
+        let shm = SharedMem::new_modeled(8, Arc::clone(&model) as Arc<dyn MemModel>);
+        assert!(shm.read_u64(16).is_err());
+        assert!(shm.write_u64(4, 0).is_err());
+        // ord: test counter only; no ordering requirement.
+        assert_eq!(model.loads.load(Ordering::Relaxed), 0);
+        // ord: test counter only; no ordering requirement.
+        assert_eq!(model.writes.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn unmodeled_region_spin_hint_is_a_no_op() {
+        let shm = SharedMem::new(8);
+        shm.spin_hint(); // must not panic or block
+    }
+
+    #[test]
+    fn access_kind_and_display() {
+        assert!(AccessKind::Store.is_write());
+        assert!(AccessKind::Rmw.is_write());
+        assert!(!AccessKind::Load.is_write());
+        let a = MemAccess {
+            offset: 24,
+            kind: AccessKind::Rmw,
+        };
+        assert_eq!(a.to_string(), "Rmw@0x18");
+    }
+}

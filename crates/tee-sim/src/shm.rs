@@ -11,8 +11,10 @@
 //! fetch-and-add log protocol.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::error::SimError;
+use crate::memmodel::{AccessKind, MemAccess, MemModel};
 
 /// A fixed-size shared memory region addressed by byte offset.
 ///
@@ -28,10 +30,21 @@ use crate::error::SimError;
 /// assert_eq!(shm.fetch_add_u64(0, 8).unwrap(), 42);
 /// assert_eq!(shm.read_u64(0).unwrap(), 50);
 /// ```
-#[derive(Debug)]
 pub struct SharedMem {
     words: Vec<AtomicU64>,
     size: u64,
+    /// Interception hook for a virtual scheduler (see [`crate::memmodel`]);
+    /// `None` in production, where accesses hit the atomics directly.
+    model: Option<Arc<dyn MemModel>>,
+}
+
+impl std::fmt::Debug for SharedMem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedMem")
+            .field("size", &self.size)
+            .field("modeled", &self.model.is_some())
+            .finish()
+    }
 }
 
 impl SharedMem {
@@ -42,6 +55,37 @@ impl SharedMem {
         SharedMem {
             words: (0..words).map(|_| AtomicU64::new(0)).collect(),
             size: words * 8,
+            model: None,
+        }
+    }
+
+    /// Allocate a region whose every atomic access is reported to `model`
+    /// before it executes — the entry point for the `teeperf-check` model
+    /// checker. Semantics of all accessors are unchanged; the model only
+    /// controls *when* each access runs by blocking in its hook.
+    pub fn new_modeled(bytes: u64, model: Arc<dyn MemModel>) -> SharedMem {
+        let mut shm = SharedMem::new(bytes);
+        shm.model = Some(model);
+        shm
+    }
+
+    /// Report an imminent access to the attached model, if any. Called only
+    /// after bounds/alignment validation, so the model never sees accesses
+    /// that will not execute.
+    fn observe(&self, offset: u64, kind: AccessKind) {
+        if let Some(model) = &self.model {
+            model.before_access(MemAccess { offset, kind });
+        }
+    }
+
+    /// Spin-wait hint for protocol busy-wait loops. Production regions
+    /// forward to [`std::hint::spin_loop`]; modeled regions park the
+    /// calling thread in the scheduler until another thread writes (see
+    /// [`MemModel::on_spin`]).
+    pub fn spin_hint(&self) {
+        match &self.model {
+            Some(model) => model.on_spin(),
+            None => std::hint::spin_loop(),
         }
     }
 
@@ -75,6 +119,10 @@ impl SharedMem {
     /// word would exceed the region.
     pub fn read_u64(&self, offset: u64) -> Result<u64, SimError> {
         let i = self.word_index(offset, 8)?;
+        self.observe(offset, AccessKind::Load);
+        // ord: Acquire pairs with the Release stores/RMWs below — a reader
+        // that observes a published word also observes every prior write of
+        // the publishing thread (the log's publish-word-0-last protocol).
         Ok(self.words[i].load(Ordering::Acquire))
     }
 
@@ -84,6 +132,10 @@ impl SharedMem {
     /// Returns [`SimError::ShmOutOfBounds`] on unaligned or out-of-range access.
     pub fn write_u64(&self, offset: u64, value: u64) -> Result<(), SimError> {
         let i = self.word_index(offset, 8)?;
+        self.observe(offset, AccessKind::Store);
+        // ord: Release makes every prior write of this thread visible to an
+        // Acquire reader of this word — entry payload words must be visible
+        // before the publication word that announces them.
         self.words[i].store(value, Ordering::Release);
         Ok(())
     }
@@ -96,6 +148,12 @@ impl SharedMem {
     /// Returns [`SimError::ShmOutOfBounds`] on unaligned or out-of-range access.
     pub fn fetch_add_u64(&self, offset: u64, delta: u64) -> Result<u64, SimError> {
         let i = self.word_index(offset, 8)?;
+        self.observe(offset, AccessKind::Rmw);
+        // ord: AcqRel — tail reservation and writer announce/withdraw are
+        // both synchronization edges: the RMW must see all prior Release
+        // writes (Acquire) and publish its own (Release). The single total
+        // modification order of RMWs on one word is what makes the
+        // rotation handshake race-free (see layout.rs header docs).
         Ok(self.words[i].fetch_add(delta, Ordering::AcqRel))
     }
 
@@ -108,6 +166,9 @@ impl SharedMem {
     /// Returns [`SimError::ShmOutOfBounds`] on unaligned or out-of-range access.
     pub fn fetch_or_u64(&self, offset: u64, bits: u64) -> Result<u64, SimError> {
         let i = self.word_index(offset, 8)?;
+        self.observe(offset, AccessKind::Rmw);
+        // ord: AcqRel for the same reason as fetch_add_u64 — flag raises
+        // participate in the control word's single RMW order.
         Ok(self.words[i].fetch_or(bits, Ordering::AcqRel))
     }
 
@@ -119,6 +180,9 @@ impl SharedMem {
     /// Returns [`SimError::ShmOutOfBounds`] on unaligned or out-of-range access.
     pub fn fetch_and_u64(&self, offset: u64, mask: u64) -> Result<u64, SimError> {
         let i = self.word_index(offset, 8)?;
+        self.observe(offset, AccessKind::Rmw);
+        // ord: AcqRel for the same reason as fetch_add_u64 — flag clears
+        // participate in the control word's single RMW order.
         Ok(self.words[i].fetch_and(mask, Ordering::AcqRel))
     }
 
@@ -134,6 +198,10 @@ impl SharedMem {
         new: u64,
     ) -> Result<u64, SimError> {
         let i = self.word_index(offset, 8)?;
+        self.observe(offset, AccessKind::Rmw);
+        // ord: AcqRel on success (a synchronization edge like any RMW);
+        // Acquire on failure so the returned observation still sees the
+        // writes that preceded the conflicting update.
         Ok(
             match self.words[i].compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire)
             {
@@ -152,7 +220,16 @@ impl SharedMem {
         let start = self.word_index(offset, count * 8)?;
         Ok(self.words[start..start + count as usize]
             .iter()
-            .map(|w| w.load(Ordering::Acquire))
+            .enumerate()
+            .map(|(k, w)| {
+                // A multi-word snapshot is not atomic: each word load is a
+                // separate interleaving point and the model must see all of
+                // them, or it would miss torn-read schedules.
+                self.observe(offset + (k as u64) * 8, AccessKind::Load);
+                // ord: Acquire — same pairing as read_u64; word 0 of an
+                // entry is its publication word.
+                w.load(Ordering::Acquire)
+            })
             .collect())
     }
 }

@@ -25,6 +25,8 @@
 //!   `group … agg …`;
 //! * [`report`] — the sorted text report the developer reads first.
 
+#![forbid(unsafe_code)]
+
 pub mod compare;
 pub mod profile;
 pub mod query;

@@ -13,6 +13,10 @@
 //! small integer [`SymId`]s instead of re-demangling and re-hashing full
 //! symbol strings per call.
 
+// teeperf-lint: allow(raw-atomics, file): hit/miss counters on the
+// analyzer's host-side memo cache — statistics, not shared-log protocol
+// state; never subject to schedule exploration.
+
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
@@ -186,12 +190,16 @@ impl Symbolizer {
             .by_addr
             .get(&runtime_addr)
         {
+            // ord: Relaxed — independent statistic; nothing is published
+            // under it.
             self.hits.fetch_add(1, Ordering::Relaxed);
             return *id;
         }
         // Resolve outside the lock; a racing thread resolving the same
         // address just converges on the same interned name.
         let name = self.resolve_fresh(runtime_addr);
+        // ord: Relaxed — independent statistic; nothing is published
+        // under it.
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut table = self.intern.write().expect("symbol cache poisoned");
         let id = table.intern_name(&name);
@@ -226,6 +234,8 @@ impl Symbolizer {
     /// Cache accounting so far.
     pub fn cache_stats(&self) -> SymbolCacheStats {
         SymbolCacheStats {
+            // ord: Relaxed — a point-in-time statistics snapshot; exact
+            // cross-counter consistency is not promised.
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             unique_names: self

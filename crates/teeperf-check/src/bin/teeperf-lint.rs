@@ -1,0 +1,44 @@
+//! Protocol lint pass over the workspace's Rust sources.
+//!
+//! ```text
+//! teeperf-lint [root]        # default root: current directory
+//! ```
+//!
+//! Prints one `path:line: [rule] message` diagnostic per finding and exits
+//! 1 if there are any (the CI `lint-protocol` stage treats every finding
+//! as an error), 2 on I/O or usage problems. See
+//! [`teeperf_check::lint`] for the rules and their escape hatches.
+
+#![forbid(unsafe_code)]
+
+use std::path::Path;
+
+use teeperf_check::lint;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = match args.as_slice() {
+        [] => ".".to_string(),
+        [root] if !root.starts_with('-') => root.clone(),
+        _ => {
+            eprintln!("usage: teeperf-lint [root]");
+            std::process::exit(2);
+        }
+    };
+    let diags = match lint::lint_tree(Path::new(&root)) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("teeperf-lint: {e}");
+            std::process::exit(2);
+        }
+    };
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        eprintln!("teeperf-lint: clean");
+        std::process::exit(0);
+    }
+    eprintln!("teeperf-lint: {} violation(s)", diags.len());
+    std::process::exit(1);
+}

@@ -1,0 +1,436 @@
+//! Schedule exploration strategies over the serialized executions that
+//! [`crate::harness::execute`] runs.
+//!
+//! * [`check_exhaustive`] — CHESS-style preemption-bounded depth-first
+//!   enumeration. An unforced context switch (choosing a thread other than
+//!   the still-runnable previously granted one) is a *preemption*;
+//!   bounding preemptions per execution keeps small configs exactly
+//!   enumerable while still reaching every bug that needs ≤ bound forced
+//!   switches. Both historical bug classes in the rotation protocol need
+//!   exactly one.
+//! * [`check_pct`] — PCT-style seeded random scheduling: each virtual
+//!   thread gets a random priority, the highest-priority runnable thread
+//!   always runs, and at `depth − 1` random change points the running
+//!   thread's priority is demoted below everything seen so far. Good at
+//!   rare-interleaving bugs on configs too large to enumerate; every seed
+//!   is fully deterministic (the workspace `rand` shim is SplitMix64).
+//! * [`replay`] — re-run one recorded schedule exactly (violation
+//!   reproduction; also the regression-trace format in
+//!   [`format_trace`] / [`parse_trace`]).
+//!
+//! Every explorer builds fresh [`Fleet`]s as needed: a livelocked
+//! execution intentionally wedges its fleet (the parked workers can never
+//! be released), so explorers treat fleets as disposable.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::harness::{self, Config, Violation};
+use crate::sched::{ChoicePoint, ChoiceSource, ExecOutcome, Fleet, Prescribed, VTid};
+
+/// Default per-execution step budget. Checked configs are tiny (tens of
+/// protocol operations); anything approaching this bound is runaway.
+pub const DEFAULT_STEP_BUDGET: usize = 20_000;
+
+/// What one exploration run concluded.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// The config that was explored.
+    pub config: Config,
+    /// Strategy description, e.g. `"dfs(preemptions<=2)"`.
+    pub mode: String,
+    /// Executions actually run.
+    pub executions: usize,
+    /// First violation found, if any (exploration stops at the first).
+    pub violation: Option<Violation>,
+    /// For DFS: the bounded schedule space was fully enumerated. Never set
+    /// by PCT (random exploration is inherently partial).
+    pub exhausted: bool,
+    /// The execution cap (or a step budget) cut the exploration short —
+    /// coverage below is honest, not complete.
+    pub truncated: bool,
+    /// For PCT: the seed that produced `violation`.
+    pub seed: Option<u64>,
+}
+
+impl CheckReport {
+    /// One-line human rendering.
+    pub fn summary(&self) -> String {
+        let verdict = match &self.violation {
+            Some(v) => format!("VIOLATION {v}"),
+            None if self.exhausted => "ok (exhausted)".to_string(),
+            None if self.truncated => "ok so far (truncated)".to_string(),
+            None => "ok".to_string(),
+        };
+        format!(
+            "[{}] {} — {} executions — {}",
+            self.mode,
+            self.config.summary(),
+            self.executions,
+            verdict
+        )
+    }
+}
+
+/// DFS choice source: prescribed prefix, then the zero-preemption default
+/// (keep running the previously granted thread when it still can run).
+struct DfsSource<'a> {
+    prefix: &'a [VTid],
+}
+
+impl ChoiceSource for DfsSource<'_> {
+    fn choose(&mut self, step: usize, point: &ChoicePoint) -> VTid {
+        match self.prefix.get(step) {
+            Some(tid) => *tid,
+            None => default_choice(point),
+        }
+    }
+}
+
+fn default_choice(point: &ChoicePoint) -> VTid {
+    point.prev_runnable.unwrap_or(point.runnable[0])
+}
+
+/// Deterministic enumeration order of the options at a point: the
+/// zero-preemption default first, then the rest ascending.
+fn option_order(point: &ChoicePoint) -> Vec<VTid> {
+    let default = default_choice(point);
+    let mut order = vec![default];
+    order.extend(point.runnable.iter().copied().filter(|t| *t != default));
+    order
+}
+
+/// Preemption cost of granting `tid` at `point`: 1 if it switches away
+/// from a still-runnable previous thread.
+fn preemption_cost(point: &ChoicePoint, tid: VTid) -> usize {
+    match point.prev_runnable {
+        Some(prev) if prev != tid => 1,
+        _ => 0,
+    }
+}
+
+/// Exhaustively enumerate every schedule of `cfg` with at most
+/// `preemption_bound` preemptions, stopping at the first violation or
+/// after `max_executions` runs (reported as truncated).
+pub fn check_exhaustive(
+    cfg: &Config,
+    preemption_bound: usize,
+    max_executions: usize,
+) -> CheckReport {
+    let mode = format!("dfs(preemptions<={preemption_bound})");
+    let mut report = CheckReport {
+        config: *cfg,
+        mode,
+        executions: 0,
+        violation: None,
+        exhausted: false,
+        truncated: false,
+        seed: None,
+    };
+    let mut fleet = Fleet::new(cfg.participants());
+    let mut prefix: Vec<VTid> = Vec::new();
+    loop {
+        if fleet.is_wedged() {
+            fleet = Fleet::new(cfg.participants());
+        }
+        let mut source = DfsSource { prefix: &prefix };
+        let (rec, violation) = harness::execute(&mut fleet, cfg, &mut source, DEFAULT_STEP_BUDGET);
+        report.executions += 1;
+        if violation.is_some() {
+            report.violation = violation;
+            return report;
+        }
+        if rec.outcome == ExecOutcome::BudgetExceeded {
+            // This branch could not be run to completion; anything below
+            // the recorded horizon is unexplored.
+            report.truncated = true;
+        }
+        // Backtrack: deepest step with an untried, preemption-feasible
+        // alternative. Steps before the prefix replay identically, so the
+        // recorded points are a faithful view of the whole path.
+        let mut spent = 0usize;
+        let costs: Vec<usize> = rec
+            .points
+            .iter()
+            .zip(&rec.schedule)
+            .map(|(p, t)| preemption_cost(p, *t))
+            .collect();
+        let spent_before: Vec<usize> = costs
+            .iter()
+            .map(|c| {
+                let before = spent;
+                spent += c;
+                before
+            })
+            .collect();
+        let mut next_prefix = None;
+        for i in (0..rec.points.len()).rev() {
+            let order = option_order(&rec.points[i]);
+            let pos = order
+                .iter()
+                .position(|t| *t == rec.schedule[i])
+                .expect("granted thread was an option");
+            for cand in &order[pos + 1..] {
+                if spent_before[i] + preemption_cost(&rec.points[i], *cand) <= preemption_bound {
+                    let mut p = rec.schedule[..i].to_vec();
+                    p.push(*cand);
+                    next_prefix = Some(p);
+                    break;
+                }
+            }
+            if next_prefix.is_some() {
+                break;
+            }
+        }
+        match next_prefix {
+            Some(p) => prefix = p,
+            None => {
+                report.exhausted = !report.truncated;
+                return report;
+            }
+        }
+        if report.executions >= max_executions {
+            report.truncated = true;
+            report.exhausted = false;
+            return report;
+        }
+    }
+}
+
+/// PCT choice source for one seed: random per-thread priorities, random
+/// change points, highest-priority runnable wins.
+struct PctSource {
+    /// Current priority per vthread (higher wins). Initial values start at
+    /// 1000; demotions count down from 999 so each demoted thread lands
+    /// below everything before it.
+    priorities: Vec<i64>,
+    change_steps: Vec<usize>,
+    next_demotion: i64,
+}
+
+impl PctSource {
+    fn new(participants: usize, depth: usize, horizon: usize, rng: &mut StdRng) -> PctSource {
+        let priorities = (0..participants)
+            .map(|_| 1_000 + rng.gen_range(0i64..1_000_000))
+            .collect();
+        let mut change_steps: Vec<usize> = (0..depth.saturating_sub(1))
+            .map(|_| rng.gen_range(0usize..horizon.max(1)))
+            .collect();
+        change_steps.sort_unstable();
+        PctSource {
+            priorities,
+            change_steps,
+            next_demotion: 999,
+        }
+    }
+}
+
+impl ChoiceSource for PctSource {
+    fn choose(&mut self, step: usize, point: &ChoicePoint) -> VTid {
+        let top = |prio: &[i64]| -> VTid {
+            *point
+                .runnable
+                .iter()
+                .max_by_key(|t| prio[**t])
+                .expect("runnable never empty")
+        };
+        while self.change_steps.first() == Some(&step) {
+            self.change_steps.remove(0);
+            let victim = top(&self.priorities);
+            self.priorities[victim] = self.next_demotion;
+            self.next_demotion -= 1;
+        }
+        top(&self.priorities)
+    }
+}
+
+/// Run `schedules` PCT executions of `cfg` with consecutive seeds starting
+/// at `base_seed`, stopping at the first violation (the report records the
+/// finding seed — replaying that single seed reproduces the violation).
+pub fn check_pct(cfg: &Config, depth: usize, base_seed: u64, schedules: usize) -> CheckReport {
+    let mut report = CheckReport {
+        config: *cfg,
+        mode: format!(
+            "pct(depth={depth}, seeds={base_seed}..{})",
+            base_seed + schedules as u64
+        ),
+        executions: 0,
+        violation: None,
+        exhausted: false,
+        truncated: false,
+        seed: None,
+    };
+    let mut fleet = Fleet::new(cfg.participants());
+    for i in 0..schedules {
+        let seed = base_seed + i as u64;
+        if fleet.is_wedged() {
+            fleet = Fleet::new(cfg.participants());
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut source = PctSource::new(cfg.participants(), depth, pct_horizon(cfg), &mut rng);
+        let (_, violation) = harness::execute(&mut fleet, cfg, &mut source, DEFAULT_STEP_BUDGET);
+        report.executions += 1;
+        if let Some(v) = violation {
+            report.violation = Some(v);
+            report.seed = Some(seed);
+            return report;
+        }
+    }
+    report
+}
+
+/// Rough step-count horizon for placing PCT change points: enough to land
+/// demotions inside the interesting window without wasting most of them
+/// past the end of the execution.
+fn pct_horizon(cfg: &Config) -> usize {
+    let writer_steps = cfg.writers as u64 * cfg.entries_per_writer * 8;
+    let drain_steps = (cfg.mid_rotations + 1) * (cfg.capacity * 4 + 24);
+    let observer_steps = cfg.observer_reads * 8;
+    (writer_steps + drain_steps + observer_steps) as usize
+}
+
+/// Replay one PCT seed against `cfg` — the regression-trace entry point.
+pub fn replay_seed(cfg: &Config, depth: usize, seed: u64) -> CheckReport {
+    check_pct(cfg, depth, seed, 1)
+}
+
+/// Re-run one recorded schedule exactly. Diverging from the recorded
+/// runnable sets panics (by [`Prescribed`]'s contract): a schedule only
+/// replays against the code and config that produced it.
+pub fn replay(cfg: &Config, schedule: Vec<VTid>) -> Option<Violation> {
+    let mut fleet = Fleet::new(cfg.participants());
+    let mut source = Prescribed::new(schedule);
+    let (_, violation) = harness::execute(&mut fleet, cfg, &mut source, DEFAULT_STEP_BUDGET);
+    violation
+}
+
+/// Serialize a finding into the regression-trace format stored under
+/// `tests/fixtures/traces/`: `key = value` lines plus `#` comments.
+pub fn format_trace(cfg: &Config, depth: usize, seed: u64, report: &CheckReport) -> String {
+    let expect = report.violation.as_ref().map_or("none", |v| v.kind.name());
+    format!(
+        "# teeperf-check regression trace: replaying this seed against this\n\
+         # config must re-find the violation named in `expect`.\n\
+         mutation = {}\n\
+         writers = {}\n\
+         entries_per_writer = {}\n\
+         capacity = {}\n\
+         mid_rotations = {}\n\
+         observer_reads = {}\n\
+         pct_depth = {depth}\n\
+         seed = {seed}\n\
+         expect = {expect}\n",
+        cfg.mutation.name(),
+        cfg.writers,
+        cfg.entries_per_writer,
+        cfg.capacity,
+        cfg.mid_rotations,
+        cfg.observer_reads,
+    )
+}
+
+/// Parse [`format_trace`] output. Returns the config, PCT depth, seed and
+/// expected violation kind name.
+///
+/// # Errors
+/// A message naming the malformed or missing key.
+pub fn parse_trace(text: &str) -> Result<(Config, usize, u64, String), String> {
+    let mut cfg = Config::default();
+    let (mut depth, mut seed, mut expect) = (None, None, None);
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("malformed trace line: {line:?}"))?;
+        let (key, value) = (key.trim(), value.trim());
+        let num = || -> Result<u64, String> {
+            value
+                .parse::<u64>()
+                .map_err(|_| format!("bad number for {key}: {value:?}"))
+        };
+        match key {
+            "mutation" => {
+                cfg.mutation = harness::MutationKind::parse(value)
+                    .ok_or_else(|| format!("unknown mutation: {value:?}"))?;
+            }
+            "writers" => cfg.writers = num()? as usize,
+            "entries_per_writer" => cfg.entries_per_writer = num()?,
+            "capacity" => cfg.capacity = num()?,
+            "mid_rotations" => cfg.mid_rotations = num()?,
+            "observer_reads" => cfg.observer_reads = num()?,
+            "pct_depth" => depth = Some(num()? as usize),
+            "seed" => seed = Some(num()?),
+            "expect" => expect = Some(value.to_string()),
+            other => return Err(format!("unknown trace key: {other:?}")),
+        }
+    }
+    Ok((
+        cfg,
+        depth.ok_or("trace missing pct_depth")?,
+        seed.ok_or("trace missing seed")?,
+        expect.ok_or("trace missing expect")?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::MutationKind;
+
+    #[test]
+    fn trace_roundtrip() {
+        let cfg = Config {
+            writers: 3,
+            entries_per_writer: 2,
+            capacity: 2,
+            mid_rotations: 2,
+            observer_reads: 4,
+            mutation: MutationKind::DroppedDoubleCount,
+        };
+        let report = CheckReport {
+            config: cfg,
+            mode: "pct".into(),
+            executions: 1,
+            violation: None,
+            exhausted: false,
+            truncated: false,
+            seed: Some(41),
+        };
+        let text = format_trace(&cfg, 3, 41, &report);
+        let (parsed, depth, seed, expect) = parse_trace(&text).expect("roundtrip");
+        assert_eq!(parsed, cfg);
+        assert_eq!(depth, 3);
+        assert_eq!(seed, 41);
+        assert_eq!(expect, "none");
+    }
+
+    #[test]
+    fn trace_rejects_garbage() {
+        assert!(parse_trace("writers: 3").is_err());
+        assert!(parse_trace("mutation = bogus").is_err());
+        assert!(
+            parse_trace("writers = 2").is_err(),
+            "missing seed/depth/expect"
+        );
+    }
+
+    #[test]
+    fn option_order_puts_default_first() {
+        let point = ChoicePoint {
+            runnable: vec![0, 1, 2],
+            prev_runnable: Some(1),
+        };
+        assert_eq!(option_order(&point), vec![1, 0, 2]);
+        assert_eq!(preemption_cost(&point, 1), 0);
+        assert_eq!(preemption_cost(&point, 2), 1);
+        let fresh = ChoicePoint {
+            runnable: vec![1, 2],
+            prev_runnable: None,
+        };
+        assert_eq!(option_order(&fresh), vec![1, 2]);
+        assert_eq!(preemption_cost(&fresh, 2), 0);
+    }
+}

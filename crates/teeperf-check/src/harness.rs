@@ -1,0 +1,420 @@
+//! The protocol harness: runs the *real* `teeperf_core::log` live protocol
+//! (`write_live` / `poll` / `rotate`) under the virtual scheduler and
+//! checks machine-readable invariants against independently tracked ground
+//! truth.
+//!
+//! Roles (one virtual thread each, in fixed [`VTid`] order so schedules
+//! replay):
+//!
+//! * **writers** `0..W` — each appends `entries_per_writer` entries with
+//!   globally unique addresses via `SharedLog::write_live`, recording every
+//!   attempt and its outcome.
+//! * **drainer** `W` — owns the `LogCursor`: polls, performs up to
+//!   `mid_rotations` rotations while writers are still running (this is
+//!   what exercises slot reuse across epochs), then one final rotation
+//!   after every writer has finished.
+//! * **observer** `W+1` (optional) — reads `dropped_total()` concurrently
+//!   and checks it against the over-count bound; this is the only role
+//!   that can see the historical drop double-counting bug, whose final
+//!   totals are correct and only its *transient* values lie.
+//!
+//! ## Invariants
+//!
+//! 1. **Exactly-once drain:** the multiset of drained entry addresses
+//!    equals the multiset of successfully written ones — a stale-slot
+//!    resurrection shows up as a duplicate, a lost entry as a hole.
+//! 2. **Drop accounting:** after the final rotation, `dropped_total()`
+//!    equals attempts − successes.
+//! 3. **No transient drop over-count:** every observer read of
+//!    `dropped_total()` is ≤ completed drops + writers still inside the
+//!    protocol (each can contribute at most one unreported drop). Transient
+//!    *under*-reporting is documented and allowed; over-reporting means the
+//!    same drop was visible in two words at once.
+//! 4. **Validity:** nothing drained is torn or unpublished.
+//! 5. **Termination:** the execution completes — a schedule under which
+//!    every unfinished thread is parked is a livelock of the rotation
+//!    handshake (checked by the scheduler itself).
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use tee_sim::SharedMem;
+use teeperf_core::layout::{EntryValidity, EventKind, LogEntry};
+use teeperf_core::log::{make_header, mutation::Mutation, region_bytes, LogCursor, SharedLog};
+
+use crate::sched::{ChoiceSource, ExecOutcome, ExecRecord, Fleet, VTid};
+
+/// Which historical bug class to re-introduce (mapped onto
+/// `teeperf_core::log::mutation`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum MutationKind {
+    /// The shipped protocol, no bug.
+    #[default]
+    None,
+    /// PR-1 class: rotation keeps stale publication words on reused slots.
+    StaleSlotResurrection,
+    /// PR-1-review / PR-5 class: rotation counts the closing epoch's drops
+    /// into the cumulative word before resetting the tail.
+    DroppedDoubleCount,
+}
+
+impl MutationKind {
+    fn arm(self) -> Mutation {
+        match self {
+            MutationKind::None => Mutation::None,
+            MutationKind::StaleSlotResurrection => Mutation::SkipSlotClear,
+            MutationKind::DroppedDoubleCount => Mutation::CountDropsBeforeTailReset,
+        }
+    }
+
+    /// Stable kebab-case name (trace files, CLI flags).
+    pub fn name(self) -> &'static str {
+        match self {
+            MutationKind::None => "none",
+            MutationKind::StaleSlotResurrection => "stale-slot-resurrection",
+            MutationKind::DroppedDoubleCount => "drop-double-count",
+        }
+    }
+
+    /// Parse a [`MutationKind::name`] back.
+    pub fn parse(s: &str) -> Option<MutationKind> {
+        match s {
+            "none" => Some(MutationKind::None),
+            "stale-slot-resurrection" => Some(MutationKind::StaleSlotResurrection),
+            "drop-double-count" => Some(MutationKind::DroppedDoubleCount),
+            _ => None,
+        }
+    }
+}
+
+/// One checked scenario: how many writers, how much log, how much drainer
+/// and observer activity, and which mutation (if any) is armed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Concurrent `write_live` threads.
+    pub writers: usize,
+    /// Entries each writer appends.
+    pub entries_per_writer: u64,
+    /// Log capacity in entries (small on purpose: forces reuse + drops).
+    pub capacity: u64,
+    /// Rotations the drainer performs while writers may still be running.
+    pub mid_rotations: u64,
+    /// Concurrent `dropped_total()` reads by the observer role (0 = no
+    /// observer thread).
+    pub observer_reads: u64,
+    /// Armed protocol mutation.
+    pub mutation: MutationKind,
+}
+
+impl Config {
+    /// Virtual threads this config schedules.
+    pub fn participants(&self) -> usize {
+        self.writers + 1 + usize::from(self.observer_reads > 0)
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}w x {}e cap={} rot={} obs={} mut={}",
+            self.writers,
+            self.entries_per_writer,
+            self.capacity,
+            self.mid_rotations,
+            self.observer_reads,
+            self.mutation.name()
+        )
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            writers: 2,
+            entries_per_writer: 1,
+            capacity: 1,
+            mid_rotations: 1,
+            observer_reads: 0,
+            mutation: MutationKind::None,
+        }
+    }
+}
+
+/// An invariant the execution broke.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// The same published entry was drained more than once (stale-slot
+    /// resurrection manifests here).
+    DuplicateDrain,
+    /// A successfully written entry was never drained.
+    LostEntry,
+    /// A drained record was torn or unpublished.
+    InvalidEntry,
+    /// Final `dropped_total()` disagrees with attempts − successes.
+    DropAccounting,
+    /// A concurrent `dropped_total()` read exceeded the over-count bound
+    /// (the drop double-counting bug manifests here).
+    ObserverOverCount,
+    /// Every unfinished thread was parked: the handshake livelocked.
+    Livelock,
+    /// Protocol code panicked under this schedule.
+    Panic,
+}
+
+impl ViolationKind {
+    /// Stable kebab-case name (trace files, reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ViolationKind::DuplicateDrain => "duplicate-drain",
+            ViolationKind::LostEntry => "lost-entry",
+            ViolationKind::InvalidEntry => "invalid-entry",
+            ViolationKind::DropAccounting => "drop-accounting",
+            ViolationKind::ObserverOverCount => "observer-over-count",
+            ViolationKind::Livelock => "livelock",
+            ViolationKind::Panic => "panic",
+        }
+    }
+}
+
+/// A broken invariant plus the exact schedule that broke it. Feeding
+/// `schedule` back through [`crate::sched::Prescribed`] reproduces the
+/// violation deterministically.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which invariant broke.
+    pub kind: ViolationKind,
+    /// Human-readable specifics.
+    pub detail: String,
+    /// The schedule (granted thread per step) that exposed it.
+    pub schedule: Vec<VTid>,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} [schedule: {} steps]",
+            self.kind.name(),
+            self.detail,
+            self.schedule.len()
+        )
+    }
+}
+
+/// Ground truth maintained outside the shared region. Only ever touched by
+/// the single currently-granted virtual thread (the scheduler serializes
+/// everything), so the mutex is for the borrow checker, not for real
+/// contention.
+#[derive(Debug, Default)]
+struct Truth {
+    attempts: u64,
+    written: Vec<u64>,
+    completed_drops: u64,
+    writers_done: usize,
+    observer_overcounts: Vec<String>,
+    drained: Vec<LogEntry>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Run one serialized execution of `cfg` under `choices` and check every
+/// invariant. Returns the raw execution record plus the first violation
+/// found, if any.
+pub fn execute(
+    fleet: &mut Fleet,
+    cfg: &Config,
+    choices: &mut dyn ChoiceSource,
+    step_budget: usize,
+) -> (ExecRecord, Option<Violation>) {
+    assert!(cfg.writers >= 1, "need at least one writer");
+    assert!(
+        fleet.slots() >= cfg.participants(),
+        "fleet too small for config"
+    );
+    let shm = Arc::new(SharedMem::new_modeled(
+        region_bytes(cfg.capacity),
+        fleet.model(),
+    ));
+    let log = SharedLog::init(
+        Arc::clone(&shm),
+        &make_header(1, cfg.capacity, true, 0x40_0000, tee_sim::SHM_BASE),
+    );
+    let truth = Arc::new(Mutex::new(Truth::default()));
+
+    let mut jobs: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+    for w in 0..cfg.writers {
+        let log = log.clone();
+        let truth = Arc::clone(&truth);
+        let entries = cfg.entries_per_writer;
+        jobs.push(Box::new(move || {
+            for k in 1..=entries {
+                let addr = (w as u64 + 1) * 1_000 + k;
+                let entry = LogEntry {
+                    kind: EventKind::Call,
+                    counter: k,
+                    addr,
+                    tid: w as u64,
+                };
+                let stored = log.write_live(&entry).is_some();
+                let mut t = lock(&truth);
+                t.attempts += 1;
+                if stored {
+                    t.written.push(addr);
+                } else {
+                    t.completed_drops += 1;
+                }
+            }
+            lock(&truth).writers_done += 1;
+        }));
+    }
+    {
+        // Drainer: the single cursor owner. Mutations arm on this handle —
+        // both historical bugs lived in the rotation path it runs.
+        let log = log.clone().with_mutation(cfg.mutation.arm());
+        let truth = Arc::clone(&truth);
+        let writers = cfg.writers;
+        let mid_rotations = cfg.mid_rotations;
+        jobs.push(Box::new(move || {
+            let mut cursor = LogCursor::default();
+            let mut drained = Vec::new();
+            let mut rotations_done = 0u64;
+            loop {
+                drained.extend(log.poll(&mut cursor));
+                if lock(&truth).writers_done == writers {
+                    // All writers finished: one final rotation drains
+                    // everything still in the closing epoch.
+                    drained.extend(log.rotate(&mut cursor).entries);
+                    break;
+                }
+                if rotations_done < mid_rotations {
+                    drained.extend(log.rotate(&mut cursor).entries);
+                    rotations_done += 1;
+                } else {
+                    // Out of rotation budget and writers still running:
+                    // park until some writer makes progress (every writer
+                    // step that matters is a store/RMW).
+                    log.shm().spin_hint();
+                }
+            }
+            lock(&truth).drained = drained;
+        }));
+    }
+    if cfg.observer_reads > 0 {
+        let log = log.clone();
+        let truth = Arc::clone(&truth);
+        let writers = cfg.writers;
+        let reads = cfg.observer_reads;
+        jobs.push(Box::new(move || {
+            for _ in 0..reads {
+                let observed = log.dropped_total();
+                let t = lock(&truth);
+                // Each writer still inside the protocol can have reserved
+                // (and thus made visible) at most one drop whose write_live
+                // has not returned yet.
+                let bound = t.completed_drops + (writers - t.writers_done) as u64;
+                if observed > bound {
+                    let detail = format!(
+                        "dropped_total()={observed} > bound {bound} \
+                         (completed drops {} + {} writers in flight)",
+                        t.completed_drops,
+                        writers - t.writers_done
+                    );
+                    drop(t);
+                    lock(&truth).observer_overcounts.push(detail);
+                }
+            }
+        }));
+    }
+
+    let rec = fleet.run_execution(jobs, choices, step_budget);
+    let violation = match &rec.outcome {
+        ExecOutcome::Completed => check_invariants(cfg, &log, &lock(&truth), &rec),
+        ExecOutcome::Livelock => Some(Violation {
+            kind: ViolationKind::Livelock,
+            detail: "all unfinished threads parked in spin-waits with no writer left".to_string(),
+            schedule: rec.schedule.clone(),
+        }),
+        ExecOutcome::Panicked(msg) => Some(Violation {
+            kind: ViolationKind::Panic,
+            detail: msg.clone(),
+            schedule: rec.schedule.clone(),
+        }),
+        // Abandoned: not a verdict about the protocol. The caller's report
+        // marks the exploration truncated.
+        ExecOutcome::BudgetExceeded => None,
+    };
+    (rec, violation)
+}
+
+fn check_invariants(
+    cfg: &Config,
+    log: &SharedLog,
+    truth: &Truth,
+    rec: &ExecRecord,
+) -> Option<Violation> {
+    let fail = |kind: ViolationKind, detail: String| {
+        Some(Violation {
+            kind,
+            detail,
+            schedule: rec.schedule.clone(),
+        })
+    };
+    if let Some(detail) = truth.observer_overcounts.first() {
+        return fail(ViolationKind::ObserverOverCount, detail.clone());
+    }
+    for e in &truth.drained {
+        if e.validity() != EntryValidity::Valid {
+            return fail(
+                ViolationKind::InvalidEntry,
+                format!("drained a {:?} record: {e:?}", e.validity()),
+            );
+        }
+    }
+    // Exactly-once: compare drained vs written as multisets of addresses
+    // (addresses are globally unique by construction).
+    let mut counts = std::collections::BTreeMap::<u64, i64>::new();
+    for addr in &truth.written {
+        *counts.entry(*addr).or_insert(0) += 1;
+    }
+    for e in &truth.drained {
+        *counts.entry(e.addr).or_insert(0) -= 1;
+    }
+    for (addr, n) in &counts {
+        if *n < 0 {
+            return fail(
+                ViolationKind::DuplicateDrain,
+                format!("entry addr {addr} drained {} times", 1 - n),
+            );
+        }
+        if *n > 0 {
+            return fail(
+                ViolationKind::LostEntry,
+                format!("entry addr {addr} written but never drained"),
+            );
+        }
+    }
+    let expected_drops = truth.attempts - truth.written.len() as u64;
+    let final_drops = log.dropped_total();
+    if final_drops != expected_drops {
+        return fail(
+            ViolationKind::DropAccounting,
+            format!(
+                "final dropped_total()={final_drops}, ground truth {expected_drops} \
+                 ({} attempts, {} stored) [{}]",
+                truth.attempts,
+                truth.written.len(),
+                cfg.summary()
+            ),
+        );
+    }
+    if log.writers_in_flight() != 0 {
+        return fail(
+            ViolationKind::DropAccounting,
+            format!(
+                "writers_in_flight()={} after completion",
+                log.writers_in_flight()
+            ),
+        );
+    }
+    None
+}

@@ -1,0 +1,654 @@
+//! The virtual scheduler: serializes the real protocol threads one atomic
+//! operation at a time.
+//!
+//! Every thread participating in a checked execution runs its *production*
+//! protocol code against a [`tee_sim::SharedMem`] built with
+//! [`tee_sim::SharedMem::new_modeled`]. The region reports each atomic
+//! access to the [`Scheduler`] (via [`tee_sim::MemModel`]) *before* it
+//! executes; the scheduler blocks the thread until the explorer grants it
+//! the next step. Exactly one virtual thread is ever unblocked, so a whole
+//! execution is one deterministic serialization of the protocol's atomic
+//! operations — chosen step by step by a [`ChoiceSource`], which is how
+//! the DFS and PCT explorers own every interleaving decision.
+//!
+//! Spin loops are the one place unbounded physical behaviour must become
+//! finite: a thread that calls `spin_hint` is **parked** and only becomes
+//! runnable again after some other thread performs a store or RMW.
+//! Re-running a spin check that no write could have affected would re-read
+//! the same value and reach the same state, so skipping it loses no
+//! behaviours and keeps the schedule space finite. If every unfinished
+//! thread is parked, no write can ever arrive and the execution is a
+//! genuine livelock, which the explorer reports as a violation of the
+//! termination invariant.
+//!
+//! Worker threads are pooled in a [`Fleet`] and reused across the many
+//! thousands of executions an exhaustive exploration runs, so per-schedule
+//! cost is a few condvar handoffs per step rather than thread spawns.
+
+// teeperf-lint: allow(raw-atomics, file): this *is* the model seam — the
+// scheduler's own handshake state must not run through the region it is
+// scheduling.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use tee_sim::{MemAccess, MemModel};
+
+/// Index of a virtual thread within an execution (stable across re-runs:
+/// role order is fixed by the harness, which is what makes recorded
+/// schedules replayable).
+pub type VTid = usize;
+
+std::thread_local! {
+    /// Which virtual thread the current OS thread is acting as, if any.
+    /// Unregistered threads (the orchestrator doing setup/teardown) pass
+    /// through the seam without scheduling points.
+    static CURRENT_VTID: std::cell::Cell<Option<VTid>> = const { std::cell::Cell::new(None) };
+}
+
+/// Why a virtual thread is not currently executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Between ops (owns the execution window), or job not yet delivered.
+    Running,
+    /// Blocked at the start gate or before an atomic access.
+    AtPoint(Option<MemAccess>),
+    /// Parked in a spin-wait; runnable again once `write_count` exceeds
+    /// the recorded value.
+    Parked { since_write: u64 },
+    /// Job returned (or panicked — the panic is recorded separately).
+    Finished,
+}
+
+#[derive(Debug)]
+struct SchedState {
+    status: Vec<Status>,
+    /// Thread currently granted the next step, until it accepts.
+    granted: Option<VTid>,
+    /// Completed stores/RMWs this execution (parking epoch for spinners).
+    write_count: u64,
+    /// Abandon switch: every hook becomes a pass-through and all threads
+    /// free-run concurrently to completion (used on budget exhaustion;
+    /// the execution's result is discarded).
+    free_run: bool,
+    /// Panic payloads of virtual threads, in arrival order.
+    panics: Vec<String>,
+}
+
+/// The serializing scheduler. One per [`Fleet`]; shared with every modeled
+/// [`tee_sim::SharedMem`] region as its [`MemModel`].
+#[derive(Debug)]
+pub struct Scheduler {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A virtual thread that panicked inside protocol code may have poisoned
+    // the state mutex while the explorer was mid-wait; the state itself is
+    // still consistent (every mutation is a single-field write).
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Scheduler {
+    fn new(slots: usize) -> Scheduler {
+        Scheduler {
+            state: Mutex::new(SchedState {
+                status: vec![Status::Finished; slots],
+                granted: None,
+                write_count: 0,
+                free_run: false,
+                panics: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block at a scheduling point until granted (or free-run). Returns
+    /// whether the grant was real (false = free-run pass-through).
+    fn wait_for_grant(&self, tid: VTid, status: Status) -> bool {
+        let mut st = relock(&self.state);
+        if st.free_run {
+            return false;
+        }
+        st.status[tid] = status;
+        self.cv.notify_all();
+        loop {
+            if st.free_run {
+                st.status[tid] = Status::Running;
+                return false;
+            }
+            if st.granted == Some(tid) {
+                st.granted = None;
+                st.status[tid] = Status::Running;
+                return true;
+            }
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+impl MemModel for Scheduler {
+    fn before_access(&self, access: MemAccess) {
+        let Some(tid) = CURRENT_VTID.get() else {
+            // Orchestrator setup/teardown access, outside the execution
+            // window: not a scheduling point.
+            return;
+        };
+        if self.wait_for_grant(tid, Status::AtPoint(Some(access))) && access.kind.is_write() {
+            let mut st = relock(&self.state);
+            st.write_count += 1;
+        }
+    }
+
+    fn on_spin(&self) {
+        let Some(tid) = CURRENT_VTID.get() else {
+            return;
+        };
+        let since_write = relock(&self.state).write_count;
+        self.wait_for_grant(tid, Status::Parked { since_write });
+    }
+}
+
+/// What [`Fleet::run_execution`] observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecOutcome {
+    /// Every virtual thread ran to completion under the schedule.
+    Completed,
+    /// Every unfinished thread was parked in a spin-wait with no possible
+    /// future write: the protocol livelocked under this schedule.
+    Livelock,
+    /// The step budget ran out; the execution was abandoned (threads were
+    /// released to free-run to completion) and its result means nothing.
+    BudgetExceeded,
+    /// A virtual thread panicked (payload rendered into the string).
+    Panicked(String),
+}
+
+/// One completed execution: the outcome plus the exact schedule that was
+/// run (one granted [`VTid`] per step), replayable via
+/// [`crate::explore::replay`].
+#[derive(Debug, Clone)]
+pub struct ExecRecord {
+    /// How the execution ended.
+    pub outcome: ExecOutcome,
+    /// The granted thread at every step, in order.
+    pub schedule: Vec<VTid>,
+    /// Choice points observed: at each recorded step, the runnable set and
+    /// the previously granted thread (for preemption accounting). Indexed
+    /// like `schedule`.
+    pub points: Vec<ChoicePoint>,
+}
+
+/// The context a [`ChoiceSource`] chose from at one step.
+#[derive(Debug, Clone)]
+pub struct ChoicePoint {
+    /// Runnable virtual threads, ascending.
+    pub runnable: Vec<VTid>,
+    /// Previously granted thread, if it is in `runnable` (choosing any
+    /// other runnable thread at this point is a preemption).
+    pub prev_runnable: Option<VTid>,
+}
+
+/// A source of scheduling decisions (DFS enumeration, PCT randomness, or a
+/// recorded-schedule replay).
+pub trait ChoiceSource {
+    /// Pick the next thread to grant from `point.runnable` (never empty).
+    fn choose(&mut self, step: usize, point: &ChoicePoint) -> VTid;
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A pool of reusable virtual-thread workers plus their [`Scheduler`].
+#[derive(Debug)]
+pub struct Fleet {
+    sched: Arc<Scheduler>,
+    workers: Vec<Sender<Job>>,
+    /// A livelocked execution leaves workers parked forever; the fleet can
+    /// then never run again and callers must build a fresh one.
+    wedged: bool,
+}
+
+impl Fleet {
+    /// Spawn `slots` pooled workers. Worker `i` always acts as [`VTid`]
+    /// `i`, so role-to-thread mapping is stable across executions.
+    pub fn new(slots: usize) -> Fleet {
+        let sched = Arc::new(Scheduler::new(slots));
+        let workers = (0..slots)
+            .map(|tid| {
+                let (tx, rx) = channel::<Job>();
+                let sched = Arc::clone(&sched);
+                std::thread::Builder::new()
+                    .name(format!("vthread-{tid}"))
+                    .spawn(move || {
+                        CURRENT_VTID.set(Some(tid));
+                        while let Ok(job) = rx.recv() {
+                            // Start gate: the job must not run (not even
+                            // its non-atomic prologue) until scheduled.
+                            sched.wait_for_grant(tid, Status::AtPoint(None));
+                            let result = catch_unwind(AssertUnwindSafe(job));
+                            let mut st = relock(&sched.state);
+                            if let Err(payload) = result {
+                                st.panics.push(render_panic(payload.as_ref()));
+                            }
+                            st.status[tid] = Status::Finished;
+                            sched.cv.notify_all();
+                        }
+                    })
+                    .expect("spawn vthread worker");
+                tx
+            })
+            .collect();
+        Fleet {
+            sched,
+            workers,
+            wedged: false,
+        }
+    }
+
+    /// The scheduler to attach to modeled regions for this fleet.
+    pub fn model(&self) -> Arc<Scheduler> {
+        Arc::clone(&self.sched)
+    }
+
+    /// Number of worker slots.
+    pub fn slots(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Whether a livelocked execution has permanently parked the workers.
+    pub fn is_wedged(&self) -> bool {
+        self.wedged
+    }
+
+    /// Run one fully serialized execution of `jobs` (job `i` on [`VTid`]
+    /// `i`), asking `choices` for every scheduling decision, with at most
+    /// `step_budget` grants.
+    ///
+    /// # Panics
+    /// Panics if the fleet is wedged or `jobs` exceeds the slot count.
+    pub fn run_execution(
+        &mut self,
+        jobs: Vec<Job>,
+        choices: &mut dyn ChoiceSource,
+        step_budget: usize,
+    ) -> ExecRecord {
+        assert!(!self.wedged, "fleet wedged by a livelocked execution");
+        let participants = jobs.len();
+        assert!(participants <= self.workers.len(), "more jobs than slots");
+        {
+            let mut st = relock(&self.sched.state);
+            debug_assert!(
+                st.status.iter().all(|s| *s == Status::Finished),
+                "previous execution still live"
+            );
+            st.status = vec![Status::Finished; self.workers.len()];
+            for s in st.status.iter_mut().take(participants) {
+                // Running until the worker reaches its start gate.
+                *s = Status::Running;
+            }
+            st.granted = None;
+            st.write_count = 0;
+            st.free_run = false;
+            st.panics.clear();
+        }
+        for (worker, job) in self.workers.iter().zip(jobs) {
+            worker.send(job).expect("vthread worker died");
+        }
+
+        let mut schedule = Vec::new();
+        let mut points = Vec::new();
+        loop {
+            let mut st = relock(&self.sched.state);
+            // Quiesce: wait until no thread is between scheduling points.
+            loop {
+                let busy =
+                    st.granted.is_some() || st.status.iter().any(|s| matches!(s, Status::Running));
+                if !busy {
+                    break;
+                }
+                st = self
+                    .sched
+                    .cv
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            if let Some(panic) = st.panics.first().cloned() {
+                drop(st);
+                self.abandon();
+                return ExecRecord {
+                    outcome: ExecOutcome::Panicked(panic),
+                    schedule,
+                    points,
+                };
+            }
+            let runnable: Vec<VTid> = st
+                .status
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| match s {
+                    Status::AtPoint(_) => true,
+                    Status::Parked { since_write } => st.write_count > *since_write,
+                    _ => false,
+                })
+                .map(|(tid, _)| tid)
+                .collect();
+            if runnable.is_empty() {
+                if st.status.iter().all(|s| *s == Status::Finished) {
+                    return ExecRecord {
+                        outcome: ExecOutcome::Completed,
+                        schedule,
+                        points,
+                    };
+                }
+                // Unfinished threads exist but none can ever run again:
+                // they are all parked waiting for a write that no thread
+                // is left to perform. Leave them parked (waking them could
+                // spin forever); the fleet is spent.
+                self.wedged = true;
+                return ExecRecord {
+                    outcome: ExecOutcome::Livelock,
+                    schedule,
+                    points,
+                };
+            }
+            if schedule.len() >= step_budget {
+                drop(st);
+                self.abandon();
+                return ExecRecord {
+                    outcome: ExecOutcome::BudgetExceeded,
+                    schedule,
+                    points,
+                };
+            }
+            let point = ChoicePoint {
+                prev_runnable: schedule
+                    .last()
+                    .copied()
+                    .filter(|prev| runnable.contains(prev)),
+                runnable,
+            };
+            drop(st);
+            let chosen = choices.choose(schedule.len(), &point);
+            assert!(
+                point.runnable.contains(&chosen),
+                "choice source picked non-runnable vthread {chosen} from {:?}",
+                point.runnable
+            );
+            schedule.push(chosen);
+            points.push(point);
+            let mut st = relock(&self.sched.state);
+            st.granted = Some(chosen);
+            self.sched.cv.notify_all();
+        }
+    }
+
+    /// Release every blocked thread into free-run and wait for the jobs to
+    /// finish concurrently (used when an execution is abandoned — results
+    /// are discarded, we only need the workers back).
+    fn abandon(&self) {
+        let mut st = relock(&self.sched.state);
+        st.free_run = true;
+        st.granted = None;
+        self.sched.cv.notify_all();
+        while !st.status.iter().all(|s| *s == Status::Finished) {
+            st = self
+                .sched
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+fn render_panic(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Deterministic queue of prescribed choices — the replay side of
+/// [`ExecRecord::schedule`]. Panics if the execution diverges from the
+/// recorded runnable sets, which (given the lint-enforced determinism of
+/// protocol code) only happens when the schedule belongs to different code
+/// or a different config.
+#[derive(Debug, Clone)]
+pub struct Prescribed {
+    queue: VecDeque<VTid>,
+}
+
+impl Prescribed {
+    /// Wrap a recorded schedule for replay.
+    pub fn new(schedule: Vec<VTid>) -> Prescribed {
+        Prescribed {
+            queue: schedule.into(),
+        }
+    }
+}
+
+impl ChoiceSource for Prescribed {
+    fn choose(&mut self, step: usize, point: &ChoicePoint) -> VTid {
+        let tid = self
+            .queue
+            .pop_front()
+            .unwrap_or_else(|| panic!("replay schedule exhausted at step {step}"));
+        assert!(
+            point.runnable.contains(&tid),
+            "replay diverged at step {step}: {tid} not in {:?}",
+            point.runnable
+        );
+        tid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use tee_sim::SharedMem;
+
+    struct RoundRobin;
+    impl ChoiceSource for RoundRobin {
+        fn choose(&mut self, step: usize, point: &ChoicePoint) -> VTid {
+            point.runnable[step % point.runnable.len()]
+        }
+    }
+
+    struct FirstRunnable;
+    impl ChoiceSource for FirstRunnable {
+        fn choose(&mut self, _step: usize, point: &ChoicePoint) -> VTid {
+            point.runnable[0]
+        }
+    }
+
+    #[test]
+    fn serialized_increments_complete_and_record_a_schedule() {
+        let mut fleet = Fleet::new(2);
+        let shm = Arc::new(SharedMem::new_modeled(8, fleet.model()));
+        let jobs: Vec<Job> = (0..2)
+            .map(|_| {
+                let shm = Arc::clone(&shm);
+                Box::new(move || {
+                    for _ in 0..5 {
+                        shm.fetch_add_u64(0, 1).unwrap();
+                    }
+                }) as Job
+            })
+            .collect();
+        let rec = fleet.run_execution(jobs, &mut RoundRobin, 1_000);
+        assert_eq!(rec.outcome, ExecOutcome::Completed);
+        assert_eq!(shm.read_u64(0).unwrap(), 10);
+        // 10 RMW grants plus 2 start-gate grants.
+        assert_eq!(rec.schedule.len(), 12);
+        assert_eq!(rec.points.len(), 12);
+    }
+
+    #[test]
+    fn same_schedule_replays_identically() {
+        let run = |choices: &mut dyn ChoiceSource| -> (Vec<VTid>, u64) {
+            let mut fleet = Fleet::new(2);
+            let shm = Arc::new(SharedMem::new_modeled(16, fleet.model()));
+            let s0 = Arc::clone(&shm);
+            let s1 = Arc::clone(&shm);
+            let jobs: Vec<Job> = vec![
+                Box::new(move || {
+                    s0.write_u64(0, 1).unwrap();
+                    s0.fetch_add_u64(8, 1).unwrap();
+                }),
+                Box::new(move || {
+                    s1.write_u64(0, 2).unwrap();
+                    s1.fetch_add_u64(8, 10).unwrap();
+                }),
+            ];
+            let rec = fleet.run_execution(jobs, choices, 1_000);
+            assert_eq!(rec.outcome, ExecOutcome::Completed);
+            (rec.schedule, shm.read_u64(0).unwrap())
+        };
+        let (schedule, word) = run(&mut RoundRobin);
+        let (schedule2, word2) = run(&mut Prescribed::new(schedule.clone()));
+        assert_eq!(schedule, schedule2);
+        assert_eq!(word, word2);
+    }
+
+    #[test]
+    fn parked_spinner_wakes_only_after_a_write() {
+        let mut fleet = Fleet::new(2);
+        let shm = Arc::new(SharedMem::new_modeled(8, fleet.model()));
+        let waiter = Arc::clone(&shm);
+        let setter = Arc::clone(&shm);
+        let jobs: Vec<Job> = vec![
+            Box::new(move || {
+                while waiter.read_u64(0).unwrap() == 0 {
+                    waiter.spin_hint();
+                }
+            }),
+            Box::new(move || {
+                setter.write_u64(0, 1).unwrap();
+            }),
+        ];
+        // FirstRunnable always prefers vthread 0; if parking did not work,
+        // the waiter would be granted forever and the setter would starve
+        // (the run would hit the step budget). With parking, the waiter's
+        // spin parks it, the setter must run, and everything completes.
+        let rec = fleet.run_execution(jobs, &mut FirstRunnable, 100);
+        assert_eq!(rec.outcome, ExecOutcome::Completed);
+    }
+
+    #[test]
+    fn livelock_is_detected_when_no_writer_remains() {
+        let mut fleet = Fleet::new(1);
+        let shm = Arc::new(SharedMem::new_modeled(8, fleet.model()));
+        let waiter = Arc::clone(&shm);
+        let jobs: Vec<Job> = vec![Box::new(move || {
+            while waiter.read_u64(0).unwrap() == 0 {
+                waiter.spin_hint();
+            }
+        })];
+        let rec = fleet.run_execution(jobs, &mut FirstRunnable, 100);
+        assert_eq!(rec.outcome, ExecOutcome::Livelock);
+        assert!(fleet.is_wedged());
+    }
+
+    #[test]
+    fn budget_exhaustion_abandons_cleanly_and_fleet_survives() {
+        let mut fleet = Fleet::new(2);
+        let shm = Arc::new(SharedMem::new_modeled(8, fleet.model()));
+        let jobs: Vec<Job> = (0..2)
+            .map(|_| {
+                let shm = Arc::clone(&shm);
+                Box::new(move || {
+                    for _ in 0..100 {
+                        shm.fetch_add_u64(0, 1).unwrap();
+                    }
+                }) as Job
+            })
+            .collect();
+        let rec = fleet.run_execution(jobs, &mut RoundRobin, 10);
+        assert_eq!(rec.outcome, ExecOutcome::BudgetExceeded);
+        assert!(!fleet.is_wedged());
+        // The abandoned jobs free-ran to completion; the region is sane and
+        // the fleet reusable.
+        assert_eq!(shm.read_u64(0).unwrap(), 200);
+        let shm2 = Arc::new(SharedMem::new_modeled(8, fleet.model()));
+        let s = Arc::clone(&shm2);
+        let rec2 = fleet.run_execution(
+            vec![Box::new(move || {
+                s.fetch_add_u64(0, 1).unwrap();
+            })],
+            &mut FirstRunnable,
+            100,
+        );
+        assert_eq!(rec2.outcome, ExecOutcome::Completed);
+        assert_eq!(shm2.read_u64(0).unwrap(), 1);
+    }
+
+    #[test]
+    fn vthread_panic_is_reported_not_hung() {
+        let mut fleet = Fleet::new(2);
+        let shm = Arc::new(SharedMem::new_modeled(8, fleet.model()));
+        let s0 = Arc::clone(&shm);
+        let s1 = Arc::clone(&shm);
+        let jobs: Vec<Job> = vec![
+            Box::new(move || {
+                s0.fetch_add_u64(0, 1).unwrap();
+                panic!("boom in protocol");
+            }),
+            Box::new(move || {
+                s1.fetch_add_u64(0, 1).unwrap();
+            }),
+        ];
+        let rec = fleet.run_execution(jobs, &mut FirstRunnable, 1_000);
+        match rec.outcome {
+            ExecOutcome::Panicked(msg) => assert!(msg.contains("boom")),
+            other => panic!("expected panic outcome, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unregistered_threads_pass_through_the_seam() {
+        let fleet = Fleet::new(1);
+        let shm = SharedMem::new_modeled(8, fleet.model());
+        // The orchestrator (this test thread) has no VTID: accesses must
+        // not block on the scheduler.
+        shm.write_u64(0, 9).unwrap();
+        assert_eq!(shm.read_u64(0).unwrap(), 9);
+        shm.spin_hint();
+    }
+
+    #[test]
+    fn scheduler_counts_writes_not_loads() {
+        // White-box: parked threads key off write_count, so loads must not
+        // bump it (or spinners would wake on reads and the space would
+        // explode).
+        let mut fleet = Fleet::new(1);
+        let shm = Arc::new(SharedMem::new_modeled(8, fleet.model()));
+        let s = Arc::clone(&shm);
+        let observed = Arc::new(AtomicU64::new(0));
+        let obs = Arc::clone(&observed);
+        let rec = fleet.run_execution(
+            vec![Box::new(move || {
+                s.read_u64(0).unwrap();
+                s.read_u64(0).unwrap();
+                s.write_u64(0, 1).unwrap();
+                // ord: test-only counter handoff, no concurrent readers.
+                obs.store(1, Ordering::Relaxed);
+            })],
+            &mut FirstRunnable,
+            100,
+        );
+        assert_eq!(rec.outcome, ExecOutcome::Completed);
+        let st = relock(&fleet.sched.state);
+        assert_eq!(st.write_count, 1);
+        // ord: test-only counter handoff, no concurrent readers.
+        assert_eq!(observed.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture: allow escapes must name a known rule and give a reason; a
+// reasonless or unknown allow is itself a violation (and does not
+// suppress the finding it tried to cover).
+// teeperf-lint: allow(raw-atomics, file):
+use std::sync::atomic::AtomicU64;
+
+// lint: allow(totally-made-up): because
+pub struct S {
+    w: AtomicU64,
+}

@@ -1,0 +1,6 @@
+// Fixture: `unsafe` in real code must be flagged, wherever it hides.
+pub fn read_raw(p: *const u64) -> u64 {
+    unsafe { *p }
+}
+
+pub unsafe fn also_flagged() {}

@@ -1,0 +1,7 @@
+// Fixture: the word `unsafe` in comments, strings and longer identifiers
+// is not a violation.
+pub fn safe() -> &'static str {
+    // this comment says unsafe and that is fine
+    let unsafely_shadowed = "unsafe { *p }";
+    unsafely_shadowed
+}

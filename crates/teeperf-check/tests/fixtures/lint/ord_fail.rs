@@ -1,0 +1,10 @@
+// Fixture: atomic Ordering choices without an `ord:` justification are
+// flagged; an unrelated comment above does not count.
+// teeperf-lint: allow(raw-atomics, file): fixture isolates the ord rule
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn publish(w: &AtomicU64) {
+    // the release makes it visible
+    w.store(1, Ordering::Release);
+    w.load(Ordering::Acquire);
+}

@@ -1,0 +1,16 @@
+// Fixture: every accepted shape of ord justification — same line, comment
+// block above, wrapped statement — plus cmp::Ordering not matching at all.
+// teeperf-lint: allow(raw-atomics, file): fixture isolates the ord rule
+use std::cmp::Ordering as CmpOrdering;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn publish(w: &AtomicU64) -> CmpOrdering {
+    w.store(1, Ordering::Release); // ord: pairs with the Acquire below
+    // ord: pairs with the Release above; the payload must be visible
+    // before the flag reads true.
+    let v = w.load(Ordering::Acquire);
+    // ord: AcqRel on success, Acquire on failure — the failed observation
+    // still sees prior writes.
+    let _ = w.compare_exchange(v, v + 1, Ordering::AcqRel, Ordering::Acquire);
+    v.cmp(&1)
+}

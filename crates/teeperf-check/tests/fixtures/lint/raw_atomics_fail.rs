@@ -1,0 +1,7 @@
+// Fixture: raw atomics outside the SharedMem/MemModel seam are flagged,
+// both at the import and at every type use.
+use std::sync::atomic::AtomicU64;
+
+pub struct Sneaky {
+    word: AtomicU64,
+}

@@ -1,0 +1,9 @@
+// Fixture: a file-level allow with a reason silences raw-atomics for the
+// whole file; line-level allows cover their own line and the next.
+// teeperf-lint: allow(raw-atomics, file): fixture exercising the escape
+
+use std::sync::atomic::AtomicU64;
+
+pub struct Sanctioned {
+    word: AtomicU64,
+}

@@ -1,0 +1,9 @@
+//@path: crates/teeperf-core/src/log.rs
+// Fixture: wall-clock and OS randomness inside a protocol module break
+// deterministic replay and are flagged (the directive above lints this
+// file as if it were the rotation protocol).
+pub fn stamp() -> u128 {
+    let t = std::time::Instant::now();
+    let _ = std::time::SystemTime::now();
+    t.elapsed().as_nanos()
+}

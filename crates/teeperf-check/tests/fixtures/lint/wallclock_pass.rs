@@ -1,0 +1,8 @@
+//@path: crates/bench/src/timing.rs
+// Fixture: the same wall-clock calls are fine outside protocol modules —
+// benches and harnesses may time real execution.
+pub fn stamp() -> u128 {
+    let t = std::time::Instant::now();
+    let _ = std::time::SystemTime::now();
+    t.elapsed().as_nanos()
+}

@@ -1,0 +1,86 @@
+//! Golden-file tests for `teeperf-lint`: one pass and one fail fixture per
+//! rule under `tests/fixtures/lint/`, each paired with a `.expected` file
+//! holding the exact diagnostics. Plus the self-run: the lint pass over
+//! this repository must come back clean (the same check CI runs as the
+//! `lint-protocol` stage).
+//!
+//! Fixture format: plain `.rs` source (never compiled by cargo — the
+//! directory is not a test root). An optional first-line directive
+//! `//@path: <label>` lints the fixture under that path label, which is
+//! how the path-scoped rules (seam allowlist, protocol modules) are
+//! exercised.
+
+use std::path::Path;
+
+use teeperf_check::lint;
+
+const FIXTURES: &[&str] = &[
+    "no_unsafe_fail",
+    "no_unsafe_pass",
+    "raw_atomics_fail",
+    "raw_atomics_pass",
+    "ord_fail",
+    "ord_pass",
+    "wallclock_fail",
+    "wallclock_pass",
+    "bad_allow_fail",
+];
+
+fn fixture_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/lint")
+}
+
+#[test]
+fn golden_fixtures_match_expected_diagnostics() {
+    for name in FIXTURES {
+        let source_path = fixture_dir().join(format!("{name}.rs"));
+        let expected_path = fixture_dir().join(format!("{name}.expected"));
+        let source = std::fs::read_to_string(&source_path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", source_path.display()));
+        let expected = std::fs::read_to_string(&expected_path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", expected_path.display()));
+        let label = source
+            .lines()
+            .next()
+            .and_then(|l| l.strip_prefix("//@path: "))
+            .map_or_else(|| format!("{name}.rs"), str::to_string);
+        let rendered: String = lint::lint_source(&label, &source)
+            .iter()
+            .map(|d| format!("{d}\n"))
+            .collect();
+        assert_eq!(
+            rendered, expected,
+            "fixture {name}: diagnostics diverged from {name}.expected"
+        );
+    }
+}
+
+#[test]
+fn every_fail_fixture_fails_and_every_pass_fixture_passes() {
+    // Guard against a fixture pair silently both going empty: the naming
+    // convention is load-bearing.
+    for name in FIXTURES {
+        let expected = std::fs::read_to_string(fixture_dir().join(format!("{name}.expected")))
+            .expect("expected file");
+        if name.ends_with("_fail") {
+            assert!(
+                !expected.trim().is_empty(),
+                "{name} must expect diagnostics"
+            );
+        } else {
+            assert!(expected.trim().is_empty(), "{name} must expect none");
+        }
+    }
+}
+
+#[test]
+fn self_run_over_the_repository_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let diags = lint::lint_tree(&root).expect("walk repository");
+    assert!(
+        diags.is_empty(),
+        "teeperf-lint found {} violation(s) in the repository:\n{}",
+        diags.len(),
+        diags.iter().map(|d| format!("  {d}\n")).collect::<String>()
+    );
+}

@@ -1,0 +1,165 @@
+//! End-to-end model-checker tests: the shipped protocol survives
+//! exploration, each re-introduced historical bug class is found within a
+//! bounded schedule budget, and every finding replays deterministically
+//! from its recorded schedule (and, for the committed regression trace,
+//! from its recorded seed).
+
+use teeperf_check::explore;
+use teeperf_check::harness::{Config, MutationKind, ViolationKind};
+
+/// Smallest config that exposes the stale-slot bug: two writers racing a
+/// rotation over a one-slot log. No observer (it only inflates the space).
+fn small(mutation: MutationKind) -> Config {
+    Config {
+        writers: 2,
+        entries_per_writer: 1,
+        capacity: 1,
+        mid_rotations: 1,
+        observer_reads: 0,
+        mutation,
+    }
+}
+
+/// [`small`] plus the concurrent `dropped_total()` observer, the only role
+/// that can witness transient drop double-counting.
+fn with_observer(mutation: MutationKind) -> Config {
+    Config {
+        observer_reads: 2,
+        ..small(mutation)
+    }
+}
+
+#[test]
+fn clean_protocol_exhausts_small_config_without_violations() {
+    let report = explore::check_exhaustive(&small(MutationKind::None), 1, 100_000);
+    assert!(report.exhausted, "bounded space must be fully enumerated");
+    assert!(
+        report.violation.is_none(),
+        "clean protocol violated an invariant: {:?}",
+        report.violation
+    );
+    // The space is non-trivial (hundreds of genuinely distinct schedules).
+    assert!(
+        report.executions > 100,
+        "only {} executions",
+        report.executions
+    );
+}
+
+#[test]
+fn clean_protocol_with_observer_exhausts_without_violations() {
+    let report = explore::check_exhaustive(&with_observer(MutationKind::None), 1, 100_000);
+    assert!(report.exhausted);
+    assert!(
+        report.violation.is_none(),
+        "observer bound violated by the clean protocol: {:?}",
+        report.violation
+    );
+}
+
+#[test]
+fn clean_protocol_survives_seeded_pct_sweep() {
+    let cfg = Config {
+        writers: 3,
+        entries_per_writer: 2,
+        capacity: 2,
+        mid_rotations: 2,
+        observer_reads: 3,
+        mutation: MutationKind::None,
+    };
+    let report = explore::check_pct(&cfg, 3, 1, 50);
+    assert_eq!(report.executions, 50);
+    assert!(
+        report.violation.is_none(),
+        "clean protocol violated an invariant under PCT: {:?}",
+        report.violation
+    );
+}
+
+#[test]
+fn stale_slot_resurrection_is_found_and_replays() {
+    let cfg = small(MutationKind::StaleSlotResurrection);
+    let report = explore::check_exhaustive(&cfg, 2, 100_000);
+    let v = report
+        .violation
+        .expect("stale-slot mutation must be caught within the DFS budget");
+    assert!(
+        matches!(
+            v.kind,
+            ViolationKind::DuplicateDrain | ViolationKind::LostEntry
+        ),
+        "unexpected violation kind: {v}"
+    );
+    // The recorded schedule is a complete, deterministic reproduction.
+    let replayed = explore::replay(&cfg, v.schedule.clone())
+        .expect("replaying the recorded schedule must re-find the violation");
+    assert_eq!(replayed.kind, v.kind);
+    assert_eq!(replayed.detail, v.detail);
+}
+
+#[test]
+fn drop_double_count_is_seen_by_the_observer_and_replays() {
+    let cfg = with_observer(MutationKind::DroppedDoubleCount);
+    let report = explore::check_exhaustive(&cfg, 2, 100_000);
+    let v = report
+        .violation
+        .expect("drop-double-count mutation must be caught within the DFS budget");
+    assert_eq!(v.kind, ViolationKind::ObserverOverCount, "got: {v}");
+    let replayed = explore::replay(&cfg, v.schedule.clone())
+        .expect("replaying the recorded schedule must re-find the violation");
+    assert_eq!(replayed.kind, ViolationKind::ObserverOverCount);
+    assert_eq!(replayed.detail, v.detail);
+}
+
+#[test]
+fn drop_double_count_final_totals_look_correct() {
+    // The historical bug's nastiness: after completion the cumulative drop
+    // word is RIGHT — only a concurrent observer sees the lie. Without the
+    // observer role the mutated protocol passes every end-state invariant,
+    // which is exactly why the transient bound exists.
+    let report = explore::check_exhaustive(&small(MutationKind::DroppedDoubleCount), 1, 100_000);
+    assert!(report.exhausted);
+    assert!(
+        report.violation.is_none(),
+        "end-state invariants unexpectedly caught the transient-only bug: {:?}",
+        report.violation
+    );
+}
+
+#[test]
+fn committed_regression_trace_still_reproduces() {
+    let text = include_str!("fixtures/traces/drop_double_count.trace");
+    let (cfg, depth, seed, expect) = explore::parse_trace(text).expect("trace parses");
+    assert_eq!(cfg.mutation, MutationKind::DroppedDoubleCount);
+    let report = explore::replay_seed(&cfg, depth, seed);
+    let v = report
+        .violation
+        .unwrap_or_else(|| panic!("seed {seed} no longer reproduces; re-record the trace with `teeperf-check --mutation {} --record`", cfg.mutation.name()));
+    assert_eq!(v.kind.name(), expect);
+    assert_eq!(report.seed, Some(seed));
+}
+
+#[test]
+fn pct_seeds_are_deterministic() {
+    // Same seed, same config -> byte-identical finding (schedule included).
+    let cfg = Config {
+        writers: 3,
+        entries_per_writer: 2,
+        capacity: 2,
+        mid_rotations: 2,
+        observer_reads: 3,
+        mutation: MutationKind::DroppedDoubleCount,
+    };
+    let a = explore::check_pct(&cfg, 3, 100, 100);
+    let b = explore::check_pct(&cfg, 3, 100, 100);
+    assert_eq!(a.seed, b.seed);
+    match (&a.violation, &b.violation) {
+        (Some(x), Some(y)) => {
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.detail, y.detail);
+            assert_eq!(x.schedule, y.schedule);
+        }
+        (None, None) => {}
+        other => panic!("runs diverged: {other:?}"),
+    }
+}

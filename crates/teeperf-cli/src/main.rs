@@ -9,6 +9,8 @@
 //! teeperf phoenix [--bench name] [--arch sgx-v1]         # run the suite
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod cli;
 
 use std::process::ExitCode;

@@ -20,6 +20,8 @@
 //! * [`driver`] runs compiled programs under the recorder and packages the
 //!   results (log file, symbols, cycle counts) for the analyzer.
 
+#![forbid(unsafe_code)]
+
 pub mod driver;
 pub mod instrument;
 

@@ -17,6 +17,10 @@
 //!   (`rdtsc`) directly; usable only where the TEE exposes one. Exists for
 //!   the counter-source ablation.
 
+// teeperf-lint: allow(raw-atomics, file): the spin thread's private stop
+// flag is host-side control state, not shared-log words — the log itself
+// is only touched through SharedLog's seam-routed accessors.
+
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -59,6 +63,8 @@ impl SpinCounter {
             .name("teeperf-counter".into())
             .spawn(move || {
                 let mut v: u64 = 0;
+                // ord: Relaxed — the flag is a standalone quit signal; the
+                // join below is the real synchronization edge.
                 while !thread_stop.load(Ordering::Relaxed) {
                     v += 1;
                     thread_log.store_counter(v);
@@ -79,6 +85,8 @@ impl SpinCounter {
     }
 
     fn stop_inner(&mut self) -> u64 {
+        // ord: Relaxed — pairs with the Relaxed poll in the spin loop; the
+        // subsequent join() orders everything that matters.
         self.stop.store(true, Ordering::Relaxed);
         match self.handle.take() {
             Some(h) => h.join().expect("counter thread panicked"),

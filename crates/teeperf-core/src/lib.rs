@@ -36,6 +36,8 @@
 //!   (LSM store, SPDK port) that are written in Rust rather than Mini-C;
 //!   it plays the role of linking `profiler.h` into a C++ code base.
 
+#![forbid(unsafe_code)]
+
 pub mod api;
 pub mod counter;
 pub mod faults;

@@ -31,6 +31,40 @@ use crate::layout::{
 pub struct SharedLog {
     shm: Arc<SharedMem>,
     size: u64,
+    /// Armed protocol mutation (verification builds only; see [`mutation`]).
+    #[cfg(feature = "mutation-testing")]
+    mutation: mutation::Mutation,
+}
+
+/// Re-introducible historical bug classes, used by the `teeperf-check`
+/// model checker to prove it has teeth (ISSUE 6 "mutation mode").
+///
+/// Each variant is a concurrency bug this protocol actually shipped with
+/// and later fixed by hand-review; the checker must find every one within
+/// a bounded schedule budget. The whole module only exists under the
+/// `mutation-testing` feature, and even then every mutation is off unless
+/// armed per-handle with [`SharedLog::with_mutation`].
+#[cfg(feature = "mutation-testing")]
+pub mod mutation {
+    /// Which (if any) historical bug to re-introduce into the rotation.
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+    pub enum Mutation {
+        /// The protocol as shipped today: no bug.
+        #[default]
+        None,
+        /// PR-1 bug class (stale-slot resurrection): rotation does not
+        /// zero the drained slots' publication words, so `poll` in the
+        /// next epoch can mistake a leftover word 0 for a freshly
+        /// published entry on a slot that is reserved but not yet
+        /// written.
+        SkipSlotClear,
+        /// PR-1-review / PR-5 bug class (drop double-counting): rotation
+        /// accumulates the closing epoch's overflow into the cumulative
+        /// dropped word *before* resetting the tail, so a concurrent
+        /// `dropped_total` reader can observe the same drops in both
+        /// words at once.
+        CountDropsBeforeTailReset,
+    }
 }
 
 /// Bytes of shared memory needed for a log of `max_entries`.
@@ -67,14 +101,34 @@ impl SharedLog {
         shm.write_u64(OFF_DROPPED, 0).expect("header in range");
         shm.write_u64(OFF_MAGIC, LOG_MAGIC)
             .expect("header in range");
-        SharedLog { shm, size }
+        SharedLog {
+            shm,
+            size,
+            #[cfg(feature = "mutation-testing")]
+            mutation: mutation::Mutation::None,
+        }
     }
 
     /// Attach to an already initialized log (e.g. the enclave side mapping
     /// the region the recorder prepared).
     pub fn attach(shm: Arc<SharedMem>) -> SharedLog {
         let size = shm.read_u64(OFF_SIZE).expect("header in range");
-        SharedLog { shm, size }
+        SharedLog {
+            shm,
+            size,
+            #[cfg(feature = "mutation-testing")]
+            mutation: mutation::Mutation::None,
+        }
+    }
+
+    /// Arm a protocol [`mutation::Mutation`] on this handle (verification
+    /// builds only). Mutations act where the handle performs the mutated
+    /// step — both rotation mutations take effect on the drainer's handle.
+    #[cfg(feature = "mutation-testing")]
+    #[must_use]
+    pub fn with_mutation(mut self, mutation: mutation::Mutation) -> SharedLog {
+        self.mutation = mutation;
+        self
     }
 
     /// The underlying shared region.
@@ -241,7 +295,9 @@ impl SharedLog {
                 .fetch_add_u64(OFF_CONTROL, WRITER_ONE.wrapping_neg())
                 .expect("header in range");
             while self.control_word() & FLAG_ROTATING != 0 {
-                std::hint::spin_loop();
+                // Through the seam, not std::hint::spin_loop(), so a model
+                // checker can park this thread until the drainer writes.
+                self.shm.spin_hint();
             }
         }
         let index = self.reserve();
@@ -382,29 +438,48 @@ impl SharedLog {
                 });
             }
             spins += 1;
-            std::hint::spin_loop();
+            // Through the seam, not std::hint::spin_loop(), so a model
+            // checker can park this thread until a writer withdraws.
+            self.shm.spin_hint();
         }
         let tail = self.shm.read_u64(OFF_TAIL).expect("header in range");
         let stored = tail.min(self.size);
         let dropped = tail.saturating_sub(self.size);
         let entries: Vec<LogEntry> = (cursor.index..stored).map(|i| self.read_entry(i)).collect();
-        // Reset the tail *before* accounting its overflow in the cumulative
-        // word: the two contributions to `dropped_total` then never include
-        // the same drops at the same time (see its docs).
-        self.shm.write_u64(OFF_TAIL, 0).expect("header in range");
-        if dropped > 0 {
+        #[cfg(feature = "mutation-testing")]
+        let count_drops_first = self.mutation == mutation::Mutation::CountDropsBeforeTailReset;
+        #[cfg(not(feature = "mutation-testing"))]
+        let count_drops_first = false;
+        if count_drops_first && dropped > 0 {
+            // Mutated order (historical bug): cumulative word first, tail
+            // still carrying the same drops until the reset below.
             self.shm
                 .fetch_add_u64(OFF_DROPPED, dropped)
                 .expect("header in range");
         }
+        // Reset the tail *before* accounting its overflow in the cumulative
+        // word: the two contributions to `dropped_total` then never include
+        // the same drops at the same time (see its docs).
+        self.shm.write_u64(OFF_TAIL, 0).expect("header in range");
+        if !count_drops_first && dropped > 0 {
+            self.shm
+                .fetch_add_u64(OFF_DROPPED, dropped)
+                .expect("header in range");
+        }
+        #[cfg(feature = "mutation-testing")]
+        let skip_slot_clear = self.mutation == mutation::Mutation::SkipSlotClear;
+        #[cfg(not(feature = "mutation-testing"))]
+        let skip_slot_clear = false;
         // Zero the published word of every drained slot so the next epoch
         // starts from the state `write_live`'s publication order assumes:
         // `poll` must never mistake a leftover word 0 for a freshly
         // published entry on a reused slot.
-        for i in 0..stored {
-            self.shm
-                .write_u64(LogEntry::offset_of(i), 0)
-                .expect("entry in range");
+        if !skip_slot_clear {
+            for i in 0..stored {
+                self.shm
+                    .write_u64(LogEntry::offset_of(i), 0)
+                    .expect("entry in range");
+            }
         }
         let new_epoch = self
             .shm

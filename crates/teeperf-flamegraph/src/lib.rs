@@ -13,6 +13,8 @@
 //! * round-tripping via [`FlameGraph::to_folded`] /
 //!   [`FlameGraph::from_folded_text`].
 
+#![forbid(unsafe_code)]
+
 pub mod live;
 pub mod palette;
 pub mod svg;

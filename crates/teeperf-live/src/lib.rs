@@ -35,6 +35,8 @@
 //!   Rust workloads under a *real* spin-counter thread, through the same
 //!   session machinery.
 
+#![forbid(unsafe_code)]
+
 pub mod drain;
 pub mod driver;
 pub mod native;

@@ -10,6 +10,9 @@
 //! salvage bug's natural failure mode is an infinite pump loop, which a
 //! plain test harness would never report.
 
+// teeperf-lint: allow(raw-atomics, file): the hang-guard watchdog's disarm
+// flag is test infrastructure, not shared-log state.
+
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -37,6 +40,8 @@ fn hang_guard(label: &'static str) -> HangGuard {
     std::thread::spawn(move || {
         for _ in 0..600 {
             std::thread::sleep(Duration::from_millis(100));
+            // ord: Relaxed — a standalone disarm flag; the watchdog reads
+            // nothing else that the test writes.
             if armed.load(Ordering::Relaxed) {
                 return;
             }
@@ -49,6 +54,8 @@ fn hang_guard(label: &'static str) -> HangGuard {
 
 impl Drop for HangGuard {
     fn drop(&mut self) {
+        // ord: Relaxed — pairs with the Relaxed poll in the watchdog loop;
+        // timing via sleep, not memory ordering.
         self.0.store(true, Ordering::Relaxed);
     }
 }

@@ -17,8 +17,19 @@ run() {
   "$@"
 }
 
+# Like `run`, but under a hard wall-clock limit. SIGKILL, not the default
+# SIGTERM: a consumer wedged in a spin loop (or a test harness stuck in a
+# mutex) can shrug off TERM and hang CI anyway.
+tmo() {
+  local limit="$1"
+  shift
+  echo "==> [timeout ${limit}s] $*"
+  timeout --signal=KILL "$limit" "$@"
+}
+
 run cargo fmt --all --check
-run cargo clippy --workspace --all-targets --offline -- -D warnings
+run cargo clippy --workspace --all-targets --offline -- -D warnings \
+  -D clippy::undocumented_unsafe_blocks -D clippy::dbg_macro
 
 # API docs must build warning-free (broken intra-doc links, missing docs
 # on public items surfaced by the crates' own lint settings, etc.).
@@ -41,9 +52,23 @@ run cargo test -q --workspace --offline
 # Each test binary runs under a hard 60s timeout so a salvage regression
 # that hangs a consumer fails the gate instead of wedging CI (the tests
 # also carry an in-process hang guard that aborts after 60s of no exit).
-run timeout 60 cargo test -q --offline -p teeperf-live --test fault_matrix
-run timeout 60 cargo test -q --offline -p teeperf-core faults::
-run timeout 60 cargo test -q --offline -p teeperf-core source::tests
+tmo 60 cargo test -q --offline -p teeperf-live --test fault_matrix
+tmo 60 cargo test -q --offline -p teeperf-core faults::
+tmo 60 cargo test -q --offline -p teeperf-core source::tests
+
+# Protocol lint (ISSUE 6): no raw atomics outside the SharedMem/MemModel
+# seam, every Ordering choice justified with an `// ord:` comment, no
+# wall-clock or OS randomness in protocol modules, no `unsafe` anywhere.
+run cargo run -q --offline -p teeperf-check --bin teeperf-lint -- .
+
+# Model-check smoke (ISSUE 6): exhaustive DFS over the 2-writer config plus
+# 200 seeded PCT schedules on the clean protocol, then both known mutation
+# classes must be found and their schedules must replay. Built untimed
+# (compile cost is not the smoke's budget), then run under a hard KILL
+# timeout: a scheduler bug that deadlocks the virtual fleet must fail the
+# gate, not hang it.
+run cargo build -q --release --offline -p teeperf-check --bin teeperf-check
+tmo 120 cargo run -q --release --offline -p teeperf-check --bin teeperf-check -- --smoke
 
 # Analyzer-throughput smoke: small log, shards {1,2}; asserts the JSON
 # artifact is written and the model speedup at 2 shards is >= 1.0. Results

@@ -59,6 +59,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 /// Stage 1 — the instrumentation pass and run drivers
 /// ([`teeperf_compiler`]).
 pub mod compiler {

@@ -8,6 +8,8 @@
 //! reports. Good enough for the relative comparisons the `bench` crate
 //! makes and for keeping `cargo bench` compiling and running offline.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// Per-iteration input sizing hint (accepted, not acted on).

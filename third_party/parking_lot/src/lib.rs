@@ -5,6 +5,8 @@
 //! recovered into the inner guard, matching `parking_lot`'s semantics of
 //! never poisoning.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 

@@ -14,6 +14,8 @@
 //! reproducible. Case count defaults to 64 and honours
 //! `ProptestConfig::with_cases`.
 
+#![forbid(unsafe_code)]
+
 pub mod test_runner {
     use std::fmt;
 

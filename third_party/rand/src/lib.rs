@@ -8,6 +8,8 @@
 //! seeded workload generation, deterministic across platforms, and *not*
 //! cryptographic (neither is the workspace's use of it).
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// A source of 64-bit random words.
