@@ -110,16 +110,68 @@ const SEAM_FILES: &[&str] = &[
 ];
 
 /// Modules implementing (or scheduling) the shared-log protocol, where
-/// determinism is mandatory.
+/// determinism is mandatory. The file-backed transport (`shm_file.rs`) is
+/// protocol: it writes the same layout through file I/O and its replay
+/// must stay deterministic. The daemon crate deliberately is NOT: its loop
+/// timing (pump intervals, socket timeouts, watchdog pacing) is
+/// operational, not protocol state, so wall-clock use there needs no
+/// per-line allows.
 const PROTOCOL_MODULES: &[&str] = &[
     "crates/teeperf-core/src/log.rs",
     "crates/teeperf-core/src/layout.rs",
+    "crates/teeperf-core/src/shm_file.rs",
     "crates/tee-sim/src/shm.rs",
     "crates/tee-sim/src/memmodel.rs",
     "crates/teeperf-check/src/sched.rs",
     "crates/teeperf-check/src/harness.rs",
     "crates/teeperf-check/src/explore.rs",
 ];
+
+/// Path-scoped rule configuration: which files are the model seam (raw
+/// atomics allowed) and which modules carry the full protocol determinism
+/// rules (`no-wallclock`). [`LintConfig::default`] is the workspace's
+/// shipped policy; tools embedding the linter can extend either list
+/// instead of editing the source.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Seam files, matched by repo-relative path suffix.
+    pub seam_files: Vec<String>,
+    /// Protocol modules, matched by repo-relative path suffix.
+    pub protocol_modules: Vec<String>,
+}
+
+impl Default for LintConfig {
+    fn default() -> LintConfig {
+        LintConfig {
+            seam_files: SEAM_FILES.iter().map(|s| (*s).to_string()).collect(),
+            protocol_modules: PROTOCOL_MODULES.iter().map(|s| (*s).to_string()).collect(),
+        }
+    }
+}
+
+impl LintConfig {
+    /// Add a protocol module (full determinism rules) to the policy.
+    #[must_use]
+    pub fn with_protocol_module(mut self, path: &str) -> LintConfig {
+        self.protocol_modules.push(path.to_string());
+        self
+    }
+
+    /// Add a seam file (raw atomics allowed) to the policy.
+    #[must_use]
+    pub fn with_seam_file(mut self, path: &str) -> LintConfig {
+        self.seam_files.push(path.to_string());
+        self
+    }
+
+    fn is_seam(&self, path: &str) -> bool {
+        self.seam_files.iter().any(|s| path_matches(path, s))
+    }
+
+    fn is_protocol(&self, path: &str) -> bool {
+        self.protocol_modules.iter().any(|s| path_matches(path, s))
+    }
+}
 
 fn path_matches(path: &str, suffix: &str) -> bool {
     let norm = path.replace('\\', "/");
@@ -441,9 +493,15 @@ fn ord_justified(lines: &[ScannedLine], idx: usize) -> bool {
     }
 }
 
-/// Lint one file's source. `path` is used for diagnostics and for the
-/// path-scoped rules (seam allowlist, protocol modules).
+/// Lint one file's source under the default workspace policy. `path` is
+/// used for diagnostics and for the path-scoped rules (seam allowlist,
+/// protocol modules).
 pub fn lint_source(path: &str, source: &str) -> Vec<Diagnostic> {
+    lint_source_with(&LintConfig::default(), path, source)
+}
+
+/// Lint one file's source under an explicit [`LintConfig`].
+pub fn lint_source_with(config: &LintConfig, path: &str, source: &str) -> Vec<Diagnostic> {
     let lines = scan(source);
     let allows = parse_allows(&lines);
     let mut out = Vec::new();
@@ -455,8 +513,8 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Diagnostic> {
             message: msg.clone(),
         });
     }
-    let is_seam = SEAM_FILES.iter().any(|s| path_matches(path, s));
-    let is_protocol = PROTOCOL_MODULES.iter().any(|s| path_matches(path, s));
+    let is_seam = config.is_seam(path);
+    let is_protocol = config.is_protocol(path);
     let allowed = |rule: Rule, lineno: usize| {
         allows.file.contains(&rule)
             || allows
@@ -665,6 +723,46 @@ mod tests {
         assert_eq!(
             rules(&lint_source("crates/teeperf-core/src/log.rs", src)),
             vec![Rule::NoWallclock]
+        );
+    }
+
+    #[test]
+    fn file_transport_is_a_protocol_module() {
+        // The file-backed shared log writes the same layout the in-memory
+        // protocol defines: its module carries the full determinism rules.
+        let src = "let t = Instant::now();\n";
+        assert_eq!(
+            rules(&lint_source("crates/teeperf-core/src/shm_file.rs", src)),
+            vec![Rule::NoWallclock]
+        );
+    }
+
+    #[test]
+    fn daemon_modules_may_use_wall_clock_without_allows() {
+        // Daemon loop timing is operational, not protocol state: no
+        // per-line allows needed for Instant/SystemTime there.
+        let src = "let t = Instant::now();\nlet s = SystemTime::now();\n";
+        assert!(lint_source("crates/teeperf-daemon/src/lib.rs", src).is_empty());
+        assert!(lint_source("crates/teeperf-daemon/src/bin/teeperfd.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lint_config_extends_both_path_scopes() {
+        let wall = "let t = Instant::now();\n";
+        let atomics = "use std::sync::atomic::AtomicU64;\n";
+        let config = LintConfig::default()
+            .with_protocol_module("crates/ext/src/proto.rs")
+            .with_seam_file("crates/ext/src/seam.rs");
+        assert_eq!(
+            rules(&lint_source_with(&config, "crates/ext/src/proto.rs", wall)),
+            vec![Rule::NoWallclock]
+        );
+        assert!(lint_source_with(&config, "crates/ext/src/seam.rs", atomics).is_empty());
+        // The default policy is untouched by the extension.
+        assert!(lint_source("crates/ext/src/proto.rs", wall).is_empty());
+        assert_eq!(
+            rules(&lint_source("crates/ext/src/seam.rs", atomics)),
+            vec![Rule::RawAtomics]
         );
     }
 

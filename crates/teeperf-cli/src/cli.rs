@@ -62,6 +62,9 @@ const USAGE: &str = "usage:
   teeperf flamegraph <base.tpf> <base.sym> [--svg <file>] [--title <t>] [--analyzer-threads <n>]
   teeperf diff <a.tpf> <a.sym> <b.tpf> <b.sym> [--svg <file>] [--analyzer-threads <n>]
   teeperf phoenix [--bench <name>] [--arch <kind>]
+  teeperf daemon [--dir <d>] [--listen <addr>] [--snapshot-out <file>] [--pump-ms <n>]
+                 [--scan-every <n>] [--max-loops <n>] [--liveness yes|no]
+  teeperf top --connect <addr> [--iterations <n>] [--interval-ms <n>]
   teeperf archs
 
 architectures: native, sgx-v1, sgx-v2, trustzone, sev, keystone
@@ -71,6 +74,10 @@ query example: \"select method, calls, excl where excl > 100 sort excl desc limi
 --logs a,b,c: replay recorded logs (<base>.tpf + <base>.sym) as one multi-process session
 --salvage yes: keep the valid records of a torn/truncated log instead of rejecting it
 --watchdog-timeout n: quarantine a source after n progress-free pumps (with backoff retries)
+daemon: watch a registration directory of <pid>.tplog shared logs and serve
+        /snapshot /pid/<n> /flame.svg /metrics /healthz over HTTP (see teeperfd)
+top:    poll a daemon's /snapshot and render the method table, diffed against
+        the previous poll (--iterations 0 = until interrupted)
 ";
 
 /// Minimal flag parser: positional args plus `--flag value` pairs.
@@ -143,6 +150,8 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "flamegraph" => cmd_flamegraph(&rest),
         "diff" => cmd_diff(&rest),
         "phoenix" => cmd_phoenix(&rest),
+        "daemon" => cmd_daemon(&rest),
+        "top" => cmd_top(&rest),
         "archs" => Ok(TeeKind::ALL
             .iter()
             .map(|k| k.name())
@@ -778,6 +787,146 @@ fn cmd_phoenix(args: &Args<'_>) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `teeperf daemon`: run a fleet profiling daemon in the foreground (the
+/// same engine as the `teeperfd` binary). Blocks until `GET /shutdown` or
+/// stdin EOF, then returns the closing report.
+fn cmd_daemon(args: &Args<'_>) -> Result<String, CliError> {
+    let mut config = teeperf_daemon::DaemonConfig::default();
+    if let Some(dir) = args.flag("dir") {
+        config.dir = std::path::PathBuf::from(dir);
+    }
+    if let Some(listen) = args.flag("listen") {
+        config.listen = listen.to_string();
+    }
+    if let Some(out) = args.flag("snapshot-out") {
+        config.snapshot_out = Some(std::path::PathBuf::from(out));
+    }
+    if let Some(v) = args.flag("pump-ms") {
+        let ms: u64 = v.parse().map_err(|_| err(format!("bad --pump-ms `{v}`")))?;
+        config.pump_interval = std::time::Duration::from_millis(ms);
+    }
+    if let Some(v) = args.flag("scan-every") {
+        config.scan_every = v
+            .parse()
+            .ok()
+            .filter(|n| *n >= 1)
+            .ok_or_else(|| err(format!("bad --scan-every `{v}` (want >= 1)")))?;
+    }
+    if let Some(v) = args.flag("max-loops") {
+        config.max_loops = Some(
+            v.parse()
+                .map_err(|_| err(format!("bad --max-loops `{v}`")))?,
+        );
+    }
+    let daemon = teeperf_daemon::Daemon::new(config.clone())
+        .map_err(|e| err(format!("failed to start daemon: {e}")))?;
+    let daemon = if args.flag("liveness").unwrap_or("yes") == "yes" {
+        daemon
+    } else {
+        daemon.without_liveness_probe()
+    };
+    // The daemon blocks; announce the bound address before entering the
+    // loop so callers can connect (the one place a command prints early).
+    println!("teeperf daemon listening on {}", daemon.addr());
+    println!("teeperf daemon watching {}", config.dir.display());
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let mut sink = [0u8; 256];
+        let mut stdin = std::io::stdin();
+        loop {
+            match std::io::Read::read(&mut stdin, &mut sink) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => continue,
+            }
+        }
+        let _ = tx.send("stdin closed".to_string());
+    });
+    let report = daemon.run(&rx).map_err(|e| err(format!("daemon: {e}")))?;
+    Ok(report.summary())
+}
+
+/// A parsed `[methods]` row: name, calls, inclusive ticks, exclusive ticks.
+type MethodRow = (String, u64, u64, u64);
+
+/// One rendered `teeperf top` frame: the live counters plus the method
+/// table sorted by exclusive ticks, each row diffed against the previous
+/// poll. Pure — the wire text in, the frame text out — so the rendering is
+/// unit-testable without a daemon.
+fn top_frame(
+    poll: u64,
+    text: &str,
+    prev: &[MethodRow],
+) -> Result<(String, Vec<MethodRow>), String> {
+    let status = Snapshot::summary_from_text(text)?;
+    let mut rows = Snapshot::methods_from_text(text)?;
+    rows.sort_by(|a, b| b.3.cmp(&a.3).then_with(|| a.0.cmp(&b.0)));
+    let mut out = format!("--- poll {poll}: {}\n", status.banner());
+    out.push_str(&format!(
+        "{:<24} {:>8} {:>10} {:>10} {:>10}\n",
+        "method", "calls", "incl", "excl", "excl+"
+    ));
+    for (name, calls, incl, excl) in &rows {
+        let before = prev
+            .iter()
+            .find(|(n, _, _, _)| n == name)
+            .map_or(0, |(_, _, _, e)| *e);
+        let delta = excl.saturating_sub(before);
+        out.push_str(&format!(
+            "{name:<24} {calls:>8} {incl:>10} {excl:>10} {:>10}\n",
+            if delta > 0 {
+                format!("+{delta}")
+            } else {
+                "·".to_string()
+            }
+        ));
+    }
+    Ok((out, rows))
+}
+
+/// `teeperf top --connect <addr>`: poll a running daemon's `/snapshot` and
+/// render it as a rolling method table. The client consumes nothing but
+/// the stable snapshot text format — the same bytes a human can curl — so
+/// the text format is the wire contract, not an implementation detail.
+fn cmd_top(args: &Args<'_>) -> Result<String, CliError> {
+    let addr = args
+        .flag("connect")
+        .ok_or_else(|| err(format!("top needs --connect <addr>\n\n{USAGE}")))?;
+    let iterations: u64 = match args.flag("iterations") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| err(format!("bad --iterations `{v}`")))?,
+        None => 0, // forever
+    };
+    let interval = match args.flag("interval-ms") {
+        Some(v) => std::time::Duration::from_millis(
+            v.parse()
+                .map_err(|_| err(format!("bad --interval-ms `{v}`")))?,
+        ),
+        None => std::time::Duration::from_millis(1_000),
+    };
+    let mut prev: Vec<(String, u64, u64, u64)> = Vec::new();
+    let mut poll = 0u64;
+    loop {
+        poll += 1;
+        let (status, body) =
+            teeperf_daemon::http::get(addr, "/snapshot", std::time::Duration::from_secs(5))
+                .map_err(|e| err(format!("{addr}: {e}")))?;
+        if status != 200 {
+            return Err(err(format!("{addr}: /snapshot returned {status}")));
+        }
+        let (frame, rows) =
+            top_frame(poll, &body, &prev).map_err(|e| err(format!("{addr}: {e}")))?;
+        print!("{frame}");
+        let _ = std::io::Write::flush(&mut std::io::stdout());
+        prev = rows;
+        if iterations > 0 && poll >= iterations {
+            return Ok(format!("teeperf top: {poll} polls of {addr}\n"));
+        }
+        std::thread::sleep(interval);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -796,6 +945,141 @@ mod tests {
     fn no_args_prints_usage() {
         let out = dispatch(&[]).unwrap();
         assert!(out.contains("usage:"));
+    }
+
+    #[test]
+    fn top_frame_diffs_against_the_previous_poll() {
+        let text = "[live]\nepoch 0\nevents 8\ndropped 0\nthreads 1\nopen 0\ntotal_ticks 100\n\
+                    [methods]\nwork 2 80 60\nmain 1 100 40\n[folded]\nmain;work 60\n";
+        let (frame, rows) = top_frame(1, text, &[]).unwrap();
+        assert!(frame.contains("--- poll 1:"), "{frame}");
+        // Sorted by exclusive ticks, first poll shows the full count as new.
+        let work_line = frame.lines().find(|l| l.starts_with("work")).unwrap();
+        assert!(work_line.ends_with("+60"), "{work_line}");
+        assert_eq!(rows[0].0, "work");
+
+        // Second poll: only the growth since the previous rows is marked.
+        let text2 = text.replace("work 2 80 60", "work 3 95 75");
+        let (frame2, _) = top_frame(2, &text2, &rows).unwrap();
+        let work_line = frame2.lines().find(|l| l.starts_with("work")).unwrap();
+        assert!(work_line.ends_with("+15"), "{work_line}");
+        let main_line = frame2.lines().find(|l| l.starts_with("main")).unwrap();
+        assert!(
+            main_line.ends_with('·'),
+            "unchanged rows show a dot: {main_line}"
+        );
+    }
+
+    #[test]
+    fn top_frame_rejects_unparseable_snapshots() {
+        assert!(top_frame(1, "not a snapshot", &[]).is_err());
+        assert!(top_frame(1, "[live]\nepoch 0\n", &[]).is_err());
+    }
+
+    #[test]
+    fn top_polls_a_live_daemon_over_tcp() {
+        use teeperf_core::layout::{EventKind, LogEntry};
+        use teeperf_core::log::make_header;
+        use teeperf_core::shm_file::{publish_sidecar, FileShmWriter};
+
+        let dir = std::env::temp_dir().join(format!("teeperf-cli-top-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let debug = mcvm::DebugInfo::from_functions([("main", 4, 1), ("work", 4, 5)]);
+        publish_sidecar(&dir, 41, "sym", &debug.to_text()).unwrap();
+        let mut w = FileShmWriter::create(&dir, &make_header(41, 64, true, 0, 0)).unwrap();
+        let (a0, a1) = (debug.entry_addr(0), debug.entry_addr(1));
+        let e = |kind, counter, addr| LogEntry {
+            kind,
+            counter,
+            addr,
+            tid: 0,
+        };
+        w.write(&e(EventKind::Call, 1, a0)).unwrap();
+        w.write(&e(EventKind::Call, 10, a1)).unwrap();
+        w.write(&e(EventKind::Return, 60, a1)).unwrap();
+        w.write(&e(EventKind::Return, 101, a0)).unwrap();
+        w.finish().unwrap();
+
+        let daemon = teeperf_daemon::Daemon::new(teeperf_daemon::DaemonConfig {
+            dir: dir.clone(),
+            listen: "127.0.0.1:0".to_string(),
+            pump_interval: std::time::Duration::from_millis(1),
+            scan_every: 1,
+            ..teeperf_daemon::DaemonConfig::default()
+        })
+        .unwrap()
+        .without_liveness_probe();
+        let addr = daemon.addr().to_string();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let handle = std::thread::spawn(move || daemon.run(&rx));
+
+        let out = dispatch(&strs(&[
+            "top",
+            "--connect",
+            &addr,
+            "--iterations",
+            "2",
+            "--interval-ms",
+            "1",
+        ]))
+        .unwrap();
+        assert!(out.contains("2 polls"), "{out}");
+
+        tx.send("test done".to_string()).unwrap();
+        let report = handle.join().unwrap().unwrap();
+        assert_eq!(report.attached, vec![41]);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Usage errors: missing --connect, unreachable daemon.
+        assert!(dispatch(&strs(&["top"])).is_err());
+        let e = dispatch(&strs(&[
+            "top",
+            "--connect",
+            "127.0.0.1:1",
+            "--iterations",
+            "1",
+        ]))
+        .unwrap_err();
+        assert!(e.to_string().contains("127.0.0.1:1"));
+    }
+
+    #[test]
+    fn daemon_command_rejects_bad_flags() {
+        for bad in [
+            &["daemon", "--scan-every", "0"][..],
+            &["daemon", "--pump-ms", "x"],
+            &["daemon", "--max-loops", "x"],
+        ] {
+            assert!(dispatch(&strs(bad)).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn daemon_command_runs_to_its_loop_limit() {
+        let dir = std::env::temp_dir().join(format!("teeperf-cli-daemon-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dispatch(&strs(&[
+            "daemon",
+            "--dir",
+            dir.to_str().unwrap(),
+            "--listen",
+            "127.0.0.1:0",
+            "--pump-ms",
+            "1",
+            "--max-loops",
+            "3",
+            "--liveness",
+            "no",
+        ]))
+        .unwrap();
+        // Under the test harness stdin is already at EOF, so the run may
+        // shut down via the stdin watcher before the loop limit: either
+        // way the command returns a clean closing report.
+        assert!(out.contains("teeperfd: shut down"), "{out}");
+        assert!(out.contains("attached pids: -"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

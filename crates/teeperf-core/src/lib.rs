@@ -32,6 +32,10 @@
 //!   region, initializes the log to a known state, runs the counter, and
 //!   drains the log to a persistent [`file::LogFile`] when measurement ends.
 //! * [`select`] — **selective code profiling** filters (§II-C).
+//! * [`shm_file`] — the **cross-process transport**: the same log layout
+//!   and publication discipline materialized in a file under `/dev/shm`,
+//!   so genuinely separate OS processes feed one consumer without
+//!   `unsafe` ([`shm_file::FileShmWriter`] / [`shm_file::FileShmSource`]).
 //! * [`api`] — a native-Rust profiling API used by the workload substrates
 //!   (LSM store, SPDK port) that are written in Rust rather than Mini-C;
 //!   it plays the role of linking `profiler.h` into a C++ code base.
@@ -48,6 +52,7 @@ pub mod log;
 pub mod plog;
 pub mod recorder;
 pub mod select;
+pub mod shm_file;
 pub mod source;
 
 pub use api::{FunctionId, Probe, Profiler};
@@ -66,4 +71,5 @@ pub use log::{HeaderFault, LogCursor, RotationOutcome, RotationStall, SharedLog}
 pub use plog::{PartitionedHooks, PartitionedLog};
 pub use recorder::{Recorder, RecorderConfig};
 pub use select::SelectiveFilter;
+pub use shm_file::{FileShmSource, FileShmWriter, ShmFileError};
 pub use source::{EventSource, FileReplaySource, LiveLogSource, SourceBatch, SourceResilience};

@@ -1,0 +1,116 @@
+//! `teeperfd` — the fleet profiling daemon.
+//!
+//! ```text
+//! teeperfd --dir /dev/shm/teeperf --listen 127.0.0.1:7071 \
+//!          [--snapshot-out FILE] [--pump-ms N] [--scan-every N] [--max-loops N]
+//! ```
+//!
+//! Prints `teeperfd listening on <addr>` (with the kernel-resolved port)
+//! before entering the loop, so supervisors and tests can connect without
+//! racing. Shuts down on `GET /shutdown` or when stdin reaches EOF — the
+//! workspace forbids `unsafe`, so there is no sigaction handler; a
+//! supervisor that wants SIGTERM semantics runs the daemon with a pipe on
+//! stdin and closes it (see DESIGN.md §12). Exits 0 on a clean shutdown.
+
+use std::io::{Read, Write};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::mpsc;
+use std::time::Duration;
+
+use teeperf_daemon::{Daemon, DaemonConfig};
+
+fn usage() -> String {
+    "usage: teeperfd [--dir DIR] [--listen ADDR] [--snapshot-out FILE] \
+     [--pump-ms N] [--scan-every N] [--max-loops N] [--no-liveness-probe]"
+        .to_string()
+}
+
+fn parse(args: &[String]) -> Result<(DaemonConfig, bool), String> {
+    let mut config = DaemonConfig::default();
+    let mut probe = true;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--dir" => config.dir = PathBuf::from(value()?),
+            "--listen" => config.listen = value()?.to_string(),
+            "--snapshot-out" => config.snapshot_out = Some(PathBuf::from(value()?)),
+            "--pump-ms" => {
+                let ms: u64 = value()?.parse().map_err(|_| "--pump-ms: not a number")?;
+                config.pump_interval = Duration::from_millis(ms);
+            }
+            "--scan-every" => {
+                config.scan_every = value()?.parse().map_err(|_| "--scan-every: not a number")?;
+                if config.scan_every == 0 {
+                    return Err("--scan-every must be >= 1".to_string());
+                }
+            }
+            "--max-loops" => {
+                config.max_loops = Some(value()?.parse().map_err(|_| "--max-loops: not a number")?)
+            }
+            "--no-liveness-probe" => probe = false,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    Ok((config, probe))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (config, probe) = match parse(&args) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    let daemon = match Daemon::new(config.clone()) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("teeperfd: failed to start: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let daemon = if probe {
+        daemon
+    } else {
+        daemon.without_liveness_probe()
+    };
+    println!("teeperfd listening on {}", daemon.addr());
+    println!("teeperfd watching {}", config.dir.display());
+    let _ = std::io::stdout().flush();
+
+    // The shutdown trigger: stdin EOF. A supervisor holds our stdin pipe
+    // open for as long as it wants us alive; closing it (or dying, which
+    // closes it too) is the SIGTERM of this unsafe-free world.
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let mut sink = [0u8; 256];
+        let mut stdin = std::io::stdin();
+        loop {
+            match stdin.read(&mut sink) {
+                Ok(0) => break,
+                Ok(_) => continue,
+                Err(_) => break,
+            }
+        }
+        let _ = tx.send("stdin closed".to_string());
+    });
+
+    match daemon.run(&rx) {
+        Ok(report) => {
+            print!("{}", report.summary());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("teeperfd: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,821 @@
+//! # teeperf-daemon — continuous fleet profiling over the file transport
+//!
+//! The paper's pipeline is record-then-analyze; its natural production
+//! form (the TEEMon direction) is a long-running daemon. `teeperfd` is
+//! that daemon:
+//!
+//! * it watches a **registration directory** into which profiled processes
+//!   publish file-backed shared logs
+//!   ([`teeperf_core::shm_file::FileShmWriter`], one `<pid>.tplog` per
+//!   process, atomically renamed into place);
+//! * every discovered log is attached **hot** to a
+//!   [`teeperf_live::SessionRegistry`] behind a
+//!   [`teeperf_core::FileShmSource`], wrapped in a [`LivenessProbe`] that
+//!   turns the death of the writer process into a watchdog quarantine;
+//! * an embedded **HTTP/1.1 listener** (plain [`std::net::TcpListener`],
+//!   no dependencies — see [`http`]) serves the merged snapshot, per-pid
+//!   views, flame graphs and metrics. The payloads are the stable
+//!   [`Snapshot::to_text`] format: the text format *is* the wire contract,
+//!   and `teeperf top` re-parses it with
+//!   [`Snapshot::summary_from_text`].
+//!
+//! The daemon is deliberately **single-threaded**: one loop alternates
+//! accepting connections, pumping the registry and rescanning the
+//! directory. No locks, no shared state, no atomics — concurrency lives in
+//! the transport protocol (where it is model-checked), not in the daemon.
+//!
+//! Shutdown is cooperative: a `GET /shutdown`, the external trigger
+//! channel (the `teeperfd` binary wires stdin-EOF into it, so a
+//! supervisor's process-group teardown lands here), or the optional loop
+//! limit. All three drain once more, write the final snapshot to
+//! `--snapshot-out` if configured, and return a [`DaemonReport`].
+
+#![forbid(unsafe_code)]
+
+pub mod http;
+
+use std::collections::BTreeSet;
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::path::{Path, PathBuf};
+use std::sync::mpsc::{Receiver, TryRecvError};
+use std::time::Duration;
+
+use mcvm::DebugInfo;
+use teeperf_analyzer::symbolize::Symbolizer;
+use teeperf_core::shm_file::{log_path, sym_path, LOG_EXT};
+use teeperf_core::{EventSource, FileShmSource, SalvageReport, SourceBatch};
+use teeperf_flamegraph::SvgOptions;
+use teeperf_live::{LiveConfig, SessionEvent, SessionRegistry, Snapshot, WatchdogConfig};
+
+use http::{Request, Response};
+
+/// Everything configurable about one daemon run.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Registration directory to watch for `<pid>.tplog` files.
+    pub dir: PathBuf,
+    /// Listen address, e.g. `127.0.0.1:0` (0 = kernel-assigned port).
+    pub listen: String,
+    /// Sleep between loop iterations when nothing is happening.
+    pub pump_interval: Duration,
+    /// Rescan the registration directory every N loop iterations.
+    pub scan_every: u64,
+    /// Write the final merged snapshot here on shutdown.
+    pub snapshot_out: Option<PathBuf>,
+    /// Liveness watchdog handed to the registry.
+    pub watchdog: WatchdogConfig,
+    /// Consecutive pumps an unpublished hole may stall a source's cursor.
+    pub hole_pumps: u64,
+    /// Shut down after this many loop iterations (a test/CI safety net;
+    /// `None` runs until asked to stop).
+    pub max_loops: Option<u64>,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> DaemonConfig {
+        DaemonConfig {
+            dir: teeperf_core::shm_file::default_shm_dir(),
+            listen: "127.0.0.1:0".to_string(),
+            pump_interval: Duration::from_millis(25),
+            scan_every: 4,
+            snapshot_out: None,
+            watchdog: WatchdogConfig::default(),
+            hole_pumps: teeperf_core::shm_file::DEFAULT_HOLE_PUMPS,
+            max_loops: None,
+        }
+    }
+}
+
+/// Wraps a [`FileShmSource`] and reports the source dead once the writer
+/// *process* is gone while its log still claims to be active — the file
+/// transport's substitute for the in-memory log's writers-in-flight word.
+/// The probe checks `/proc/<pid>` (cheap, no `unsafe`), and only after an
+/// empty pump, so a killed writer's already-published entries are drained
+/// before the registry quarantines it.
+#[derive(Debug)]
+pub struct LivenessProbe {
+    inner: FileShmSource,
+    /// Probe only when enabled — synthetic-pid tests must not have their
+    /// sources killed by a pid-namespace miss.
+    enabled: bool,
+    last_pump_empty: bool,
+    writer_gone: bool,
+}
+
+impl LivenessProbe {
+    /// Wrap `inner`; `enabled` turns the `/proc` probe on.
+    pub fn new(inner: FileShmSource, enabled: bool) -> LivenessProbe {
+        LivenessProbe {
+            inner,
+            enabled,
+            last_pump_empty: false,
+            writer_gone: false,
+        }
+    }
+
+    fn probe(&mut self) {
+        if !self.enabled || self.writer_gone || self.inner.writer_finished() {
+            return;
+        }
+        if self.last_pump_empty && !Path::new(&format!("/proc/{}", self.inner.pid())).is_dir() {
+            self.writer_gone = true;
+        }
+    }
+}
+
+impl EventSource for LivenessProbe {
+    fn pid(&self) -> u64 {
+        self.inner.pid()
+    }
+
+    fn pump(&mut self) -> SourceBatch {
+        let batch = self.inner.pump();
+        self.last_pump_empty = batch.entries.is_empty() && batch.dropped == 0;
+        self.probe();
+        batch
+    }
+
+    fn drain_to_end(&mut self) -> SourceBatch {
+        let batch = self.inner.drain_to_end();
+        self.last_pump_empty = batch.entries.is_empty() && batch.dropped == 0;
+        self.probe();
+        batch
+    }
+
+    fn dropped_total(&self) -> u64 {
+        self.inner.dropped_total()
+    }
+
+    fn epoch(&self) -> u64 {
+        self.inner.epoch()
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.inner.is_exhausted()
+    }
+
+    fn salvage(&self) -> SalvageReport {
+        self.inner.salvage()
+    }
+
+    fn is_dead(&self) -> bool {
+        self.inner.is_dead() || self.writer_gone
+    }
+}
+
+/// What the HTTP routing layer needs from whoever owns the profiles. The
+/// daemon implements it over its [`SessionRegistry`]; the wire-contract
+/// tests implement it over arbitrary generated snapshots, driving the
+/// identical serving path.
+pub trait SnapshotService {
+    /// The merged cross-process snapshot.
+    fn merged(&mut self) -> Snapshot;
+    /// One process's snapshot, if that pid is (or was) part of the run.
+    fn pid_snapshot(&mut self, pid: u64) -> Option<Snapshot>;
+    /// The `/metrics` exposition text.
+    fn metrics_text(&mut self) -> String;
+
+    /// Flame-graph SVG: one pid's towers, or the merged per-process view.
+    /// `None` when the pid is unknown.
+    fn flame_svg(&mut self, pid: Option<u64>) -> Option<String> {
+        let snap = match pid {
+            Some(p) => self.pid_snapshot(p)?,
+            None => self.merged(),
+        };
+        let title = match pid {
+            Some(p) => format!("teeperfd pid {p}"),
+            None => "teeperfd merged".to_string(),
+        };
+        Some(teeperf_flamegraph::live::render_svg(
+            &snap.profile.folded,
+            &snap.status,
+            &SvgOptions::default().with_title(title),
+        ))
+    }
+}
+
+/// Route one request against a [`SnapshotService`]. Returns the response
+/// and whether the request asked the daemon to shut down. Pure routing —
+/// no I/O — so the endpoint table is unit-testable without sockets.
+pub fn route(service: &mut dyn SnapshotService, req: &Request) -> (Response, bool) {
+    if req.method != "GET" && req.method != "POST" {
+        return (
+            Response {
+                status: 405,
+                content_type: "text/plain; charset=utf-8",
+                body: b"only GET and POST are supported\n".to_vec(),
+            },
+            false,
+        );
+    }
+    match req.path() {
+        "/healthz" => (Response::text("ok\n"), false),
+        "/snapshot" => (Response::text(service.merged().to_text()), false),
+        "/metrics" => (Response::text(service.metrics_text()), false),
+        "/shutdown" => (Response::text("shutting down\n"), true),
+        "/flame.svg" => {
+            let pid = match req.query("pid") {
+                Some(raw) => match raw.parse::<u64>() {
+                    Ok(p) => Some(p),
+                    Err(_) => return (Response::not_found(format!("bad pid {raw:?}")), false),
+                },
+                None => None,
+            };
+            match service.flame_svg(pid) {
+                Some(svg) => (Response::svg(svg), false),
+                None => (
+                    Response::not_found(format!("no session for pid {}", pid.unwrap_or(0))),
+                    false,
+                ),
+            }
+        }
+        path => {
+            if let Some(raw) = path.strip_prefix("/pid/") {
+                match raw.parse::<u64>() {
+                    Ok(pid) => match service.pid_snapshot(pid) {
+                        Some(snap) => (Response::text(snap.to_text()), false),
+                        None => (
+                            Response::not_found(format!("no session for pid {pid}")),
+                            false,
+                        ),
+                    },
+                    Err(_) => (Response::not_found(format!("bad pid {raw:?}")), false),
+                }
+            } else {
+                (
+                    Response::not_found(format!(
+                        "unknown path {path}; try /healthz /snapshot /pid/<n> /flame.svg /metrics /shutdown"
+                    )),
+                    false,
+                )
+            }
+        }
+    }
+}
+
+/// Why the daemon stopped, in the final report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShutdownCause {
+    /// A client requested `GET /shutdown`.
+    HttpRequest,
+    /// The external trigger channel fired (stdin EOF in the binary).
+    External(String),
+    /// [`DaemonConfig::max_loops`] was reached.
+    LoopLimit,
+}
+
+impl std::fmt::Display for ShutdownCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShutdownCause::HttpRequest => write!(f, "http /shutdown"),
+            ShutdownCause::External(why) => write!(f, "external: {why}"),
+            ShutdownCause::LoopLimit => write!(f, "loop limit"),
+        }
+    }
+}
+
+/// The summary a finished daemon run hands back.
+#[derive(Debug)]
+pub struct DaemonReport {
+    /// What stopped the loop.
+    pub cause: ShutdownCause,
+    /// Loop iterations executed.
+    pub loops: u64,
+    /// HTTP requests served.
+    pub requests: u64,
+    /// Every pid that was attached during the run.
+    pub attached: Vec<u64>,
+    /// Pids the watchdog quarantined.
+    pub quarantined: Vec<u64>,
+    /// Where the final snapshot was written, if requested.
+    pub snapshot_path: Option<PathBuf>,
+    /// The final merged snapshot.
+    pub merged: Snapshot,
+}
+
+impl DaemonReport {
+    /// Human-readable closing summary (what `teeperfd` prints on exit).
+    pub fn summary(&self) -> String {
+        let list = |pids: &[u64]| {
+            if pids.is_empty() {
+                "-".to_string()
+            } else {
+                pids.iter()
+                    .map(u64::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            }
+        };
+        let mut out = format!(
+            "teeperfd: shut down ({})\nloops {} requests {}\nattached pids: {}\nquarantined pids: {}\n",
+            self.cause,
+            self.loops,
+            self.requests,
+            list(&self.attached),
+            list(&self.quarantined),
+        );
+        if let Some(path) = &self.snapshot_path {
+            out.push_str(&format!("final snapshot: {}\n", path.display()));
+        }
+        out.push_str(&self.merged.status.banner());
+        out.push('\n');
+        out
+    }
+}
+
+/// The daemon: registry + listener + scan state. Construct with
+/// [`Daemon::new`], read the bound address with [`Daemon::addr`], then
+/// [`Daemon::run`] until a shutdown trigger.
+#[derive(Debug)]
+pub struct Daemon {
+    config: DaemonConfig,
+    registry: SessionRegistry,
+    listener: TcpListener,
+    addr: SocketAddr,
+    /// Pids ever attached (a retired pid must not be re-attached — its
+    /// contribution is already in the merge).
+    seen_pids: BTreeSet<u64>,
+    /// Log files that failed to attach; retried never (a file that was
+    /// rejected once is not going to become a valid log).
+    rejected: BTreeSet<PathBuf>,
+    /// One line per attach failure, surfaced in `/metrics`.
+    attach_errors: Vec<String>,
+    /// Whether the `/proc/<pid>` liveness probe is armed on new sources.
+    probe_liveness: bool,
+    requests: u64,
+    scans: u64,
+}
+
+impl Daemon {
+    /// Bind the listener and build an empty registry over `config.dir`.
+    ///
+    /// # Errors
+    /// Fails when the listen address cannot be bound or the registration
+    /// directory cannot be created.
+    pub fn new(config: DaemonConfig) -> io::Result<Daemon> {
+        std::fs::create_dir_all(&config.dir)?;
+        let listener = TcpListener::bind(&config.listen)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let registry = SessionRegistry::new(LiveConfig::default()).with_watchdog(config.watchdog);
+        Ok(Daemon {
+            config,
+            registry,
+            listener,
+            addr,
+            seen_pids: BTreeSet::new(),
+            rejected: BTreeSet::new(),
+            attach_errors: Vec::new(),
+            probe_liveness: true,
+            requests: 0,
+            scans: 0,
+        })
+    }
+
+    /// Disable the `/proc/<pid>` writer-liveness probe (tests that
+    /// register logs under synthetic pids).
+    #[must_use]
+    pub fn without_liveness_probe(mut self) -> Daemon {
+        self.probe_liveness = false;
+        self
+    }
+
+    /// The address the HTTP listener actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// One registration-directory sweep: attach every `<pid>.tplog` not
+    /// already attached or rejected. Returns how many sessions were
+    /// attached.
+    pub fn scan(&mut self) -> usize {
+        self.scans += 1;
+        let Ok(entries) = std::fs::read_dir(&self.config.dir) else {
+            return 0;
+        };
+        let mut found: Vec<(u64, PathBuf)> = Vec::new();
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some(LOG_EXT) {
+                continue;
+            }
+            let Some(pid) = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .and_then(|s| s.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            if self.seen_pids.contains(&pid) || self.rejected.contains(&path) {
+                continue;
+            }
+            found.push((pid, path));
+        }
+        found.sort();
+        let mut attached = 0;
+        for (pid, path) in found {
+            match self.attach_log(pid, &path) {
+                Ok(()) => attached += 1,
+                Err(why) => {
+                    self.rejected.insert(path.clone());
+                    self.attach_errors
+                        .push(format!("{}: {why}", path.display()));
+                }
+            }
+        }
+        attached
+    }
+
+    fn attach_log(&mut self, pid: u64, path: &Path) -> Result<(), String> {
+        let source = FileShmSource::open(path)
+            .map_err(|e| e.to_string())?
+            .with_hole_pumps(self.config.hole_pumps);
+        if source.pid() != pid {
+            return Err(format!(
+                "file is named for pid {pid} but its header says {}",
+                source.pid()
+            ));
+        }
+        // The optional `<pid>.sym` sidecar names the addresses; without it
+        // the profile still works, with raw-hex frames.
+        let debug = std::fs::read_to_string(sym_path(&self.config.dir, pid))
+            .ok()
+            .and_then(|text| DebugInfo::from_text(&text))
+            .unwrap_or_default();
+        let probed = LivenessProbe::new(source, self.probe_liveness);
+        self.registry
+            .attach(Box::new(probed), Symbolizer::without_relocation(debug))
+            .map_err(|e| format!("attach: {e:?}"))?;
+        self.seen_pids.insert(pid);
+        Ok(())
+    }
+
+    /// Accept and serve every connection currently pending. Returns
+    /// whether any request asked for shutdown.
+    fn serve_pending(&mut self) -> bool {
+        let mut shutdown = false;
+        loop {
+            match self.listener.accept() {
+                Ok((mut stream, _)) => {
+                    self.requests += 1;
+                    let _ = stream.set_nonblocking(false);
+                    let _ = stream.set_read_timeout(Some(Duration::from_millis(2_000)));
+                    let _ = stream.set_write_timeout(Some(Duration::from_millis(2_000)));
+                    if let Ok(req) = http::read_request(&mut stream) {
+                        let (response, stop) = route(self, &req);
+                        let _ = response.write_to(&mut stream);
+                        shutdown |= stop;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+        shutdown
+    }
+
+    fn quarantined_pids(&self) -> Vec<u64> {
+        self.registry
+            .session_events()
+            .iter()
+            .filter_map(|e| match e {
+                SessionEvent::Quarantined { pid, .. } => Some(*pid),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Run until a shutdown trigger: `GET /shutdown`, a message on
+    /// `external`, or the configured loop limit. Consumes the daemon and
+    /// returns the final report.
+    ///
+    /// # Errors
+    /// Propagates I/O failures writing the final snapshot; serving errors
+    /// are per-connection and never stop the loop.
+    pub fn run(mut self, external: &Receiver<String>) -> io::Result<DaemonReport> {
+        let mut loops: u64 = 0;
+        let cause = loop {
+            if loops.is_multiple_of(self.config.scan_every) {
+                self.scan();
+            }
+            loops += 1;
+            if self.serve_pending() {
+                break ShutdownCause::HttpRequest;
+            }
+            self.registry.pump();
+            match external.try_recv() {
+                Ok(why) => break ShutdownCause::External(why),
+                Err(TryRecvError::Disconnected) => {
+                    break ShutdownCause::External("trigger channel closed".to_string())
+                }
+                Err(TryRecvError::Empty) => {}
+            }
+            if let Some(limit) = self.config.max_loops {
+                if loops >= limit {
+                    break ShutdownCause::LoopLimit;
+                }
+            }
+            std::thread::sleep(self.config.pump_interval);
+        };
+        // Drain once more (the graceful-shutdown contract), then freeze.
+        self.scan();
+        self.registry.pump();
+        let run = self.registry.finish();
+        let snapshot_path = match &self.config.snapshot_out {
+            Some(path) => {
+                std::fs::write(path, run.merged.to_text())?;
+                Some(path.clone())
+            }
+            None => None,
+        };
+        Ok(DaemonReport {
+            cause,
+            loops,
+            requests: self.requests,
+            attached: self.seen_pids.iter().copied().collect(),
+            quarantined: self.quarantined_pids(),
+            snapshot_path,
+            merged: run.merged,
+        })
+    }
+}
+
+impl SnapshotService for Daemon {
+    fn merged(&mut self) -> Snapshot {
+        self.registry.merged_snapshot()
+    }
+
+    fn pid_snapshot(&mut self, pid: u64) -> Option<Snapshot> {
+        self.registry.snapshot_pid(pid)
+    }
+
+    /// Merged view: the registry's per-process rendering (one `pid <n>`
+    /// tower per process). Per-pid views use the default single-profile
+    /// path.
+    fn flame_svg(&mut self, pid: Option<u64>) -> Option<String> {
+        match pid {
+            Some(p) => {
+                let snap = self.pid_snapshot(p)?;
+                Some(teeperf_flamegraph::live::render_svg(
+                    &snap.profile.folded,
+                    &snap.status,
+                    &SvgOptions::default().with_title(format!("teeperfd pid {p}")),
+                ))
+            }
+            None => Some(
+                self.registry
+                    .render_svg(&SvgOptions::default().with_title("teeperfd merged")),
+            ),
+        }
+    }
+
+    fn metrics_text(&mut self) -> String {
+        let salvage = self.registry.salvage();
+        let quarantined = self.quarantined_pids();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "teeperf_attached_total {}\n",
+            self.seen_pids.len()
+        ));
+        out.push_str(&format!("teeperf_active {}\n", self.registry.pids().len()));
+        out.push_str(&format!(
+            "teeperf_events_total {}\n",
+            self.registry.events()
+        ));
+        out.push_str(&format!(
+            "teeperf_dropped_total {}\n",
+            self.registry.dropped()
+        ));
+        out.push_str(&format!("teeperf_salvage_kept {}\n", salvage.kept));
+        out.push_str(&format!("teeperf_salvage_dropped {}\n", salvage.dropped));
+        for reason in [
+            teeperf_core::SalvageReason::TornEntry,
+            teeperf_core::SalvageReason::UnpublishedSlot,
+            teeperf_core::SalvageReason::StalledRotation,
+            teeperf_core::SalvageReason::CorruptHeader,
+            teeperf_core::SalvageReason::TruncatedFile,
+            teeperf_core::SalvageReason::DeadWriterReclaimed,
+        ] {
+            out.push_str(&format!(
+                "teeperf_salvage_reason{{reason=\"{reason}\"}} {}\n",
+                salvage.count(reason)
+            ));
+        }
+        out.push_str(&format!(
+            "teeperf_quarantined_total {}\n",
+            quarantined.len()
+        ));
+        for pid in &quarantined {
+            out.push_str(&format!("teeperf_quarantined{{pid=\"{pid}\"}} 1\n"));
+        }
+        out.push_str(&format!(
+            "teeperf_attach_errors_total {}\n",
+            self.attach_errors.len()
+        ));
+        out.push_str(&format!("teeperf_scans_total {}\n", self.scans));
+        out.push_str(&format!("teeperf_requests_total {}\n", self.requests));
+        out
+    }
+}
+
+/// Re-export for callers that build registration paths.
+pub use teeperf_core::shm_file::default_shm_dir;
+
+/// Build a registration path helper: where pid's log would live in `dir`.
+pub fn registered_log(dir: &Path, pid: u64) -> PathBuf {
+    log_path(dir, pid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use teeperf_core::layout::{EventKind, LogEntry};
+    use teeperf_core::log::make_header;
+    use teeperf_core::shm_file::{publish_sidecar, FileShmWriter};
+
+    struct ScratchDir(PathBuf);
+
+    fn scratch(label: &str) -> ScratchDir {
+        let dir = std::env::temp_dir().join(format!("teeperfd-lib-{}-{label}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        ScratchDir(dir)
+    }
+
+    impl Drop for ScratchDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    /// A tiny main→work call tree for pid, fully published and finished.
+    fn write_session(dir: &Path, pid: u64, work_ticks: u64) {
+        let debug = DebugInfo::from_functions([("main", 4, 1), ("work", 4, 5)]);
+        publish_sidecar(dir, pid, "sym", &debug.to_text()).unwrap();
+        let mut w = FileShmWriter::create(dir, &make_header(pid, 64, true, 0, 0)).unwrap();
+        let (a0, a1) = (debug.entry_addr(0), debug.entry_addr(1));
+        let e = |kind, counter, addr| LogEntry {
+            kind,
+            counter,
+            addr,
+            tid: 0,
+        };
+        w.write(&e(EventKind::Call, 1, a0)).unwrap();
+        w.write(&e(EventKind::Call, 10, a1)).unwrap();
+        w.write(&e(EventKind::Return, 10 + work_ticks, a1)).unwrap();
+        w.write(&e(EventKind::Return, 101, a0)).unwrap();
+        w.finish().unwrap();
+    }
+
+    fn test_daemon(dir: &Path) -> Daemon {
+        Daemon::new(DaemonConfig {
+            dir: dir.to_path_buf(),
+            listen: "127.0.0.1:0".to_string(),
+            pump_interval: Duration::from_millis(1),
+            scan_every: 1,
+            snapshot_out: None,
+            watchdog: WatchdogConfig::default(),
+            hole_pumps: 4,
+            max_loops: None,
+        })
+        .unwrap()
+        .without_liveness_probe()
+    }
+
+    #[test]
+    fn scan_attaches_registered_logs_and_serves_them() {
+        let dir = scratch("scan");
+        write_session(&dir.0, 101, 50);
+        write_session(&dir.0, 102, 30);
+        let mut d = test_daemon(&dir.0);
+        assert_eq!(d.scan(), 2);
+        assert_eq!(d.scan(), 0, "already attached");
+        d.registry.pump();
+        let merged = d.merged();
+        assert_eq!(merged.status.events, 8);
+        let text = merged.to_text();
+        assert!(text.contains("pid 101"));
+        assert!(text.contains("pid 102"));
+        assert!(text.contains("work"), "sidecar symbols resolved: {text}");
+        let s101 = d.pid_snapshot(101).unwrap();
+        let s102 = d.pid_snapshot(102).unwrap();
+        assert_eq!(
+            s101.profile.total_ticks + s102.profile.total_ticks,
+            merged.profile.total_ticks,
+            "merged totals are the per-pid sums"
+        );
+        assert!(d.pid_snapshot(999).is_none());
+    }
+
+    #[test]
+    fn scan_rejects_alien_files_once_and_reports_them() {
+        let dir = scratch("alien");
+        std::fs::write(dir.0.join("33.tplog"), b"junk").unwrap();
+        std::fs::write(dir.0.join("not-a-pid.tplog"), b"junk").unwrap();
+        let mut d = test_daemon(&dir.0);
+        assert_eq!(d.scan(), 0);
+        assert_eq!(d.attach_errors.len(), 1, "pid-named junk is an error");
+        assert_eq!(d.scan(), 0);
+        assert_eq!(d.attach_errors.len(), 1, "rejected files are not retried");
+        assert!(d.metrics_text().contains("teeperf_attach_errors_total 1"));
+    }
+
+    #[test]
+    fn routing_table_serves_every_endpoint() {
+        let dir = scratch("routes");
+        write_session(&dir.0, 77, 40);
+        let mut d = test_daemon(&dir.0);
+        d.scan();
+        d.registry.pump();
+        let get = |d: &mut Daemon, target: &str| {
+            route(
+                d,
+                &Request {
+                    method: "GET".into(),
+                    target: target.into(),
+                },
+            )
+        };
+        let (r, stop) = get(&mut d, "/healthz");
+        assert_eq!((r.status, stop), (200, false));
+        let (r, _) = get(&mut d, "/snapshot");
+        assert!(String::from_utf8(r.body).unwrap().contains("[live]"));
+        let (r, _) = get(&mut d, "/pid/77");
+        assert_eq!(r.status, 200);
+        let (r, _) = get(&mut d, "/pid/99");
+        assert_eq!(r.status, 404);
+        let (r, _) = get(&mut d, "/pid/xyz");
+        assert_eq!(r.status, 404);
+        let (r, _) = get(&mut d, "/flame.svg");
+        assert_eq!(r.status, 200);
+        assert!(String::from_utf8(r.body).unwrap().contains("<svg"));
+        let (r, _) = get(&mut d, "/flame.svg?pid=77");
+        assert_eq!(r.status, 200);
+        let (r, _) = get(&mut d, "/flame.svg?pid=99");
+        assert_eq!(r.status, 404);
+        let (r, _) = get(&mut d, "/metrics");
+        assert!(String::from_utf8(r.body)
+            .unwrap()
+            .contains("teeperf_events_total 4"));
+        let (r, _) = get(&mut d, "/nope");
+        assert_eq!(r.status, 404);
+        let (r, stop) = get(&mut d, "/shutdown");
+        assert_eq!((r.status, stop), (200, true));
+        let (r, _) = route(
+            &mut d,
+            &Request {
+                method: "DELETE".into(),
+                target: "/snapshot".into(),
+            },
+        );
+        assert_eq!(r.status, 405);
+    }
+
+    #[test]
+    fn run_loop_shuts_down_on_external_trigger_and_writes_snapshot() {
+        let dir = scratch("extshutdown");
+        write_session(&dir.0, 55, 20);
+        let out = dir.0.join("final.snapshot");
+        let mut config = DaemonConfig {
+            dir: dir.0.clone(),
+            pump_interval: Duration::from_millis(1),
+            scan_every: 1,
+            snapshot_out: Some(out.clone()),
+            ..DaemonConfig::default()
+        };
+        config.listen = "127.0.0.1:0".to_string();
+        let d = Daemon::new(config).unwrap().without_liveness_probe();
+        let (tx, rx) = mpsc::channel();
+        tx.send("test trigger".to_string()).unwrap();
+        let report = d.run(&rx).unwrap();
+        assert_eq!(
+            report.cause,
+            ShutdownCause::External("test trigger".to_string())
+        );
+        assert_eq!(report.attached, vec![55]);
+        assert_eq!(report.snapshot_path.as_deref(), Some(out.as_path()));
+        let written = std::fs::read_to_string(&out).unwrap();
+        let status = Snapshot::summary_from_text(&written).unwrap();
+        assert_eq!(status.events, 4);
+        assert!(report.summary().contains("attached pids: 55"));
+    }
+
+    #[test]
+    fn run_loop_respects_the_loop_limit() {
+        let dir = scratch("looplimit");
+        let config = DaemonConfig {
+            dir: dir.0.clone(),
+            listen: "127.0.0.1:0".to_string(),
+            pump_interval: Duration::from_millis(1),
+            max_loops: Some(3),
+            ..DaemonConfig::default()
+        };
+        let d = Daemon::new(config).unwrap().without_liveness_probe();
+        let (_tx, rx) = mpsc::channel::<String>();
+        let report = d.run(&rx).unwrap();
+        assert_eq!(report.cause, ShutdownCause::LoopLimit);
+        assert_eq!(report.loops, 3);
+    }
+}

@@ -1,0 +1,318 @@
+//! End-to-end: real OS child processes writing through the file-backed
+//! transport while a real `teeperfd` (spawned as its own process) serves
+//! HTTP. This is the acceptance path of the daemon subsystem:
+//!
+//! * ≥ 2 writer children publish logs; the merged `/snapshot` totals equal
+//!   the per-pid sums and `/pid/<n>` matches each child's own profile;
+//! * stdin EOF is the graceful-shutdown trigger: one more drain, the final
+//!   snapshot written to `--snapshot-out`, exit code 0;
+//! * a writer killed mid-session (SIGKILL) is quarantined by the liveness
+//!   machinery — the registry keeps serving, never wedges.
+//!
+//! Every test carries a hang guard (the daemon's failure mode is an
+//! unresponsive loop, which a plain harness reports as a timeout at best).
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use teeperf_live::Snapshot;
+
+/// Aborts the whole process if the owning test runs longer than 120s.
+struct HangGuard(Arc<Mutex<bool>>);
+
+fn hang_guard(label: &'static str) -> HangGuard {
+    let done = Arc::new(Mutex::new(false));
+    let armed = Arc::clone(&done);
+    std::thread::spawn(move || {
+        for _ in 0..1200 {
+            std::thread::sleep(Duration::from_millis(100));
+            if *armed.lock().expect("guard lock") {
+                return;
+            }
+        }
+        eprintln!("e2e test hung for 120s: {label}");
+        std::process::abort();
+    });
+    HangGuard(done)
+}
+
+impl Drop for HangGuard {
+    fn drop(&mut self) {
+        *self.0.lock().expect("guard lock") = true;
+    }
+}
+
+struct ScratchDir(PathBuf);
+
+fn scratch(label: &str) -> ScratchDir {
+    let dir = std::env::temp_dir().join(format!("teeperfd-e2e-{}-{label}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    ScratchDir(dir)
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A spawned `teeperfd` with its stdin held open; killed on drop so a
+/// panicking test never leaks the process.
+struct DaemonProc {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl DaemonProc {
+    fn spawn(dir: &Path, extra: &[&str]) -> DaemonProc {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_teeperfd"))
+            .arg("--dir")
+            .arg(dir)
+            .args([
+                "--listen",
+                "127.0.0.1:0",
+                "--pump-ms",
+                "5",
+                "--scan-every",
+                "1",
+            ])
+            .args(extra)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn teeperfd");
+        // The daemon prints its resolved address before entering the loop.
+        let stdout = child.stdout.as_mut().expect("piped stdout");
+        let mut reader = BufReader::new(stdout);
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read banner");
+        let addr: SocketAddr = line
+            .trim()
+            .strip_prefix("teeperfd listening on ")
+            .unwrap_or_else(|| panic!("unexpected banner {line:?}"))
+            .parse()
+            .expect("parse address");
+        DaemonProc { child, addr }
+    }
+
+    fn get(&self, path: &str) -> (u16, String) {
+        teeperf_daemon::http::get(&self.addr.to_string(), path, Duration::from_secs(5))
+            .unwrap_or_else(|e| panic!("GET {path}: {e}"))
+    }
+
+    /// Close stdin (the supervisor's shutdown signal) and collect the exit.
+    fn shutdown_via_stdin(mut self) -> std::process::ExitStatus {
+        drop(self.child.stdin.take());
+        self.child.wait().expect("wait teeperfd")
+    }
+
+    fn wait(mut self) -> std::process::ExitStatus {
+        self.child.wait().expect("wait teeperfd")
+    }
+}
+
+impl Drop for DaemonProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn_writer(dir: &Path, iterations: u64, extra: &[&str]) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_teeperf-shm-writer"))
+        .arg("--dir")
+        .arg(dir)
+        .args(["--iterations", &iterations.to_string()])
+        .args(extra)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn writer")
+}
+
+/// Poll `f` every 30ms until it returns `Some`, or fail after `secs`.
+fn poll_until<T>(secs: u64, what: &str, mut f: impl FnMut() -> Option<T>) -> T {
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    loop {
+        if let Some(v) = f() {
+            return v;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(30));
+    }
+}
+
+/// Entries a writer publishes for n iterations (2 bookends + 4 per round).
+fn entries_for(iterations: u64) -> u64 {
+    2 + 4 * iterations
+}
+
+/// total_ticks of one writer profile (see the writer's workload comment).
+fn ticks_for(iterations: u64) -> u64 {
+    12 * iterations + 1
+}
+
+fn summary(text: &str) -> teeperf_flamegraph::LiveStatus {
+    Snapshot::summary_from_text(text).unwrap_or_else(|e| panic!("unparseable snapshot: {e}"))
+}
+
+fn total_ticks_line(text: &str) -> u64 {
+    text.lines()
+        .find_map(|l| l.strip_prefix("total_ticks "))
+        .and_then(|v| v.parse().ok())
+        .expect("snapshot has total_ticks")
+}
+
+#[test]
+fn two_real_processes_merge_into_one_snapshot() {
+    let _guard = hang_guard("two_real_processes_merge_into_one_snapshot");
+    let dir = scratch("merge");
+    let daemon = DaemonProc::spawn(&dir.0, &[]);
+    let (status, body) = daemon.get("/healthz");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+    let mut w1 = spawn_writer(&dir.0, 5, &[]);
+    let mut w2 = spawn_writer(&dir.0, 8, &[]);
+    let pid1 = u64::from(w1.id());
+    let pid2 = u64::from(w2.id());
+    assert!(w1.wait().expect("wait w1").success());
+    assert!(w2.wait().expect("wait w2").success());
+
+    let want = entries_for(5) + entries_for(8);
+    let merged = poll_until(60, "both writers merged", || {
+        let (code, text) = daemon.get("/snapshot");
+        assert_eq!(code, 200);
+        (summary(&text).events == want).then_some(text)
+    });
+    assert_eq!(summary(&merged).dropped, 0);
+    assert!(merged.contains(&format!("pid {pid1}")), "{merged}");
+    assert!(merged.contains(&format!("pid {pid2}")), "{merged}");
+    assert_eq!(
+        total_ticks_line(&merged),
+        ticks_for(5) + ticks_for(8),
+        "merged totals are the per-pid sums"
+    );
+
+    // Per-pid views match each child's own workload exactly.
+    for (pid, iters) in [(pid1, 5u64), (pid2, 8u64)] {
+        let (code, text) = daemon.get(&format!("/pid/{pid}"));
+        assert_eq!(code, 200);
+        assert_eq!(summary(&text).events, entries_for(iters));
+        assert_eq!(total_ticks_line(&text), ticks_for(iters));
+        assert!(
+            text.contains(&format!("work {iters} {} {}", 10 * iters, 6 * iters)),
+            "pid {pid} methods table: {text}"
+        );
+        assert!(text.contains(&format!("leaf {iters} {} {}", 4 * iters, 4 * iters)));
+    }
+
+    // The flame graph serves per-process towers for the merged view.
+    let (code, svg) = daemon.get("/flame.svg");
+    assert_eq!(code, 200);
+    assert!(svg.contains("<svg"));
+    assert!(svg.contains(&format!("pid {pid1}")), "merged towers by pid");
+
+    let (_, metrics) = daemon.get("/metrics");
+    assert!(metrics.contains("teeperf_attached_total 2"), "{metrics}");
+    assert!(metrics.contains(&format!("teeperf_events_total {want}")));
+    assert!(metrics.contains("teeperf_quarantined_total 0"));
+
+    let (code, _) = daemon.get("/shutdown");
+    assert_eq!(code, 200);
+    let status = daemon.wait();
+    assert!(status.success(), "clean exit after /shutdown: {status:?}");
+}
+
+#[test]
+fn stdin_eof_drains_once_more_and_writes_the_final_snapshot() {
+    let _guard = hang_guard("stdin_eof_drains_once_more_and_writes_the_final_snapshot");
+    let dir = scratch("graceful");
+    let out = dir.0.join("final.snapshot");
+    let daemon = DaemonProc::spawn(
+        &dir.0,
+        &["--snapshot-out", out.to_str().expect("utf8 path")],
+    );
+
+    let mut w = spawn_writer(&dir.0, 6, &[]);
+    assert!(w.wait().expect("wait writer").success());
+    poll_until(60, "writer merged", || {
+        let (_, text) = daemon.get("/snapshot");
+        (summary(&text).events == entries_for(6)).then_some(())
+    });
+
+    let status = daemon.shutdown_via_stdin();
+    assert!(status.success(), "stdin EOF must exit 0, got {status:?}");
+    let written = std::fs::read_to_string(&out).expect("final snapshot written");
+    assert_eq!(summary(&written).events, entries_for(6));
+    assert_eq!(total_ticks_line(&written), ticks_for(6));
+}
+
+#[test]
+fn killed_writer_is_quarantined_not_wedging_the_registry() {
+    let _guard = hang_guard("killed_writer_is_quarantined_not_wedging_the_registry");
+    let dir = scratch("killed");
+    let daemon = DaemonProc::spawn(&dir.0, &[]);
+
+    // A healthy writer alongside the doomed one: the survivors must keep
+    // being served throughout.
+    let mut healthy = spawn_writer(&dir.0, 4, &[]);
+    let mut doomed = spawn_writer(&dir.0, 3, &["--hold"]);
+    let doomed_pid = u64::from(doomed.id());
+    assert!(healthy.wait().expect("wait healthy").success());
+
+    let want = entries_for(4) + entries_for(3);
+    poll_until(60, "both writers merged", || {
+        let (_, text) = daemon.get("/snapshot");
+        (summary(&text).events == want).then_some(())
+    });
+
+    doomed.kill().expect("kill writer");
+    doomed.wait().expect("reap writer");
+
+    // The liveness machinery notices the dead process and quarantines its
+    // session; its contribution stays in the merge.
+    let metrics = poll_until(60, "quarantine of the killed writer", || {
+        let (_, m) = daemon.get("/metrics");
+        m.contains("teeperf_quarantined_total 1").then_some(m)
+    });
+    assert!(
+        metrics.contains(&format!("teeperf_quarantined{{pid=\"{doomed_pid}\"}} 1")),
+        "{metrics}"
+    );
+
+    let (code, text) = daemon.get("/snapshot");
+    assert_eq!(code, 200, "registry keeps serving after a quarantine");
+    assert_eq!(summary(&text).events, want, "prior contribution retained");
+    assert!(
+        text.contains(&format!("quarantined pid {doomed_pid}")),
+        "snapshot events section records the quarantine: {text}"
+    );
+    let (code, body) = daemon.get("/healthz");
+    assert_eq!((code, body.as_str()), (200, "ok\n"));
+
+    let (code, _) = daemon.get("/shutdown");
+    assert_eq!(code, 200);
+    assert!(daemon.wait().success());
+}
+
+#[test]
+fn writer_binary_rejects_bad_usage() {
+    let _guard = hang_guard("writer_binary_rejects_bad_usage");
+    let out = Command::new(env!("CARGO_BIN_EXE_teeperf-shm-writer"))
+        .output()
+        .expect("run writer");
+    assert_eq!(out.status.code(), Some(2), "--dir is required");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_teeperfd"))
+        .arg("--bogus")
+        .output()
+        .expect("run daemon");
+    assert_eq!(out.status.code(), Some(2), "unknown flags are usage errors");
+}

@@ -181,6 +181,54 @@ impl Snapshot {
         }
         Ok(status)
     }
+
+    /// Parse the `[methods]` table back out of a serialized snapshot:
+    /// `(name, calls, inclusive, exclusive)` per row, in serialized order.
+    /// This is the other half of the wire contract `teeperf top` consumes —
+    /// together with [`Snapshot::summary_from_text`] it reconstructs the
+    /// whole monitoring view from the text a daemon serves.
+    ///
+    /// # Errors
+    /// Returns a description of the first malformed row. A snapshot with
+    /// no `[methods]` section at all is malformed (the serializer always
+    /// emits the header, even for an empty profile).
+    pub fn methods_from_text(text: &str) -> Result<Vec<(String, u64, u64, u64)>, String> {
+        let mut rows = Vec::new();
+        let mut in_methods = false;
+        let mut seen_section = false;
+        for line in text.lines() {
+            match line.trim() {
+                "[methods]" => {
+                    in_methods = true;
+                    seen_section = true;
+                }
+                l if l.starts_with('[') => in_methods = false,
+                l if in_methods && !l.is_empty() => {
+                    // Method names contain no spaces (mangled identifiers or
+                    // raw hex); the three counters are the trailing fields.
+                    let fields: Vec<&str> = l.split(' ').collect();
+                    if fields.len() != 4 {
+                        return Err(format!("malformed method row `{l}`"));
+                    }
+                    let num = |s: &str| {
+                        s.parse::<u64>()
+                            .map_err(|_| format!("bad counter in method row `{l}`"))
+                    };
+                    rows.push((
+                        fields[0].to_string(),
+                        num(fields[1])?,
+                        num(fields[2])?,
+                        num(fields[3])?,
+                    ));
+                }
+                _ => {}
+            }
+        }
+        if !seen_section {
+            return Err("no [methods] section".to_string());
+        }
+        Ok(rows)
+    }
 }
 
 #[cfg(test)]
@@ -228,6 +276,34 @@ mod tests {
         assert!(text.contains("main;work 50\n"));
         let parsed = Snapshot::summary_from_text(&text).unwrap();
         assert_eq!(parsed, s.status);
+    }
+
+    #[test]
+    fn methods_table_round_trips() {
+        let s = snap(50);
+        let rows = Snapshot::methods_from_text(&s.to_text()).unwrap();
+        assert_eq!(
+            rows,
+            s.profile
+                .methods
+                .iter()
+                .map(|m| (m.name.clone(), m.calls, m.inclusive, m.exclusive))
+                .collect::<Vec<_>>()
+        );
+        assert!(rows
+            .iter()
+            .any(|(n, c, i, e)| (n.as_str(), *c, *i, *e) == ("work", 1, 50, 50)));
+    }
+
+    #[test]
+    fn methods_parser_rejects_malformed_rows() {
+        assert!(Snapshot::methods_from_text("[live]\nepoch 0\n").is_err());
+        assert!(Snapshot::methods_from_text("[methods]\nwork 1 2\n").is_err());
+        assert!(Snapshot::methods_from_text("[methods]\nwork 1 2 x\n").is_err());
+        assert_eq!(Snapshot::methods_from_text("[methods]\n").unwrap(), vec![]);
+        // Sections after [methods] are not mistaken for rows.
+        let rows = Snapshot::methods_from_text("[methods]\nwork 1 2 3\n[folded]\na;b 4\n").unwrap();
+        assert_eq!(rows, vec![("work".to_string(), 1, 2, 3)]);
     }
 
     #[test]

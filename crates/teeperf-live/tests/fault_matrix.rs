@@ -323,6 +323,196 @@ fn registry_with_one_crashed_source_serves_the_survivors() {
     assert!(text.contains("quarantined pid 6"), "{text}");
 }
 
+// ---------------------------------------------------------------------------
+// File-transport half of the matrix: the same fault families injected into
+// the file-backed shared logs (`teeperf_core::shm_file`) that real OS
+// processes write under /dev/shm. Different medium, same verdict required:
+// finished, accounted, never a panic or a hang.
+// ---------------------------------------------------------------------------
+
+use teeperf_core::{FileShmSource, FileShmWriter};
+
+struct ScratchDir(std::path::PathBuf);
+
+fn scratch(label: &str) -> ScratchDir {
+    let dir = std::env::temp_dir().join(format!("teeperf-faults-{}-{label}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    ScratchDir(dir)
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn file_writer(dir: &std::path::Path, pid: u64, cap: u64) -> FileShmWriter {
+    FileShmWriter::create(dir, &make_header(pid, cap, true, 0, 0)).expect("create file log")
+}
+
+fn file_source(w: &FileShmWriter, hole_pumps: u64) -> FileShmSource {
+    FileShmSource::open(w.path())
+        .expect("open file log")
+        .with_hole_pumps(hole_pumps)
+}
+
+/// Truncation mid-drain: the reader has consumed part of the log when the
+/// file is cut behind its back. The next pump clamps to what is still on
+/// disk, delivers the remaining salvageable entries, charges the loss to
+/// [`SalvageReason::TruncatedFile`] exactly once — and then declares the
+/// source dead, because a file that lost bytes is no longer a faithful
+/// log (the registry quarantines it; the salvage stays in the merge).
+#[test]
+fn file_matrix_truncation_mid_drain_is_clamped_and_counted() {
+    let _guard = hang_guard("file-truncation");
+    let dir = scratch("truncation");
+    let mut w = file_writer(&dir.0, 9, 32);
+    for k in 1..=6 {
+        w.write(&entry(k)).unwrap();
+    }
+    let mut source = file_source(&w, 2);
+    assert_eq!(source.pump().entries.len(), 6, "first drain is clean");
+
+    for k in 7..=10 {
+        w.write(&entry(k)).unwrap();
+    }
+    // Cut the file so only the first 8 of the 10 reserved slots survive.
+    let keep = LogEntry::offset_of(8);
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(w.path())
+        .unwrap()
+        .set_len(keep)
+        .unwrap();
+
+    let mut got = Vec::new();
+    for _ in 0..6 {
+        got.extend(source.pump().entries);
+    }
+    got.extend(source.drain_to_end().entries);
+    assert_eq!(got.len(), 2, "slots 7..=8 survive the cut");
+    assert!(source.is_dead(), "a cut file is no longer a faithful log");
+    let report = source.salvage();
+    assert_eq!(report.count(SalvageReason::TruncatedFile), 2, "{report:?}");
+    assert_eq!(report.kept, 8, "everything on disk was still delivered");
+}
+
+/// A torn entry (published word without its body) is dropped and counted;
+/// everything after it is still delivered.
+#[test]
+fn file_matrix_torn_entry_is_dropped_and_rest_delivered() {
+    let _guard = hang_guard("file-torn");
+    let dir = scratch("torn");
+    let mut w = file_writer(&dir.0, 9, 32);
+    w.write(&entry(1)).unwrap();
+    w.write_torn(&entry(2)).unwrap();
+    w.write(&entry(3)).unwrap();
+    w.write(&entry(4)).unwrap();
+    w.finish().unwrap();
+
+    let mut source = file_source(&w, 2);
+    let mut got = Vec::new();
+    while !source.is_exhausted() {
+        got.extend(source.drain_to_end().entries);
+    }
+    assert_eq!(
+        got.iter().map(|e| e.counter).collect::<Vec<_>>(),
+        vec![1, 3, 4]
+    );
+    let report = source.salvage();
+    assert_eq!(report.count(SalvageReason::TornEntry), 1, "{report:?}");
+    assert_eq!(report.kept, 3);
+}
+
+/// A writer that dies between reserving a slot and publishing it leaves an
+/// unpublished hole. Pumps wait out the stall budget (the writer might
+/// just be slow); the final drain closes the hole, counts it, and delivers
+/// everything published after it — bounded work, no spin.
+#[test]
+fn file_matrix_writer_crash_hole_is_closed_by_the_final_drain() {
+    let _guard = hang_guard("file-crash-hole");
+    let dir = scratch("crash");
+    let mut w = file_writer(&dir.0, 9, 32);
+    w.write(&entry(1)).unwrap();
+    w.write(&entry(2)).unwrap();
+    w.crash_after_reserve().unwrap();
+    w.write(&entry(4)).unwrap();
+
+    let mut source = file_source(&w, 2);
+    let mut got = Vec::new();
+    for _ in 0..8 {
+        got.extend(source.pump().entries);
+    }
+    got.extend(source.drain_to_end().entries);
+    assert_eq!(
+        got.iter().map(|e| e.counter).collect::<Vec<_>>(),
+        vec![1, 2, 4],
+        "published entries on both sides of the hole are delivered"
+    );
+    let report = source.salvage();
+    assert_eq!(
+        report.count(SalvageReason::UnpublishedSlot),
+        1,
+        "{report:?}"
+    );
+    assert_eq!(report.kept, 3);
+}
+
+/// The registry acceptance scenario on the file transport: one process's
+/// log header is smashed mid-run; its source goes dead, the registry
+/// quarantines it on the next pump, and the survivor's run — and the
+/// merged sums — are untouched.
+#[test]
+fn file_matrix_registry_quarantines_corrupt_file_among_survivors() {
+    let _guard = hang_guard("file-registry-crash");
+    let dir = scratch("registry");
+    let mut healthy = file_writer(&dir.0, 5, 64);
+    let mut sick = file_writer(&dir.0, 6, 64);
+    write_span(
+        |e| {
+            healthy.write(e).unwrap();
+        },
+        0,
+    );
+    write_span(
+        |e| {
+            sick.write(e).unwrap();
+        },
+        0,
+    );
+
+    let mut reg = SessionRegistry::new(LiveConfig::default());
+    reg.attach(Box::new(file_source(&healthy, 2)), sym())
+        .unwrap();
+    reg.attach(Box::new(file_source(&sick, 2)), sym()).unwrap();
+    reg.pump();
+    assert_eq!(reg.pids(), vec![5, 6], "both alive after a healthy span");
+
+    sick.corrupt_header().unwrap();
+    write_span(
+        |e| {
+            healthy.write(e).unwrap();
+        },
+        1000,
+    );
+    reg.pump();
+    assert_eq!(reg.pids(), vec![5], "pid 6 quarantined");
+    assert_eq!(reg.retired_pids(), vec![6]);
+    assert!(reg
+        .session_events()
+        .iter()
+        .any(|e| matches!(e, SessionEvent::Quarantined { pid: 6, .. })));
+
+    healthy.finish().unwrap();
+    let run = reg.finish();
+    assert_eq!(run.per_pid[&5].profile.total_ticks, 200);
+    assert_eq!(run.per_pid[&6].profile.total_ticks, 100);
+    let ticks_sum: u64 = run.per_pid.values().map(|s| s.profile.total_ticks).sum();
+    assert_eq!(run.merged.profile.total_ticks, ticks_sum);
+    assert!(run.merged.to_text().contains("quarantined pid 6"));
+}
+
 proptest::proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 

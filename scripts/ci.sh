@@ -70,6 +70,54 @@ run cargo run -q --offline -p teeperf-check --bin teeperf-lint -- .
 run cargo build -q --release --offline -p teeperf-check --bin teeperf-check
 tmo 120 cargo run -q --release --offline -p teeperf-check --bin teeperf-check -- --smoke
 
+# Daemon smoke (ISSUE 7): start a real teeperfd over a scratch registration
+# directory, run a scripted writer process through the file-backed shared
+# log, then curl /healthz and /snapshot off the live HTTP listener and
+# assert the merged totals are non-empty. Shutdown is the stdin-EOF
+# contract: the daemon's stdin pipe is closed and it must exit 0 on its
+# own. The whole stage runs under a hard KILL timeout so a wedged loop
+# fails the gate instead of hanging CI.
+daemon_smoke() {
+  local dir out pid addr snap
+  dir="$(mktemp -d)"
+  out="$dir/out.log"
+  run cargo build -q --offline -p teeperf-daemon
+  # The daemon's stdin is a fifo we hold open on FD 3; closing FD 3 is the
+  # shutdown signal (the stdin-EOF contract, DESIGN.md §12).
+  mkfifo "$dir/stdin"
+  target/debug/teeperfd --dir "$dir/reg" --listen 127.0.0.1:0 --pump-ms 5 \
+    --scan-every 1 < "$dir/stdin" > "$out" &
+  pid=$!
+  exec 3> "$dir/stdin" # holds the fifo open for the daemon's lifetime
+  for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^teeperfd listening on //p' "$out" | head -1)"
+    [ -n "$addr" ] && break
+    sleep 0.1
+  done
+  [ -n "$addr" ] || { echo "daemon-smoke: no listen banner"; return 1; }
+  run target/debug/teeperf-shm-writer --dir "$dir/reg" --iterations 7
+  [ "$(curl -sf "http://$addr/healthz")" = "ok" ] \
+    || { echo "daemon-smoke: /healthz failed"; return 1; }
+  for _ in $(seq 1 100); do
+    snap="$(curl -sf "http://$addr/snapshot" || true)"
+    echo "$snap" | grep -q "^events 30$" && break
+    sleep 0.1
+  done
+  echo "$snap" | grep -q "^events 30$" \
+    || { echo "daemon-smoke: merged events never reached 30"; echo "$snap"; return 1; }
+  echo "$snap" | grep -q "^total_ticks 85$" \
+    || { echo "daemon-smoke: wrong merged totals"; echo "$snap"; return 1; }
+  echo "$snap" | grep -q "^work 7 70 42$" \
+    || { echo "daemon-smoke: method table missing"; echo "$snap"; return 1; }
+  exec 3>&- # stdin EOF: the graceful-shutdown trigger
+  wait "$pid" || { echo "daemon-smoke: daemon did not exit 0"; return 1; }
+  grep -q "teeperfd: shut down" "$out" \
+    || { echo "daemon-smoke: no closing report"; cat "$out"; return 1; }
+  rm -rf "$dir"
+  echo "==> daemon-smoke ok"
+}
+tmo 120 bash -c "$(declare -f daemon_smoke run); daemon_smoke"
+
 # Analyzer-throughput smoke: small log, shards {1,2}; asserts the JSON
 # artifact is written and the model speedup at 2 shards is >= 1.0. Results
 # go to a scratch dir so the checked-in full-scale JSON stays untouched.
