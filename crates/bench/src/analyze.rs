@@ -99,6 +99,12 @@ impl AnalyzeBenchOptions {
 pub struct ShardTiming {
     /// Worker shard count.
     pub shards: usize,
+    /// OS worker threads the build actually spawned: `shards` clamped to
+    /// the host's available parallelism (see
+    /// `teeperf_analyzer::profile::shard_workers`). When this is 1 the
+    /// "sharded" build ran sequentially and `speedup_wall` should read as
+    /// overhead-of-sharding, not parallel speedup.
+    pub workers: usize,
     /// Real `build_with_shards` wall time, milliseconds.
     pub wall_ms: f64,
     /// Critical-path model time, milliseconds.
@@ -296,6 +302,7 @@ fn bench_workload(
         if shards <= 1 {
             timings.push(ShardTiming {
                 shards: 1,
+                workers: 1,
                 wall_ms: ms(wall_seq),
                 model_ms: ms(model_seq),
                 speedup: 1.0,
@@ -335,6 +342,7 @@ fn bench_workload(
 
         timings.push(ShardTiming {
             shards,
+            workers: profile::shard_workers(shards),
             wall_ms: ms(wall),
             model_ms: ms(model),
             speedup: ratio(model_seq.as_secs_f64(), model.as_secs_f64()),
@@ -440,6 +448,20 @@ impl AnalyzeBenchResult {
         let _ = writeln!(s, "{{");
         let _ = writeln!(s, "  \"bench\": \"analyze_throughput\",");
         let _ = writeln!(s, "  \"host_cores\": {},", self.host_cores);
+        let clamped = self
+            .workloads
+            .iter()
+            .any(|w| w.timings.iter().any(|t| t.workers < t.shards));
+        if clamped {
+            let _ = writeln!(
+                s,
+                "  \"note\": \"worker threads clamped to {} host core{}; clamped rows run \
+                 (partially) sequentially and their speedup_wall measures sharding overhead, \
+                 not parallelism\",",
+                self.host_cores,
+                if self.host_cores == 1 { "" } else { "s" }
+            );
+        }
         let _ = writeln!(s, "  \"workloads\": [");
         for (wi, w) in self.workloads.iter().enumerate() {
             let _ = writeln!(s, "    {{");
@@ -454,9 +476,16 @@ impl AnalyzeBenchResult {
             for (ti, t) in w.timings.iter().enumerate() {
                 let _ = write!(
                     s,
-                    "        {{\"shards\": {}, \"wall_ms\": {:.3}, \"model_ms\": {:.3}, \
-                     \"speedup\": {:.3}, \"speedup_wall\": {:.3}, \"identical\": {}}}",
-                    t.shards, t.wall_ms, t.model_ms, t.speedup, t.speedup_wall, t.identical
+                    "        {{\"shards\": {}, \"workers\": {}, \"wall_ms\": {:.3}, \
+                     \"model_ms\": {:.3}, \"speedup\": {:.3}, \"speedup_wall\": {:.3}, \
+                     \"identical\": {}}}",
+                    t.shards,
+                    t.workers,
+                    t.wall_ms,
+                    t.model_ms,
+                    t.speedup,
+                    t.speedup_wall,
+                    t.identical
                 );
                 let _ = writeln!(s, "{}", if ti + 1 < w.timings.len() { "," } else { "" });
             }

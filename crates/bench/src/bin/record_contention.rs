@@ -1,0 +1,54 @@
+//! Recorder hot-path contention benchmark (see [`bench::contention`]).
+//!
+//! Sweeps writer threads × batch size × transition mode, checks the runs
+//! are exact (zero drops, drains byte-identical to the unbatched classic
+//! run), and writes `results/BENCH_record_contention.json`.
+//!
+//! Usage: `record_contention [--smoke]` — `--smoke` runs the tiny CI grid.
+
+use std::process::ExitCode;
+
+use bench::contention::{run_contention_bench, ContentionOptions};
+use bench::util::write_artifact;
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let options = if smoke {
+        ContentionOptions::smoke()
+    } else {
+        ContentionOptions::default()
+    };
+    println!(
+        "record_contention: writers {:?} x batch {:?}{}",
+        options.writers,
+        options.batch_slots,
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let result = run_contention_bench(&options);
+    println!("\n{}", result.render());
+
+    let path = write_artifact("BENCH_record_contention.json", &result.to_json());
+    println!("wrote {}", path.display());
+
+    if let Err(violation) = result.check() {
+        eprintln!("FAIL: {violation}");
+        return ExitCode::FAILURE;
+    }
+    for &writers in &options.writers {
+        for &batch in options.batch_slots.iter().filter(|&&b| b > 1) {
+            if let Some(speedup) = result.batched_speedup(writers, batch) {
+                println!("speedup writers={writers} batch={batch}: {speedup:.2}x");
+            }
+        }
+    }
+    if result.host_cores < 4 {
+        println!(
+            "note: {} host core(s) — wall speedup targets need a multicore host; \
+             see the note field in the JSON",
+            result.host_cores
+        );
+    }
+    println!("OK: zero drops, all drains identical to the unbatched classic run");
+    ExitCode::SUCCESS
+}

@@ -12,6 +12,7 @@
 //! | [`ablations`] | sampling bias, counter sources, selective profiling, EPC paging | `ablation_*` |
 //! | [`live`] | continuous-monitoring overhead of `teeperf-live` | `live_overhead` |
 //! | [`analyze`] | stage-3 analyzer throughput and shard speedup | `analyze_throughput` |
+//! | [`contention`] | recorder hot path: batched reservation × switchless transitions | `record_contention` |
 //!
 //! Everything is deterministic; "10 runs" vary the workload seed, exactly
 //! like re-running a benchmark binary on fresh inputs.
@@ -20,6 +21,7 @@
 
 pub mod ablations;
 pub mod analyze;
+pub mod contention;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;

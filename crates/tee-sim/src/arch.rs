@@ -75,6 +75,50 @@ impl fmt::Display for TeeKind {
     }
 }
 
+/// How enclave boundary calls (ecall/ocall) are serviced.
+///
+/// ```
+/// use tee_sim::TransitionMode;
+/// assert_eq!(TransitionMode::parse("switchless"), Some(TransitionMode::Switchless));
+/// assert_eq!(TransitionMode::default(), TransitionMode::Classic);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum TransitionMode {
+    /// A real world switch per call: EENTER/EEXIT microcode plus a TLB
+    /// flush on every crossing.
+    #[default]
+    Classic,
+    /// Calls are posted to a worker-thread mailbox on the other side of
+    /// the boundary (see [`crate::switchless`]): no world switch, no TLB
+    /// flush, [`CostModel::switchless_cycles`] per call instead of the
+    /// transition pair.
+    Switchless,
+}
+
+impl TransitionMode {
+    /// Both modes, classic first.
+    pub const ALL: [TransitionMode; 2] = [TransitionMode::Classic, TransitionMode::Switchless];
+
+    /// Short lowercase name used in reports and CLI arguments.
+    pub fn name(self) -> &'static str {
+        match self {
+            TransitionMode::Classic => "classic",
+            TransitionMode::Switchless => "switchless",
+        }
+    }
+
+    /// Parse a mode from its [`name`](TransitionMode::name).
+    pub fn parse(s: &str) -> Option<TransitionMode> {
+        TransitionMode::ALL.iter().copied().find(|m| m.name() == s)
+    }
+}
+
+impl fmt::Display for TransitionMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Cycle cost table for one simulated TEE architecture.
 ///
 /// All fields are in CPU cycles unless stated otherwise. The defaults are
@@ -125,6 +169,15 @@ pub struct CostModel {
     pub syscall_cycles: u64,
     /// Cost of reading the timestamp counter natively (`rdtsc`).
     pub rdtsc_cycles: u64,
+    /// How boundary calls are serviced; [`TransitionMode::Switchless`]
+    /// replaces each ecall/ocall's world switch with a mailbox round trip.
+    pub transition_mode: TransitionMode,
+    /// Cost of one switchless boundary call: writing the request into the
+    /// shared mailbox, waking the (spinning) worker, and reading the result
+    /// back. Calibrated to the HotCalls/switchless-SDK literature, roughly
+    /// an order of magnitude under the classic transition pair. Only
+    /// charged when `transition_mode` is [`TransitionMode::Switchless`].
+    pub switchless_cycles: u64,
 }
 
 impl CostModel {
@@ -162,6 +215,8 @@ impl CostModel {
             tlb_entries: 0,
             syscall_cycles: 150,
             rdtsc_cycles: 30,
+            transition_mode: TransitionMode::Classic,
+            switchless_cycles: 2,
         }
     }
 
@@ -189,6 +244,8 @@ impl CostModel {
             tlb_entries: 64,
             syscall_cycles: 150,
             rdtsc_cycles: 30, // paid on the host after the mandatory ocall
+            transition_mode: TransitionMode::Classic,
+            switchless_cycles: 1_300,
         }
     }
 
@@ -199,6 +256,7 @@ impl CostModel {
             ecall_cycles: 8_000,
             ocall_cycles: 9_500,
             aex_cycles: 11_000,
+            switchless_cycles: 1_100,
             kind: TeeKind::SgxV2,
             ..CostModel::sgx_v1()
         }
@@ -225,6 +283,8 @@ impl CostModel {
             tlb_entries: 48,
             syscall_cycles: 180,
             rdtsc_cycles: 40,
+            transition_mode: TransitionMode::Classic,
+            switchless_cycles: 600,
         }
     }
 
@@ -249,6 +309,8 @@ impl CostModel {
             tlb_entries: 64,
             syscall_cycles: 160,
             rdtsc_cycles: 35,
+            transition_mode: TransitionMode::Classic,
+            switchless_cycles: 900,
         }
     }
 
@@ -273,6 +335,8 @@ impl CostModel {
             tlb_entries: 32,
             syscall_cycles: 200,
             rdtsc_cycles: 45,
+            transition_mode: TransitionMode::Classic,
+            switchless_cycles: 800,
         }
     }
 
@@ -281,6 +345,18 @@ impl CostModel {
     pub fn with_epc_pages(mut self, pages: u64) -> CostModel {
         self.epc_pages = pages;
         self
+    }
+
+    /// Returns a copy with boundary calls serviced in the given mode — the
+    /// architecture-profile knob the recorder is benchmarked under.
+    pub fn with_transition_mode(mut self, mode: TransitionMode) -> CostModel {
+        self.transition_mode = mode;
+        self
+    }
+
+    /// Whether boundary calls go through the switchless mailbox.
+    pub fn is_switchless(&self) -> bool {
+        self.transition_mode == TransitionMode::Switchless
     }
 
     /// Whether this architecture pays memory-encryption costs at all.
@@ -365,5 +441,42 @@ mod tests {
     #[test]
     fn display_matches_name() {
         assert_eq!(TeeKind::SgxV1.to_string(), "sgx-v1");
+    }
+
+    #[test]
+    fn transition_mode_names_round_trip() {
+        for mode in TransitionMode::ALL {
+            assert_eq!(TransitionMode::parse(mode.name()), Some(mode));
+        }
+        assert_eq!(TransitionMode::parse("hotcalls"), None);
+        assert_eq!(TransitionMode::Switchless.to_string(), "switchless");
+    }
+
+    #[test]
+    fn every_architecture_defaults_to_classic_transitions() {
+        for kind in TeeKind::ALL {
+            let m = CostModel::for_kind(kind);
+            assert_eq!(m.transition_mode, TransitionMode::Classic);
+            assert!(!m.is_switchless());
+            assert!(
+                m.switchless_cycles < m.ecall_cycles.max(3),
+                "{kind}: a switchless call must undercut the world switch"
+            );
+        }
+    }
+
+    #[test]
+    fn with_transition_mode_overrides_only_the_mode() {
+        let classic = CostModel::sgx_v1();
+        let switchless = CostModel::sgx_v1().with_transition_mode(TransitionMode::Switchless);
+        assert!(switchless.is_switchless());
+        assert_eq!(switchless.ecall_cycles, classic.ecall_cycles);
+        assert_eq!(
+            CostModel {
+                transition_mode: TransitionMode::Classic,
+                ..switchless
+            },
+            classic
+        );
     }
 }

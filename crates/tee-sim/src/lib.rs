@@ -10,7 +10,9 @@
 //! * a bounded **enclave page cache** (EPC) with secure paging, whose misses
 //!   cost orders of magnitude more than ordinary memory accesses,
 //! * **world switches** (ecall / ocall / asynchronous exits) that flush the
-//!   TLB and cost thousands of cycles,
+//!   TLB and cost thousands of cycles — plus a **switchless** transition
+//!   mode ([`TransitionMode`], [`switchless`]) that services boundary calls
+//!   through a worker-thread mailbox instead of a switch,
 //! * a **shared untrusted memory** region visible to both the enclave and
 //!   host processes — the channel TEE-Perf's recorder relies on,
 //! * an **ocall-mediated syscall layer**, because direct syscalls are
@@ -45,10 +47,11 @@ pub mod memmodel;
 pub mod memory;
 pub mod shm;
 pub mod stats;
+pub mod switchless;
 pub mod syscall;
 pub mod world;
 
-pub use arch::{CostModel, TeeKind};
+pub use arch::{CostModel, TeeKind, TransitionMode};
 pub use clock::Clock;
 pub use error::SimError;
 pub use machine::Machine;
@@ -56,6 +59,7 @@ pub use memmodel::{AccessKind, MemAccess, MemModel};
 pub use memory::{MemoryModel, Region};
 pub use shm::SharedMem;
 pub use stats::MachineStats;
+pub use switchless::Mailbox;
 pub use syscall::{SyscallTable, Syscalls};
 pub use world::WorldState;
 

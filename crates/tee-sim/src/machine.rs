@@ -3,11 +3,12 @@
 
 use std::sync::Arc;
 
-use crate::arch::CostModel;
+use crate::arch::{CostModel, TransitionMode};
 use crate::clock::Clock;
 use crate::memory::{AccessKind, MemoryModel};
 use crate::shm::SharedMem;
 use crate::stats::MachineStats;
+use crate::switchless::Mailbox;
 use crate::syscall::{SyscallTable, Syscalls};
 use crate::world::{World, WorldState};
 
@@ -34,6 +35,7 @@ pub struct Machine {
     world: WorldState,
     syscalls: SyscallTable,
     stats: MachineStats,
+    mailbox: Mailbox,
     shm: Option<Arc<SharedMem>>,
     pid: u64,
 }
@@ -48,6 +50,7 @@ impl Machine {
             world: WorldState::new(),
             syscalls,
             stats: MachineStats::default(),
+            mailbox: Mailbox::default(),
             shm: None,
             // World setup stamps the real host process id so the simulated
             // `getpid` (and any log header derived from it) carries a real,
@@ -119,8 +122,19 @@ impl Machine {
         self.clock.advance(cycles);
     }
 
-    /// Enter the enclave (EENTER): charges the transition and flushes the TLB.
+    /// Enter the enclave (EENTER): charges the transition and flushes the
+    /// TLB. Under [`TransitionMode::Switchless`] the call is instead posted
+    /// to the in-enclave worker's mailbox — the logical world still changes
+    /// (subsequent code runs with enclave semantics) but no switch is paid
+    /// and the TLB survives.
     pub fn ecall(&mut self) {
+        if self.cost.transition_mode == TransitionMode::Switchless {
+            self.clock.advance(self.cost.switchless_cycles);
+            self.mailbox.call_sync();
+            self.world.enter();
+            self.stats.switchless_calls += 1;
+            return;
+        }
         self.clock.advance(self.cost.ecall_cycles);
         self.memory.flush_tlb();
         self.world.enter();
@@ -128,7 +142,9 @@ impl Machine {
     }
 
     /// Leave the enclave permanently (EEXIT without re-entry); charges half
-    /// an ocall since there is no resume.
+    /// an ocall since there is no resume. Always a real switch: tearing the
+    /// enclave down retires its worker threads, so there is no switchless
+    /// shortcut for the final exit.
     pub fn eexit(&mut self) {
         self.clock.advance(self.cost.ocall_cycles / 2);
         self.memory.flush_tlb();
@@ -138,11 +154,24 @@ impl Machine {
     /// A complete synchronous ocall round trip: exit, (caller then performs
     /// host work), re-enter. Charges the transition pair and flushes the TLB
     /// twice. Execution stays logically inside the enclave afterwards.
+    /// Under [`TransitionMode::Switchless`] the request goes to the host
+    /// worker's mailbox instead: no exit, no flush, one mailbox round trip.
     pub fn ocall(&mut self) {
         debug_assert!(self.world.in_enclave(), "ocall from host world");
+        if self.cost.transition_mode == TransitionMode::Switchless {
+            self.clock.advance(self.cost.switchless_cycles);
+            self.mailbox.call_sync();
+            self.stats.switchless_calls += 1;
+            return;
+        }
         self.clock.advance(self.cost.ocall_cycles);
         self.memory.flush_tlb();
         self.stats.ocalls += 1;
+    }
+
+    /// The switchless-call mailbox counters (all zero in classic mode).
+    pub fn mailbox(&self) -> &Mailbox {
+        &self.mailbox
     }
 
     /// An asynchronous enclave exit and resume (AEX), as inflicted by an
@@ -351,6 +380,71 @@ mod edge_tests {
             "native transitions ~free, got {}",
             m.clock().now()
         );
+    }
+
+    #[test]
+    fn switchless_calls_are_cheaper_and_skip_the_world_switch_stats() {
+        let mut classic = Machine::new(CostModel::sgx_v1());
+        classic.ecall();
+        let t0 = classic.clock().now();
+        for _ in 0..10 {
+            classic.ocall();
+        }
+        let classic_cycles = classic.clock().now() - t0;
+
+        let mut swless = Machine::new(
+            CostModel::sgx_v1().with_transition_mode(crate::TransitionMode::Switchless),
+        );
+        swless.ecall();
+        assert!(swless.in_enclave(), "world state must still track entry");
+        let t0 = swless.clock().now();
+        for _ in 0..10 {
+            swless.ocall();
+        }
+        let swless_cycles = swless.clock().now() - t0;
+
+        assert!(
+            swless_cycles * 5 < classic_cycles,
+            "switchless ({swless_cycles}) must be well under classic ({classic_cycles})"
+        );
+        assert_eq!(swless.stats().ocalls, 0, "no world switch happened");
+        assert_eq!(swless.stats().switchless_calls, 11); // ecall + 10 ocalls
+        assert_eq!(swless.stats().world_switches(), 0);
+        assert_eq!(swless.mailbox().serviced(), 11);
+        assert_eq!(swless.mailbox().in_flight(), 0);
+    }
+
+    #[test]
+    fn switchless_ocall_preserves_the_tlb() {
+        let mut m = Machine::new(
+            CostModel::sgx_v1().with_transition_mode(crate::TransitionMode::Switchless),
+        );
+        m.ecall();
+        m.read(crate::ENCLAVE_HEAP_BASE, 8);
+        let misses = m.stats().tlb_misses;
+        m.ocall();
+        m.read(crate::ENCLAVE_HEAP_BASE, 8);
+        assert_eq!(
+            m.stats().tlb_misses,
+            misses,
+            "the measurement call must not perturb the TLB"
+        );
+        // The final teardown is still a real switch and does flush.
+        m.eexit();
+        assert!(!m.in_enclave());
+    }
+
+    #[test]
+    fn switchless_syscall_still_pays_service_time() {
+        let mut m = Machine::new(
+            CostModel::sgx_v1().with_transition_mode(crate::TransitionMode::Switchless),
+        );
+        m.ecall();
+        let t0 = m.clock().now();
+        m.syscall(Syscalls::Getpid);
+        let cycles = m.clock().now() - t0;
+        assert_eq!(cycles, m.cost().switchless_cycles + m.cost().syscall_cycles);
+        assert_eq!(m.stats().syscalls, 1);
     }
 
     #[test]

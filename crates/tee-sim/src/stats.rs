@@ -32,10 +32,14 @@ pub struct MachineStats {
     pub bytes_written: u64,
     /// Syscalls dispatched through the ocall layer.
     pub syscalls: u64,
+    /// Boundary calls serviced through the switchless mailbox instead of a
+    /// world switch (not counted in `ecalls`/`ocalls`: no switch happened).
+    pub switchless_calls: u64,
 }
 
 impl MachineStats {
-    /// Total number of world switches of any flavor.
+    /// Total number of world switches of any flavor. Switchless calls are
+    /// excluded — avoiding the switch is their whole point.
     pub fn world_switches(&self) -> u64 {
         self.ecalls + self.ocalls + self.aexes
     }
@@ -46,6 +50,7 @@ impl fmt::Display for MachineStats {
         writeln!(f, "ecalls:        {:>12}", self.ecalls)?;
         writeln!(f, "ocalls:        {:>12}", self.ocalls)?;
         writeln!(f, "aexes:         {:>12}", self.aexes)?;
+        writeln!(f, "switchless:    {:>12}", self.switchless_calls)?;
         writeln!(f, "syscalls:      {:>12}", self.syscalls)?;
         writeln!(f, "mee lines:     {:>12}", self.mee_lines)?;
         writeln!(f, "cache misses:  {:>12}", self.cache_misses)?;

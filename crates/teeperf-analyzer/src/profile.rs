@@ -477,25 +477,57 @@ pub fn build_entries(
     } else {
         let loads: Vec<usize> = threads.iter().map(|(_, events)| events.len()).collect();
         let partition = partition_by_load(&loads, shards);
-        let results: Vec<ShardOutput> = std::thread::scope(|scope| {
-            let handles: Vec<_> = partition
+        let bucket_views = |bucket: &[usize]| -> Vec<(u64, &[Event])> {
+            bucket
                 .iter()
-                .map(|bucket| {
-                    let threads = &threads;
-                    scope.spawn(move || {
-                        let views: Vec<(u64, &[Event])> = bucket
-                            .iter()
-                            .map(|i| (threads[*i].0, threads[*i].1.as_slice()))
-                            .collect();
-                        analyze_shard(&views)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("analyzer shard panicked"))
+                .map(|i| (threads[*i].0, threads[*i].1.as_slice()))
                 .collect()
-        });
+        };
+        // The shard count is a *partitioning* knob (it fixes which threads
+        // aggregate together, hence the output); the OS-thread count is a
+        // resource knob. Capping workers at the host's parallelism keeps
+        // an over-sharded build from paying spawn/switch overhead with no
+        // cores to run on — on a one-core host the build stays fully
+        // sequential while still merging in bucket order, so the result is
+        // byte-identical whatever the worker count.
+        let workers = shard_workers(shards);
+        let results: Vec<ShardOutput> = if workers <= 1 {
+            partition
+                .iter()
+                .map(|bucket| analyze_shard(&bucket_views(bucket)))
+                .collect()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let partition = &partition;
+                        let bucket_views = &bucket_views;
+                        scope.spawn(move || {
+                            partition
+                                .iter()
+                                .enumerate()
+                                .skip(w)
+                                .step_by(workers)
+                                .map(|(index, bucket)| {
+                                    (index, analyze_shard(&bucket_views(bucket)))
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                let mut ordered: Vec<Option<ShardOutput>> = Vec::new();
+                ordered.resize_with(partition.len(), || None);
+                for handle in handles {
+                    for (index, output) in handle.join().expect("analyzer shard panicked") {
+                        ordered[index] = Some(output);
+                    }
+                }
+                ordered
+                    .into_iter()
+                    .map(|output| output.expect("every bucket is analyzed exactly once"))
+                    .collect()
+            })
+        };
         let mut agg = Aggregates::new();
         let mut calls = Vec::with_capacity(threads.len());
         for (shard_agg, shard_calls) in results {
@@ -514,6 +546,16 @@ pub fn build_entries(
     let mut profile = agg.materialize(symbolizer, per_thread_calls, anomalies);
     profile.pids = BTreeSet::from([pid]);
     profile
+}
+
+/// Number of OS worker threads a `shards`-way build actually spawns: the
+/// shard count clamped to the host's available parallelism (1 if that
+/// cannot be determined). Benchmarks record this next to their shard
+/// grids so a one-core CI host's numbers are read for what they are.
+pub fn shard_workers(shards: usize) -> usize {
+    std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .min(shards.max(1))
 }
 
 /// Key for a thread of process `pid` in a cross-process merged profile:

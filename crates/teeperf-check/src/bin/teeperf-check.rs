@@ -35,7 +35,8 @@ const PCT_DEPTH: usize = 3;
 fn usage() -> ! {
     eprintln!(
         "usage: teeperf-check --smoke\n\
-         \x20      teeperf-check --mutation <none|stale-slot-resurrection|drop-double-count>\n\
+         \x20      teeperf-check --mutation <none|stale-slot-resurrection|drop-double-count\n\
+         \x20                    |abandoned-as-dropped>\n\
          \x20                    [--pct N] [--seed S] [--record <file>]\n\
          \x20      teeperf-check --pct N [--seed S]\n\
          \x20      teeperf-check --replay <trace-file>"
@@ -54,6 +55,7 @@ fn small_config(mutation: MutationKind) -> Config {
         capacity: 1,
         mid_rotations: 1,
         observer_reads: 0,
+        batch_slots: 1,
         mutation,
     }
 }
@@ -76,7 +78,42 @@ fn sweep_config(mutation: MutationKind) -> Config {
         capacity: 2,
         mid_rotations: 2,
         observer_reads: 3,
+        batch_slots: 1,
         mutation,
+    }
+}
+
+/// Small batched config whose bounded space is still enumerable: two
+/// writers claiming runs of two slots over a three-slot log, so one run
+/// always straddles the capacity edge and hands back its over-capacity
+/// remainder. The abandoned-slot accounting bugs are reachable here.
+fn batched_config(mutation: MutationKind) -> Config {
+    Config {
+        writers: 2,
+        entries_per_writer: 2,
+        capacity: 3,
+        mid_rotations: 1,
+        observer_reads: 0,
+        batch_slots: 2,
+        mutation,
+    }
+}
+
+/// [`sweep_config`] with batched reservation, for PCT over the
+/// reserve-run/publish/abandon interleavings of the batched protocol.
+fn batched_sweep_config(mutation: MutationKind) -> Config {
+    Config {
+        batch_slots: 2,
+        ..sweep_config(mutation)
+    }
+}
+
+/// The PCT sweep config that can expose `mutation`: the abandoned-slot
+/// mutation needs hand-backs, which only batched reservation produces.
+fn sweep_for(mutation: MutationKind) -> Config {
+    match mutation {
+        MutationKind::AbandonedAsDropped => batched_sweep_config(mutation),
+        _ => sweep_config(mutation),
     }
 }
 
@@ -105,6 +142,8 @@ fn hunt(mutation: MutationKind, pct_schedules: usize, base_seed: u64) -> CheckRe
     let dfs_config = match mutation {
         // Transient over-counts are only visible to the observer role.
         MutationKind::DroppedDoubleCount => observer_config(mutation),
+        // Mis-charged hand-backs need batched reservation to exist at all.
+        MutationKind::AbandonedAsDropped => batched_config(mutation),
         _ => small_config(mutation),
     };
     let dfs = explore::check_exhaustive(&dfs_config, DFS_PREEMPTION_BOUND, DFS_EXECUTION_CAP);
@@ -116,7 +155,7 @@ fn hunt(mutation: MutationKind, pct_schedules: usize, base_seed: u64) -> CheckRe
         }
     }
     println!("{}", dfs.summary());
-    explore::check_pct(&sweep_config(mutation), PCT_DEPTH, base_seed, pct_schedules)
+    explore::check_pct(&sweep_for(mutation), PCT_DEPTH, base_seed, pct_schedules)
 }
 
 fn smoke() -> bool {
@@ -144,13 +183,31 @@ fn smoke() -> bool {
         eprintln!("FAIL: smoke observer DFS did not exhaust its bounded space");
         ok = false;
     }
-    // 2. Clean protocol, 200 seeded PCT schedules of the larger config.
+    // 1c. Clean batched protocol, exhaustively: every schedule of the
+    //     reserve-run/publish/abandon state machine with <= 2 preemptions
+    //     upholds exactly-once drain and abandoned-slot accounting.
+    let clean_batched = explore::check_exhaustive(
+        &batched_config(MutationKind::None),
+        DFS_PREEMPTION_BOUND,
+        DFS_EXECUTION_CAP,
+    );
+    ok &= expect(&clean_batched, false);
+    if !clean_batched.exhausted {
+        eprintln!("FAIL: smoke batched DFS did not exhaust its bounded space");
+        ok = false;
+    }
+    // 2. Clean protocol, 200 seeded PCT schedules of the larger config,
+    //    classic and batched.
     let clean_pct = explore::check_pct(&sweep_config(MutationKind::None), PCT_DEPTH, 1, 200);
     ok &= expect(&clean_pct, false);
+    let clean_batched_pct =
+        explore::check_pct(&batched_sweep_config(MutationKind::None), PCT_DEPTH, 1, 200);
+    ok &= expect(&clean_batched_pct, false);
     // 3. Each historical bug class, re-introduced, is caught.
     for mutation in [
         MutationKind::StaleSlotResurrection,
         MutationKind::DroppedDoubleCount,
+        MutationKind::AbandonedAsDropped,
     ] {
         let found = hunt(mutation, 200, 1);
         ok &= expect(&found, true);
@@ -266,7 +323,7 @@ fn main() {
         let report = if record_path.is_some() {
             // A recorded trace replays a single PCT seed, so the hunt must
             // come from the PCT phase; skip the DFS one.
-            explore::check_pct(&sweep_config(mutation), PCT_DEPTH, seed, pct.unwrap_or(200))
+            explore::check_pct(&sweep_for(mutation), PCT_DEPTH, seed, pct.unwrap_or(200))
         } else {
             hunt(mutation, pct.unwrap_or(200), seed)
         };

@@ -317,6 +317,7 @@ pub fn format_trace(cfg: &Config, depth: usize, seed: u64, report: &CheckReport)
          capacity = {}\n\
          mid_rotations = {}\n\
          observer_reads = {}\n\
+         batch_slots = {}\n\
          pct_depth = {depth}\n\
          seed = {seed}\n\
          expect = {expect}\n",
@@ -326,6 +327,7 @@ pub fn format_trace(cfg: &Config, depth: usize, seed: u64, report: &CheckReport)
         cfg.capacity,
         cfg.mid_rotations,
         cfg.observer_reads,
+        cfg.batch_slots,
     )
 }
 
@@ -361,6 +363,8 @@ pub fn parse_trace(text: &str) -> Result<(Config, usize, u64, String), String> {
             "capacity" => cfg.capacity = num()?,
             "mid_rotations" => cfg.mid_rotations = num()?,
             "observer_reads" => cfg.observer_reads = num()?,
+            // Absent in pre-batching traces: defaults to 1 (classic path).
+            "batch_slots" => cfg.batch_slots = num()?.max(1),
             "pct_depth" => depth = Some(num()? as usize),
             "seed" => seed = Some(num()?),
             "expect" => expect = Some(value.to_string()),
@@ -388,6 +392,7 @@ mod tests {
             capacity: 2,
             mid_rotations: 2,
             observer_reads: 4,
+            batch_slots: 2,
             mutation: MutationKind::DroppedDoubleCount,
         };
         let report = CheckReport {

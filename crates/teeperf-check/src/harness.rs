@@ -55,6 +55,10 @@ pub enum MutationKind {
     /// PR-1-review / PR-5 class: rotation counts the closing epoch's drops
     /// into the cumulative word before resetting the tail.
     DroppedDoubleCount,
+    /// Batched-reservation class: rotation charges over-capacity batch
+    /// hand-backs as drops while also counting them as abandoned, so each
+    /// hand-back is accounted twice.
+    AbandonedAsDropped,
 }
 
 impl MutationKind {
@@ -63,6 +67,7 @@ impl MutationKind {
             MutationKind::None => Mutation::None,
             MutationKind::StaleSlotResurrection => Mutation::SkipSlotClear,
             MutationKind::DroppedDoubleCount => Mutation::CountDropsBeforeTailReset,
+            MutationKind::AbandonedAsDropped => Mutation::CountAbandonedAsDropped,
         }
     }
 
@@ -72,6 +77,7 @@ impl MutationKind {
             MutationKind::None => "none",
             MutationKind::StaleSlotResurrection => "stale-slot-resurrection",
             MutationKind::DroppedDoubleCount => "drop-double-count",
+            MutationKind::AbandonedAsDropped => "abandoned-as-dropped",
         }
     }
 
@@ -81,6 +87,7 @@ impl MutationKind {
             "none" => Some(MutationKind::None),
             "stale-slot-resurrection" => Some(MutationKind::StaleSlotResurrection),
             "drop-double-count" => Some(MutationKind::DroppedDoubleCount),
+            "abandoned-as-dropped" => Some(MutationKind::AbandonedAsDropped),
             _ => None,
         }
     }
@@ -101,6 +108,10 @@ pub struct Config {
     /// Concurrent `dropped_total()` reads by the observer role (0 = no
     /// observer thread).
     pub observer_reads: u64,
+    /// Slots each writer claims per tail reservation: `1` appends via
+    /// `write_live`, `> 1` via a per-writer `BatchWriter` — exercising the
+    /// reserve-run / publish / abandon interleavings.
+    pub batch_slots: u64,
     /// Armed protocol mutation.
     pub mutation: MutationKind,
 }
@@ -114,12 +125,13 @@ impl Config {
     /// One-line human summary.
     pub fn summary(&self) -> String {
         format!(
-            "{}w x {}e cap={} rot={} obs={} mut={}",
+            "{}w x {}e cap={} rot={} obs={} batch={} mut={}",
             self.writers,
             self.entries_per_writer,
             self.capacity,
             self.mid_rotations,
             self.observer_reads,
+            self.batch_slots,
             self.mutation.name()
         )
     }
@@ -133,6 +145,7 @@ impl Default for Config {
             capacity: 1,
             mid_rotations: 1,
             observer_reads: 0,
+            batch_slots: 1,
             mutation: MutationKind::None,
         }
     }
@@ -150,6 +163,10 @@ pub enum ViolationKind {
     InvalidEntry,
     /// Final `dropped_total()` disagrees with attempts − successes.
     DropAccounting,
+    /// Final `abandoned_total()` disagrees with the batch writers' ground
+    /// truth (remainders + hand-backs + rotation-discarded runs): an
+    /// abandoned slot was counted twice or not at all.
+    AbandonAccounting,
     /// A concurrent `dropped_total()` read exceeded the over-count bound
     /// (the drop double-counting bug manifests here).
     ObserverOverCount,
@@ -167,6 +184,7 @@ impl ViolationKind {
             ViolationKind::LostEntry => "lost-entry",
             ViolationKind::InvalidEntry => "invalid-entry",
             ViolationKind::DropAccounting => "drop-accounting",
+            ViolationKind::AbandonAccounting => "abandon-accounting",
             ViolationKind::ObserverOverCount => "observer-over-count",
             ViolationKind::Livelock => "livelock",
             ViolationKind::Panic => "panic",
@@ -209,6 +227,10 @@ struct Truth {
     written: Vec<u64>,
     completed_drops: u64,
     writers_done: usize,
+    /// Slots batch writers abandoned: exit remainders + over-capacity
+    /// hand-backs + runs discarded under rotation. Every one must surface
+    /// exactly once in `abandoned_total()` after the final rotation.
+    expected_abandoned: u64,
     observer_overcounts: Vec<String>,
     drained: Vec<LogEntry>,
 }
@@ -246,7 +268,9 @@ pub fn execute(
         let log = log.clone();
         let truth = Arc::clone(&truth);
         let entries = cfg.entries_per_writer;
+        let batch_slots = cfg.batch_slots;
         jobs.push(Box::new(move || {
+            let mut batch = (batch_slots > 1).then(|| log.batch_writer(batch_slots));
             for k in 1..=entries {
                 let addr = (w as u64 + 1) * 1_000 + k;
                 let entry = LogEntry {
@@ -255,7 +279,10 @@ pub fn execute(
                     addr,
                     tid: w as u64,
                 };
-                let stored = log.write_live(&entry).is_some();
+                let stored = match &mut batch {
+                    Some(b) => b.append(&entry).slot.is_some(),
+                    None => log.write_live(&entry).is_some(),
+                };
                 let mut t = lock(&truth);
                 t.attempts += 1;
                 if stored {
@@ -264,7 +291,16 @@ pub fn execute(
                     t.completed_drops += 1;
                 }
             }
-            lock(&truth).writers_done += 1;
+            let mut t = lock(&truth);
+            if let Some(b) = &batch {
+                // Everything this writer reserved but never published must
+                // end up counted as abandoned exactly once: the unfinished
+                // run's remainder (holes for the next rotation), the
+                // over-capacity hand-backs, and runs already discarded
+                // because the epoch rotated under them.
+                t.expected_abandoned += b.pending() + b.handed_back() + b.discarded();
+            }
+            t.writers_done += 1;
         }));
     }
     {
@@ -304,20 +340,24 @@ pub fn execute(
         let truth = Arc::clone(&truth);
         let writers = cfg.writers;
         let reads = cfg.observer_reads;
+        let batch_slots = cfg.batch_slots.max(1);
         jobs.push(Box::new(move || {
             for _ in 0..reads {
                 let observed = log.dropped_total();
                 let t = lock(&truth);
-                // Each writer still inside the protocol can have reserved
-                // (and thus made visible) at most one drop whose write_live
-                // has not returned yet.
-                let bound = t.completed_drops + (writers - t.writers_done) as u64;
+                // Each writer still inside the protocol can have raised the
+                // tail by at most one reservation whose append has not
+                // returned yet: one slot on the classic path, `batch_slots`
+                // on the batched path (the over-capacity part only counts
+                // as a drop until the hand-back lands a few steps later).
+                let bound = t.completed_drops + (writers - t.writers_done) as u64 * batch_slots;
                 if observed > bound {
                     let detail = format!(
                         "dropped_total()={observed} > bound {bound} \
-                         (completed drops {} + {} writers in flight)",
+                         (completed drops {} + {} writers in flight x batch {})",
                         t.completed_drops,
-                        writers - t.writers_done
+                        writers - t.writers_done,
+                        batch_slots
                     );
                     drop(t);
                     lock(&truth).observer_overcounts.push(detail);
@@ -403,6 +443,17 @@ fn check_invariants(
                  ({} attempts, {} stored) [{}]",
                 truth.attempts,
                 truth.written.len(),
+                cfg.summary()
+            ),
+        );
+    }
+    let final_abandoned = log.abandoned_total();
+    if final_abandoned != truth.expected_abandoned {
+        return fail(
+            ViolationKind::AbandonAccounting,
+            format!(
+                "final abandoned_total()={final_abandoned}, ground truth {} [{}]",
+                truth.expected_abandoned,
                 cfg.summary()
             ),
         );

@@ -118,6 +118,7 @@ const SEAM_FILES: &[&str] = &[
 /// per-line allows.
 const PROTOCOL_MODULES: &[&str] = &[
     "crates/teeperf-core/src/log.rs",
+    "crates/teeperf-core/src/batch.rs",
     "crates/teeperf-core/src/layout.rs",
     "crates/teeperf-core/src/shm_file.rs",
     "crates/tee-sim/src/shm.rs",

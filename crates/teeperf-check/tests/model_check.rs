@@ -16,6 +16,24 @@ fn small(mutation: MutationKind) -> Config {
         capacity: 1,
         mid_rotations: 1,
         observer_reads: 0,
+        batch_slots: 1,
+        mutation,
+    }
+}
+
+/// Smallest batched config that forces abandonment on every execution:
+/// two writers each claiming a run of two slots over a three-slot log, so
+/// the second reservation straddles the capacity edge and hands back its
+/// over-capacity remainder while the first writer's exit leaves any
+/// unpublished run tail as holes.
+fn batched(mutation: MutationKind) -> Config {
+    Config {
+        writers: 2,
+        entries_per_writer: 2,
+        capacity: 3,
+        mid_rotations: 1,
+        observer_reads: 0,
+        batch_slots: 2,
         mutation,
     }
 }
@@ -65,6 +83,7 @@ fn clean_protocol_survives_seeded_pct_sweep() {
         capacity: 2,
         mid_rotations: 2,
         observer_reads: 3,
+        batch_slots: 1,
         mutation: MutationKind::None,
     };
     let report = explore::check_pct(&cfg, 3, 1, 50);
@@ -127,10 +146,67 @@ fn drop_double_count_final_totals_look_correct() {
 }
 
 #[test]
+fn clean_batched_protocol_exhausts_without_violations() {
+    let report = explore::check_exhaustive(&batched(MutationKind::None), 1, 200_000);
+    assert!(
+        report.exhausted,
+        "bounded batched space must be fully enumerated ({} executions)",
+        report.executions
+    );
+    assert!(
+        report.violation.is_none(),
+        "clean batched protocol violated an invariant: {:?}",
+        report.violation
+    );
+    assert!(
+        report.executions > 100,
+        "only {} executions",
+        report.executions
+    );
+}
+
+#[test]
+fn abandoned_as_dropped_is_found_and_replays() {
+    let cfg = batched(MutationKind::AbandonedAsDropped);
+    let report = explore::check_exhaustive(&cfg, 2, 200_000);
+    let v = report
+        .violation
+        .expect("abandoned-as-dropped mutation must be caught within the DFS budget");
+    assert!(
+        matches!(
+            v.kind,
+            ViolationKind::DropAccounting | ViolationKind::AbandonAccounting
+        ),
+        "unexpected violation kind: {v}"
+    );
+    let replayed = explore::replay(&cfg, v.schedule.clone())
+        .expect("replaying the recorded schedule must re-find the violation");
+    assert_eq!(replayed.kind, v.kind);
+    assert_eq!(replayed.detail, v.detail);
+}
+
+#[test]
 fn committed_regression_trace_still_reproduces() {
     let text = include_str!("fixtures/traces/drop_double_count.trace");
     let (cfg, depth, seed, expect) = explore::parse_trace(text).expect("trace parses");
     assert_eq!(cfg.mutation, MutationKind::DroppedDoubleCount);
+    let report = explore::replay_seed(&cfg, depth, seed);
+    let v = report
+        .violation
+        .unwrap_or_else(|| panic!("seed {seed} no longer reproduces; re-record the trace with `teeperf-check --mutation {} --record`", cfg.mutation.name()));
+    assert_eq!(v.kind.name(), expect);
+    assert_eq!(report.seed, Some(seed));
+}
+
+#[test]
+fn committed_abandon_trace_still_reproduces() {
+    let text = include_str!("fixtures/traces/abandoned_as_dropped.trace");
+    let (cfg, depth, seed, expect) = explore::parse_trace(text).expect("trace parses");
+    assert_eq!(cfg.mutation, MutationKind::AbandonedAsDropped);
+    assert!(
+        cfg.batch_slots > 1,
+        "trace must exercise batched reservation"
+    );
     let report = explore::replay_seed(&cfg, depth, seed);
     let v = report
         .violation
@@ -148,6 +224,7 @@ fn pct_seeds_are_deterministic() {
         capacity: 2,
         mid_rotations: 2,
         observer_reads: 3,
+        batch_slots: 1,
         mutation: MutationKind::DroppedDoubleCount,
     };
     let a = explore::check_pct(&cfg, 3, 100, 100);

@@ -4,7 +4,7 @@
 use std::fmt::Write as _;
 
 use mcvm::{DebugInfo, RunConfig};
-use tee_sim::{CostModel, TeeKind};
+use tee_sim::{CostModel, TeeKind, TransitionMode};
 use teeperf_analyzer::symbolize::Symbolizer;
 use teeperf_analyzer::Analyzer;
 use teeperf_compiler::{compile_instrumented, profile_program, run_native, InstrumentOptions};
@@ -50,11 +50,13 @@ fn path_err(path: &str, e: impl std::fmt::Display) -> CliError {
 
 const USAGE: &str = "usage:
   teeperf compile <prog.mc> [--out <prog.tpo>] [--instrument yes|no] [--only <fn,fn>]
-  teeperf run <prog.mc|prog.tpo> [--arch <kind>]
+  teeperf run <prog.mc|prog.tpo> [--arch <kind>] [--transition-mode classic|switchless]
   teeperf record <prog.mc|prog.tpo> [--arch <kind>] [--out <base>] [--max-entries <n>] [--pid <n>]
+                 [--batch-slots <n>] [--transition-mode classic|switchless]
   teeperf live <prog.mc|prog.tpo> [--arch <kind>] [--max-entries <n>] [--watermark <pct>]
                [--refresh <events>] [--frames yes|no] [--svg <file>] [--out <base>]
-               [--analyzer-threads <n>] [--follow-pids <n>]
+               [--analyzer-threads <n>] [--follow-pids <n>] [--batch-slots <n>]
+               [--transition-mode classic|switchless]
   teeperf live --logs <a,b,c> [--watermark <pct>] [--watchdog-timeout <pumps>]
                [--svg <file>] [--out <base>]
   teeperf analyze <base.tpf> <base.sym> [--salvage yes|no] [--analyzer-threads <n>]
@@ -70,6 +72,8 @@ const USAGE: &str = "usage:
 architectures: native, sgx-v1, sgx-v2, trustzone, sev, keystone
 query example: \"select method, calls, excl where excl > 100 sort excl desc limit 10\"
 --analyzer-threads: analysis worker shards; 0 or omitted = all available cores
+--batch-slots n: log slots claimed per shared tail fetch-and-add (1 = classic hot path)
+--transition-mode switchless: service ecalls/ocalls via a worker mailbox, no world switch
 --follow-pids n: run the program as n simulated processes under one session registry
 --logs a,b,c: replay recorded logs (<base>.tpf + <base>.sym) as one multi-process session
 --salvage yes: keep the valid records of a torn/truncated log instead of rejecting it
@@ -117,9 +121,29 @@ impl<'a> Args<'a> {
 
     fn arch(&self) -> Result<CostModel, CliError> {
         let name = self.flag("arch").unwrap_or("sgx-v1");
-        TeeKind::parse(name)
+        let cost = TeeKind::parse(name)
             .map(CostModel::for_kind)
-            .ok_or_else(|| err(format!("unknown architecture `{name}`")))
+            .ok_or_else(|| err(format!("unknown architecture `{name}`")))?;
+        let mode = self.flag("transition-mode").unwrap_or("classic");
+        let mode = TransitionMode::parse(mode).ok_or_else(|| {
+            err(format!(
+                "unknown transition mode `{mode}` (want classic|switchless)"
+            ))
+        })?;
+        Ok(cost.with_transition_mode(mode))
+    }
+
+    /// `--batch-slots N`: log slots claimed per shared tail fetch-and-add
+    /// by the recording hooks; 1 (the default) is the classic path.
+    fn batch_slots(&self) -> Result<u64, CliError> {
+        match self.flag("batch-slots") {
+            Some(v) => v
+                .parse()
+                .ok()
+                .filter(|b| *b >= 1)
+                .ok_or_else(|| err(format!("bad --batch-slots `{v}` (want >= 1)"))),
+            None => Ok(1),
+        }
     }
 
     /// `--analyzer-threads N`: analysis shard count, where 0 (the default)
@@ -282,6 +306,7 @@ fn cmd_record(args: &Args<'_>) -> Result<String, CliError> {
         &RecorderConfig {
             max_entries,
             pid,
+            batch_slots: args.batch_slots()?,
             ..RecorderConfig::default()
         },
         |_| Ok(()),
@@ -363,6 +388,7 @@ fn cmd_live(args: &Args<'_>) -> Result<String, CliError> {
         RunConfig::default(),
         &RecorderConfig {
             max_entries,
+            batch_slots: args.batch_slots()?,
             ..RecorderConfig::default()
         },
         &teeperf_live::LiveRunConfig {
@@ -489,6 +515,7 @@ fn cmd_live_follow(args: &Args<'_>, count: &str) -> Result<String, CliError> {
         &RunConfig::default(),
         &RecorderConfig {
             max_entries,
+            batch_slots: args.batch_slots()?,
             ..RecorderConfig::default()
         },
         &teeperf_live::LiveRunConfig {
@@ -1423,6 +1450,73 @@ mod tests {
 
         let e = dispatch(&strs(&["live", "--logs", &base, "--watchdog-timeout", "0"])).unwrap_err();
         assert!(e.to_string().contains("watchdog-timeout"), "{e}");
+    }
+
+    #[test]
+    fn batch_slots_and_transition_mode_thread_through_record_and_live() {
+        let dir = tmpdir();
+        let prog = dir.join("knobs.mc");
+        std::fs::write(
+            &prog,
+            "fn f(x: int) -> int { return x * 2; }
+             fn main() -> int { print_int(f(21)); return 0; }",
+        )
+        .unwrap();
+        let prog = prog.to_str().unwrap().to_string();
+        let base = dir.join("knobs").to_str().unwrap().to_string();
+
+        // Both knobs are performance knobs: they reshape the timeline (the
+        // counter is the cycle clock, and switchless transitions are
+        // cheaper) but must not change *what* was recorded — same events,
+        // same methods, same call counts.
+        let calls_query = "select method, calls sort method asc";
+        let classic = dispatch(&strs(&["record", &prog, "--out", &base])).unwrap();
+        assert!(classic.contains("recorded 4 events"), "{classic}");
+        let tpf = format!("{base}.tpf");
+        let sym = format!("{base}.sym");
+        let classic_calls = dispatch(&strs(&["query", &tpf, &sym, calls_query])).unwrap();
+
+        let tuned = dispatch(&strs(&[
+            "record",
+            &prog,
+            "--out",
+            &base,
+            "--batch-slots",
+            "8",
+            "--transition-mode",
+            "switchless",
+        ]))
+        .unwrap();
+        assert!(tuned.contains("recorded 4 events"), "{tuned}");
+        let tuned_calls = dispatch(&strs(&["query", &tpf, &sym, calls_query])).unwrap();
+        assert_eq!(
+            classic_calls, tuned_calls,
+            "knobs must not change what was recorded"
+        );
+
+        // Live sessions accept both knobs too.
+        let out = dispatch(&strs(&[
+            "live",
+            &prog,
+            "--max-entries",
+            "8",
+            "--batch-slots",
+            "2",
+            "--transition-mode",
+            "switchless",
+        ]))
+        .unwrap();
+        assert!(out.contains("exit code: 0"), "{out}");
+        assert!(out.contains("0 dropped"), "{out}");
+
+        for bad in [
+            &["record", &prog, "--batch-slots", "0"][..],
+            &["record", &prog, "--batch-slots", "x"],
+            &["record", &prog, "--transition-mode", "teleport"],
+            &["live", &prog, "--batch-slots", "0"],
+        ] {
+            assert!(dispatch(&strs(bad)).is_err(), "{bad:?}");
+        }
     }
 
     #[test]

@@ -15,7 +15,8 @@
 //! | 7 | 56 | epoch: number of completed drain rotations |
 //! | 8 | 64 | entries dropped in completed epochs (cumulative) |
 //! | 9 | 72 | integrity magic ([`LOG_MAGIC`], written once at init) |
-//! | 10–11 | 80 | reserved |
+//! | 10 | 80 | batch-abandoned slots in completed epochs (cumulative) |
+//! | 11 | 88 | current-epoch over-capacity batch hand-backs (reset each rotation) |
 //!
 //! The control word is the only mutable-while-running word besides the
 //! tail, the counter, and the two live words; it is read and written
@@ -68,6 +69,16 @@ pub const OFF_EPOCH: u64 = 56;
 pub const OFF_DROPPED: u64 = 64;
 /// Byte offset of the integrity-magic word.
 pub const OFF_MAGIC: u64 = 72;
+/// Byte offset of the cumulative-abandoned word: batch-reserved slots that
+/// were never published (in-capacity holes skipped by the drain, plus
+/// over-capacity hand-backs), accumulated across completed epochs. These
+/// are *not* drops — the events were never attempted into those slots.
+pub const OFF_ABANDONED: u64 = 80;
+/// Byte offset of the current-epoch hand-back word: over-capacity slots a
+/// batch reservation claimed past the end of the log and immediately gave
+/// back (only one drop ticket per failing append is kept in the tail
+/// overflow). Rotation folds this into [`OFF_ABANDONED`] and resets it.
+pub const OFF_ABANDONED_EPOCH: u64 = 88;
 
 /// The header integrity word: `"TPERFLOG"` as a little-endian u64. Written
 /// once at init and never changed; a reader that finds anything else knows
@@ -409,6 +420,8 @@ mod tests {
             OFF_EPOCH,
             OFF_DROPPED,
             OFF_MAGIC,
+            OFF_ABANDONED,
+            OFF_ABANDONED_EPOCH,
         ];
         for (i, a) in offs.iter().enumerate() {
             assert_eq!(a % 8, 0);

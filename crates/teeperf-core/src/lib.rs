@@ -16,6 +16,11 @@
 //! * [`log`] — the **lock-free shared log**: writers reserve entries with a
 //!   single fetch-and-add on the tail, so no critical section ever
 //!   serializes the profiled threads (§II-C "Multithreading support").
+//! * [`batch`] — **batched slot reservation**: a per-thread [`BatchWriter`]
+//!   claims a run of slots with one tail fetch-and-add and publishes them
+//!   one-by-one, amortizing the shared RMW that serializes writers at high
+//!   thread counts; unpublished remainders are reclaimed by rotation as
+//!   counted holes.
 //! * [`counter`] — the **software counter**: a host thread incrementing a
 //!   word in shared memory in a tight loop ([`counter::SpinCounter`],
 //!   sacrificing a core, as in the paper), a deterministic simulated variant
@@ -43,6 +48,7 @@
 #![forbid(unsafe_code)]
 
 pub mod api;
+pub mod batch;
 pub mod counter;
 pub mod faults;
 pub mod file;
@@ -56,6 +62,7 @@ pub mod shm_file;
 pub mod source;
 
 pub use api::{FunctionId, Probe, Profiler};
+pub use batch::{BatchOutcome, BatchWriter};
 pub use counter::{CounterSource, SimCounter, SpinCounter, TscCounter};
 pub use faults::{
     ArmedFault, FaultKind, FaultPlan, FaultRng, FaultyWriter, SalvageReason, SalvageReport,

@@ -20,9 +20,9 @@ use std::fmt;
 
 use crate::layout::{
     EventKind, LogEntry, LogHeader, ENTRY_BYTES, FLAG_ACTIVE, FLAG_ROTATING, FLAG_TRACE_CALLS,
-    FLAG_TRACE_RETURNS, HEADER_BYTES, LOG_MAGIC, LOG_VERSION, OFF_ANCHOR, OFF_CONTROL, OFF_COUNTER,
-    OFF_DROPPED, OFF_EPOCH, OFF_MAGIC, OFF_PID, OFF_SHM_ADDR, OFF_SIZE, OFF_TAIL, WRITERS_MASK,
-    WRITER_ONE,
+    FLAG_TRACE_RETURNS, HEADER_BYTES, LOG_MAGIC, LOG_VERSION, OFF_ABANDONED, OFF_ABANDONED_EPOCH,
+    OFF_ANCHOR, OFF_CONTROL, OFF_COUNTER, OFF_DROPPED, OFF_EPOCH, OFF_MAGIC, OFF_PID, OFF_SHM_ADDR,
+    OFF_SIZE, OFF_TAIL, WRITERS_MASK, WRITER_ONE,
 };
 
 /// A handle onto the shared log. Cheap to clone; clones alias the same
@@ -64,6 +64,12 @@ pub mod mutation {
         /// `dropped_total` reader can observe the same drops in both
         /// words at once.
         CountDropsBeforeTailReset,
+        /// Batched-reservation bug class (abandoned-as-dropped): rotation
+        /// counts the closing epoch's over-capacity batch hand-backs as
+        /// overflow *drops* while also accounting them as abandoned, so
+        /// every hand-back is charged twice and the drop total no longer
+        /// equals attempts minus written.
+        CountAbandonedAsDropped,
     }
 }
 
@@ -100,6 +106,9 @@ impl SharedLog {
         shm.write_u64(OFF_EPOCH, 0).expect("header in range");
         shm.write_u64(OFF_DROPPED, 0).expect("header in range");
         shm.write_u64(OFF_MAGIC, LOG_MAGIC)
+            .expect("header in range");
+        shm.write_u64(OFF_ABANDONED, 0).expect("header in range");
+        shm.write_u64(OFF_ABANDONED_EPOCH, 0)
             .expect("header in range");
         SharedLog {
             shm,
@@ -266,9 +275,53 @@ impl SharedLog {
     /// transiently *under*-report while the closing epoch's drops move
     /// from the header tail into the cumulative word — rotate orders the
     /// two stores so the sum never counts the same drop twice.
+    ///
+    /// The sum spans three header words, so the reads are bracketed
+    /// seqlock-style: part of the current epoch's tail overflow may be
+    /// batch hand-backs (slots a reservation claimed past the end and
+    /// immediately gave back — abandoned, not dropped), and subtracting a
+    /// hand-back word read *before* a concurrent hand-back landed against
+    /// a tail read *after* it would over-count. Retrying until the
+    /// hand-back and epoch words are stable across the snapshot keeps the
+    /// only residual tear the cumulative-word one, which orders as an
+    /// under-count (the cumulative word is read before the tail, and
+    /// rotation resets the tail before folding into it).
     pub fn dropped_total(&self) -> u64 {
-        let completed = self.shm.read_u64(OFF_DROPPED).expect("header in range");
-        completed + self.header().dropped_entries()
+        loop {
+            let epoch = self.epoch();
+            let handed_back = self
+                .shm
+                .read_u64(OFF_ABANDONED_EPOCH)
+                .expect("header in range");
+            let completed = self.shm.read_u64(OFF_DROPPED).expect("header in range");
+            let overflow = self.header().dropped_entries();
+            let handed_back_after = self
+                .shm
+                .read_u64(OFF_ABANDONED_EPOCH)
+                .expect("header in range");
+            if handed_back_after == handed_back && self.epoch() == epoch {
+                return completed + overflow.saturating_sub(handed_back);
+            }
+        }
+    }
+
+    /// Batch-reserved slots that were never published, summed over all
+    /// completed epochs plus the current epoch's over-capacity hand-backs.
+    /// In-capacity holes of the *current* epoch (a batch run a writer has
+    /// reserved but not yet published, or left behind at exit) are only
+    /// counted when the next rotation drains past them.
+    ///
+    /// Exact from the drainer thread; from any other thread a rotation in
+    /// progress may transiently under-report while the epoch word folds
+    /// into the cumulative word (same once-only discipline as
+    /// [`SharedLog::dropped_total`]).
+    pub fn abandoned_total(&self) -> u64 {
+        let completed = self.shm.read_u64(OFF_ABANDONED).expect("header in range");
+        let epoch = self
+            .shm
+            .read_u64(OFF_ABANDONED_EPOCH)
+            .expect("header in range");
+        completed + epoch
     }
 
     /// Rotation-aware append: announce on the control word, back off while
@@ -444,8 +497,43 @@ impl SharedLog {
         }
         let tail = self.shm.read_u64(OFF_TAIL).expect("header in range");
         let stored = tail.min(self.size);
-        let dropped = tail.saturating_sub(self.size);
-        let entries: Vec<LogEntry> = (cursor.index..stored).map(|i| self.read_entry(i)).collect();
+        let raw_over = tail.saturating_sub(self.size);
+        // Writers are quiesced, so the epoch hand-back word is stable: it
+        // counts the over-capacity slots batch reservations claimed past
+        // the end of the log and gave straight back. Those inflate the tail
+        // overflow but are abandoned slots, not dropped events.
+        let handed_back = self
+            .shm
+            .read_u64(OFF_ABANDONED_EPOCH)
+            .expect("header in range");
+        #[cfg(feature = "mutation-testing")]
+        let abandoned_as_dropped = self.mutation == mutation::Mutation::CountAbandonedAsDropped;
+        #[cfg(not(feature = "mutation-testing"))]
+        let abandoned_as_dropped = false;
+        let dropped = if abandoned_as_dropped {
+            // Mutated accounting (batched-reservation bug): charge the
+            // hand-backs as drops too, double-counting every one of them.
+            raw_over
+        } else {
+            raw_over.saturating_sub(handed_back)
+        };
+        // Drain, skipping unpublished holes: a batch writer that rotated
+        // away mid-run (or exited) leaves word-0-zero slots inside the
+        // stored range. They carry no event, so they are counted as
+        // abandoned rather than delivered as all-zero records. Torn
+        // records (word 0 published, address zero) are still delivered for
+        // downstream salvage accounting.
+        let mut holes = 0u64;
+        let mut entries: Vec<LogEntry> = Vec::with_capacity((stored - cursor.index) as usize);
+        for i in cursor.index..stored {
+            let e = self.read_entry(i);
+            if e.validity() == crate::layout::EntryValidity::Unpublished {
+                holes += 1;
+            } else {
+                entries.push(e);
+            }
+        }
+        let abandoned = holes + handed_back;
         #[cfg(feature = "mutation-testing")]
         let count_drops_first = self.mutation == mutation::Mutation::CountDropsBeforeTailReset;
         #[cfg(not(feature = "mutation-testing"))]
@@ -459,11 +547,21 @@ impl SharedLog {
         }
         // Reset the tail *before* accounting its overflow in the cumulative
         // word: the two contributions to `dropped_total` then never include
-        // the same drops at the same time (see its docs).
+        // the same drops at the same time (see its docs). The epoch
+        // hand-back word follows the same discipline against
+        // `abandoned_total`: reset first, accumulate after.
         self.shm.write_u64(OFF_TAIL, 0).expect("header in range");
+        self.shm
+            .write_u64(OFF_ABANDONED_EPOCH, 0)
+            .expect("header in range");
         if !count_drops_first && dropped > 0 {
             self.shm
                 .fetch_add_u64(OFF_DROPPED, dropped)
+                .expect("header in range");
+        }
+        if abandoned > 0 {
+            self.shm
+                .fetch_add_u64(OFF_ABANDONED, abandoned)
                 .expect("header in range");
         }
         #[cfg(feature = "mutation-testing")]
@@ -496,6 +594,7 @@ impl SharedLog {
         Ok(RotationOutcome {
             entries,
             dropped,
+            abandoned,
             new_epoch,
         })
     }
@@ -607,6 +706,11 @@ pub struct RotationOutcome {
     /// Entries the closed epoch dropped on overflow (now accounted in the
     /// header's cumulative-dropped word).
     pub dropped: u64,
+    /// Batch-reserved slots the closed epoch abandoned without publishing:
+    /// unpublished in-capacity holes skipped by the drain plus
+    /// over-capacity hand-backs (now accounted in the header's
+    /// cumulative-abandoned word).
+    pub abandoned: u64,
     /// Epoch number now open for writers.
     pub new_epoch: u64,
 }
@@ -877,11 +981,15 @@ mod tests {
             },
         );
         assert!(log.poll(&mut cursor).is_empty(), "must not skip slot 0");
-        // Rotation reads after quiesce, so both slots drain (slot 0 decodes
-        // as an incomplete all-zero record for the analyzer to dismiss).
+        // Rotation reads after quiesce: the unpublished slot 0 is a hole —
+        // counted as abandoned, never delivered as an all-zero record —
+        // while the published slot 1 drains normally.
         let out = log.rotate(&mut cursor);
-        assert_eq!(out.entries.len(), 2);
-        assert_eq!(out.entries[1].counter, 5);
+        assert_eq!(out.entries.len(), 1);
+        assert_eq!(out.entries[0].counter, 5);
+        assert_eq!(out.abandoned, 1);
+        assert_eq!(log.abandoned_total(), 1);
+        assert_eq!(out.dropped, 0);
     }
 
     #[test]
@@ -950,6 +1058,69 @@ mod tests {
         let out = log.try_rotate(&mut cursor, 64).unwrap();
         assert_eq!(out.entries.len(), 2);
         assert_eq!(out.new_epoch, 1);
+    }
+
+    #[test]
+    fn handed_back_slots_count_as_abandoned_not_dropped() {
+        // Mirrors the PR-1 double-count fixture for the batched path: a
+        // batch reservation that runs past the end of the log hands the
+        // over-capacity slots back via the epoch word; those must surface
+        // exactly once as `abandoned` and never inflate `dropped_total`,
+        // neither before nor after the rotation folds them over.
+        let log = fresh(2);
+        let mut cursor = LogCursor::default();
+        let e = LogEntry {
+            kind: EventKind::Call,
+            counter: 7,
+            addr: 1,
+            tid: 0,
+        };
+        assert!(log.write_live(&e).is_some());
+        assert!(log.write_live(&e).is_some());
+        // Simulate a batch writer claiming a run of 4 starting at the full
+        // tail: the append itself drops (one overflow ticket) and the 3
+        // unused over-capacity slots are handed back.
+        log.shm().fetch_add_u64(OFF_TAIL, 4).unwrap();
+        log.shm().fetch_add_u64(OFF_ABANDONED_EPOCH, 3).unwrap();
+        assert_eq!(log.dropped_total(), 1, "hand-backs are not drops");
+        assert_eq!(log.abandoned_total(), 3);
+        let out = log.rotate(&mut cursor);
+        assert_eq!(out.entries.len(), 2);
+        assert_eq!(out.dropped, 1);
+        assert_eq!(out.abandoned, 3);
+        // Accounted exactly once across the rotation, in both words.
+        assert_eq!(log.dropped_total(), 1);
+        assert_eq!(log.abandoned_total(), 3);
+        // A second, empty rotation must not re-count anything.
+        let out = log.rotate(&mut cursor);
+        assert_eq!((out.dropped, out.abandoned), (0, 0));
+        assert_eq!(log.dropped_total(), 1);
+        assert_eq!(log.abandoned_total(), 3);
+    }
+
+    #[test]
+    fn abandoned_holes_accumulate_across_rotations() {
+        let log = fresh(4);
+        let mut cursor = LogCursor::default();
+        let e = LogEntry {
+            kind: EventKind::Call,
+            counter: 3,
+            addr: 0x500,
+            tid: 0,
+        };
+        // Epoch 0: one published entry, then an in-capacity hole (a batch
+        // run reserved but never published).
+        assert!(log.write_live(&e).is_some());
+        log.reserve();
+        let out = log.rotate(&mut cursor);
+        assert_eq!((out.entries.len(), out.abandoned), (1, 1));
+        // Epoch 1: two holes this time.
+        log.reserve();
+        log.reserve();
+        let out = log.rotate(&mut cursor);
+        assert_eq!((out.entries.len(), out.abandoned), (0, 2));
+        assert_eq!(log.abandoned_total(), 3);
+        assert_eq!(log.dropped_total(), 0);
     }
 
     #[test]

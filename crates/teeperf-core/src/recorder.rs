@@ -26,6 +26,10 @@ pub struct RecorderConfig {
     /// Address of the profiler anchor function (from debug info), used by
     /// the analyzer to compute the relocation offset.
     pub anchor: u64,
+    /// Log slots claimed per shared tail fetch-and-add in the hooks this
+    /// recorder builds (see [`crate::batch`]); `1` is the classic
+    /// one-RMW-per-event path.
+    pub batch_slots: u64,
 }
 
 impl Default for RecorderConfig {
@@ -35,6 +39,7 @@ impl Default for RecorderConfig {
             pid: u64::from(std::process::id()),
             multithread: true,
             anchor: tee_sim::ENCLAVE_TEXT_BASE,
+            batch_slots: 1,
         }
     }
 }
@@ -56,6 +61,7 @@ impl Default for RecorderConfig {
 #[derive(Debug)]
 pub struct Recorder {
     log: SharedLog,
+    batch_slots: u64,
 }
 
 impl Recorder {
@@ -72,7 +78,10 @@ impl Recorder {
                 SHM_BASE,
             ),
         );
-        Recorder { log }
+        Recorder {
+            log,
+            batch_slots: config.batch_slots.max(1),
+        }
     }
 
     /// The shared log (both sides of the mapping use the same handle).
@@ -91,6 +100,7 @@ impl Recorder {
     /// (used for all figures).
     pub fn sim_hooks(&self, clock: Clock) -> TeePerfHooks {
         TeePerfHooks::new(self.log.clone(), Box::new(SimCounter::standard(clock)))
+            .with_batch_slots(self.batch_slots)
     }
 
     /// Hooks with an explicit counter source and optional filter.
@@ -99,7 +109,7 @@ impl Recorder {
         counter: Box<dyn CounterSource>,
         filter: Option<SelectiveFilter>,
     ) -> TeePerfHooks {
-        let hooks = TeePerfHooks::new(self.log.clone(), counter);
+        let hooks = TeePerfHooks::new(self.log.clone(), counter).with_batch_slots(self.batch_slots);
         match filter {
             Some(f) => hooks.with_filter(f),
             None => hooks,
@@ -123,9 +133,27 @@ impl Recorder {
     }
 
     /// Stop measurement and drain the log to a persistent [`LogFile`].
+    ///
+    /// In batched mode the stored range may end in unpublished holes (the
+    /// remainder of each writer's last reserved run); those carry no event,
+    /// so they are squeezed out and the header rewritten to the published
+    /// count — the drop accounting is preserved in the rewritten tail.
     pub fn finish(&self) -> LogFile {
         self.log.set_active(false);
-        LogFile::new(self.log.header(), self.log.drain_entries())
+        if self.batch_slots <= 1 {
+            return LogFile::new(self.log.header(), self.log.drain_entries());
+        }
+        let entries: Vec<_> = self
+            .log
+            .drain_entries()
+            .into_iter()
+            .filter(|e| e.validity() == crate::layout::EntryValidity::Valid)
+            .collect();
+        let mut h = self.log.header();
+        let dropped = self.log.dropped_total();
+        h.size = (entries.len() as u64).max(1);
+        h.tail = entries.len() as u64 + dropped;
+        LogFile::new(h, entries)
     }
 }
 
@@ -184,6 +212,34 @@ mod tests {
         let f = r.finish();
         let addrs: Vec<u64> = f.entries.iter().map(|e| e.addr).collect();
         assert_eq!(addrs, vec![1, 3]);
+    }
+
+    #[test]
+    fn batched_finish_squeezes_out_the_run_remainder() {
+        let config = RecorderConfig {
+            max_entries: 64,
+            pid: 9,
+            batch_slots: 8,
+            ..RecorderConfig::default()
+        };
+        let r = Recorder::new(&config);
+        let mut machine = Machine::new(CostModel::sgx_v1());
+        r.attach(&mut machine);
+        machine.ecall();
+        let mut hooks = r.sim_hooks(machine.clock().clone());
+        // 5 events into an 8-slot run: 3 reserved slots stay unpublished.
+        for i in 0..5 {
+            machine.compute(200);
+            hooks.record(&mut machine, EventKind::Call, 0x40_0000 + i, 0);
+        }
+        let f = r.finish();
+        assert_eq!(f.entries.len(), 5, "holes must not leak into the file");
+        assert!(f
+            .entries
+            .iter()
+            .all(|e| e.validity() == crate::layout::EntryValidity::Valid));
+        assert_eq!(f.header.stored_entries(), 5);
+        assert_eq!(f.header.dropped_entries(), 0);
     }
 
     #[test]

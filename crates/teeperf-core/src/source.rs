@@ -243,6 +243,12 @@ impl LiveLogSource {
         }
         let Ok(out) = attempt else { return };
         self.rotation_stalls = 0;
+        // Rotation skips unpublished holes (abandoned batch remainders and
+        // crashed writers' reserved slots) instead of delivering them as
+        // all-zero records; account them here so the salvage report still
+        // sees every one exactly once.
+        self.salvage
+            .drop_n(SalvageReason::UnpublishedSlot, out.abandoned);
         batch.entries.extend(out.entries);
         batch.rotated = true;
         batch.dropped = out.dropped;

@@ -138,6 +138,68 @@ fn live_matrix_every_fault_completes_and_is_reported() {
     }
 }
 
+/// A writer that dies mid-batch: it reserved a run of `n` slots with one
+/// tail fetch-and-add, published `k` of them, and crashed — a batched
+/// writer's exit path writes nothing shared, so the remainder is `n - k`
+/// permanently unpublished slots. Salvage must deliver exactly the `k`
+/// published entries and account the remainder exactly once: as
+/// unpublished holes in the salvage report and as abandoned slots in the
+/// header — never as drops (a drop claims an entry existed and was lost;
+/// these slots never held one).
+#[test]
+fn live_matrix_mid_batch_crash_counts_the_exact_remainder() {
+    let _guard = hang_guard("mid-batch-crash");
+    let log = fresh(1, 16);
+    let batch = 8u64;
+    let published = 3u64;
+    {
+        let mut w = log.batch_writer(batch);
+        for k in 1..=published {
+            w.append(&entry(k));
+        }
+        assert_eq!(
+            w.pending(),
+            batch - published,
+            "mid-run, remainder reserved"
+        );
+        // The writer thread dies here: `w` is dropped with the run open.
+    }
+
+    let mut source = LiveLogSource::new(log.clone(), 75).with_resilience(impatient());
+    let mut got = Vec::new();
+    for _ in 0..8 {
+        got.extend(source.pump().entries);
+    }
+    got.extend(source.drain_to_end().entries);
+    assert_eq!(
+        got.iter().map(|e| e.counter).collect::<Vec<_>>(),
+        vec![1, 2, 3],
+        "exactly the published prefix of the batch run is delivered"
+    );
+    let report = source.salvage();
+    assert_eq!(
+        report.count(SalvageReason::UnpublishedSlot),
+        batch - published,
+        "the remainder is counted hole-by-hole: {report:?}"
+    );
+    assert_eq!(report.kept, published);
+    assert_eq!(
+        log.dropped_total(),
+        0,
+        "abandoned remainder must never surface as drops"
+    );
+    // The salvage report is the authoritative per-slot accounting; the
+    // header's abandoned counter only collects holes still open when the
+    // final rotation runs (holes the source already waited out and closed
+    // mid-stream were charged to its report instead), so it can only be
+    // a lower bound here.
+    assert!(
+        log.abandoned_total() <= batch - published,
+        "header abandoned counter ({}) must never exceed the remainder",
+        log.abandoned_total()
+    );
+}
+
 /// Replay half of the matrix: the same faults frozen into a persisted log
 /// file (writer-level kinds via the shared-memory state the writer left,
 /// file-level kinds via [`FaultPlan::mutilate`]).

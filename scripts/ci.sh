@@ -126,4 +126,15 @@ if [ "$mode" != "quick" ]; then
     run cargo run --release --offline -p bench --bin analyze_throughput -- --smoke
 fi
 
+# Contention smoke (ISSUE 8): a tiny writers x batch-slots x transition-mode
+# grid through the real lock-free protocol on real OS threads. The bin exits
+# non-zero if any cell dropped an entry or drained differently from the
+# unbatched classic run of the same writer count — the exactness gate for
+# batched reservation. Hard KILL timeout: a livelocked reservation loop
+# must fail the gate, not hang it.
+if [ "$mode" != "quick" ]; then
+  TEEPERF_RESULTS="$(mktemp -d)" \
+    tmo 120 cargo run --release --offline -p bench --bin record_contention -- --smoke
+fi
+
 echo "==> ci ok"
