@@ -1,0 +1,41 @@
+//! Windowed-query latency benchmark (see [`bench::querybench`]).
+//!
+//! Sweeps retained-window counts and times the three `/query` shapes the
+//! daemon serves (`last:5` top-10, whole-history merge, two-window diff),
+//! then writes `results/BENCH_query_latency.json`.
+//!
+//! Usage: `query_latency [--smoke]` — `--smoke` runs the tiny CI sweep.
+
+use std::process::ExitCode;
+
+use bench::querybench::{run_query_latency, QueryBenchOptions};
+use bench::util::write_artifact;
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let options = if smoke {
+        QueryBenchOptions::smoke()
+    } else {
+        QueryBenchOptions::default()
+    };
+    println!(
+        "query_latency: windows {:?}, {} calls/window x {} pids{}",
+        options.window_counts,
+        options.calls_per_window,
+        options.pids,
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let result = run_query_latency(&options);
+    println!("\n{}", result.render());
+
+    let path = write_artifact("BENCH_query_latency.json", &result.to_json());
+    println!("wrote {}", path.display());
+
+    if let Err(violation) = result.check() {
+        eprintln!("FAIL: {violation}");
+        return ExitCode::FAILURE;
+    }
+    println!("OK: every window count answered last:5, all-merge and diff queries");
+    ExitCode::SUCCESS
+}

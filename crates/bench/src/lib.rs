@@ -13,6 +13,7 @@
 //! | [`live`] | continuous-monitoring overhead of `teeperf-live` | `live_overhead` |
 //! | [`analyze`] | stage-3 analyzer throughput and shard speedup | `analyze_throughput` |
 //! | [`contention`] | recorder hot path: batched reservation × switchless transitions | `record_contention` |
+//! | [`querybench`] | windowed time-travel query latency vs retained history | `query_latency` |
 //!
 //! Everything is deterministic; "10 runs" vary the workload seed, exactly
 //! like re-running a benchmark binary on fresh inputs.
@@ -26,4 +27,5 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod live;
+pub mod querybench;
 pub mod util;

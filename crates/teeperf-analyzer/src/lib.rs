@@ -41,6 +41,7 @@ pub use profile::Aggregates;
 pub use profile::{merge_profiles, MethodStats, Profile};
 pub use query::frame::{Column, Frame};
 pub use query::run_query;
+pub use query::windowed::{RankBy, WindowSel, WindowSpec};
 pub use reader::{AnalyzeError, ThreadEvents};
 pub use stacks::{CompletedCall, ResumableStacks, ThreadStacks};
 pub use symbolize::{SymId, SymbolCacheStats, Symbolizer};

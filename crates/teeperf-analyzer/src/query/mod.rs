@@ -26,6 +26,8 @@
 pub mod exec;
 pub mod frame;
 pub mod lang;
+pub mod windowed;
 
 pub use exec::run_query;
 pub use lang::{parse_query, QueryError};
+pub use windowed::{top_rows, RankBy, WindowSel, WindowSpec};

@@ -115,7 +115,9 @@ const SEAM_FILES: &[&str] = &[
 /// must stay deterministic. The daemon crate deliberately is NOT: its loop
 /// timing (pump intervals, socket timeouts, watchdog pacing) is
 /// operational, not protocol state, so wall-clock use there needs no
-/// per-line allows.
+/// per-line allows. The windowing layer (`window.rs`, `query/windowed.rs`)
+/// is protocol too: window boundaries are virtual-clock positions and a
+/// wall-clock read there would make retention non-reproducible.
 const PROTOCOL_MODULES: &[&str] = &[
     "crates/teeperf-core/src/log.rs",
     "crates/teeperf-core/src/batch.rs",
@@ -126,6 +128,8 @@ const PROTOCOL_MODULES: &[&str] = &[
     "crates/teeperf-check/src/sched.rs",
     "crates/teeperf-check/src/harness.rs",
     "crates/teeperf-check/src/explore.rs",
+    "crates/teeperf-live/src/window.rs",
+    "crates/teeperf-analyzer/src/query/windowed.rs",
 ];
 
 /// Path-scoped rule configuration: which files are the model seam (raw

@@ -10,7 +10,7 @@ use teeperf_analyzer::Analyzer;
 use teeperf_compiler::{compile_instrumented, profile_program, run_native, InstrumentOptions};
 use teeperf_core::{EventSource, FileReplaySource, LogFile, RecorderConfig};
 use teeperf_flamegraph::{FlameGraph, SvgOptions};
-use teeperf_live::{DrainPolicy, LiveConfig, SessionRegistry, Snapshot};
+use teeperf_live::{DrainPolicy, LiveConfig, RingConfig, SessionRegistry, Snapshot};
 
 /// A CLI failure with a user-facing message and a process exit code.
 #[derive(Debug)]
@@ -57,16 +57,19 @@ const USAGE: &str = "usage:
                [--refresh <events>] [--frames yes|no] [--svg <file>] [--out <base>]
                [--analyzer-threads <n>] [--follow-pids <n>] [--batch-slots <n>]
                [--transition-mode classic|switchless]
+               [--window-interval <ticks>] [--retain <n>] [--max-width <n>]
   teeperf live --logs <a,b,c> [--watermark <pct>] [--watchdog-timeout <pumps>]
-               [--svg <file>] [--out <base>]
+               [--svg <file>] [--out <base>] [--window-interval <ticks>] [--retain <n>]
   teeperf analyze <base.tpf> <base.sym> [--salvage yes|no] [--analyzer-threads <n>]
   teeperf query <base.tpf> <base.sym> <query> [--analyzer-threads <n>]
+  teeperf query --connect <addr> [windows | <clause> ...]
   teeperf flamegraph <base.tpf> <base.sym> [--svg <file>] [--title <t>] [--analyzer-threads <n>]
   teeperf diff <a.tpf> <a.sym> <b.tpf> <b.sym> [--svg <file>] [--analyzer-threads <n>]
   teeperf phoenix [--bench <name>] [--arch <kind>]
   teeperf daemon [--dir <d>] [--listen <addr>] [--snapshot-out <file>] [--pump-ms <n>]
                  [--scan-every <n>] [--max-loops <n>] [--liveness yes|no]
-  teeperf top --connect <addr> [--iterations <n>] [--interval-ms <n>]
+                 [--window-interval <ticks>] [--retain <n>]
+  teeperf top --connect <addr> [--iterations <n>] [--interval-ms <n>] [--window <n>]
   teeperf archs
 
 architectures: native, sgx-v1, sgx-v2, trustzone, sev, keystone
@@ -81,7 +84,14 @@ query example: \"select method, calls, excl where excl > 100 sort excl desc limi
 daemon: watch a registration directory of <pid>.tplog shared logs and serve
         /snapshot /pid/<n> /flame.svg /metrics /healthz over HTTP (see teeperfd)
 top:    poll a daemon's /snapshot and render the method table, diffed against
-        the previous poll (--iterations 0 = until interrupted)
+        the previous poll (--iterations 0 = until interrupted); --window n
+        renders the newest n retained windows from /query instead
+--window-interval/--retain/--max-width: keep a retention ring of per-interval
+        window profiles over the virtual clock (oldest pairs coarsen, then evict)
+query --connect: time-travel queries against a daemon's retention rings.
+        clauses: windows=all|last:<n>|<a>..=<b>  pid=<n>  method=<substr>
+        tid=<n>  top=<n>  by=self|total|calls  diff=<a>,<b>
+        the single word `windows` fetches the /windows listing instead
 ";
 
 /// Minimal flag parser: positional args plus `--flag value` pairs.
@@ -360,6 +370,37 @@ fn live_watermark(args: &Args<'_>) -> Result<u8, CliError> {
     }
 }
 
+/// `--window-interval` / `--retain` / `--max-width`: windowed retention for
+/// live sessions. `None` (no flag given) keeps the all-time view only.
+fn live_retention(args: &Args<'_>) -> Result<Option<RingConfig>, CliError> {
+    let mut ring: Option<RingConfig> = None;
+    if let Some(v) = args.flag("window-interval") {
+        let ticks: u64 = v
+            .parse()
+            .ok()
+            .filter(|t| *t >= 1)
+            .ok_or_else(|| err(format!("bad --window-interval `{v}` (want ticks >= 1)")))?;
+        ring.get_or_insert_with(RingConfig::default).interval = ticks;
+    }
+    if let Some(v) = args.flag("retain") {
+        let n: usize = v
+            .parse()
+            .ok()
+            .filter(|n| *n >= 1)
+            .ok_or_else(|| err(format!("bad --retain `{v}` (want >= 1)")))?;
+        ring.get_or_insert_with(RingConfig::default).capacity = n;
+    }
+    if let Some(v) = args.flag("max-width") {
+        let n: u64 = v
+            .parse()
+            .ok()
+            .filter(|n| *n >= 1)
+            .ok_or_else(|| err(format!("bad --max-width `{v}` (want >= 1)")))?;
+        ring.get_or_insert_with(RingConfig::default).max_width = n;
+    }
+    Ok(ring)
+}
+
 fn cmd_live(args: &Args<'_>) -> Result<String, CliError> {
     if let Some(logs) = args.flag("logs") {
         return cmd_live_logs(args, logs);
@@ -398,6 +439,7 @@ fn cmd_live(args: &Args<'_>) -> Result<String, CliError> {
                 // 0 keeps the session default (sequential epoch merging;
                 // pumps are frequent and batches small).
                 analyzer_shards: args.analyzer_threads()?.max(1),
+                retention: live_retention(args)?,
                 ..teeperf_live::LiveConfig::default()
             },
             ..teeperf_live::LiveRunConfig::default()
@@ -523,6 +565,7 @@ fn cmd_live_follow(args: &Args<'_>, count: &str) -> Result<String, CliError> {
                 policy: DrainPolicy { watermark_pct },
                 refresh_events: 0,
                 analyzer_shards: args.analyzer_threads()?.max(1),
+                retention: live_retention(args)?,
                 ..LiveConfig::default()
             },
             ..teeperf_live::LiveRunConfig::default()
@@ -556,6 +599,7 @@ fn cmd_live_logs(args: &Args<'_>, logs: &str) -> Result<String, CliError> {
         policy: DrainPolicy { watermark_pct },
         refresh_events: 0,
         analyzer_shards: args.analyzer_threads()?.max(1),
+        retention: live_retention(args)?,
         ..LiveConfig::default()
     });
     if let Some(v) = args.flag("watchdog-timeout") {
@@ -640,6 +684,17 @@ fn cmd_live_logs(args: &Args<'_>, logs: &str) -> Result<String, CliError> {
             .map_err(|e| err(e.to_string()))?;
     }
     while registry.pump() > 0 {}
+    for w in registry.windows() {
+        writeln!(
+            out,
+            "pid {}: retained {} windows of {} ticks ({} evicted)",
+            w.pid,
+            w.windows.len(),
+            w.interval,
+            w.evicted_windows
+        )
+        .expect("writing to string");
+    }
     let salvage = registry.salvage();
     let run = registry.finish();
     writeln!(
@@ -701,7 +756,32 @@ fn cmd_analyze(args: &Args<'_>) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `teeperf query --connect <addr> [clauses...]`: time-travel queries
+/// against a running daemon's retention rings. Clause tokens are joined
+/// with `&` into the `/query` query string — the spec grammar is the same
+/// word on the shell and on the wire — and the single word `windows`
+/// fetches the `/windows` listing instead.
+fn cmd_query_connect(args: &Args<'_>, addr: &str) -> Result<String, CliError> {
+    let path = if args.positional.is_empty() || args.positional == ["windows"] {
+        "/windows".to_string()
+    } else {
+        format!("/query?{}", args.positional.join("&"))
+    };
+    let (status, body) = teeperf_daemon::http::get(addr, &path, std::time::Duration::from_secs(5))
+        .map_err(|e| err(format!("{addr}: {e}")))?;
+    if status != 200 {
+        return Err(err(format!(
+            "{addr}: {path} returned {status}: {}",
+            body.trim()
+        )));
+    }
+    Ok(body)
+}
+
 fn cmd_query(args: &Args<'_>) -> Result<String, CliError> {
+    if let Some(addr) = args.flag("connect") {
+        return cmd_query_connect(args, addr);
+    }
     let (log, debug, _) = load_log_and_symbols(args)?;
     let query = args
         .positional
@@ -845,6 +925,7 @@ fn cmd_daemon(args: &Args<'_>) -> Result<String, CliError> {
                 .map_err(|_| err(format!("bad --max-loops `{v}`")))?,
         );
     }
+    config.retention = live_retention(args)?;
     let daemon = teeperf_daemon::Daemon::new(config.clone())
         .map_err(|e| err(format!("failed to start daemon: {e}")))?;
     let daemon = if args.flag("liveness").unwrap_or("yes") == "yes" {
@@ -886,14 +967,54 @@ fn top_frame(
     prev: &[MethodRow],
 ) -> Result<(String, Vec<MethodRow>), String> {
     let status = Snapshot::summary_from_text(text)?;
+    let rows = sorted_method_rows(text)?;
+    let mut out = format!("--- poll {poll}: {}\n", status.banner());
+    out.push_str(&method_table(&rows, prev));
+    Ok((out, rows))
+}
+
+/// One rendered `teeperf top --window <n>` frame: a `/query` body for the
+/// newest `n` windows re-rendered as the same rolling table. The `[methods]`
+/// rows of a query response share the snapshot wire shape, so the windowed
+/// frame reuses the snapshot parser; the banner is the span lines the
+/// daemon reported instead of the whole-session counters.
+fn top_window_frame(
+    poll: u64,
+    window: u64,
+    text: &str,
+    prev: &[MethodRow],
+) -> Result<(String, Vec<MethodRow>), String> {
+    let rows = sorted_method_rows(text)?;
+    let spans: Vec<&str> = text
+        .lines()
+        .filter(|l| l.starts_with("pid ") && l.contains(" span "))
+        .collect();
+    let mut out = format!(
+        "--- poll {poll}: last {window} windows ({})\n",
+        if spans.is_empty() {
+            "no spans".to_string()
+        } else {
+            spans.join("; ")
+        }
+    );
+    out.push_str(&method_table(&rows, prev));
+    Ok((out, rows))
+}
+
+fn sorted_method_rows(text: &str) -> Result<Vec<MethodRow>, String> {
     let mut rows = Snapshot::methods_from_text(text)?;
     rows.sort_by(|a, b| b.3.cmp(&a.3).then_with(|| a.0.cmp(&b.0)));
-    let mut out = format!("--- poll {poll}: {}\n", status.banner());
-    out.push_str(&format!(
+    Ok(rows)
+}
+
+/// The shared table body of both `top` frame renderers: rows sorted by
+/// exclusive ticks, each diffed against the previous poll's rows.
+fn method_table(rows: &[MethodRow], prev: &[MethodRow]) -> String {
+    let mut out = format!(
         "{:<24} {:>8} {:>10} {:>10} {:>10}\n",
         "method", "calls", "incl", "excl", "excl+"
-    ));
-    for (name, calls, incl, excl) in &rows {
+    );
+    for (name, calls, incl, excl) in rows {
         let before = prev
             .iter()
             .find(|(n, _, _, _)| n == name)
@@ -908,7 +1029,7 @@ fn top_frame(
             }
         ));
     }
-    Ok((out, rows))
+    out
 }
 
 /// `teeperf top --connect <addr>`: poll a running daemon's `/snapshot` and
@@ -932,18 +1053,37 @@ fn cmd_top(args: &Args<'_>) -> Result<String, CliError> {
         ),
         None => std::time::Duration::from_millis(1_000),
     };
+    let window: Option<u64> = match args.flag("window") {
+        Some(v) => Some(
+            v.parse()
+                .ok()
+                .filter(|n| *n >= 1)
+                .ok_or_else(|| err(format!("bad --window `{v}` (want >= 1)")))?,
+        ),
+        None => None,
+    };
+    let path = match window {
+        Some(w) => format!("/query?windows=last:{w}"),
+        None => "/snapshot".to_string(),
+    };
     let mut prev: Vec<(String, u64, u64, u64)> = Vec::new();
     let mut poll = 0u64;
     loop {
         poll += 1;
         let (status, body) =
-            teeperf_daemon::http::get(addr, "/snapshot", std::time::Duration::from_secs(5))
+            teeperf_daemon::http::get(addr, &path, std::time::Duration::from_secs(5))
                 .map_err(|e| err(format!("{addr}: {e}")))?;
         if status != 200 {
-            return Err(err(format!("{addr}: /snapshot returned {status}")));
+            return Err(err(format!(
+                "{addr}: {path} returned {status}: {}",
+                body.trim()
+            )));
         }
-        let (frame, rows) =
-            top_frame(poll, &body, &prev).map_err(|e| err(format!("{addr}: {e}")))?;
+        let (frame, rows) = match window {
+            Some(w) => top_window_frame(poll, w, &body, &prev),
+            None => top_frame(poll, &body, &prev),
+        }
+        .map_err(|e| err(format!("{addr}: {e}")))?;
         print!("{frame}");
         let _ = std::io::Write::flush(&mut std::io::stdout());
         prev = rows;
@@ -1069,6 +1209,140 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(e.to_string().contains("127.0.0.1:1"));
+    }
+
+    #[test]
+    fn top_window_frame_renders_query_bodies() {
+        let text = "[query]\nspec windows=last:2&top=0\n\
+                    pid 41 span 3..=6 ticks 48..=111 calls 2\n\
+                    [methods]\nwork 1 50 50\nmain 1 100 40\n";
+        let (frame, rows) = top_window_frame(1, 2, text, &[]).unwrap();
+        assert!(
+            frame.contains("--- poll 1: last 2 windows (pid 41 span 3..=6"),
+            "{frame}"
+        );
+        assert_eq!(rows[0].0, "work", "sorted by exclusive ticks");
+        let work_line = frame.lines().find(|l| l.starts_with("work")).unwrap();
+        assert!(work_line.ends_with("+50"), "{work_line}");
+
+        // A span-less body still renders (empty table, honest banner).
+        let (frame, rows) = top_window_frame(2, 2, "[query]\nspec x\n[methods]\n", &rows).unwrap();
+        assert!(frame.contains("(no spans)"), "{frame}");
+        assert!(rows.is_empty());
+
+        assert!(top_window_frame(1, 2, "not a query body", &[]).is_err());
+    }
+
+    #[test]
+    fn query_connect_and_windowed_top_against_a_retaining_daemon() {
+        use teeperf_core::layout::{EventKind, LogEntry};
+        use teeperf_core::log::make_header;
+        use teeperf_core::shm_file::{publish_sidecar, FileShmWriter};
+
+        let dir = std::env::temp_dir().join(format!("teeperf-cli-query-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let debug = mcvm::DebugInfo::from_functions([("main", 4, 1), ("work", 4, 5)]);
+        publish_sidecar(&dir, 41, "sym", &debug.to_text()).unwrap();
+        let mut w = FileShmWriter::create(&dir, &make_header(41, 64, true, 0, 0)).unwrap();
+        let (a0, a1) = (debug.entry_addr(0), debug.entry_addr(1));
+        let e = |kind, counter, addr| LogEntry {
+            kind,
+            counter,
+            addr,
+            tid: 0,
+        };
+        w.write(&e(EventKind::Call, 1, a0)).unwrap();
+        w.write(&e(EventKind::Call, 10, a1)).unwrap();
+        w.write(&e(EventKind::Return, 60, a1)).unwrap();
+        w.write(&e(EventKind::Return, 101, a0)).unwrap();
+        w.finish().unwrap();
+
+        let daemon = teeperf_daemon::Daemon::new(teeperf_daemon::DaemonConfig {
+            dir: dir.clone(),
+            listen: "127.0.0.1:0".to_string(),
+            pump_interval: std::time::Duration::from_millis(1),
+            scan_every: 1,
+            retention: Some(RingConfig {
+                interval: 16,
+                ..RingConfig::default()
+            }),
+            ..teeperf_daemon::DaemonConfig::default()
+        })
+        .unwrap()
+        .without_liveness_probe();
+        let addr = daemon.addr().to_string();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let handle = std::thread::spawn(move || daemon.run(&rx));
+
+        // The daemon attaches the writer asynchronously: poll until the
+        // retention ring answers.
+        let mut listing = String::new();
+        for _ in 0..2_000 {
+            let out = dispatch(&strs(&["query", "--connect", &addr, "windows"])).unwrap();
+            if out.contains("window 6..=6") {
+                listing = out;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        // work exits at tick 60 -> window 3; main at 101 -> window 6.
+        assert!(listing.contains("pid 41 interval 16"), "{listing}");
+        assert!(listing.contains("window 3..=3"), "{listing}");
+        assert!(listing.contains("window 6..=6"), "{listing}");
+
+        // Spec clauses are positional tokens, joined with `&` on the wire.
+        let out = dispatch(&strs(&[
+            "query",
+            "--connect",
+            &addr,
+            "windows=3..=3",
+            "pid=41",
+        ]))
+        .unwrap();
+        assert!(out.contains("pid 41 span 3..=3"), "{out}");
+        assert!(out.contains("work 1 50 50"), "{out}");
+        assert!(!out.contains("main"), "main exits outside window 3: {out}");
+
+        let out = dispatch(&strs(&[
+            "query",
+            "--connect",
+            &addr,
+            "windows=all",
+            "top=5",
+        ]))
+        .unwrap();
+        assert!(out.contains("work"), "{out}");
+        assert!(out.contains("main"), "{out}");
+
+        // A malformed clause surfaces the daemon's 400 with the offender.
+        let e = dispatch(&strs(&["query", "--connect", &addr, "windows=sideways"])).unwrap_err();
+        assert!(e.to_string().contains("400"), "{e}");
+        assert!(e.to_string().contains("sideways"), "{e}");
+
+        // An out-of-range window is a 404, not an empty table.
+        let e = dispatch(&strs(&["query", "--connect", &addr, "windows=9..=9"])).unwrap_err();
+        assert!(e.to_string().contains("404"), "{e}");
+
+        // top --window renders frames from the same /query endpoint.
+        let out = dispatch(&strs(&[
+            "top",
+            "--connect",
+            &addr,
+            "--window",
+            "8",
+            "--iterations",
+            "2",
+            "--interval-ms",
+            "1",
+        ]))
+        .unwrap();
+        assert!(out.contains("2 polls"), "{out}");
+        assert!(dispatch(&strs(&["top", "--connect", &addr, "--window", "0"])).is_err());
+
+        tx.send("test done".to_string()).unwrap();
+        handle.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -1450,6 +1724,63 @@ mod tests {
 
         let e = dispatch(&strs(&["live", "--logs", &base, "--watchdog-timeout", "0"])).unwrap_err();
         assert!(e.to_string().contains("watchdog-timeout"), "{e}");
+    }
+
+    #[test]
+    fn retention_flags_thread_through_live_and_logs_replay() {
+        let dir = tmpdir();
+        let prog = dir.join("ring.mc");
+        std::fs::write(
+            &prog,
+            "fn work(n: int) -> int { let s: int = 0; for (let i: int = 0; i < n; i = i + 1) { s = s + i; } return s; }
+             fn main() -> int { let acc: int = 0; for (let r: int = 0; r < 20; r = r + 1) { acc = acc + work(10); } print_int(acc); return 0; }",
+        )
+        .unwrap();
+        let prog = prog.to_str().unwrap().to_string();
+        let base = dir.join("ring").to_str().unwrap().to_string();
+
+        // A tiny ring over a long run must evict, and the transitions land
+        // in the snapshot's [events] section.
+        let out = dispatch(&strs(&[
+            "live",
+            &prog,
+            "--window-interval",
+            "50",
+            "--retain",
+            "1",
+            "--max-width",
+            "1",
+            "--out",
+            &base,
+        ]))
+        .unwrap();
+        assert!(out.contains("exit code: 0"), "{out}");
+        let snap_text = std::fs::read_to_string(format!("{base}.live")).unwrap();
+        assert!(snap_text.contains("evicted windows"), "{snap_text}");
+
+        // Logs replay reports what each pid retained.
+        let rec = dir.join("ring_rec").to_str().unwrap().to_string();
+        dispatch(&strs(&["record", &prog, "--out", &rec, "--pid", "91"])).unwrap();
+        let out = dispatch(&strs(&[
+            "live",
+            "--logs",
+            &rec,
+            "--window-interval",
+            "100000",
+            "--retain",
+            "8",
+        ]))
+        .unwrap();
+        assert!(out.contains("pid 91: retained"), "{out}");
+        assert!(out.contains("windows of 100000 ticks (0 evicted)"), "{out}");
+
+        for bad in [
+            &["live", &prog, "--window-interval", "0"][..],
+            &["live", &prog, "--retain", "x"],
+            &["live", &prog, "--max-width", "0"],
+        ] {
+            assert!(dispatch(&strs(bad)).is_err(), "{bad:?}");
+        }
     }
 
     #[test]

@@ -19,10 +19,12 @@ use std::sync::mpsc;
 use std::time::Duration;
 
 use teeperf_daemon::{Daemon, DaemonConfig};
+use teeperf_live::RingConfig;
 
 fn usage() -> String {
     "usage: teeperfd [--dir DIR] [--listen ADDR] [--snapshot-out FILE] \
-     [--pump-ms N] [--scan-every N] [--max-loops N] [--no-liveness-probe]"
+     [--pump-ms N] [--scan-every N] [--max-loops N] [--no-liveness-probe] \
+     [--window-interval TICKS] [--retain N] [--max-width N]"
         .to_string()
 }
 
@@ -52,6 +54,38 @@ fn parse(args: &[String]) -> Result<(DaemonConfig, bool), String> {
             }
             "--max-loops" => {
                 config.max_loops = Some(value()?.parse().map_err(|_| "--max-loops: not a number")?)
+            }
+            "--window-interval" => {
+                let ticks: u64 = value()?
+                    .parse()
+                    .map_err(|_| "--window-interval: not a number")?;
+                if ticks == 0 {
+                    return Err("--window-interval must be >= 1".to_string());
+                }
+                config
+                    .retention
+                    .get_or_insert_with(RingConfig::default)
+                    .interval = ticks;
+            }
+            "--retain" => {
+                let n: usize = value()?.parse().map_err(|_| "--retain: not a number")?;
+                if n == 0 {
+                    return Err("--retain must be >= 1".to_string());
+                }
+                config
+                    .retention
+                    .get_or_insert_with(RingConfig::default)
+                    .capacity = n;
+            }
+            "--max-width" => {
+                let n: u64 = value()?.parse().map_err(|_| "--max-width: not a number")?;
+                if n == 0 {
+                    return Err("--max-width must be >= 1".to_string());
+                }
+                config
+                    .retention
+                    .get_or_insert_with(RingConfig::default)
+                    .max_width = n;
             }
             "--no-liveness-probe" => probe = false,
             "--help" | "-h" => return Err(usage()),

@@ -41,6 +41,13 @@ impl Request {
             .find_map(|pair| pair.split_once('=').filter(|(k, _)| *k == key))
             .map(|(_, v)| v)
     }
+
+    /// The whole raw query string after `?`, if any — `/query` hands it
+    /// verbatim to the window-spec parser, whose clause grammar *is* the
+    /// query-string grammar.
+    pub fn query_string(&self) -> Option<&str> {
+        self.target.split_once('?').map(|(_, qs)| qs)
+    }
 }
 
 /// Read one request head off `stream` (through the blank line); the body,
@@ -120,10 +127,21 @@ impl Response {
         }
     }
 
+    /// A `400 Bad Request` with a one-line explanation — a malformed
+    /// window-query spec is the client's fault, not a missing resource.
+    pub fn bad_request(reason: impl Into<String>) -> Response {
+        Response {
+            status: 400,
+            content_type: "text/plain; charset=utf-8",
+            body: format!("{}\n", reason.into()).into_bytes(),
+        }
+    }
+
     /// The status line's reason phrase.
     fn reason(&self) -> &'static str {
         match self.status {
             200 => "OK",
+            400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
             _ => "Error",

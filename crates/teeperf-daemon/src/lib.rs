@@ -43,10 +43,14 @@ use std::time::Duration;
 
 use mcvm::DebugInfo;
 use teeperf_analyzer::symbolize::Symbolizer;
+use teeperf_analyzer::WindowSpec;
 use teeperf_core::shm_file::{log_path, sym_path, LOG_EXT};
 use teeperf_core::{EventSource, FileShmSource, SalvageReport, SourceBatch};
 use teeperf_flamegraph::SvgOptions;
-use teeperf_live::{LiveConfig, SessionEvent, SessionRegistry, Snapshot, WatchdogConfig};
+use teeperf_live::{
+    windows_to_text, LiveConfig, RingConfig, SessionEvent, SessionRegistry, Snapshot,
+    WatchdogConfig,
+};
 
 use http::{Request, Response};
 
@@ -70,6 +74,9 @@ pub struct DaemonConfig {
     /// Shut down after this many loop iterations (a test/CI safety net;
     /// `None` runs until asked to stop).
     pub max_loops: Option<u64>,
+    /// Windowed retention handed to every session (`None` serves the
+    /// all-time view only: `/windows` lists nothing and `/query` 404s).
+    pub retention: Option<RingConfig>,
 }
 
 impl Default for DaemonConfig {
@@ -83,6 +90,7 @@ impl Default for DaemonConfig {
             watchdog: WatchdogConfig::default(),
             hole_pumps: teeperf_core::shm_file::DEFAULT_HOLE_PUMPS,
             max_loops: None,
+            retention: None,
         }
     }
 }
@@ -176,6 +184,25 @@ pub trait SnapshotService {
     /// The `/metrics` exposition text.
     fn metrics_text(&mut self) -> String;
 
+    /// The `/windows` listing ([`teeperf_live::windows_to_text`] over the
+    /// per-pid retention rings). The default serves the empty listing —
+    /// correct for services without windowed retention.
+    fn windows_text(&mut self) -> String {
+        windows_to_text(&[])
+    }
+
+    /// Evaluate a window-query spec string (the raw query string of
+    /// `GET /query?...`). `Err` is a parse failure (the client's fault:
+    /// 400); `Ok(None)` means nothing retained matches (404); `Ok(Some)`
+    /// is the response body. The default retains nothing.
+    ///
+    /// # Errors
+    /// A description of the malformed spec.
+    fn query_text(&mut self, spec: &str) -> Result<Option<String>, String> {
+        WindowSpec::parse(spec)?;
+        Ok(None)
+    }
+
     /// Flame-graph SVG: one pid's towers, or the merged per-process view.
     /// `None` when the pid is unknown.
     fn flame_svg(&mut self, pid: Option<u64>) -> Option<String> {
@@ -213,6 +240,21 @@ pub fn route(service: &mut dyn SnapshotService, req: &Request) -> (Response, boo
         "/healthz" => (Response::text("ok\n"), false),
         "/snapshot" => (Response::text(service.merged().to_text()), false),
         "/metrics" => (Response::text(service.metrics_text()), false),
+        "/windows" => (Response::text(service.windows_text()), false),
+        "/query" => {
+            let spec = req.query_string().unwrap_or("");
+            match service.query_text(spec) {
+                Ok(Some(body)) => (Response::text(body), false),
+                Ok(None) => (
+                    Response::not_found(
+                        "no retained window matches the query (is retention enabled? \
+                         see /windows)",
+                    ),
+                    false,
+                ),
+                Err(why) => (Response::bad_request(why), false),
+            }
+        }
         "/shutdown" => (Response::text("shutting down\n"), true),
         "/flame.svg" => {
             let pid = match req.query("pid") {
@@ -245,7 +287,8 @@ pub fn route(service: &mut dyn SnapshotService, req: &Request) -> (Response, boo
             } else {
                 (
                     Response::not_found(format!(
-                        "unknown path {path}; try /healthz /snapshot /pid/<n> /flame.svg /metrics /shutdown"
+                        "unknown path {path}; try /healthz /snapshot /pid/<n> /flame.svg \
+                         /windows /query /metrics /shutdown"
                     )),
                     false,
                 )
@@ -358,7 +401,11 @@ impl Daemon {
         let listener = TcpListener::bind(&config.listen)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let registry = SessionRegistry::new(LiveConfig::default()).with_watchdog(config.watchdog);
+        let live = LiveConfig {
+            retention: config.retention.clone(),
+            ..LiveConfig::default()
+        };
+        let registry = SessionRegistry::new(live).with_watchdog(config.watchdog);
         Ok(Daemon {
             config,
             registry,
@@ -570,6 +617,15 @@ impl SnapshotService for Daemon {
         }
     }
 
+    fn windows_text(&mut self) -> String {
+        windows_to_text(&self.registry.windows())
+    }
+
+    fn query_text(&mut self, spec: &str) -> Result<Option<String>, String> {
+        let spec = WindowSpec::parse(spec)?;
+        Ok(self.registry.query_text(&spec))
+    }
+
     fn metrics_text(&mut self) -> String {
         let salvage = self.registry.salvage();
         let quarantined = self.quarantined_pids();
@@ -670,6 +726,10 @@ mod tests {
     }
 
     fn test_daemon(dir: &Path) -> Daemon {
+        test_daemon_with(dir, None)
+    }
+
+    fn test_daemon_with(dir: &Path, retention: Option<RingConfig>) -> Daemon {
         Daemon::new(DaemonConfig {
             dir: dir.to_path_buf(),
             listen: "127.0.0.1:0".to_string(),
@@ -679,6 +739,7 @@ mod tests {
             watchdog: WatchdogConfig::default(),
             hole_pumps: 4,
             max_loops: None,
+            retention,
         })
         .unwrap()
         .without_liveness_probe()
@@ -759,8 +820,19 @@ mod tests {
         assert!(String::from_utf8(r.body)
             .unwrap()
             .contains("teeperf_events_total 4"));
+        // Retention is off in this daemon: the listing is empty, a valid
+        // query finds nothing, and a malformed one is the client's fault.
+        let (r, _) = get(&mut d, "/windows");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, b"[windows]\n");
+        let (r, _) = get(&mut d, "/query?windows=all");
+        assert_eq!(r.status, 404);
+        let (r, _) = get(&mut d, "/query?windows=sideways");
+        assert_eq!(r.status, 400);
+        assert!(String::from_utf8(r.body).unwrap().contains("sideways"));
         let (r, _) = get(&mut d, "/nope");
         assert_eq!(r.status, 404);
+        assert!(String::from_utf8(r.body).unwrap().contains("/query"));
         let (r, stop) = get(&mut d, "/shutdown");
         assert_eq!((r.status, stop), (200, true));
         let (r, _) = route(
@@ -771,6 +843,55 @@ mod tests {
             },
         );
         assert_eq!(r.status, 405);
+    }
+
+    #[test]
+    fn windowed_daemon_serves_listing_query_and_diff() {
+        let dir = scratch("windows");
+        // pid 101: work exits at tick 60 (window 3), main at 101 (window 6);
+        // pid 202: work exits at tick 40 (window 2), main at 101 (window 6).
+        write_session(&dir.0, 101, 50);
+        write_session(&dir.0, 202, 30);
+        let mut d = test_daemon_with(
+            &dir.0,
+            Some(RingConfig {
+                interval: 16,
+                capacity: 8,
+                max_width: 4,
+            }),
+        );
+        d.scan();
+        d.registry.pump();
+        let get = |d: &mut Daemon, target: &str| {
+            route(
+                d,
+                &Request {
+                    method: "GET".into(),
+                    target: target.into(),
+                },
+            )
+            .0
+        };
+        let r = get(&mut d, "/windows");
+        let listing = String::from_utf8(r.body).unwrap();
+        assert!(listing.contains("pid 101 interval 16"), "{listing}");
+        assert!(listing.contains("pid 202 interval 16"), "{listing}");
+        let parsed = teeperf_live::windows_from_text(&listing).unwrap();
+        assert_eq!(parsed.len(), 2);
+
+        let r = get(&mut d, "/query?windows=last:5&top=10");
+        assert_eq!(r.status, 200);
+        let body = String::from_utf8(r.body).unwrap();
+        let rows = Snapshot::methods_from_text(&body).unwrap();
+        assert!(rows.iter().any(|(name, ..)| name == "work"), "{body}");
+
+        let r = get(&mut d, "/query?diff=2,3&pid=101");
+        assert_eq!(r.status, 404, "pid 101 has nothing in window 2");
+        let r = get(&mut d, "/query?diff=2,3");
+        assert_eq!(r.status, 200, "fleet-wide both windows exist");
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(body.contains("diff 2 vs 3\n[diff]\n"), "{body}");
+        assert!(body.contains("work"), "{body}");
     }
 
     #[test]

@@ -303,6 +303,83 @@ fn killed_writer_is_quarantined_not_wedging_the_registry() {
 }
 
 #[test]
+fn windowed_queries_answer_time_travel_over_live_writers() {
+    let _guard = hang_guard("windowed_queries_answer_time_travel_over_live_writers");
+    let dir = scratch("windows");
+    // One writer iteration spans exactly 12 virtual ticks, so a 12-tick
+    // window interval puts each iteration's leaf exit in its own window
+    // (windows derive from the event counters, never wall time).
+    let daemon = DaemonProc::spawn(&dir.0, &["--window-interval", "12", "--retain", "16"]);
+
+    let mut w1 = spawn_writer(&dir.0, 7, &["--interval-ms", "3"]);
+    let mut w2 = spawn_writer(&dir.0, 5, &[]);
+    let pid1 = u64::from(w1.id());
+    let pid2 = u64::from(w2.id());
+    assert!(w1.wait().expect("wait w1").success());
+    assert!(w2.wait().expect("wait w2").success());
+
+    // The listing settles once both rings hold their final windows: pid1's
+    // main returns at tick 86 (window 7), pid2's at 62 (window 5).
+    let listing = poll_until(60, "both rings fully populated", || {
+        let (code, text) = daemon.get("/windows");
+        assert_eq!(code, 200);
+        let parts = teeperf_live::windows_from_text(&text).ok()?;
+        let done = |pid: u64, last: u64| {
+            parts
+                .iter()
+                .any(|p| p.pid == pid && p.windows.last().is_some_and(|w| w.last == last))
+        };
+        (done(pid1, 7) && done(pid2, 5)).then_some(parts)
+    });
+    let ring1 = listing.iter().find(|p| p.pid == pid1).unwrap();
+    assert_eq!(ring1.interval, 12);
+    assert_eq!(ring1.evicted_windows, 0, "retain 16 never overflows");
+    assert_eq!(ring1.windows.len(), 8, "windows 0..=7 all landed");
+
+    // "What ran in the last 5 windows?" — answered fleet-wide over HTTP,
+    // inside the snapshot wire contract teeperf top already parses.
+    let (code, body) = daemon.get("/query?windows=last:5&top=10");
+    assert_eq!(code, 200, "{body}");
+    let rows = Snapshot::methods_from_text(&body).unwrap();
+    assert!(rows.iter().any(|(n, ..)| n == "work"), "{body}");
+    assert!(rows.iter().any(|(n, ..)| n == "leaf"), "{body}");
+
+    // Window 0 holds exactly pid1's first leaf call and nothing else.
+    let (code, body) = daemon.get(&format!("/query?windows=0..=0&pid={pid1}"));
+    assert_eq!(code, 200, "{body}");
+    let rows = Snapshot::methods_from_text(&body).unwrap();
+    assert_eq!(rows, vec![("leaf".to_string(), 1, 4, 4)], "{body}");
+
+    // The ring identity, end to end: merging every retained window equals
+    // the whole-session per-pid profile the daemon serves at /pid/<n>.
+    let (_, span_all) = daemon.get(&format!("/query?windows=all&pid={pid1}"));
+    let mut from_ring = Snapshot::methods_from_text(&span_all).unwrap();
+    let (_, direct) = daemon.get(&format!("/pid/{pid1}"));
+    let mut from_snapshot = Snapshot::methods_from_text(&direct).unwrap();
+    from_ring.sort();
+    from_snapshot.sort();
+    assert_eq!(
+        from_ring, from_snapshot,
+        "retained windows must merge exactly"
+    );
+
+    // Two-window diff via the batch comparator: iterations are identical,
+    // so window 2 vs 3 of pid1 shows work and leaf with zero drift.
+    let (code, body) = daemon.get(&format!("/query?diff=2,3&pid={pid1}"));
+    assert_eq!(code, 200, "{body}");
+    assert!(body.contains("diff 2 vs 3\n[diff]\n"), "{body}");
+    assert!(body.contains("work") && body.contains("leaf"), "{body}");
+
+    // A window pid2 never reached is a clean 404, not a wedge.
+    let (code, _) = daemon.get(&format!("/query?windows=7..=7&pid={pid2}"));
+    assert_eq!(code, 404);
+
+    let (code, _) = daemon.get("/shutdown");
+    assert_eq!(code, 200);
+    assert!(daemon.wait().success());
+}
+
+#[test]
 fn writer_binary_rejects_bad_usage() {
     let _guard = hang_guard("writer_binary_rejects_bad_usage");
     let out = Command::new(env!("CARGO_BIN_EXE_teeperf-shm-writer"))

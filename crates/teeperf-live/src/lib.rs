@@ -34,6 +34,12 @@
 //! * [`native`] — [`NativeLiveSession`]: continuous profiling of native
 //!   Rust workloads under a *real* spin-counter thread, through the same
 //!   session machinery.
+//! * [`window`] — windowed retention: a [`RetentionRing`] of per-interval
+//!   aggregates over the virtual clock with time-decayed coarsening, one
+//!   ring per session (so one noisy pid cannot age out another's
+//!   history), queried through the `teeperf_analyzer::query::windowed`
+//!   spec — the time-travel layer behind `/windows`, `/query` and
+//!   `teeperf query`.
 
 #![forbid(unsafe_code)]
 
@@ -44,6 +50,7 @@ pub mod registry;
 pub mod rolling;
 pub mod session;
 pub mod snapshot;
+pub mod window;
 
 pub use drain::{DrainBatch, DrainPolicy, Drainer};
 pub use driver::{
@@ -55,3 +62,7 @@ pub use registry::{AttachError, RegistryRun, SessionRegistry, WatchdogConfig};
 pub use rolling::RollingProfile;
 pub use session::{LiveConfig, LiveSession};
 pub use snapshot::{SessionEvent, Snapshot};
+pub use window::{
+    windows_from_text, windows_to_text, PidWindows, RetentionRing, RingConfig, RingEvent,
+    WindowMeta, WindowSel,
+};

@@ -116,6 +116,13 @@ impl NativeLiveSession {
         self.session.status()
     }
 
+    /// The retained-window listing when [`LiveConfig::retention`] is set —
+    /// a native workload under a real spin counter gets the same
+    /// time-travel queries as every other session.
+    pub fn windows(&self) -> Option<crate::window::PidWindows> {
+        self.session.windows()
+    }
+
     /// End the session: final drain, force-close open frames, final
     /// snapshot. Dropping the returned session also stops the counter
     /// thread (it lives inside the profiler's hooks).

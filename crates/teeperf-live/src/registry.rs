@@ -25,14 +25,16 @@ use std::error::Error;
 use std::fmt;
 
 use teeperf_analyzer::merge_profiles;
+use teeperf_analyzer::query::windowed::top_rows;
 use teeperf_analyzer::symbolize::Symbolizer;
-use teeperf_analyzer::Profile;
+use teeperf_analyzer::{diff, Frame, Profile, WindowSpec};
 use teeperf_core::layout::PID_UNSET;
 use teeperf_core::{EventSource, SalvageReport};
 use teeperf_flamegraph::{live, LiveStatus, SvgOptions};
 
 use crate::session::{LiveConfig, LiveSession};
 use crate::snapshot::{SessionEvent, Snapshot};
+use crate::window::{PidWindows, WindowMeta, WindowSel};
 
 /// Why a source could not be attached to the registry.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -405,7 +407,95 @@ impl SessionRegistry {
         live::render_svg_multi(&parts, &self.merged_status(), options)
     }
 
-    /// End every session (drain final partial epochs, force-close open
+    /// Per-pid retained-window listings across the attached sessions,
+    /// ascending by pid. Each session owns its own [`RetentionRing`]
+    /// (see [`crate::window`]), so one chatty process never ages out
+    /// another's history. Sessions running without retention — and
+    /// retired sessions, whose rings ended with them — are absent.
+    ///
+    /// [`RetentionRing`]: crate::window::RetentionRing
+    pub fn windows(&self) -> Vec<PidWindows> {
+        self.sessions
+            .values()
+            .filter_map(LiveSession::windows)
+            .collect()
+    }
+
+    /// Evaluate a window span across the fleet: with `pid` set, the span
+    /// profile of that one session; without, the commutative merge of
+    /// every attached session's span (a session with nothing retained in
+    /// the span simply contributes nothing). Returns the contributing
+    /// `(pid, span)` pairs ascending plus the merged profile, or `None`
+    /// when no session holds data in the span.
+    pub fn span_query(
+        &self,
+        sel: &WindowSel,
+        pid: Option<u64>,
+    ) -> Option<(Vec<(u64, WindowMeta)>, Profile)> {
+        let spans: Vec<(u64, WindowMeta, Profile)> = match pid {
+            Some(p) => {
+                let (meta, profile) = self.sessions.get(&p)?.span_profile(sel)?;
+                vec![(p, meta, profile)]
+            }
+            None => self
+                .sessions
+                .iter()
+                .filter_map(|(pid, s)| s.span_profile(sel).map(|(m, p)| (*pid, m, p)))
+                .collect(),
+        };
+        if spans.is_empty() {
+            return None;
+        }
+        let parts: Vec<(u64, &Profile)> = spans.iter().map(|(pid, _, p)| (*pid, p)).collect();
+        let profile = merge_profiles(&parts);
+        let metas = spans.iter().map(|(pid, m, _)| (*pid, m.clone())).collect();
+        Some((metas, profile))
+    }
+
+    /// Two-window diff over retained history: window `a` as baseline,
+    /// window `b` as candidate, compared through the same
+    /// [`teeperf_analyzer::diff`] the batch `teeperf diff` uses. With
+    /// `pid` set the diff is that session's alone; without, both sides
+    /// are fleet merges. `None` when either window holds no retained
+    /// data (out of range, or already evicted).
+    pub fn window_diff(&self, a: u64, b: u64, pid: Option<u64>) -> Option<Frame> {
+        let pa = self.span_query(&WindowSel::Range(a, a), pid)?.1;
+        let pb = self.span_query(&WindowSel::Range(b, b), pid)?.1;
+        Some(diff(&pa, &pb))
+    }
+
+    /// Evaluate a parsed window-query spec into text inside the snapshot
+    /// wire contract. Top queries render a `[query]` header (the
+    /// canonical spec plus every contributing pid's span) followed by a
+    /// `[methods]` table that [`Snapshot::methods_from_text`] parses
+    /// unchanged; diff queries render the batch comparator's table under
+    /// `[diff]`. `None` when nothing retained matches the spec.
+    pub fn query_text(&self, spec: &WindowSpec) -> Option<String> {
+        let mut out = format!("[query]\nspec {}\n", spec.to_query_string());
+        if let Some((a, b)) = spec.diff {
+            let frame = self.window_diff(a, b, spec.pid)?;
+            out.push_str(&format!("diff {a} vs {b}\n[diff]\n"));
+            out.push_str(&frame.to_table());
+            if !out.ends_with('\n') {
+                out.push('\n');
+            }
+        } else {
+            let (spans, profile) = self.span_query(&spec.sel, spec.pid)?;
+            for (pid, m) in &spans {
+                out.push_str(&format!(
+                    "pid {pid} span {}..={} ticks {}..={} calls {}\n",
+                    m.first, m.last, m.start_tick, m.end_tick, m.calls
+                ));
+            }
+            out.push_str("[methods]\n");
+            for (name, calls, incl, excl) in top_rows(&profile, spec) {
+                out.push_str(&format!("{name} {calls} {incl} {excl}\n"));
+            }
+        }
+        Some(out)
+    }
+
+    /// End every session (drain final partial epochs, close open
     /// frames) and return the per-pid snapshots plus the merged view.
     /// Retired sessions are included under their pids, so the merged
     /// totals equal the sum over `per_pid` even after quarantines.
@@ -422,18 +512,22 @@ impl SessionRegistry {
 }
 
 /// Merge per-pid snapshots: profiles through [`merge_profiles`], statuses
-/// by field-wise summation; `events` becomes the merged snapshot's event
-/// log.
+/// by field-wise summation; `events` (the registry's lifecycle log) is
+/// extended with each per-pid snapshot's own events — retention
+/// transitions recorded by the sessions — in ascending pid order, so the
+/// merged `[events]` section never hides history loss.
 fn merge_snapshots(per_pid: &BTreeMap<u64, Snapshot>, events: Vec<SessionEvent>) -> Snapshot {
     let parts: Vec<(u64, &Profile)> = per_pid.iter().map(|(pid, s)| (*pid, &s.profile)).collect();
     let profile = merge_profiles(&parts);
     let mut status = LiveStatus::default();
+    let mut events = events;
     for s in per_pid.values() {
         status.epoch += s.status.epoch;
         status.events += s.status.events;
         status.dropped += s.status.dropped;
         status.threads += s.status.threads;
         status.open_frames += s.status.open_frames;
+        events.extend(s.events.iter().cloned());
     }
     Snapshot {
         status,
@@ -666,6 +760,117 @@ mod tests {
         assert_eq!(run.merged.status.events, 1);
         let text = run.merged.to_text();
         assert!(text.contains("quarantined pid 9"), "{text}");
+    }
+
+    #[test]
+    fn fleet_window_queries_merge_across_pids() {
+        use crate::window::RingConfig;
+        let config = LiveConfig {
+            retention: Some(RingConfig {
+                interval: 16,
+                capacity: 8,
+                max_width: 4,
+            }),
+            ..LiveConfig::default()
+        };
+        let mut reg = SessionRegistry::new(config);
+        // pid 11: work exits at tick 30 (window 1); pid 22: work exits at
+        // tick 40 (window 2); both mains exit at tick 101 (window 6).
+        for (pid, work) in [(11u64, 20u64), (22, 30)] {
+            reg.attach(Box::new(FileReplaySource::new(&file(pid, work))), sym())
+                .unwrap();
+        }
+        while reg.pump() > 0 {}
+
+        let listing = reg.windows();
+        assert_eq!(listing.len(), 2);
+        assert_eq!(listing[0].pid, 11);
+        assert_eq!(listing[1].pid, 22);
+        assert_eq!(listing[0].interval, 16);
+        let metas: Vec<(u64, u64)> = listing[0]
+            .windows
+            .iter()
+            .map(|w| (w.first, w.last))
+            .collect();
+        assert_eq!(metas, vec![(1, 1), (6, 6)], "work then main, by exit tick");
+
+        // Fleet-wide merge over all retained windows sums the per-pid spans.
+        let (spans, all) = reg
+            .span_query(&WindowSel::All, None)
+            .expect("data retained");
+        assert_eq!(spans.iter().map(|(p, _)| *p).collect::<Vec<_>>(), [11, 22]);
+        let work = all.method("work").unwrap();
+        assert_eq!((work.calls, work.inclusive), (2, 50));
+
+        // A single pid's single window isolates one call exactly.
+        let (_, w1) = reg
+            .span_query(&WindowSel::Range(1, 1), Some(11))
+            .expect("window 1 retained for pid 11");
+        let work = w1.method("work").unwrap();
+        assert_eq!((work.calls, work.inclusive, work.exclusive), (1, 20, 20));
+        assert!(w1.method("main").is_none(), "main exits in window 6");
+
+        // Two-window diff flows through the batch comparator.
+        let frame = reg.window_diff(1, 2, None).expect("both windows retained");
+        assert!(frame.to_table().contains("work"));
+        assert!(
+            reg.window_diff(1, 9, None).is_none(),
+            "window 9 never existed"
+        );
+
+        // The rendered query stays inside the snapshot wire contract:
+        // `methods_from_text` parses a `/query` body unchanged.
+        let spec = teeperf_analyzer::WindowSpec::parse("windows=all&top=1&by=total").unwrap();
+        let text = reg.query_text(&spec).unwrap();
+        assert!(
+            text.starts_with("[query]\nspec windows=all&top=1&by=total\n"),
+            "{text}"
+        );
+        assert!(text.contains("pid 11 span 1..=6"), "{text}");
+        let rows = Snapshot::methods_from_text(&text).unwrap();
+        assert_eq!(rows.len(), 1, "top=1 truncates");
+        assert_eq!(rows[0].0, "main", "by=total ranks main first");
+        let spec = teeperf_analyzer::WindowSpec::parse("diff=1,2").unwrap();
+        let text = reg.query_text(&spec).unwrap();
+        assert!(text.contains("diff 1 vs 2\n[diff]\n"), "{text}");
+        assert!(text.contains("work"), "{text}");
+    }
+
+    #[test]
+    fn retention_transitions_surface_in_the_merged_events() {
+        use crate::window::RingConfig;
+        let config = LiveConfig {
+            retention: Some(RingConfig {
+                interval: 16,
+                capacity: 1,
+                max_width: 1,
+            }),
+            ..LiveConfig::default()
+        };
+        let mut reg = SessionRegistry::new(config);
+        reg.attach(Box::new(FileReplaySource::new(&file(7, 10))), sym())
+            .unwrap();
+        while reg.pump() > 0 {}
+        let run = reg.finish();
+        assert_eq!(
+            run.merged.events,
+            vec![
+                SessionEvent::Attached { pid: 7 },
+                SessionEvent::WindowsEvicted {
+                    pid: 7,
+                    first: 1,
+                    last: 1,
+                    calls: 1
+                },
+            ]
+        );
+        let text = run.merged.to_text();
+        assert!(
+            text.contains("evicted windows 1..=1 of pid 7 (1 calls)"),
+            "{text}"
+        );
+        // The evicted call still counts in the whole-session totals.
+        assert_eq!(run.merged.profile.method("work").unwrap().calls, 1);
     }
 
     #[test]

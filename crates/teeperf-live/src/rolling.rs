@@ -30,19 +30,85 @@ use teeperf_analyzer::symbolize::Symbolizer;
 use teeperf_core::layout::LogEntry;
 use teeperf_flamegraph::LiveStatus;
 
+use crate::window::{RetentionRing, RingConfig, RingEvent, WindowMeta, WindowSel};
+
 /// An endlessly updatable profile over a stream of log entries.
+///
+/// With retention enabled ([`RollingProfile::with_retention`]) every
+/// completed call is additionally attributed to a [`RetentionRing`] window
+/// by its exit counter — the all-time aggregate and the per-thread open
+/// frames are untouched, so open frames resume across window boundaries
+/// exactly as they resume across epochs, and the windowed view can be
+/// reconciled against the all-time totals at any moment.
 #[derive(Debug, Default)]
 pub struct RollingProfile {
     threads: BTreeMap<u64, ResumableStacks>,
     agg: Aggregates,
     events: u64,
     incomplete: u64,
+    ring: Option<RetentionRing>,
 }
 
 impl RollingProfile {
     /// An empty rolling profile.
     pub fn new() -> RollingProfile {
         RollingProfile::default()
+    }
+
+    /// An empty rolling profile that also retains per-window aggregates in
+    /// a ring configured by `retention` (`None` keeps the all-time-only
+    /// behavior of [`RollingProfile::new`]).
+    pub fn with_retention(retention: Option<&RingConfig>) -> RollingProfile {
+        RollingProfile {
+            ring: retention.map(RetentionRing::new),
+            ..RollingProfile::default()
+        }
+    }
+
+    /// The retention ring, when windowing is enabled.
+    pub fn ring(&self) -> Option<&RetentionRing> {
+        self.ring.as_ref()
+    }
+
+    /// Drain the ring's retention transitions (evictions, coarsenings)
+    /// since the last call. Empty when windowing is disabled.
+    pub fn take_ring_events(&mut self) -> Vec<RingEvent> {
+        self.ring
+            .as_mut()
+            .map(RetentionRing::take_events)
+            .unwrap_or_default()
+    }
+
+    /// Metadata of every retained window, oldest first (`None` when
+    /// windowing is disabled).
+    pub fn windows(&self) -> Option<Vec<WindowMeta>> {
+        self.ring.as_ref().map(RetentionRing::windows)
+    }
+
+    /// Materialize the exact merge of the selected windows as a
+    /// [`Profile`], spanning only the calls that completed in those
+    /// windows. `None` when windowing is disabled or the selection matches
+    /// no retained slot. Window anomaly counters are zero by construction
+    /// — orphans and truncations are session-scoped, not window-scoped.
+    pub fn span_profile(
+        &self,
+        symbolizer: &Symbolizer,
+        sel: &WindowSel,
+    ) -> Option<(WindowMeta, Profile)> {
+        let (span, agg) = self.ring.as_ref()?.span_aggregate(sel)?;
+        Some((span, materialize_window(&agg, symbolizer)))
+    }
+
+    /// Materialize the single retained slot containing window `idx` (a
+    /// coarsened index resolves to its containing bucket). `None` when
+    /// windowing is disabled or the window is not retained.
+    pub fn window_profile(
+        &self,
+        symbolizer: &Symbolizer,
+        idx: u64,
+    ) -> Option<(WindowMeta, Profile)> {
+        let (meta, agg) = self.ring.as_ref()?.slot_containing(idx)?;
+        Some((meta, materialize_window(&agg, symbolizer)))
     }
 
     /// Events merged so far (excluding dismissed incomplete records).
@@ -94,6 +160,9 @@ impl RollingProfile {
             for (tid, events) in per_tid {
                 let completed = self.threads.entry(tid).or_default().feed(&events);
                 self.agg.absorb(tid, &completed);
+                if let Some(ring) = self.ring.as_mut() {
+                    ring.absorb(tid, &completed);
+                }
             }
             return;
         }
@@ -141,6 +210,9 @@ impl RollingProfile {
         completed.sort_by_key(|(tid, _)| *tid);
         for (tid, batch) in completed {
             self.agg.absorb(tid, &batch);
+            if let Some(ring) = self.ring.as_mut() {
+                ring.absorb(tid, &batch);
+            }
         }
     }
 
@@ -156,6 +228,9 @@ impl RollingProfile {
                 .expect("tid listed above")
                 .finish();
             self.agg.absorb(tid, &closed);
+            if let Some(ring) = self.ring.as_mut() {
+                ring.absorb(tid, &closed);
+            }
         }
     }
 
@@ -192,6 +267,15 @@ impl RollingProfile {
             },
         )
     }
+}
+
+/// Materialize one window-scoped aggregate: thread lists come from the
+/// window's own completed calls, anomalies are zero (session-scoped by
+/// design — a window never saw an orphan, only the stream did).
+fn materialize_window(agg: &Aggregates, symbolizer: &Symbolizer) -> Profile {
+    let per_thread_calls: BTreeMap<u64, Vec<_>> =
+        agg.thread_ids().map(|tid| (tid, Vec::new())).collect();
+    agg.materialize(symbolizer, per_thread_calls, Anomalies::default())
 }
 
 #[cfg(test)]
@@ -336,6 +420,60 @@ mod tests {
         let p = rolling.snapshot(&Symbolizer::without_relocation(debug()), 7);
         assert_eq!(p.anomalies.incomplete_entries, 1);
         assert_eq!(p.anomalies.dropped_entries, 7);
+    }
+
+    #[test]
+    fn windows_reconcile_exactly_with_the_all_time_aggregate() {
+        let entries = sample_entries();
+        let sym = Symbolizer::without_relocation(debug());
+        let config = RingConfig {
+            interval: 30,
+            capacity: 8,
+            max_width: 4,
+        };
+        let mut rolling = RollingProfile::with_retention(Some(&config));
+        for c in entries.chunks(3) {
+            rolling.ingest(c);
+        }
+        rolling.finish();
+        let whole = rolling.snapshot(&sym, 0);
+        // Retained ⊕ remainder, materialized with the session's thread
+        // list and anomalies, is byte-identical to the all-time snapshot.
+        let rebuilt = rolling.ring().unwrap().reconstruct().materialize(
+            &sym,
+            whole.per_thread_calls.clone(),
+            whole.anomalies,
+        );
+        assert_eq!(rebuilt, whole);
+        // And a span profile covers exactly the calls exiting in its span.
+        let (span, p) = rolling
+            .span_profile(&sym, &WindowSel::Range(1, 1))
+            .expect("window 1 retained");
+        assert_eq!((span.first, span.last), (1, 1));
+        assert_eq!(span.calls, 1, "only leaf exits in ticks 30..=59");
+        assert_eq!(p.method("leaf").unwrap().calls, 1);
+        assert!(p.method("main").is_none());
+    }
+
+    #[test]
+    fn open_frames_resume_across_window_boundaries() {
+        use EventKind::{Call, Return};
+        let config = RingConfig {
+            interval: 10,
+            capacity: 16,
+            max_width: 4,
+        };
+        let mut rolling = RollingProfile::with_retention(Some(&config));
+        rolling.ingest(&[e(Call, 1, addr(0), 0)]);
+        // Eight window intervals pass before the return arrives; the call
+        // must close cleanly and land in the window of its exit.
+        rolling.ingest(&[e(Return, 95, addr(0), 0)]);
+        assert_eq!(rolling.open_frames(), 0);
+        let windows = rolling.windows().unwrap();
+        assert_eq!(windows.len(), 1);
+        assert_eq!((windows[0].first, windows[0].calls), (9, 1));
+        let p = rolling.snapshot(&Symbolizer::without_relocation(debug()), 0);
+        assert_eq!(p.anomalies.truncated_frames, 0);
     }
 
     #[test]

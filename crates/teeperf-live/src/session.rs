@@ -16,7 +16,8 @@ use teeperf_flamegraph::{live, LiveStatus, SvgOptions};
 
 use crate::drain::{DrainPolicy, Drainer};
 use crate::rolling::RollingProfile;
-use crate::snapshot::Snapshot;
+use crate::snapshot::{SessionEvent, Snapshot};
+use crate::window::{PidWindows, RingConfig, RingEvent, WindowMeta, WindowSel};
 
 /// Session tuning.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,6 +39,11 @@ pub struct LiveConfig {
     /// high frequency on small batches, where spawning workers costs more
     /// than it saves — raise it for sessions draining large epochs.
     pub analyzer_shards: usize,
+    /// Windowed retention: keep a ring of per-interval aggregates (window
+    /// boundaries on the virtual clock) next to the all-time rolling
+    /// profile, so the session answers time-scoped queries. Off by
+    /// default — the all-time-only session costs nothing extra.
+    pub retention: Option<RingConfig>,
 }
 
 impl Default for LiveConfig {
@@ -48,6 +54,7 @@ impl Default for LiveConfig {
             width: 60,
             keep_replay: false,
             analyzer_shards: 1,
+            retention: None,
         }
     }
 }
@@ -63,6 +70,10 @@ pub struct LiveSession {
     events_at_last_refresh: u64,
     last_snapshot: Option<Snapshot>,
     replay: Vec<teeperf_core::layout::LogEntry>,
+    /// Retention transitions (evictions, coarsenings) so far, already
+    /// stamped with this session's pid — surfaced in every snapshot's
+    /// `[events]` section so history loss is never silent.
+    window_events: Vec<SessionEvent>,
 }
 
 impl LiveSession {
@@ -87,13 +98,14 @@ impl LiveSession {
     fn from_drainer(drainer: Drainer, symbolizer: Symbolizer, config: LiveConfig) -> LiveSession {
         LiveSession {
             drainer,
-            rolling: RollingProfile::new(),
+            rolling: RollingProfile::with_retention(config.retention.as_ref()),
             symbolizer,
             config,
             frames: Vec::new(),
             events_at_last_refresh: 0,
             last_snapshot: None,
             replay: Vec::new(),
+            window_events: Vec::new(),
         }
     }
 
@@ -119,6 +131,7 @@ impl LiveSession {
         }
         self.rolling
             .ingest_sharded(&batch.entries, self.config.analyzer_shards);
+        self.collect_window_events();
         if self.config.refresh_events > 0
             && self.rolling.events() - self.events_at_last_refresh >= self.config.refresh_events
         {
@@ -196,7 +209,7 @@ impl LiveSession {
         let snap = Snapshot {
             status: self.status(),
             profile,
-            events: Vec::new(),
+            events: self.window_events.clone(),
         };
         self.last_snapshot = Some(snap.clone());
         snap
@@ -227,7 +240,58 @@ impl LiveSession {
                 .ingest_sharded(&batch.entries, self.config.analyzer_shards);
         }
         self.rolling.finish();
+        self.collect_window_events();
         self.snapshot()
+    }
+
+    /// Drain the ring's retention transitions into this session's event
+    /// log, stamped with the source's pid.
+    fn collect_window_events(&mut self) {
+        let pid = self.drainer.pid();
+        for e in self.rolling.take_ring_events() {
+            self.window_events.push(match e {
+                RingEvent::Evicted { first, last, calls } => SessionEvent::WindowsEvicted {
+                    pid,
+                    first,
+                    last,
+                    calls,
+                },
+                RingEvent::Coarsened { first, last } => {
+                    SessionEvent::WindowsCoarsened { pid, first, last }
+                }
+            });
+        }
+    }
+
+    /// This session's retained-window listing (`None` when retention is
+    /// disabled) — one entry of the `/windows` wire format.
+    pub fn windows(&self) -> Option<PidWindows> {
+        let ring = self.rolling.ring()?;
+        Some(PidWindows {
+            pid: self.drainer.pid(),
+            interval: ring.interval(),
+            evicted_windows: ring.evicted_windows(),
+            evicted_calls: ring.evicted_calls(),
+            windows: ring.windows(),
+        })
+    }
+
+    /// Materialize the exact merge of the selected retained windows,
+    /// stamped with this session's pid. `None` when retention is disabled
+    /// or the selection matches nothing.
+    pub fn span_profile(&self, sel: &WindowSel) -> Option<(WindowMeta, teeperf_analyzer::Profile)> {
+        let (meta, mut profile) = self.rolling.span_profile(&self.symbolizer, sel)?;
+        profile.pids = BTreeSet::from([self.drainer.pid()]);
+        Some((meta, profile))
+    }
+
+    /// Materialize the single retained slot containing window `idx` (a
+    /// coarsened index resolves to its containing bucket), stamped with
+    /// this session's pid.
+    pub fn window_profile(&self, idx: u64) -> Option<(WindowMeta, teeperf_analyzer::Profile)> {
+        let (meta, mut profile) = self.rolling.window_profile(&self.symbolizer, idx)?;
+        profile.pids = BTreeSet::from([self.drainer.pid()]);
+        Some((meta, profile))
     }
 
     /// The raw drained stream, in order (empty unless
@@ -268,6 +332,7 @@ mod tests {
                 width: 40,
                 keep_replay: false,
                 analyzer_shards: 2,
+                retention: None,
             },
         )
     }

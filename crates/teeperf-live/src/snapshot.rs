@@ -39,6 +39,29 @@ pub enum SessionEvent {
         /// Why the watchdog gave up on it.
         reason: String,
     },
+    /// The retention ring aged the windows `first..=last` out entirely:
+    /// their calls moved to the evicted remainder (totals still
+    /// reconcile) and are no longer queryable per-window.
+    WindowsEvicted {
+        /// Process id whose ring evicted.
+        pid: u64,
+        /// First window index evicted.
+        first: u64,
+        /// Last window index evicted.
+        last: u64,
+        /// Completed calls the evicted span held.
+        calls: u64,
+    },
+    /// The retention ring merged its two oldest slots into one bucket
+    /// covering `first..=last` — resolution loss only, nothing dropped.
+    WindowsCoarsened {
+        /// Process id whose ring coarsened.
+        pid: u64,
+        /// First window index of the merged bucket.
+        first: u64,
+        /// Last window index of the merged bucket.
+        last: u64,
+    },
 }
 
 impl fmt::Display for SessionEvent {
@@ -48,6 +71,20 @@ impl fmt::Display for SessionEvent {
             SessionEvent::Detached { pid } => write!(f, "detached pid {pid}"),
             SessionEvent::Quarantined { pid, reason } => {
                 write!(f, "quarantined pid {pid}: {reason}")
+            }
+            SessionEvent::WindowsEvicted {
+                pid,
+                first,
+                last,
+                calls,
+            } => {
+                write!(
+                    f,
+                    "evicted windows {first}..={last} of pid {pid} ({calls} calls)"
+                )
+            }
+            SessionEvent::WindowsCoarsened { pid, first, last } => {
+                write!(f, "coarsened windows {first}..={last} of pid {pid}")
             }
         }
     }
@@ -334,6 +371,31 @@ mod tests {
         ));
         // The summary parser skips the section it does not know.
         assert_eq!(Snapshot::summary_from_text(&text).unwrap(), s.status);
+    }
+
+    #[test]
+    fn retention_events_render_in_the_events_section() {
+        let mut s = snap(50);
+        s.events = vec![
+            SessionEvent::WindowsCoarsened {
+                pid: 7,
+                first: 0,
+                last: 1,
+            },
+            SessionEvent::WindowsEvicted {
+                pid: 7,
+                first: 0,
+                last: 1,
+                calls: 12,
+            },
+        ];
+        let text = s.to_text();
+        assert!(text.contains(
+            "[events]\ncoarsened windows 0..=1 of pid 7\nevicted windows 0..=1 of pid 7 (12 calls)\n"
+        ));
+        // The wire parsers skip the section unchanged.
+        assert_eq!(Snapshot::summary_from_text(&text).unwrap(), s.status);
+        assert!(Snapshot::methods_from_text(&text).is_ok());
     }
 
     use proptest::prelude::*;

@@ -1,0 +1,642 @@
+//! Windowed retention: a ring of per-interval aggregates with time-decayed
+//! coarsening.
+//!
+//! A [`RetentionRing`] slices the virtual clock (the cycle counters already
+//! stamped on every event — the same clock epochs rotate on) into
+//! fixed-width windows of [`RingConfig::interval`] ticks. Every completed
+//! call is attributed to exactly one window by its **exit** counter
+//! (`exit / interval`), and each window holds its own commutative
+//! [`Aggregates`] — so merging any set of windows is *exact*: the merge of
+//! a span equals analyzing that span's calls directly, and the merge of
+//! everything (retained + evicted remainder) equals the whole-session
+//! aggregate. That identity is what the window proptests pin.
+//!
+//! Retention is bounded by [`RingConfig::capacity`] slots with time-decayed
+//! coarsening: when the ring overflows, the two **oldest** adjacent slots
+//! are merged into one wider bucket (recent history stays fine-grained,
+//! old history gets coarser), until a bucket would exceed
+//! [`RingConfig::max_width`] windows — then the oldest bucket is evicted
+//! into the ring's *evicted remainder* aggregate, which keeps counting so
+//! totals always reconcile. Both transitions are recorded as
+//! [`RingEvent`]s; the owning session surfaces them in the snapshot's
+//! `[events]` section so history loss is never silent.
+//!
+//! Window boundaries derive **only** from the virtual clock: this module
+//! is on the protocol lint's no-wall-clock list (`teeperf-lint`), so an
+//! `Instant::now()` sneaking into boundary logic fails CI.
+
+use std::collections::BTreeMap;
+
+use teeperf_analyzer::profile::Aggregates;
+use teeperf_analyzer::stacks::ThreadStacks;
+
+pub use teeperf_analyzer::query::windowed::WindowSel;
+
+/// Retention-ring tuning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingConfig {
+    /// Virtual ticks per window (the window clock is the event counter,
+    /// never wall time). Clamped to at least 1.
+    pub interval: u64,
+    /// Maximum retained slots (fine windows + coarse buckets combined).
+    /// Clamped to at least 1.
+    pub capacity: usize,
+    /// Widest bucket (in windows) coarsening may build before the oldest
+    /// bucket is evicted instead. Clamped to at least 1 (1 disables
+    /// coarsening: overflow always evicts).
+    pub max_width: u64,
+}
+
+impl Default for RingConfig {
+    fn default() -> RingConfig {
+        RingConfig {
+            interval: 100_000,
+            capacity: 64,
+            max_width: 16,
+        }
+    }
+}
+
+/// One retained slot: the frozen, immutable view handed to queries. A
+/// fresh slot covers a single window (`first == last`); coarsening widens
+/// it (`first..=last`).
+#[derive(Debug, Clone, Default)]
+struct WindowSlot {
+    first: u64,
+    last: u64,
+    calls: u64,
+    agg: Aggregates,
+}
+
+impl WindowSlot {
+    fn width(&self) -> u64 {
+        self.last - self.first + 1
+    }
+}
+
+/// Metadata of one retained window (or coarsened bucket) — everything a
+/// listing needs without materializing the profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowMeta {
+    /// First window index covered by this slot.
+    pub first: u64,
+    /// Last window index covered (== `first` for a fine-grained window).
+    pub last: u64,
+    /// First virtual tick covered (`first * interval`).
+    pub start_tick: u64,
+    /// Last virtual tick covered (`(last + 1) * interval - 1`).
+    pub end_tick: u64,
+    /// Completed calls attributed to this slot.
+    pub calls: u64,
+}
+
+/// A retention transition worth surfacing: history was coarsened or lost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RingEvent {
+    /// The slot covering `first..=last` was evicted into the remainder
+    /// aggregate; its `calls` completed calls are no longer queryable
+    /// per-window (totals still reconcile through the remainder).
+    Evicted {
+        /// First window index of the evicted slot.
+        first: u64,
+        /// Last window index of the evicted slot.
+        last: u64,
+        /// Completed calls the slot held.
+        calls: u64,
+    },
+    /// Two adjacent oldest slots were merged into one bucket covering
+    /// `first..=last`; nothing was lost, only the resolution.
+    Coarsened {
+        /// First window index of the merged bucket.
+        first: u64,
+        /// Last window index of the merged bucket.
+        last: u64,
+    },
+}
+
+/// A bounded ring of per-window aggregates over the virtual clock.
+#[derive(Debug, Default)]
+pub struct RetentionRing {
+    interval: u64,
+    capacity: usize,
+    max_width: u64,
+    /// Retained slots, ascending and non-overlapping by window index.
+    slots: Vec<WindowSlot>,
+    /// Everything aged out of the ring: merged here so the whole-session
+    /// identity (retained ⊕ remainder == total) always holds.
+    evicted: Aggregates,
+    evicted_calls: u64,
+    evicted_windows: u64,
+    /// First window index not yet evicted: calls landing below it (late
+    /// arrivals after an eviction) go straight to the remainder.
+    floor: u64,
+    events: Vec<RingEvent>,
+}
+
+impl RetentionRing {
+    /// An empty ring with `config` (fields clamped to their minimums).
+    pub fn new(config: &RingConfig) -> RetentionRing {
+        RetentionRing {
+            interval: config.interval.max(1),
+            capacity: config.capacity.max(1),
+            max_width: config.max_width.max(1),
+            ..RetentionRing::default()
+        }
+    }
+
+    /// Virtual ticks per window.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// The window index a call exiting at `counter` belongs to.
+    pub fn window_of(&self, counter: u64) -> u64 {
+        counter / self.interval
+    }
+
+    /// Retained slots (fine windows + coarse buckets).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no slot is retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Completed calls evicted into the remainder so far.
+    pub fn evicted_calls(&self) -> u64 {
+        self.evicted_calls
+    }
+
+    /// Windows evicted into the remainder so far.
+    pub fn evicted_windows(&self) -> u64 {
+        self.evicted_windows
+    }
+
+    /// Drain the retention transitions since the last call.
+    pub fn take_events(&mut self) -> Vec<RingEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Metadata of every retained slot, oldest first.
+    pub fn windows(&self) -> Vec<WindowMeta> {
+        self.slots.iter().map(|s| self.meta(s)).collect()
+    }
+
+    fn meta(&self, slot: &WindowSlot) -> WindowMeta {
+        WindowMeta {
+            first: slot.first,
+            last: slot.last,
+            start_tick: slot.first * self.interval,
+            end_tick: (slot.last + 1) * self.interval - 1,
+            calls: slot.calls,
+        }
+    }
+
+    /// Attribute one reconstruction batch of thread `tid`: each completed
+    /// call lands in the window of its exit counter. Anomaly counters
+    /// (orphans, truncations) stay session-scoped — windows aggregate
+    /// completed calls only.
+    pub fn absorb(&mut self, tid: u64, batch: &ThreadStacks) {
+        let mut grouped: BTreeMap<u64, ThreadStacks> = BTreeMap::new();
+        for call in &batch.calls {
+            let idx = self.window_of(call.exit);
+            grouped.entry(idx).or_default().calls.push(call.clone());
+        }
+        for (idx, stacks) in grouped {
+            let n = stacks.calls.len() as u64;
+            if idx < self.floor {
+                // The window was already evicted: keep the totals exact by
+                // folding straight into the remainder.
+                let mut late = Aggregates::new();
+                late.absorb(tid, &stacks);
+                self.evicted.merge(late);
+                self.evicted_calls += n;
+                continue;
+            }
+            let slot = self.slot_for(idx);
+            slot.agg.absorb(tid, &stacks);
+            slot.calls += n;
+        }
+        self.enforce_retention();
+    }
+
+    /// The slot covering `idx`, creating a fresh single-window slot in
+    /// order if none does. `idx >= self.floor` must hold.
+    fn slot_for(&mut self, idx: u64) -> &mut WindowSlot {
+        let pos = self.slots.partition_point(|s| s.last < idx);
+        let covers = self
+            .slots
+            .get(pos)
+            .is_some_and(|s| s.first <= idx && idx <= s.last);
+        if !covers {
+            self.slots.insert(
+                pos,
+                WindowSlot {
+                    first: idx,
+                    last: idx,
+                    ..WindowSlot::default()
+                },
+            );
+        }
+        &mut self.slots[pos]
+    }
+
+    /// Shrink back to capacity: coarsen the two oldest adjacent slots into
+    /// one bucket while the merge stays within `max_width`, evict the
+    /// oldest bucket into the remainder otherwise.
+    fn enforce_retention(&mut self) {
+        while self.slots.len() > self.capacity {
+            let coarsened_width = if self.slots.len() >= 2 {
+                self.slots[1].last - self.slots[0].first + 1
+            } else {
+                u64::MAX
+            };
+            if coarsened_width <= self.max_width {
+                let old = self.slots.remove(0);
+                let merged = &mut self.slots[0];
+                merged.first = old.first;
+                merged.calls += old.calls;
+                let target = std::mem::take(&mut merged.agg);
+                let mut agg = old.agg;
+                agg.merge(target);
+                self.slots[0].agg = agg;
+                self.events.push(RingEvent::Coarsened {
+                    first: self.slots[0].first,
+                    last: self.slots[0].last,
+                });
+            } else {
+                let old = self.slots.remove(0);
+                self.floor = old.last + 1;
+                self.evicted_calls += old.calls;
+                self.evicted_windows += old.width();
+                self.events.push(RingEvent::Evicted {
+                    first: old.first,
+                    last: old.last,
+                    calls: old.calls,
+                });
+                self.evicted.merge(old.agg);
+            }
+        }
+    }
+
+    /// Resolve a selection to the contiguous run of retained slots it
+    /// covers: every slot for [`WindowSel::All`], the newest `n` for
+    /// [`WindowSel::Last`], and the slots fully contained in the index
+    /// range for [`WindowSel::Range`]. Empty when nothing matches.
+    fn select(&self, sel: &WindowSel) -> &[WindowSlot] {
+        match sel {
+            WindowSel::All => &self.slots,
+            WindowSel::Last(n) => {
+                let n = (*n as usize).min(self.slots.len());
+                &self.slots[self.slots.len() - n..]
+            }
+            WindowSel::Range(a, b) => {
+                let lo = self.slots.partition_point(|s| s.first < *a);
+                let hi = self.slots.partition_point(|s| s.last <= *b);
+                &self.slots[lo..hi.max(lo)]
+            }
+        }
+    }
+
+    /// Merge the selected slots into one exact aggregate. Returns the
+    /// covered span's metadata plus the merged kernel, or `None` when the
+    /// selection matches no retained slot.
+    pub fn span_aggregate(&self, sel: &WindowSel) -> Option<(WindowMeta, Aggregates)> {
+        let slots = self.select(sel);
+        let (head, tail) = (slots.first()?, slots.last()?);
+        let mut agg = Aggregates::new();
+        let mut calls = 0;
+        for s in slots {
+            agg.merge(s.agg.clone());
+            calls += s.calls;
+        }
+        let span = WindowMeta {
+            first: head.first,
+            last: tail.last,
+            start_tick: head.first * self.interval,
+            end_tick: (tail.last + 1) * self.interval - 1,
+            calls,
+        };
+        Some((span, agg))
+    }
+
+    /// The slot containing window index `idx`, if retained (a coarsened
+    /// index resolves to its containing bucket).
+    pub fn slot_containing(&self, idx: u64) -> Option<(WindowMeta, Aggregates)> {
+        let pos = self.slots.partition_point(|s| s.last < idx);
+        let slot = self.slots.get(pos)?;
+        (slot.first <= idx && idx <= slot.last).then(|| (self.meta(slot), slot.agg.clone()))
+    }
+
+    /// The whole ring as one aggregate: evicted remainder ⊕ every retained
+    /// slot. By the commutative-merge identity this equals the
+    /// whole-session aggregate built from the same completed calls.
+    pub fn reconstruct(&self) -> Aggregates {
+        let mut total = self.evicted.clone();
+        for s in &self.slots {
+            total.merge(s.agg.clone());
+        }
+        total
+    }
+}
+
+/// One process's retained-window listing — the unit of the `/windows` wire
+/// format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PidWindows {
+    /// Process id the ring belongs to.
+    pub pid: u64,
+    /// Virtual ticks per window.
+    pub interval: u64,
+    /// Windows evicted into the remainder so far.
+    pub evicted_windows: u64,
+    /// Completed calls evicted into the remainder so far.
+    pub evicted_calls: u64,
+    /// Retained slots, oldest first.
+    pub windows: Vec<WindowMeta>,
+}
+
+/// Serialize per-pid window listings to the stable `[windows]` text format
+/// (the `/windows` wire contract, golden-byte-tested):
+///
+/// ```text
+/// [windows]
+/// pid 7 interval 12 retained 2 evicted_windows 1 evicted_calls 4
+/// pid 7 window 0..=1 ticks 0..=23 calls 8
+/// pid 7 window 2..=2 ticks 24..=35 calls 4
+/// ```
+pub fn windows_to_text(parts: &[PidWindows]) -> String {
+    let mut out = String::from("[windows]\n");
+    for p in parts {
+        out.push_str(&format!(
+            "pid {} interval {} retained {} evicted_windows {} evicted_calls {}\n",
+            p.pid,
+            p.interval,
+            p.windows.len(),
+            p.evicted_windows,
+            p.evicted_calls
+        ));
+        for w in &p.windows {
+            out.push_str(&format!(
+                "pid {} window {}..={} ticks {}..={} calls {}\n",
+                p.pid, w.first, w.last, w.start_tick, w.end_tick, w.calls
+            ));
+        }
+    }
+    out
+}
+
+/// Parse the `[windows]` text format back into per-pid listings — the
+/// client half of the wire contract (`teeperf query --connect windows`).
+///
+/// # Errors
+/// Returns a description of the first malformed line; a text without a
+/// `[windows]` section is malformed.
+pub fn windows_from_text(text: &str) -> Result<Vec<PidWindows>, String> {
+    let mut parts: Vec<PidWindows> = Vec::new();
+    let mut in_section = false;
+    let mut seen = false;
+    for line in text.lines() {
+        let l = line.trim();
+        if l == "[windows]" {
+            in_section = true;
+            seen = true;
+            continue;
+        }
+        if l.starts_with('[') {
+            in_section = false;
+            continue;
+        }
+        if !in_section || l.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = l.split(' ').collect();
+        let num = |s: &str| {
+            s.parse::<u64>()
+                .map_err(|_| format!("bad number in windows line `{l}`"))
+        };
+        let range = |s: &str| -> Result<(u64, u64), String> {
+            let (a, b) = s
+                .split_once("..=")
+                .ok_or_else(|| format!("bad range in windows line `{l}`"))?;
+            Ok((num(a)?, num(b)?))
+        };
+        match fields.as_slice() {
+            ["pid", pid, "interval", interval, "retained", _, "evicted_windows", ew, "evicted_calls", ec] =>
+            {
+                parts.push(PidWindows {
+                    pid: num(pid)?,
+                    interval: num(interval)?,
+                    evicted_windows: num(ew)?,
+                    evicted_calls: num(ec)?,
+                    windows: Vec::new(),
+                });
+            }
+            ["pid", pid, "window", span, "ticks", ticks, "calls", calls] => {
+                let pid = num(pid)?;
+                let part = parts
+                    .last_mut()
+                    .filter(|p| p.pid == pid)
+                    .ok_or_else(|| format!("window line before its pid header: `{l}`"))?;
+                let (first, last) = range(span)?;
+                let (start_tick, end_tick) = range(ticks)?;
+                part.windows.push(WindowMeta {
+                    first,
+                    last,
+                    start_tick,
+                    end_tick,
+                    calls: num(calls)?,
+                });
+            }
+            _ => return Err(format!("malformed windows line `{l}`")),
+        }
+    }
+    if !seen {
+        return Err("no [windows] section".to_string());
+    }
+    Ok(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teeperf_analyzer::stacks::CompletedCall;
+
+    fn call(addr: u64, enter: u64, exit: u64) -> CompletedCall {
+        CompletedCall {
+            addr,
+            stack: vec![addr],
+            enter,
+            exit,
+            child_ticks: 0,
+            truncated: false,
+        }
+    }
+
+    fn batch(calls: Vec<CompletedCall>) -> ThreadStacks {
+        ThreadStacks {
+            calls,
+            orphan_returns: 0,
+            truncated_frames: 0,
+        }
+    }
+
+    fn ring(interval: u64, capacity: usize, max_width: u64) -> RetentionRing {
+        RetentionRing::new(&RingConfig {
+            interval,
+            capacity,
+            max_width,
+        })
+    }
+
+    #[test]
+    fn calls_land_in_the_window_of_their_exit_tick() {
+        let mut r = ring(10, 8, 4);
+        r.absorb(
+            0,
+            &batch(vec![call(0xA, 1, 9), call(0xA, 12, 19), call(0xB, 5, 25)]),
+        );
+        let w = r.windows();
+        assert_eq!(w.len(), 3);
+        assert_eq!((w[0].first, w[0].calls), (0, 1));
+        assert_eq!((w[1].first, w[1].calls), (1, 1));
+        assert_eq!((w[2].first, w[2].calls), (2, 1), "attribution is by exit");
+        assert_eq!(w[0].start_tick, 0);
+        assert_eq!(w[0].end_tick, 9);
+    }
+
+    #[test]
+    fn overflow_coarsens_the_oldest_pair_first() {
+        let mut r = ring(10, 2, 4);
+        for i in 0..3u64 {
+            r.absorb(0, &batch(vec![call(0xA, i * 10, i * 10 + 5)]));
+        }
+        let w = r.windows();
+        assert_eq!(w.len(), 2);
+        assert_eq!((w[0].first, w[0].last, w[0].calls), (0, 1, 2));
+        assert_eq!((w[1].first, w[1].last), (2, 2), "newest stays fine-grained");
+        assert_eq!(
+            r.take_events(),
+            vec![RingEvent::Coarsened { first: 0, last: 1 }]
+        );
+        assert_eq!(r.evicted_windows(), 0);
+    }
+
+    #[test]
+    fn overflow_evicts_once_coarsening_would_exceed_max_width() {
+        let mut r = ring(10, 2, 2);
+        for i in 0..4u64 {
+            r.absorb(0, &batch(vec![call(0xA, i * 10, i * 10 + 5)]));
+        }
+        // Windows 0,1 coarsened into one bucket of width 2; window 3's
+        // arrival overflows again and the width-2 bucket cannot widen.
+        let events = r.take_events();
+        assert!(events.contains(&RingEvent::Coarsened { first: 0, last: 1 }));
+        assert!(events.contains(&RingEvent::Evicted {
+            first: 0,
+            last: 1,
+            calls: 2
+        }));
+        assert_eq!(r.evicted_windows(), 2);
+        assert_eq!(r.evicted_calls(), 2);
+        let w = r.windows();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].first, 2);
+    }
+
+    #[test]
+    fn late_calls_below_the_floor_fold_into_the_remainder() {
+        let mut r = ring(10, 1, 1);
+        r.absorb(0, &batch(vec![call(0xA, 0, 5)]));
+        r.absorb(0, &batch(vec![call(0xA, 10, 15)])); // evicts window 0
+        assert_eq!(r.evicted_windows(), 1);
+        r.absorb(0, &batch(vec![call(0xB, 0, 5)])); // late arrival for window 0
+        assert_eq!(r.evicted_calls(), 2, "late call counted in the remainder");
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.windows()[0].first, 1);
+    }
+
+    #[test]
+    fn select_resolves_last_range_and_all() {
+        let mut r = ring(10, 8, 4);
+        for i in 0..5u64 {
+            r.absorb(0, &batch(vec![call(0xA, i * 10, i * 10 + 5)]));
+        }
+        let (all, _) = r.span_aggregate(&WindowSel::All).unwrap();
+        assert_eq!((all.first, all.last, all.calls), (0, 4, 5));
+        let (last2, _) = r.span_aggregate(&WindowSel::Last(2)).unwrap();
+        assert_eq!((last2.first, last2.last), (3, 4));
+        let (mid, _) = r.span_aggregate(&WindowSel::Range(1, 3)).unwrap();
+        assert_eq!((mid.first, mid.last, mid.calls), (1, 3, 3));
+        assert!(r.span_aggregate(&WindowSel::Range(9, 12)).is_none());
+        let (one, agg) = r.slot_containing(2).unwrap();
+        assert_eq!((one.first, one.last), (2, 2));
+        assert_eq!(agg.thread_ids().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn golden_windows_wire_format() {
+        let mut r = ring(12, 2, 2);
+        for i in 0..3u64 {
+            r.absorb(
+                0,
+                &batch(vec![
+                    call(0xA, i * 12, i * 12 + 6),
+                    call(0xB, i * 12 + 1, i * 12 + 7),
+                ]),
+            );
+        }
+        let parts = vec![PidWindows {
+            pid: 7,
+            interval: r.interval(),
+            evicted_windows: r.evicted_windows(),
+            evicted_calls: r.evicted_calls(),
+            windows: r.windows(),
+        }];
+        let text = windows_to_text(&parts);
+        // The wire contract, byte for byte. Changing this format is a
+        // breaking change for every deployed client.
+        assert_eq!(
+            text,
+            "[windows]\n\
+             pid 7 interval 12 retained 2 evicted_windows 0 evicted_calls 0\n\
+             pid 7 window 0..=1 ticks 0..=23 calls 4\n\
+             pid 7 window 2..=2 ticks 24..=35 calls 2\n"
+        );
+        assert_eq!(windows_from_text(&text).unwrap(), parts);
+    }
+
+    #[test]
+    fn windows_parser_rejects_garbage() {
+        assert!(windows_from_text("").is_err());
+        assert!(windows_from_text("[live]\nepoch 0\n").is_err());
+        assert!(windows_from_text("[windows]\npid x interval 1\n").is_err());
+        assert!(
+            windows_from_text("[windows]\npid 7 window 0..=1 ticks 0..=23 calls 4\n").is_err(),
+            "window line before its pid header"
+        );
+        assert_eq!(windows_from_text("[windows]\n").unwrap(), vec![]);
+        // Unknown sections around it are skipped, like every other parser
+        // of the snapshot text family.
+        let ok = windows_from_text(
+            "[live]\nepoch 1\n[windows]\npid 7 interval 12 retained 0 evicted_windows 0 evicted_calls 0\n[methods]\n",
+        )
+        .unwrap();
+        assert_eq!(ok.len(), 1);
+        assert_eq!(ok[0].pid, 7);
+    }
+
+    #[test]
+    fn reconstruct_merges_remainder_and_slots() {
+        let mut r = ring(10, 2, 1);
+        for i in 0..6u64 {
+            r.absorb(i % 2, &batch(vec![call(0xA, i * 10, i * 10 + 5)]));
+        }
+        assert!(r.evicted_windows() > 0);
+        let whole = r.reconstruct();
+        let calls: u64 = whole.thread_ids().count() as u64;
+        assert_eq!(calls, 2, "both threads survive eviction in the remainder");
+    }
+}

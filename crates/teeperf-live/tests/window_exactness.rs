@@ -1,0 +1,254 @@
+//! Property tests for the retention ring's exactness identities — the
+//! invariant the windowed query engine is built on:
+//!
+//! * **whole-session**: retained windows ⊕ evicted remainder equals the
+//!   aggregate of every completed call, exactly;
+//! * **span**: merging any contiguous span of retained windows equals
+//!   analyzing that span's calls directly (filter by exit window, then
+//!   aggregate — same bytes either way).
+//!
+//! The traces are adversarial on purpose: random call/return walks over
+//! several threads with irregular counter gaps, fed in random chunk sizes
+//! so calls open in one batch and close windows later, against rings small
+//! enough to coarsen and evict constantly.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use teeperf_analyzer::profile::Anomalies;
+use teeperf_analyzer::reader::Event;
+use teeperf_analyzer::symbolize::Symbolizer;
+use teeperf_analyzer::{Aggregates, CompletedCall, Profile, ResumableStacks, ThreadStacks};
+use teeperf_core::layout::{EventKind, LogEntry};
+use teeperf_core::log::make_header;
+use teeperf_live::window::WindowSel;
+use teeperf_live::{RingConfig, RollingProfile};
+
+/// One step of a random call-tree walk.
+#[derive(Debug, Clone)]
+struct Step {
+    push: bool,
+    gap: u64,
+    func: usize,
+}
+
+const FUNCS: usize = 4;
+
+fn steps() -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec(
+        (any::<bool>(), 1u64..25, 0usize..FUNCS).prop_map(|(push, gap, func)| Step {
+            push,
+            gap,
+            func,
+        }),
+        1..120,
+    )
+}
+
+fn debug() -> mcvm::DebugInfo {
+    mcvm::DebugInfo::from_functions([
+        ("alpha", 4, 1),
+        ("beta", 4, 5),
+        ("gamma", 4, 9),
+        ("delta", 4, 13),
+    ])
+}
+
+fn symbolizer() -> Symbolizer {
+    Symbolizer::new(debug(), &make_header(1, 64, true, 0, 0))
+}
+
+/// Realize one thread's walk as log entries: pushes call a random
+/// function, pops return the innermost open frame, counters are strictly
+/// increasing with irregular gaps. Frames still open at the end stay open
+/// — the session's `finish` force-closes them, exercising calls that span
+/// many window boundaries.
+fn trace_entries(tid: u64, steps: &[Step]) -> Vec<LogEntry> {
+    let addrs: Vec<u64> = (0..FUNCS).map(|i| debug().entry_addr(i as u16)).collect();
+    let mut counter = 0u64;
+    let mut stack: Vec<u64> = Vec::new();
+    let mut out = Vec::new();
+    for s in steps {
+        counter += s.gap;
+        let push = if stack.is_empty() {
+            true
+        } else if stack.len() >= 12 {
+            false
+        } else {
+            s.push
+        };
+        if push {
+            let addr = addrs[s.func];
+            stack.push(addr);
+            out.push(LogEntry {
+                kind: EventKind::Call,
+                counter,
+                addr,
+                tid,
+            });
+        } else {
+            let addr = stack.pop().expect("non-empty checked above");
+            out.push(LogEntry {
+                kind: EventKind::Return,
+                counter,
+                addr,
+                tid,
+            });
+        }
+    }
+    out
+}
+
+/// Ground truth, computed without the ring: reconstruct each thread's
+/// completed calls directly (open frames force-closed, as the session's
+/// `finish` does).
+fn direct_calls(per_tid: &BTreeMap<u64, Vec<LogEntry>>) -> BTreeMap<u64, Vec<CompletedCall>> {
+    let mut out = BTreeMap::new();
+    for (tid, entries) in per_tid {
+        let events: Vec<Event> = entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| Event {
+                kind: e.kind,
+                counter: e.counter,
+                addr: e.addr,
+                seq: i as u64 + 1,
+            })
+            .collect();
+        let mut stacks = ResumableStacks::new();
+        let mut calls = stacks.feed(&events).calls;
+        calls.extend(stacks.finish().calls);
+        out.insert(*tid, calls);
+    }
+    out
+}
+
+/// Aggregate a set of completed calls and materialize it exactly the way
+/// window profiles are materialized: thread lists from the calls
+/// themselves, anomalies zero (session-scoped by design).
+fn materialize_calls(per_tid: &BTreeMap<u64, Vec<CompletedCall>>, sym: &Symbolizer) -> Profile {
+    let mut agg = Aggregates::new();
+    for (tid, calls) in per_tid {
+        if calls.is_empty() {
+            continue;
+        }
+        agg.absorb(
+            *tid,
+            &ThreadStacks {
+                calls: calls.clone(),
+                orphan_returns: 0,
+                truncated_frames: 0,
+            },
+        );
+    }
+    materialize_agg(&agg, sym)
+}
+
+fn materialize_agg(agg: &Aggregates, sym: &Symbolizer) -> Profile {
+    let per_thread: BTreeMap<u64, Vec<CompletedCall>> =
+        agg.thread_ids().map(|tid| (tid, Vec::new())).collect();
+    agg.materialize(sym, per_thread, Anomalies::default())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prop_ring_reconciles_and_spans_are_exact(
+        walks in proptest::collection::vec(steps(), 1..4),
+        interval in 1u64..60,
+        capacity in 1usize..8,
+        max_width in 1u64..4,
+        chunk in 1usize..17,
+        idx_a in 0usize..64,
+        idx_b in 0usize..64,
+    ) {
+        let per_tid: BTreeMap<u64, Vec<LogEntry>> = walks
+            .iter()
+            .enumerate()
+            .map(|(tid, steps)| (tid as u64, trace_entries(tid as u64, steps)))
+            .collect();
+        // One merged stream in counter order — per-thread order (all the
+        // reconstruction needs) survives because counters are strictly
+        // increasing within a thread.
+        let mut stream: Vec<LogEntry> = per_tid.values().flatten().cloned().collect();
+        stream.sort_by_key(|e| (e.counter, e.tid));
+
+        let config = RingConfig { interval, capacity, max_width };
+        let mut rolling = RollingProfile::with_retention(Some(&config));
+        for batch in stream.chunks(chunk) {
+            rolling.ingest(batch);
+        }
+        rolling.finish();
+        let ring = rolling.ring().expect("retention is enabled");
+        let sym = symbolizer();
+
+        // Whole-session identity: retained ⊕ remainder == every completed
+        // call, aggregated directly. Exact equality, not approximation.
+        let truth = direct_calls(&per_tid);
+        let whole_direct = materialize_calls(&truth, &sym);
+        let whole_ring = materialize_agg(&ring.reconstruct(), &sym);
+        prop_assert_eq!(&whole_ring, &whole_direct);
+
+        // Call conservation: every completed call is either in a retained
+        // window or accounted in the evicted remainder.
+        let total_calls: u64 = truth.values().map(|c| c.len() as u64).sum();
+        let metas = ring.windows();
+        let retained_calls: u64 = metas.iter().map(|w| w.calls).sum();
+        prop_assert_eq!(retained_calls + ring.evicted_calls(), total_calls);
+        prop_assert!(metas.len() <= capacity.max(1));
+
+        // Span identity: any contiguous run of retained slots merges to
+        // exactly the aggregate of the calls exiting in those windows.
+        if !metas.is_empty() {
+            let (mut lo, mut hi) = (idx_a % metas.len(), idx_b % metas.len());
+            if lo > hi {
+                std::mem::swap(&mut lo, &mut hi);
+            }
+            let sel = WindowSel::Range(metas[lo].first, metas[hi].last);
+            let (span, span_profile) = rolling
+                .span_profile(&sym, &sel)
+                .expect("the span covers retained slots");
+            prop_assert_eq!(span.first, metas[lo].first);
+            prop_assert_eq!(span.last, metas[hi].last);
+
+            let filtered: BTreeMap<u64, Vec<CompletedCall>> = truth
+                .iter()
+                .map(|(tid, calls)| {
+                    let keep: Vec<CompletedCall> = calls
+                        .iter()
+                        .filter(|c| {
+                            let w = c.exit / interval;
+                            (metas[lo].first..=metas[hi].last).contains(&w)
+                        })
+                        .cloned()
+                        .collect();
+                    (*tid, keep)
+                })
+                .collect();
+            let span_calls: u64 = filtered.values().map(|c| c.len() as u64).sum();
+            prop_assert_eq!(span.calls, span_calls);
+            let span_direct = materialize_calls(&filtered, &sym);
+            prop_assert_eq!(&span_profile, &span_direct);
+
+            // The single-slot query resolves to its containing bucket and
+            // obeys the same identity.
+            let (one, one_profile) = rolling
+                .window_profile(&sym, metas[lo].first)
+                .expect("slot is retained");
+            prop_assert_eq!((one.first, one.last), (metas[lo].first, metas[lo].last));
+            let one_filtered: BTreeMap<u64, Vec<CompletedCall>> = truth
+                .iter()
+                .map(|(tid, calls)| {
+                    let keep: Vec<CompletedCall> = calls
+                        .iter()
+                        .filter(|c| (one.first..=one.last).contains(&(c.exit / interval)))
+                        .cloned()
+                        .collect();
+                    (*tid, keep)
+                })
+                .collect();
+            prop_assert_eq!(&one_profile, &materialize_calls(&one_filtered, &sym));
+        }
+    }
+}

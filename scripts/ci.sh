@@ -118,6 +118,59 @@ daemon_smoke() {
 }
 tmo 120 bash -c "$(declare -f daemon_smoke run); daemon_smoke"
 
+# Query smoke (ISSUE 9): teeperfd with short retention windows over a
+# scratch registration directory, two real writer processes, then the
+# windowed query engine must answer off the live HTTP listener: /windows
+# lists both pids' retained windows, /query serves a last-5 top-N and a
+# two-window diff. Same stdin-EOF shutdown contract and hard KILL timeout
+# as the daemon smoke.
+query_smoke() {
+  local dir out pid addr listing q
+  dir="$(mktemp -d)"
+  out="$dir/out.log"
+  run cargo build -q --offline -p teeperf-daemon
+  mkfifo "$dir/stdin"
+  target/debug/teeperfd --dir "$dir/reg" --listen 127.0.0.1:0 --pump-ms 5 \
+    --scan-every 1 --window-interval 12 --retain 16 < "$dir/stdin" > "$out" &
+  pid=$!
+  exec 3> "$dir/stdin" # holds the fifo open for the daemon's lifetime
+  for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^teeperfd listening on //p' "$out" | head -1)"
+    [ -n "$addr" ] && break
+    sleep 0.1
+  done
+  [ -n "$addr" ] || { echo "query-smoke: no listen banner"; return 1; }
+  # Two writers, distinct pids: 7 iterations puts main's exit in window 7,
+  # 5 iterations in window 5 (12 virtual ticks per iteration, interval 12).
+  run target/debug/teeperf-shm-writer --dir "$dir/reg" --iterations 7
+  run target/debug/teeperf-shm-writer --dir "$dir/reg" --iterations 5
+  for _ in $(seq 1 100); do
+    listing="$(curl -sf "http://$addr/windows" || true)"
+    echo "$listing" | grep -qF "window 7..=7" \
+      && echo "$listing" | grep -qF "window 5..=5" && break
+    sleep 0.1
+  done
+  echo "$listing" | grep -qF "window 7..=7" \
+    || { echo "query-smoke: writer 1 windows never appeared"; echo "$listing"; return 1; }
+  echo "$listing" | grep -qF "window 5..=5" \
+    || { echo "query-smoke: writer 2 windows never appeared"; echo "$listing"; return 1; }
+  [ "$(echo "$listing" | grep -c "interval 12")" = 2 ] \
+    || { echo "query-smoke: expected two pid listings"; echo "$listing"; return 1; }
+  q="$(curl -sf "http://$addr/query?windows=last:5&top=10")" \
+    || { echo "query-smoke: last-5 query failed"; return 1; }
+  echo "$q" | grep -q "^work " \
+    || { echo "query-smoke: last-5 top-N missing work"; echo "$q"; return 1; }
+  q="$(curl -sf "http://$addr/query?diff=2,3")" \
+    || { echo "query-smoke: diff query failed"; return 1; }
+  echo "$q" | grep -qF "diff 2 vs 3" \
+    || { echo "query-smoke: diff header missing"; echo "$q"; return 1; }
+  exec 3>&- # stdin EOF: the graceful-shutdown trigger
+  wait "$pid" || { echo "query-smoke: daemon did not exit 0"; return 1; }
+  rm -rf "$dir"
+  echo "==> query-smoke ok"
+}
+tmo 120 bash -c "$(declare -f query_smoke run); query_smoke"
+
 # Analyzer-throughput smoke: small log, shards {1,2}; asserts the JSON
 # artifact is written and the model speedup at 2 shards is >= 1.0. Results
 # go to a scratch dir so the checked-in full-scale JSON stays untouched.
@@ -135,6 +188,14 @@ fi
 if [ "$mode" != "quick" ]; then
   TEEPERF_RESULTS="$(mktemp -d)" \
     tmo 120 cargo run --release --offline -p bench --bin record_contention -- --smoke
+fi
+
+# Query-latency smoke (ISSUE 9): a tiny retained-window sweep through the
+# registry's /query serving path; the bin exits non-zero if any window
+# count fails to answer the last-5, all-merge or diff query shapes.
+if [ "$mode" != "quick" ]; then
+  TEEPERF_RESULTS="$(mktemp -d)" \
+    tmo 120 cargo run --release --offline -p bench --bin query_latency -- --smoke
 fi
 
 echo "==> ci ok"
