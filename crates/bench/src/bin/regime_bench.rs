@@ -1,0 +1,64 @@
+//! Fidelity-regime overhead ramp (see [`bench::regime`]).
+//!
+//! Drives a calm → storm → recovery load ramp three ways (native,
+//! unbudgeted full fidelity, overhead-budgeted) and writes
+//! `results/BENCH_regime_overhead.json`. The run fails unless the
+//! budgeted session degrades into `Sampled` during the storm, settles
+//! within its loss budget, accounts for every offered event, and returns
+//! to `Full` during recovery — while the unbudgeted run blows the budget.
+//!
+//! Usage: `regime_bench [--smoke]` — `--smoke` runs the tiny CI ramp.
+
+use std::process::ExitCode;
+
+use bench::regime::{run_regime_overhead, RegimeBenchOptions};
+use bench::util::write_artifact;
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let options = if smoke {
+        RegimeBenchOptions::smoke()
+    } else {
+        RegimeBenchOptions::default()
+    };
+    println!(
+        "regime_bench: capacity {}, calm {} / storm {} pairs per pump, \
+         budget {}%{}",
+        options.capacity,
+        options.calm_pairs,
+        options.storm_pairs,
+        options.budget_pct,
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let result = run_regime_overhead(&options);
+    println!("\n{}", result.render());
+    for run in &result.runs {
+        println!(
+            "{}: final regime {}, {} transitions, settled storm loss {:.1}%, \
+             recovery took {} pumps",
+            run.name,
+            run.final_regime,
+            run.transitions,
+            run.settled_storm_loss_pct,
+            run.pumps_to_recover
+        );
+        for line in &run.event_lines {
+            println!("  [events] {line}");
+        }
+    }
+
+    let path = write_artifact("BENCH_regime_overhead.json", &result.to_json());
+    println!("wrote {}", path.display());
+
+    if let Err(violation) = result.check() {
+        eprintln!("FAIL: {violation}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "OK: budgeted run stayed within its {}% loss budget where full \
+         fidelity exceeded it, with every event accounted",
+        result.budget_pct
+    );
+    ExitCode::SUCCESS
+}

@@ -14,6 +14,7 @@
 //! | [`analyze`] | stage-3 analyzer throughput and shard speedup | `analyze_throughput` |
 //! | [`contention`] | recorder hot path: batched reservation × switchless transitions | `record_contention` |
 //! | [`querybench`] | windowed time-travel query latency vs retained history | `query_latency` |
+//! | [`regime`] | overhead-budgeted fidelity regimes under an overload ramp | `regime_bench` |
 //!
 //! Everything is deterministic; "10 runs" vary the workload seed, exactly
 //! like re-running a benchmark binary on fresh inputs.
@@ -28,4 +29,5 @@ pub mod fig5;
 pub mod fig6;
 pub mod live;
 pub mod querybench;
+pub mod regime;
 pub mod util;

@@ -146,22 +146,35 @@ impl Aggregates {
 
     /// Fold one completed call of `tid` into the aggregate.
     pub fn merge_call(&mut self, tid: u64, call: &CompletedCall) {
+        self.merge_call_scaled(tid, call, 1);
+    }
+
+    /// Fold one completed call of `tid` into the aggregate, weighted by
+    /// `scale` — the bias correction a 1-in-N sampled stream applies so
+    /// its admitted calls estimate the full population: this call stands
+    /// for `scale` calls of the same shape, contributing `scale ×` its
+    /// ticks. `min_inclusive`/`max_inclusive` stay per-call observations
+    /// (sampling changes how many calls were seen, not how long one
+    /// took). `scale == 1` is exactly [`Aggregates::merge_call`].
+    pub fn merge_call_scaled(&mut self, tid: u64, call: &CompletedCall, scale: u64) {
+        let scale = scale.max(1);
         let m = self.methods.entry(call.addr).or_insert_with(|| RawMethod {
             min_inclusive: u64::MAX,
             ..RawMethod::default()
         });
-        m.calls += 1;
-        m.inclusive += call.inclusive();
-        m.exclusive += call.exclusive();
+        m.calls += scale;
+        m.inclusive += scale * call.inclusive();
+        m.exclusive += scale * call.exclusive();
         m.min_inclusive = m.min_inclusive.min(call.inclusive());
         m.max_inclusive = m.max_inclusive.max(call.inclusive());
         m.threads.insert(tid);
         if call.exclusive() > 0 {
             // Clone the stack only when this exact path is new.
             match self.folded.get_mut(call.stack.as_slice()) {
-                Some(ticks) => *ticks += call.exclusive(),
+                Some(ticks) => *ticks += scale * call.exclusive(),
                 None => {
-                    self.folded.insert(call.stack.clone(), call.exclusive());
+                    self.folded
+                        .insert(call.stack.clone(), scale * call.exclusive());
                 }
             }
         }
@@ -171,19 +184,28 @@ impl Aggregates {
             ROOT_ADDR
         };
         let e = self.edges.entry((caller, call.addr)).or_default();
-        e.0 += 1;
-        e.1 += call.inclusive();
-        e.2 += call.exclusive();
+        e.0 += scale;
+        e.1 += scale * call.inclusive();
+        e.2 += scale * call.exclusive();
     }
 
     /// Fold one thread's reconstruction batch into the aggregate. Always
     /// registers `tid` as observed, even for an empty batch.
     pub fn absorb(&mut self, tid: u64, batch: &ThreadStacks) {
+        self.absorb_scaled(tid, batch, 1);
+    }
+
+    /// [`Aggregates::absorb`] with every completed call weighted by
+    /// `scale` (see [`Aggregates::merge_call_scaled`]). Anomaly counters
+    /// stay unscaled: an orphan return or truncated frame is an exact
+    /// observation of the stream, not a sampled estimate.
+    pub fn absorb_scaled(&mut self, tid: u64, batch: &ThreadStacks, scale: u64) {
+        let scale = scale.max(1);
         self.orphan_returns += batch.orphan_returns;
         self.truncated_frames += batch.truncated_frames;
-        *self.calls_per_thread.entry(tid).or_default() += batch.calls.len() as u64;
+        *self.calls_per_thread.entry(tid).or_default() += scale * batch.calls.len() as u64;
         for call in &batch.calls {
-            self.merge_call(tid, call);
+            self.merge_call_scaled(tid, call, scale);
         }
     }
 

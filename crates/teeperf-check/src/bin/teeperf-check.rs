@@ -36,7 +36,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: teeperf-check --smoke\n\
          \x20      teeperf-check --mutation <none|stale-slot-resurrection|drop-double-count\n\
-         \x20                    |abandoned-as-dropped>\n\
+         \x20                    |abandoned-as-dropped|torn-regime-read>\n\
          \x20                    [--pct N] [--seed S] [--record <file>]\n\
          \x20      teeperf-check --pct N [--seed S]\n\
          \x20      teeperf-check --replay <trace-file>"
@@ -56,6 +56,7 @@ fn small_config(mutation: MutationKind) -> Config {
         mid_rotations: 1,
         observer_reads: 0,
         batch_slots: 1,
+        regime_flips: 0,
         mutation,
     }
 }
@@ -79,6 +80,7 @@ fn sweep_config(mutation: MutationKind) -> Config {
         mid_rotations: 2,
         observer_reads: 3,
         batch_slots: 1,
+        regime_flips: 0,
         mutation,
     }
 }
@@ -95,7 +97,30 @@ fn batched_config(mutation: MutationKind) -> Config {
         mid_rotations: 1,
         observer_reads: 0,
         batch_slots: 2,
+        regime_flips: 0,
         mutation,
+    }
+}
+
+/// Small regime-flipping config whose bounded space is still enumerable:
+/// two writers decode the regime word before each append while the drainer
+/// publishes one flip at its mid-rotation. The torn regime read needs one
+/// preemption (flip lands between a decode's two halves) to surface.
+fn regime_config(mutation: MutationKind) -> Config {
+    Config {
+        entries_per_writer: 2,
+        capacity: 2,
+        regime_flips: 1,
+        ..small_config(mutation)
+    }
+}
+
+/// [`sweep_config`] with regime flips at every mid-rotation, for PCT over
+/// decode/publish interleavings (and exactly-once drain across flips).
+fn regime_sweep_config(mutation: MutationKind) -> Config {
+    Config {
+        regime_flips: 2,
+        ..sweep_config(mutation)
     }
 }
 
@@ -113,6 +138,8 @@ fn batched_sweep_config(mutation: MutationKind) -> Config {
 fn sweep_for(mutation: MutationKind) -> Config {
     match mutation {
         MutationKind::AbandonedAsDropped => batched_sweep_config(mutation),
+        // The torn read needs regime publishes to tear against.
+        MutationKind::TornRegimeRead => regime_sweep_config(mutation),
         _ => sweep_config(mutation),
     }
 }
@@ -144,6 +171,8 @@ fn hunt(mutation: MutationKind, pct_schedules: usize, base_seed: u64) -> CheckRe
         MutationKind::DroppedDoubleCount => observer_config(mutation),
         // Mis-charged hand-backs need batched reservation to exist at all.
         MutationKind::AbandonedAsDropped => batched_config(mutation),
+        // A torn decode needs a regime publish to tear against.
+        MutationKind::TornRegimeRead => regime_config(mutation),
         _ => small_config(mutation),
     };
     let dfs = explore::check_exhaustive(&dfs_config, DFS_PREEMPTION_BOUND, DFS_EXECUTION_CAP);
@@ -196,18 +225,35 @@ fn smoke() -> bool {
         eprintln!("FAIL: smoke batched DFS did not exhaust its bounded space");
         ok = false;
     }
+    // 1d. Clean regime-flipping protocol, exhaustively: whole-word decodes
+    //     always name a published `(regime, epoch)` pair, and exactly-once
+    //     drain holds across every transition interleaving.
+    let clean_regime = explore::check_exhaustive(
+        &regime_config(MutationKind::None),
+        DFS_PREEMPTION_BOUND,
+        DFS_EXECUTION_CAP,
+    );
+    ok &= expect(&clean_regime, false);
+    if !clean_regime.exhausted {
+        eprintln!("FAIL: smoke regime DFS did not exhaust its bounded space");
+        ok = false;
+    }
     // 2. Clean protocol, 200 seeded PCT schedules of the larger config,
-    //    classic and batched.
+    //    classic, batched, and regime-flipping.
     let clean_pct = explore::check_pct(&sweep_config(MutationKind::None), PCT_DEPTH, 1, 200);
     ok &= expect(&clean_pct, false);
     let clean_batched_pct =
         explore::check_pct(&batched_sweep_config(MutationKind::None), PCT_DEPTH, 1, 200);
     ok &= expect(&clean_batched_pct, false);
+    let clean_regime_pct =
+        explore::check_pct(&regime_sweep_config(MutationKind::None), PCT_DEPTH, 1, 200);
+    ok &= expect(&clean_regime_pct, false);
     // 3. Each historical bug class, re-introduced, is caught.
     for mutation in [
         MutationKind::StaleSlotResurrection,
         MutationKind::DroppedDoubleCount,
         MutationKind::AbandonedAsDropped,
+        MutationKind::TornRegimeRead,
     ] {
         let found = hunt(mutation, 200, 1);
         ok &= expect(&found, true);

@@ -318,6 +318,7 @@ pub fn format_trace(cfg: &Config, depth: usize, seed: u64, report: &CheckReport)
          mid_rotations = {}\n\
          observer_reads = {}\n\
          batch_slots = {}\n\
+         regime_flips = {}\n\
          pct_depth = {depth}\n\
          seed = {seed}\n\
          expect = {expect}\n",
@@ -328,6 +329,7 @@ pub fn format_trace(cfg: &Config, depth: usize, seed: u64, report: &CheckReport)
         cfg.mid_rotations,
         cfg.observer_reads,
         cfg.batch_slots,
+        cfg.regime_flips,
     )
 }
 
@@ -365,6 +367,8 @@ pub fn parse_trace(text: &str) -> Result<(Config, usize, u64, String), String> {
             "observer_reads" => cfg.observer_reads = num()?,
             // Absent in pre-batching traces: defaults to 1 (classic path).
             "batch_slots" => cfg.batch_slots = num()?.max(1),
+            // Absent in pre-regime traces: defaults to 0 (no flips).
+            "regime_flips" => cfg.regime_flips = num()?,
             "pct_depth" => depth = Some(num()? as usize),
             "seed" => seed = Some(num()?),
             "expect" => expect = Some(value.to_string()),
@@ -393,6 +397,7 @@ mod tests {
             mid_rotations: 2,
             observer_reads: 4,
             batch_slots: 2,
+            regime_flips: 2,
             mutation: MutationKind::DroppedDoubleCount,
         };
         let report = CheckReport {

@@ -40,6 +40,7 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use tee_sim::SharedMem;
 use teeperf_core::layout::{EntryValidity, EventKind, LogEntry};
 use teeperf_core::log::{make_header, mutation::Mutation, region_bytes, LogCursor, SharedLog};
+use teeperf_core::Regime;
 
 use crate::sched::{ChoiceSource, ExecOutcome, ExecRecord, Fleet, VTid};
 
@@ -59,6 +60,10 @@ pub enum MutationKind {
     /// hand-backs as drops while also counting them as abandoned, so each
     /// hand-back is accounted twice.
     AbandonedAsDropped,
+    /// Fidelity-regime class: a writer reads the shared regime word as two
+    /// 32-bit halves instead of one word, so a concurrent publish can tear
+    /// the epoch half away from the regime half.
+    TornRegimeRead,
 }
 
 impl MutationKind {
@@ -68,6 +73,7 @@ impl MutationKind {
             MutationKind::StaleSlotResurrection => Mutation::SkipSlotClear,
             MutationKind::DroppedDoubleCount => Mutation::CountDropsBeforeTailReset,
             MutationKind::AbandonedAsDropped => Mutation::CountAbandonedAsDropped,
+            MutationKind::TornRegimeRead => Mutation::TornRegimeRead,
         }
     }
 
@@ -78,6 +84,7 @@ impl MutationKind {
             MutationKind::StaleSlotResurrection => "stale-slot-resurrection",
             MutationKind::DroppedDoubleCount => "drop-double-count",
             MutationKind::AbandonedAsDropped => "abandoned-as-dropped",
+            MutationKind::TornRegimeRead => "torn-regime-read",
         }
     }
 
@@ -88,6 +95,7 @@ impl MutationKind {
             "stale-slot-resurrection" => Some(MutationKind::StaleSlotResurrection),
             "drop-double-count" => Some(MutationKind::DroppedDoubleCount),
             "abandoned-as-dropped" => Some(MutationKind::AbandonedAsDropped),
+            "torn-regime-read" => Some(MutationKind::TornRegimeRead),
             _ => None,
         }
     }
@@ -112,6 +120,13 @@ pub struct Config {
     /// `write_live`, `> 1` via a per-writer `BatchWriter` — exercising the
     /// reserve-run / publish / abandon interleavings.
     pub batch_slots: u64,
+    /// Fidelity-regime transitions the drainer publishes through the
+    /// shared regime word at its mid-rotations (cycling a fixed ladder).
+    /// With flips armed (or the torn-read mutation), every writer decodes
+    /// the regime word before each append and the decode is checked
+    /// against the published set. 0 leaves the regime machinery — and the
+    /// schedule space of pre-regime configs — untouched.
+    pub regime_flips: u64,
     /// Armed protocol mutation.
     pub mutation: MutationKind,
 }
@@ -125,13 +140,14 @@ impl Config {
     /// One-line human summary.
     pub fn summary(&self) -> String {
         format!(
-            "{}w x {}e cap={} rot={} obs={} batch={} mut={}",
+            "{}w x {}e cap={} rot={} obs={} batch={} flips={} mut={}",
             self.writers,
             self.entries_per_writer,
             self.capacity,
             self.mid_rotations,
             self.observer_reads,
             self.batch_slots,
+            self.regime_flips,
             self.mutation.name()
         )
     }
@@ -146,6 +162,7 @@ impl Default for Config {
             mid_rotations: 1,
             observer_reads: 0,
             batch_slots: 1,
+            regime_flips: 0,
             mutation: MutationKind::None,
         }
     }
@@ -170,6 +187,11 @@ pub enum ViolationKind {
     /// A concurrent `dropped_total()` read exceeded the over-count bound
     /// (the drop double-counting bug manifests here).
     ObserverOverCount,
+    /// A writer decoded the regime word to a `(regime, epoch)` pair the
+    /// drainer never published, or hit the corrupt-word fallback on an
+    /// uncorrupted log (the torn regime read manifests here: a non-atomic
+    /// read pairs one publish's epoch with another's regime).
+    RegimeDecode,
     /// Every unfinished thread was parked: the handshake livelocked.
     Livelock,
     /// Protocol code panicked under this schedule.
@@ -186,6 +208,7 @@ impl ViolationKind {
             ViolationKind::DropAccounting => "drop-accounting",
             ViolationKind::AbandonAccounting => "abandon-accounting",
             ViolationKind::ObserverOverCount => "observer-over-count",
+            ViolationKind::RegimeDecode => "regime-decode",
             ViolationKind::Livelock => "livelock",
             ViolationKind::Panic => "panic",
         }
@@ -233,11 +256,27 @@ struct Truth {
     expected_abandoned: u64,
     observer_overcounts: Vec<String>,
     drained: Vec<LogEntry>,
+    /// Every `(regime, epoch)` pair the drainer published (seeded with the
+    /// init word `Full@0`). Recorded *before* the word is stored, so no
+    /// writer can observe an unrecorded publish.
+    published_regimes: Vec<(Regime, u32)>,
+    /// Every writer decode of the regime word: `(regime, epoch, fallback)`.
+    regime_observations: Vec<(Regime, u32, bool)>,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
+
+/// The regime sequence the drainer publishes when flips are armed: each
+/// step changes both halves of the word relative to its neighbours, so a
+/// torn lo/hi recombination can never alias a published pair.
+const REGIME_LADDER: [Regime; 4] = [
+    Regime::Sampled(2),
+    Regime::Sampled(8),
+    Regime::Quiescent,
+    Regime::Full,
+];
 
 /// Run one serialized execution of `cfg` under `choices` and check every
 /// invariant. Returns the raw execution record plus the first violation
@@ -262,16 +301,32 @@ pub fn execute(
         &make_header(1, cfg.capacity, true, 0x40_0000, tee_sim::SHM_BASE),
     );
     let truth = Arc::new(Mutex::new(Truth::default()));
+    // The init word is all-zero, which decodes as `Full` at regime epoch 0.
+    lock(&truth).published_regimes.push((Regime::Full, 0));
+    // Regime decodes only run when the config exercises regimes, so
+    // pre-regime configs keep their exact schedule spaces.
+    let observe_regimes = cfg.regime_flips > 0 || cfg.mutation == MutationKind::TornRegimeRead;
 
     let mut jobs: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
     for w in 0..cfg.writers {
-        let log = log.clone();
+        // The torn-read mutation lives on the *writer* side (the gate's
+        // refresh path is what decodes the word); arm it on every writer
+        // handle so any writer's decode can tear against a publish.
+        let log = if cfg.mutation == MutationKind::TornRegimeRead {
+            log.clone().with_mutation(cfg.mutation.arm())
+        } else {
+            log.clone()
+        };
         let truth = Arc::clone(&truth);
         let entries = cfg.entries_per_writer;
         let batch_slots = cfg.batch_slots;
         jobs.push(Box::new(move || {
             let mut batch = (batch_slots > 1).then(|| log.batch_writer(batch_slots));
             for k in 1..=entries {
+                if observe_regimes {
+                    let obs = log.regime_observed();
+                    lock(&truth).regime_observations.push(obs);
+                }
                 let addr = (w as u64 + 1) * 1_000 + k;
                 let entry = LogEntry {
                     kind: EventKind::Call,
@@ -310,6 +365,7 @@ pub fn execute(
         let truth = Arc::clone(&truth);
         let writers = cfg.writers;
         let mid_rotations = cfg.mid_rotations;
+        let regime_flips = cfg.regime_flips;
         jobs.push(Box::new(move || {
             let mut cursor = LogCursor::default();
             let mut drained = Vec::new();
@@ -325,6 +381,16 @@ pub fn execute(
                 if rotations_done < mid_rotations {
                     drained.extend(log.rotate(&mut cursor).entries);
                     rotations_done += 1;
+                    // Walk the regime ladder: one publish per mid-rotation
+                    // (recorded in ground truth *before* the word lands, so
+                    // an observed-but-unrecorded publish cannot exist).
+                    let flips = lock(&truth).published_regimes.len() as u64 - 1;
+                    if flips < regime_flips {
+                        let regime = REGIME_LADDER[(flips % 4) as usize];
+                        let epoch = u32::try_from(flips + 1).unwrap_or(u32::MAX);
+                        lock(&truth).published_regimes.push((regime, epoch));
+                        log.set_regime(regime, epoch);
+                    }
                 } else {
                     // Out of rotation budget and writers still running:
                     // park until some writer makes progress (every writer
@@ -401,6 +467,29 @@ fn check_invariants(
     };
     if let Some(detail) = truth.observer_overcounts.first() {
         return fail(ViolationKind::ObserverOverCount, detail.clone());
+    }
+    // Every writer decode of the regime word must name a published
+    // `(regime, epoch)` pair, and the corrupt-word fallback must never
+    // fire on a log nothing corrupted. A torn (non-atomic) read fails the
+    // pair check: it welds one publish's epoch to another's regime.
+    for (regime, epoch, fallback) in &truth.regime_observations {
+        if *fallback {
+            return fail(
+                ViolationKind::RegimeDecode,
+                format!("corrupt-word fallback on an uncorrupted log (epoch {epoch})"),
+            );
+        }
+        if !truth.published_regimes.contains(&(*regime, *epoch)) {
+            return fail(
+                ViolationKind::RegimeDecode,
+                format!(
+                    "writer observed unpublished pair {regime:?}@{epoch} \
+                     (published: {:?}) [{}]",
+                    truth.published_regimes,
+                    cfg.summary()
+                ),
+            );
+        }
     }
     for e in &truth.drained {
         if e.validity() != EntryValidity::Valid {

@@ -122,6 +122,7 @@ const PROTOCOL_MODULES: &[&str] = &[
     "crates/teeperf-core/src/log.rs",
     "crates/teeperf-core/src/batch.rs",
     "crates/teeperf-core/src/layout.rs",
+    "crates/teeperf-core/src/fidelity.rs",
     "crates/teeperf-core/src/shm_file.rs",
     "crates/tee-sim/src/shm.rs",
     "crates/tee-sim/src/memmodel.rs",

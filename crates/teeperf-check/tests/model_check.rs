@@ -17,6 +17,7 @@ fn small(mutation: MutationKind) -> Config {
         mid_rotations: 1,
         observer_reads: 0,
         batch_slots: 1,
+        regime_flips: 0,
         mutation,
     }
 }
@@ -34,6 +35,7 @@ fn batched(mutation: MutationKind) -> Config {
         mid_rotations: 1,
         observer_reads: 0,
         batch_slots: 2,
+        regime_flips: 0,
         mutation,
     }
 }
@@ -84,6 +86,7 @@ fn clean_protocol_survives_seeded_pct_sweep() {
         mid_rotations: 2,
         observer_reads: 3,
         batch_slots: 1,
+        regime_flips: 0,
         mutation: MutationKind::None,
     };
     let report = explore::check_pct(&cfg, 3, 1, 50);
@@ -185,6 +188,47 @@ fn abandoned_as_dropped_is_found_and_replays() {
     assert_eq!(replayed.detail, v.detail);
 }
 
+/// [`small`] widened to two entries per writer over a two-slot log, with a
+/// mid-rotation regime publish: every writer snapshots the regime word for
+/// each entry while the drainer republishes it across the rotation.
+fn regime(mutation: MutationKind) -> Config {
+    Config {
+        entries_per_writer: 2,
+        capacity: 2,
+        regime_flips: 1,
+        ..small(mutation)
+    }
+}
+
+#[test]
+fn clean_regime_publishes_exhaust_without_violations() {
+    let report = explore::check_exhaustive(&regime(MutationKind::None), 1, 400_000);
+    assert!(
+        report.exhausted,
+        "bounded regime space must be fully enumerated ({} executions)",
+        report.executions
+    );
+    assert!(
+        report.violation.is_none(),
+        "clean regime protocol violated an invariant: {:?}",
+        report.violation
+    );
+}
+
+#[test]
+fn torn_regime_read_is_found_and_replays() {
+    let cfg = regime(MutationKind::TornRegimeRead);
+    let report = explore::check_exhaustive(&cfg, 2, 400_000);
+    let v = report
+        .violation
+        .expect("torn-regime-read mutation must be caught within the DFS budget");
+    assert_eq!(v.kind, ViolationKind::RegimeDecode, "got: {v}");
+    let replayed = explore::replay(&cfg, v.schedule.clone())
+        .expect("replaying the recorded schedule must re-find the violation");
+    assert_eq!(replayed.kind, ViolationKind::RegimeDecode);
+    assert_eq!(replayed.detail, v.detail);
+}
+
 #[test]
 fn committed_regression_trace_still_reproduces() {
     let text = include_str!("fixtures/traces/drop_double_count.trace");
@@ -225,6 +269,7 @@ fn pct_seeds_are_deterministic() {
         mid_rotations: 2,
         observer_reads: 3,
         batch_slots: 1,
+        regime_flips: 0,
         mutation: MutationKind::DroppedDoubleCount,
     };
     let a = explore::check_pct(&cfg, 3, 100, 100);

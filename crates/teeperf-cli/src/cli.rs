@@ -58,6 +58,7 @@ const USAGE: &str = "usage:
                [--analyzer-threads <n>] [--follow-pids <n>] [--batch-slots <n>]
                [--transition-mode classic|switchless]
                [--window-interval <ticks>] [--retain <n>] [--max-width <n>]
+               [--overhead-budget <pct>]
   teeperf live --logs <a,b,c> [--watermark <pct>] [--watchdog-timeout <pumps>]
                [--svg <file>] [--out <base>] [--window-interval <ticks>] [--retain <n>]
   teeperf analyze <base.tpf> <base.sym> [--salvage yes|no] [--analyzer-threads <n>]
@@ -68,7 +69,7 @@ const USAGE: &str = "usage:
   teeperf phoenix [--bench <name>] [--arch <kind>]
   teeperf daemon [--dir <d>] [--listen <addr>] [--snapshot-out <file>] [--pump-ms <n>]
                  [--scan-every <n>] [--max-loops <n>] [--liveness yes|no]
-                 [--window-interval <ticks>] [--retain <n>]
+                 [--window-interval <ticks>] [--retain <n>] [--overhead-budget <pct>]
   teeperf top --connect <addr> [--iterations <n>] [--interval-ms <n>] [--window <n>]
   teeperf archs
 
@@ -88,6 +89,9 @@ top:    poll a daemon's /snapshot and render the method table, diffed against
         renders the newest n retained windows from /query instead
 --window-interval/--retain/--max-width: keep a retention ring of per-interval
         window profiles over the virtual clock (oldest pairs coarsen, then evict)
+--overhead-budget pct: cap tolerated stream loss; a per-session controller
+        degrades fidelity full -> sampled 1/N -> quiescent under pressure and
+        recovers, with sampled totals bias-corrected and tagged `estimated`
 query --connect: time-travel queries against a daemon's retention rings.
         clauses: windows=all|last:<n>|<a>..=<b>  pid=<n>  method=<substr>
         tid=<n>  top=<n>  by=self|total|calls  diff=<a>,<b>
@@ -401,6 +405,22 @@ fn live_retention(args: &Args<'_>) -> Result<Option<RingConfig>, CliError> {
     Ok(ring)
 }
 
+/// `--overhead-budget`: tolerated stream loss in percent; arms the
+/// per-session fidelity controller. `None` (no flag) pins full fidelity.
+fn live_budget(args: &Args<'_>) -> Result<Option<teeperf_live::OverheadBudget>, CliError> {
+    match args.flag("overhead-budget") {
+        None => Ok(None),
+        Some(v) => {
+            let pct: u8 = v
+                .parse()
+                .ok()
+                .filter(|p| (1..=100).contains(p))
+                .ok_or_else(|| err(format!("bad --overhead-budget `{v}` (want 1..=100)")))?;
+            Ok(Some(teeperf_live::OverheadBudget { pct }))
+        }
+    }
+}
+
 fn cmd_live(args: &Args<'_>) -> Result<String, CliError> {
     if let Some(logs) = args.flag("logs") {
         return cmd_live_logs(args, logs);
@@ -440,6 +460,7 @@ fn cmd_live(args: &Args<'_>) -> Result<String, CliError> {
                 // pumps are frequent and batches small).
                 analyzer_shards: args.analyzer_threads()?.max(1),
                 retention: live_retention(args)?,
+                budget: live_budget(args)?,
                 ..teeperf_live::LiveConfig::default()
             },
             ..teeperf_live::LiveRunConfig::default()
@@ -566,6 +587,7 @@ fn cmd_live_follow(args: &Args<'_>, count: &str) -> Result<String, CliError> {
                 refresh_events: 0,
                 analyzer_shards: args.analyzer_threads()?.max(1),
                 retention: live_retention(args)?,
+                budget: live_budget(args)?,
                 ..LiveConfig::default()
             },
             ..teeperf_live::LiveRunConfig::default()
@@ -926,6 +948,7 @@ fn cmd_daemon(args: &Args<'_>) -> Result<String, CliError> {
         );
     }
     config.retention = live_retention(args)?;
+    config.budget = live_budget(args)?;
     let daemon = teeperf_daemon::Daemon::new(config.clone())
         .map_err(|e| err(format!("failed to start daemon: {e}")))?;
     let daemon = if args.flag("liveness").unwrap_or("yes") == "yes" {
@@ -968,7 +991,14 @@ fn top_frame(
 ) -> Result<(String, Vec<MethodRow>), String> {
     let status = Snapshot::summary_from_text(text)?;
     let rows = sorted_method_rows(text)?;
-    let mut out = format!("--- poll {poll}: {}\n", status.banner());
+    // Degraded fidelity is never silent: a daemon running under an
+    // overhead budget reports its regime, and the badge carries it into
+    // every frame header next to the counters it qualifies.
+    let badge = match Snapshot::regime_from_text(text)? {
+        None => String::new(),
+        Some(info) => format!(" [{} \u{00b7} {}]", info.regime, info.confidence()),
+    };
+    let mut out = format!("--- poll {poll}: {}{badge}\n", status.banner());
     out.push_str(&method_table(&rows, prev));
     Ok((out, rows))
 }
@@ -1141,6 +1171,26 @@ mod tests {
     fn top_frame_rejects_unparseable_snapshots() {
         assert!(top_frame(1, "not a snapshot", &[]).is_err());
         assert!(top_frame(1, "[live]\nepoch 0\n", &[]).is_err());
+    }
+
+    #[test]
+    fn top_frame_badges_a_degraded_regime() {
+        let text = "[live]\nepoch 0\nevents 8\ndropped 4\nthreads 1\nopen 0\ntotal_ticks 100\n\
+                    [regime]\nmode sampled 1/4\nbudget 5\ntransitions 1\nestimated_events 32\n\
+                    faults 0\nconfidence estimated\n\
+                    [methods]\nwork 2 80 60\n[folded]\nwork 60\n";
+        let (frame, _) = top_frame(1, text, &[]).unwrap();
+        let header = frame.lines().next().unwrap();
+        assert!(
+            header.contains("[sampled(1/4) \u{00b7} estimated]"),
+            "{header}"
+        );
+        // No [regime] section, no badge — full-fidelity output is unchanged.
+        let plain = "[live]\nepoch 0\nevents 8\ndropped 0\nthreads 1\nopen 0\ntotal_ticks 100\n\
+                     [methods]\nwork 2 80 60\n[folded]\nwork 60\n";
+        let (frame, _) = top_frame(1, plain, &[]).unwrap();
+        let header = frame.lines().next().unwrap();
+        assert!(!header.contains('['), "{header}");
     }
 
     #[test]

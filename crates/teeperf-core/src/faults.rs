@@ -391,6 +391,10 @@ pub enum SalvageReason {
     TruncatedFile,
     /// Writers declared dead and their announcements reclaimed.
     DeadWriterReclaimed,
+    /// The fidelity regime word failed validation; the reader fell back
+    /// to the `Full` interpretation and the drainer re-published a valid
+    /// word. An incident, never an entry drop.
+    CorruptRegimeWord,
 }
 
 impl SalvageReason {
@@ -403,6 +407,7 @@ impl SalvageReason {
             SalvageReason::CorruptHeader => "corrupt-header",
             SalvageReason::TruncatedFile => "truncated-file",
             SalvageReason::DeadWriterReclaimed => "dead-writer-reclaimed",
+            SalvageReason::CorruptRegimeWord => "corrupt-regime-word",
         }
     }
 }

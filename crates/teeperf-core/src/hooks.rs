@@ -22,7 +22,10 @@ use tee_sim::{Machine, SHM_BASE};
 
 use crate::batch::BatchWriter;
 use crate::counter::CounterSource;
-use crate::layout::{EventKind, LogEntry, ENTRY_BYTES, OFF_CONTROL, OFF_COUNTER, OFF_TAIL};
+use crate::fidelity::FidelityGate;
+use crate::layout::{
+    EventKind, LogEntry, ENTRY_BYTES, OFF_CONTROL, OFF_COUNTER, OFF_REGIME, OFF_TAIL,
+};
 use crate::log::SharedLog;
 use crate::select::SelectiveFilter;
 
@@ -51,6 +54,7 @@ pub struct TeePerfHooks {
     counter_in_shm: bool,
     live: bool,
     batch: Option<BatchWriter>,
+    gate: Option<FidelityGate>,
     events_recorded: u64,
     events_suppressed: u64,
 }
@@ -77,6 +81,7 @@ impl TeePerfHooks {
             counter_in_shm,
             live: false,
             batch: None,
+            gate: None,
             events_recorded: 0,
             events_suppressed: 0,
         }
@@ -114,6 +119,19 @@ impl TeePerfHooks {
         self
     }
 
+    /// Honour the fidelity regime word with a [`FidelityGate`]: under
+    /// `Sampled(N)` only one in `N` call/return pairs is recorded (the
+    /// pair's events skip the counter read, the tail RMW and the entry
+    /// write entirely, which is where the overhead reduction comes from),
+    /// and under `Quiescent` nothing is. The gate re-reads the shared
+    /// regime word every [`crate::fidelity::GATE_REFRESH_EVERY`] events,
+    /// amortizing the extra shared load; a session without a budget never
+    /// publishes anything but `Full`, so the gate is then a no-op.
+    pub fn with_fidelity_gate(mut self) -> TeePerfHooks {
+        self.gate = Some(FidelityGate::new());
+        self
+    }
+
     /// Override the fixed cost of the injected instructions (ablations).
     pub fn with_injected_cycles(mut self, cycles: u64) -> TeePerfHooks {
         self.injected_cycles = cycles;
@@ -125,9 +143,15 @@ impl TeePerfHooks {
         self.events_recorded
     }
 
-    /// Events skipped by the filter or the control word.
+    /// Events skipped by the filter, the control word, or the fidelity
+    /// gate.
     pub fn events_suppressed(&self) -> u64 {
         self.events_suppressed
+    }
+
+    /// The armed fidelity gate, if any (regime + sampling statistics).
+    pub fn fidelity_gate(&self) -> Option<&FidelityGate> {
+        self.gate.as_ref()
     }
 
     /// The shared log handle (e.g. for mid-run toggling in tests).
@@ -150,6 +174,20 @@ impl TeePerfHooks {
         // 3. Selective profiling.
         if let Some(filter) = &self.filter {
             if !filter.allows(addr) {
+                self.events_suppressed += 1;
+                return;
+            }
+        }
+
+        // 3½. The fidelity gate. A suppressed event bails before the
+        // counter read and the tail RMW — the expensive shared traffic —
+        // which is exactly how `Sampled` buys back overhead.
+        if let Some(gate) = &mut self.gate {
+            if gate.needs_refresh() {
+                machine.read(SHM_BASE + OFF_REGIME, 8);
+                gate.observe(self.log.regime_word());
+            }
+            if !gate.admit(tid, kind) {
                 self.events_suppressed += 1;
                 return;
             }
@@ -396,6 +434,47 @@ mod tests {
             c > t0 && c < machine.clock().now(),
             "tsc {c} outside hook window"
         );
+    }
+
+    #[test]
+    fn fidelity_gate_cuts_recorded_events_and_cycles() {
+        use crate::fidelity::Regime;
+        let run = |regime: Option<Regime>| -> (u64, u64) {
+            let (log, mut machine) = setup(4096);
+            if let Some(r) = regime {
+                log.set_regime(r, 1);
+            }
+            let mut hooks = sim_hooks(&log, &machine).with_live_writes();
+            if regime.is_some() {
+                hooks = hooks.with_fidelity_gate();
+            }
+            let t0 = machine.clock().now();
+            for i in 0..512u64 {
+                hooks.record(&mut machine, EventKind::Call, 0x1000 + i, 0);
+                hooks.record(&mut machine, EventKind::Return, 0x1000 + i, 0);
+            }
+            (machine.clock().now() - t0, hooks.events_recorded())
+        };
+        let (full_cycles, full_recorded) = run(None);
+        let (gated_full_cycles, gated_full_recorded) = run(Some(Regime::Full));
+        let (sampled_cycles, sampled_recorded) = run(Some(Regime::Sampled(8)));
+        let (quiet_cycles, quiet_recorded) = run(Some(Regime::Quiescent));
+        assert_eq!(full_recorded, 1024);
+        assert_eq!(gated_full_recorded, 1024, "Full gate admits everything");
+        // The gate's refresh reads are the only extra cost under Full.
+        assert!(gated_full_cycles < full_cycles + full_cycles / 10);
+        // ~1/8 of pairs admitted; allow wide slack on the hashed draw.
+        assert!(
+            sampled_recorded < 1024 / 4,
+            "sampled recorded {sampled_recorded}"
+        );
+        assert_eq!(sampled_recorded % 2, 0, "pairs stay whole");
+        assert!(
+            sampled_cycles < full_cycles / 2,
+            "sampling must cut measured overhead: {sampled_cycles} vs {full_cycles}"
+        );
+        assert_eq!(quiet_recorded, 0);
+        assert!(quiet_cycles < sampled_cycles);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The shared-memory log format of TEE-Perf (paper Figure 2), extended
 //! with the continuous-profiling words used by `teeperf-live`.
 //!
-//! ## Header (96 bytes, twelve 64-bit words)
+//! ## Header (104 bytes, thirteen 64-bit words)
 //!
 //! | word | offset | contents |
 //! |------|--------|----------|
@@ -17,6 +17,7 @@
 //! | 9 | 72 | integrity magic ([`LOG_MAGIC`], written once at init) |
 //! | 10 | 80 | batch-abandoned slots in completed epochs (cumulative) |
 //! | 11 | 88 | current-epoch over-capacity batch hand-backs (reset each rotation) |
+//! | 12 | 96 | fidelity regime word (see [`crate::fidelity`]): lo32 = regime epoch, hi32 = tag + log2(N) + check byte; written only by the drainer, read by writers |
 //!
 //! The control word is the only mutable-while-running word besides the
 //! tail, the counter, and the two live words; it is read and written
@@ -41,11 +42,12 @@
 //! | 2 | thread id |
 
 /// Current version of the log structure. Version 2 grew the header from 64
-/// to 96 bytes (epoch, writers-in-flight, and cumulative-dropped words).
-pub const LOG_VERSION: u16 = 2;
+/// to 96 bytes (epoch, writers-in-flight, and cumulative-dropped words);
+/// version 3 grew it to 104 bytes (the fidelity regime word).
+pub const LOG_VERSION: u16 = 3;
 
 /// Header size in bytes.
-pub const HEADER_BYTES: u64 = 96;
+pub const HEADER_BYTES: u64 = 104;
 /// Entry size in bytes.
 pub const ENTRY_BYTES: u64 = 24;
 
@@ -79,6 +81,12 @@ pub const OFF_ABANDONED: u64 = 80;
 /// back (only one drop ticket per failing append is kept in the tail
 /// overflow). Rotation folds this into [`OFF_ABANDONED`] and resets it.
 pub const OFF_ABANDONED_EPOCH: u64 = 88;
+/// Byte offset of the fidelity regime word. The drainer is the sole writer
+/// (one new value per publication, always a single atomic store); writers
+/// read it to learn the current admission regime. The all-zero word is the
+/// valid encoding of `Full` at regime epoch 0, so freshly zeroed regions
+/// and version-2 logs decode as full fidelity. See [`crate::fidelity`].
+pub const OFF_REGIME: u64 = 96;
 
 /// The header integrity word: `"TPERFLOG"` as a little-endian u64. Written
 /// once at init and never changed; a reader that finds anything else knows
@@ -422,6 +430,7 @@ mod tests {
             OFF_MAGIC,
             OFF_ABANDONED,
             OFF_ABANDONED_EPOCH,
+            OFF_REGIME,
         ];
         for (i, a) in offs.iter().enumerate() {
             assert_eq!(a % 8, 0);

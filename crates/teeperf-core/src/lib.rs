@@ -27,6 +27,11 @@
 //!   driven by the virtual clock ([`counter::SimCounter`]) and a
 //!   TSC-style hardware counter ([`counter::TscCounter`]) for the
 //!   counter-source ablation.
+//! * [`fidelity`] — **fidelity regimes**: the shared regime word
+//!   (`Full` / `Sampled(1-in-N)` / `Quiescent`) published by the live
+//!   drainer and the writer-side [`fidelity::FidelityGate`] that admits
+//!   pair-coherent 1-in-N samples, so an overloaded session degrades
+//!   disclosedly instead of dropping entries silently.
 //! * [`hooks`] — the **injected code**: the
 //!   `__cyg_profile_func_enter`/`_exit` analogue that runs at every call
 //!   and return inside the enclave, reads the counter, reserves a log slot
@@ -51,6 +56,7 @@ pub mod api;
 pub mod batch;
 pub mod counter;
 pub mod faults;
+pub mod fidelity;
 pub mod file;
 pub mod hooks;
 pub mod layout;
@@ -68,6 +74,7 @@ pub use faults::{
     ArmedFault, FaultKind, FaultPlan, FaultRng, FaultyWriter, SalvageReason, SalvageReport,
     WriteOutcome,
 };
+pub use fidelity::{decode_or_full, decode_regime, encode_regime, FidelityGate, Regime};
 pub use file::LogFile;
 pub use hooks::TeePerfHooks;
 pub use layout::{

@@ -18,11 +18,12 @@ use tee_sim::SharedMem;
 use std::error::Error;
 use std::fmt;
 
+use crate::fidelity::{self, Regime};
 use crate::layout::{
     EventKind, LogEntry, LogHeader, ENTRY_BYTES, FLAG_ACTIVE, FLAG_ROTATING, FLAG_TRACE_CALLS,
     FLAG_TRACE_RETURNS, HEADER_BYTES, LOG_MAGIC, LOG_VERSION, OFF_ABANDONED, OFF_ABANDONED_EPOCH,
-    OFF_ANCHOR, OFF_CONTROL, OFF_COUNTER, OFF_DROPPED, OFF_EPOCH, OFF_MAGIC, OFF_PID, OFF_SHM_ADDR,
-    OFF_SIZE, OFF_TAIL, WRITERS_MASK, WRITER_ONE,
+    OFF_ANCHOR, OFF_CONTROL, OFF_COUNTER, OFF_DROPPED, OFF_EPOCH, OFF_MAGIC, OFF_PID, OFF_REGIME,
+    OFF_SHM_ADDR, OFF_SIZE, OFF_TAIL, WRITERS_MASK, WRITER_ONE,
 };
 
 /// A handle onto the shared log. Cheap to clone; clones alias the same
@@ -70,6 +71,13 @@ pub mod mutation {
         /// every hand-back is charged twice and the drop total no longer
         /// equals attempts minus written.
         CountAbandonedAsDropped,
+        /// Fidelity-regime bug class (torn regime read): the reader loads
+        /// the regime word twice and recombines the first load's low half
+        /// (regime epoch) with the second load's high half (tag + N),
+        /// then decodes *without* the check-byte validation — fabricating
+        /// an `(N, regime epoch)` pairing that was never published when a
+        /// regime change lands between the two loads.
+        TornRegimeRead,
     }
 }
 
@@ -110,6 +118,9 @@ impl SharedLog {
         shm.write_u64(OFF_ABANDONED, 0).expect("header in range");
         shm.write_u64(OFF_ABANDONED_EPOCH, 0)
             .expect("header in range");
+        // The all-zero regime word is the valid encoding of Full @ regime
+        // epoch 0 (see `crate::fidelity`).
+        shm.write_u64(OFF_REGIME, 0).expect("header in range");
         SharedLog {
             shm,
             size,
@@ -618,6 +629,42 @@ impl SharedLog {
             .expect("header in range");
         (prev & WRITERS_MASK) >> WRITER_ONE.trailing_zeros()
     }
+
+    // ---- fidelity-regime word -------------------------------------------
+
+    /// Raw value of the fidelity regime word (single atomic load).
+    pub fn regime_word(&self) -> u64 {
+        self.shm.read_u64(OFF_REGIME).expect("header in range")
+    }
+
+    /// Read and decode the fidelity regime word. Returns the regime, the
+    /// regime epoch of the publication, and whether the decoder fell back
+    /// to `Full` because the word failed validation (corruption — the
+    /// drainer's own stores are always whole-word and valid).
+    ///
+    /// Under the `TornRegimeRead` mutation this performs the historical
+    /// buggy read: two loads recombined lo/hi with no validation.
+    pub fn regime_observed(&self) -> (Regime, u32, bool) {
+        #[cfg(feature = "mutation-testing")]
+        if self.mutation == mutation::Mutation::TornRegimeRead {
+            let lo = self.shm.read_u64(OFF_REGIME).expect("header in range");
+            let hi = self.shm.read_u64(OFF_REGIME).expect("header in range");
+            let torn = (lo & 0xffff_ffff) | (hi & !0xffff_ffff);
+            let (regime, epoch) = fidelity::decode_unchecked(torn);
+            return (regime, epoch, false);
+        }
+        fidelity::decode_or_full(self.regime_word())
+    }
+
+    /// Drainer-side: publish a regime at `regime_epoch`. One whole-word
+    /// store under the existing publication discipline — the drainer is
+    /// the regime word's only writer, so readers can never see a torn
+    /// value through the protocol itself.
+    pub fn set_regime(&self, regime: Regime, regime_epoch: u32) {
+        self.shm
+            .write_u64(OFF_REGIME, fidelity::encode_regime(regime, regime_epoch))
+            .expect("header in range");
+    }
 }
 
 /// A corrupted or foreign log header, found by [`SharedLog::verify_header`].
@@ -1121,6 +1168,26 @@ mod tests {
         assert_eq!((out.entries.len(), out.abandoned), (0, 2));
         assert_eq!(log.abandoned_total(), 3);
         assert_eq!(log.dropped_total(), 0);
+    }
+
+    #[test]
+    fn regime_word_round_trips_and_salvages_corruption() {
+        let log = fresh(4);
+        // Fresh log: Full at regime epoch 0, no fallback.
+        assert_eq!(log.regime_observed(), (Regime::Full, 0, false));
+        log.set_regime(Regime::Sampled(8), 1);
+        assert_eq!(log.regime_observed(), (Regime::Sampled(8), 1, false));
+        log.set_regime(Regime::Quiescent, 2);
+        assert_eq!(log.regime_observed(), (Regime::Quiescent, 2, false));
+        // A hostile producer scribbles on the word: readers fall back to
+        // Full and report it, never panic.
+        log.shm()
+            .write_u64(OFF_REGIME, 0xdead_beef_dead_beef)
+            .unwrap();
+        assert_eq!(log.regime_observed(), (Regime::Full, 0, true));
+        // The drainer repairs it with a fresh publication.
+        log.set_regime(Regime::Full, 3);
+        assert_eq!(log.regime_observed(), (Regime::Full, 3, false));
     }
 
     #[test]

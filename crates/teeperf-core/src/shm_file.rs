@@ -4,7 +4,7 @@
 //! The in-process [`crate::log::SharedLog`] lives in a [`tee_sim::SharedMem`]
 //! region that only threads of one process can share. To profile genuinely
 //! separate OS processes without `unsafe` (no `mmap`), each writer process
-//! materializes the *exact same* log layout — the 96-byte header of
+//! materializes the *exact same* log layout — the 104-byte header of
 //! [`crate::layout`] followed by 24-byte slots — in a regular file under
 //! `/dev/shm` (tmpfs, so "file I/O" is still memory traffic) or any other
 //! registration directory, and a [`FileShmSource`] in the daemon process
@@ -33,7 +33,11 @@
 //! there is **no epoch rotation** (rotation needs the writers-in-flight
 //! handshake on the control word, which file I/O cannot do atomically;
 //! instead the file is sized for the session and overflow is accounted via
-//! the tail, exactly like a batch log).
+//! the tail, exactly like a batch log). The fidelity regime word is also
+//! not carried over this transport: the consumer opens the file read-only,
+//! so [`FileShmSource`] keeps the [`EventSource`] regime defaults and a
+//! file-backed session is always pinned to `Full` (zero-filled regions
+//! decode as `Full` at regime epoch 0 by construction).
 //!
 //! # Registration protocol
 //!

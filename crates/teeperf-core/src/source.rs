@@ -17,6 +17,7 @@
 //! one per profiled process — by that pid.
 
 use crate::faults::{SalvageReason, SalvageReport};
+use crate::fidelity::Regime;
 use crate::file::LogFile;
 use crate::layout::{EntryValidity, LogEntry};
 use crate::log::{LogCursor, SharedLog};
@@ -85,6 +86,33 @@ pub trait EventSource: Send + std::fmt::Debug {
     fn is_dead(&self) -> bool {
         false
     }
+
+    /// Publish a fidelity regime on the transport for the producer's
+    /// [`crate::fidelity::FidelityGate`] to honour. Returns `false` when
+    /// the transport cannot carry regimes (replays, read-only mappings);
+    /// the controller then treats the source as pinned to `Full`.
+    fn set_regime(&mut self, _regime: Regime) -> bool {
+        false
+    }
+
+    /// The regime currently published on the transport (`None` when the
+    /// transport carries none — replays are always effectively `Full`).
+    fn regime(&self) -> Option<Regime> {
+        None
+    }
+
+    /// One-shot flag: whether a pump since the last call found the regime
+    /// word corrupt, fell back to the `Full` interpretation and repaired
+    /// the word. The session surfaces the repair as an event.
+    fn take_regime_fault(&mut self) -> bool {
+        false
+    }
+
+    /// Occupancy of the current epoch's log in percent of capacity
+    /// (`None` when the transport has no bounded buffer).
+    fn occupancy_pct(&self) -> Option<u8> {
+        None
+    }
 }
 
 /// Knobs for a [`LiveLogSource`]'s failure handling. The defaults favour
@@ -139,6 +167,11 @@ pub struct LiveLogSource {
     stuck: Option<(u64, u64, u64)>,
     rotation_stalls: u64,
     dead: bool,
+    /// The regime this drainer last published, and at which regime epoch.
+    regime: Regime,
+    regime_epoch: u32,
+    /// One-shot: a pump found the regime word corrupt and repaired it.
+    regime_fault: bool,
 }
 
 impl LiveLogSource {
@@ -160,6 +193,9 @@ impl LiveLogSource {
             stuck: None,
             rotation_stalls: 0,
             dead: false,
+            regime: Regime::Full,
+            regime_epoch: 0,
+            regime_fault: false,
         }
     }
 
@@ -271,6 +307,17 @@ impl LiveLogSource {
                 ..SourceBatch::default()
             };
         }
+        // Validate the regime word. Writers fall back to the Full
+        // interpretation on their own when it is corrupt; the drainer
+        // additionally repairs it (it owns the word) and records the
+        // incident so the session can surface an event.
+        let (_, _, regime_corrupt) = self.log.regime_observed();
+        if regime_corrupt {
+            self.salvage.incident(SalvageReason::CorruptRegimeWord);
+            self.regime_fault = true;
+            self.regime_epoch = self.regime_epoch.wrapping_add(1);
+            self.log.set_regime(self.regime, self.regime_epoch);
+        }
         let polled = self.log.poll(&mut self.cursor);
         let blocked = polled.is_empty()
             && self.cursor.index < self.log.header().tail.min(self.log.capacity());
@@ -333,6 +380,30 @@ impl EventSource for LiveLogSource {
 
     fn is_dead(&self) -> bool {
         self.dead
+    }
+
+    fn set_regime(&mut self, regime: Regime) -> bool {
+        if self.dead {
+            return false;
+        }
+        self.regime = regime;
+        self.regime_epoch = self.regime_epoch.wrapping_add(1);
+        self.log.set_regime(regime, self.regime_epoch);
+        true
+    }
+
+    fn regime(&self) -> Option<Regime> {
+        Some(self.regime)
+    }
+
+    fn take_regime_fault(&mut self) -> bool {
+        std::mem::take(&mut self.regime_fault)
+    }
+
+    fn occupancy_pct(&self) -> Option<u8> {
+        let cap = self.log.capacity().max(1);
+        let tail = self.log.header().tail.min(cap);
+        Some((tail * 100 / cap) as u8)
     }
 }
 
@@ -685,6 +756,57 @@ mod tests {
         // Dead is sticky and cheap: no further header reads, empty batches.
         assert!(src.drain_to_end().entries.is_empty());
         assert_eq!(src.salvage().count(SalvageReason::CorruptHeader), 1);
+    }
+
+    #[test]
+    fn live_source_publishes_and_repairs_regime_word() {
+        use crate::faults::SalvageReason;
+        let log = live_log(7, 8);
+        let mut src = LiveLogSource::new(log.clone(), 90);
+        assert_eq!(src.regime(), Some(Regime::Full));
+        assert_eq!(src.occupancy_pct(), Some(0));
+        assert!(src.set_regime(Regime::sampled(4)));
+        assert_eq!(log.regime_observed(), (Regime::Sampled(4), 1, false));
+        for k in 1..=4u64 {
+            log.write_live(&entry(k, 0x100 + k));
+        }
+        assert_eq!(src.occupancy_pct(), Some(50));
+        // A hostile producer scribbles on the regime word: the next pump
+        // falls back to Full, repairs the word at a fresh regime epoch,
+        // and accounts the incident — no panic, nothing lost.
+        log.shm()
+            .write_u64(crate::layout::OFF_REGIME, 0xdead_beef_dead_beef)
+            .unwrap();
+        let b = src.pump();
+        assert_eq!(b.entries.len(), 4);
+        assert!(src.take_regime_fault());
+        assert!(!src.take_regime_fault(), "fault flag is one-shot");
+        assert_eq!(log.regime_observed(), (Regime::Sampled(4), 2, false));
+        assert_eq!(src.salvage().count(SalvageReason::CorruptRegimeWord), 1);
+        assert!(!src.is_dead());
+        assert_eq!(src.regime(), Some(Regime::Sampled(4)));
+    }
+
+    #[test]
+    fn replay_source_has_no_regime_transport() {
+        let header = LogHeader {
+            active: false,
+            trace_calls: true,
+            trace_returns: true,
+            multithread: false,
+            version: LOG_VERSION,
+            pid: 5,
+            size: 4,
+            tail: 1,
+            anchor: 0,
+            shm_addr: 0,
+        };
+        let file = LogFile::new(header, vec![entry(1, 0xa)]);
+        let mut src = FileReplaySource::new(&file);
+        assert!(!src.set_regime(Regime::Quiescent));
+        assert_eq!(src.regime(), None);
+        assert!(!src.take_regime_fault());
+        assert_eq!(src.occupancy_pct(), None);
     }
 
     #[test]

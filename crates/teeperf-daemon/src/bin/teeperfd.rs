@@ -24,7 +24,8 @@ use teeperf_live::RingConfig;
 fn usage() -> String {
     "usage: teeperfd [--dir DIR] [--listen ADDR] [--snapshot-out FILE] \
      [--pump-ms N] [--scan-every N] [--max-loops N] [--no-liveness-probe] \
-     [--window-interval TICKS] [--retain N] [--max-width N]"
+     [--window-interval TICKS] [--retain N] [--max-width N] \
+     [--overhead-budget PCT]"
         .to_string()
 }
 
@@ -86,6 +87,15 @@ fn parse(args: &[String]) -> Result<(DaemonConfig, bool), String> {
                     .retention
                     .get_or_insert_with(RingConfig::default)
                     .max_width = n;
+            }
+            "--overhead-budget" => {
+                let pct: u8 = value()?
+                    .parse()
+                    .map_err(|_| "--overhead-budget: not a percentage")?;
+                if pct == 0 || pct > 100 {
+                    return Err("--overhead-budget must be 1..=100".to_string());
+                }
+                config.budget = Some(teeperf_live::OverheadBudget { pct });
             }
             "--no-liveness-probe" => probe = false,
             "--help" | "-h" => return Err(usage()),

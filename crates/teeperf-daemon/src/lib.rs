@@ -77,6 +77,10 @@ pub struct DaemonConfig {
     /// Windowed retention handed to every session (`None` serves the
     /// all-time view only: `/windows` lists nothing and `/query` 404s).
     pub retention: Option<RingConfig>,
+    /// Overhead budget handed to every session: each pid gets its own
+    /// fidelity controller walking `Full → Sampled(1/N) → Quiescent`
+    /// against this loss budget (`None` pins the fleet to full fidelity).
+    pub budget: Option<teeperf_live::OverheadBudget>,
 }
 
 impl Default for DaemonConfig {
@@ -91,6 +95,7 @@ impl Default for DaemonConfig {
             hole_pumps: teeperf_core::shm_file::DEFAULT_HOLE_PUMPS,
             max_loops: None,
             retention: None,
+            budget: None,
         }
     }
 }
@@ -403,6 +408,7 @@ impl Daemon {
         let addr = listener.local_addr()?;
         let live = LiveConfig {
             retention: config.retention.clone(),
+            budget: config.budget,
             ..LiveConfig::default()
         };
         let registry = SessionRegistry::new(live).with_watchdog(config.watchdog);
@@ -643,6 +649,37 @@ impl SnapshotService for Daemon {
             "teeperf_dropped_total {}\n",
             self.registry.dropped()
         ));
+        for (pid, dropped) in self.registry.dropped_by_pid() {
+            out.push_str(&format!(
+                "teeperf_dropped_total{{pid=\"{pid}\"}} {dropped}\n"
+            ));
+        }
+        let headroom = self.registry.budget_headroom_by_pid();
+        for (pid, info) in self.registry.regimes_by_pid() {
+            // Regime as an enumerated gauge (0 full, 1 sampled, 2
+            // quiescent) plus the sampling divisor as its own gauge, so a
+            // scraper can alert on "any pid degraded" without label math.
+            let (mode, n) = match info.regime {
+                teeperf_core::Regime::Full => (0u8, 1u64),
+                teeperf_core::Regime::Sampled(n) => (1, u64::from(n)),
+                teeperf_core::Regime::Quiescent => (2, 0),
+            };
+            out.push_str(&format!("teeperf_regime{{pid=\"{pid}\"}} {mode}\n"));
+            out.push_str(&format!("teeperf_regime_n{{pid=\"{pid}\"}} {n}\n"));
+            out.push_str(&format!(
+                "teeperf_regime_transitions_total{{pid=\"{pid}\"}} {}\n",
+                info.transitions
+            ));
+            out.push_str(&format!(
+                "teeperf_regime_faults_total{{pid=\"{pid}\"}} {}\n",
+                info.faults
+            ));
+            if let Some(h) = headroom.get(&pid) {
+                out.push_str(&format!(
+                    "teeperf_budget_headroom_pct{{pid=\"{pid}\"}} {h}\n"
+                ));
+            }
+        }
         out.push_str(&format!("teeperf_salvage_kept {}\n", salvage.kept));
         out.push_str(&format!("teeperf_salvage_dropped {}\n", salvage.dropped));
         for reason in [
@@ -652,6 +689,7 @@ impl SnapshotService for Daemon {
             teeperf_core::SalvageReason::CorruptHeader,
             teeperf_core::SalvageReason::TruncatedFile,
             teeperf_core::SalvageReason::DeadWriterReclaimed,
+            teeperf_core::SalvageReason::CorruptRegimeWord,
         ] {
             out.push_str(&format!(
                 "teeperf_salvage_reason{{reason=\"{reason}\"}} {}\n",
@@ -740,6 +778,7 @@ mod tests {
             hole_pumps: 4,
             max_loops: None,
             retention,
+            budget: None,
         })
         .unwrap()
         .without_liveness_probe()
@@ -843,6 +882,48 @@ mod tests {
             },
         );
         assert_eq!(r.status, 405);
+    }
+
+    #[test]
+    fn metrics_break_out_drops_and_regimes_per_pid() {
+        let dir = scratch("regime-metrics");
+        write_session(&dir.0, 501, 40);
+        let mut d = Daemon::new(DaemonConfig {
+            dir: dir.0.clone(),
+            listen: "127.0.0.1:0".to_string(),
+            pump_interval: Duration::from_millis(1),
+            scan_every: 1,
+            snapshot_out: None,
+            watchdog: WatchdogConfig::default(),
+            hole_pumps: 4,
+            max_loops: None,
+            retention: None,
+            budget: Some(teeperf_live::OverheadBudget { pct: 5 }),
+        })
+        .unwrap()
+        .without_liveness_probe();
+        d.scan();
+        d.registry.pump();
+        let m = d.metrics_text();
+        assert!(m.contains("teeperf_dropped_total{pid=\"501\"} 0"), "{m}");
+        assert!(m.contains("teeperf_regime{pid=\"501\"} 0"), "{m}");
+        assert!(m.contains("teeperf_regime_n{pid=\"501\"} 1"), "{m}");
+        assert!(
+            m.contains("teeperf_budget_headroom_pct{pid=\"501\"} 5"),
+            "{m}"
+        );
+        assert!(
+            m.contains("teeperf_regime_transitions_total{pid=\"501\"} 0"),
+            "{m}"
+        );
+        assert!(
+            m.contains("teeperf_salvage_reason{reason=\"corrupt-regime-word\"} 0"),
+            "{m}"
+        );
+        // The budgeted fleet's regime block flows through /snapshot too.
+        let snap = d.merged().to_text();
+        assert!(snap.contains("[regime]\nmode full\n"), "{snap}");
+        assert!(snap.contains("budget 5"), "{snap}");
     }
 
     #[test]

@@ -43,6 +43,7 @@ fn empty_snapshot() -> Snapshot {
         status: LiveStatus::default(),
         profile: empty_profile(),
         events: Vec::new(),
+        regime: None,
     }
 }
 
@@ -149,6 +150,7 @@ fn assemble(
         },
         profile,
         events,
+        regime: None,
     }
 }
 

@@ -10,7 +10,7 @@
 //! explicitly: the stream reports how many entries it lost, it never
 //! silently stops.
 
-use teeperf_core::{EventSource, LiveLogSource, SharedLog};
+use teeperf_core::{EventSource, LiveLogSource, Regime, SharedLog};
 
 pub use teeperf_core::SourceBatch as DrainBatch;
 
@@ -102,6 +102,35 @@ impl Drainer {
     /// Whether the wrapped source can never produce another entry.
     pub fn is_exhausted(&self) -> bool {
         self.source.is_exhausted()
+    }
+
+    /// Publish a fidelity regime to the writers through the source's
+    /// shared regime word (see [`teeperf_core::fidelity`]). Returns
+    /// whether the source carries regimes at all — a file replay has no
+    /// writers to throttle and reports `false`.
+    pub fn set_regime(&mut self, regime: Regime) -> bool {
+        self.source.set_regime(regime)
+    }
+
+    /// The regime currently published to this source's writers (`None`
+    /// for sources without regime transport, which always run [`Full`]).
+    ///
+    /// [`Full`]: Regime::Full
+    pub fn regime(&self) -> Option<Regime> {
+        self.source.regime()
+    }
+
+    /// One-shot flag: the last pump found the shared regime word corrupt
+    /// and fell back to the [`Regime::Full`] interpretation (the word has
+    /// already been re-published). Reading it clears it.
+    pub fn take_regime_fault(&mut self) -> bool {
+        self.source.take_regime_fault()
+    }
+
+    /// Current epoch occupancy of the underlying log in percent (`None`
+    /// for sources without a live log behind them).
+    pub fn occupancy_pct(&self) -> Option<u8> {
+        self.source.occupancy_pct()
     }
 
     fn account(&mut self, batch: DrainBatch) -> DrainBatch {

@@ -170,9 +170,15 @@ pub fn live_profile_program(
 
     let mut vm = Vm::with_config(program, machine, run_config);
     recorder.attach(vm.machine_mut());
-    let hooks = recorder
+    let mut hooks = recorder
         .sim_hooks(vm.machine().clock().clone())
         .with_live_writes();
+    if live_config.live.budget.is_some() {
+        // A budgeted session publishes regimes through the log's regime
+        // word; arm the writer-side gate so they actually throttle at the
+        // source instead of just relabeling the overflow.
+        hooks = hooks.with_fidelity_gate();
+    }
     vm.set_hooks(Box::new(hooks));
     let base = live_config.pump_every_instructions.max(1);
     let interval_out = Rc::new(Cell::new(base));
@@ -329,9 +335,12 @@ pub fn live_profile_processes(
         machine.set_pid(pid);
         let mut vm = Vm::with_config(program.clone(), machine, run_config.clone());
         recorder.attach(vm.machine_mut());
-        let hooks = recorder
+        let mut hooks = recorder
             .sim_hooks(vm.machine().clock().clone())
             .with_live_writes();
+        if live_config.live.budget.is_some() {
+            hooks = hooks.with_fidelity_gate();
+        }
         vm.set_hooks(Box::new(hooks));
         vm.set_observer(Box::new(RegistryPump {
             registry: Rc::clone(&registry),

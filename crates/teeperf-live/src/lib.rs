@@ -40,6 +40,13 @@
 //!   history), queried through the `teeperf_analyzer::query::windowed`
 //!   spec — the time-travel layer behind `/windows`, `/query` and
 //!   `teeperf query`.
+//!
+//! Sessions may also carry an [`OverheadBudget`]: a per-session fidelity
+//! controller reads the drain's backpressure signals and walks the regime
+//! ladder `Full → Sampled(1/N) → Quiescent` (publishing each shift through
+//! the log's regime word so writer-side gates throttle at the source),
+//! bias-correcting sampled windows so profiles report *estimated* totals
+//! with a stated confidence instead of silently undercounting.
 
 #![forbid(unsafe_code)]
 
@@ -60,8 +67,8 @@ pub use driver::{
 pub use native::NativeLiveSession;
 pub use registry::{AttachError, RegistryRun, SessionRegistry, WatchdogConfig};
 pub use rolling::RollingProfile;
-pub use session::{LiveConfig, LiveSession};
-pub use snapshot::{SessionEvent, Snapshot};
+pub use session::{LiveConfig, LiveSession, OverheadBudget};
+pub use snapshot::{RegimeInfo, SessionEvent, Snapshot};
 pub use window::{
     windows_from_text, windows_to_text, PidWindows, RetentionRing, RingConfig, RingEvent,
     WindowMeta, WindowSel,

@@ -33,7 +33,7 @@ use teeperf_core::{EventSource, SalvageReport};
 use teeperf_flamegraph::{live, LiveStatus, SvgOptions};
 
 use crate::session::{LiveConfig, LiveSession};
-use crate::snapshot::{SessionEvent, Snapshot};
+use crate::snapshot::{RegimeInfo, SessionEvent, Snapshot};
 use crate::window::{PidWindows, WindowMeta, WindowSel};
 
 /// Why a source could not be attached to the registry.
@@ -329,6 +329,41 @@ impl SessionRegistry {
             + self.retired.values().map(|s| s.status.dropped).sum::<u64>()
     }
 
+    /// Cumulative overflow loss per process, ascending by pid — live
+    /// sessions read fresh, retired sessions at their frozen final count.
+    /// This is the breakdown behind the daemon's per-pid
+    /// `teeperf_dropped_total` gauge: the fleet total is the sum of these.
+    pub fn dropped_by_pid(&self) -> BTreeMap<u64, u64> {
+        let mut out: BTreeMap<u64, u64> = self
+            .sessions
+            .iter()
+            .map(|(pid, s)| (*pid, s.dropped()))
+            .collect();
+        out.extend(self.retired.iter().map(|(pid, s)| (*pid, s.status.dropped)));
+        out
+    }
+
+    /// Each attached session's fidelity-regime block, ascending by pid.
+    /// Sessions without one (no budget, no faults) are absent — every
+    /// entry here is either budget-controlled or has salvaged a corrupt
+    /// regime word.
+    pub fn regimes_by_pid(&self) -> BTreeMap<u64, RegimeInfo> {
+        self.sessions
+            .iter()
+            .filter_map(|(pid, s)| s.regime_info().map(|r| (*pid, r)))
+            .collect()
+    }
+
+    /// Per-pid budget headroom (budget minus windowed loss, percent —
+    /// negative while a session overruns), ascending by pid. Only
+    /// budget-controlled sessions appear.
+    pub fn budget_headroom_by_pid(&self) -> BTreeMap<u64, i64> {
+        self.sessions
+            .iter()
+            .filter_map(|(pid, s)| s.budget_headroom_pct().map(|h| (*pid, h)))
+            .collect()
+    }
+
     /// The cross-process status: every counter is the sum over the
     /// attached sessions (epochs included — each process rotates its own
     /// log, so the merged epoch counts rotations fleet-wide) plus the
@@ -516,11 +551,19 @@ impl SessionRegistry {
 /// extended with each per-pid snapshot's own events — retention
 /// transitions recorded by the sessions — in ascending pid order, so the
 /// merged `[events]` section never hides history loss.
+///
+/// Regime blocks merge conservatively: the merged regime is the *most
+/// degraded* across the contributing sessions (each registry entry runs
+/// its own independent controller), counters are summed, and the stated
+/// budget is the tightest one — so a merged snapshot never claims more
+/// fidelity than its worst member delivers. Sessions without a block
+/// contribute nothing; when none has one, the merge has none.
 fn merge_snapshots(per_pid: &BTreeMap<u64, Snapshot>, events: Vec<SessionEvent>) -> Snapshot {
     let parts: Vec<(u64, &Profile)> = per_pid.iter().map(|(pid, s)| (*pid, &s.profile)).collect();
     let profile = merge_profiles(&parts);
     let mut status = LiveStatus::default();
     let mut events = events;
+    let mut regime: Option<RegimeInfo> = None;
     for s in per_pid.values() {
         status.epoch += s.status.epoch;
         status.events += s.status.events;
@@ -528,11 +571,27 @@ fn merge_snapshots(per_pid: &BTreeMap<u64, Snapshot>, events: Vec<SessionEvent>)
         status.threads += s.status.threads;
         status.open_frames += s.status.open_frames;
         events.extend(s.events.iter().cloned());
+        if let Some(r) = &s.regime {
+            regime = Some(match regime {
+                None => r.clone(),
+                Some(m) => RegimeInfo {
+                    regime: m.regime.max(r.regime),
+                    budget_pct: match (m.budget_pct, r.budget_pct) {
+                        (Some(a), Some(b)) => Some(a.min(b)),
+                        (a, b) => a.or(b),
+                    },
+                    transitions: m.transitions + r.transitions,
+                    estimated_events: m.estimated_events + r.estimated_events,
+                    faults: m.faults + r.faults,
+                },
+            });
+        }
     }
     Snapshot {
         status,
         profile,
         events,
+        regime,
     }
 }
 
@@ -871,6 +930,79 @@ mod tests {
         );
         // The evicted call still counts in the whole-session totals.
         assert_eq!(run.merged.profile.method("work").unwrap().calls, 1);
+    }
+
+    #[test]
+    fn per_entry_budgets_degrade_independently_and_merge_most_degraded() {
+        use crate::session::OverheadBudget;
+        use std::sync::Arc;
+        use tee_sim::SharedMem;
+        use teeperf_core::log::{make_header, region_bytes};
+        use teeperf_core::{LiveLogSource, Regime, SharedLog};
+
+        let mk = |pid: u64, cap: u64| {
+            let shm = Arc::new(SharedMem::new(region_bytes(cap)));
+            SharedLog::init(shm, &make_header(pid, cap, true, 0, 0))
+        };
+        let hot = mk(1, 4);
+        let calm = mk(2, 64);
+        let config = LiveConfig {
+            budget: Some(OverheadBudget { pct: 5 }),
+            refresh_events: 0,
+            ..LiveConfig::default()
+        };
+        let mut reg = SessionRegistry::new(config);
+        reg.attach(Box::new(LiveLogSource::new(hot.clone(), 100)), sym())
+            .unwrap();
+        reg.attach(Box::new(LiveLogSource::new(calm.clone(), 75)), sym())
+            .unwrap();
+        let d = debug();
+        let pair = |log: &SharedLog, base: u64| {
+            log.write_live(&LogEntry {
+                kind: EventKind::Call,
+                counter: base,
+                addr: d.entry_addr(1),
+                tid: 0,
+            });
+            log.write_live(&LogEntry {
+                kind: EventKind::Return,
+                counter: base + 10,
+                addr: d.entry_addr(1),
+                tid: 0,
+            });
+        };
+        // Overload pid 1's tiny log; keep pid 2 comfortable.
+        let mut base = 1;
+        while reg.session(1).unwrap().regime() == Regime::Full {
+            for _ in 0..8 {
+                pair(&hot, base);
+                base += 100;
+            }
+            pair(&calm, base);
+            reg.pump();
+            assert!(base < 1_000_000, "pid 1 never degraded");
+        }
+        assert_eq!(
+            reg.session(2).unwrap().regime(),
+            Regime::Full,
+            "each registry entry runs its own independent controller"
+        );
+        let regimes = reg.regimes_by_pid();
+        assert_eq!(regimes[&1].regime, Regime::sampled(2));
+        assert_eq!(regimes[&2].regime, Regime::Full);
+        let drops = reg.dropped_by_pid();
+        assert!(drops[&1] > 0, "pid 1's pressure was real loss");
+        assert_eq!(drops[&2], 0);
+        let snap = reg.merged_snapshot();
+        let merged = snap.regime.clone().expect("budgeted fleet has a block");
+        assert_eq!(merged.regime, Regime::sampled(2), "most degraded wins");
+        assert_eq!(merged.budget_pct, Some(5));
+        let text = snap.to_text();
+        assert!(text.contains("[regime]\nmode sampled 1/2\n"), "{text}");
+        assert!(
+            text.contains("regime of pid 1: full -> sampled(1/2)"),
+            "{text}"
+        );
     }
 
     #[test]

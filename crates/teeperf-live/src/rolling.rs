@@ -40,13 +40,34 @@ use crate::window::{RetentionRing, RingConfig, RingEvent, WindowMeta, WindowSel}
 /// frames are untouched, so open frames resume across window boundaries
 /// exactly as they resume across epochs, and the windowed view can be
 /// reconciled against the all-time totals at any moment.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct RollingProfile {
     threads: BTreeMap<u64, ResumableStacks>,
     agg: Aggregates,
     events: u64,
+    estimated_events: u64,
     incomplete: u64,
     ring: Option<RetentionRing>,
+    /// Bias-correction factor applied to every completed call as it
+    /// aggregates: 1 for full fidelity, N while the stream runs 1-in-N
+    /// sampled (see [`teeperf_core::fidelity`]). The factor is applied at
+    /// a call's *return* — a pair straddling a regime change scales by
+    /// the regime it completed under.
+    scale: u64,
+}
+
+impl Default for RollingProfile {
+    fn default() -> RollingProfile {
+        RollingProfile {
+            threads: BTreeMap::new(),
+            agg: Aggregates::default(),
+            events: 0,
+            estimated_events: 0,
+            incomplete: 0,
+            ring: None,
+            scale: 1,
+        }
+    }
 }
 
 impl RollingProfile {
@@ -116,6 +137,28 @@ impl RollingProfile {
         self.events
     }
 
+    /// Bias-corrected estimate of the events the writers *offered*: each
+    /// merged event counts for the sampling factor in force when it was
+    /// ingested. Equal to [`RollingProfile::events`] for a session that
+    /// never left full fidelity.
+    pub fn estimated_events(&self) -> u64 {
+        self.estimated_events
+    }
+
+    /// Set the bias-correction factor for everything ingested from now
+    /// on (clamped to at least 1; 1 = exact, no correction). The rolling
+    /// profile applies it to completed calls as they aggregate, so a
+    /// 1-in-N sampled stream reports *estimated* totals instead of
+    /// silently undercounting.
+    pub fn set_scale(&mut self, scale: u64) {
+        self.scale = scale.max(1);
+    }
+
+    /// The bias-correction factor currently in force.
+    pub fn scale(&self) -> u64 {
+        self.scale
+    }
+
     /// Calls currently open across all threads.
     pub fn open_frames(&self) -> u64 {
         self.threads.values().map(|s| s.open_frames() as u64).sum()
@@ -148,6 +191,7 @@ impl RollingProfile {
                 continue;
             }
             self.events += 1;
+            self.estimated_events += self.scale;
             per_tid.entry(e.tid).or_default().push(Event {
                 kind: e.kind,
                 counter: e.counter,
@@ -159,9 +203,9 @@ impl RollingProfile {
         if shards <= 1 {
             for (tid, events) in per_tid {
                 let completed = self.threads.entry(tid).or_default().feed(&events);
-                self.agg.absorb(tid, &completed);
+                self.agg.absorb_scaled(tid, &completed, self.scale);
                 if let Some(ring) = self.ring.as_mut() {
-                    ring.absorb(tid, &completed);
+                    ring.absorb_scaled(tid, &completed, self.scale);
                 }
             }
             return;
@@ -209,9 +253,9 @@ impl RollingProfile {
         // so the in-memory hash state is reproducible run to run.
         completed.sort_by_key(|(tid, _)| *tid);
         for (tid, batch) in completed {
-            self.agg.absorb(tid, &batch);
+            self.agg.absorb_scaled(tid, &batch, self.scale);
             if let Some(ring) = self.ring.as_mut() {
-                ring.absorb(tid, &batch);
+                ring.absorb_scaled(tid, &batch, self.scale);
             }
         }
     }
@@ -227,9 +271,9 @@ impl RollingProfile {
                 .get_mut(&tid)
                 .expect("tid listed above")
                 .finish();
-            self.agg.absorb(tid, &closed);
+            self.agg.absorb_scaled(tid, &closed, self.scale);
             if let Some(ring) = self.ring.as_mut() {
-                ring.absorb(tid, &closed);
+                ring.absorb_scaled(tid, &closed, self.scale);
             }
         }
     }
@@ -383,6 +427,48 @@ mod tests {
                 assert_eq!(live, sequential, "shards {shards}, chunk {chunk}");
             }
         }
+    }
+
+    #[test]
+    fn scaled_ingest_reports_bias_corrected_estimates() {
+        let entries = sample_entries();
+        let sym = Symbolizer::without_relocation(debug());
+        let exact = {
+            let mut r = RollingProfile::new();
+            r.ingest(&entries);
+            r.finish();
+            r.snapshot(&sym, 0)
+        };
+        let mut r = RollingProfile::new();
+        r.set_scale(4);
+        r.ingest(&entries);
+        r.finish();
+        assert_eq!(r.events(), 8, "events counts what was actually merged");
+        assert_eq!(r.estimated_events(), 32, "estimates scale by the factor");
+        let est = r.snapshot(&sym, 0);
+        assert_eq!(est.total_ticks, 4 * exact.total_ticks);
+        for m in &exact.methods {
+            let s = est.method(&m.name).expect("same method set");
+            assert_eq!(s.calls, 4 * m.calls);
+            assert_eq!(s.inclusive, 4 * m.inclusive);
+            assert_eq!(s.exclusive, 4 * m.exclusive);
+        }
+    }
+
+    #[test]
+    fn scale_changes_apply_at_the_return_side() {
+        use EventKind::{Call, Return};
+        let sym = Symbolizer::without_relocation(debug());
+        let mut r = RollingProfile::new();
+        // The call enters at full fidelity; the regime degrades to 1-in-2
+        // before its return arrives — the completed pair scales by the
+        // regime it completed under.
+        r.ingest(&[e(Call, 1, addr(0), 0)]);
+        r.set_scale(2);
+        r.ingest(&[e(Return, 51, addr(0), 0)]);
+        let p = r.snapshot(&sym, 0);
+        assert_eq!(p.method("main").unwrap().calls, 2);
+        assert_eq!(p.method("main").unwrap().inclusive, 100);
     }
 
     #[test]

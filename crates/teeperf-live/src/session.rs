@@ -7,17 +7,228 @@
 //! re-renders the ASCII flame view into its frame history, which is what
 //! `teeperf live` prints.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, VecDeque};
 
 use teeperf_analyzer::query::frame::Frame;
 use teeperf_analyzer::symbolize::Symbolizer;
-use teeperf_core::{EventSource, SharedLog};
+use teeperf_core::{EventSource, Regime, SharedLog};
 use teeperf_flamegraph::{live, LiveStatus, SvgOptions};
 
 use crate::drain::{DrainPolicy, Drainer};
 use crate::rolling::RollingProfile;
-use crate::snapshot::{SessionEvent, Snapshot};
+use crate::snapshot::{RegimeInfo, SessionEvent, Snapshot};
 use crate::window::{PidWindows, RingConfig, RingEvent, WindowMeta, WindowSel};
+
+/// How much the profiler may lean on the workload before it backs off.
+///
+/// The controller's pressure signal is the drain's own backpressure
+/// accounting, all of it on the virtual clock: the per-pump drop delta
+/// (entries lost to overflow) relative to entries drained, and the log's
+/// occupancy at the end of a pump. Once windowed loss exceeds `pct`
+/// percent — or the log pins at 100% occupancy, which is what a starved
+/// drain looks like from the outside — the session degrades one fidelity
+/// step; a fully clean window upgrades one step back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverheadBudget {
+    /// Tolerated stream loss in percent of the events offered
+    /// (`dropped / (dropped + drained)` over the sliding window).
+    pub pct: u8,
+}
+
+impl Default for OverheadBudget {
+    fn default() -> OverheadBudget {
+        OverheadBudget { pct: 5 }
+    }
+}
+
+/// Pumps per sliding controller window: decisions look at the last 8
+/// pumps, not at a single noisy sample.
+const CONTROL_WINDOW: usize = 8;
+
+/// Cool-down after a *degrade* before the next transition may fire, in
+/// pumps. Back-to-back transitions double it (see
+/// [`FidelityController::shift`]), so an oscillating load right at the
+/// threshold produces O(log pumps) transitions instead of one per window.
+const COOLDOWN_BASE_PUMPS: u64 = 8;
+
+/// Cool-down after an *upgrade*, in pumps. Deliberately short and flat: an
+/// upgrade is a probe, and if the restored fidelity re-overruns the budget
+/// the very next decision must be free to revoke it. Were probes subject
+/// to the doubling cool-down, a sustained storm would pin the session in
+/// the lossy probed regime for as long as it had sat in the fitting one —
+/// a ~50% lossy duty cycle instead of a decaying one.
+const PROBE_COOLDOWN_PUMPS: u64 = CONTROL_WINDOW as u64;
+
+/// Deepest sampling regime before the controller gives up on sampling and
+/// goes quiescent: 1-in-64.
+const MAX_SAMPLED_N: u32 = 64;
+
+/// Decision-eligible pumps without a transition before the cool-down
+/// streak resets. Deliberately much longer than one control window: a
+/// load oscillating with the window period must keep doubling, not get a
+/// fresh cheap cool-down every cycle.
+const STREAK_RESET_PUMPS: u64 = 8 * CONTROL_WINDOW as u64;
+
+/// One pump's backpressure accounting.
+#[derive(Debug, Clone, Copy, Default)]
+struct PumpSample {
+    drained: u64,
+    dropped: u64,
+    /// Log occupancy right after the pump, in percent.
+    occupancy: u8,
+}
+
+/// The overhead-budget regime controller: a three-regime state machine
+/// `Full → Sampled(1-in-N) → Quiescent` driven by the drain's windowed
+/// backpressure, with hysteresis (degrade on budget overrun, upgrade only
+/// on a fully clean window) and a doubling cool-down so regimes never
+/// flap. Pure bookkeeping on pump statistics — publication of the chosen
+/// regime to the writers goes through the drainer's shared regime word.
+#[derive(Debug)]
+pub(crate) struct FidelityController {
+    budget: OverheadBudget,
+    window: VecDeque<PumpSample>,
+    regime: Regime,
+    /// Pumps left before the next transition may fire.
+    cooldown: u64,
+    /// Transitions since the last stable stretch — each doubles the next
+    /// cool-down.
+    streak: u32,
+    /// Decision-eligible pumps without a transition; a full window of
+    /// them resets the streak (the load has genuinely settled).
+    stable_pumps: u64,
+    transitions: u64,
+}
+
+impl FidelityController {
+    fn new(budget: OverheadBudget) -> FidelityController {
+        FidelityController {
+            budget,
+            window: VecDeque::with_capacity(CONTROL_WINDOW),
+            regime: Regime::Full,
+            cooldown: 0,
+            streak: 0,
+            stable_pumps: 0,
+            transitions: 0,
+        }
+    }
+
+    pub(crate) fn regime(&self) -> Regime {
+        self.regime
+    }
+
+    pub(crate) fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Stream loss over the sliding window, in percent (0 while nothing
+    /// has flowed).
+    pub(crate) fn windowed_loss_pct(&self) -> u64 {
+        let (drained, dropped) = self
+            .window
+            .iter()
+            .fold((0u64, 0u64), |(dr, dp), s| (dr + s.drained, dp + s.dropped));
+        if dropped == 0 {
+            0
+        } else {
+            dropped * 100 / (dropped + drained)
+        }
+    }
+
+    /// Budget minus windowed loss: positive while the session is inside
+    /// its budget, negative while it overruns.
+    pub(crate) fn headroom_pct(&self) -> i64 {
+        i64::from(self.budget.pct) - self.windowed_loss_pct() as i64
+    }
+
+    /// Feed one pump's accounting; returns `(from, to)` when a regime
+    /// transition fires.
+    pub(crate) fn observe(
+        &mut self,
+        drained: u64,
+        dropped: u64,
+        occupancy: u8,
+    ) -> Option<(Regime, Regime)> {
+        self.window.push_back(PumpSample {
+            drained,
+            dropped,
+            occupancy,
+        });
+        if self.window.len() > CONTROL_WINDOW {
+            self.window.pop_front();
+        }
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            return None;
+        }
+        let over = self.windowed_loss_pct() > u64::from(self.budget.pct) || occupancy >= 100;
+        if over && self.regime != Regime::Quiescent {
+            return Some(self.shift(degrade(self.regime)));
+        }
+        // Upgrade wants a full window of clean samples: no loss anywhere
+        // and the log never saturated. In `Quiescent` the writers are
+        // silent, so the window fills with trivially clean samples and
+        // the session self-probes back up to the deepest sampling step.
+        let clean = self.window.len() == CONTROL_WINDOW
+            && self
+                .window
+                .iter()
+                .all(|s| s.dropped == 0 && s.occupancy < 100);
+        if clean && self.regime != Regime::Full {
+            return Some(self.shift(upgrade(self.regime)));
+        }
+        self.stable_pumps += 1;
+        if self.stable_pumps >= STREAK_RESET_PUMPS {
+            self.streak = 0;
+        }
+        None
+    }
+
+    /// Commit a transition: fresh window (pre-transition samples describe
+    /// the old regime's load) and a direction-dependent cool-down —
+    /// degrades double per streak step, upgrades stay one short flat probe
+    /// window so a failed probe is revoked at the first post-probe
+    /// decision. `Regime`'s `Ord` ranks by degradation, so `to > from` is
+    /// exactly "this transition sheds fidelity".
+    fn shift(&mut self, to: Regime) -> (Regime, Regime) {
+        let from = self.regime;
+        self.regime = to;
+        self.transitions += 1;
+        self.cooldown = if to > from {
+            COOLDOWN_BASE_PUMPS
+                .checked_shl(self.streak)
+                .unwrap_or(u64::MAX)
+        } else {
+            PROBE_COOLDOWN_PUMPS
+        };
+        self.streak = self.streak.saturating_add(1);
+        self.stable_pumps = 0;
+        self.window.clear();
+        (from, to)
+    }
+}
+
+/// One step down the fidelity ladder:
+/// `Full → 1-in-2 → 1-in-4 → … → 1-in-64 → Quiescent`.
+fn degrade(regime: Regime) -> Regime {
+    match regime {
+        Regime::Full => Regime::sampled(2),
+        Regime::Sampled(n) if n >= MAX_SAMPLED_N => Regime::Quiescent,
+        Regime::Sampled(n) => Regime::sampled(n * 2),
+        Regime::Quiescent => Regime::Quiescent,
+    }
+}
+
+/// One step back up the ladder (the quiescent probe re-enters at the
+/// deepest sampling step, not at full blast).
+fn upgrade(regime: Regime) -> Regime {
+    match regime {
+        Regime::Quiescent => Regime::sampled(MAX_SAMPLED_N),
+        Regime::Sampled(n) if n <= 2 => Regime::Full,
+        Regime::Sampled(n) => Regime::sampled(n / 2),
+        Regime::Full => Regime::Full,
+    }
+}
 
 /// Session tuning.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,6 +255,12 @@ pub struct LiveConfig {
     /// profile, so the session answers time-scoped queries. Off by
     /// default — the all-time-only session costs nothing extra.
     pub retention: Option<RingConfig>,
+    /// Overhead budget: when set, a fidelity controller watches the
+    /// drain's backpressure and degrades the session through the fidelity
+    /// regimes (`Full → Sampled → Quiescent`) whenever the budget is
+    /// overrun, upgrading back on clean windows. `None` (the default)
+    /// keeps the session pinned to full fidelity, exactly as before.
+    pub budget: Option<OverheadBudget>,
 }
 
 impl Default for LiveConfig {
@@ -55,6 +272,7 @@ impl Default for LiveConfig {
             keep_replay: false,
             analyzer_shards: 1,
             retention: None,
+            budget: None,
         }
     }
 }
@@ -74,6 +292,17 @@ pub struct LiveSession {
     /// stamped with this session's pid — surfaced in every snapshot's
     /// `[events]` section so history loss is never silent.
     window_events: Vec<SessionEvent>,
+    /// The overhead-budget regime controller (present iff
+    /// [`LiveConfig::budget`] is set and the source carries regimes).
+    controller: Option<FidelityController>,
+    /// Corrupt regime words the drainer salvaged so far.
+    regime_faults: u64,
+    /// `dropped_total` at the end of the previous pump, so each pump
+    /// attributes exactly its own drop delta to the controller
+    /// (`dropped_total` includes the current epoch's overflow, so a
+    /// start-of-pump read would already contain the drops this pump is
+    /// about to observe).
+    dropped_seen: u64,
 }
 
 impl LiveSession {
@@ -96,6 +325,7 @@ impl LiveSession {
     }
 
     fn from_drainer(drainer: Drainer, symbolizer: Symbolizer, config: LiveConfig) -> LiveSession {
+        let controller = config.budget.map(FidelityController::new);
         LiveSession {
             drainer,
             rolling: RollingProfile::with_retention(config.retention.as_ref()),
@@ -106,6 +336,9 @@ impl LiveSession {
             last_snapshot: None,
             replay: Vec::new(),
             window_events: Vec::new(),
+            controller,
+            regime_faults: 0,
+            dropped_seen: 0,
         }
     }
 
@@ -123,7 +356,24 @@ impl LiveSession {
     /// Drain whatever the writers have published and merge it. Returns the
     /// number of entries consumed. Re-renders a frame when the refresh
     /// threshold has passed.
+    ///
+    /// With an overhead budget configured, every pump also feeds the
+    /// fidelity controller with this pump's backpressure (drop delta and
+    /// log occupancy); a controller decision is published to the writers
+    /// through the shared regime word right away — the writer-side gate
+    /// keeps call/return pairs coherent across mid-epoch changes, so
+    /// publication never waits for a rotation — and recorded as a
+    /// [`SessionEvent::RegimeChanged`].
     pub fn pump(&mut self) -> usize {
+        // Occupancy is sampled *before* the drain: it is the fill level
+        // the writers ran against, and it resets to zero the moment the
+        // pump rotates.
+        let occupancy = self.drainer.occupancy_pct().unwrap_or(0);
+        // Entries drained now were admitted under the regime published to
+        // the writers before this pump — that is the factor that
+        // bias-corrects them back into estimated totals.
+        let scale = self.published_regime().scale();
+        self.rolling.set_scale(scale);
         let batch = self.drainer.pump();
         let n = batch.entries.len();
         if self.config.keep_replay {
@@ -132,6 +382,37 @@ impl LiveSession {
         self.rolling
             .ingest_sharded(&batch.entries, self.config.analyzer_shards);
         self.collect_window_events();
+        if self.drainer.take_regime_fault() {
+            self.regime_faults += 1;
+            self.window_events.push(SessionEvent::RegimeFault {
+                pid: self.drainer.pid(),
+            });
+        }
+        // `dropped_total` already includes the current epoch's overflow,
+        // so the per-pump delta is taken against the *previous* pump's
+        // end-of-pump total — sampling it at the start of this pump would
+        // hide exactly the drops this pump is supposed to observe.
+        let dropped_now = self.drainer.dropped_total();
+        let dropped_delta = dropped_now.saturating_sub(self.dropped_seen);
+        self.dropped_seen = dropped_now;
+        let decision = self
+            .controller
+            .as_mut()
+            .and_then(|ctl| ctl.observe(n as u64, dropped_delta, occupancy));
+        if let Some((from, to)) = decision {
+            if self.drainer.set_regime(to) {
+                self.window_events.push(SessionEvent::RegimeChanged {
+                    pid: self.drainer.pid(),
+                    from,
+                    to,
+                });
+            } else {
+                // The source has no regime transport (a file replay):
+                // nothing to throttle, the session runs pinned to full
+                // fidelity and the controller retires.
+                self.controller = None;
+            }
+        }
         if self.config.refresh_events > 0
             && self.rolling.events() - self.events_at_last_refresh >= self.config.refresh_events
         {
@@ -140,6 +421,66 @@ impl LiveSession {
             self.frames.push(frame);
         }
         n
+    }
+
+    /// The regime currently published to this session's writers (`Full`
+    /// for sources without regime transport).
+    fn published_regime(&self) -> Regime {
+        self.drainer.regime().unwrap_or(Regime::Full)
+    }
+
+    /// The fidelity regime the session runs in: the controller's choice
+    /// under a budget, otherwise whatever is published on the source
+    /// (always `Full` for unbudgeted sessions over healthy sources).
+    pub fn regime(&self) -> Regime {
+        self.controller
+            .as_ref()
+            .map_or_else(|| self.published_regime(), FidelityController::regime)
+    }
+
+    /// Regime transitions the controller has performed so far.
+    pub fn regime_transitions(&self) -> u64 {
+        self.controller
+            .as_ref()
+            .map_or(0, FidelityController::transitions)
+    }
+
+    /// Corrupt regime words the drainer salvaged so far (each fell back
+    /// to the full interpretation and was re-published).
+    pub fn regime_faults(&self) -> u64 {
+        self.regime_faults
+    }
+
+    /// Bias-corrected estimate of the events the writers offered (equals
+    /// [`LiveSession::events`] while the session never left full
+    /// fidelity).
+    pub fn estimated_events(&self) -> u64 {
+        self.rolling.estimated_events()
+    }
+
+    /// Budget headroom in percent — budget minus windowed loss, negative
+    /// while overrunning. `None` without an active controller.
+    pub fn budget_headroom_pct(&self) -> Option<i64> {
+        self.controller
+            .as_ref()
+            .map(FidelityController::headroom_pct)
+    }
+
+    /// The session's fidelity-regime block for snapshots: present while
+    /// the budget controller is active (it retires on sources without
+    /// regime transport), or when a regime fault was ever salvaged — an
+    /// unbudgeted session must still surface a corrupt word.
+    pub fn regime_info(&self) -> Option<RegimeInfo> {
+        if self.controller.is_none() && self.regime_faults == 0 {
+            return None;
+        }
+        Some(RegimeInfo {
+            regime: self.regime(),
+            budget_pct: self.config.budget.map(|b| b.pct),
+            transitions: self.regime_transitions(),
+            estimated_events: self.estimated_events(),
+            faults: self.regime_faults,
+        })
     }
 
     /// Epochs completed so far.
@@ -210,6 +551,7 @@ impl LiveSession {
             status: self.status(),
             profile,
             events: self.window_events.clone(),
+            regime: self.regime_info(),
         };
         self.last_snapshot = Some(snap.clone());
         snap
@@ -228,6 +570,9 @@ impl LiveSession {
     /// stopped (anything they write afterwards lands in the next epoch and
     /// is simply not part of this session).
     pub fn finish(&mut self) -> Snapshot {
+        // The final drain is still scaled by the published regime — the
+        // writers' last entries were admitted under it.
+        self.rolling.set_scale(self.published_regime().scale());
         loop {
             let batch = self.drainer.rotate_now();
             if batch.entries.is_empty() && batch.dropped == 0 {
@@ -241,6 +586,12 @@ impl LiveSession {
         }
         self.rolling.finish();
         self.collect_window_events();
+        if self.drainer.take_regime_fault() {
+            self.regime_faults += 1;
+            self.window_events.push(SessionEvent::RegimeFault {
+                pid: self.drainer.pid(),
+            });
+        }
         self.snapshot()
     }
 
@@ -333,6 +684,7 @@ mod tests {
                 keep_replay: false,
                 analyzer_shards: 2,
                 retention: None,
+                budget: None,
             },
         )
     }
@@ -405,5 +757,184 @@ mod tests {
         let snap = s.finish();
         assert_eq!(snap.status.events, 2);
         assert_eq!(snap.profile.total_ticks, 10);
+    }
+
+    #[test]
+    fn unbudgeted_sessions_have_no_regime_block() {
+        let log = fresh(64);
+        let mut s = session(&log, 0);
+        write_pair(&log, 100);
+        s.pump();
+        assert_eq!(s.regime(), Regime::Full);
+        assert_eq!(s.budget_headroom_pct(), None);
+        let snap = s.finish();
+        assert_eq!(snap.regime, None);
+        assert!(!snap.to_text().contains("[regime]"));
+        assert_eq!(s.estimated_events(), s.events(), "full fidelity is exact");
+    }
+
+    #[test]
+    fn budgeted_session_degrades_under_loss_and_recovers() {
+        let log = fresh(8);
+        let mut s = LiveSession::new(
+            log.clone(),
+            Symbolizer::without_relocation(debug()),
+            LiveConfig {
+                policy: DrainPolicy { watermark_pct: 100 },
+                refresh_events: 0,
+                budget: Some(OverheadBudget { pct: 5 }),
+                ..LiveConfig::default()
+            },
+        );
+        assert_eq!(s.regime(), Regime::Full);
+        // Overload: offer far more pairs per pump than the log holds, so
+        // every pump observes a fat drop delta.
+        let mut base = 1;
+        while s.regime() == Regime::Full {
+            for _ in 0..16 {
+                write_pair(&log, base);
+                base += 100;
+            }
+            s.pump();
+            assert!(base < 1_000_000, "controller never degraded");
+        }
+        assert_eq!(s.regime(), Regime::sampled(2));
+        assert!(s.regime_transitions() >= 1);
+        assert!(s.dropped() > 0, "the pressure signal was real loss");
+        // The transition was published to the writers...
+        assert!(
+            matches!(log.regime_observed(), (Regime::Sampled(2), _, false)),
+            "shared word carries the new regime"
+        );
+        // ...and recorded in the snapshot's [events] and [regime] blocks.
+        let snap = s.snapshot();
+        let info = snap.regime.clone().expect("budgeted session has a block");
+        assert_eq!(info.regime, Regime::sampled(2));
+        assert_eq!(info.budget_pct, Some(5));
+        assert_eq!(info.confidence(), "estimated");
+        assert!(snap.events.iter().any(|e| matches!(
+            e,
+            SessionEvent::RegimeChanged {
+                from: Regime::Full,
+                ..
+            }
+        )));
+        let text = snap.to_text();
+        assert!(text.contains("[regime]\nmode sampled 1/2\n"), "{text}");
+        // Calm: pump an idle log until a clean window upgrades back.
+        let mut pumps = 0;
+        while s.regime() != Regime::Full {
+            s.pump();
+            pumps += 1;
+            assert!(pumps < 10_000, "controller never recovered");
+        }
+        assert!(
+            matches!(log.regime_observed(), (Regime::Full, _, false)),
+            "recovery published too"
+        );
+    }
+
+    #[test]
+    fn controller_does_not_flap_under_oscillating_load_at_the_threshold() {
+        let mut ctl = FidelityController::new(OverheadBudget { pct: 10 });
+        // Loss oscillates right around 10%: alternating windows of 20%
+        // and 0% loss — the pathological flapping input.
+        for pump in 0..1_000u64 {
+            let lossy = (pump / CONTROL_WINDOW as u64).is_multiple_of(2);
+            let (drained, dropped) = if lossy { (80, 20) } else { (100, 0) };
+            ctl.observe(drained, dropped, 50);
+        }
+        // The doubling cool-down bounds transitions logarithmically: a
+        // flapping controller would transition ~every window (125 times).
+        assert!(
+            ctl.transitions() <= 12,
+            "{} transitions over 1000 oscillating pumps — the cool-down \
+             is not biting",
+            ctl.transitions()
+        );
+        assert!(
+            ctl.transitions() >= 1,
+            "the controller must still react to the overload at all"
+        );
+    }
+
+    #[test]
+    fn probe_upgrades_are_revoked_quickly_under_sustained_storm() {
+        // A storm where sampling at 1-in-4 (or deeper) fits the drain but
+        // anything shallower overruns badly: the regime the controller
+        // *should* spend its time in is sampled(4)+, and every upgrade
+        // probe below that re-overruns. The probe cool-down is short and
+        // flat while degrade cool-downs double, so the lossy duty cycle
+        // must decay instead of hovering near 50%.
+        let mut ctl = FidelityController::new(OverheadBudget { pct: 10 });
+        let mut lossy_pumps = 0u64;
+        const PUMPS: u64 = 4_000;
+        for _ in 0..PUMPS {
+            let overrun = match ctl.regime() {
+                Regime::Full => true,
+                Regime::Sampled(n) => n < 4,
+                Regime::Quiescent => false,
+            };
+            let (drained, dropped) = if overrun { (50, 50) } else { (100, 0) };
+            if overrun {
+                lossy_pumps += 1;
+            }
+            ctl.observe(drained, dropped, if overrun { 100 } else { 40 });
+        }
+        assert!(
+            lossy_pumps * 5 < PUMPS,
+            "{lossy_pumps}/{PUMPS} pumps spent in over-budget regimes — \
+             failed probes are not being revoked promptly"
+        );
+        assert!(
+            ctl.transitions() >= 3,
+            "the controller must still probe upward at all"
+        );
+    }
+
+    #[test]
+    fn controller_quiescent_probe_returns_via_deepest_sampling() {
+        let mut ctl = FidelityController::new(OverheadBudget { pct: 1 });
+        // Relentless overload marches the ladder all the way down.
+        let mut steps = 0;
+        while ctl.regime() != Regime::Quiescent {
+            ctl.observe(10, 1_000, 100);
+            steps += 1;
+            assert!(steps < 100_000, "never reached quiescence");
+        }
+        // Silence: the first upgrade probe re-enters at 1-in-64.
+        let mut probed = None;
+        for _ in 0..100_000 {
+            if let Some((_, to)) = ctl.observe(0, 0, 0) {
+                probed = Some(to);
+                break;
+            }
+        }
+        assert_eq!(probed, Some(Regime::sampled(64)));
+    }
+
+    #[test]
+    fn budgeted_session_over_a_replay_stays_full_fidelity() {
+        use teeperf_core::{FileReplaySource, LogFile};
+        let log = fresh(64);
+        write_pair(&log, 100);
+        let file = LogFile::new(log.header(), log.drain_entries());
+        let mut s = LiveSession::from_source(
+            Box::new(FileReplaySource::new(&file).with_chunk(1)),
+            Symbolizer::without_relocation(debug()),
+            LiveConfig {
+                refresh_events: 0,
+                budget: Some(OverheadBudget { pct: 0 }),
+                ..LiveConfig::default()
+            },
+        );
+        // A zero budget plus drops would degrade a live source; a replay
+        // has no regime transport, so the controller retires instead of
+        // pretending to throttle writers that do not exist.
+        for _ in 0..64 {
+            s.pump();
+        }
+        assert_eq!(s.regime(), Regime::Full);
+        assert_eq!(s.finish().status.events, 2);
     }
 }

@@ -12,6 +12,7 @@ use std::fmt;
 
 use teeperf_analyzer::query::frame::Frame;
 use teeperf_analyzer::{compare, Profile};
+use teeperf_core::Regime;
 use teeperf_flamegraph::LiveStatus;
 
 /// A registry lifecycle event worth surfacing to the consumer: a source
@@ -62,6 +63,24 @@ pub enum SessionEvent {
         /// Last window index of the merged bucket.
         last: u64,
     },
+    /// The overhead-budget controller moved this pid's session to a new
+    /// fidelity regime (see [`teeperf_core::fidelity`]): degraded under
+    /// backpressure, or upgraded after a clean window.
+    RegimeChanged {
+        /// Process id whose session transitioned.
+        pid: u64,
+        /// Regime the session left.
+        from: Regime,
+        /// Regime the session entered.
+        to: Regime,
+    },
+    /// The drainer found this pid's shared regime word corrupt, fell back
+    /// to the [`Regime::Full`] interpretation for the entries in flight,
+    /// and re-published the word — no entry was dropped over it.
+    RegimeFault {
+        /// Process id whose regime word was salvaged.
+        pid: u64,
+    },
 }
 
 impl fmt::Display for SessionEvent {
@@ -86,6 +105,62 @@ impl fmt::Display for SessionEvent {
             SessionEvent::WindowsCoarsened { pid, first, last } => {
                 write!(f, "coarsened windows {first}..={last} of pid {pid}")
             }
+            SessionEvent::RegimeChanged { pid, from, to } => {
+                write!(f, "regime of pid {pid}: {from} -> {to}")
+            }
+            SessionEvent::RegimeFault { pid } => {
+                write!(
+                    f,
+                    "regime word of pid {pid} corrupt: salvaged as full, re-published"
+                )
+            }
+        }
+    }
+}
+
+/// The fidelity-regime block of a snapshot: which regime the session runs
+/// in, under what budget, and how much of the profile is estimate rather
+/// than exact count. Absent (`None` on [`Snapshot::regime`]) for sessions
+/// running without an overhead budget — their snapshots serialize exactly
+/// as they always have.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegimeInfo {
+    /// Regime in force when the snapshot froze.
+    pub regime: Regime,
+    /// The session's overhead budget (tolerated stream loss) in percent,
+    /// when one is configured.
+    pub budget_pct: Option<u8>,
+    /// Regime transitions so far.
+    pub transitions: u64,
+    /// Bias-corrected estimate of the events the writers offered (equals
+    /// the status `events` counter while the session never left full
+    /// fidelity).
+    pub estimated_events: u64,
+    /// Corrupt regime words salvaged so far (each fell back to the full
+    /// interpretation; none dropped an entry).
+    pub faults: u64,
+}
+
+impl RegimeInfo {
+    /// The stated confidence of the snapshot's totals: `exact` while the
+    /// session has never left [`Regime::Full`], `estimated` as soon as
+    /// any window ran sampled or quiescent — degraded fidelity is never
+    /// passed off as an exact count.
+    pub fn confidence(&self) -> &'static str {
+        if self.regime == Regime::Full && self.transitions == 0 {
+            "exact"
+        } else {
+            "estimated"
+        }
+    }
+
+    /// The `mode …` wire line value: `full`, `sampled 1/<n>`, or
+    /// `quiescent`.
+    fn mode_text(&self) -> String {
+        match self.regime {
+            Regime::Full => "full".to_string(),
+            Regime::Sampled(n) => format!("sampled 1/{n}"),
+            Regime::Quiescent => "quiescent".to_string(),
         }
     }
 }
@@ -100,6 +175,10 @@ pub struct Snapshot {
     /// Registry lifecycle events up to this snapshot (attach, detach,
     /// quarantine). Empty for plain single-session snapshots.
     pub events: Vec<SessionEvent>,
+    /// Fidelity-regime state, for sessions running under an overhead
+    /// budget. `None` (the unbudgeted default) serializes to exactly the
+    /// historical snapshot text.
+    pub regime: Option<RegimeInfo>,
 }
 
 impl Snapshot {
@@ -153,6 +232,20 @@ impl Snapshot {
             for e in &self.events {
                 out.push_str(&format!("{e}\n"));
             }
+        }
+        if let Some(r) = &self.regime {
+            out.push_str("[regime]\n");
+            out.push_str(&format!("mode {}\n", r.mode_text()));
+            if let Some(pct) = r.budget_pct {
+                out.push_str(&format!("budget {pct}\n"));
+            }
+            out.push_str(&format!(
+                "transitions {}\nestimated_events {}\nfaults {}\nconfidence {}\n",
+                r.transitions,
+                r.estimated_events,
+                r.faults,
+                r.confidence()
+            ));
         }
         out.push_str("[methods]\n");
         for m in &self.profile.methods {
@@ -266,6 +359,91 @@ impl Snapshot {
         }
         Ok(rows)
     }
+
+    /// Parse the `[regime]` block back out of a serialized snapshot.
+    /// `Ok(None)` when the text has no regime section at all — the
+    /// unbudgeted sessions that have always serialized without one.
+    ///
+    /// # Errors
+    /// Returns a description of the first malformed line; a present but
+    /// incomplete section is an error (a truncated regime block must not
+    /// parse as "full fidelity, zero faults").
+    pub fn regime_from_text(text: &str) -> Result<Option<RegimeInfo>, String> {
+        let mut in_section = false;
+        let mut seen = false;
+        let mut regime: Option<Regime> = None;
+        let mut budget_pct: Option<u8> = None;
+        let mut transitions: Option<u64> = None;
+        let mut estimated_events: Option<u64> = None;
+        let mut faults: Option<u64> = None;
+        for line in text.lines() {
+            match line.trim() {
+                "[regime]" => {
+                    in_section = true;
+                    seen = true;
+                }
+                l if l.starts_with('[') => in_section = false,
+                l if in_section && !l.is_empty() => {
+                    let (key, value) = l
+                        .split_once(' ')
+                        .ok_or_else(|| format!("malformed regime line `{l}`"))?;
+                    match key {
+                        "mode" => {
+                            regime = Some(
+                                parse_mode(value)
+                                    .ok_or_else(|| format!("bad mode in regime line `{l}`"))?,
+                            );
+                        }
+                        "budget" => {
+                            budget_pct = Some(
+                                value
+                                    .parse::<u8>()
+                                    .map_err(|_| format!("bad value in regime line `{l}`"))?,
+                            );
+                        }
+                        "transitions" | "estimated_events" | "faults" => {
+                            let n = value
+                                .parse::<u64>()
+                                .map_err(|_| format!("bad value in regime line `{l}`"))?;
+                            match key {
+                                "transitions" => transitions = Some(n),
+                                "estimated_events" => estimated_events = Some(n),
+                                _ => faults = Some(n),
+                            }
+                        }
+                        // Derived from the counters on re-serialization.
+                        "confidence" => {}
+                        other => return Err(format!("unknown regime key `{other}`")),
+                    }
+                }
+                _ => {}
+            }
+        }
+        if !seen {
+            return Ok(None);
+        }
+        let missing = |what: &str| format!("incomplete [regime] section: missing `{what}`");
+        Ok(Some(RegimeInfo {
+            regime: regime.ok_or_else(|| missing("mode"))?,
+            budget_pct,
+            transitions: transitions.ok_or_else(|| missing("transitions"))?,
+            estimated_events: estimated_events.ok_or_else(|| missing("estimated_events"))?,
+            faults: faults.ok_or_else(|| missing("faults"))?,
+        }))
+    }
+}
+
+/// Parse the value of a `mode` wire line: `full`, `sampled 1/<n>`, or
+/// `quiescent`.
+fn parse_mode(value: &str) -> Option<Regime> {
+    match value {
+        "full" => Some(Regime::Full),
+        "quiescent" => Some(Regime::Quiescent),
+        _ => {
+            let n: u32 = value.strip_prefix("sampled 1/")?.parse().ok()?;
+            (n >= 2).then_some(Regime::sampled(n))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -301,6 +479,7 @@ mod tests {
             status: rolling.status(2, 0),
             profile: rolling.snapshot(&Symbolizer::without_relocation(d), 0),
             events: Vec::new(),
+            regime: None,
         }
     }
 
@@ -450,6 +629,94 @@ mod tests {
             let mutated = String::from_utf8(bytes).expect("ascii mutation");
             prop_assert!(Snapshot::summary_from_text(&mutated).is_err());
         }
+    }
+
+    #[test]
+    fn regime_section_renders_and_round_trips() {
+        let mut s = snap(50);
+        let plain = s.to_text();
+        assert!(
+            !plain.contains("[regime]"),
+            "unbudgeted snapshots serialize as they always have"
+        );
+        assert_eq!(Snapshot::regime_from_text(&plain), Ok(None));
+
+        s.regime = Some(RegimeInfo {
+            regime: Regime::sampled(8),
+            budget_pct: Some(5),
+            transitions: 3,
+            estimated_events: 4096,
+            faults: 1,
+        });
+        s.events = vec![SessionEvent::RegimeChanged {
+            pid: 7,
+            from: Regime::Full,
+            to: Regime::sampled(2),
+        }];
+        let text = s.to_text();
+        assert!(text.contains(
+            "[regime]\nmode sampled 1/8\nbudget 5\ntransitions 3\nestimated_events 4096\nfaults 1\nconfidence estimated\n"
+        ), "{text}");
+        assert!(
+            text.contains("regime of pid 7: full -> sampled(1/2)\n"),
+            "{text}"
+        );
+        assert_eq!(Snapshot::regime_from_text(&text), Ok(s.regime.clone()));
+        // The other wire parsers skip the new section unchanged.
+        assert_eq!(Snapshot::summary_from_text(&text).unwrap(), s.status);
+        assert!(Snapshot::methods_from_text(&text).is_ok());
+    }
+
+    #[test]
+    fn regime_confidence_is_exact_only_for_an_unbroken_full_run() {
+        let exact = RegimeInfo {
+            regime: Regime::Full,
+            budget_pct: Some(5),
+            transitions: 0,
+            estimated_events: 10,
+            faults: 0,
+        };
+        assert_eq!(exact.confidence(), "exact");
+        let back_to_full = RegimeInfo {
+            transitions: 2,
+            ..exact.clone()
+        };
+        assert_eq!(
+            back_to_full.confidence(),
+            "estimated",
+            "a session that ever degraded holds estimated totals"
+        );
+        let quiescent = RegimeInfo {
+            regime: Regime::Quiescent,
+            ..exact
+        };
+        assert_eq!(quiescent.confidence(), "estimated");
+    }
+
+    #[test]
+    fn regime_parser_rejects_truncation_and_garbage() {
+        assert!(Snapshot::regime_from_text("[regime]\nmode full\n").is_err());
+        assert!(Snapshot::regime_from_text(
+            "[regime]\nmode nonsense\ntransitions 0\nestimated_events 0\nfaults 0\n"
+        )
+        .is_err());
+        assert!(Snapshot::regime_from_text(
+            "[regime]\nmode full\ntransitions x\nestimated_events 0\nfaults 0\n"
+        )
+        .is_err());
+        assert!(Snapshot::regime_from_text(
+            "[regime]\nmode sampled 1/0\ntransitions 0\nestimated_events 0\nfaults 0\n"
+        )
+        .is_err());
+        // A budget-less block is complete: budget is optional on the wire.
+        let ok = Snapshot::regime_from_text(
+            "[regime]\nmode quiescent\ntransitions 9\nestimated_events 12\nfaults 0\n",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(ok.regime, Regime::Quiescent);
+        assert_eq!(ok.budget_pct, None);
+        assert_eq!(ok.transitions, 9);
     }
 
     #[test]

@@ -65,6 +65,7 @@ struct WindowSlot {
     first: u64,
     last: u64,
     calls: u64,
+    estimated_calls: u64,
     agg: Aggregates,
 }
 
@@ -86,8 +87,15 @@ pub struct WindowMeta {
     pub start_tick: u64,
     /// Last virtual tick covered (`(last + 1) * interval - 1`).
     pub end_tick: u64,
-    /// Completed calls attributed to this slot.
+    /// Completed calls attributed to this slot. Under a degraded fidelity
+    /// regime this is a bias-corrected *estimate* (each admitted call
+    /// counts for its sampling factor); `estimated_calls` says how much.
     pub calls: u64,
+    /// The portion of `calls` that is a sampled estimate rather than an
+    /// exact count — the slot's regime mix. `0` means the whole window
+    /// was recorded at full fidelity; `== calls` means all of it is
+    /// estimated; in between, the window straddled a regime change.
+    pub estimated_calls: u64,
 }
 
 /// A retention transition worth surfacing: history was coarsened or lost.
@@ -191,6 +199,7 @@ impl RetentionRing {
             start_tick: slot.first * self.interval,
             end_tick: (slot.last + 1) * self.interval - 1,
             calls: slot.calls,
+            estimated_calls: slot.estimated_calls,
         }
     }
 
@@ -199,25 +208,40 @@ impl RetentionRing {
     /// (orphans, truncations) stay session-scoped — windows aggregate
     /// completed calls only.
     pub fn absorb(&mut self, tid: u64, batch: &ThreadStacks) {
+        self.absorb_scaled(tid, batch, 1);
+    }
+
+    /// [`RetentionRing::absorb`] with every completed call weighted by
+    /// the sampling factor `scale` of the fidelity regime it was admitted
+    /// under (see [`teeperf_core::fidelity`]): the touched windows count
+    /// `scale` calls per admitted call — the same bias correction the
+    /// all-time aggregate applies, so retained ⊕ remainder still equals
+    /// the whole-session aggregate — and stamp the scaled portion in
+    /// their regime mix ([`WindowMeta::estimated_calls`]).
+    pub fn absorb_scaled(&mut self, tid: u64, batch: &ThreadStacks, scale: u64) {
+        let scale = scale.max(1);
         let mut grouped: BTreeMap<u64, ThreadStacks> = BTreeMap::new();
         for call in &batch.calls {
             let idx = self.window_of(call.exit);
             grouped.entry(idx).or_default().calls.push(call.clone());
         }
         for (idx, stacks) in grouped {
-            let n = stacks.calls.len() as u64;
+            let n = scale * stacks.calls.len() as u64;
             if idx < self.floor {
                 // The window was already evicted: keep the totals exact by
                 // folding straight into the remainder.
                 let mut late = Aggregates::new();
-                late.absorb(tid, &stacks);
+                late.absorb_scaled(tid, &stacks, scale);
                 self.evicted.merge(late);
                 self.evicted_calls += n;
                 continue;
             }
             let slot = self.slot_for(idx);
-            slot.agg.absorb(tid, &stacks);
+            slot.agg.absorb_scaled(tid, &stacks, scale);
             slot.calls += n;
+            if scale > 1 {
+                slot.estimated_calls += n;
+            }
         }
         self.enforce_retention();
     }
@@ -258,6 +282,7 @@ impl RetentionRing {
                 let merged = &mut self.slots[0];
                 merged.first = old.first;
                 merged.calls += old.calls;
+                merged.estimated_calls += old.estimated_calls;
                 let target = std::mem::take(&mut merged.agg);
                 let mut agg = old.agg;
                 agg.merge(target);
@@ -308,9 +333,11 @@ impl RetentionRing {
         let (head, tail) = (slots.first()?, slots.last()?);
         let mut agg = Aggregates::new();
         let mut calls = 0;
+        let mut estimated_calls = 0;
         for s in slots {
             agg.merge(s.agg.clone());
             calls += s.calls;
+            estimated_calls += s.estimated_calls;
         }
         let span = WindowMeta {
             first: head.first,
@@ -318,6 +345,7 @@ impl RetentionRing {
             start_tick: head.first * self.interval,
             end_tick: (tail.last + 1) * self.interval - 1,
             calls,
+            estimated_calls,
         };
         Some((span, agg))
     }
@@ -365,8 +393,13 @@ pub struct PidWindows {
 /// [windows]
 /// pid 7 interval 12 retained 2 evicted_windows 1 evicted_calls 4
 /// pid 7 window 0..=1 ticks 0..=23 calls 8
-/// pid 7 window 2..=2 ticks 24..=35 calls 4
+/// pid 7 window 2..=2 ticks 24..=35 calls 4 estimated 4
 /// ```
+///
+/// The trailing `estimated <n>` segment is the window's regime mix
+/// ([`WindowMeta::estimated_calls`]) and appears only when nonzero, so
+/// full-fidelity listings serialize byte-identically to what they always
+/// were, and old clients of the 8-field window line keep parsing them.
 pub fn windows_to_text(parts: &[PidWindows]) -> String {
     let mut out = String::from("[windows]\n");
     for p in parts {
@@ -380,9 +413,13 @@ pub fn windows_to_text(parts: &[PidWindows]) -> String {
         ));
         for w in &p.windows {
             out.push_str(&format!(
-                "pid {} window {}..={} ticks {}..={} calls {}\n",
+                "pid {} window {}..={} ticks {}..={} calls {}",
                 p.pid, w.first, w.last, w.start_tick, w.end_tick, w.calls
             ));
+            if w.estimated_calls > 0 {
+                out.push_str(&format!(" estimated {}", w.estimated_calls));
+            }
+            out.push('\n');
         }
     }
     out
@@ -434,7 +471,12 @@ pub fn windows_from_text(text: &str) -> Result<Vec<PidWindows>, String> {
                     windows: Vec::new(),
                 });
             }
-            ["pid", pid, "window", span, "ticks", ticks, "calls", calls] => {
+            ["pid", pid, "window", span, "ticks", ticks, "calls", calls]
+            | ["pid", pid, "window", span, "ticks", ticks, "calls", calls, "estimated", _] => {
+                let estimated_calls = match fields.as_slice() {
+                    [.., "estimated", e] => num(e)?,
+                    _ => 0,
+                };
                 let pid = num(pid)?;
                 let part = parts
                     .last_mut()
@@ -448,6 +490,7 @@ pub fn windows_from_text(text: &str) -> Result<Vec<PidWindows>, String> {
                     start_tick,
                     end_tick,
                     calls: num(calls)?,
+                    estimated_calls,
                 });
             }
             _ => return Err(format!("malformed windows line `{l}`")),
@@ -606,6 +649,50 @@ mod tests {
              pid 7 window 2..=2 ticks 24..=35 calls 2\n"
         );
         assert_eq!(windows_from_text(&text).unwrap(), parts);
+    }
+
+    #[test]
+    fn scaled_absorb_stamps_the_regime_mix_and_round_trips() {
+        let mut r = ring(10, 8, 4);
+        r.absorb(0, &batch(vec![call(0xA, 1, 9)])); // exact, window 0
+        r.absorb_scaled(0, &batch(vec![call(0xA, 12, 19)]), 8); // estimated, window 1
+        r.absorb_scaled(0, &batch(vec![call(0xB, 15, 18)]), 1); // scale 1 == exact
+        let w = r.windows();
+        assert_eq!((w[0].calls, w[0].estimated_calls), (1, 0));
+        assert_eq!(
+            (w[1].calls, w[1].estimated_calls),
+            (9, 8),
+            "one admitted call at 1-in-8 estimates 8; the scale-1 call is exact"
+        );
+        let parts = vec![PidWindows {
+            pid: 3,
+            interval: r.interval(),
+            evicted_windows: r.evicted_windows(),
+            evicted_calls: r.evicted_calls(),
+            windows: w,
+        }];
+        let text = windows_to_text(&parts);
+        assert!(text.contains("calls 9 estimated 8\n"), "{text}");
+        assert!(
+            text.contains("calls 1\n"),
+            "exact windows keep the 8-field line: {text}"
+        );
+        assert_eq!(windows_from_text(&text).unwrap(), parts);
+    }
+
+    #[test]
+    fn coarsening_merges_the_regime_mix() {
+        let mut r = ring(10, 2, 4);
+        r.absorb_scaled(0, &batch(vec![call(0xA, 0, 5)]), 4);
+        r.absorb(0, &batch(vec![call(0xA, 10, 15)]));
+        r.absorb(0, &batch(vec![call(0xA, 20, 25)])); // overflow: coarsen 0+1
+        let w = r.windows();
+        assert_eq!(w.len(), 2);
+        assert_eq!(
+            (w[0].calls, w[0].estimated_calls),
+            (5, 4),
+            "the merged bucket keeps the estimated share of both halves"
+        );
     }
 
     #[test]

@@ -25,10 +25,12 @@ use teeperf_analyzer::symbolize::Symbolizer;
 use teeperf_core::layout::{EventKind, LogEntry};
 use teeperf_core::log::{make_header, region_bytes};
 use teeperf_core::{
-    EventSource, FaultKind, FaultPlan, FaultyWriter, FileReplaySource, LiveLogSource, LogFile,
-    SalvageReason, SharedLog, SourceResilience, WriteOutcome,
+    EventSource, FaultKind, FaultPlan, FaultyWriter, FidelityGate, FileReplaySource, LiveLogSource,
+    LogFile, Regime, SalvageReason, SharedLog, SourceResilience, WriteOutcome,
 };
-use teeperf_live::{LiveConfig, LiveSession, SessionEvent, SessionRegistry, WatchdogConfig};
+use teeperf_live::{
+    LiveConfig, LiveSession, OverheadBudget, SessionEvent, SessionRegistry, WatchdogConfig,
+};
 
 /// Aborts the process if the owning test has not finished within 60
 /// seconds. Dropping the guard disarms it.
@@ -383,6 +385,184 @@ fn registry_with_one_crashed_source_serves_the_survivors() {
     let text = run.merged.to_text();
     assert!(text.contains("[events]\n"), "{text}");
     assert!(text.contains("quarantined pid 6"), "{text}");
+}
+
+/// Regime row 1: a writer crashes mid-`Sampled` epoch — after the session
+/// has degraded under an overhead budget and published a sampling regime,
+/// a gated writer reserves a slot and dies before publishing it. The
+/// session must still finish (bounded rotations, forced reclaim), count
+/// the hole exactly once, and keep its regime accounting intact: the
+/// snapshot's regime block survives the crash and discloses `estimated`
+/// confidence rather than pretending the sampled window was exact.
+#[test]
+fn live_matrix_writer_crash_mid_sampled_epoch_salvages_cleanly() {
+    let _guard = hang_guard("crash-mid-sampled");
+    let log = fresh(1, 8);
+    let mut session = LiveSession::from_source(
+        Box::new(LiveLogSource::new(log.clone(), 100).with_resilience(impatient())),
+        sym(),
+        LiveConfig {
+            refresh_events: 0,
+            budget: Some(OverheadBudget { pct: 5 }),
+            ..LiveConfig::default()
+        },
+    );
+    // Overload until the controller degrades and publishes `Sampled`.
+    let mut base = 0u64;
+    while session.regime() == Regime::Full {
+        for _ in 0..4 {
+            write_span(
+                |e| {
+                    let _ = log.write_live(e);
+                },
+                base,
+            );
+            base += 1000;
+        }
+        session.pump();
+        assert!(base < 4_000_000, "controller never degraded");
+    }
+    assert!(matches!(session.regime(), Regime::Sampled(_)));
+
+    // A writer honouring the published regime through the gate crashes on
+    // its third admitted write: the slot stays reserved, unpublished.
+    let mut gate = FidelityGate::new();
+    let mut writer = FaultyWriter::new(
+        log.clone(),
+        FaultPlan::new().with(FaultKind::WriterCrash, 2),
+    );
+    let mut offered = 0u64;
+    // Sampling suppresses most pairs, so keep offering spans until the
+    // gate has admitted enough writes to trip the armed crash.
+    for span in 0..64u64 {
+        write_span(
+            |e| {
+                offered += 1;
+                if gate.needs_refresh() {
+                    gate.observe(log.regime_word());
+                }
+                if gate.admit(e.tid, e.kind) {
+                    let _ = writer.write_live(e);
+                }
+            },
+            base + span * 10_000,
+        );
+        if gate.admitted() >= 4 {
+            break;
+        }
+    }
+    assert!(
+        matches!(gate.regime(), Regime::Sampled(_)),
+        "gate saw the publication"
+    );
+    assert_eq!(
+        gate.admitted() + gate.suppressed(),
+        offered,
+        "gate accounts every event"
+    );
+    assert!(
+        gate.admitted() >= 3,
+        "the crash write must have been reached"
+    );
+
+    // Finishing must terminate despite the stuck announcement, and the
+    // regime block must survive the crash.
+    let snap = session.finish();
+    let report = session.salvage();
+    assert_eq!(
+        report.count(SalvageReason::UnpublishedSlot),
+        1,
+        "the crash hole is counted exactly once: {report:?}"
+    );
+    let info = snap
+        .regime
+        .clone()
+        .expect("budgeted session keeps its regime block");
+    assert_eq!(info.confidence(), "estimated");
+    assert!(info.transitions >= 1);
+    assert!(snap
+        .events
+        .iter()
+        .any(|e| matches!(e, SessionEvent::RegimeChanged { .. })));
+    assert!(snap.to_text().contains("[regime]\n"));
+}
+
+/// Regime row 2: a hostile producer scribbles over the regime header word
+/// mid-run. Both sides must fall back to the `Full` interpretation with no
+/// panic and nothing lost: the writer-side gate admits everything, the
+/// drainer repairs the word at a fresh regime epoch, the incident is
+/// counted as [`SalvageReason::CorruptRegimeWord`], and the session
+/// surfaces a [`SessionEvent::RegimeFault`] in the `[events]` block.
+#[test]
+fn live_matrix_corrupt_regime_word_falls_back_to_full_and_is_reported() {
+    let _guard = hang_guard("corrupt-regime-word");
+    let log = fresh(1, 64);
+    let mut session = LiveSession::from_source(
+        Box::new(LiveLogSource::new(log.clone(), 75).with_resilience(impatient())),
+        sym(),
+        LiveConfig {
+            refresh_events: 0,
+            budget: Some(OverheadBudget { pct: 5 }),
+            ..LiveConfig::default()
+        },
+    );
+    write_span(
+        |e| {
+            let _ = log.write_live(e);
+        },
+        0,
+    );
+    session.pump();
+
+    // The scribble: not a valid publication under the check byte.
+    log.shm()
+        .write_u64(teeperf_core::layout::OFF_REGIME, 0xdead_beef_dead_beef)
+        .expect("regime word is inside the mapped header");
+
+    // Writer side: the gate's fallback fires and it keeps admitting.
+    let mut gate = FidelityGate::new();
+    assert!(gate.observe(log.regime_word()), "fallback must fire");
+    assert_eq!(gate.regime(), Regime::Full);
+    write_span(
+        |e| {
+            if gate.admit(e.tid, e.kind) {
+                let _ = log.write_live(e);
+            }
+        },
+        1000,
+    );
+    assert_eq!(gate.suppressed(), 0, "full fallback admits everything");
+    session.pump();
+
+    // Drain side: repaired word, counted incident, surfaced event.
+    assert!(
+        matches!(log.regime_observed(), (Regime::Full, _, false)),
+        "the drainer re-published a valid word"
+    );
+    let snap = session.finish();
+    let report = session.salvage();
+    assert_eq!(
+        report.count(SalvageReason::CorruptRegimeWord),
+        1,
+        "{report:?}"
+    );
+    let info = snap
+        .regime
+        .clone()
+        .expect("budgeted session has a regime block");
+    assert_eq!(info.faults, 1);
+    assert_eq!(info.regime, Regime::Full);
+    assert!(snap
+        .events
+        .iter()
+        .any(|e| matches!(e, SessionEvent::RegimeFault { pid: 1 })));
+    assert!(
+        snap.to_text().contains("regime word of pid 1 corrupt"),
+        "fault line missing from [events]"
+    );
+    // Nothing lost: both spans made it into the profile.
+    assert_eq!(snap.status.events, 8);
+    assert_eq!(session.dropped(), 0);
 }
 
 // ---------------------------------------------------------------------------

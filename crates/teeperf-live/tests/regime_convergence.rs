@@ -1,0 +1,135 @@
+//! Estimator convergence under `Sampled(1/N)` fidelity: the bias-corrected
+//! totals a sampled stream reports must converge on the ground truth of
+//! the *offered* stream, within a stated statistical bound, even on
+//! adversarial call trees — periodic streams whose period divides the
+//! sampling stride (the classic aliasing attack the gate's SplitMix64
+//! decorrelation exists to defeat), bursty streams, and skewed ones.
+//!
+//! The pipeline under test is the real one: a [`FidelityGate`] pinned to a
+//! published `Sampled(N)` regime admits pairs, and a [`RollingProfile`]
+//! with the matching scale ingests only the admitted entries. Ground truth
+//! is simple counting of what the workload offered.
+
+use mcvm::DebugInfo;
+use proptest::prelude::*;
+use teeperf_analyzer::symbolize::Symbolizer;
+use teeperf_core::layout::{EventKind, LogEntry};
+use teeperf_core::{encode_regime, FidelityGate, Regime};
+use teeperf_live::RollingProfile;
+
+const FUNCS: u64 = 8;
+const PAIRS: u64 = 4096;
+
+fn debug() -> DebugInfo {
+    let funcs: Vec<(String, u64, u32)> = (0..FUNCS)
+        .map(|i| (format!("f{i}"), 4, u32::try_from(i).unwrap() * 4 + 1))
+        .collect();
+    DebugInfo::from_functions(funcs.iter().map(|(n, s, l)| (n.as_str(), *s, *l)))
+}
+
+/// SplitMix64 — deterministic per-seed workload shaping.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Which function the `k`-th pair calls, per adversarial family.
+fn pick(shape: u8, seed: u64, k: u64) -> u64 {
+    match shape {
+        // Periodic with a power-of-two period: if admission were a plain
+        // 1-in-N stride, the sample would see exactly one function.
+        0 => k % FUNCS,
+        // Bursty: long runs of a single function.
+        1 => (k / 97 + seed) % FUNCS,
+        // Skewed: half the stream on one function, the rest spread.
+        _ => {
+            let r = mix(seed ^ k);
+            if r.is_multiple_of(2) {
+                seed % FUNCS
+            } else {
+                r % FUNCS
+            }
+        }
+    }
+}
+
+proptest::proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prop_sampled_estimates_converge_on_adversarial_call_trees(
+        seed in 0u64..1_000_000,
+        log2_n in 1u32..4,
+        shape in 0u8..3,
+    ) {
+        let n = 1u32 << log2_n; // 2, 4 or 8
+        let d = debug();
+
+        // Writer side: the gate honours a pinned Sampled(N) publication.
+        let mut gate = FidelityGate::new();
+        prop_assert!(!gate.observe(encode_regime(Regime::sampled(n), 1)));
+        prop_assert_eq!(gate.regime(), Regime::sampled(n));
+
+        // Drain side: the rolling profile scales admitted aggregates by N.
+        let mut rolling = RollingProfile::new();
+        rolling.set_scale(u64::from(n));
+
+        let mut truth_calls = [0u64; FUNCS as usize];
+        let mut clock = 0u64;
+        let mut batch = Vec::new();
+        for k in 0..PAIRS {
+            let f = pick(shape, seed, k);
+            truth_calls[usize::try_from(f).unwrap()] += 1;
+            let addr = d.entry_addr(u16::try_from(f).unwrap());
+            let dur = 1 + mix(seed ^ (k << 1)) % 7;
+            let call = LogEntry { kind: EventKind::Call, counter: clock, addr, tid: 0 };
+            let ret = LogEntry { kind: EventKind::Return, counter: clock + dur, addr, tid: 0 };
+            clock += dur + 1;
+            for e in [call, ret] {
+                if gate.admit(e.tid, e.kind) {
+                    batch.push(e);
+                }
+            }
+        }
+        rolling.ingest(&batch);
+        rolling.finish();
+
+        // The gate accounts for every offered event and admits ~1/N.
+        let offered_events = PAIRS * 2;
+        prop_assert_eq!(gate.admitted() + gate.suppressed(), offered_events);
+        prop_assert_eq!(gate.admitted(), batch.len() as u64);
+
+        // Total convergence: the estimate's standard error is ~sqrt(P*N)
+        // pairs (P pairs admitted independently with probability 1/N and
+        // scaled back by N); six standard errors is a deterministic-safe
+        // bound far below the raw undercount, which is off by (N-1)/N.
+        let est = rolling.estimated_events();
+        let bound_events = 2.0 * 6.0 * (PAIRS as f64 * f64::from(n)).sqrt();
+        let err = (est as f64 - offered_events as f64).abs();
+        prop_assert!(
+            err <= bound_events,
+            "estimate {} vs offered {} (N={}): error {:.0} exceeds bound {:.0}",
+            est, offered_events, n, err, bound_events
+        );
+        let raw_err = (rolling.events() as f64 - offered_events as f64).abs();
+        prop_assert!(err < raw_err, "correction must beat the raw undercount");
+
+        // Per-method convergence for every method with real mass: the
+        // scaled call count lands within 50% of truth (4+ standard errors
+        // at the smallest qualifying mass).
+        let profile = rolling.snapshot(&Symbolizer::without_relocation(debug()), 0);
+        for (i, &truth) in truth_calls.iter().enumerate() {
+            if truth < 512 {
+                continue;
+            }
+            let est_calls = profile.method(&format!("f{i}")).map_or(0, |m| m.calls);
+            let rel = (est_calls as f64 - truth as f64).abs() / truth as f64;
+            prop_assert!(
+                rel <= 0.5,
+                "f{i}: estimated {est_calls} vs true {truth} calls (N={n}, rel {rel:.2})"
+            );
+        }
+    }
+}

@@ -66,9 +66,11 @@ run cargo run -q --offline -p teeperf-check --bin teeperf-lint -- .
 # classes must be found and their schedules must replay. Built untimed
 # (compile cost is not the smoke's budget), then run under a hard KILL
 # timeout: a scheduler bug that deadlocks the virtual fleet must fail the
-# gate, not hang it.
+# gate, not hang it. 240s: the regime-flip DFS configs (ISSUE 10) grew
+# the clean sweep past the old 120s budget — the limit is a deadlock
+# detector, not a performance gate.
 run cargo build -q --release --offline -p teeperf-check --bin teeperf-check
-tmo 120 cargo run -q --release --offline -p teeperf-check --bin teeperf-check -- --smoke
+tmo 240 cargo run -q --release --offline -p teeperf-check --bin teeperf-check -- --smoke
 
 # Daemon smoke (ISSUE 7): start a real teeperfd over a scratch registration
 # directory, run a scripted writer process through the file-backed shared
@@ -196,6 +198,16 @@ fi
 if [ "$mode" != "quick" ]; then
   TEEPERF_RESULTS="$(mktemp -d)" \
     tmo 120 cargo run --release --offline -p bench --bin query_latency -- --smoke
+fi
+
+# Regime smoke (ISSUE 10): a calm -> storm -> recovery overload ramp
+# through the budgeted fidelity controller. The bin exits non-zero unless
+# the budgeted session degrades into Sampled during the storm, settles
+# within its loss budget (where the unbudgeted full run blows it),
+# accounts for every offered event, and returns to Full during recovery.
+if [ "$mode" != "quick" ]; then
+  TEEPERF_RESULTS="$(mktemp -d)" \
+    tmo 120 cargo run --release --offline -p bench --bin regime_bench -- --smoke
 fi
 
 echo "==> ci ok"
